@@ -1,0 +1,18 @@
+//! Ablation for the paper's §VII extension: requester-scoped SEEPs with the
+//! kill-requester reconciliation (`enhanced-kill`) vs the stock enhanced
+//! policy. The extension widens recovery windows across exit-path resource
+//! releases, converting a slice of controlled shutdowns into survivals.
+
+use osiris_core::PolicyKind;
+use osiris_faults::FaultModel;
+
+fn main() {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let t = osiris_bench::survivability_for(
+        &[PolicyKind::Enhanced, PolicyKind::EnhancedKill],
+        FaultModel::TransientFailStop,
+        threads,
+        0xfa11_5709,
+    );
+    print!("{}", t.render());
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 3: Unixbench score as a function of the
+//! service-disruption interval (periodic fail-stop faults injected into PM
+//! inside its recovery window; benchmarks retry on E_CRASH and must finish
+//! without functional degradation).
+
+fn main() {
+    let intervals: Vec<u64> =
+        (0..10).map(|k| 25_000u64 << k).collect(); // 25k .. 12.8M cycles
+    let points = osiris_bench::figure3(&intervals, 1.0);
+    print!("{}", osiris_bench::render_figure3(&points, &intervals));
+}

@@ -1,0 +1,13 @@
+//! Reproduces the RCB accounting of paper §V-A: the share of the code base
+//! that must be trusted to be free of faults.
+
+fn main() {
+    let report = osiris_bench::count_workspace_loc();
+    println!("Reliable Computing Base accounting (SLOCCount analog)");
+    println!("{:<14} {:>8}  {}", "Crate", "LoC", "RCB?");
+    for c in &report.crates {
+        println!("{:<14} {:>8}  {}", c.name, c.loc, if c.rcb { "yes" } else { "" });
+    }
+    println!("{:<14} {:>8}", "total", report.total());
+    println!("{:<14} {:>8}  ({:.1}% of the code base)", "RCB", report.rcb_total(), report.rcb_pct());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table I: recovery coverage per server under the pessimistic
+//! and enhanced policies, running the prototype test suite.
+
+fn main() {
+    let t = osiris_bench::table1();
+    print!("{}", t.render());
+}

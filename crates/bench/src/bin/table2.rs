@@ -1,0 +1,10 @@
+//! Regenerates Table II: survivability under fail-stop fault injection,
+//! one fault per triggered site, for all four recovery policies.
+
+use osiris_faults::FaultModel;
+
+fn main() {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let t = osiris_bench::survivability(FaultModel::FailStop, threads, 0xfa11_5709);
+    print!("{}", t.render());
+}

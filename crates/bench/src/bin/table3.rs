@@ -1,0 +1,10 @@
+//! Regenerates Table III: survivability under the full EDFI fault mix
+//! (crashes, hangs, flipped branches, corrupted values).
+
+use osiris_faults::FaultModel;
+
+fn main() {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let t = osiris_bench::survivability(FaultModel::FullEdfi, threads, 0xedf1_edf1);
+    print!("{}", t.render());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table IV: Unixbench analogs on the monolithic baseline
+//! ("Linux") vs the uninstrumented compartmentalized OSIRIS baseline.
+
+fn main() {
+    let rows = osiris_bench::table4(1.0);
+    print!("{}", osiris_bench::render_table4(&rows));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table V: the slowdown of the recovery instrumentation
+//! (always-on vs window-gated, pessimistic vs enhanced).
+
+fn main() {
+    let rows = osiris_bench::table5(1.0);
+    print!("{}", osiris_bench::render_table5(&rows));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table VI: per-component memory overhead (base state, spare
+//! clone image, peak undo log).
+
+fn main() {
+    let rows = osiris_bench::table6();
+    print!("{}", osiris_bench::render_table6(&rows));
+}

@@ -1,0 +1,56 @@
+//! Machine-readable results: the `reproduce` harness emits this JSON next
+//! to its text tables so reproduction runs can be diffed by tooling.
+
+use serde::Serialize;
+
+use crate::experiments::{Fig3Point, SurvivabilityTable, Table1, Table4Row, Table5Row, Table6Row};
+use crate::loc::RcbReport;
+
+/// JSON mirror of one survivability row (the native types live in
+/// `osiris-faults`, which deliberately has no serde dependency).
+#[derive(Clone, Debug, Serialize)]
+pub struct SurvivabilityJson {
+    /// Fault model name.
+    pub model: String,
+    /// Faults injected per policy.
+    pub faults: usize,
+    /// Per-policy outcome counts: (policy, pass, fail, shutdown, crash).
+    pub rows: Vec<(String, usize, usize, usize, usize)>,
+}
+
+impl From<&SurvivabilityTable> for SurvivabilityJson {
+    fn from(t: &SurvivabilityTable) -> Self {
+        SurvivabilityJson {
+            model: format!("{:?}", t.model),
+            faults: t.faults,
+            rows: t
+                .rows
+                .iter()
+                .map(|(p, tally)| {
+                    (p.to_string(), tally.pass, tally.fail, tally.shutdown, tally.crash)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Everything one `reproduce` run measured.
+#[derive(Clone, Debug, Serialize)]
+pub struct ResultsJson {
+    /// RCB accounting.
+    pub rcb: RcbReport,
+    /// Table I.
+    pub table1: Table1,
+    /// Table II.
+    pub table2: SurvivabilityJson,
+    /// Table III.
+    pub table3: SurvivabilityJson,
+    /// Table IV.
+    pub table4: Vec<Table4Row>,
+    /// Table V.
+    pub table5: Vec<Table5Row>,
+    /// Table VI.
+    pub table6: Vec<Table6Row>,
+    /// Figure 3.
+    pub figure3: Vec<Fig3Point>,
+}

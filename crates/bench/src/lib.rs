@@ -1,0 +1,38 @@
+//! The OSIRIS experiment harness.
+//!
+//! One function per table/figure of the paper's evaluation (§VI). Each
+//! returns structured data and can render the paper-style text table; the
+//! `src/bin/*` binaries are thin wrappers. Experiment sizes are
+//! parameterized so integration tests can run scaled-down versions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod json;
+pub mod loc;
+
+pub use experiments::*;
+pub use json::{ResultsJson, SurvivabilityJson};
+pub use loc::{count_workspace_loc, CrateLoc, RcbReport};
+
+/// Geometric mean of a non-empty slice (returns 0 for empty input).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs.iter().map(|x| x.max(1e-12).ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::geomean;
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-9);
+    }
+}

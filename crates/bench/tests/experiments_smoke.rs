@@ -1,0 +1,117 @@
+//! Regression tests for the experiment generators: every table function
+//! must keep producing the paper's *shapes*. These are the guards that a
+//! refactor of the servers or the cost model does not silently destroy the
+//! reproduction.
+
+use osiris_bench::{figure3, geomean, table1, table4, table5, table6};
+
+#[test]
+fn table1_shapes_hold() {
+    let t = table1();
+    assert_eq!(t.rows.len(), 5);
+    for r in &t.rows {
+        assert!((0.0..=100.0).contains(&r.pessimistic), "{:?}", r);
+        assert!((0.0..=100.0).contains(&r.enhanced), "{:?}", r);
+        assert!(
+            r.enhanced + 1e-9 >= r.pessimistic,
+            "enhanced must never have less coverage: {:?}",
+            r
+        );
+    }
+    let ds = t.rows.iter().find(|r| r.server == "ds").expect("ds row");
+    assert!(
+        ds.enhanced - ds.pessimistic > 30.0,
+        "DS must show the signature pessimistic/enhanced gap: {:?}",
+        ds
+    );
+    let vfs = t.rows.iter().find(|r| r.server == "vfs").expect("vfs row");
+    assert!(
+        (vfs.enhanced - vfs.pessimistic).abs() < 1.0,
+        "VFS must be policy-invariant: {:?}",
+        vfs
+    );
+    assert!(t.weighted_enhanced > t.weighted_pessimistic);
+    assert!(t.weighted_enhanced > 40.0 && t.weighted_enhanced < 95.0);
+}
+
+#[test]
+fn table4_shapes_hold() {
+    let rows = table4(0.5);
+    assert_eq!(rows.len(), 12);
+    let slow: Vec<f64> = rows.iter().map(|r| r.slowdown).collect();
+    let gm = geomean(&slow);
+    assert!(gm > 1.5 && gm < 10.0, "geomean slowdown out of range: {gm}");
+    // Compute-bound benchmarks are architecture-insensitive.
+    for name in ["dhry2reg", "whetstone-double"] {
+        let r = rows.iter().find(|r| r.bench == name).expect("row");
+        assert!((r.slowdown - 1.0).abs() < 0.05, "{name}: {}", r.slowdown);
+    }
+    // IPC-bound benchmarks pay the microkernel tax.
+    for name in ["pipe", "syscall", "spawn", "context1"] {
+        let r = rows.iter().find(|r| r.bench == name).expect("row");
+        assert!(r.slowdown > 2.0, "{name} must pay the IPC tax: {}", r.slowdown);
+    }
+}
+
+#[test]
+fn table5_shapes_hold() {
+    let rows = table5(0.5);
+    let gm = |f: fn(&osiris_bench::Table5Row) -> f64| {
+        geomean(&rows.iter().map(f).collect::<Vec<_>>())
+    };
+    let noopt = gm(|r| r.without_opt);
+    let pess = gm(|r| r.pessimistic);
+    let enh = gm(|r| r.enhanced);
+    // The paper's headline: window gating turns a noticeable overhead into
+    // ~5%, and the gated policies cost about the same.
+    assert!(noopt > pess && noopt > enh, "gating must pay off: {noopt} vs {pess}/{enh}");
+    assert!(pess < 1.12 && enh < 1.12, "gated overhead stays single-digit");
+    assert!(noopt > 1.05, "unoptimized instrumentation must be visible");
+    assert!((pess - enh).abs() < 0.02, "gated policies are near-identical");
+}
+
+#[test]
+fn table6_vm_dominates() {
+    let rows = table6();
+    let vm = rows.iter().find(|r| r.server == "vm").expect("vm row");
+    let others: f64 = rows
+        .iter()
+        .filter(|r| r.server != "vm")
+        .map(|r| r.overhead_kb())
+        .sum();
+    assert!(
+        vm.overhead_kb() > others * 5.0,
+        "VM must dominate the memory overhead (paper Table VI): vm={} others={}",
+        vm.overhead_kb(),
+        others
+    );
+    assert!(vm.clone_kb >= vm.base_kb * 0.9, "the spare clone mirrors the resident state");
+}
+
+#[test]
+fn figure3_pm_dependence_shapes_hold() {
+    // Two intervals suffice to check monotonicity and PM-independence.
+    let intervals = [50_000u64, 6_400_000];
+    let points = figure3(&intervals, 0.5);
+    let score = |bench: &str, interval: u64| {
+        points
+            .iter()
+            .find(|p| p.bench == bench && p.interval == interval)
+            .expect("point")
+            .score
+    };
+    // PM-independent: flat.
+    for bench in ["dhry2reg", "fsbuffer", "pipe"] {
+        let lo = score(bench, intervals[0]);
+        let hi = score(bench, intervals[1]);
+        assert!((lo - hi).abs() / hi < 0.02, "{bench} must be flat: {lo} vs {hi}");
+    }
+    // PM-dependent: worse under higher fault rates.
+    for bench in ["spawn", "shell1", "syscall"] {
+        let lo = score(bench, intervals[0]);
+        let hi = score(bench, intervals[1]);
+        assert!(lo < hi, "{bench} must degrade under faults: {lo} vs {hi}");
+    }
+    // And every point completed without functional degradation.
+    assert!(points.iter().all(|p| p.ok), "every fig3 run must complete cleanly");
+}

@@ -1,0 +1,401 @@
+//! The checkpointed heap: object storage plus the undo log.
+
+use std::any::Any;
+use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::stats::HeapStats;
+
+/// Marker trait for values that may live in a [`Heap`].
+///
+/// Blanket-implemented for every `Clone + Debug + Send + 'static` type, so in
+/// practice any ordinary data type qualifies. The byte accounting used for
+/// memory-overhead experiments approximates a value's size with
+/// `size_of::<T>()`; containers refine this where they can (e.g. [`crate::PBuf`]
+/// counts its actual payload).
+pub trait HeapValue: Clone + fmt::Debug + Send + 'static {}
+impl<T: Clone + fmt::Debug + Send + 'static> HeapValue for T {}
+
+/// Identifier of an object within a heap, paired with the owning heap's id.
+///
+/// Typed handles ([`crate::PCell`] etc.) wrap an `ObjId`. Handles are plain
+/// data: they survive component restart (the Recovery Server re-binds the
+/// pristine server struct, whose handles were allocated deterministically at
+/// init time, to the rolled-back heap).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ObjId {
+    pub(crate) index: u32,
+    pub(crate) heap_id: u32,
+}
+
+impl fmt::Debug for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ObjId({}@h{})", self.index, self.heap_id)
+    }
+}
+
+/// A checkpoint position in the undo log.
+///
+/// Obtained from [`Heap::mark`] at the top of a request-processing loop;
+/// passed to [`Heap::rollback_to`] to restore the state that existed when the
+/// mark was taken.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mark {
+    pub(crate) log_len: usize,
+    pub(crate) heap_id: u32,
+}
+
+/// Internal object slot: a named, type-erased, clonable value.
+pub(crate) struct Obj {
+    pub(crate) name: &'static str,
+    pub(crate) data: Box<dyn AnyObj>,
+}
+
+/// Object trait: `Any` for downcasting plus deep-clone support so that heap
+/// images (server clones) can be taken.
+pub(crate) trait AnyObj: Any + Send + fmt::Debug {
+    fn clone_obj(&self) -> Box<dyn AnyObj>;
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+    /// Approximate resident size in bytes, for memory-overhead accounting.
+    fn approx_bytes(&self) -> usize;
+}
+
+/// Wrapper implementing [`AnyObj`] for concrete container payloads.
+pub(crate) struct Holder<T: HeapValue> {
+    pub(crate) value: T,
+    /// Containers with dynamic payloads (vec/map/buf) keep this updated;
+    /// plain cells leave it at `size_of::<T>()`.
+    pub(crate) extra_bytes: usize,
+}
+
+impl<T: HeapValue> fmt::Debug for Holder<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.value, f)
+    }
+}
+
+impl<T: HeapValue> AnyObj for Holder<T> {
+    fn clone_obj(&self) -> Box<dyn AnyObj> {
+        Box::new(Holder { value: self.value.clone(), extra_bytes: self.extra_bytes })
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<T>() + self.extra_bytes
+    }
+}
+
+/// One undo record: a closure that restores the previous value of a single
+/// mutation, plus the number of bytes the record accounts for (address +
+/// old-value payload, mirroring the paper's per-store log entries).
+pub(crate) struct UndoOp {
+    pub(crate) bytes: usize,
+    pub(crate) undo: Box<dyn FnOnce(&mut Vec<Obj>) + Send>,
+}
+
+static NEXT_HEAP_ID: AtomicU32 = AtomicU32::new(1);
+
+/// A component-local checkpointed heap.
+///
+/// All recoverable state of an OSIRIS server lives in exactly one `Heap`.
+/// Mutations performed through the persistent containers append undo records
+/// while logging is enabled; [`Heap::rollback_to`] restores a prior [`Mark`].
+///
+/// A heap is single-owner and accessed only from the kernel's event loop —
+/// matching the paper's model where each server is a single (cooperatively
+/// threaded) process.
+pub struct Heap {
+    pub(crate) objs: Vec<Obj>,
+    pub(crate) log: Vec<UndoOp>,
+    logging: bool,
+    force_logging: bool,
+    id: u32,
+    name: &'static str,
+    stats: HeapStats,
+}
+
+impl fmt::Debug for Heap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Heap")
+            .field("name", &self.name)
+            .field("objects", &self.objs.len())
+            .field("log_len", &self.log.len())
+            .field("logging", &self.logging)
+            .finish()
+    }
+}
+
+impl Heap {
+    /// Creates an empty heap for the component called `name`.
+    pub fn new(name: &'static str) -> Self {
+        Heap {
+            objs: Vec::new(),
+            log: Vec::new(),
+            logging: false,
+            force_logging: false,
+            id: NEXT_HEAP_ID.fetch_add(1, Ordering::Relaxed),
+            name,
+            stats: HeapStats::default(),
+        }
+    }
+
+    /// The component name this heap belongs to.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    pub(crate) fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Allocates a new object slot holding `value` and returns its id.
+    pub(crate) fn alloc_obj<T: HeapValue>(&mut self, name: &'static str, value: T) -> ObjId {
+        let index = u32::try_from(self.objs.len()).expect("heap object count overflow");
+        self.objs.push(Obj { name, data: Box::new(Holder { value, extra_bytes: 0 }) });
+        ObjId { index, heap_id: self.id }
+    }
+
+    /// Immutable access to the payload of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle belongs to a different heap or the stored type
+    /// does not match — both are programming errors in RCB code.
+    pub(crate) fn holder<T: HeapValue>(&self, id: ObjId) -> &Holder<T> {
+        assert_eq!(id.heap_id, self.id, "handle used with foreign heap `{}`", self.name);
+        self.objs[id.index as usize]
+            .data
+            .as_any()
+            .downcast_ref::<Holder<T>>()
+            .expect("heap object type mismatch")
+    }
+
+    /// Mutable access to the payload of `id`. Callers must have logged the
+    /// undo record first. Does **not** touch statistics.
+    pub(crate) fn holder_mut<T: HeapValue>(&mut self, id: ObjId) -> &mut Holder<T> {
+        assert_eq!(id.heap_id, self.id, "handle used with foreign heap `{}`", self.name);
+        self.objs[id.index as usize]
+            .data
+            .as_any_mut()
+            .downcast_mut::<Holder<T>>()
+            .expect("heap object type mismatch")
+    }
+
+    /// Records one logical memory write of `payload_bytes` bytes whose undo
+    /// closure is `undo`. If logging is disabled only the write statistic is
+    /// updated, mirroring the out-of-window fast path of the paper's cloned
+    /// (uninstrumented) functions.
+    pub(crate) fn record_write<F>(&mut self, payload_bytes: usize, undo: F)
+    where
+        F: FnOnce(&mut Vec<Obj>) + Send + 'static,
+    {
+        self.stats.writes += 1;
+        if self.logging {
+            // Address word + old payload, as in the paper's undo-log entries.
+            let bytes = std::mem::size_of::<usize>() + payload_bytes;
+            self.stats.undo_appends += 1;
+            self.stats.undo_bytes_current += bytes;
+            if self.stats.undo_bytes_current > self.stats.undo_bytes_peak {
+                self.stats.undo_bytes_peak = self.stats.undo_bytes_current;
+            }
+            self.log.push(UndoOp { bytes, undo: Box::new(undo) });
+        }
+    }
+
+    /// Whether write logging is currently enabled.
+    pub fn logging(&self) -> bool {
+        self.logging
+    }
+
+    /// Enables or disables write logging.
+    ///
+    /// The recovery-window machinery turns logging on when a window opens and
+    /// off when it closes; this is the analog of the paper's function-cloning
+    /// optimization that removes instrumentation overhead outside windows.
+    pub fn set_logging(&mut self, on: bool) {
+        self.logging = on || self.force_logging;
+    }
+
+    /// Forces write logging to stay enabled even when a recovery window
+    /// closes. This models the paper's *unoptimized* configuration (Table V,
+    /// "Without opt."): the store instrumentation runs unconditionally, so
+    /// the undo log is maintained outside recovery windows too.
+    pub fn set_force_logging(&mut self, force: bool) {
+        self.force_logging = force;
+        if force {
+            self.logging = true;
+        }
+    }
+
+    /// Returns a checkpoint mark at the current undo-log position.
+    pub fn mark(&self) -> Mark {
+        Mark { log_len: self.log.len(), heap_id: self.id }
+    }
+
+    /// Number of undo records currently held.
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Bytes currently accounted to the undo log.
+    pub fn log_bytes(&self) -> usize {
+        self.stats.undo_bytes_current
+    }
+
+    /// Rolls the heap back to `mark`, undoing every logged mutation made
+    /// since, in reverse order. Clears the replayed portion of the log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mark` belongs to another heap or lies beyond the current
+    /// log (e.g. the log was truncated after the mark was taken).
+    pub fn rollback_to(&mut self, mark: Mark) {
+        assert_eq!(mark.heap_id, self.id, "mark used with foreign heap `{}`", self.name);
+        assert!(
+            mark.log_len <= self.log.len(),
+            "mark beyond undo log (log was truncated?): {} > {}",
+            mark.log_len,
+            self.log.len()
+        );
+        while self.log.len() > mark.log_len {
+            let op = self.log.pop().expect("log length checked above");
+            self.stats.undo_bytes_current = self.stats.undo_bytes_current.saturating_sub(op.bytes);
+            (op.undo)(&mut self.objs);
+        }
+        self.stats.rollbacks += 1;
+    }
+
+    /// Discards the entire undo log without applying it.
+    ///
+    /// Called when a recovery window closes: past that point the checkpoint
+    /// can never be restored, so the log is dead weight.
+    pub fn discard_log(&mut self) {
+        self.log.clear();
+        self.stats.undo_bytes_current = 0;
+    }
+
+    /// Approximate resident size of all objects, in bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.objs.iter().map(|o| o.data.approx_bytes()).sum()
+    }
+
+    /// Number of allocated objects.
+    pub fn object_count(&self) -> usize {
+        self.objs.len()
+    }
+
+    /// Statistics accumulated since construction (or the last reset).
+    pub fn stats(&self) -> &HeapStats {
+        &self.stats
+    }
+
+    /// Resets accumulated statistics (not the state or the log).
+    pub fn reset_stats(&mut self) {
+        self.stats = HeapStats::default();
+    }
+
+    /// Debug helper: names of all allocated objects, in allocation order.
+    pub fn object_names(&self) -> Vec<&'static str> {
+        self.objs.iter().map(|o| o.name).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_and_rollback_roundtrip() {
+        let mut h = Heap::new("t");
+        let c = h.alloc_cell("x", 1u32);
+        h.set_logging(true);
+        let m = h.mark();
+        c.set(&mut h, 2);
+        c.set(&mut h, 3);
+        assert_eq!(h.log_len(), 2);
+        h.rollback_to(m);
+        assert_eq!(c.get(&h), 1);
+        assert_eq!(h.log_len(), 0);
+    }
+
+    #[test]
+    fn logging_disabled_skips_undo() {
+        let mut h = Heap::new("t");
+        let c = h.alloc_cell("x", 1u32);
+        h.set_logging(false);
+        c.set(&mut h, 9);
+        assert_eq!(h.log_len(), 0);
+        assert_eq!(h.stats().writes, 1);
+        assert_eq!(h.stats().undo_appends, 0);
+    }
+
+    #[test]
+    fn discard_log_prevents_rollback_and_clears_bytes() {
+        let mut h = Heap::new("t");
+        let c = h.alloc_cell("x", 1u32);
+        h.set_logging(true);
+        c.set(&mut h, 2);
+        assert!(h.log_bytes() > 0);
+        h.discard_log();
+        assert_eq!(h.log_bytes(), 0);
+        assert_eq!(c.get(&h), 2);
+    }
+
+    #[test]
+    fn nested_marks_roll_back_in_order() {
+        let mut h = Heap::new("t");
+        let c = h.alloc_cell("x", 0u32);
+        h.set_logging(true);
+        let m0 = h.mark();
+        c.set(&mut h, 1);
+        let m1 = h.mark();
+        c.set(&mut h, 2);
+        h.rollback_to(m1);
+        assert_eq!(c.get(&h), 1);
+        h.rollback_to(m0);
+        assert_eq!(c.get(&h), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "foreign heap")]
+    fn foreign_handle_is_rejected() {
+        let mut a = Heap::new("a");
+        let mut b = Heap::new("b");
+        let c = a.alloc_cell("x", 1u32);
+        let _ = c.get(&b);
+        let _ = &mut b;
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond undo log")]
+    fn stale_mark_is_rejected() {
+        let mut h = Heap::new("t");
+        let c = h.alloc_cell("x", 1u32);
+        h.set_logging(true);
+        c.set(&mut h, 2);
+        let m = h.mark();
+        h.discard_log();
+        h.rollback_to(m);
+    }
+
+    #[test]
+    fn peak_undo_bytes_tracks_high_water_mark() {
+        let mut h = Heap::new("t");
+        let c = h.alloc_cell("x", 0u64);
+        h.set_logging(true);
+        let m = h.mark();
+        for i in 0..10 {
+            c.set(&mut h, i);
+        }
+        let peak = h.stats().undo_bytes_peak;
+        assert!(peak > 0);
+        h.rollback_to(m);
+        assert_eq!(h.stats().undo_bytes_peak, peak);
+        assert_eq!(h.log_bytes(), 0);
+    }
+}

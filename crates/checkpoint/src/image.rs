@@ -1,0 +1,126 @@
+//! Heap images: deep snapshots used for the Recovery Server's clone pool.
+
+use crate::heap::{Heap, Obj};
+
+/// A deep copy of a heap's entire object graph.
+///
+/// The OSIRIS Recovery Server keeps a *spare fresh copy* of every recoverable
+/// component so that core servers (PM, VM, even RS itself) can be replaced
+/// without relying on `fork()` at recovery time. `HeapImage` is that spare
+/// copy: it is taken right after a server finishes initialization
+/// ([`Heap::clone_image`]) and can later be written back over the live heap
+/// ([`Heap::restore_image`]) for *stateless* restarts, or merely held in
+/// memory — its [`bytes`](HeapImage::bytes) are what Table VI accounts as the
+/// "+clone" overhead.
+pub struct HeapImage {
+    objs: Vec<Obj>,
+    heap_id: u32,
+    bytes: usize,
+}
+
+impl std::fmt::Debug for HeapImage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HeapImage")
+            .field("objects", &self.objs.len())
+            .field("bytes", &self.bytes)
+            .finish()
+    }
+}
+
+impl Heap {
+    /// Takes a deep snapshot of every object in this heap.
+    pub fn clone_image(&self) -> HeapImage {
+        let objs: Vec<Obj> =
+            self.objs.iter().map(|o| Obj { name: o.name, data: o.data.clone_obj() }).collect();
+        let bytes = objs.iter().map(|o| o.data.approx_bytes()).sum();
+        HeapImage { objs, heap_id: self.id(), bytes }
+    }
+
+    /// Replaces this heap's contents with `image`, discarding the undo log.
+    ///
+    /// Existing handles remain valid because object ids are positional and
+    /// the image preserves allocation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image was taken from a different heap.
+    pub fn restore_image(&mut self, image: &HeapImage) {
+        assert_eq!(image.heap_id, self.id(), "image belongs to a different heap");
+        self.objs =
+            image.objs.iter().map(|o| Obj { name: o.name, data: o.data.clone_obj() }).collect();
+        self.discard_log();
+    }
+}
+
+impl HeapImage {
+    /// Approximate resident size of the image in bytes (Table VI "+clone").
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Number of objects captured.
+    pub fn object_count(&self) -> usize {
+        self.objs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Heap;
+
+    #[test]
+    fn image_restores_initial_state() {
+        let mut h = Heap::new("t");
+        let c = h.alloc_cell("x", 1u32);
+        let v = h.alloc_vec::<u8>("v");
+        v.push(&mut h, 42);
+        let img = h.clone_image();
+        c.set(&mut h, 99);
+        v.push(&mut h, 43);
+        h.restore_image(&img);
+        assert_eq!(c.get(&h), 1);
+        assert_eq!(v.snapshot(&h), vec![42]);
+    }
+
+    #[test]
+    fn image_is_a_deep_copy() {
+        let mut h = Heap::new("t");
+        let c = h.alloc_cell("x", vec![1, 2, 3]);
+        let img = h.clone_image();
+        c.update(&mut h, |v| v.push(4));
+        // Mutating the live heap must not affect the image.
+        h.restore_image(&img);
+        assert_eq!(c.get(&h), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn image_bytes_match_resident_estimate() {
+        let mut h = Heap::new("t");
+        let b = h.alloc_buf("b");
+        b.write_at(&mut h, 0, &[1u8; 1000]);
+        let img = h.clone_image();
+        assert_eq!(img.bytes(), h.resident_bytes());
+        assert_eq!(img.object_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different heap")]
+    fn foreign_image_is_rejected() {
+        let a = Heap::new("a");
+        let mut b = Heap::new("b");
+        let img = a.clone_image();
+        b.restore_image(&img);
+    }
+
+    #[test]
+    fn restore_discards_undo_log() {
+        let mut h = Heap::new("t");
+        let c = h.alloc_cell("x", 0u32);
+        let img = h.clone_image();
+        h.set_logging(true);
+        c.set(&mut h, 5);
+        assert!(h.log_len() > 0);
+        h.restore_image(&img);
+        assert_eq!(h.log_len(), 0);
+    }
+}

@@ -1,0 +1,237 @@
+//! `PMap<K, V>`: a checkpointed ordered map.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::marker::PhantomData;
+
+use crate::heap::{Heap, HeapValue, Holder, Obj, ObjId};
+
+/// A handle to a `BTreeMap<K, V>` stored in a [`Heap`], with undo-logged
+/// mutation. Servers keep their tables (process table, file table, key-value
+/// store…) in `PMap`s so a crashed request can be rolled back precisely.
+///
+/// ```
+/// # use osiris_checkpoint::Heap;
+/// let mut heap = Heap::new("demo");
+/// let m = heap.alloc_map::<u32, String>("procs");
+/// m.insert(&mut heap, 1, "init".into());
+/// assert_eq!(m.get(&heap, &1).as_deref(), Some("init"));
+/// ```
+pub struct PMap<K, V> {
+    id: ObjId,
+    _marker: PhantomData<fn() -> (K, V)>,
+}
+
+impl<K, V> Clone for PMap<K, V> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<K, V> Copy for PMap<K, V> {}
+
+impl<K, V> fmt::Debug for PMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PMap({:?})", self.id)
+    }
+}
+
+/// Key bound for [`PMap`]: ordinary ordered heap values.
+pub trait MapKey: HeapValue + Ord {}
+impl<K: HeapValue + Ord> MapKey for K {}
+
+fn entry_bytes<K, V>() -> usize {
+    std::mem::size_of::<K>() + std::mem::size_of::<V>()
+}
+
+fn refresh_bytes<K: MapKey, V: HeapValue>(holder: &mut Holder<BTreeMap<K, V>>) {
+    holder.extra_bytes = holder.value.len() * entry_bytes::<K, V>();
+}
+
+fn holder_mut<K: MapKey, V: HeapValue>(objs: &mut [Obj], index: u32) -> &mut Holder<BTreeMap<K, V>> {
+    objs[index as usize]
+        .data
+        .as_any_mut()
+        .downcast_mut::<Holder<BTreeMap<K, V>>>()
+        .expect("undo type mismatch")
+}
+
+impl Heap {
+    /// Allocates a new empty [`PMap`] named `name`.
+    pub fn alloc_map<K: MapKey, V: HeapValue>(&mut self, name: &'static str) -> PMap<K, V> {
+        PMap { id: self.alloc_obj(name, BTreeMap::<K, V>::new()), _marker: PhantomData }
+    }
+}
+
+impl<K: MapKey, V: HeapValue> PMap<K, V> {
+    /// Number of entries.
+    pub fn len(&self, heap: &Heap) -> usize {
+        heap.holder::<BTreeMap<K, V>>(self.id).value.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self, heap: &Heap) -> bool {
+        self.len(heap) == 0
+    }
+
+    /// Returns a clone of the value stored under `key`.
+    pub fn get(&self, heap: &Heap, key: &K) -> Option<V> {
+        heap.holder::<BTreeMap<K, V>>(self.id).value.get(key).cloned()
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, heap: &Heap, key: &K) -> bool {
+        heap.holder::<BTreeMap<K, V>>(self.id).value.contains_key(key)
+    }
+
+    /// Applies `f` to a shared reference of the value under `key`.
+    pub fn with<R>(&self, heap: &Heap, key: &K, f: impl FnOnce(&V) -> R) -> Option<R> {
+        heap.holder::<BTreeMap<K, V>>(self.id).value.get(key).map(f)
+    }
+
+    /// Applies `f` to a shared reference of the underlying map.
+    pub fn with_map<R>(&self, heap: &Heap, f: impl FnOnce(&BTreeMap<K, V>) -> R) -> R {
+        f(&heap.holder::<BTreeMap<K, V>>(self.id).value)
+    }
+
+    /// Inserts `value` under `key`, returning the previous value. The
+    /// previous binding (or absence) is logged for rollback.
+    pub fn insert(&self, heap: &mut Heap, key: K, value: V) -> Option<V> {
+        let id = self.id;
+        let undo_key = key.clone();
+        let old = heap.holder::<BTreeMap<K, V>>(id).value.get(&key).cloned();
+        let undo_old = old.clone();
+        heap.record_write(entry_bytes::<K, V>(), move |objs| {
+            let h = holder_mut::<K, V>(objs, id.index);
+            match undo_old {
+                Some(v) => h.value.insert(undo_key, v),
+                None => h.value.remove(&undo_key),
+            };
+            refresh_bytes(h);
+        });
+        let h = heap.holder_mut::<BTreeMap<K, V>>(id);
+        let prev = h.value.insert(key, value);
+        refresh_bytes(h);
+        prev.or(old)
+    }
+
+    /// Removes the binding for `key`, returning its value. Logged for
+    /// rollback. Removing an absent key logs nothing.
+    pub fn remove(&self, heap: &mut Heap, key: &K) -> Option<V> {
+        let id = self.id;
+        let old = heap.holder::<BTreeMap<K, V>>(id).value.get(key).cloned()?;
+        let undo_key = key.clone();
+        let undo_val = old.clone();
+        heap.record_write(entry_bytes::<K, V>(), move |objs| {
+            let h = holder_mut::<K, V>(objs, id.index);
+            h.value.insert(undo_key, undo_val);
+            refresh_bytes(h);
+        });
+        let h = heap.holder_mut::<BTreeMap<K, V>>(id);
+        let out = h.value.remove(key);
+        refresh_bytes(h);
+        out.or(Some(old))
+    }
+
+    /// Mutates the value under `key` in place, logging the old value.
+    /// Returns `None` (without calling `f`) if the key is absent.
+    pub fn update<R>(&self, heap: &mut Heap, key: &K, f: impl FnOnce(&mut V) -> R) -> Option<R> {
+        let id = self.id;
+        let old = heap.holder::<BTreeMap<K, V>>(id).value.get(key).cloned()?;
+        let undo_key = key.clone();
+        heap.record_write(entry_bytes::<K, V>(), move |objs| {
+            let h = holder_mut::<K, V>(objs, id.index);
+            h.value.insert(undo_key, old);
+        });
+        let h = heap.holder_mut::<BTreeMap<K, V>>(id);
+        h.value.get_mut(key).map(f)
+    }
+
+    /// Calls `f` for every `(key, value)` pair in key order.
+    pub fn for_each(&self, heap: &Heap, mut f: impl FnMut(&K, &V)) {
+        for (k, v) in heap.holder::<BTreeMap<K, V>>(self.id).value.iter() {
+            f(k, v);
+        }
+    }
+
+    /// Returns a clone of all keys, in order.
+    pub fn keys(&self, heap: &Heap) -> Vec<K> {
+        heap.holder::<BTreeMap<K, V>>(self.id).value.keys().cloned().collect()
+    }
+
+    /// Returns the first key matching `pred`, if any.
+    pub fn find_key(&self, heap: &Heap, mut pred: impl FnMut(&K, &V) -> bool) -> Option<K> {
+        heap.holder::<BTreeMap<K, V>>(self.id)
+            .value
+            .iter()
+            .find(|(k, v)| pred(k, v))
+            .map(|(k, _)| k.clone())
+    }
+
+    /// Returns a full snapshot clone of the map.
+    pub fn snapshot(&self, heap: &Heap) -> BTreeMap<K, V> {
+        heap.holder::<BTreeMap<K, V>>(self.id).value.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Heap;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut h = Heap::new("t");
+        let m = h.alloc_map::<u32, &'static str>("m");
+        assert_eq!(m.insert(&mut h, 1, "a"), None);
+        assert_eq!(m.insert(&mut h, 1, "b"), Some("a"));
+        assert_eq!(m.get(&h, &1), Some("b"));
+        assert_eq!(m.remove(&mut h, &1), Some("b"));
+        assert!(m.is_empty(&h));
+    }
+
+    #[test]
+    fn rollback_restores_bindings() {
+        let mut h = Heap::new("t");
+        let m = h.alloc_map::<u32, String>("m");
+        m.insert(&mut h, 1, "one".into());
+        m.insert(&mut h, 2, "two".into());
+        h.set_logging(true);
+        let mark = h.mark();
+        m.insert(&mut h, 3, "three".into());
+        m.remove(&mut h, &1);
+        m.update(&mut h, &2, |v| *v = "TWO".into());
+        h.rollback_to(mark);
+        assert_eq!(m.get(&h, &1).as_deref(), Some("one"));
+        assert_eq!(m.get(&h, &2).as_deref(), Some("two"));
+        assert_eq!(m.get(&h, &3), None);
+        assert_eq!(m.len(&h), 2);
+    }
+
+    #[test]
+    fn update_absent_key_is_noop() {
+        let mut h = Heap::new("t");
+        let m = h.alloc_map::<u32, u32>("m");
+        h.set_logging(true);
+        assert_eq!(m.update(&mut h, &7, |v| *v += 1), None);
+        assert_eq!(h.log_len(), 0);
+    }
+
+    #[test]
+    fn remove_absent_key_logs_nothing() {
+        let mut h = Heap::new("t");
+        let m = h.alloc_map::<u32, u32>("m");
+        h.set_logging(true);
+        assert_eq!(m.remove(&mut h, &7), None);
+        assert_eq!(h.log_len(), 0);
+    }
+
+    #[test]
+    fn keys_and_find_key_are_ordered() {
+        let mut h = Heap::new("t");
+        let m = h.alloc_map::<u32, u32>("m");
+        for k in [3, 1, 2] {
+            m.insert(&mut h, k, k * 10);
+        }
+        assert_eq!(m.keys(&h), vec![1, 2, 3]);
+        assert_eq!(m.find_key(&h, |_, v| *v > 15), Some(2));
+    }
+}

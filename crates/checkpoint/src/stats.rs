@@ -1,0 +1,35 @@
+//! Heap statistics used by the memory- and performance-overhead experiments.
+
+/// Counters accumulated by a [`crate::Heap`].
+///
+/// `writes` counts every logical store, whether or not it was logged;
+/// `undo_appends` counts only logged stores. The difference is exactly the
+/// work the paper's out-of-window optimization avoids.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Logical store operations performed through persistent containers.
+    pub writes: u64,
+    /// Stores that appended an undo record (logging enabled).
+    pub undo_appends: u64,
+    /// Bytes currently held by the undo log.
+    pub undo_bytes_current: usize,
+    /// High-water mark of `undo_bytes_current` (Table VI's "+undo log").
+    pub undo_bytes_peak: usize,
+    /// Number of rollbacks performed.
+    pub rollbacks: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::HeapStats;
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = HeapStats::default();
+        assert_eq!(s.writes, 0);
+        assert_eq!(s.undo_appends, 0);
+        assert_eq!(s.undo_bytes_current, 0);
+        assert_eq!(s.undo_bytes_peak, 0);
+        assert_eq!(s.rollbacks, 0);
+    }
+}

@@ -1,0 +1,252 @@
+//! `PVec<T>`: a checkpointed growable array.
+
+use std::fmt;
+use std::marker::PhantomData;
+
+use crate::heap::{Heap, HeapValue, Holder, Obj, ObjId};
+
+/// A handle to a `Vec<T>` stored in a [`Heap`], with undo-logged mutation.
+///
+/// ```
+/// # use osiris_checkpoint::Heap;
+/// let mut heap = Heap::new("demo");
+/// let v = heap.alloc_vec::<u32>("frames");
+/// v.push(&mut heap, 7);
+/// assert_eq!(v.get(&heap, 0), Some(7));
+/// ```
+pub struct PVec<T> {
+    id: ObjId,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for PVec<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for PVec<T> {}
+
+impl<T> fmt::Debug for PVec<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PVec({:?})", self.id)
+    }
+}
+
+fn refresh_bytes<T: HeapValue>(holder: &mut Holder<Vec<T>>) {
+    holder.extra_bytes = holder.value.len() * std::mem::size_of::<T>();
+}
+
+fn holder_mut<T: HeapValue>(objs: &mut [Obj], index: u32) -> &mut Holder<Vec<T>> {
+    objs[index as usize]
+        .data
+        .as_any_mut()
+        .downcast_mut::<Holder<Vec<T>>>()
+        .expect("undo type mismatch")
+}
+
+impl Heap {
+    /// Allocates a new empty [`PVec`] named `name`.
+    pub fn alloc_vec<T: HeapValue>(&mut self, name: &'static str) -> PVec<T> {
+        PVec { id: self.alloc_obj(name, Vec::<T>::new()), _marker: PhantomData }
+    }
+
+    /// Allocates a [`PVec`] pre-filled with `len` clones of `value`.
+    ///
+    /// Used by servers (notably VM) that pre-allocate large tables so that
+    /// their clone images do not depend on allocation at recovery time.
+    pub fn alloc_vec_filled<T: HeapValue>(
+        &mut self,
+        name: &'static str,
+        value: T,
+        len: usize,
+    ) -> PVec<T> {
+        let data = vec![value; len];
+        let id = self.alloc_obj(name, data);
+        let extra = len * std::mem::size_of::<T>();
+        self.holder_mut::<Vec<T>>(id).extra_bytes = extra;
+        PVec { id, _marker: PhantomData }
+    }
+}
+
+impl<T: HeapValue> PVec<T> {
+    /// Number of elements.
+    pub fn len(&self, heap: &Heap) -> usize {
+        heap.holder::<Vec<T>>(self.id).value.len()
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self, heap: &Heap) -> bool {
+        self.len(heap) == 0
+    }
+
+    /// Returns a clone of the element at `index`, if present.
+    pub fn get(&self, heap: &Heap, index: usize) -> Option<T> {
+        heap.holder::<Vec<T>>(self.id).value.get(index).cloned()
+    }
+
+    /// Applies `f` to a shared reference of the whole vector.
+    pub fn with<R>(&self, heap: &Heap, f: impl FnOnce(&[T]) -> R) -> R {
+        f(&heap.holder::<Vec<T>>(self.id).value)
+    }
+
+    /// Returns a snapshot clone of the whole vector.
+    pub fn snapshot(&self, heap: &Heap) -> Vec<T> {
+        heap.holder::<Vec<T>>(self.id).value.clone()
+    }
+
+    /// Appends `value`, logging the inverse (a pop).
+    pub fn push(&self, heap: &mut Heap, value: T) {
+        let id = self.id;
+        heap.record_write(std::mem::size_of::<T>(), move |objs| {
+            let h = holder_mut::<T>(objs, id.index);
+            h.value.pop();
+            refresh_bytes(h);
+        });
+        let h = heap.holder_mut::<Vec<T>>(id);
+        h.value.push(value);
+        refresh_bytes(h);
+    }
+
+    /// Removes and returns the last element, logging the inverse.
+    pub fn pop(&self, heap: &mut Heap) -> Option<T> {
+        let id = self.id;
+        let last = heap.holder::<Vec<T>>(id).value.last().cloned()?;
+        let undo_val = last.clone();
+        heap.record_write(std::mem::size_of::<T>(), move |objs| {
+            let h = holder_mut::<T>(objs, id.index);
+            h.value.push(undo_val);
+            refresh_bytes(h);
+        });
+        let h = heap.holder_mut::<Vec<T>>(id);
+        let out = h.value.pop();
+        refresh_bytes(h);
+        out.or(Some(last))
+    }
+
+    /// Overwrites the element at `index`, logging the old value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn set(&self, heap: &mut Heap, index: usize, value: T) {
+        let id = self.id;
+        let old = heap.holder::<Vec<T>>(id).value[index].clone();
+        heap.record_write(std::mem::size_of::<T>(), move |objs| {
+            let h = holder_mut::<T>(objs, id.index);
+            h.value[index] = old;
+        });
+        heap.holder_mut::<Vec<T>>(id).value[index] = value;
+    }
+
+    /// Mutates the element at `index` in place, logging the old value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn update<R>(&self, heap: &mut Heap, index: usize, f: impl FnOnce(&mut T) -> R) -> R {
+        let id = self.id;
+        let old = heap.holder::<Vec<T>>(id).value[index].clone();
+        heap.record_write(std::mem::size_of::<T>(), move |objs| {
+            let h = holder_mut::<T>(objs, id.index);
+            h.value[index] = old;
+        });
+        f(&mut heap.holder_mut::<Vec<T>>(id).value[index])
+    }
+
+    /// Shortens the vector to `len`, logging the removed tail.
+    pub fn truncate(&self, heap: &mut Heap, len: usize) {
+        let id = self.id;
+        let cur = heap.holder::<Vec<T>>(id).value.len();
+        if len >= cur {
+            return;
+        }
+        let tail: Vec<T> = heap.holder::<Vec<T>>(id).value[len..].to_vec();
+        let bytes = tail.len() * std::mem::size_of::<T>();
+        heap.record_write(bytes, move |objs| {
+            let h = holder_mut::<T>(objs, id.index);
+            h.value.extend(tail);
+            refresh_bytes(h);
+        });
+        let h = heap.holder_mut::<Vec<T>>(id);
+        h.value.truncate(len);
+        refresh_bytes(h);
+    }
+
+    /// Clears the vector, logging the full old contents.
+    pub fn clear(&self, heap: &mut Heap) {
+        self.truncate(heap, 0);
+    }
+
+    /// Calls `f` for each `(index, element)` pair.
+    pub fn for_each(&self, heap: &Heap, mut f: impl FnMut(usize, &T)) {
+        for (i, v) in heap.holder::<Vec<T>>(self.id).value.iter().enumerate() {
+            f(i, v);
+        }
+    }
+
+    /// Returns the index of the first element matching `pred`, if any.
+    pub fn position(&self, heap: &Heap, mut pred: impl FnMut(&T) -> bool) -> Option<usize> {
+        heap.holder::<Vec<T>>(self.id).value.iter().position(|v| pred(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Heap;
+
+    #[test]
+    fn push_pop_set_roundtrip() {
+        let mut h = Heap::new("t");
+        let v = h.alloc_vec::<i32>("v");
+        v.push(&mut h, 1);
+        v.push(&mut h, 2);
+        assert_eq!(v.pop(&mut h), Some(2));
+        v.set(&mut h, 0, 5);
+        assert_eq!(v.snapshot(&h), vec![5]);
+    }
+
+    #[test]
+    fn rollback_restores_structure() {
+        let mut h = Heap::new("t");
+        let v = h.alloc_vec::<i32>("v");
+        v.push(&mut h, 1);
+        v.push(&mut h, 2);
+        h.set_logging(true);
+        let m = h.mark();
+        v.push(&mut h, 3);
+        v.set(&mut h, 0, 99);
+        v.pop(&mut h);
+        v.truncate(&mut h, 1);
+        h.rollback_to(m);
+        assert_eq!(v.snapshot(&h), vec![1, 2]);
+    }
+
+    #[test]
+    fn filled_allocation_accounts_bytes() {
+        let mut h = Heap::new("t");
+        let _v = h.alloc_vec_filled::<u64>("frames", 0, 1024);
+        assert!(h.resident_bytes() >= 1024 * 8);
+    }
+
+    #[test]
+    fn position_and_for_each() {
+        let mut h = Heap::new("t");
+        let v = h.alloc_vec::<i32>("v");
+        for i in 0..5 {
+            v.push(&mut h, i);
+        }
+        assert_eq!(v.position(&h, |x| *x == 3), Some(3));
+        let mut sum = 0;
+        v.for_each(&h, |_, x| sum += *x);
+        assert_eq!(sum, 10);
+    }
+
+    #[test]
+    fn pop_empty_returns_none_and_logs_nothing() {
+        let mut h = Heap::new("t");
+        let v = h.alloc_vec::<i32>("v");
+        h.set_logging(true);
+        assert_eq!(v.pop(&mut h), None);
+        assert_eq!(h.log_len(), 0);
+    }
+}

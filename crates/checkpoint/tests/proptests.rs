@@ -1,0 +1,175 @@
+//! Property tests: rollback restores arbitrary mutation sequences exactly.
+
+use std::collections::BTreeMap;
+
+use osiris_checkpoint::Heap;
+use proptest::prelude::*;
+
+/// One random mutation against a small state universe of a cell, a vec, a
+/// map and a buffer.
+#[derive(Clone, Debug)]
+enum Op {
+    CellSet(u64),
+    VecPush(u16),
+    VecPop,
+    VecSet(u8, u16),
+    VecTruncate(u8),
+    MapInsert(u8, u64),
+    MapRemove(u8),
+    MapUpdate(u8, u64),
+    BufWrite(u8, Vec<u8>),
+    BufTruncate(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<u64>().prop_map(Op::CellSet),
+        any::<u16>().prop_map(Op::VecPush),
+        Just(Op::VecPop),
+        (any::<u8>(), any::<u16>()).prop_map(|(i, v)| Op::VecSet(i, v)),
+        any::<u8>().prop_map(Op::VecTruncate),
+        (any::<u8>(), any::<u64>()).prop_map(|(k, v)| Op::MapInsert(k, v)),
+        any::<u8>().prop_map(Op::MapRemove),
+        (any::<u8>(), any::<u64>()).prop_map(|(k, v)| Op::MapUpdate(k, v)),
+        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..32))
+            .prop_map(|(o, b)| Op::BufWrite(o, b)),
+        any::<u8>().prop_map(Op::BufTruncate),
+    ]
+}
+
+struct World {
+    cell: osiris_checkpoint::PCell<u64>,
+    vec: osiris_checkpoint::PVec<u16>,
+    map: osiris_checkpoint::PMap<u8, u64>,
+    buf: osiris_checkpoint::PBuf,
+}
+
+fn build_world(heap: &mut Heap) -> World {
+    World {
+        cell: heap.alloc_cell("cell", 0),
+        vec: heap.alloc_vec("vec"),
+        map: heap.alloc_map("map"),
+        buf: heap.alloc_buf("buf"),
+    }
+}
+
+fn apply(heap: &mut Heap, w: &World, op: &Op) {
+    match op {
+        Op::CellSet(v) => w.cell.set(heap, *v),
+        Op::VecPush(v) => w.vec.push(heap, *v),
+        Op::VecPop => {
+            w.vec.pop(heap);
+        }
+        Op::VecSet(i, v) => {
+            let len = w.vec.len(heap);
+            if len > 0 {
+                w.vec.set(heap, *i as usize % len, *v);
+            }
+        }
+        Op::VecTruncate(n) => w.vec.truncate(heap, *n as usize),
+        Op::MapInsert(k, v) => {
+            w.map.insert(heap, *k, *v);
+        }
+        Op::MapRemove(k) => {
+            w.map.remove(heap, k);
+        }
+        Op::MapUpdate(k, v) => {
+            w.map.update(heap, k, |x| *x = x.wrapping_add(*v));
+        }
+        Op::BufWrite(o, b) => w.buf.write_at(heap, *o as usize, b),
+        Op::BufTruncate(n) => w.buf.truncate(heap, *n as usize),
+    }
+}
+
+#[derive(Debug, PartialEq)]
+struct Snapshot {
+    cell: u64,
+    vec: Vec<u16>,
+    map: BTreeMap<u8, u64>,
+    buf: Vec<u8>,
+}
+
+fn snapshot(heap: &Heap, w: &World) -> Snapshot {
+    Snapshot {
+        cell: w.cell.get(heap),
+        vec: w.vec.snapshot(heap),
+        map: w.map.snapshot(heap),
+        buf: w.buf.snapshot(heap),
+    }
+}
+
+proptest! {
+    /// Any prefix of mutations, then a mark, then any suffix: rollback to the
+    /// mark restores the exact post-prefix state.
+    #[test]
+    fn rollback_restores_exact_state(
+        prefix in proptest::collection::vec(op_strategy(), 0..40),
+        suffix in proptest::collection::vec(op_strategy(), 0..40),
+    ) {
+        let mut heap = Heap::new("prop");
+        let w = build_world(&mut heap);
+        heap.set_logging(true);
+        for op in &prefix {
+            apply(&mut heap, &w, op);
+        }
+        let expected = snapshot(&heap, &w);
+        let mark = heap.mark();
+        for op in &suffix {
+            apply(&mut heap, &w, op);
+        }
+        heap.rollback_to(mark);
+        prop_assert_eq!(snapshot(&heap, &w), expected);
+    }
+
+    /// Rollback to the very beginning always restores the initial state,
+    /// and leaves an empty log.
+    #[test]
+    fn rollback_to_origin(ops in proptest::collection::vec(op_strategy(), 0..80)) {
+        let mut heap = Heap::new("prop");
+        let w = build_world(&mut heap);
+        let initial = snapshot(&heap, &w);
+        heap.set_logging(true);
+        let mark = heap.mark();
+        for op in &ops {
+            apply(&mut heap, &w, op);
+        }
+        heap.rollback_to(mark);
+        prop_assert_eq!(snapshot(&heap, &w), initial);
+        prop_assert_eq!(heap.log_len(), 0);
+        prop_assert_eq!(heap.log_bytes(), 0);
+    }
+
+    /// A heap image equals the state it was taken from, regardless of later
+    /// mutations.
+    #[test]
+    fn image_roundtrip(
+        before in proptest::collection::vec(op_strategy(), 0..40),
+        after in proptest::collection::vec(op_strategy(), 0..40),
+    ) {
+        let mut heap = Heap::new("prop");
+        let w = build_world(&mut heap);
+        for op in &before {
+            apply(&mut heap, &w, op);
+        }
+        let expected = snapshot(&heap, &w);
+        let image = heap.clone_image();
+        for op in &after {
+            apply(&mut heap, &w, op);
+        }
+        heap.restore_image(&image);
+        prop_assert_eq!(snapshot(&heap, &w), expected);
+    }
+
+    /// With logging off, no undo state accumulates no matter what runs.
+    #[test]
+    fn no_logging_no_log(ops in proptest::collection::vec(op_strategy(), 0..80)) {
+        let mut heap = Heap::new("prop");
+        let w = build_world(&mut heap);
+        heap.set_logging(false);
+        for op in &ops {
+            apply(&mut heap, &w, op);
+        }
+        prop_assert_eq!(heap.log_len(), 0);
+        prop_assert_eq!(heap.stats().undo_appends, 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Recovery decisions and the three-phase recovery structure.
+//!
+//! Recovery in OSIRIS is structured in three phases (paper §IV-C):
+//! **restart** (replace the dead component with a fresh clone and transfer
+//! its state), **rollback** (apply the undo log to restore the checkpoint
+//! taken at the top of the request loop) and **reconciliation** (make the
+//! global state consistent — by error virtualization or controlled
+//! shutdown). This module holds the pure decision logic; the mechanics are
+//! executed by the message-passing substrate (the kernel crate here).
+
+use crate::policy::RecoveryPolicy;
+
+/// Everything the reconciliation decision depends on at crash time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashContext {
+    /// Was the crashed component's recovery window open?
+    pub window_open: bool,
+    /// Can an error reply be delivered for the failure-triggering request?
+    pub reply_possible: bool,
+    /// Did the fault fire inside recovery code itself (RS or the kernel's
+    /// recovery path)? This violates the single-fault model.
+    pub in_recovery_code: bool,
+    /// Did the window see any requester-scoped sends (cleanable by killing
+    /// the requester)?
+    pub scoped_sends: bool,
+    /// Is the failure-triggering requester a user process (killable)?
+    pub requester_is_process: bool,
+}
+
+/// The reconciliation action chosen for a crash.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RecoveryAction {
+    /// Restart the component, roll its state back to the last checkpoint and
+    /// send `E_CRASH` to the requester (error virtualization). Globally
+    /// consistent by construction; handles persistent faults because the
+    /// failure-triggering request is discarded rather than replayed.
+    RollbackAndErrorReply,
+    /// Restart and roll back the component, then **kill the requesting
+    /// process**: its exit path cleans up the requester-scoped state the
+    /// crashed window had already pushed to other components (paper §VII,
+    /// "Extensibility").
+    RollbackAndKillRequester,
+    /// Restart the component with its pristine post-initialization state
+    /// (stateless baseline). All accumulated state is lost.
+    FreshRestart,
+    /// Restart the component but keep its state exactly as it was at the
+    /// moment of the crash (naive baseline). Half-applied updates survive.
+    ContinueAsIs,
+    /// Stop the whole system in a controlled fashion because consistent
+    /// recovery cannot be guaranteed (window closed, or no error reply
+    /// possible).
+    ControlledShutdown,
+    /// No recovery is possible at all (fault inside the recovery path).
+    UncontrolledCrash,
+}
+
+impl RecoveryAction {
+    /// Whether this action keeps the system running.
+    pub fn system_survives(self) -> bool {
+        matches!(
+            self,
+            RecoveryAction::RollbackAndErrorReply
+                | RecoveryAction::RollbackAndKillRequester
+                | RecoveryAction::FreshRestart
+                | RecoveryAction::ContinueAsIs
+        )
+    }
+}
+
+/// A complete reconciliation decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryDecision {
+    /// What to do with the crashed component / the system.
+    pub action: RecoveryAction,
+    /// Whether to send an `E_CRASH` error reply to the requester.
+    pub error_reply: bool,
+}
+
+impl RecoveryDecision {
+    /// Creates a decision; `error_reply` is forced off for actions that end
+    /// the system.
+    pub fn new(action: RecoveryAction, error_reply: bool) -> Self {
+        let error_reply = error_reply && action.system_survives();
+        RecoveryDecision { action, error_reply }
+    }
+}
+
+/// The three recovery phases, used for cost accounting and tracing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RecoveryPhase {
+    /// Replace the dead component with a spare clone; transfer state.
+    Restart,
+    /// Apply the undo log to restore the last checkpoint.
+    Rollback,
+    /// Error virtualization or controlled shutdown.
+    Reconciliation,
+}
+
+/// Maps a crash to its recovery decision under `policy`.
+///
+/// This is the single entry point the substrate calls when a component
+/// crashes; it is deliberately total (every context yields a decision) and
+/// free of side effects, keeping the RCB small and auditable.
+pub fn decide_recovery(policy: &dyn RecoveryPolicy, crash: &CrashContext) -> RecoveryDecision {
+    policy.reconcile(crash)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Enhanced, Pessimistic};
+
+    #[test]
+    fn survival_classification() {
+        assert!(RecoveryAction::RollbackAndErrorReply.system_survives());
+        assert!(RecoveryAction::FreshRestart.system_survives());
+        assert!(RecoveryAction::ContinueAsIs.system_survives());
+        assert!(!RecoveryAction::ControlledShutdown.system_survives());
+        assert!(!RecoveryAction::UncontrolledCrash.system_survives());
+    }
+
+    #[test]
+    fn error_reply_suppressed_on_shutdown() {
+        let d = RecoveryDecision::new(RecoveryAction::ControlledShutdown, true);
+        assert!(!d.error_reply);
+    }
+
+    #[test]
+    fn decide_recovery_delegates_to_policy() {
+        let ctx = CrashContext {
+            window_open: true,
+            reply_possible: true,
+            in_recovery_code: false,
+            scoped_sends: false,
+            requester_is_process: true,
+        };
+        assert_eq!(
+            decide_recovery(&Enhanced, &ctx).action,
+            RecoveryAction::RollbackAndErrorReply
+        );
+        assert_eq!(
+            decide_recovery(&Pessimistic, &ctx).action,
+            RecoveryAction::RollbackAndErrorReply
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests on the recovery-window state machine: the safety
+//! argument of the whole paper hangs on these invariants.
+
+use osiris_checkpoint::Heap;
+use osiris_core::{
+    CloseReason, Enhanced, EnhancedKill, MessageKind, Pessimistic, RecoveryPolicy, RecoveryWindow,
+    SeepClass, SeepMeta,
+};
+use proptest::prelude::*;
+
+#[derive(Clone, Copy, Debug)]
+enum Event {
+    Write(u64),
+    SendNsm,
+    SendSm,
+    SendScoped,
+    Yield,
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        any::<u64>().prop_map(Event::Write),
+        Just(Event::SendNsm),
+        Just(Event::SendSm),
+        Just(Event::SendScoped),
+        Just(Event::Yield),
+    ]
+}
+
+fn meta(class: SeepClass) -> SeepMeta {
+    SeepMeta { class, kind: MessageKind::Request, reply_possible: true }
+}
+
+fn apply(
+    w: &mut RecoveryWindow,
+    heap: &mut Heap,
+    cell: osiris_checkpoint::PCell<u64>,
+    policy: &dyn RecoveryPolicy,
+    e: Event,
+) {
+    match e {
+        Event::Write(v) => cell.set(heap, v),
+        Event::SendNsm => w.on_send(policy, &meta(SeepClass::NonStateModifying), heap),
+        Event::SendSm => w.on_send(policy, &meta(SeepClass::StateModifying), heap),
+        Event::SendScoped => w.on_send(policy, &meta(SeepClass::RequesterScoped), heap),
+        Event::Yield => w.close(heap, CloseReason::ThreadYield),
+    }
+}
+
+proptest! {
+    /// Invariant: whenever the window is still open after an arbitrary
+    /// event sequence, rolling back restores the exact checkpoint state.
+    #[test]
+    fn open_window_always_rolls_back_exactly(
+        initial in any::<u64>(),
+        events in proptest::collection::vec(event_strategy(), 0..30),
+    ) {
+        let mut heap = Heap::new("prop");
+        let cell = heap.alloc_cell("v", initial);
+        let mut w = RecoveryWindow::new();
+        w.open(&mut heap);
+        for e in events {
+            apply(&mut w, &mut heap, cell, &Enhanced, e);
+        }
+        if w.is_open() {
+            w.rollback(&mut heap);
+            prop_assert_eq!(cell.get(&heap), initial);
+            prop_assert_eq!(heap.log_len(), 0);
+        } else {
+            // Closed window: the undo log must already be discarded (the
+            // overhead optimization) and logging disabled.
+            prop_assert_eq!(heap.log_len(), 0);
+            prop_assert!(!heap.logging());
+        }
+    }
+
+    /// Invariant: under the pessimistic policy, ANY send closes the window.
+    #[test]
+    fn pessimistic_closes_on_first_send(
+        events in proptest::collection::vec(event_strategy(), 1..30),
+    ) {
+        let mut heap = Heap::new("prop");
+        let cell = heap.alloc_cell("v", 0u64);
+        let mut w = RecoveryWindow::new();
+        w.open(&mut heap);
+        let mut sent = false;
+        for e in events {
+            apply(&mut w, &mut heap, cell, &Pessimistic, e);
+            sent = sent
+                || matches!(e, Event::SendNsm | Event::SendSm | Event::SendScoped | Event::Yield);
+            prop_assert_eq!(w.is_open(), !sent);
+        }
+    }
+
+    /// Invariant: the enhanced policy closes exactly on the first
+    /// state-modifying (or scoped, which it treats as state-modifying) send
+    /// or yield.
+    #[test]
+    fn enhanced_closes_exactly_on_dependency_creation(
+        events in proptest::collection::vec(event_strategy(), 1..30),
+    ) {
+        let mut heap = Heap::new("prop");
+        let cell = heap.alloc_cell("v", 0u64);
+        let mut w = RecoveryWindow::new();
+        w.open(&mut heap);
+        let mut dependency = false;
+        for e in events {
+            apply(&mut w, &mut heap, cell, &Enhanced, e);
+            dependency = dependency
+                || matches!(e, Event::SendSm | Event::SendScoped | Event::Yield);
+            prop_assert_eq!(w.is_open(), !dependency);
+        }
+    }
+
+    /// Invariant: enhanced-kill keeps scoped sends inside the window and
+    /// remembers them; scoped-send memory resets at open/complete.
+    #[test]
+    fn enhanced_kill_tracks_scoped_sends(
+        events in proptest::collection::vec(event_strategy(), 1..30),
+    ) {
+        let mut heap = Heap::new("prop");
+        let cell = heap.alloc_cell("v", 0u64);
+        let mut w = RecoveryWindow::new();
+        w.open(&mut heap);
+        let mut scoped = false;
+        let mut closed = false;
+        for e in events {
+            apply(&mut w, &mut heap, cell, &EnhancedKill, e);
+            closed = closed || matches!(e, Event::SendSm | Event::Yield);
+            if !closed && matches!(e, Event::SendScoped) {
+                scoped = true;
+            }
+            prop_assert_eq!(w.is_open(), !closed);
+            if w.is_open() {
+                prop_assert_eq!(w.had_scoped_sends(), scoped);
+            }
+        }
+        w.open(&mut heap);
+        prop_assert!(!w.had_scoped_sends(), "open() must reset scoped-send memory");
+    }
+
+    /// Invariant: coverage counters never lose a site tick.
+    #[test]
+    fn site_ticks_are_conserved(
+        in_window in 0u64..200,
+        out_window in 0u64..200,
+    ) {
+        let mut heap = Heap::new("prop");
+        let mut w = RecoveryWindow::new();
+        for _ in 0..out_window {
+            w.tick_site();
+        }
+        w.open(&mut heap);
+        for _ in 0..in_window {
+            w.tick_site();
+        }
+        let s = w.stats();
+        prop_assert_eq!(s.sites_in, in_window);
+        prop_assert_eq!(s.sites_out, out_window);
+        let cov = s.coverage_by_sites();
+        prop_assert!((0.0..=1.0).contains(&cov));
+        if in_window + out_window > 0 {
+            let expect = in_window as f64 / (in_window + out_window) as f64;
+            prop_assert!((cov - expect).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests for the cooperative thread pool: lifecycle legality,
+//! conservation of threads, and exact restoration under rollback.
+
+use osiris_checkpoint::Heap;
+use osiris_cothread::{CoPool, CoState, ThreadId};
+use proptest::prelude::*;
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Activate,
+    YieldCurrent(u16),
+    ResumeOldestBlocked,
+    FinishCurrent,
+    FixAfterRestore,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Activate),
+        any::<u16>().prop_map(Op::YieldCurrent),
+        Just(Op::ResumeOldestBlocked),
+        Just(Op::FinishCurrent),
+        Just(Op::FixAfterRestore),
+    ]
+}
+
+/// Reference model of the pool.
+#[derive(Clone, Debug, PartialEq)]
+struct Model {
+    capacity: u32,
+    current: Option<u32>,
+    blocked: Vec<(u32, u16)>, // (thread, continuation)
+    idle: Vec<u32>,
+}
+
+impl Model {
+    fn new(capacity: u32) -> Self {
+        Model {
+            capacity,
+            current: None,
+            blocked: Vec::new(),
+            idle: (0..capacity).collect(),
+        }
+    }
+}
+
+fn apply(pool: &CoPool<u16>, heap: &mut Heap, model: &mut Model, op: Op) {
+    match op {
+        Op::Activate => {
+            let got = pool.activate(heap);
+            if model.current.is_none() && !model.idle.is_empty() {
+                // The pool picks the lowest idle id (BTreeMap order).
+                model.idle.sort_unstable();
+                let id = model.idle.remove(0);
+                model.current = Some(id);
+                assert_eq!(got, Some(ThreadId(id)));
+            } else {
+                assert_eq!(got, None);
+            }
+        }
+        Op::YieldCurrent(cont) => {
+            if let Some(id) = model.current.take() {
+                pool.yield_blocked(heap, ThreadId(id), cont);
+                model.blocked.push((id, cont));
+            }
+        }
+        Op::ResumeOldestBlocked => {
+            if model.current.is_none() && !model.blocked.is_empty() {
+                let (id, cont) = model.blocked.remove(0);
+                assert_eq!(pool.resume(heap, ThreadId(id)), Some(cont));
+                model.current = Some(id);
+            } else if let Some((id, _)) = model.blocked.first() {
+                // Someone is active: resume must refuse.
+                assert_eq!(pool.resume(heap, ThreadId(*id)), None);
+            }
+        }
+        Op::FinishCurrent => {
+            if let Some(id) = model.current.take() {
+                pool.finish(heap, ThreadId(id));
+                model.idle.push(id);
+            }
+        }
+        Op::FixAfterRestore => {
+            let fixed = pool.fix_after_restore(heap);
+            if let Some(id) = model.current.take() {
+                assert_eq!(fixed, Some(ThreadId(id)));
+                model.idle.push(id);
+            } else {
+                assert_eq!(fixed, None);
+            }
+        }
+    }
+}
+
+fn check_counts(pool: &CoPool<u16>, heap: &Heap, model: &Model) {
+    assert_eq!(pool.count(heap, CoState::Idle), model.idle.len());
+    assert_eq!(pool.count(heap, CoState::Blocked), model.blocked.len());
+    assert_eq!(
+        pool.count(heap, CoState::Active),
+        usize::from(model.current.is_some())
+    );
+    assert_eq!(pool.current(heap), model.current.map(ThreadId));
+    // Conservation: every thread is in exactly one state.
+    assert_eq!(
+        model.idle.len() + model.blocked.len() + usize::from(model.current.is_some()),
+        model.capacity as usize
+    );
+}
+
+proptest! {
+    #[test]
+    fn pool_matches_model(
+        capacity in 1u32..6,
+        ops in proptest::collection::vec(op_strategy(), 0..60),
+    ) {
+        let mut heap = Heap::new("prop");
+        let pool: CoPool<u16> = CoPool::new(&mut heap, capacity);
+        let mut model = Model::new(capacity);
+        for op in ops {
+            apply(&pool, &mut heap, &mut model, op);
+            check_counts(&pool, &heap, &model);
+        }
+    }
+
+    #[test]
+    fn rollback_restores_pool_bookkeeping(
+        capacity in 1u32..6,
+        prefix in proptest::collection::vec(op_strategy(), 0..20),
+        suffix in proptest::collection::vec(op_strategy(), 0..20),
+    ) {
+        let mut heap = Heap::new("prop");
+        let pool: CoPool<u16> = CoPool::new(&mut heap, capacity);
+        let mut model = Model::new(capacity);
+        for op in prefix {
+            apply(&pool, &mut heap, &mut model, op);
+        }
+        heap.set_logging(true);
+        let mark = heap.mark();
+        let saved = model.clone();
+        for op in suffix {
+            apply(&pool, &mut heap, &mut model, op);
+        }
+        heap.rollback_to(mark);
+        check_counts(&pool, &heap, &saved);
+    }
+}

@@ -1,0 +1,609 @@
+//! EDFI-style software fault injection for OSIRIS.
+//!
+//! Reproduces the experimental methodology of paper §VI-B:
+//!
+//! 1. a **profiling run** ([`Recorder`]) executes the workload once and
+//!    records which instrumentation sites (basic-block analogs) are actually
+//!    triggered — boot-time-only and never-reached sites are excluded, as in
+//!    the paper;
+//! 2. a **fault plan** ([`plan_faults`]) derives one fault per appropriate
+//!    site: only fail-stop faults ([`FaultModel::FailStop`], the model OSIRIS
+//!    is designed for) or the full realistic mix ([`FaultModel::FullEdfi`]:
+//!    crashes, hangs, flipped branches, corrupted values — the latter two
+//!    being *fail-silent*);
+//! 3. a **campaign** injects each fault in a separate, fresh run
+//!    ([`Injector`]) and classifies the outcome ([`Outcome`]): *pass*,
+//!    *fail* (workload errors but the system stays up), controlled
+//!    *shutdown*, or uncontrolled *crash*.
+//!
+//! Faults are **persistent**: an armed fault fires every time its site
+//! executes, so recovering and retrying the same request hits it again —
+//! exactly the class of faults OSIRIS' error virtualization (discard, don't
+//! replay) is built to survive.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use osiris_kernel::{FaultEffect, FaultHook, Probe, RunOutcome, ShutdownKind, SiteKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A fully-qualified instrumentation site.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SiteId {
+    /// Component name (`"pm"`, `"vfs"`, …).
+    pub component: String,
+    /// Site label within the component.
+    pub site: String,
+    /// Site kind (block / value / branch).
+    pub kind: SiteKindTag,
+}
+
+/// Serializable mirror of [`SiteKind`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SiteKindTag {
+    /// Basic-block marker.
+    Block,
+    /// Value-producing site.
+    Value,
+    /// Branch-condition site.
+    Branch,
+}
+
+impl From<SiteKind> for SiteKindTag {
+    fn from(k: SiteKind) -> Self {
+        match k {
+            SiteKind::Block => SiteKindTag::Block,
+            SiteKind::Value => SiteKindTag::Value,
+            SiteKind::Branch => SiteKindTag::Branch,
+        }
+    }
+}
+
+/// Execution counts per site, from a profiling run.
+#[derive(Clone, Debug, Default)]
+pub struct SiteProfile {
+    counts: BTreeMap<SiteId, u64>,
+}
+
+impl SiteProfile {
+    /// Sites that were triggered at least once, in deterministic order.
+    pub fn triggered_sites(&self) -> Vec<SiteId> {
+        self.counts.keys().cloned().collect()
+    }
+
+    /// Execution count of a site.
+    pub fn count(&self, id: &SiteId) -> u64 {
+        self.counts.get(id).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct triggered sites.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether no sites were triggered.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Restrict the profile to the given components (e.g. the five core
+    /// servers, excluding drivers).
+    pub fn restrict_to(&self, components: &[&str]) -> SiteProfile {
+        SiteProfile {
+            counts: self
+                .counts
+                .iter()
+                .filter(|(id, _)| components.contains(&id.component.as_str()))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+        }
+    }
+}
+
+/// Fault hook that records site executions (the profiling run).
+///
+/// The shared handle lets the campaign read the profile after the run, since
+/// the hook itself is owned by the kernel.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    shared: Arc<Mutex<SiteProfile>>,
+}
+
+impl fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Recorder").finish()
+    }
+}
+
+impl Recorder {
+    /// Creates a recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of the recorded profile.
+    pub fn profile(&self) -> SiteProfile {
+        self.shared.lock().expect("recorder lock").clone()
+    }
+}
+
+impl FaultHook for Recorder {
+    fn on_site(&mut self, probe: &Probe) -> FaultEffect {
+        let id = SiteId {
+            component: probe.component.to_string(),
+            site: probe.site.to_string(),
+            kind: probe.kind.into(),
+        };
+        *self.shared.lock().expect("recorder lock").counts.entry(id).or_insert(0) += 1;
+        FaultEffect::None
+    }
+}
+
+/// The concrete fault injected at a site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fail-stop crash (NULL-pointer-dereference analog).
+    Crash,
+    /// Component hang (infinite-loop analog), detected by heartbeats.
+    Hang,
+    /// Fail-silent: negated branch condition.
+    BranchFlip,
+    /// Fail-silent: value XORed with the mask.
+    ValueCorrupt(u64),
+}
+
+impl FaultKind {
+    fn effect(self) -> FaultEffect {
+        match self {
+            FaultKind::Crash => FaultEffect::Panic,
+            FaultKind::Hang => FaultEffect::Hang,
+            FaultKind::BranchFlip => FaultEffect::Flip,
+            FaultKind::ValueCorrupt(mask) => FaultEffect::Perturb(mask),
+        }
+    }
+
+    /// Whether this fault violates the fail-stop assumption.
+    pub fn is_fail_silent(self) -> bool {
+        matches!(self, FaultKind::BranchFlip | FaultKind::ValueCorrupt(_))
+    }
+}
+
+/// One planned injection: a single fault, injected in its own run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Where.
+    pub site: SiteId,
+    /// What.
+    pub kind: FaultKind,
+    /// Transient faults fire exactly once; persistent faults fire on every
+    /// execution of the site (the paper's model covers both, §II-E).
+    pub transient: bool,
+}
+
+/// Which fault universe to draw from (paper §VI-B, Tables II vs III).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultModel {
+    /// Only persistent fail-stop crashes — the model OSIRIS is designed
+    /// for.
+    FailStop,
+    /// Fail-stop crashes that fire exactly once (e.g. a race hit under one
+    /// particular schedule). The paper's fault model covers transient
+    /// faults too (§II-E).
+    TransientFailStop,
+    /// The full realistic mix: crashes, hangs, flipped branches, corrupted
+    /// values.
+    FullEdfi,
+}
+
+/// Derives the fault list from a profile: one fault per triggered site
+/// (fail-stop model) or a seeded realistic mix (full model, which also
+/// re-visits value/branch sites with fail-silent faults).
+pub fn plan_faults(profile: &SiteProfile, model: FaultModel, seed: u64) -> Vec<FaultPlan> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut plans = Vec::new();
+    for site in profile.triggered_sites() {
+        match model {
+            FaultModel::FailStop => {
+                plans.push(FaultPlan { site, kind: FaultKind::Crash, transient: false });
+            }
+            FaultModel::TransientFailStop => {
+                plans.push(FaultPlan { site, kind: FaultKind::Crash, transient: true });
+            }
+            FaultModel::FullEdfi => {
+                // Every site gets a primary fault drawn from the realistic
+                // mix; value/branch sites additionally get their
+                // kind-specific fail-silent fault.
+                let primary = match rng.gen_range(0..100u32) {
+                    0..=54 => FaultKind::Crash,
+                    55..=69 => FaultKind::Hang,
+                    70..=84 => FaultKind::BranchFlip,
+                    _ => FaultKind::ValueCorrupt(1 << rng.gen_range(0..16)),
+                };
+                let primary = match (primary, site.kind) {
+                    // Kind-incompatible draws degrade to a crash.
+                    (FaultKind::BranchFlip, k) if k != SiteKindTag::Branch => FaultKind::Crash,
+                    (FaultKind::ValueCorrupt(_), k) if k != SiteKindTag::Value => {
+                        FaultKind::Crash
+                    }
+                    (p, _) => p,
+                };
+                plans.push(FaultPlan { site: site.clone(), kind: primary, transient: false });
+                match site.kind {
+                    SiteKindTag::Branch => plans.push(FaultPlan {
+                        site,
+                        kind: FaultKind::BranchFlip,
+                        transient: false,
+                    }),
+                    SiteKindTag::Value => plans.push(FaultPlan {
+                        site,
+                        kind: FaultKind::ValueCorrupt(1 << rng.gen_range(0..16)),
+                        transient: false,
+                    }),
+                    SiteKindTag::Block => {}
+                }
+            }
+        }
+    }
+    plans
+}
+
+/// Fault hook that arms one fault (persistent or transient).
+#[derive(Clone, Debug)]
+pub struct Injector {
+    component: String,
+    site: String,
+    effect: FaultEffect,
+    transient: bool,
+    fired: bool,
+}
+
+impl Injector {
+    /// Arms `plan`.
+    pub fn new(plan: &FaultPlan) -> Self {
+        Injector {
+            component: plan.site.component.clone(),
+            site: plan.site.site.clone(),
+            effect: plan.kind.effect(),
+            transient: plan.transient,
+            fired: false,
+        }
+    }
+}
+
+impl FaultHook for Injector {
+    fn on_site(&mut self, probe: &Probe) -> FaultEffect {
+        if probe.component == self.component && probe.site == self.site {
+            if self.transient && self.fired {
+                return FaultEffect::None;
+            }
+            self.fired = true;
+            self.effect
+        } else {
+            FaultEffect::None
+        }
+    }
+}
+
+/// Fault hook for the service-disruption experiment (paper §VI-E, Fig. 3):
+/// injects a fail-stop fault into one component at a fixed virtual-time
+/// interval, but **only while its recovery window is open**, so every crash
+/// is consistently recoverable and the benchmark can run to completion.
+#[derive(Clone, Debug)]
+pub struct PeriodicCrash {
+    component: String,
+    interval: u64,
+    next_at: u64,
+    /// Crashes injected so far.
+    pub injected: u64,
+}
+
+impl PeriodicCrash {
+    /// Crashes `component` every `interval` cycles (first crash after one
+    /// full interval).
+    pub fn new(component: &str, interval: u64) -> Self {
+        PeriodicCrash {
+            component: component.to_string(),
+            interval,
+            next_at: interval,
+            injected: 0,
+        }
+    }
+}
+
+impl FaultHook for PeriodicCrash {
+    fn on_site(&mut self, probe: &Probe) -> FaultEffect {
+        if probe.component == self.component
+            && probe.window_open
+            && probe.replyable
+            && probe.now >= self.next_at
+        {
+            self.next_at = probe.now + self.interval;
+            self.injected += 1;
+            FaultEffect::Panic
+        } else {
+            FaultEffect::None
+        }
+    }
+}
+
+/// Classification of one injected run (Tables II/III columns).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// Workload completed and every test passed.
+    Pass,
+    /// Workload completed, system stable, but one or more tests failed.
+    Fail,
+    /// The system performed a controlled shutdown.
+    Shutdown,
+    /// Uncontrolled crash, hang, or post-run inconsistency.
+    Crash,
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Outcome::Pass => "pass",
+            Outcome::Fail => "fail",
+            Outcome::Shutdown => "shutdown",
+            Outcome::Crash => "crash",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Classifies a run: `audit_violations` is the number of cross-component
+/// consistency violations detected after the run (a stable-looking but
+/// corrupted system counts as a crash).
+pub fn classify(outcome: &RunOutcome, audit_violations: usize) -> Outcome {
+    match outcome {
+        RunOutcome::Completed { init_code, .. } => {
+            if audit_violations > 0 {
+                Outcome::Crash
+            } else if *init_code == 0 {
+                Outcome::Pass
+            } else {
+                Outcome::Fail
+            }
+        }
+        RunOutcome::Shutdown(ShutdownKind::Controlled(_)) => Outcome::Shutdown,
+        RunOutcome::Shutdown(ShutdownKind::Crash(_)) => Outcome::Crash,
+        RunOutcome::Hang(_) => Outcome::Crash,
+    }
+}
+
+/// Aggregated campaign results.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Tally {
+    /// Runs classified `Pass`.
+    pub pass: usize,
+    /// Runs classified `Fail`.
+    pub fail: usize,
+    /// Runs classified `Shutdown`.
+    pub shutdown: usize,
+    /// Runs classified `Crash`.
+    pub crash: usize,
+}
+
+impl Tally {
+    /// Adds one outcome.
+    pub fn add(&mut self, o: Outcome) {
+        match o {
+            Outcome::Pass => self.pass += 1,
+            Outcome::Fail => self.fail += 1,
+            Outcome::Shutdown => self.shutdown += 1,
+            Outcome::Crash => self.crash += 1,
+        }
+    }
+
+    /// Total runs.
+    pub fn total(&self) -> usize {
+        self.pass + self.fail + self.shutdown + self.crash
+    }
+
+    /// Percentage of runs with the given count.
+    pub fn pct(&self, n: usize) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            100.0 * n as f64 / self.total() as f64
+        }
+    }
+
+    /// Fraction of runs that kept the system alive (pass + fail).
+    pub fn survivability(&self) -> f64 {
+        self.pct(self.pass + self.fail)
+    }
+}
+
+impl FromIterator<Outcome> for Tally {
+    fn from_iter<I: IntoIterator<Item = Outcome>>(iter: I) -> Self {
+        let mut t = Tally::default();
+        for o in iter {
+            t.add(o);
+        }
+        t
+    }
+}
+
+/// Runs `f` over `jobs` on `threads` worker threads, preserving input order
+/// in the output. Each job is independent (a fresh simulator instance), so
+/// campaigns parallelize trivially.
+pub fn run_parallel<J, T, F>(jobs: Vec<J>, threads: usize, f: F) -> Vec<T>
+where
+    J: Send,
+    T: Send,
+    F: Fn(J) -> T + Sync,
+{
+    let threads = threads.max(1);
+    let n = jobs.len();
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let jobs: Vec<(usize, J)> = jobs.into_iter().enumerate().collect();
+    let queue = Mutex::new(jobs);
+    let f = &f;
+    let out = Mutex::new(&mut results);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let job = queue.lock().expect("queue lock").pop();
+                let Some((idx, job)) = job else { break };
+                let r = f(job);
+                out.lock().expect("out lock")[idx] = Some(r);
+            });
+        }
+    });
+    results.into_iter().map(|r| r.expect("every job completed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_injector_fires_once() {
+        let plan = FaultPlan {
+            site: SiteId {
+                component: "pm".into(),
+                site: "t".into(),
+                kind: SiteKindTag::Block,
+            },
+            kind: FaultKind::Crash,
+            transient: true,
+        };
+        let mut inj = Injector::new(&plan);
+        let p = Probe {
+            component: "pm",
+            site: "t",
+            kind: SiteKind::Block,
+            now: 0,
+            window_open: true,
+            replyable: true,
+        };
+        assert_eq!(inj.on_site(&p), FaultEffect::Panic);
+        assert_eq!(inj.on_site(&p), FaultEffect::None);
+    }
+
+    fn profile_with(sites: &[(&str, &str, SiteKindTag)]) -> SiteProfile {
+        let mut p = SiteProfile::default();
+        for (c, s, k) in sites {
+            p.counts.insert(
+                SiteId { component: c.to_string(), site: s.to_string(), kind: *k },
+                1,
+            );
+        }
+        p
+    }
+
+    #[test]
+    fn fail_stop_plan_is_one_crash_per_site() {
+        let p = profile_with(&[
+            ("pm", "a", SiteKindTag::Block),
+            ("vm", "b", SiteKindTag::Value),
+        ]);
+        let plans = plan_faults(&p, FaultModel::FailStop, 1);
+        assert_eq!(plans.len(), 2);
+        assert!(plans.iter().all(|f| f.kind == FaultKind::Crash));
+    }
+
+    #[test]
+    fn full_edfi_plan_is_deterministic_and_larger() {
+        let p = profile_with(&[
+            ("pm", "a", SiteKindTag::Block),
+            ("pm", "br", SiteKindTag::Branch),
+            ("vm", "v", SiteKindTag::Value),
+        ]);
+        let a = plan_faults(&p, FaultModel::FullEdfi, 42);
+        let b = plan_faults(&p, FaultModel::FullEdfi, 42);
+        assert_eq!(a, b, "same seed, same plan");
+        assert!(a.len() > 3, "fail-silent variants add plans");
+        assert!(a.iter().any(|f| f.kind.is_fail_silent()));
+    }
+
+    fn probe(c: &'static str, s: &'static str, k: SiteKind) -> Probe {
+        Probe { component: c, site: s, kind: k, now: 0, window_open: true, replyable: true }
+    }
+
+    #[test]
+    fn recorder_counts_sites() {
+        let mut r = Recorder::new();
+        r.on_site(&probe("pm", "x", SiteKind::Block));
+        r.on_site(&probe("pm", "x", SiteKind::Block));
+        r.on_site(&probe("vm", "y", SiteKind::Value));
+        let p = r.profile();
+        assert_eq!(p.len(), 2);
+        let id = SiteId {
+            component: "pm".into(),
+            site: "x".into(),
+            kind: SiteKindTag::Block,
+        };
+        assert_eq!(p.count(&id), 2);
+    }
+
+    #[test]
+    fn restrict_filters_components() {
+        let p = profile_with(&[
+            ("pm", "a", SiteKindTag::Block),
+            ("disk", "d", SiteKindTag::Block),
+        ]);
+        let q = p.restrict_to(&["pm", "vm", "vfs", "ds", "rs"]);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn injector_fires_only_at_its_site_every_time() {
+        let plan = FaultPlan {
+            site: SiteId {
+                component: "pm".into(),
+                site: "x".into(),
+                kind: SiteKindTag::Block,
+            },
+            kind: FaultKind::Crash,
+            transient: false,
+        };
+        let mut inj = Injector::new(&plan);
+        assert_eq!(inj.on_site(&probe("pm", "x", SiteKind::Block)), FaultEffect::Panic);
+        assert_eq!(inj.on_site(&probe("pm", "x", SiteKind::Block)), FaultEffect::Panic);
+        assert_eq!(inj.on_site(&probe("pm", "y", SiteKind::Block)), FaultEffect::None);
+        assert_eq!(inj.on_site(&probe("vm", "x", SiteKind::Block)), FaultEffect::None);
+    }
+
+    #[test]
+    fn classification_matrix() {
+        use osiris_kernel::RunOutcome as RO;
+        let done =
+            RO::Completed { init_code: 0, exit_codes: Default::default() };
+        assert_eq!(classify(&done, 0), Outcome::Pass);
+        assert_eq!(classify(&done, 2), Outcome::Crash);
+        let failed = RO::Completed { init_code: 3, exit_codes: Default::default() };
+        assert_eq!(classify(&failed, 0), Outcome::Fail);
+        assert_eq!(
+            classify(&RO::Shutdown(ShutdownKind::Controlled("x".into())), 0),
+            Outcome::Shutdown
+        );
+        assert_eq!(
+            classify(&RO::Shutdown(ShutdownKind::Crash("x".into())), 0),
+            Outcome::Crash
+        );
+        assert_eq!(classify(&RO::Hang("h".into()), 0), Outcome::Crash);
+    }
+
+    #[test]
+    fn tally_percentages_and_survivability() {
+        let t: Tally = [Outcome::Pass, Outcome::Pass, Outcome::Fail, Outcome::Crash]
+            .into_iter()
+            .collect();
+        assert_eq!(t.total(), 4);
+        assert_eq!(t.pct(t.pass), 50.0);
+        assert_eq!(t.survivability(), 75.0);
+    }
+
+    #[test]
+    fn run_parallel_preserves_order() {
+        let jobs: Vec<u32> = (0..50).collect();
+        let out = run_parallel(jobs, 8, |j| j * 2);
+        assert_eq!(out, (0..50).map(|j| j * 2).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,442 @@
+//! The user-visible system-call ABI.
+//!
+//! Both the compartmentalized OSIRIS OS (`osiris-servers`) and the monolithic
+//! baseline (`osiris-monolith`) implement exactly this surface, so workloads
+//! run unmodified against either — the Table IV comparison isolates the
+//! architectural difference, not the API.
+
+use std::fmt;
+
+/// Process identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(pub u32);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+impl Pid {
+    /// The init process.
+    pub const INIT: Pid = Pid(1);
+}
+
+/// File descriptor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fd(pub u32);
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fd{}", self.0)
+    }
+}
+
+/// POSIX-flavoured error numbers, plus OSIRIS' `E_CRASH`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Errno {
+    /// Operation not permitted.
+    EPERM,
+    /// No such file or directory.
+    ENOENT,
+    /// No such process.
+    ESRCH,
+    /// I/O error.
+    EIO,
+    /// Bad file descriptor.
+    EBADF,
+    /// No child processes.
+    ECHILD,
+    /// Resource temporarily unavailable.
+    EAGAIN,
+    /// Out of memory.
+    ENOMEM,
+    /// File or resource busy.
+    EBUSY,
+    /// File exists.
+    EEXIST,
+    /// Not a directory.
+    ENOTDIR,
+    /// Is a directory.
+    EISDIR,
+    /// Invalid argument.
+    EINVAL,
+    /// Too many open files.
+    EMFILE,
+    /// No space left on device.
+    ENOSPC,
+    /// Broken pipe.
+    EPIPE,
+    /// Function not implemented.
+    ENOSYS,
+    /// Key not found in the data store.
+    ENOKEY,
+    /// The servicing OS component crashed and was recovered; the request was
+    /// discarded (error virtualization, paper §IV-C). Callers handle this
+    /// like any other failure.
+    ECRASH,
+    /// The process was killed while the call was in progress.
+    EKILLED,
+    /// The system is shutting down.
+    ESHUTDOWN,
+}
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self)
+    }
+}
+
+impl std::error::Error for Errno {}
+
+/// Flags for [`Syscall::Open`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct OpenFlags {
+    /// Open for reading.
+    pub read: bool,
+    /// Open for writing.
+    pub write: bool,
+    /// Create the file if it does not exist.
+    pub create: bool,
+    /// Truncate to zero length on open.
+    pub truncate: bool,
+    /// Position writes at end of file.
+    pub append: bool,
+}
+
+impl OpenFlags {
+    /// Read-only open.
+    pub const RDONLY: OpenFlags =
+        OpenFlags { read: true, write: false, create: false, truncate: false, append: false };
+    /// Write-only, create + truncate (like `O_WRONLY|O_CREAT|O_TRUNC`).
+    pub const CREATE: OpenFlags =
+        OpenFlags { read: false, write: true, create: true, truncate: true, append: false };
+    /// Read-write, create if absent.
+    pub const RDWR_CREATE: OpenFlags =
+        OpenFlags { read: true, write: true, create: true, truncate: false, append: false };
+    /// Write-only append, create if absent.
+    pub const APPEND: OpenFlags =
+        OpenFlags { read: false, write: true, create: true, truncate: false, append: true };
+}
+
+/// Seek origin for [`Syscall::Seek`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SeekFrom {
+    /// Absolute offset.
+    Start(u64),
+    /// Relative to current position.
+    Current(i64),
+    /// Relative to end of file.
+    End(i64),
+}
+
+/// Signal numbers (a small, MINIX-flavoured subset).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Signal {
+    /// Termination request; default action kills the process.
+    SigTerm,
+    /// Kill (cannot be masked).
+    SigKill,
+    /// User-defined signal 1 (maskable, recordable).
+    SigUsr1,
+    /// User-defined signal 2 (maskable, recordable).
+    SigUsr2,
+}
+
+/// Metadata returned by [`Syscall::Stat`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FileStat {
+    /// File size in bytes (0 for directories).
+    pub size: u64,
+    /// Whether the path names a directory.
+    pub is_dir: bool,
+    /// Link count (for files: 1; directories: entries + 2, loosely).
+    pub nlink: u32,
+}
+
+/// One system call, as submitted by a user process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Syscall {
+    // --- Process management (PM) ---
+    /// Create a new process running the registered program `prog`.
+    /// A combined fork+exec, which is how workload programs spawn children.
+    Spawn {
+        /// Registered program name.
+        prog: String,
+        /// Program arguments.
+        args: Vec<String>,
+    },
+    /// Duplicate the calling process; the child runs a closure provided to
+    /// the host (see `Sys::fork_run`).
+    Fork,
+    /// Replace the calling process image with program `prog`.
+    Exec {
+        /// Registered program name.
+        prog: String,
+        /// Program arguments.
+        args: Vec<String>,
+    },
+    /// Terminate the calling process with `code`. One-way: no reply.
+    Exit {
+        /// Exit status.
+        code: i32,
+    },
+    /// Wait for the given child to exit (blocks).
+    WaitPid {
+        /// Child process id.
+        pid: Pid,
+    },
+    /// Wait for any child to exit (blocks).
+    WaitAny,
+    /// Send `sig` to process `pid`.
+    Kill {
+        /// Target process.
+        pid: Pid,
+        /// Signal to deliver.
+        sig: Signal,
+    },
+    /// Get the caller's process id.
+    GetPid,
+    /// Get the caller's parent process id.
+    GetPPid,
+    /// Set the caller's signal mask for `sig`.
+    SigMask {
+        /// Signal to (un)mask.
+        sig: Signal,
+        /// Whether the signal becomes masked.
+        masked: bool,
+    },
+    /// Fetch and clear the caller's pending-signal set.
+    SigPending,
+    /// Block for `ticks` of virtual time.
+    Sleep {
+        /// Duration in virtual ticks.
+        ticks: u64,
+    },
+    // --- Virtual memory (VM) ---
+    /// Grow (or shrink, if negative) the caller's data segment by `pages`.
+    Brk {
+        /// Signed page delta.
+        pages: i64,
+    },
+    /// Map `pages` fresh pages; returns a mapping id.
+    Mmap {
+        /// Number of pages.
+        pages: u64,
+    },
+    /// Unmap a mapping returned by `Mmap`.
+    Munmap {
+        /// Mapping id.
+        id: u64,
+    },
+    /// Query the caller's resident page count.
+    VmStat,
+    // --- File system (VFS) ---
+    /// Open `path` with `flags`; returns an [`Fd`].
+    Open {
+        /// Absolute path.
+        path: String,
+        /// Open mode.
+        flags: OpenFlags,
+    },
+    /// Close an open descriptor.
+    Close {
+        /// Descriptor to close.
+        fd: Fd,
+    },
+    /// Read up to `len` bytes from `fd`. Blocks on an empty pipe.
+    Read {
+        /// Source descriptor.
+        fd: Fd,
+        /// Maximum bytes to read.
+        len: u32,
+    },
+    /// Write `bytes` to `fd`.
+    Write {
+        /// Destination descriptor.
+        fd: Fd,
+        /// Payload.
+        bytes: Vec<u8>,
+    },
+    /// Reposition the file offset of `fd`.
+    Seek {
+        /// Descriptor.
+        fd: Fd,
+        /// Target position.
+        from: SeekFrom,
+    },
+    /// Remove the file at `path`.
+    Unlink {
+        /// Absolute path.
+        path: String,
+    },
+    /// Create a directory at `path`.
+    Mkdir {
+        /// Absolute path.
+        path: String,
+    },
+    /// List the entries of the directory at `path`.
+    ReadDir {
+        /// Absolute path.
+        path: String,
+    },
+    /// Stat the file or directory at `path`.
+    Stat {
+        /// Absolute path.
+        path: String,
+    },
+    /// Rename a file.
+    Rename {
+        /// Existing path.
+        from: String,
+        /// New path.
+        to: String,
+    },
+    /// Create a pipe; returns `(read_fd, write_fd)`.
+    Pipe,
+    /// Duplicate a descriptor.
+    Dup {
+        /// Descriptor to duplicate.
+        fd: Fd,
+    },
+    /// Flush a file's cached blocks to the disk driver.
+    Fsync {
+        /// Descriptor to flush.
+        fd: Fd,
+    },
+    // --- Data store (DS) ---
+    /// Store `value` under `key`.
+    DsPut {
+        /// Key.
+        key: String,
+        /// Value bytes.
+        value: Vec<u8>,
+    },
+    /// Retrieve the value under `key`.
+    DsGet {
+        /// Key.
+        key: String,
+    },
+    /// Delete `key`.
+    DsDel {
+        /// Key.
+        key: String,
+    },
+    /// List all keys with the given prefix.
+    DsList {
+        /// Key prefix ("" for all).
+        prefix: String,
+    },
+}
+
+impl Syscall {
+    /// Short name for profiling and fault-site attribution.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Syscall::Spawn { .. } => "spawn",
+            Syscall::Fork => "fork",
+            Syscall::Exec { .. } => "exec",
+            Syscall::Exit { .. } => "exit",
+            Syscall::WaitPid { .. } => "waitpid",
+            Syscall::WaitAny => "waitany",
+            Syscall::Kill { .. } => "kill",
+            Syscall::GetPid => "getpid",
+            Syscall::GetPPid => "getppid",
+            Syscall::SigMask { .. } => "sigmask",
+            Syscall::SigPending => "sigpending",
+            Syscall::Sleep { .. } => "sleep",
+            Syscall::Brk { .. } => "brk",
+            Syscall::Mmap { .. } => "mmap",
+            Syscall::Munmap { .. } => "munmap",
+            Syscall::VmStat => "vmstat",
+            Syscall::Open { .. } => "open",
+            Syscall::Close { .. } => "close",
+            Syscall::Read { .. } => "read",
+            Syscall::Write { .. } => "write",
+            Syscall::Seek { .. } => "seek",
+            Syscall::Unlink { .. } => "unlink",
+            Syscall::Mkdir { .. } => "mkdir",
+            Syscall::ReadDir { .. } => "readdir",
+            Syscall::Stat { .. } => "stat",
+            Syscall::Rename { .. } => "rename",
+            Syscall::Pipe => "pipe",
+            Syscall::Dup { .. } => "dup",
+            Syscall::Fsync { .. } => "fsync",
+            Syscall::DsPut { .. } => "ds_put",
+            Syscall::DsGet { .. } => "ds_get",
+            Syscall::DsDel { .. } => "ds_del",
+            Syscall::DsList { .. } => "ds_list",
+        }
+    }
+}
+
+/// Reply to a [`Syscall`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SysReply {
+    /// Success with no payload.
+    Ok,
+    /// Success with an integer.
+    Val(i64),
+    /// A process id (spawn/fork/getpid…).
+    Proc(Pid),
+    /// A descriptor (open/dup).
+    Desc(Fd),
+    /// Two descriptors (pipe: read end, write end).
+    TwoDesc(Fd, Fd),
+    /// Bytes (read / ds_get).
+    Data(Vec<u8>),
+    /// Directory entries or key list.
+    Names(Vec<String>),
+    /// Stat result.
+    StatInfo(FileStat),
+    /// A child exited with this status (waitpid).
+    Exited(Pid, i32),
+    /// Pending signals (sigpending).
+    Signals(Vec<Signal>),
+    /// Failure.
+    Err(Errno),
+}
+
+impl SysReply {
+    /// Converts the reply into a `Result`, mapping `Err` variants.
+    pub fn into_result(self) -> Result<SysReply, Errno> {
+        match self {
+            SysReply::Err(e) => Err(e),
+            other => Ok(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errno_display_and_error_trait() {
+        let e: Box<dyn std::error::Error> = Box::new(Errno::ECRASH);
+        assert_eq!(e.to_string(), "ECRASH");
+    }
+
+    #[test]
+    fn reply_into_result() {
+        assert_eq!(SysReply::Ok.into_result(), Ok(SysReply::Ok));
+        assert_eq!(SysReply::Err(Errno::ENOENT).into_result(), Err(Errno::ENOENT));
+    }
+
+    #[test]
+    fn syscall_names_are_stable() {
+        assert_eq!(Syscall::GetPid.name(), "getpid");
+        assert_eq!(Syscall::Pipe.name(), "pipe");
+        assert_eq!(
+            Syscall::Open { path: "/x".into(), flags: OpenFlags::RDONLY }.name(),
+            "open"
+        );
+    }
+
+    #[test]
+    fn open_flag_presets() {
+        assert!(OpenFlags::RDONLY.read && !OpenFlags::RDONLY.write);
+        assert!(OpenFlags::CREATE.create && OpenFlags::CREATE.truncate);
+        assert!(OpenFlags::APPEND.append);
+    }
+}

@@ -1,0 +1,396 @@
+//! The event-driven component model: the [`Server`] trait, the handler
+//! context [`Ctx`], and fault-injection probes.
+//!
+//! OSIRIS components follow the event-driven programming model of paper
+//! §IV-A: after initialization they sit in a request-processing loop,
+//! receiving one message at a time. Here the kernel *is* that loop: it opens
+//! the component's recovery window, invokes [`Server::handle`] for the
+//! received message, and completes the window when the handler returns.
+//! Handlers never block — multi-step interactions store continuations in the
+//! component's checkpointed heap and resume when the async reply arrives.
+
+use std::fmt;
+
+use osiris_checkpoint::Heap;
+use osiris_core::{MessageKind, RecoveryPolicy, RecoveryWindow};
+
+use crate::clock::CostModel;
+use crate::message::{Endpoint, Message, MsgId, Protocol, ReturnPath};
+
+/// What kind of instrumentation site a probe marks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SiteKind {
+    /// A plain basic-block marker.
+    Block,
+    /// A site producing a value that a fault may perturb.
+    Value,
+    /// A site evaluating a branch condition that a fault may flip.
+    Branch,
+}
+
+/// The effect an armed fault has at a probe site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultEffect {
+    /// No fault fires here.
+    None,
+    /// Fail-stop: the component crashes immediately (e.g. a NULL-pointer
+    /// dereference).
+    Panic,
+    /// The component hangs; detectable only via heartbeats.
+    Hang,
+    /// Fail-silent: the branch condition is negated.
+    Flip,
+    /// Fail-silent: the value is XORed with the given mask.
+    Perturb(u64),
+}
+
+/// Everything a fault hook can observe about the executing site.
+#[derive(Clone, Copy, Debug)]
+pub struct Probe {
+    /// Component executing the site.
+    pub component: &'static str,
+    /// Site label.
+    pub site: &'static str,
+    /// Site kind.
+    pub kind: SiteKind,
+    /// Current virtual time.
+    pub now: u64,
+    /// Whether the component's recovery window is open (used by the
+    /// service-disruption experiment, which injects only inside windows).
+    pub window_open: bool,
+    /// Whether the message being processed is a request that can still be
+    /// error-replied — together with `window_open` this means a crash here
+    /// is consistently recoverable.
+    pub replyable: bool,
+}
+
+/// Hook consulted at every instrumentation site. The fault-injection crate
+/// implements this; a no-op implementation is used in production runs.
+pub trait FaultHook: Send {
+    /// Called at each executed site; returns the effect to apply.
+    fn on_site(&mut self, probe: &Probe) -> FaultEffect;
+}
+
+/// The default hook: never injects anything.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoFaults;
+
+impl FaultHook for NoFaults {
+    fn on_site(&mut self, _probe: &Probe) -> FaultEffect {
+        FaultEffect::None
+    }
+}
+
+/// Panic payload identifying an injected fail-stop fault.
+#[derive(Clone, Debug)]
+pub struct InjectedCrash {
+    /// The site where the fault fired.
+    pub site: &'static str,
+}
+
+/// Panic payload identifying an injected hang.
+#[derive(Clone, Debug)]
+pub struct InjectedHang {
+    /// The site where the fault fired.
+    pub site: &'static str,
+}
+
+/// A privileged operation requested by the Recovery Server.
+#[derive(Clone, Debug)]
+pub enum PrivOp {
+    /// Execute the recovery of a crashed or hung component under the active
+    /// policy.
+    Recover {
+        /// Endpoint index of the component to recover.
+        target: u8,
+    },
+    /// Declare a hung component dead (heartbeat timeout) and recover it.
+    KillHung {
+        /// Endpoint index of the hung component.
+        target: u8,
+    },
+    /// Stop the whole system in a controlled fashion.
+    ControlledShutdown {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+/// An event-driven OS component (server or driver).
+///
+/// Implementations keep *all* recoverable state in the heap provided at
+/// `init` time, accessed through persistent-container handles stored in
+/// `self`. The struct itself must be pure configuration + handles: after a
+/// crash the kernel replaces it with a clone of the pristine post-`init`
+/// value ([`Server::clone_box`]), re-bound to the rolled-back heap.
+pub trait Server<P: Protocol>: Send {
+    /// Component name (stable; used in tables and fault-site attribution).
+    fn name(&self) -> &'static str;
+
+    /// One-time initialization: allocate heap state, set recurring timers.
+    /// Runs outside any recovery window.
+    fn init(&mut self, ctx: &mut Ctx<'_, P>);
+
+    /// Handles one incoming message. Called with the recovery window already
+    /// opened (or the request marked unprotected, for non-checkpointing
+    /// policies). Must not block: long interactions save continuations in
+    /// the heap and resume on the async reply.
+    fn handle(&mut self, msg: &Message<P>, ctx: &mut Ctx<'_, P>);
+
+    /// Post-recovery fixup, e.g. the cooperative-thread repair of §IV-E.
+    /// Runs after the heap has been rolled back / restored.
+    fn on_restore(&mut self, _heap: &mut Heap) {}
+
+    /// Exports facts for cross-component consistency audits, as
+    /// `(fact-name, value)` pairs (e.g. `("proc", pid)` for every live
+    /// process). The OS assembly cross-checks facts between components.
+    fn audit_facts(&self, _heap: &Heap) -> Vec<(String, u64)> {
+        Vec::new()
+    }
+
+    /// Clones the pristine server value (handles + configuration).
+    fn clone_box(&self) -> Box<dyn Server<P>>;
+}
+
+/// Everything a handler may do, bundled: heap access, message sends (SEEP
+/// checked against the active policy), timers, cost accounting and
+/// fault-injection probes.
+pub struct Ctx<'a, P: Protocol> {
+    pub(crate) comp_name: &'static str,
+    pub(crate) self_ep: Endpoint,
+    pub(crate) heap: &'a mut Heap,
+    pub(crate) window: &'a mut RecoveryWindow,
+    pub(crate) policy: &'a dyn RecoveryPolicy,
+    pub(crate) hook: &'a mut dyn FaultHook,
+    pub(crate) cost: &'a CostModel,
+    pub(crate) now: u64,
+    pub(crate) cycles: u64,
+    pub(crate) out: Vec<Message<P>>,
+    pub(crate) timers: Vec<(u64, P)>,
+    pub(crate) priv_ops: Vec<PrivOp>,
+    pub(crate) privileged: bool,
+    pub(crate) next_msg_id: &'a mut u64,
+    pub(crate) replied: Vec<MsgId>,
+    pub(crate) cur_replyable: bool,
+}
+
+impl<P: Protocol> fmt::Debug for Ctx<'_, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ctx")
+            .field("component", &self.comp_name)
+            .field("now", &self.now)
+            .field("cycles", &self.cycles)
+            .finish()
+    }
+}
+
+impl<'a, P: Protocol> Ctx<'a, P> {
+    /// The component's own endpoint.
+    pub fn self_endpoint(&self) -> Endpoint {
+        self.self_ep
+    }
+
+    /// Current virtual time (at handler entry).
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Mutable access to the component's checkpointed heap.
+    pub fn heap(&mut self) -> &mut Heap {
+        self.heap
+    }
+
+    /// Shared access to the component's heap.
+    pub fn heap_ref(&self) -> &Heap {
+        self.heap
+    }
+
+    /// Charges `cycles` of computation, attributed to the recovery-window
+    /// state for the coverage metric.
+    pub fn charge(&mut self, cycles: u64) {
+        self.cycles += cycles;
+        self.window.charge(cycles);
+    }
+
+    fn alloc_msg_id(&mut self) -> MsgId {
+        *self.next_msg_id += 1;
+        MsgId(*self.next_msg_id)
+    }
+
+    fn push_send(&mut self, msg: Message<P>) {
+        // Every outbound message passes through a SEEP: consult the policy
+        // and close the recovery window on the first disallowed send.
+        let meta = msg.seep;
+        self.window.on_send(self.policy, &meta, self.heap);
+        self.charge(self.cost.ipc_send);
+        self.out.push(msg);
+    }
+
+    /// Sends a request to another component; returns the message id to
+    /// correlate the eventual reply (store it in a continuation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload's SEEP metadata is not of request kind.
+    pub fn send_request(&mut self, dst: Endpoint, payload: P) -> MsgId {
+        let seep = payload.seep();
+        assert_eq!(seep.kind, MessageKind::Request, "send_request with non-request payload");
+        let id = self.alloc_msg_id();
+        self.push_send(Message {
+            id,
+            src: self.self_ep,
+            dst,
+            reply_to: None,
+            user_tag: None,
+            seep,
+            payload,
+        });
+        id
+    }
+
+    /// Sends a one-way notification.
+    pub fn notify(&mut self, dst: Endpoint, payload: P) {
+        let seep = payload.seep();
+        let id = self.alloc_msg_id();
+        self.push_send(Message {
+            id,
+            src: self.self_ep,
+            dst,
+            reply_to: None,
+            user_tag: None,
+            seep,
+            payload,
+        });
+    }
+
+    /// Replies to the request identified by `rp` (obtained from
+    /// [`Message::return_path`], possibly stored in a continuation).
+    pub fn reply(&mut self, rp: ReturnPath, payload: P) {
+        let seep = payload.seep();
+        let id = self.alloc_msg_id();
+        self.replied.push(rp.msg_id);
+        self.push_send(Message {
+            id,
+            src: self.self_ep,
+            dst: rp.ep,
+            reply_to: Some(rp.msg_id),
+            user_tag: rp.user_tag,
+            seep,
+            payload,
+        });
+    }
+
+    /// Schedules `payload` to be delivered to this component as a kernel
+    /// notification after `delay` cycles.
+    pub fn set_timer(&mut self, delay: u64, payload: P) {
+        self.timers.push((delay, payload));
+    }
+
+    /// Executes one instrumentation site (basic-block analog): charges the
+    /// site cost, ticks coverage counters and consults the fault hook.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with an [`InjectedCrash`] / [`InjectedHang`] payload) when an
+    /// armed fail-stop or hang fault fires here — this is the injected
+    /// fault, unwound and handled by the kernel.
+    pub fn site(&mut self, site: &'static str) {
+        self.charge(self.cost.site);
+        self.window.tick_site();
+        let probe = self.probe(site, SiteKind::Block);
+        match self.hook.on_site(&probe) {
+            FaultEffect::Panic => std::panic::panic_any(InjectedCrash { site }),
+            FaultEffect::Hang => std::panic::panic_any(InjectedHang { site }),
+            _ => {}
+        }
+    }
+
+    fn probe(&self, site: &'static str, kind: SiteKind) -> Probe {
+        Probe {
+            component: self.comp_name,
+            site,
+            kind,
+            now: self.now + self.cycles,
+            window_open: self.window.is_open(),
+            replyable: self.cur_replyable && self.replied.is_empty(),
+        }
+    }
+
+    /// A value-producing site: like [`Ctx::site`], but an armed fail-silent
+    /// fault may perturb the returned value.
+    pub fn site_val(&mut self, site: &'static str, value: u64) -> u64 {
+        self.charge(self.cost.site);
+        self.window.tick_site();
+        let probe = self.probe(site, SiteKind::Value);
+        match self.hook.on_site(&probe) {
+            FaultEffect::Panic => std::panic::panic_any(InjectedCrash { site }),
+            FaultEffect::Hang => std::panic::panic_any(InjectedHang { site }),
+            FaultEffect::Perturb(mask) => value ^ mask,
+            _ => value,
+        }
+    }
+
+    /// A branch site: like [`Ctx::site`], but an armed fail-silent fault may
+    /// flip the condition.
+    pub fn site_branch(&mut self, site: &'static str, cond: bool) -> bool {
+        self.charge(self.cost.site);
+        self.window.tick_site();
+        let probe = self.probe(site, SiteKind::Branch);
+        match self.hook.on_site(&probe) {
+            FaultEffect::Panic => std::panic::panic_any(InjectedCrash { site }),
+            FaultEffect::Hang => std::panic::panic_any(InjectedHang { site }),
+            FaultEffect::Flip => !cond,
+            _ => cond,
+        }
+    }
+
+    /// Whether the recovery window is currently open.
+    pub fn window_open(&self) -> bool {
+        self.window.is_open()
+    }
+
+    /// Forcibly closes the recovery window because a cooperative thread is
+    /// about to yield (paper §IV-E): once the thread parks, interleaved work
+    /// makes rollback to this request's checkpoint unsafe.
+    pub fn yield_window(&mut self) {
+        self.window.close(self.heap, osiris_core::CloseReason::ThreadYield);
+    }
+
+    /// Requests recovery of `target` (Recovery Server only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling component is not privileged.
+    pub fn recover(&mut self, target: u8) {
+        assert!(self.privileged, "recover() requires a privileged component");
+        self.priv_ops.push(PrivOp::Recover { target });
+    }
+
+    /// Declares a hung component dead and recovers it (Recovery Server
+    /// only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling component is not privileged.
+    pub fn kill_hung(&mut self, target: u8) {
+        assert!(self.privileged, "kill_hung() requires a privileged component");
+        self.priv_ops.push(PrivOp::KillHung { target });
+    }
+
+    /// Requests a controlled shutdown of the whole system (Recovery Server
+    /// only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling component is not privileged.
+    pub fn controlled_shutdown(&mut self, reason: &'static str) {
+        assert!(self.privileged, "controlled_shutdown() requires a privileged component");
+        self.priv_ops.push(PrivOp::ControlledShutdown { reason });
+    }
+
+    /// Whether this message already received a reply during this handler
+    /// invocation (used by the kernel's crash handling).
+    pub(crate) fn has_replied_to(&self, id: MsgId) -> bool {
+        self.replied.contains(&id)
+    }
+}

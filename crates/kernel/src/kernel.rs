@@ -1,0 +1,861 @@
+//! The microkernel: message passing, scheduling, crash detection and the
+//! mechanics of recovery.
+//!
+//! This is the trusted substrate at the bottom of the Reliable Computing
+//! Base (paper §V-A item 5). It delivers messages between fault-isolated
+//! components, opens and completes recovery windows around handler
+//! invocations, catches component crashes (panics), notifies the Recovery
+//! Server, and executes the restart / rollback / reconciliation phases the
+//! RS decides on (paper §IV-C).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use osiris_checkpoint::{Heap, HeapImage};
+use osiris_core::{
+    decide_recovery, CrashContext, MessageKind, RecoveryAction, RecoveryPolicy, RecoveryWindow,
+};
+
+use crate::abi::{Errno, Pid, SysReply};
+use crate::clock::{CostModel, VirtualClock};
+use crate::component::{Ctx, FaultHook, InjectedHang, NoFaults, PrivOp, Server};
+use crate::message::{Endpoint, Message, MsgId, Protocol, SyscallId};
+use crate::metrics::{ComponentReport, KernelMetrics, ShutdownKind};
+
+/// Whether (and how) checkpointing instrumentation is active.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Instrumentation {
+    /// No write logging at all: the uninstrumented baseline.
+    Off,
+    /// Logging only while a recovery window is open — the paper's
+    /// function-cloning optimization (default).
+    WindowGated,
+    /// Logging unconditionally — the paper's unoptimized configuration.
+    Always,
+}
+
+/// Kernel configuration.
+pub struct KernelConfig {
+    /// The system-wide recovery policy.
+    pub policy: Box<dyn RecoveryPolicy>,
+    /// Instrumentation mode.
+    pub instrumentation: Instrumentation,
+    /// The cycle-cost model.
+    pub cost: CostModel,
+    /// Shutdown grace: when a controlled shutdown is decided, keep serving
+    /// messages for up to this many more deliveries so applications can
+    /// save their state before the system stops (paper §VII, the
+    /// Otherworld-style extension). `0` shuts down immediately.
+    pub shutdown_grace: u32,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            policy: Box::new(osiris_core::Enhanced),
+            instrumentation: Instrumentation::WindowGated,
+            cost: CostModel::default(),
+            shutdown_grace: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for KernelConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelConfig")
+            .field("policy", &self.policy.name())
+            .field("instrumentation", &self.instrumentation)
+            .finish()
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CompStatus {
+    Alive,
+    Hung,
+    Crashed,
+}
+
+/// Crash-time facts frozen until recovery executes.
+struct PendingCrash<P> {
+    msg: Message<P>,
+    window_open: bool,
+    reply_possible: bool,
+    scoped_sends: bool,
+}
+
+struct Comp<P: Protocol> {
+    name: &'static str,
+    server: Box<dyn Server<P>>,
+    pristine_server: Option<Box<dyn Server<P>>>,
+    heap: Heap,
+    pristine_image: Option<HeapImage>,
+    window: RecoveryWindow,
+    inbox: VecDeque<Message<P>>,
+    status: CompStatus,
+    crash_info: Option<PendingCrash<P>>,
+    privileged: bool,
+    cycles: u64,
+    messages: u64,
+    crashes: u64,
+    recoveries: u64,
+}
+
+/// The deterministic microkernel.
+///
+/// Generic over the inter-component protocol `P`; the `osiris-servers` crate
+/// instantiates it with the full OS protocol.
+pub struct Kernel<P: Protocol> {
+    cfg: KernelConfig,
+    clock: VirtualClock,
+    comps: Vec<Comp<P>>,
+    timers: BTreeMap<(u64, u64), (u8, P)>,
+    timer_seq: u64,
+    next_msg_id: u64,
+    recovering: Option<u8>,
+    shutdown: Option<ShutdownKind>,
+    shutdown_pending: Option<(ShutdownKind, u32)>,
+    user_replies: Vec<(SyscallId, Pid, SysReply)>,
+    kill_events: Vec<Pid>,
+    hook: Box<dyn FaultHook>,
+    rs_ep: Option<u8>,
+    metrics: KernelMetrics,
+    rr_cursor: usize,
+    initialized: bool,
+    trace: bool,
+}
+
+impl<P: Protocol> std::fmt::Debug for Kernel<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("components", &self.comps.len())
+            .field("now", &self.clock.now())
+            .field("shutdown", &self.shutdown)
+            .finish()
+    }
+}
+
+impl<P: Protocol> Kernel<P> {
+    /// Creates a kernel with the given configuration.
+    pub fn new(cfg: KernelConfig) -> Self {
+        Kernel {
+            cfg,
+            clock: VirtualClock::new(),
+            comps: Vec::new(),
+            timers: BTreeMap::new(),
+            timer_seq: 0,
+            next_msg_id: 0,
+            recovering: None,
+            shutdown: None,
+            shutdown_pending: None,
+            user_replies: Vec::new(),
+            kill_events: Vec::new(),
+            hook: Box::new(NoFaults),
+            rs_ep: None,
+            metrics: KernelMetrics::default(),
+            rr_cursor: 0,
+            initialized: false,
+            trace: std::env::var_os("OSIRIS_KERNEL_TRACE").is_some_and(|v| v == "1"),
+        }
+    }
+
+    /// Registers a component. The first component registered with
+    /// `privileged = true` becomes the Recovery Server endpoint that crash
+    /// notifications are routed to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`Kernel::init_components`].
+    pub fn register(&mut self, server: Box<dyn Server<P>>, privileged: bool) -> Endpoint {
+        assert!(!self.initialized, "register() after init_components()");
+        let idx = u8::try_from(self.comps.len()).expect("too many components");
+        let name = server.name();
+        self.comps.push(Comp {
+            name,
+            server,
+            pristine_server: None,
+            heap: Heap::new(name),
+            pristine_image: None,
+            window: RecoveryWindow::new(),
+            inbox: VecDeque::new(),
+            status: CompStatus::Alive,
+            crash_info: None,
+            privileged,
+            cycles: 0,
+            messages: 0,
+            crashes: 0,
+            recoveries: 0,
+        });
+        if privileged && self.rs_ep.is_none() {
+            self.rs_ep = Some(idx);
+        }
+        Endpoint::Component(idx)
+    }
+
+    /// Installs the fault-injection hook.
+    pub fn set_fault_hook(&mut self, hook: Box<dyn FaultHook>) {
+        self.hook = hook;
+    }
+
+    /// Runs every component's `init`, captures the pristine clone images for
+    /// the Recovery Server's spare-copy pool, and resets all statistics so
+    /// that boot time is excluded from measurements (as the paper's
+    /// evaluation does).
+    pub fn init_components(&mut self) {
+        assert!(!self.initialized, "init_components() called twice");
+        self.initialized = true;
+        for idx in 0..self.comps.len() {
+            let Kernel { cfg, comps, hook, clock, next_msg_id, .. } = self;
+            let comp = &mut comps[idx];
+            let mut ctx = Ctx {
+                comp_name: comp.name,
+                self_ep: Endpoint::Component(idx as u8),
+                heap: &mut comp.heap,
+                window: &mut comp.window,
+                policy: cfg.policy.as_ref(),
+                hook: hook.as_mut(),
+                cost: &cfg.cost,
+                now: clock.now(),
+                cycles: 0,
+                out: Vec::new(),
+                timers: Vec::new(),
+                priv_ops: Vec::new(),
+                privileged: comp.privileged,
+                next_msg_id,
+                replied: Vec::new(),
+                cur_replyable: false,
+            };
+            comp.server.init(&mut ctx);
+            let out = std::mem::take(&mut ctx.out);
+            let timers = std::mem::take(&mut ctx.timers);
+            let cycles = ctx.cycles;
+            self.clock.advance(cycles);
+            self.route_messages(out);
+            self.register_timers(idx as u8, timers);
+            let comp = &mut self.comps[idx];
+            comp.pristine_image = Some(comp.heap.clone_image());
+            comp.pristine_server = Some(comp.server.clone_box());
+            if self.cfg.instrumentation == Instrumentation::Always {
+                comp.heap.set_force_logging(true);
+            }
+        }
+        // Boot is over: measurements start clean.
+        for comp in &mut self.comps {
+            comp.heap.reset_stats();
+            comp.window.reset_stats();
+            comp.cycles = 0;
+            comp.messages = 0;
+        }
+        self.metrics = KernelMetrics::default();
+    }
+
+    /// Number of registered components.
+    pub fn component_count(&self) -> usize {
+        self.comps.len()
+    }
+
+    /// The endpoint of the component called `name`, if registered.
+    pub fn endpoint_of(&self, name: &str) -> Option<Endpoint> {
+        self.comps
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| Endpoint::Component(i as u8))
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> u64 {
+        self.clock.now()
+    }
+
+    /// Advances virtual time by `cycles` (user-level computation).
+    pub fn charge(&mut self, cycles: u64) {
+        self.clock.advance(cycles);
+    }
+
+    /// The cost model in effect.
+    pub fn cost(&self) -> &CostModel {
+        &self.cfg.cost
+    }
+
+    /// The shutdown state, if the system has stopped.
+    pub fn shutdown_state(&self) -> Option<&ShutdownKind> {
+        self.shutdown.as_ref()
+    }
+
+    /// Whether a controlled shutdown has been decided but the grace window
+    /// (paper §VII) is still open for state-saving syscalls.
+    pub fn shutdown_pending(&self) -> bool {
+        self.shutdown_pending.is_some()
+    }
+
+    /// Begins a controlled shutdown: immediate if no grace is configured,
+    /// otherwise deferred so applications can save state first.
+    fn begin_controlled_shutdown(&mut self, reason: String) {
+        if self.shutdown.is_some() || self.shutdown_pending.is_some() {
+            return;
+        }
+        if self.cfg.shutdown_grace > 0 {
+            self.shutdown_pending =
+                Some((ShutdownKind::Controlled(reason), self.cfg.shutdown_grace));
+        } else {
+            self.shutdown = Some(ShutdownKind::Controlled(reason));
+        }
+    }
+
+    /// Finalizes a pending controlled shutdown (grace exhausted or system
+    /// quiescent).
+    fn finalize_pending_shutdown(&mut self) {
+        if let Some((kind, _)) = self.shutdown_pending.take() {
+            if self.shutdown.is_none() {
+                self.shutdown = Some(kind);
+            }
+        }
+    }
+
+    /// Forces the system into the given shutdown state (used by the host on
+    /// external aborts).
+    pub fn force_shutdown(&mut self, kind: ShutdownKind) {
+        if self.shutdown.is_none() {
+            self.shutdown = Some(kind);
+        }
+    }
+
+    /// System-wide metrics.
+    pub fn metrics(&self) -> &KernelMetrics {
+        &self.metrics
+    }
+
+    /// Enqueues a user syscall as a request message to `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is not a component endpoint or init has not run.
+    pub fn send_user_request(&mut self, dst: Endpoint, payload: P, sid: SyscallId, pid: Pid) {
+        assert!(self.initialized, "kernel not initialized");
+        let Endpoint::Component(c) = dst else { panic!("user requests must target components") };
+        self.metrics.syscalls += 1;
+        if let Some((_, budget)) = &mut self.shutdown_pending {
+            *budget = budget.saturating_sub(1);
+        }
+        self.clock.advance(self.cfg.cost.syscall_entry + self.cfg.cost.ipc_send);
+        self.next_msg_id += 1;
+        let msg = Message {
+            id: MsgId(self.next_msg_id),
+            src: Endpoint::Process(pid),
+            dst,
+            reply_to: None,
+            user_tag: Some(sid),
+            seep: payload.seep(),
+            payload,
+        };
+        self.comps[c as usize].inbox.push_back(msg);
+    }
+
+    /// Takes the user-syscall replies produced since the last call.
+    pub fn take_user_replies(&mut self) -> Vec<(SyscallId, Pid, SysReply)> {
+        std::mem::take(&mut self.user_replies)
+    }
+
+    /// Takes the kill events (processes PM terminated outside a syscall)
+    /// produced since the last call.
+    pub fn take_kill_events(&mut self) -> Vec<Pid> {
+        std::mem::take(&mut self.kill_events)
+    }
+
+    /// Whether any timer is pending.
+    pub fn has_pending_timers(&self) -> bool {
+        !self.timers.is_empty()
+    }
+
+    /// Advances the clock to the next timer and delivers its message.
+    /// Returns `false` if no timer was pending.
+    pub fn fire_next_timer(&mut self) -> bool {
+        let Some((&(at, seq), _)) = self.timers.iter().next() else { return false };
+        let (dst, payload) = self.timers.remove(&(at, seq)).expect("timer key just observed");
+        self.clock.advance_to(at);
+        self.metrics.timers_fired += 1;
+        self.next_msg_id += 1;
+        let msg = Message {
+            id: MsgId(self.next_msg_id),
+            src: Endpoint::Kernel,
+            dst: Endpoint::Component(dst),
+            reply_to: None,
+            user_tag: None,
+            seep: payload.seep(),
+            payload,
+        };
+        self.comps[dst as usize].inbox.push_back(msg);
+        true
+    }
+
+    /// Processes queued messages until the system is quiescent (all inboxes
+    /// of runnable components empty), recovery stalls everything, or the
+    /// system shuts down.
+    pub fn pump(&mut self) {
+        assert!(self.initialized, "kernel not initialized");
+        loop {
+            if self.shutdown.is_some() {
+                return;
+            }
+            let Some(idx) = self.pick_runnable() else { return };
+            if let Some((_, budget)) = &mut self.shutdown_pending {
+                if *budget == 0 {
+                    self.finalize_pending_shutdown();
+                    return;
+                }
+                *budget -= 1;
+            }
+            let msg = self.comps[idx].inbox.pop_front().expect("picked component has mail");
+            self.process_message(idx, msg);
+        }
+    }
+
+    fn pick_runnable(&mut self) -> Option<usize> {
+        let n = self.comps.len();
+        if n == 0 {
+            return None;
+        }
+        // During recovery only the Recovery Server runs: syscall processing
+        // is stalled until recovery completes (paper §II-E).
+        if self.recovering.is_some() {
+            let rs = self.rs_ep.expect("recovery in progress requires an RS") as usize;
+            let c = &self.comps[rs];
+            if c.status == CompStatus::Alive && !c.inbox.is_empty() {
+                return Some(rs);
+            }
+            return None;
+        }
+        for off in 0..n {
+            let idx = (self.rr_cursor + off) % n;
+            let c = &self.comps[idx];
+            if c.status == CompStatus::Alive && !c.inbox.is_empty() {
+                self.rr_cursor = (idx + 1) % n;
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    fn process_message(&mut self, idx: usize, msg: Message<P>) {
+        if self.trace {
+            eprintln!(
+                "[kernel t={}] {} <- {} : {} (window will open)",
+                self.clock.now(),
+                self.comps[idx].name,
+                msg.src,
+                msg.payload.label()
+            );
+        }
+        self.metrics.ipc_delivered += 1;
+        let checkpointing = self.cfg.policy.checkpointing();
+        let instr = self.cfg.instrumentation;
+        let deliver_cost = self.cfg.cost.ipc_deliver + self.cfg.cost.handler_base;
+        self.clock.advance(deliver_cost);
+
+        let Kernel { cfg, comps, hook, clock, next_msg_id, .. } = self;
+        let comp = &mut comps[idx];
+        comp.messages += 1;
+        // Top of the request-processing loop: open the recovery window
+        // (taking a checkpoint) — or mark the request unprotected for
+        // baseline policies that do no checkpointing.
+        if checkpointing {
+            comp.window.open(&mut comp.heap);
+            if instr == Instrumentation::Off {
+                comp.heap.set_logging(false);
+            }
+        } else {
+            comp.window.begin_unprotected();
+        }
+        comp.window.charge(deliver_cost);
+
+        let writes_before = comp.heap.stats().writes;
+        let appends_before = comp.heap.stats().undo_appends;
+        let cur_replyable =
+            msg.seep.kind == MessageKind::Request && msg.seep.reply_possible;
+
+        let mut ctx = Ctx {
+            comp_name: comp.name,
+            self_ep: Endpoint::Component(idx as u8),
+            heap: &mut comp.heap,
+            window: &mut comp.window,
+            policy: cfg.policy.as_ref(),
+            hook: hook.as_mut(),
+            cost: &cfg.cost,
+            now: clock.now(),
+            cycles: 0,
+            out: Vec::new(),
+            timers: Vec::new(),
+            priv_ops: Vec::new(),
+            privileged: comp.privileged,
+            next_msg_id,
+            replied: Vec::new(),
+            cur_replyable,
+        };
+
+        let server = &mut comp.server;
+        let result = catch_unwind(AssertUnwindSafe(|| server.handle(&msg, &mut ctx)));
+
+        // Messages sent before the crash point are already on the wire:
+        // deliver them regardless of the handler's fate.
+        let out = std::mem::take(&mut ctx.out);
+        let timers = std::mem::take(&mut ctx.timers);
+        let priv_ops = std::mem::take(&mut ctx.priv_ops);
+        let replied_to_msg = ctx.has_replied_to(msg.id);
+        let ctx_cycles = ctx.cycles;
+        drop(ctx);
+
+        // Account handler cycles and memory-write costs. Logged writes
+        // happened while the window was open; unlogged ones outside (exact
+        // under window-gated instrumentation, the measurement mode).
+        let writes = comp.heap.stats().writes - writes_before;
+        let appends = comp.heap.stats().undo_appends - appends_before;
+        let write_cost_in = appends * (cfg.cost.mem_write + cfg.cost.undo_append);
+        let write_cost_out = (writes - appends.min(writes)) * cfg.cost.mem_write;
+        comp.window.charge_split(write_cost_in, write_cost_out);
+        let handler_cycles = ctx_cycles + write_cost_in + write_cost_out;
+        comp.cycles += handler_cycles + deliver_cost;
+        self.clock.advance(handler_cycles);
+
+        self.route_messages(out);
+        self.register_timers(idx as u8, timers);
+
+        match result {
+            Ok(()) => {
+                let comp = &mut self.comps[idx];
+                if checkpointing {
+                    comp.window.complete(&mut comp.heap);
+                }
+                self.execute_priv_ops(priv_ops);
+            }
+            Err(payload) => {
+                let reply_possible = msg.seep.kind == MessageKind::Request
+                    && msg.seep.reply_possible
+                    && !replied_to_msg;
+                if payload.downcast_ref::<InjectedHang>().is_some() {
+                    // The component is wedged: it stops processing messages
+                    // until the Recovery Server's heartbeat declares it dead.
+                    self.metrics.hangs += 1;
+                    let comp = &mut self.comps[idx];
+                    comp.status = CompStatus::Hung;
+                    let window_open = comp.window.is_open();
+                    let scoped_sends = comp.window.had_scoped_sends();
+                    comp.crash_info =
+                        Some(PendingCrash { msg, window_open, reply_possible, scoped_sends });
+                } else {
+                    self.metrics.crashes += 1;
+                    self.comps[idx].crashes += 1;
+                    self.handle_crash(idx, msg, reply_possible);
+                }
+            }
+        }
+    }
+
+    fn handle_crash(&mut self, idx: usize, msg: Message<P>, reply_possible: bool) {
+        if self.recovering.is_some() {
+            // Second failure while recovery is in progress: the single-fault
+            // assumption is violated and nothing consistent remains.
+            self.shutdown = Some(ShutdownKind::Crash(format!(
+                "component {} crashed during recovery of another component",
+                self.comps[idx].name
+            )));
+            return;
+        }
+        let comp = &mut self.comps[idx];
+        comp.status = CompStatus::Crashed;
+        let window_open = comp.window.is_open();
+        let scoped_sends = comp.window.had_scoped_sends();
+        comp.crash_info = Some(PendingCrash { msg, window_open, reply_possible, scoped_sends });
+
+        match self.rs_ep {
+            // The Recovery Server itself crashed (or no RS exists): the
+            // kernel performs the recovery directly (paper §V: "all core
+            // system components, including RS itself, can be recovered").
+            Some(rs) if rs as usize != idx => {
+                self.recovering = Some(idx as u8);
+                self.next_msg_id += 1;
+                let payload = P::crash_notify(idx as u8);
+                let notify = Message {
+                    id: MsgId(self.next_msg_id),
+                    src: Endpoint::Kernel,
+                    dst: Endpoint::Component(rs),
+                    reply_to: None,
+                    user_tag: None,
+                    seep: payload.seep(),
+                    payload,
+                };
+                self.comps[rs as usize].inbox.push_back(notify);
+            }
+            _ => self.execute_recovery(idx as u8),
+        }
+    }
+
+    fn execute_priv_ops(&mut self, ops: Vec<PrivOp>) {
+        for op in ops {
+            match op {
+                PrivOp::Recover { target } => self.execute_recovery(target),
+                PrivOp::KillHung { target } => {
+                    let t = target as usize;
+                    if self.comps[t].status == CompStatus::Hung {
+                        self.comps[t].status = CompStatus::Crashed;
+                        self.metrics.crashes += 1;
+                        self.comps[t].crashes += 1;
+                        self.execute_recovery(target);
+                    }
+                }
+                PrivOp::ControlledShutdown { reason } => {
+                    self.metrics.controlled_shutdowns += 1;
+                    self.begin_controlled_shutdown(reason.to_string());
+                }
+            }
+        }
+    }
+
+    /// Executes the three recovery phases — restart, rollback,
+    /// reconciliation — for the crashed component `target` (paper §IV-C).
+    fn execute_recovery(&mut self, target: u8) {
+        if self.trace {
+            eprintln!(
+                "[kernel t={}] recovering {}",
+                self.clock.now(),
+                self.comps[target as usize].name
+            );
+        }
+        let t = target as usize;
+        let Some(pending) = self.comps[t].crash_info.take() else {
+            // Spurious request (e.g. the component already recovered).
+            self.recovering = None;
+            return;
+        };
+        let crash_ctx = CrashContext {
+            window_open: pending.window_open,
+            reply_possible: pending.reply_possible,
+            in_recovery_code: false,
+            scoped_sends: pending.scoped_sends,
+            requester_is_process: matches!(pending.msg.src, Endpoint::Process(_)),
+        };
+        let decision = decide_recovery(self.cfg.policy.as_ref(), &crash_ctx);
+        let cost = &self.cfg.cost;
+        let comp = &mut self.comps[t];
+
+        let mut recovery_cycles = cost.reconcile;
+        match decision.action {
+            RecoveryAction::RollbackAndErrorReply
+            | RecoveryAction::RollbackAndKillRequester => {
+                // Restart phase: swap in the spare clone and transfer state.
+                recovery_cycles += cost.restart_base
+                    + (comp.heap.resident_bytes() as u64 / 1024) * cost.restart_per_kb;
+                // Rollback phase: apply the undo log in reverse.
+                recovery_cycles += comp.heap.log_len() as u64 * cost.undo_rollback;
+                comp.window.rollback(&mut comp.heap);
+                comp.server =
+                    comp.pristine_server.as_ref().expect("pristine captured at init").clone_box();
+                comp.server.on_restore(&mut comp.heap);
+                comp.recoveries += 1;
+                self.metrics.recovered_rollback += 1;
+            }
+            RecoveryAction::FreshRestart => {
+                recovery_cycles += cost.restart_base;
+                let image = comp.pristine_image.as_ref().expect("pristine captured at init");
+                comp.heap.restore_image(image);
+                comp.window.complete(&mut comp.heap);
+                comp.server =
+                    comp.pristine_server.as_ref().expect("pristine captured at init").clone_box();
+                comp.server.on_restore(&mut comp.heap);
+                comp.recoveries += 1;
+                self.metrics.recovered_fresh += 1;
+            }
+            RecoveryAction::ContinueAsIs => {
+                recovery_cycles += cost.restart_base;
+                comp.window.complete(&mut comp.heap);
+                comp.server =
+                    comp.pristine_server.as_ref().expect("pristine captured at init").clone_box();
+                comp.server.on_restore(&mut comp.heap);
+                comp.recoveries += 1;
+                self.metrics.recovered_naive += 1;
+            }
+            RecoveryAction::ControlledShutdown => {
+                self.metrics.controlled_shutdowns += 1;
+                let reason = format!(
+                    "unrecoverable crash in {} (window {}, reply {})",
+                    comp.name,
+                    if pending.window_open { "open" } else { "closed" },
+                    if pending.reply_possible { "possible" } else { "impossible" },
+                );
+                // The crashed component stays dead during the grace window.
+                self.recovering = None;
+                self.begin_controlled_shutdown(reason);
+                if self.shutdown_pending.is_some() {
+                    // Grace is active: answer the failure-triggering request
+                    // with ESHUTDOWN so the caller can proceed to save its
+                    // state instead of blocking forever.
+                    match pending.msg.src {
+                        Endpoint::Process(pid) => {
+                            if let Some(sid) = pending.msg.user_tag {
+                                self.user_replies.push((
+                                    sid,
+                                    pid,
+                                    SysReply::Err(Errno::ESHUTDOWN),
+                                ));
+                            }
+                        }
+                        Endpoint::Component(_) => {
+                            self.send_crash_reply(target, pending.msg);
+                        }
+                        Endpoint::Kernel => {}
+                    }
+                }
+                return;
+            }
+            RecoveryAction::UncontrolledCrash => {
+                self.shutdown = Some(ShutdownKind::Crash(format!(
+                    "fault in recovery path while handling crash of {}",
+                    comp.name
+                )));
+                self.recovering = None;
+                return;
+            }
+        }
+
+        comp.status = CompStatus::Alive;
+        self.metrics.recovery_cycles += recovery_cycles;
+        self.clock.advance(recovery_cycles);
+        self.recovering = None;
+
+        // Reconciliation phase: error virtualization — tell the requester
+        // the call failed so it can handle it like any other error — or the
+        // kill-requester extension (paper §VII): the requester's exit path
+        // cleans the scoped state its window had already exported.
+        if decision.action == RecoveryAction::RollbackAndKillRequester {
+            if let (Endpoint::Process(pid), Some(rs)) = (pending.msg.src, self.rs_ep) {
+                self.next_msg_id += 1;
+                let payload = P::kill_requester(pid);
+                let msg = Message {
+                    id: MsgId(self.next_msg_id),
+                    src: Endpoint::Kernel,
+                    dst: Endpoint::Component(rs),
+                    reply_to: None,
+                    user_tag: None,
+                    seep: payload.seep(),
+                    payload,
+                };
+                self.comps[rs as usize].inbox.push_back(msg);
+            }
+        } else if decision.error_reply {
+            self.send_crash_reply(target, pending.msg);
+        }
+    }
+
+    fn send_crash_reply(&mut self, from: u8, failed: Message<P>) {
+        match failed.src {
+            Endpoint::Process(pid) => {
+                let sid = failed.user_tag.expect("user request carries a syscall tag");
+                self.user_replies.push((sid, pid, SysReply::Err(Errno::ECRASH)));
+            }
+            Endpoint::Component(c) => {
+                self.next_msg_id += 1;
+                let payload = P::crash_reply();
+                let msg = Message {
+                    id: MsgId(self.next_msg_id),
+                    src: Endpoint::Component(from),
+                    dst: failed.src,
+                    reply_to: Some(failed.id),
+                    user_tag: failed.user_tag,
+                    seep: payload.seep(),
+                    payload,
+                };
+                self.comps[c as usize].inbox.push_back(msg);
+            }
+            Endpoint::Kernel => {
+                // Kernel notifications get no reply.
+            }
+        }
+    }
+
+    fn route_messages(&mut self, out: Vec<Message<P>>) {
+        for msg in out {
+            match msg.dst {
+                Endpoint::Component(c) => {
+                    self.comps[c as usize].inbox.push_back(msg);
+                }
+                Endpoint::Process(pid) => {
+                    let reply = msg
+                        .payload
+                        .as_user_reply()
+                        .expect("messages to processes must be user replies");
+                    match msg.user_tag {
+                        Some(sid) => self.user_replies.push((sid, pid, reply)),
+                        // An untagged message to a process is a kill event:
+                        // PM decided to terminate it outside any syscall.
+                        None => self.kill_events.push(pid),
+                    }
+                }
+                Endpoint::Kernel => panic!("components cannot message the kernel directly"),
+            }
+        }
+    }
+
+    fn register_timers(&mut self, owner: u8, timers: Vec<(u64, P)>) {
+        for (delay, payload) in timers {
+            self.timer_seq += 1;
+            let at = self.clock.now() + delay;
+            self.timers.insert((at, self.timer_seq), (owner, payload));
+        }
+    }
+
+    /// Per-component reports for the evaluation tables.
+    pub fn component_reports(&self) -> Vec<ComponentReport> {
+        self.comps
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ComponentReport {
+                name: c.name,
+                endpoint: i as u8,
+                window: *c.window.stats(),
+                cycles: c.cycles,
+                messages: c.messages,
+                heap_bytes: c.heap.resident_bytes(),
+                clone_bytes: c.pristine_image.as_ref().map(|i| i.bytes()).unwrap_or(0),
+                undo_peak_bytes: c.heap.stats().undo_bytes_peak,
+                writes: c.heap.stats().writes,
+                undo_appends: c.heap.stats().undo_appends,
+                crashes: c.crashes,
+                recoveries: c.recoveries,
+            })
+            .collect()
+    }
+
+    /// Read-only view of a component's heap, for audits and tests.
+    pub fn heap_of(&self, name: &str) -> Option<&Heap> {
+        self.comps.iter().find(|c| c.name == name).map(|c| &c.heap)
+    }
+
+    /// Collects audit facts from every component (cross-component
+    /// consistency checks are performed by the OS assembly).
+    pub fn audit_facts(&self) -> Vec<(&'static str, String, u64)> {
+        let mut out = Vec::new();
+        for c in &self.comps {
+            for (k, v) in c.server.audit_facts(&c.heap) {
+                out.push((c.name, k, v));
+            }
+        }
+        out
+    }
+
+    /// Whether any component is currently hung (awaiting heartbeat
+    /// detection).
+    pub fn any_hung(&self) -> bool {
+        self.comps.iter().any(|c| c.status == CompStatus::Hung)
+    }
+
+    /// Whether a recovery is currently stalling the system.
+    pub fn recovering(&self) -> bool {
+        self.recovering.is_some()
+    }
+
+    /// True if every inbox of every runnable component is empty.
+    pub fn quiescent(&self) -> bool {
+        self.comps
+            .iter()
+            .all(|c| c.status != CompStatus::Alive || c.inbox.is_empty())
+    }
+}

@@ -1,0 +1,64 @@
+//! The OSIRIS microkernel substrate: deterministic message passing,
+//! event-driven components, crash detection and recovery mechanics, plus the
+//! user-process host that runs workload programs against a simulated OS.
+//!
+//! This crate reproduces the role MINIX 3 plays in the OSIRIS prototype
+//! (paper §V): a small trusted kernel providing scheduling and message
+//! passing, with the operating system proper implemented as fault-isolated
+//! user-space servers. Fault isolation here is enforced by Rust ownership —
+//! components hold no references to each other and interact exclusively
+//! through kernel messages — which gives the same no-fault-propagation
+//! property the paper obtains from MMU isolation.
+//!
+//! The crate is deliberately generic: [`Kernel`] works with any protocol
+//! type implementing [`Protocol`], and [`Host`] with any [`OsEngine`]. The
+//! `osiris-servers` crate assembles the five core servers into the full OS;
+//! `osiris-monolith` implements the same ABI without compartmentalization.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abi;
+mod clock;
+mod component;
+mod host;
+mod kernel;
+mod message;
+mod metrics;
+
+pub use clock::{CostModel, VirtualClock};
+pub use component::{
+    Ctx, FaultEffect, FaultHook, InjectedCrash, InjectedHang, NoFaults, PrivOp, Probe, Server,
+    SiteKind,
+};
+pub use host::{
+    ForkFn, Host, HostConfig, OsEngine, ProgramFn, ProgramRegistry, RunOutcome, Sys,
+};
+pub use kernel::{Instrumentation, Kernel, KernelConfig};
+pub use message::{Endpoint, Message, MsgId, Protocol, ReturnPath, SyscallId};
+pub use metrics::{ComponentReport, KernelMetrics, ShutdownKind};
+
+use std::sync::Once;
+
+/// Installs a process-wide panic hook that silences the panics used as
+/// control flow by the simulator (injected faults and process exits), while
+/// delegating genuine panics to the previous hook.
+///
+/// Fault-injection campaigns unwind thousands of injected crashes; without
+/// this hook every one of them would print a backtrace banner.
+pub fn install_quiet_panic_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            if payload.is::<InjectedCrash>()
+                || payload.is::<InjectedHang>()
+                || payload.is::<crate::host::ProcExit>()
+            {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}

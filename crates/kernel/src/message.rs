@@ -1,0 +1,164 @@
+//! Messages, endpoints and the protocol trait.
+
+use std::fmt;
+
+use osiris_core::SeepMeta;
+
+use crate::abi::Pid;
+
+/// A message destination or source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Endpoint {
+    /// An OS component (server or driver), by registration index.
+    Component(u8),
+    /// A user process.
+    Process(Pid),
+    /// The kernel itself (timer notifications, crash notifications).
+    Kernel,
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Component(i) => write!(f, "comp{}", i),
+            Endpoint::Process(p) => write!(f, "{}", p),
+            Endpoint::Kernel => write!(f, "kernel"),
+        }
+    }
+}
+
+/// Unique message identifier (per kernel instance).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MsgId(pub u64);
+
+/// Identifier correlating a user syscall submission with its reply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SyscallId(pub u64);
+
+/// The protocol spoken between components: the payload type of all
+/// messages, carrying its own SEEP classification.
+///
+/// This is how channels become *Side Effect Engraved Passages*: the
+/// side-effect metadata is a static property of each payload variant,
+/// mirroring the paper's compile-time call-site annotation.
+pub trait Protocol: fmt::Debug + Send + 'static {
+    /// The SEEP metadata engraved on this payload.
+    fn seep(&self) -> SeepMeta;
+
+    /// The payload used for error virtualization: a reply telling the
+    /// requester that the servicing component crashed (`E_CRASH`).
+    fn crash_reply() -> Self;
+
+    /// The payload the kernel sends to the Recovery Server when component
+    /// `target` crashes.
+    fn crash_notify(target: u8) -> Self;
+
+    /// The payload the kernel sends to the Recovery Server to execute the
+    /// kill-requester reconciliation (paper §VII): RS must arrange for
+    /// process `pid` to be terminated through the normal kill path.
+    fn kill_requester(pid: crate::abi::Pid) -> Self
+    where
+        Self: Sized,
+    {
+        // Systems without the extension simply reuse the crash notification
+        // channel as a no-op; the default keeps retrofits source-compatible.
+        let _ = pid;
+        Self::crash_notify(u8::MAX)
+    }
+
+    /// If this payload is the final reply to a user syscall, the reply to
+    /// deliver to the process; `None` for inter-component payloads.
+    fn as_user_reply(&self) -> Option<crate::abi::SysReply>;
+
+    /// Short stable label for tracing and profiling.
+    fn label(&self) -> &'static str;
+}
+
+/// A message in flight.
+#[derive(Clone, Debug)]
+pub struct Message<P> {
+    /// Unique id (used as `reply_to` correlation key by repliers).
+    pub id: MsgId,
+    /// Sender.
+    pub src: Endpoint,
+    /// Receiver.
+    pub dst: Endpoint,
+    /// For replies: the id of the request being answered.
+    pub reply_to: Option<MsgId>,
+    /// For messages born from a user syscall: the syscall correlation id,
+    /// propagated onto the final reply to the user.
+    pub user_tag: Option<SyscallId>,
+    /// SEEP metadata (cached from the payload at send time).
+    pub seep: SeepMeta,
+    /// The payload.
+    pub payload: P,
+}
+
+/// The *return path* a server must remember to answer a request later
+/// (stored inside continuations in the server's checkpointed heap).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReturnPath {
+    /// Who asked.
+    pub ep: Endpoint,
+    /// Their request message id.
+    pub msg_id: MsgId,
+    /// The user syscall tag, if the request originated from a process.
+    pub user_tag: Option<SyscallId>,
+}
+
+impl<P> Message<P> {
+    /// The return path needed to reply to this message later.
+    pub fn return_path(&self) -> ReturnPath {
+        ReturnPath { ep: self.src, msg_id: self.id, user_tag: self.user_tag }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osiris_core::{SeepClass, SeepMeta};
+
+    #[derive(Debug)]
+    struct P;
+    impl Protocol for P {
+        fn seep(&self) -> SeepMeta {
+            SeepMeta::request(SeepClass::StateModifying)
+        }
+        fn crash_reply() -> Self {
+            P
+        }
+        fn crash_notify(_target: u8) -> Self {
+            P
+        }
+
+        fn as_user_reply(&self) -> Option<crate::abi::SysReply> {
+            None
+        }
+        fn label(&self) -> &'static str {
+            "p"
+        }
+    }
+
+    #[test]
+    fn return_path_captures_requester() {
+        let m = Message {
+            id: MsgId(7),
+            src: Endpoint::Process(Pid(3)),
+            dst: Endpoint::Component(0),
+            reply_to: None,
+            user_tag: Some(SyscallId(9)),
+            seep: P.seep(),
+            payload: P,
+        };
+        let rp = m.return_path();
+        assert_eq!(rp.ep, Endpoint::Process(Pid(3)));
+        assert_eq!(rp.msg_id, MsgId(7));
+        assert_eq!(rp.user_tag, Some(SyscallId(9)));
+    }
+
+    #[test]
+    fn endpoint_ordering_is_stable() {
+        assert!(Endpoint::Component(0) < Endpoint::Component(1));
+        assert!(Endpoint::Component(9) < Endpoint::Process(Pid(0)));
+    }
+}

@@ -1,0 +1,87 @@
+//! Kernel- and component-level metrics backing the evaluation tables.
+
+use osiris_core::WindowStats;
+
+/// Per-component report: the raw material for Tables I and VI.
+#[derive(Clone, Debug)]
+pub struct ComponentReport {
+    /// Component name.
+    pub name: &'static str,
+    /// Endpoint index.
+    pub endpoint: u8,
+    /// Recovery-window statistics (coverage counters).
+    pub window: WindowStats,
+    /// Virtual cycles spent running this component's handlers.
+    pub cycles: u64,
+    /// Messages handled.
+    pub messages: u64,
+    /// Current resident heap size in bytes.
+    pub heap_bytes: usize,
+    /// Size of the pristine clone image kept for recovery (Table VI
+    /// "+clone").
+    pub clone_bytes: usize,
+    /// Peak undo-log size observed (Table VI "+undo log").
+    pub undo_peak_bytes: usize,
+    /// Total logical writes and logged writes.
+    pub writes: u64,
+    /// Writes that appended an undo record.
+    pub undo_appends: u64,
+    /// Times this component crashed.
+    pub crashes: u64,
+    /// Times this component was recovered.
+    pub recoveries: u64,
+}
+
+/// System-wide counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KernelMetrics {
+    /// Messages delivered between endpoints.
+    pub ipc_delivered: u64,
+    /// User syscalls submitted.
+    pub syscalls: u64,
+    /// Timer events fired.
+    pub timers_fired: u64,
+    /// Component crashes observed (fail-stop panics).
+    pub crashes: u64,
+    /// Components detected hung.
+    pub hangs: u64,
+    /// Recoveries by rollback + error virtualization.
+    pub recovered_rollback: u64,
+    /// Recoveries by fresh (stateless) restart.
+    pub recovered_fresh: u64,
+    /// Recoveries keeping crash-time state (naive).
+    pub recovered_naive: u64,
+    /// Controlled shutdowns performed.
+    pub controlled_shutdowns: u64,
+    /// Virtual cycles spent executing recovery phases.
+    pub recovery_cycles: u64,
+}
+
+/// How the system ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShutdownKind {
+    /// A controlled shutdown: consistency could not be guaranteed, so the
+    /// system stopped itself cleanly (paper §IV-C).
+    Controlled(String),
+    /// An uncontrolled crash: a fault the recovery machinery could not
+    /// contain (e.g. a second fault during recovery).
+    Crash(String),
+}
+
+impl ShutdownKind {
+    /// Whether this was the controlled variant.
+    pub fn is_controlled(&self) -> bool {
+        matches!(self, ShutdownKind::Controlled(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shutdown_kind_predicates() {
+        assert!(ShutdownKind::Controlled("x".into()).is_controlled());
+        assert!(!ShutdownKind::Crash("y".into()).is_controlled());
+    }
+}

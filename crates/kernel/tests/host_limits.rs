@@ -1,0 +1,126 @@
+//! Host-level behaviours: run limits, hang detection, kill events and
+//! teardown — using the monolith-free mini engine from `kernel_direct` is
+//! unnecessary here; a trivial engine suffices.
+
+use osiris_kernel::abi::{Pid, Syscall, SysReply};
+use osiris_kernel::{Host, HostConfig, OsEngine, ProgramRegistry, RunOutcome, ShutdownKind, SyscallId};
+
+/// An engine that answers `getpid` and swallows everything else (so any
+/// other call blocks forever) — a deliberately broken OS for limit tests.
+#[derive(Default)]
+struct BlackHole {
+    replies: Vec<(SyscallId, Pid, SysReply)>,
+    now: u64,
+}
+
+impl OsEngine for BlackHole {
+    fn submit(&mut self, sid: SyscallId, pid: Pid, call: Syscall) {
+        self.now += 100;
+        match call {
+            Syscall::GetPid => self.replies.push((sid, pid, SysReply::Proc(pid))),
+            Syscall::Exit { .. } => {}
+            _ => {} // swallowed: the caller blocks forever
+        }
+    }
+    fn pump(&mut self) -> Vec<(SyscallId, Pid, SysReply)> {
+        std::mem::take(&mut self.replies)
+    }
+    fn take_kill_events(&mut self) -> Vec<Pid> {
+        Vec::new()
+    }
+    fn fire_next_timer(&mut self) -> bool {
+        false
+    }
+    fn shutdown_state(&self) -> Option<ShutdownKind> {
+        None
+    }
+    fn now(&self) -> u64 {
+        self.now
+    }
+    fn charge_user(&mut self, units: u64) {
+        self.now += units;
+    }
+}
+
+#[test]
+fn swallowed_syscall_is_detected_as_hang() {
+    osiris_kernel::install_quiet_panic_hook();
+    let mut registry = ProgramRegistry::new();
+    registry.register("main", |sys| {
+        let _ = sys.getpid();
+        let _ = sys.sleep(10); // swallowed: never answered
+        0
+    });
+    let mut host = Host::new(BlackHole::default(), registry);
+    match host.run("main", &[]) {
+        RunOutcome::Hang(reason) => assert!(reason.contains("blocked"), "{reason}"),
+        other => panic!("expected hang, got {other:?}"),
+    }
+}
+
+#[test]
+fn virtual_time_limit_aborts_runaway_runs() {
+    osiris_kernel::install_quiet_panic_hook();
+    let mut registry = ProgramRegistry::new();
+    registry.register("main", |sys| {
+        loop {
+            sys.compute(1_000_000);
+            if sys.getpid().is_err() {
+                return 1;
+            }
+        }
+    });
+    let host_cfg = HostConfig { max_virtual_time: 5_000_000, ..Default::default() };
+    let mut host = Host::new(BlackHole::default(), registry).with_config(host_cfg);
+    match host.run("main", &[]) {
+        RunOutcome::Hang(reason) => assert!(reason.contains("time limit"), "{reason}"),
+        other => panic!("expected time-limit abort, got {other:?}"),
+    }
+}
+
+#[test]
+fn clean_exit_reports_codes() {
+    osiris_kernel::install_quiet_panic_hook();
+    let mut registry = ProgramRegistry::new();
+    registry.register("main", |sys| {
+        assert_eq!(sys.getpid().unwrap(), Pid(1));
+        42
+    });
+    let mut host = Host::new(BlackHole::default(), registry);
+    match host.run("main", &[]) {
+        RunOutcome::Completed { init_code, exit_codes } => {
+            assert_eq!(init_code, 42);
+            assert_eq!(exit_codes.get(&1), Some(&42));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn program_panic_becomes_exit_code_101() {
+    osiris_kernel::install_quiet_panic_hook();
+    let mut registry = ProgramRegistry::new();
+    registry.register("main", |sys| {
+        let _ = sys.getpid();
+        panic!("program bug");
+    });
+    let mut host = Host::new(BlackHole::default(), registry);
+    match host.run("main", &[]) {
+        RunOutcome::Completed { init_code, .. } => assert_eq!(init_code, 101),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn sys_exit_terminates_immediately() {
+    osiris_kernel::install_quiet_panic_hook();
+    let mut registry = ProgramRegistry::new();
+    registry.register("main", |sys| {
+        sys.exit(7);
+    });
+    let mut host = Host::new(BlackHole::default(), registry);
+    match host.run("main", &[]) {
+        RunOutcome::Completed { init_code, .. } => assert_eq!(init_code, 7),
+        other => panic!("{other:?}"),
+    }
+}

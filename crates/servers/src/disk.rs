@@ -1,0 +1,132 @@
+//! The disk driver: a block device with a latency model.
+//!
+//! VFS sends `DiskRead`/`DiskWrite` requests; the driver queues them, waits
+//! one disk latency (a kernel timer), then answers. Writes are committed at
+//! completion time, reads return the committed contents (zeros for blocks
+//! never written). Because timers fire in submission order, a write to a
+//! block always commits before a later-submitted read of the same block.
+
+use osiris_checkpoint::{Heap, PCell, PMap};
+use osiris_kernel::{Ctx, Message, ReturnPath, Server};
+
+use crate::proto::OsMsg;
+
+/// Fixed block size of the simulated device, in bytes.
+pub const BLOCK_SIZE: usize = 1024;
+
+#[derive(Clone, Debug)]
+enum DiskOp {
+    Read { block: u64 },
+    Write { block: u64, data: Vec<u8> },
+}
+
+#[derive(Clone, Debug)]
+struct Pending {
+    rp: ReturnPath,
+    op: DiskOp,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Handles {
+    blocks: PMap<u64, Vec<u8>>,
+    pending: PMap<u64, Pending>,
+    next_token: PCell<u64>,
+    ops: PCell<u64>,
+}
+
+/// The disk driver component.
+#[derive(Clone, Debug)]
+pub struct DiskDriver {
+    latency: u64,
+    h: Option<Handles>,
+}
+
+impl DiskDriver {
+    /// Creates a driver with the given access latency in cycles.
+    pub fn new(latency: u64) -> Self {
+        DiskDriver { latency, h: None }
+    }
+
+    fn h(&self) -> Handles {
+        self.h.expect("disk used before init")
+    }
+}
+
+impl Server<OsMsg> for DiskDriver {
+    fn name(&self) -> &'static str {
+        "disk"
+    }
+
+    fn init(&mut self, ctx: &mut Ctx<'_, OsMsg>) {
+        let heap = ctx.heap();
+        self.h = Some(Handles {
+            blocks: heap.alloc_map("disk.blocks"),
+            pending: heap.alloc_map("disk.pending"),
+            next_token: heap.alloc_cell("disk.next_token", 1),
+            ops: heap.alloc_cell("disk.ops", 0),
+        });
+    }
+
+    fn handle(&mut self, msg: &Message<OsMsg>, ctx: &mut Ctx<'_, OsMsg>) {
+        let h = self.h();
+        match &msg.payload {
+            OsMsg::DiskRead { block } => {
+                ctx.site("disk.read.queue");
+                let token = h.next_token.get(ctx.heap_ref());
+                h.next_token.set(ctx.heap(), token + 1);
+                h.pending.insert(
+                    ctx.heap(),
+                    token,
+                    Pending { rp: msg.return_path(), op: DiskOp::Read { block: *block } },
+                );
+                ctx.set_timer(self.latency, OsMsg::DiskTick { token });
+            }
+            OsMsg::DiskWrite { block, data } => {
+                ctx.site("disk.write.queue");
+                let token = h.next_token.get(ctx.heap_ref());
+                h.next_token.set(ctx.heap(), token + 1);
+                h.pending.insert(
+                    ctx.heap(),
+                    token,
+                    Pending {
+                        rp: msg.return_path(),
+                        op: DiskOp::Write { block: *block, data: data.clone() },
+                    },
+                );
+                ctx.set_timer(self.latency, OsMsg::DiskTick { token });
+            }
+            OsMsg::DiskTick { token } => {
+                // Stale tokens (rolled-back queue entries) are ignored.
+                let Some(p) = h.pending.remove(ctx.heap(), token) else { return };
+                ctx.site("disk.complete");
+                h.ops.update(ctx.heap(), |n| *n += 1);
+                match p.op {
+                    DiskOp::Read { block } => {
+                        let data = h
+                            .blocks
+                            .get(ctx.heap_ref(), &block)
+                            .unwrap_or_else(|| vec![0u8; BLOCK_SIZE]);
+                        ctx.reply(p.rp, OsMsg::RData(data));
+                    }
+                    DiskOp::Write { block, data } => {
+                        h.blocks.insert(ctx.heap(), block, data);
+                        ctx.reply(p.rp, OsMsg::ROk);
+                    }
+                }
+            }
+            OsMsg::Ping => ctx.reply(msg.return_path(), OsMsg::Pong),
+            _ => {}
+        }
+    }
+
+    fn audit_facts(&self, heap: &Heap) -> Vec<(String, u64)> {
+        vec![
+            ("disk.blocks".to_string(), self.h().blocks.len(heap) as u64),
+            ("disk.ops".to_string(), self.h().ops.get(heap)),
+        ]
+    }
+
+    fn clone_box(&self) -> Box<dyn Server<OsMsg>> {
+        Box::new(self.clone())
+    }
+}

@@ -1,0 +1,331 @@
+//! The assembled OSIRIS operating system: six components on the
+//! microkernel, speaking [`OsMsg`], exposed to workloads as an
+//! [`OsEngine`].
+
+use std::collections::BTreeSet;
+
+use osiris_core::{PolicyKind, RecoveryPolicy};
+use osiris_kernel::abi::{Pid, Syscall, SysReply};
+use osiris_kernel::{
+    ComponentReport, CostModel, Endpoint, FaultHook, Instrumentation, Kernel, KernelConfig,
+    KernelMetrics, OsEngine, ShutdownKind, SyscallId,
+};
+
+use crate::disk::DiskDriver;
+use crate::ds::DataStore;
+use crate::pm::ProcessManager;
+use crate::proto::OsMsg;
+use crate::rs::RecoveryServer;
+use crate::topology::Topology;
+use crate::vfs::VfsServer;
+use crate::vm::VmManager;
+
+/// Configuration of the assembled OS.
+pub struct OsConfig {
+    /// Recovery policy (one of the four standard policies).
+    pub policy: PolicyKind,
+    /// A custom policy overriding `policy` if set (paper §VII:
+    /// "composable recovery policies").
+    pub custom_policy: Option<Box<dyn RecoveryPolicy>>,
+    /// Checkpointing instrumentation mode.
+    pub instrumentation: Instrumentation,
+    /// Cycle-cost model.
+    pub cost: CostModel,
+    /// Size of the VM frame pool.
+    pub vm_frames: u64,
+    /// VFS block-cache capacity, in blocks.
+    pub vfs_cache_blocks: usize,
+    /// VFS cooperative thread count.
+    pub vfs_threads: u32,
+    /// Shutdown grace budget (paper §VII): number of message deliveries the
+    /// kernel keeps serving after a controlled shutdown is decided, so
+    /// applications can persist state. Only *save-class* syscalls (data
+    /// store writes, file writes/sync/close) are admitted during grace;
+    /// everything else fails with `ESHUTDOWN`.
+    pub shutdown_grace: u32,
+}
+
+impl Default for OsConfig {
+    fn default() -> Self {
+        OsConfig {
+            policy: PolicyKind::Enhanced,
+            custom_policy: None,
+            instrumentation: Instrumentation::WindowGated,
+            cost: CostModel::default(),
+            vm_frames: 65_536,
+            vfs_cache_blocks: 64,
+            vfs_threads: 4,
+            shutdown_grace: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for OsConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OsConfig")
+            .field("policy", &self.policy)
+            .field("instrumentation", &self.instrumentation)
+            .field("vm_frames", &self.vm_frames)
+            .finish()
+    }
+}
+
+impl OsConfig {
+    /// Convenience: default configuration with the given policy.
+    pub fn with_policy(policy: PolicyKind) -> Self {
+        OsConfig { policy, ..Default::default() }
+    }
+}
+
+/// The assembled OSIRIS OS.
+pub struct Os {
+    kernel: Kernel<OsMsg>,
+    topo: Topology,
+    pending_refusals: Vec<(SyscallId, Pid, SysReply)>,
+}
+
+impl std::fmt::Debug for Os {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Os").field("kernel", &self.kernel).finish()
+    }
+}
+
+impl Os {
+    /// Boots the OS: registers RS, PM, VM, VFS, DS and the disk driver in
+    /// the canonical topology and runs their initialization.
+    pub fn new(cfg: OsConfig) -> Self {
+        let policy = match cfg.custom_policy {
+            Some(p) => p,
+            None => cfg.policy.instantiate(),
+        };
+        let kcfg = KernelConfig {
+            policy,
+            instrumentation: cfg.instrumentation,
+            cost: cfg.cost,
+            shutdown_grace: cfg.shutdown_grace,
+        };
+        let heartbeat = kcfg.cost.heartbeat_interval;
+        let disk_latency = kcfg.cost.disk_latency;
+        let mut kernel = Kernel::new(kcfg);
+        let topo = Topology::CANONICAL;
+        let rs = kernel.register(Box::new(RecoveryServer::new(topo, heartbeat)), true);
+        let pm = kernel.register(Box::new(ProcessManager::new(topo)), false);
+        let vm = kernel.register(Box::new(VmManager::new(topo, cfg.vm_frames)), false);
+        let vfs = kernel.register(
+            Box::new(VfsServer::new(topo, cfg.vfs_cache_blocks, cfg.vfs_threads)),
+            false,
+        );
+        let ds = kernel.register(Box::new(DataStore::new(topo)), false);
+        let disk = kernel.register(Box::new(DiskDriver::new(disk_latency)), false);
+        debug_assert_eq!(
+            (rs, pm, vm, vfs, ds, disk),
+            (topo.rs, topo.pm, topo.vm, topo.vfs, topo.ds, topo.disk),
+            "registration order must match the canonical topology"
+        );
+        kernel.init_components();
+        Os { kernel, topo, pending_refusals: Vec::new() }
+    }
+
+    /// Boots with defaults under the given policy.
+    pub fn boot(policy: PolicyKind) -> Self {
+        Os::new(OsConfig::with_policy(policy))
+    }
+
+    /// Installs a fault-injection hook.
+    pub fn set_fault_hook(&mut self, hook: Box<dyn FaultHook>) {
+        self.kernel.set_fault_hook(hook);
+    }
+
+    /// The component topology.
+    pub fn topology(&self) -> Topology {
+        self.topo
+    }
+
+    /// Which server owns each syscall.
+    pub fn route(&self, call: &Syscall) -> Endpoint {
+        match call {
+            Syscall::Spawn { .. }
+            | Syscall::Fork
+            | Syscall::Exec { .. }
+            | Syscall::Exit { .. }
+            | Syscall::WaitPid { .. }
+            | Syscall::WaitAny
+            | Syscall::Kill { .. }
+            | Syscall::GetPid
+            | Syscall::GetPPid
+            | Syscall::SigMask { .. }
+            | Syscall::SigPending
+            | Syscall::Sleep { .. } => self.topo.pm,
+            Syscall::Brk { .. }
+            | Syscall::Mmap { .. }
+            | Syscall::Munmap { .. }
+            | Syscall::VmStat => self.topo.vm,
+            Syscall::Open { .. }
+            | Syscall::Close { .. }
+            | Syscall::Read { .. }
+            | Syscall::Write { .. }
+            | Syscall::Seek { .. }
+            | Syscall::Unlink { .. }
+            | Syscall::Mkdir { .. }
+            | Syscall::ReadDir { .. }
+            | Syscall::Stat { .. }
+            | Syscall::Rename { .. }
+            | Syscall::Pipe
+            | Syscall::Dup { .. }
+            | Syscall::Fsync { .. } => self.topo.vfs,
+            Syscall::DsPut { .. }
+            | Syscall::DsGet { .. }
+            | Syscall::DsDel { .. }
+            | Syscall::DsList { .. } => self.topo.ds,
+        }
+    }
+
+    /// Per-component reports (window coverage, memory, crash counts).
+    pub fn reports(&self) -> Vec<ComponentReport> {
+        self.kernel.component_reports()
+    }
+
+    /// Kernel-wide metrics.
+    pub fn metrics(&self) -> &KernelMetrics {
+        self.kernel.metrics()
+    }
+
+    /// Direct kernel access for tests and experiment harnesses.
+    pub fn kernel(&self) -> &Kernel<OsMsg> {
+        &self.kernel
+    }
+
+    /// Mutable kernel access.
+    pub fn kernel_mut(&mut self) -> &mut Kernel<OsMsg> {
+        &mut self.kernel
+    }
+
+    /// Cross-component consistency audit. Call at quiescence (no in-flight
+    /// syscalls). Returns human-readable violations; empty means the global
+    /// state is consistent.
+    ///
+    /// This is the experimental check behind the paper's core claim: under
+    /// the pessimistic/enhanced policies recovery never leaves
+    /// cross-component state inconsistent, while the stateless/naive
+    /// baselines readily do.
+    pub fn audit(&self) -> Vec<String> {
+        let facts = self.kernel.audit_facts();
+        let set = |comp: &str, key: &str| -> BTreeSet<u64> {
+            facts
+                .iter()
+                .filter(|(c, k, _)| *c == comp && k == key)
+                .map(|(_, _, v)| *v)
+                .collect()
+        };
+        let mut violations = Vec::new();
+
+        let pm_alive = set("pm", "pm.alive");
+        let vm_spaces = set("vm", "vm.space");
+        for pid in pm_alive.difference(&vm_spaces) {
+            violations.push(format!("pid {} alive in PM but has no VM address space", pid));
+        }
+        let pm_all = set("pm", "pm.proc");
+        for pid in vm_spaces.difference(&pm_all) {
+            violations.push(format!("VM address space for pid {} unknown to PM", pid));
+        }
+
+        let fd_pids = set("vfs", "vfs.fd_pid");
+        for pid in fd_pids.difference(&pm_alive) {
+            violations.push(format!("VFS descriptors held by non-live pid {}", pid));
+        }
+
+        let one = |comp: &str, key: &str| -> Option<u64> {
+            facts.iter().find(|(c, k, _)| *c == comp && k == key).map(|(_, _, v)| *v)
+        };
+        for (comp, key, val) in &facts {
+            if key.contains("torn") || key.contains("orphan") {
+                violations.push(format!("{}: {} (value {})", comp, key, val));
+            }
+        }
+
+        if let (Some(owned), Some(free), Some(total)) = (
+            one("vm", "vm.frames_owned"),
+            one("vm", "vm.frames_free"),
+            one("vm", "vm.frames_total"),
+        ) {
+            if owned + free != total {
+                violations.push(format!(
+                    "VM frame accounting broken: {} owned + {} free != {} total",
+                    owned, free, total
+                ));
+            }
+        }
+        if let (Some(list), Some(free)) = (
+            one("vm", "vm.free_list_len"),
+            one("vm", "vm.frames_free"),
+        ) {
+            if list != free {
+                violations.push(format!(
+                    "VM free list ({}) disagrees with free counter ({})",
+                    list, free
+                ));
+            }
+        }
+        violations
+    }
+}
+
+/// Syscalls admitted during a shutdown grace window: just enough to let an
+/// application persist its state (paper §VII).
+fn is_save_syscall(call: &Syscall) -> bool {
+    matches!(
+        call,
+        Syscall::DsPut { .. }
+            | Syscall::Write { .. }
+            | Syscall::Fsync { .. }
+            | Syscall::Close { .. }
+            | Syscall::Exit { .. }
+    )
+}
+
+impl OsEngine for Os {
+    fn submit(&mut self, sid: SyscallId, pid: Pid, call: Syscall) {
+        if self.kernel.shutdown_pending() && !is_save_syscall(&call) {
+            // Non-save calls are refused during the grace window so the
+            // remaining budget is spent on state saving.
+            self.pending_refusals.push((sid, pid, SysReply::Err(
+                osiris_kernel::abi::Errno::ESHUTDOWN,
+            )));
+            return;
+        }
+        let dst = self.route(&call);
+        self.kernel.send_user_request(dst, OsMsg::User { pid, call }, sid, pid);
+    }
+
+    fn pump(&mut self) -> Vec<(SyscallId, Pid, SysReply)> {
+        self.kernel.pump();
+        let mut replies = std::mem::take(&mut self.pending_refusals);
+        replies.extend(self.kernel.take_user_replies());
+        replies
+    }
+
+    fn take_kill_events(&mut self) -> Vec<Pid> {
+        self.kernel.take_kill_events()
+    }
+
+    fn fire_next_timer(&mut self) -> bool {
+        if !self.kernel.fire_next_timer() {
+            return false;
+        }
+        self.kernel.pump();
+        true
+    }
+
+    fn shutdown_state(&self) -> Option<ShutdownKind> {
+        self.kernel.shutdown_state().cloned()
+    }
+
+    fn now(&self) -> u64 {
+        self.kernel.now()
+    }
+
+    fn charge_user(&mut self, units: u64) {
+        let c = self.kernel.cost().user_compute;
+        self.kernel.charge(units * c);
+    }
+}

@@ -1,0 +1,375 @@
+//! The inter-component protocol of the OSIRIS OS, with SEEP metadata
+//! engraved on every payload variant.
+//!
+//! Classification rationale (paper §III-B, §IV-B):
+//!
+//! * **Requests that change the receiver's state** (fork an address space,
+//!   write a disk block, clean up a process) are `StateModifying`: once such
+//!   a message leaves a component, rolling the sender back would orphan the
+//!   remote change, so the sender's recovery window must close.
+//! * **Read-only queries** (`VmUsage`, `VfsExecLoad`, `Ping`) are
+//!   `NonStateModifying`. `VfsExecLoad` deserves a note: loading a binary
+//!   fills the VFS block cache, but cache contents are *soft state* with no
+//!   semantic visibility — exactly the kind of interaction the paper's
+//!   enhanced policy marks as dependency-free to widen recovery windows.
+//! * **Replies** are conservatively `StateModifying`: delivering a reply
+//!   resumes a continuation in the requester, creating a dependency on the
+//!   replier having really performed the work. Since servers reply at the
+//!   end of a handler, this costs almost no recovery coverage.
+//! * `Announce` is a fire-and-forget trace notification from DS to RS whose
+//!   handler is contractually state-free, so it is `NonStateModifying` —
+//!   this is the SEEP that gives DS its large pessimistic/enhanced coverage
+//!   gap (Table I).
+
+use osiris_core::{SeepClass, SeepMeta};
+use osiris_kernel::abi::{Errno, Pid, Syscall, SysReply};
+use osiris_kernel::Protocol;
+
+/// Every message exchanged in the OSIRIS OS.
+#[derive(Clone, Debug)]
+pub enum OsMsg {
+    // --- user ↔ server ---
+    /// A user syscall routed to its owning server.
+    User {
+        /// The calling process.
+        pid: Pid,
+        /// The call.
+        call: Syscall,
+    },
+    /// The final reply of a syscall, routed back to the process.
+    UserReply(SysReply),
+
+    // --- PM → VM ---
+    /// Duplicate `parent`'s address space for `child` (fork).
+    VmFork {
+        /// The forking process.
+        parent: Pid,
+        /// The new child.
+        child: Pid,
+    },
+    /// Replace `pid`'s address space with a fresh image (exec).
+    VmExecReset {
+        /// The exec'ing process.
+        pid: Pid,
+    },
+    /// Release `pid`'s address space (exit). Fire-and-forget.
+    VmFree {
+        /// The exiting process.
+        pid: Pid,
+    },
+    /// Like `VmFree`, but sent on the *requester's own* exit path: the
+    /// state change is scoped to the requesting process, so the
+    /// kill-requester reconciliation (paper §VII) can clean it.
+    VmFreeSelf {
+        /// The exiting process (== the requester).
+        pid: Pid,
+    },
+    /// Read-only query of `pid`'s resident pages.
+    VmUsage {
+        /// The queried process.
+        pid: Pid,
+    },
+
+    // --- PM → VFS ---
+    /// Load the binary image of `prog` (read-only; warms the block cache).
+    VfsExecLoad {
+        /// Process performing the exec.
+        pid: Pid,
+        /// Program name.
+        prog: String,
+    },
+    /// Close `pid`'s descriptors and cancel its blocked VFS operations.
+    /// Fire-and-forget.
+    VfsCleanup {
+        /// The exiting or killed process.
+        pid: Pid,
+    },
+    /// Like `VfsCleanup`, but on the requester's own exit path
+    /// (requester-scoped; see `VmFreeSelf`).
+    VfsCleanupSelf {
+        /// The exiting process (== the requester).
+        pid: Pid,
+    },
+    /// Duplicate `parent`'s descriptor table for `child` (fork inherits
+    /// open files and pipe ends).
+    VfsForkDup {
+        /// The forking process.
+        parent: Pid,
+        /// The new child.
+        child: Pid,
+    },
+
+    // --- VFS → disk driver ---
+    /// Read block `block`.
+    DiskRead {
+        /// Block number.
+        block: u64,
+    },
+    /// Write block `block`.
+    DiskWrite {
+        /// Block number.
+        block: u64,
+        /// Block contents.
+        data: Vec<u8>,
+    },
+
+    // --- generic inter-server replies ---
+    /// Success, no payload.
+    ROk,
+    /// Success with an integer.
+    RVal(u64),
+    /// Success with bytes (disk read).
+    RData(Vec<u8>),
+    /// Failure.
+    RErr(Errno),
+    /// The replier crashed and was recovered; the request was discarded
+    /// (error virtualization).
+    RCrash,
+
+    // --- DS → RS ---
+    /// Trace notification that `key` was published. The RS handler is
+    /// contractually state-free.
+    Announce {
+        /// Published key.
+        key: String,
+    },
+
+    // --- RS → DS ---
+    /// RS persists its service status into the data store after each
+    /// heartbeat round (as MINIX's RS publishes to DS). State-modifying:
+    /// it updates DS's store.
+    StatusPublish {
+        /// Heartbeat round number.
+        round: u64,
+    },
+
+    // --- heartbeats ---
+    /// Liveness probe from RS.
+    Ping,
+    /// Liveness answer.
+    Pong,
+
+    // --- kernel / timer notifications ---
+    /// A component crashed; sent by the kernel to RS.
+    CrashNotify {
+        /// Endpoint index of the crashed component.
+        target: u8,
+    },
+    /// Kill-requester reconciliation order from the kernel to RS
+    /// (paper §VII): terminate `pid` through the normal kill path.
+    KillRequester {
+        /// The process to terminate.
+        pid: Pid,
+    },
+    /// RS heartbeat-round timer.
+    HeartbeatTick,
+    /// Disk-latency completion timer.
+    DiskTick {
+        /// Pending-operation token.
+        token: u64,
+    },
+    /// PM sleep-completion timer.
+    SleepTick {
+        /// Sleep token.
+        token: u64,
+    },
+}
+
+impl Protocol for OsMsg {
+    fn seep(&self) -> SeepMeta {
+        use OsMsg::*;
+        match self {
+            // Exit is one-way: the caller is gone, so no error reply can
+            // ever be delivered — a crash while processing it is not
+            // error-virtualizable (the window decision logic sees
+            // `reply_possible = false`).
+            User { call: osiris_kernel::abi::Syscall::Exit { .. }, .. } => SeepMeta {
+                class: SeepClass::StateModifying,
+                kind: osiris_core::MessageKind::Request,
+                reply_possible: false,
+            },
+            // User syscalls: requests that (generally) modify the server.
+            User { .. } => SeepMeta::request(SeepClass::StateModifying),
+            // Replies resume a continuation in the receiver: conservative.
+            UserReply(_) | ROk | RVal(_) | RData(_) | RErr(_) | RCrash | Pong => {
+                SeepMeta::reply(SeepClass::StateModifying)
+            }
+            // State-modifying server-to-server requests.
+            VmFork { .. } | VmExecReset { .. } | VfsForkDup { .. } => {
+                SeepMeta::request(SeepClass::StateModifying)
+            }
+            DiskRead { .. } | DiskWrite { .. } => SeepMeta::request(SeepClass::StateModifying),
+            // Read-only queries: keep the sender's window open (enhanced).
+            VmUsage { .. } => SeepMeta::request(SeepClass::NonStateModifying),
+            VfsExecLoad { .. } => SeepMeta::request(SeepClass::NonStateModifying),
+            Ping => SeepMeta::request(SeepClass::NonStateModifying),
+            // Fire-and-forget state changes.
+            VmFree { .. } | VfsCleanup { .. } | StatusPublish { .. } => {
+                SeepMeta::notification(SeepClass::StateModifying)
+            }
+            // Exit-path variants: the receiver's change is scoped to the
+            // requesting (exiting) process, so killing the requester cleans
+            // it — policies supporting §VII's reconciliation keep the
+            // window open.
+            VmFreeSelf { .. } | VfsCleanupSelf { .. } => {
+                SeepMeta::notification(SeepClass::RequesterScoped)
+            }
+            // Trace-only notification: the receiver's handler is state-free.
+            Announce { .. } => SeepMeta::notification(SeepClass::NonStateModifying),
+            // Kernel/timer notifications (no sender window to consider).
+            CrashNotify { .. } | KillRequester { .. } | HeartbeatTick | DiskTick { .. }
+            | SleepTick { .. } => SeepMeta::notification(SeepClass::NonStateModifying),
+        }
+    }
+
+    fn crash_reply() -> Self {
+        OsMsg::RCrash
+    }
+
+    fn crash_notify(target: u8) -> Self {
+        OsMsg::CrashNotify { target }
+    }
+
+    fn kill_requester(pid: Pid) -> Self {
+        OsMsg::KillRequester { pid }
+    }
+
+    fn as_user_reply(&self) -> Option<SysReply> {
+        match self {
+            OsMsg::UserReply(r) => Some(r.clone()),
+            _ => None,
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        use OsMsg::*;
+        match self {
+            User { .. } => "user",
+            UserReply(_) => "user_reply",
+            VmFork { .. } => "vm_fork",
+            VmExecReset { .. } => "vm_exec_reset",
+            VmFree { .. } => "vm_free",
+            VmFreeSelf { .. } => "vm_free_self",
+            VmUsage { .. } => "vm_usage",
+            VfsExecLoad { .. } => "vfs_exec_load",
+            VfsCleanup { .. } => "vfs_cleanup",
+            VfsCleanupSelf { .. } => "vfs_cleanup_self",
+            VfsForkDup { .. } => "vfs_fork_dup",
+            DiskRead { .. } => "disk_read",
+            DiskWrite { .. } => "disk_write",
+            ROk => "r_ok",
+            RVal(_) => "r_val",
+            RData(_) => "r_data",
+            RErr(_) => "r_err",
+            RCrash => "r_crash",
+            Announce { .. } => "announce",
+            StatusPublish { .. } => "status_publish",
+            Ping => "ping",
+            Pong => "pong",
+            CrashNotify { .. } => "crash_notify",
+            KillRequester { .. } => "kill_requester",
+            HeartbeatTick => "heartbeat_tick",
+            DiskTick { .. } => "disk_tick",
+            SleepTick { .. } => "sleep_tick",
+        }
+    }
+}
+
+/// Converts a reply payload into a `Result` for continuation code.
+pub fn reply_result(msg: &OsMsg) -> Result<&OsMsg, Errno> {
+    match msg {
+        OsMsg::RErr(e) => Err(*e),
+        OsMsg::RCrash => Err(Errno::ECRASH),
+        other => Ok(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osiris_core::MessageKind;
+
+    #[test]
+    fn read_only_queries_are_non_state_modifying() {
+        assert_eq!(
+            OsMsg::VmUsage { pid: Pid(1) }.seep().class,
+            SeepClass::NonStateModifying
+        );
+        assert_eq!(
+            OsMsg::VfsExecLoad { pid: Pid(1), prog: "sh".into() }.seep().class,
+            SeepClass::NonStateModifying
+        );
+        assert_eq!(OsMsg::Ping.seep().class, SeepClass::NonStateModifying);
+        assert_eq!(OsMsg::Announce { key: "k".into() }.seep().class, SeepClass::NonStateModifying);
+    }
+
+    #[test]
+    fn mutating_requests_are_state_modifying() {
+        for m in [
+            OsMsg::VmFork { parent: Pid(1), child: Pid(2) },
+            OsMsg::VmExecReset { pid: Pid(1) },
+            OsMsg::DiskRead { block: 0 },
+            OsMsg::DiskWrite { block: 0, data: vec![] },
+        ] {
+            assert_eq!(m.seep().class, SeepClass::StateModifying, "{}", m.label());
+            assert_eq!(m.seep().kind, MessageKind::Request);
+        }
+    }
+
+    #[test]
+    fn replies_are_conservative() {
+        for m in [OsMsg::ROk, OsMsg::RVal(0), OsMsg::RErr(Errno::EIO), OsMsg::RCrash, OsMsg::Pong]
+        {
+            assert_eq!(m.seep().kind, MessageKind::Reply, "{}", m.label());
+            assert_eq!(m.seep().class, SeepClass::StateModifying, "{}", m.label());
+        }
+    }
+
+    #[test]
+    fn crash_constructors() {
+        assert!(matches!(OsMsg::crash_reply(), OsMsg::RCrash));
+        assert!(matches!(OsMsg::crash_notify(3), OsMsg::CrashNotify { target: 3 }));
+        assert!(matches!(
+            OsMsg::kill_requester(Pid(9)),
+            OsMsg::KillRequester { pid: Pid(9) }
+        ));
+    }
+
+    #[test]
+    fn exit_requests_cannot_be_error_replied() {
+        let seep = OsMsg::User {
+            pid: Pid(2),
+            call: osiris_kernel::abi::Syscall::Exit { code: 0 },
+        }
+        .seep();
+        assert_eq!(seep.kind, MessageKind::Request);
+        assert!(!seep.reply_possible, "exit is one-way");
+    }
+
+    #[test]
+    fn exit_path_releases_are_requester_scoped() {
+        for m in [OsMsg::VmFreeSelf { pid: Pid(1) }, OsMsg::VfsCleanupSelf { pid: Pid(1) }] {
+            assert_eq!(m.seep().class, SeepClass::RequesterScoped, "{}", m.label());
+            // Scoped messages still count as state-modifying for plain
+            // policies (conservative default).
+            assert!(m.seep().class.is_state_modifying());
+        }
+        // The kill-path variants stay plain state-modifying.
+        for m in [OsMsg::VmFree { pid: Pid(1) }, OsMsg::VfsCleanup { pid: Pid(1) }] {
+            assert_eq!(m.seep().class, SeepClass::StateModifying, "{}", m.label());
+        }
+    }
+
+    #[test]
+    fn reply_result_maps_errors() {
+        assert_eq!(reply_result(&OsMsg::RErr(Errno::EIO)).unwrap_err(), Errno::EIO);
+        assert_eq!(reply_result(&OsMsg::RCrash).unwrap_err(), Errno::ECRASH);
+        assert!(reply_result(&OsMsg::ROk).is_ok());
+    }
+
+    #[test]
+    fn user_reply_projection() {
+        assert_eq!(OsMsg::UserReply(SysReply::Ok).as_user_reply(), Some(SysReply::Ok));
+        assert_eq!(OsMsg::Ping.as_user_reply(), None);
+    }
+}

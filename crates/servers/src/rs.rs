@@ -1,0 +1,191 @@
+//! RS — the Recovery Server.
+//!
+//! The key OSIRIS component (paper §III-C, §IV-C): it is notified by the
+//! kernel when a server crashes, initiates the restart / rollback /
+//! reconciliation sequence, and periodically sends heartbeat messages to
+//! detect hung servers, killing (and then recovering) those that stop
+//! answering. RS is itself recoverable: if it crashes while idle, the kernel
+//! recovers it directly; a fault *during* a recovery it is conducting
+//! violates the single-fault model and brings the system down — the residual
+//! "crash" rows of Tables II/III.
+
+use osiris_checkpoint::{Heap, PCell, PMap};
+use osiris_kernel::{Ctx, Endpoint, Message, Server};
+
+use crate::proto::OsMsg;
+use crate::topology::Topology;
+
+#[derive(Clone, Debug)]
+struct Service {
+    endpoint: u8,
+    restarts: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Handles {
+    services: PMap<u32, Service>,
+    /// Endpoint → heartbeat round in which a ping is still unanswered.
+    outstanding: PMap<u32, u64>,
+    /// Ping message id → target endpoint.
+    ping_waits: PMap<u64, u32>,
+    round: PCell<u64>,
+}
+
+/// The Recovery Server.
+#[derive(Clone, Debug)]
+pub struct RecoveryServer {
+    topo: Topology,
+    heartbeat_interval: u64,
+    h: Option<Handles>,
+}
+
+impl RecoveryServer {
+    /// Creates an RS that heartbeats all core servers every
+    /// `heartbeat_interval` cycles.
+    pub fn new(topo: Topology, heartbeat_interval: u64) -> Self {
+        RecoveryServer { topo, heartbeat_interval, h: None }
+    }
+
+    fn h(&self) -> Handles {
+        self.h.expect("RS used before init")
+    }
+
+    /// Components RS watches: every core server except itself, plus the
+    /// disk driver.
+    fn watched(&self) -> Vec<u8> {
+        [self.topo.pm, self.topo.vm, self.topo.vfs, self.topo.ds, self.topo.disk]
+            .iter()
+            .filter_map(|ep| match ep {
+                Endpoint::Component(c) => Some(*c),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn heartbeat_round(&self, ctx: &mut Ctx<'_, OsMsg>) {
+        ctx.site("rs.hb.entry");
+        let h = self.h();
+        let round = h.round.get(ctx.heap_ref());
+
+        // Servers that never answered last round's ping are hung: have the
+        // kernel kill and recover them (paper §II-E heartbeat detection).
+        let silent: Vec<u32> = h.outstanding.keys(ctx.heap_ref());
+        for ep in silent {
+            ctx.site("rs.hb.silent");
+            h.outstanding.remove(ctx.heap(), &ep);
+            ctx.kill_hung(ep as u8);
+        }
+        ctx.site("rs.hb.checked");
+
+        // New round of pings. `Ping` is non-state-modifying, so under the
+        // enhanced policy the heartbeat handler itself stays recoverable.
+        for ep in self.watched() {
+            let id = ctx.send_request(Endpoint::Component(ep), OsMsg::Ping);
+            h.ping_waits.insert(ctx.heap(), id.0, u32::from(ep));
+            h.outstanding.insert(ctx.heap(), u32::from(ep), round);
+        }
+        // Persist the service status into DS (state-modifying: this closes
+        // the recovery window under *both* policies — the remainder of the
+        // round is unrecoverable bookkeeping, which is why RS has roughly
+        // the same, middling coverage under both policies in Table I).
+        ctx.notify(self.topo.ds, OsMsg::StatusPublish { round });
+        ctx.site("rs.hb.published");
+        h.round.set(ctx.heap(), round + 1);
+        ctx.set_timer(self.heartbeat_interval, OsMsg::HeartbeatTick);
+        ctx.site("rs.hb.armed");
+        // Post-round bookkeeping: compact restart statistics.
+        let mut total_restarts = 0;
+        h.services.for_each(ctx.heap_ref(), |_, svc| total_restarts += svc.restarts);
+        ctx.site("rs.hb.compact");
+        let _ = total_restarts;
+        ctx.charge(40);
+        ctx.site("rs.hb.done");
+    }
+}
+
+impl Server<OsMsg> for RecoveryServer {
+    fn name(&self) -> &'static str {
+        "rs"
+    }
+
+    fn init(&mut self, ctx: &mut Ctx<'_, OsMsg>) {
+        let heap = ctx.heap();
+        let h = Handles {
+            services: heap.alloc_map("rs.services"),
+            outstanding: heap.alloc_map("rs.outstanding"),
+            ping_waits: heap.alloc_map("rs.ping_waits"),
+            round: heap.alloc_cell("rs.round", 0),
+        };
+        for ep in [self.topo.pm, self.topo.vm, self.topo.vfs, self.topo.ds, self.topo.disk] {
+            if let Endpoint::Component(c) = ep {
+                h.services.insert(heap, u32::from(c), Service { endpoint: c, restarts: 0 });
+            }
+        }
+        self.h = Some(h);
+        ctx.set_timer(self.heartbeat_interval, OsMsg::HeartbeatTick);
+    }
+
+    fn handle(&mut self, msg: &Message<OsMsg>, ctx: &mut Ctx<'_, OsMsg>) {
+        let h = self.h();
+        match &msg.payload {
+            OsMsg::CrashNotify { target } => {
+                // Recovery code path: restart, rollback and reconciliation
+                // are executed by the kernel under RS direction.
+                ctx.site("rs.recover.notify");
+                h.services.update(ctx.heap(), &u32::from(*target), |s| s.restarts += 1);
+                ctx.site("rs.recover.account");
+                ctx.recover(*target);
+                ctx.site("rs.recover.issued");
+            }
+            OsMsg::KillRequester { pid } => {
+                // Kill-requester reconciliation (paper §VII): terminate the
+                // requesting process through the normal kill path so every
+                // compartment cleans its requester-scoped state.
+                ctx.site("rs.killreq.entry");
+                ctx.send_request(
+                    self.topo.pm,
+                    OsMsg::User {
+                        pid: *pid,
+                        call: osiris_kernel::abi::Syscall::Kill {
+                            pid: *pid,
+                            sig: osiris_kernel::abi::Signal::SigKill,
+                        },
+                    },
+                );
+                ctx.site("rs.killreq.sent");
+            }
+            OsMsg::HeartbeatTick => self.heartbeat_round(ctx),
+            OsMsg::Pong | OsMsg::RCrash => {
+                ctx.site("rs.pong");
+                if let Some(request_id) = msg.reply_to {
+                    if let Some(ep) = h.ping_waits.remove(ctx.heap(), &request_id.0) {
+                        h.outstanding.remove(ctx.heap(), &ep);
+                    }
+                }
+            }
+            OsMsg::Announce { .. } => {
+                // Contractually state-free (the non-state-modifying SEEP
+                // classification of `Announce` depends on it): trace only.
+                ctx.site("rs.announce");
+            }
+            OsMsg::Ping => {
+                ctx.site("rs.ping");
+                ctx.reply(msg.return_path(), OsMsg::Pong)
+            }
+            _ => {}
+        }
+    }
+
+    fn audit_facts(&self, heap: &Heap) -> Vec<(String, u64)> {
+        let mut facts = Vec::new();
+        self.h().services.for_each(heap, |_, s| {
+            facts.push(("rs.restarts".to_string(), s.restarts));
+            facts.push(("rs.service".to_string(), u64::from(s.endpoint)));
+        });
+        facts
+    }
+
+    fn clone_box(&self) -> Box<dyn Server<OsMsg>> {
+        Box::new(self.clone())
+    }
+}

@@ -1,0 +1,55 @@
+//! The fixed component topology of the OSIRIS OS.
+
+use osiris_kernel::Endpoint;
+
+/// Endpoints of the six components, in registration order.
+///
+/// RS is registered first so the kernel routes crash notifications to it;
+/// the disk driver comes last (it is a driver, not a core server, and is
+/// excluded from the Table I / survivability server set).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Topology {
+    /// Recovery Server.
+    pub rs: Endpoint,
+    /// Process Manager.
+    pub pm: Endpoint,
+    /// Virtual Memory manager.
+    pub vm: Endpoint,
+    /// Virtual File system Server.
+    pub vfs: Endpoint,
+    /// Data Store.
+    pub ds: Endpoint,
+    /// Disk driver.
+    pub disk: Endpoint,
+}
+
+impl Topology {
+    /// The canonical layout used by [`crate::Os`].
+    pub const CANONICAL: Topology = Topology {
+        rs: Endpoint::Component(0),
+        pm: Endpoint::Component(1),
+        vm: Endpoint::Component(2),
+        vfs: Endpoint::Component(3),
+        ds: Endpoint::Component(4),
+        disk: Endpoint::Component(5),
+    };
+
+    /// The endpoint indices of the five core servers (everything but the
+    /// disk driver), used by heartbeats and the evaluation tables.
+    pub fn core_servers(&self) -> [Endpoint; 5] {
+        [self.rs, self.pm, self.vm, self.vfs, self.ds]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_layout_is_stable() {
+        let t = Topology::CANONICAL;
+        assert_eq!(t.rs, Endpoint::Component(0));
+        assert_eq!(t.disk, Endpoint::Component(5));
+        assert_eq!(t.core_servers().len(), 5);
+    }
+}

@@ -1,0 +1,1298 @@
+//! VFS — the Virtual Filesystem Server.
+//!
+//! Provides files, directories and pipes over an in-memory filesystem whose
+//! data blocks live on the simulated disk, with a write-back block cache in
+//! between. VFS is **multithreaded** using the cooperative thread library
+//! (paper §IV-E, §V): an operation that misses the cache parks its
+//! cooperative thread while the disk request is in flight, letting other
+//! requests proceed. A thread yield forcibly closes the recovery window;
+//! cache-hit paths complete without yielding and remain fully recoverable.
+//!
+//! Operations are written in a *retry* style: a continuation re-executes its
+//! ensure-cached walk on every resume and only commits (mutates offsets,
+//! sizes, cache contents) once everything it needs is resident. A crash
+//! anywhere before commit therefore rolls back to a state where the request
+//! simply never happened.
+
+use std::collections::BTreeMap;
+
+use osiris_checkpoint::{Heap, PCell, PMap, PVec};
+use osiris_cothread::{CoPool, ThreadId};
+use osiris_kernel::abi::{Errno, Fd, FileStat, OpenFlags, Pid, SeekFrom, Syscall, SysReply};
+use osiris_kernel::{Ctx, Message, Protocol, ReturnPath, Server};
+
+use crate::disk::BLOCK_SIZE;
+use crate::proto::OsMsg;
+use crate::topology::Topology;
+
+/// Maximum descriptors per process.
+pub const MAX_FDS: u32 = 64;
+/// Maximum bytes per read/write call (keeps one operation's block set well
+/// under the cache capacity).
+pub const MAX_IO: u32 = 16 * BLOCK_SIZE as u32;
+/// Root directory inode number.
+pub const ROOT_INO: u64 = 1;
+/// Disk-block range where program binaries live (exec pseudo-blocks).
+const EXEC_BASE: u64 = 1_000_000;
+/// First disk block available for file data.
+const DATA_BASE: u64 = 2_000_000;
+
+fn fnv(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum InodeKind {
+    File { size: u64 },
+    Dir { entries: BTreeMap<String, u64> },
+}
+
+#[derive(Clone, Debug)]
+struct Inode {
+    kind: InodeKind,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum OpenTarget {
+    File { ino: u64 },
+    PipeR { id: u32 },
+    PipeW { id: u32 },
+}
+
+#[derive(Clone, Debug)]
+struct OpenFile {
+    target: OpenTarget,
+    offset: u64,
+    flags: OpenFlags,
+    refs: u32,
+}
+
+#[derive(Clone, Debug)]
+struct BlockedRead {
+    pid: u32,
+    rp: ReturnPath,
+    len: u32,
+}
+
+#[derive(Clone, Debug)]
+struct Pipe {
+    buf: Vec<u8>,
+    readers: u32,
+    writers: u32,
+    waiting: Vec<BlockedRead>,
+}
+
+#[derive(Clone, Debug)]
+struct CacheBlock {
+    data: Vec<u8>,
+    dirty: bool,
+    stamp: u64,
+}
+
+/// Cooperative-thread continuations (stored in the heap; see module docs).
+#[derive(Clone, Debug)]
+enum VfsCont {
+    Read { slot: u32, rp: ReturnPath, len: u32 },
+    Write { slot: u32, rp: ReturnPath, data: Vec<u8> },
+    ExecLoad { rp: ReturnPath, block: u64 },
+    Fsync { rp: ReturnPath, ino: u64, remaining: u32 },
+}
+
+/// Result of driving a continuation one step.
+enum Step {
+    Done,
+    Need { block: u64, cont: VfsCont },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Handles {
+    /// Served-event statistics, updated after replying (deferred
+    /// bookkeeping outside the recovery window).
+    ops: PCell<u64>,
+    stats: PMap<&'static str, u64>,
+    last_event: PCell<u64>,
+    inodes: PMap<u64, Inode>,
+    next_ino: PCell<u64>,
+    /// (inode, block index within file) → disk block.
+    file_blocks: PMap<(u64, u64), u64>,
+    next_block: PCell<u64>,
+    free_blocks: PVec<u64>,
+    cache: PMap<u64, CacheBlock>,
+    cache_stamp: PCell<u64>,
+    oft: PMap<u32, OpenFile>,
+    next_slot: PCell<u32>,
+    /// (pid, fd) → open-file slot.
+    fds: PMap<(u32, u32), u32>,
+    pipes: PMap<u32, Pipe>,
+    next_pipe: PCell<u32>,
+    pool: CoPool<VfsCont>,
+    /// Outstanding disk request id → (thread, block or 0 for fsync acks).
+    disk_waits: PMap<u64, (u32, u64)>,
+    backlog: PVec<VfsCont>,
+}
+
+/// The Virtual Filesystem Server.
+#[derive(Clone, Debug)]
+pub struct VfsServer {
+    topo: Topology,
+    cache_cap: usize,
+    threads: u32,
+    h: Option<Handles>,
+}
+
+impl VfsServer {
+    /// Creates a VFS with the given block-cache capacity and cooperative
+    /// thread count.
+    pub fn new(topo: Topology, cache_cap: usize, threads: u32) -> Self {
+        VfsServer { topo, cache_cap, threads, h: None }
+    }
+
+    fn h(&self) -> Handles {
+        self.h.expect("VFS used before init")
+    }
+
+    // ------------------------------------------------------------------
+    // Block / cache helpers
+    // ------------------------------------------------------------------
+
+    fn alloc_block(&self, ctx: &mut Ctx<'_, OsMsg>) -> u64 {
+        let h = self.h();
+        if let Some(b) = h.free_blocks.pop(ctx.heap()) {
+            return b;
+        }
+        let b = h.next_block.get(ctx.heap_ref());
+        h.next_block.set(ctx.heap(), b + 1);
+        b
+    }
+
+    /// Inserts `data` for `block` into the cache (evicting if over
+    /// capacity) with the given dirty flag.
+    fn cache_insert(&self, block: u64, data: Vec<u8>, dirty: bool, ctx: &mut Ctx<'_, OsMsg>) {
+        let h = self.h();
+        if !h.cache.contains_key(ctx.heap_ref(), &block)
+            && h.cache.len(ctx.heap_ref()) >= self.cache_cap
+        {
+            self.evict_one(ctx);
+        }
+        let stamp = h.cache_stamp.get(ctx.heap_ref());
+        h.cache_stamp.set(ctx.heap(), stamp + 1);
+        h.cache.insert(ctx.heap(), block, CacheBlock { data, dirty, stamp });
+    }
+
+    /// Evicts the oldest block (FIFO by insertion stamp). A dirty victim is
+    /// written back to disk first (fire and forget). Stamp order guarantees
+    /// a freshly fetched block is never the victim, so multi-block
+    /// operations cannot livelock against their own evictions.
+    fn evict_one(&self, ctx: &mut Ctx<'_, OsMsg>) {
+        let h = self.h();
+        let mut oldest: Option<(u64, u64)> = None; // (stamp, block)
+        h.cache.for_each(ctx.heap_ref(), |b, c| {
+            let older = match oldest {
+                Some((s, _)) => c.stamp < s,
+                None => true,
+            };
+            if older {
+                oldest = Some((c.stamp, *b));
+            }
+        });
+        ctx.site("vfs.cache.evict");
+        if let Some((_, b)) = oldest {
+            let victim = h.cache.remove(ctx.heap(), &b).expect("victim just seen");
+            if victim.dirty {
+                // The write travels with the message; no thread waits for it.
+                ctx.send_request(self.topo.disk, OsMsg::DiskWrite { block: b, data: victim.data });
+            }
+        }
+    }
+
+    fn cached(&self, block: u64, heap: &Heap) -> Option<Vec<u8>> {
+        self.h().cache.get(heap, &block).map(|c| c.data)
+    }
+
+    // ------------------------------------------------------------------
+    // Path resolution
+    // ------------------------------------------------------------------
+
+    /// Resolves `path` to `(parent_ino, leaf_name, Option<leaf_ino>)`.
+    fn resolve(&self, path: &str, heap: &Heap) -> Result<(u64, String, Option<u64>), Errno> {
+        let h = self.h();
+        if !path.starts_with('/') || path.len() > 512 {
+            return Err(Errno::EINVAL);
+        }
+        let parts: Vec<&str> = path.split('/').filter(|p| !p.is_empty()).collect();
+        if parts.is_empty() {
+            // The root itself: parent is root, no leaf.
+            return Ok((ROOT_INO, String::new(), Some(ROOT_INO)));
+        }
+        let mut dir = ROOT_INO;
+        for part in &parts[..parts.len() - 1] {
+            let node = h.inodes.get(heap, &dir).ok_or(Errno::ENOENT)?;
+            match node.kind {
+                InodeKind::Dir { ref entries } => {
+                    dir = *entries.get(*part).ok_or(Errno::ENOENT)?;
+                }
+                InodeKind::File { .. } => return Err(Errno::ENOTDIR),
+            }
+        }
+        let leaf = parts[parts.len() - 1].to_string();
+        let node = h.inodes.get(heap, &dir).ok_or(Errno::ENOENT)?;
+        match node.kind {
+            InodeKind::Dir { ref entries } => {
+                let ino = entries.get(&leaf).copied();
+                Ok((dir, leaf, ino))
+            }
+            InodeKind::File { .. } => Err(Errno::ENOTDIR),
+        }
+    }
+
+    fn file_size(&self, ino: u64, heap: &Heap) -> Option<u64> {
+        match self.h().inodes.get(heap, &ino)?.kind {
+            InodeKind::File { size } => Some(size),
+            InodeKind::Dir { .. } => None,
+        }
+    }
+
+    /// Frees all data blocks of `ino` (cache entries included).
+    fn free_file_blocks(&self, ino: u64, ctx: &mut Ctx<'_, OsMsg>) {
+        let h = self.h();
+        let keys: Vec<(u64, u64)> = h.file_blocks.with_map(ctx.heap_ref(), |m| {
+            m.range((ino, 0)..(ino + 1, 0)).map(|(k, _)| *k).collect()
+        });
+        for k in keys {
+            if let Some(block) = h.file_blocks.remove(ctx.heap(), &k) {
+                h.cache.remove(ctx.heap(), &block);
+                h.free_blocks.push(ctx.heap(), block);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Descriptor helpers
+    // ------------------------------------------------------------------
+
+    fn alloc_fd(&self, pid: u32, ctx: &mut Ctx<'_, OsMsg>) -> Option<u32> {
+        let h = self.h();
+        (0..MAX_FDS).find(|fd| !h.fds.contains_key(ctx.heap_ref(), &(pid, *fd)))
+    }
+
+    fn slot_of(&self, pid: u32, fd: Fd, heap: &Heap) -> Option<(u32, OpenFile)> {
+        let h = self.h();
+        let slot = h.fds.get(heap, &(pid, fd.0))?;
+        let of = h.oft.get(heap, &slot)?;
+        Some((slot, of))
+    }
+
+    fn install_fd(&self, pid: u32, target: OpenTarget, flags: OpenFlags, ctx: &mut Ctx<'_, OsMsg>) -> Option<u32> {
+        let h = self.h();
+        let fd = self.alloc_fd(pid, ctx)?;
+        let slot = h.next_slot.get(ctx.heap_ref());
+        h.next_slot.set(ctx.heap(), slot + 1);
+        h.oft.insert(ctx.heap(), slot, OpenFile { target, offset: 0, flags, refs: 1 });
+        h.fds.insert(ctx.heap(), (pid, fd), slot);
+        Some(fd)
+    }
+
+    // ------------------------------------------------------------------
+    // Continuation engine
+    // ------------------------------------------------------------------
+
+    /// Drives `cont` one step: completes it (replying) or reports the disk
+    /// block it needs next.
+    fn step(&self, cont: VfsCont, ctx: &mut Ctx<'_, OsMsg>) -> Step {
+        match cont {
+            VfsCont::Read { slot, rp, len } => self.step_read(slot, rp, len, ctx),
+            VfsCont::Write { slot, rp, data } => self.step_write(slot, rp, data, ctx),
+            VfsCont::ExecLoad { rp, block } => {
+                ctx.site("vfs.exec.step");
+                if self.h().cache.contains_key(ctx.heap_ref(), &block) {
+                    ctx.reply(rp, OsMsg::ROk);
+                    Step::Done
+                } else {
+                    Step::Need { block, cont: VfsCont::ExecLoad { rp, block } }
+                }
+            }
+            VfsCont::Fsync { .. } => unreachable!("fsync is driven by its own path"),
+        }
+    }
+
+    fn step_read(&self, slot: u32, rp: ReturnPath, len: u32, ctx: &mut Ctx<'_, OsMsg>) -> Step {
+        let h = self.h();
+        ctx.site("vfs.read.step");
+        let Some(of) = h.oft.get(ctx.heap_ref(), &slot) else {
+            ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EBADF)));
+            return Step::Done;
+        };
+        let OpenTarget::File { ino } = of.target else {
+            ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EBADF)));
+            return Step::Done;
+        };
+        let Some(size) = self.file_size(ino, ctx.heap_ref()) else {
+            ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EIO)));
+            return Step::Done;
+        };
+        let off = of.offset;
+        if off >= size || len == 0 {
+            ctx.reply(rp, OsMsg::UserReply(SysReply::Data(Vec::new())));
+            return Step::Done;
+        }
+        // Value probe: a fail-silent fault here perturbs the effective
+        // read length (an off-by-N bug), silently returning wrong data.
+        let n = ctx.site_val("vfs.read.len", u64::from(len).min(size - off)).min(size - off).max(1);
+        let b0 = off / BLOCK_SIZE as u64;
+        let b1 = (off + n - 1) / BLOCK_SIZE as u64;
+        // Ensure phase: every mapped block must be cached.
+        for idx in b0..=b1 {
+            if let Some(block) = h.file_blocks.get(ctx.heap_ref(), &(ino, idx)) {
+                if !h.cache.contains_key(ctx.heap_ref(), &block) {
+                    return Step::Need { block, cont: VfsCont::Read { slot, rp, len } };
+                }
+            }
+        }
+        ctx.site("vfs.read.assemble");
+        // Commit phase: assemble and advance the offset.
+        let mut data = Vec::with_capacity(n as usize);
+        for idx in b0..=b1 {
+            let chunk_start = (idx * BLOCK_SIZE as u64).max(off);
+            let chunk_end = ((idx + 1) * BLOCK_SIZE as u64).min(off + n);
+            let s = (chunk_start % BLOCK_SIZE as u64) as usize;
+            let e = s + (chunk_end - chunk_start) as usize;
+            match h.file_blocks.get(ctx.heap_ref(), &(ino, idx)) {
+                Some(block) => {
+                    let bytes = self.cached(block, ctx.heap_ref()).expect("ensured above");
+                    data.extend_from_slice(&bytes[s..e]);
+                }
+                None => data.extend(std::iter::repeat(0u8).take(e - s)),
+            }
+        }
+        h.oft.update(ctx.heap(), &slot, |f| f.offset = off + n);
+        ctx.charge(n / 8);
+        ctx.reply(rp, OsMsg::UserReply(SysReply::Data(data)));
+        Step::Done
+    }
+
+    fn step_write(
+        &self,
+        slot: u32,
+        rp: ReturnPath,
+        data: Vec<u8>,
+        ctx: &mut Ctx<'_, OsMsg>,
+    ) -> Step {
+        let h = self.h();
+        ctx.site("vfs.write.step");
+        let Some(of) = h.oft.get(ctx.heap_ref(), &slot) else {
+            ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EBADF)));
+            return Step::Done;
+        };
+        let OpenTarget::File { ino } = of.target else {
+            ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EBADF)));
+            return Step::Done;
+        };
+        if !of.flags.write {
+            ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EBADF)));
+            return Step::Done;
+        }
+        let Some(size) = self.file_size(ino, ctx.heap_ref()) else {
+            ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EIO)));
+            return Step::Done;
+        };
+        let off = if of.flags.append { size } else { of.offset };
+        let n = data.len() as u64;
+        if n == 0 {
+            ctx.reply(rp, OsMsg::UserReply(SysReply::Val(0)));
+            return Step::Done;
+        }
+        let end = off + n;
+        let b0 = off / BLOCK_SIZE as u64;
+        let b1 = (end - 1) / BLOCK_SIZE as u64;
+        // Ensure phase: partially-overwritten mapped blocks must be cached
+        // (read-modify-write needs their current contents).
+        for idx in b0..=b1 {
+            let block_start = idx * BLOCK_SIZE as u64;
+            let block_end = block_start + BLOCK_SIZE as u64;
+            let fully_covered = off <= block_start && end >= block_end;
+            if fully_covered {
+                continue;
+            }
+            if let Some(block) = h.file_blocks.get(ctx.heap_ref(), &(ino, idx)) {
+                if !h.cache.contains_key(ctx.heap_ref(), &block) {
+                    return Step::Need { block, cont: VfsCont::Write { slot, rp, data } };
+                }
+            }
+        }
+        ctx.site("vfs.write.commit");
+        // Commit phase.
+        for idx in b0..=b1 {
+            // A fault mid-commit tears the file: earlier blocks committed,
+            // later ones and the size not yet updated. Only rollback-based
+            // recovery undoes this.
+            if idx > b0 && idx == b1 {
+                ctx.site("vfs.write.block");
+            }
+            let block = match h.file_blocks.get(ctx.heap_ref(), &(ino, idx)) {
+                Some(b) => b,
+                None => {
+                    let b = self.alloc_block(ctx);
+                    h.file_blocks.insert(ctx.heap(), (ino, idx), b);
+                    b
+                }
+            };
+            let mut bytes = self
+                .cached(block, ctx.heap_ref())
+                .unwrap_or_else(|| vec![0u8; BLOCK_SIZE]);
+            bytes.resize(BLOCK_SIZE, 0);
+            let block_start = idx * BLOCK_SIZE as u64;
+            let s = off.max(block_start);
+            let e = end.min(block_start + BLOCK_SIZE as u64);
+            let src_s = (s - off) as usize;
+            let src_e = (e - off) as usize;
+            let dst_s = (s - block_start) as usize;
+            let dst_e = (e - block_start) as usize;
+            bytes[dst_s..dst_e].copy_from_slice(&data[src_s..src_e]);
+            self.cache_insert(block, bytes, true, ctx);
+        }
+        if end > size {
+            h.inodes.update(ctx.heap(), &ino, |node| {
+                if let InodeKind::File { size } = &mut node.kind {
+                    *size = end;
+                }
+            });
+        }
+        h.oft.update(ctx.heap(), &slot, |f| f.offset = end);
+        ctx.charge(n / 8);
+        ctx.reply(rp, OsMsg::UserReply(SysReply::Val(n as i64)));
+        Step::Done
+    }
+
+    /// Runs a fresh continuation: completes inline on cache hits, otherwise
+    /// parks it on a cooperative thread (or the backlog if all threads are
+    /// busy).
+    fn run_or_park(&self, cont: VfsCont, ctx: &mut Ctx<'_, OsMsg>) {
+        if let VfsCont::Fsync { rp, ino, .. } = cont {
+            // Backlogged fsyncs restart from scratch (the dirty set may have
+            // changed while queued).
+            self.fsync_start(ino, rp, ctx);
+            return;
+        }
+        match self.step(cont, ctx) {
+            Step::Done => {}
+            Step::Need { block, cont } => self.park(block, cont, ctx),
+        }
+    }
+
+    fn park(&self, block: u64, cont: VfsCont, ctx: &mut Ctx<'_, OsMsg>) {
+        let h = self.h();
+        match h.pool.activate(ctx.heap()) {
+            Some(tid) => {
+                ctx.site("vfs.thread.park");
+                let id = ctx.send_request(self.topo.disk, OsMsg::DiskRead { block });
+                h.disk_waits.insert(ctx.heap(), id.0, (tid.0, block));
+                h.pool.yield_blocked(ctx.heap(), tid, cont);
+                // Paper §IV-E: yielding forcibly closes the recovery window.
+                ctx.yield_window();
+            }
+            None => {
+                ctx.site("vfs.thread.backlog");
+                h.backlog.push(ctx.heap(), cont);
+            }
+        }
+    }
+
+    /// A disk reply arrived for the request `request_id`.
+    fn disk_reply(&self, request_id: u64, payload: &OsMsg, ctx: &mut Ctx<'_, OsMsg>) {
+        let h = self.h();
+        let Some((tid, block)) = h.disk_waits.remove(ctx.heap(), &request_id) else {
+            // An eviction write-back ack, or a rolled-back transaction.
+            return;
+        };
+        ctx.site("vfs.disk.reply");
+        let failure = match payload {
+            OsMsg::RData(data) => {
+                if block != 0 {
+                    self.cache_insert(block, data.clone(), false, ctx);
+                }
+                None
+            }
+            OsMsg::ROk => None,
+            OsMsg::RErr(_) => Some(Errno::EIO),
+            OsMsg::RCrash => Some(Errno::EIO),
+            _ => None,
+        };
+        let Some(cont) = h.pool.resume(ctx.heap(), ThreadId(tid)) else {
+            // Thread was cleaned up by recovery; drop the data (it is safely
+            // cached) and move on.
+            return;
+        };
+        if let Some(e) = failure {
+            let rp = match &cont {
+                VfsCont::Read { rp, .. }
+                | VfsCont::Write { rp, .. }
+                | VfsCont::Fsync { rp, .. } => *rp,
+                VfsCont::ExecLoad { rp, .. } => {
+                    let rp = *rp;
+                    self.finish_thread(ThreadId(tid), ctx);
+                    ctx.reply(rp, OsMsg::RErr(e));
+                    return;
+                }
+            };
+            self.finish_thread(ThreadId(tid), ctx);
+            ctx.reply(rp, OsMsg::UserReply(SysReply::Err(e)));
+            return;
+        }
+        match cont {
+            VfsCont::Fsync { rp, ino, remaining } => {
+                let remaining = remaining.saturating_sub(1);
+                if remaining == 0 {
+                    self.finish_thread(ThreadId(tid), ctx);
+                    ctx.reply(rp, OsMsg::UserReply(SysReply::Ok));
+                } else {
+                    self.h().pool.yield_blocked(
+                        ctx.heap(),
+                        ThreadId(tid),
+                        VfsCont::Fsync { rp, ino, remaining },
+                    );
+                    ctx.yield_window();
+                }
+            }
+            other => match self.step(other, ctx) {
+                Step::Done => self.finish_thread(ThreadId(tid), ctx),
+                Step::Need { block, cont } => {
+                    let id = ctx.send_request(self.topo.disk, OsMsg::DiskRead { block });
+                    self.h().disk_waits.insert(ctx.heap(), id.0, (tid, block));
+                    self.h().pool.yield_blocked(ctx.heap(), ThreadId(tid), cont);
+                    ctx.yield_window();
+                }
+            },
+        }
+    }
+
+    fn finish_thread(&self, tid: ThreadId, ctx: &mut Ctx<'_, OsMsg>) {
+        let h = self.h();
+        h.pool.finish(ctx.heap(), tid);
+        // A thread freed up: give the oldest backlogged operation a chance.
+        if !h.backlog.is_empty(ctx.heap_ref()) {
+            let cont = h.backlog.get(ctx.heap_ref(), 0).expect("nonempty");
+            // Remove index 0 by rebuilding the tail (backlogs are short).
+            let rest: Vec<VfsCont> = {
+                let all = h.backlog.snapshot(ctx.heap_ref());
+                all[1..].to_vec()
+            };
+            h.backlog.clear(ctx.heap());
+            for c in rest {
+                h.backlog.push(ctx.heap(), c);
+            }
+            self.run_or_park(cont, ctx);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Inline operations
+    // ------------------------------------------------------------------
+
+    fn open(&self, pid: Pid, path: &str, flags: OpenFlags, rp: ReturnPath, ctx: &mut Ctx<'_, OsMsg>) {
+        let h = self.h();
+        ctx.site("vfs.open.entry");
+        let (parent, leaf, ino) = match self.resolve(path, ctx.heap_ref()) {
+            Ok(r) => r,
+            Err(e) => {
+                ctx.reply(rp, OsMsg::UserReply(SysReply::Err(e)));
+                return;
+            }
+        };
+        let ino = match ino {
+            Some(i) => {
+                let node = h.inodes.get(ctx.heap_ref(), &i).expect("resolved inode exists");
+                if matches!(node.kind, InodeKind::Dir { .. }) {
+                    ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EISDIR)));
+                    return;
+                }
+                if flags.truncate {
+                    ctx.site("vfs.open.truncate");
+                    self.free_file_blocks(i, ctx);
+                    h.inodes.update(ctx.heap(), &i, |n| n.kind = InodeKind::File { size: 0 });
+                }
+                i
+            }
+            None => {
+                if !ctx.site_branch("vfs.open.create", flags.create) {
+                    ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::ENOENT)));
+                    return;
+                }
+                let i = h.next_ino.get(ctx.heap_ref());
+                h.next_ino.set(ctx.heap(), i + 1);
+                h.inodes.insert(ctx.heap(), i, Inode { kind: InodeKind::File { size: 0 } });
+                h.inodes.update(ctx.heap(), &parent, |n| {
+                    if let InodeKind::Dir { entries } = &mut n.kind {
+                        entries.insert(leaf.clone(), i);
+                    }
+                });
+                ctx.site("vfs.open.created");
+                i
+            }
+        };
+        match self.install_fd(pid.0, OpenTarget::File { ino }, flags, ctx) {
+            Some(fd) => {
+                ctx.site("vfs.open.done");
+                ctx.reply(rp, OsMsg::UserReply(SysReply::Desc(Fd(fd))));
+            }
+            None => ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EMFILE))),
+        }
+    }
+
+    /// Close semantics shared by `close`, `cleanup` and pipe teardown.
+    ///
+    /// Pipe reader/writer counts track *descriptors* (`dup` and fork
+    /// inheritance increment them), so every close decrements them — not
+    /// just the one that drops the last slot reference.
+    fn close_slot(&self, slot: u32, ctx: &mut Ctx<'_, OsMsg>) {
+        let h = self.h();
+        let Some(of) = h.oft.get(ctx.heap_ref(), &slot) else { return };
+        match of.target {
+            OpenTarget::File { .. } => {}
+            OpenTarget::PipeR { id } => {
+                h.pipes.update(ctx.heap(), &id, |p| p.readers -= 1);
+            }
+            OpenTarget::PipeW { id } => {
+                let wake = h
+                    .pipes
+                    .update(ctx.heap(), &id, |p| {
+                        p.writers -= 1;
+                        if p.writers == 0 {
+                            std::mem::take(&mut p.waiting)
+                        } else {
+                            Vec::new()
+                        }
+                    })
+                    .unwrap_or_default();
+                for w in wake {
+                    // End of file for every blocked reader.
+                    ctx.reply(w.rp, OsMsg::UserReply(SysReply::Data(Vec::new())));
+                }
+            }
+        }
+        if let OpenTarget::PipeR { id } | OpenTarget::PipeW { id } = of.target {
+            let gone = h
+                .pipes
+                .with(ctx.heap_ref(), &id, |p| p.readers == 0 && p.writers == 0)
+                .unwrap_or(false);
+            if gone {
+                h.pipes.remove(ctx.heap(), &id);
+            }
+        }
+        if of.refs > 1 {
+            h.oft.update(ctx.heap(), &slot, |f| f.refs -= 1);
+        } else {
+            h.oft.remove(ctx.heap(), &slot);
+        }
+    }
+
+    fn close(&self, pid: Pid, fd: Fd, rp: ReturnPath, ctx: &mut Ctx<'_, OsMsg>) {
+        let h = self.h();
+        ctx.site("vfs.close.entry");
+        let Some(slot) = h.fds.remove(ctx.heap(), &(pid.0, fd.0)) else {
+            ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EBADF)));
+            return;
+        };
+        self.close_slot(slot, ctx);
+        ctx.reply(rp, OsMsg::UserReply(SysReply::Ok));
+    }
+
+    fn dup(&self, pid: Pid, fd: Fd, rp: ReturnPath, ctx: &mut Ctx<'_, OsMsg>) {
+        let h = self.h();
+        ctx.site("vfs.dup.entry");
+        let Some((slot, of)) = self.slot_of(pid.0, fd, ctx.heap_ref()) else {
+            ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EBADF)));
+            return;
+        };
+        let Some(newfd) = self.alloc_fd(pid.0, ctx) else {
+            ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EMFILE)));
+            return;
+        };
+        h.oft.update(ctx.heap(), &slot, |f| f.refs += 1);
+        match of.target {
+            OpenTarget::PipeR { id } => {
+                h.pipes.update(ctx.heap(), &id, |p| p.readers += 1);
+            }
+            OpenTarget::PipeW { id } => {
+                h.pipes.update(ctx.heap(), &id, |p| p.writers += 1);
+            }
+            OpenTarget::File { .. } => {}
+        }
+        h.fds.insert(ctx.heap(), (pid.0, newfd), slot);
+        ctx.reply(rp, OsMsg::UserReply(SysReply::Desc(Fd(newfd))));
+    }
+
+    fn mkpipe(&self, pid: Pid, rp: ReturnPath, ctx: &mut Ctx<'_, OsMsg>) {
+        let h = self.h();
+        ctx.site("vfs.pipe.entry");
+        let id = h.next_pipe.get(ctx.heap_ref());
+        h.next_pipe.set(ctx.heap(), id + 1);
+        h.pipes.insert(
+            ctx.heap(),
+            id,
+            Pipe { buf: Vec::new(), readers: 1, writers: 1, waiting: Vec::new() },
+        );
+        let Some(rfd) = self.install_fd(pid.0, OpenTarget::PipeR { id }, OpenFlags::RDONLY, ctx)
+        else {
+            h.pipes.remove(ctx.heap(), &id);
+            ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EMFILE)));
+            return;
+        };
+        let wflags =
+            OpenFlags { read: false, write: true, create: false, truncate: false, append: false };
+        let Some(wfd) = self.install_fd(pid.0, OpenTarget::PipeW { id }, wflags, ctx) else {
+            // Roll the read end back by hand.
+            if let Some(slot) = h.fds.remove(ctx.heap(), &(pid.0, rfd)) {
+                h.oft.remove(ctx.heap(), &slot);
+            }
+            h.pipes.remove(ctx.heap(), &id);
+            ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EMFILE)));
+            return;
+        };
+        ctx.site("vfs.pipe.done");
+        ctx.reply(rp, OsMsg::UserReply(SysReply::TwoDesc(Fd(rfd), Fd(wfd))));
+    }
+
+    fn pipe_read(&self, pid: Pid, id: u32, len: u32, rp: ReturnPath, ctx: &mut Ctx<'_, OsMsg>) {
+        let h = self.h();
+        ctx.site("vfs.pipe.read");
+        let Some(pipe) = h.pipes.get(ctx.heap_ref(), &id) else {
+            ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EPIPE)));
+            return;
+        };
+        if !pipe.buf.is_empty() {
+            let k = (len as usize).min(pipe.buf.len());
+            let data = h
+                .pipes
+                .update(ctx.heap(), &id, |p| p.buf.drain(..k).collect::<Vec<u8>>())
+                .unwrap_or_default();
+            ctx.reply(rp, OsMsg::UserReply(SysReply::Data(data)));
+        } else if ctx.site_branch("vfs.pipe.read_eof", pipe.writers == 0) {
+            ctx.reply(rp, OsMsg::UserReply(SysReply::Data(Vec::new())));
+        } else {
+            h.pipes.update(ctx.heap(), &id, |p| {
+                p.waiting.push(BlockedRead { pid: pid.0, rp, len });
+            });
+            ctx.site("vfs.pipe.read_block");
+        }
+    }
+
+    fn pipe_write(&self, id: u32, bytes: &[u8], rp: ReturnPath, ctx: &mut Ctx<'_, OsMsg>) {
+        let h = self.h();
+        ctx.site("vfs.pipe.write");
+        let Some(pipe) = h.pipes.get(ctx.heap_ref(), &id) else {
+            ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EPIPE)));
+            return;
+        };
+        if pipe.readers == 0 {
+            ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EPIPE)));
+            return;
+        }
+        // Append, then satisfy blocked readers in arrival order.
+        let served: Vec<(ReturnPath, Vec<u8>)> = h
+            .pipes
+            .update(ctx.heap(), &id, |p| {
+                p.buf.extend_from_slice(bytes);
+                let mut served = Vec::new();
+                while !p.waiting.is_empty() && !p.buf.is_empty() {
+                    let w = p.waiting.remove(0);
+                    let k = (w.len as usize).min(p.buf.len());
+                    let data: Vec<u8> = p.buf.drain(..k).collect();
+                    served.push((w.rp, data));
+                }
+                served
+            })
+            .unwrap_or_default();
+        ctx.charge(bytes.len() as u64 / 8);
+        for (wrp, data) in served {
+            ctx.reply(wrp, OsMsg::UserReply(SysReply::Data(data)));
+        }
+        ctx.site("vfs.pipe.write_done");
+        ctx.reply(rp, OsMsg::UserReply(SysReply::Val(bytes.len() as i64)));
+    }
+
+    fn seek(&self, pid: Pid, fd: Fd, from: SeekFrom, rp: ReturnPath, ctx: &mut Ctx<'_, OsMsg>) {
+        let h = self.h();
+        ctx.site("vfs.seek.entry");
+        let Some((slot, of)) = self.slot_of(pid.0, fd, ctx.heap_ref()) else {
+            ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EBADF)));
+            return;
+        };
+        let OpenTarget::File { ino } = of.target else {
+            ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EPIPE)));
+            return;
+        };
+        let size = self.file_size(ino, ctx.heap_ref()).unwrap_or(0);
+        let new: i64 = match from {
+            SeekFrom::Start(o) => o as i64,
+            SeekFrom::Current(d) => of.offset as i64 + d,
+            SeekFrom::End(d) => size as i64 + d,
+        };
+        if new < 0 {
+            ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EINVAL)));
+            return;
+        }
+        h.oft.update(ctx.heap(), &slot, |f| f.offset = new as u64);
+        ctx.reply(rp, OsMsg::UserReply(SysReply::Val(new)));
+    }
+
+    fn stat(&self, path: &str, rp: ReturnPath, ctx: &mut Ctx<'_, OsMsg>) {
+        let h = self.h();
+        ctx.site("vfs.stat.entry");
+        match self.resolve(path, ctx.heap_ref()) {
+            Ok((_, _, Some(ino))) => {
+                let node = h.inodes.get(ctx.heap_ref(), &ino).expect("resolved");
+                let st = match node.kind {
+                    InodeKind::File { size } => FileStat { size, is_dir: false, nlink: 1 },
+                    InodeKind::Dir { ref entries } => FileStat {
+                        size: 0,
+                        is_dir: true,
+                        nlink: entries.len() as u32 + 2,
+                    },
+                };
+                ctx.reply(rp, OsMsg::UserReply(SysReply::StatInfo(st)));
+            }
+            Ok((_, _, None)) => ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::ENOENT))),
+            Err(e) => ctx.reply(rp, OsMsg::UserReply(SysReply::Err(e))),
+        }
+    }
+
+    fn mkdir(&self, path: &str, rp: ReturnPath, ctx: &mut Ctx<'_, OsMsg>) {
+        let h = self.h();
+        ctx.site("vfs.mkdir.entry");
+        match self.resolve(path, ctx.heap_ref()) {
+            Ok((_, _, Some(_))) => {
+                ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EEXIST)))
+            }
+            Ok((parent, leaf, None)) => {
+                let i = h.next_ino.get(ctx.heap_ref());
+                h.next_ino.set(ctx.heap(), i + 1);
+                h.inodes.insert(
+                    ctx.heap(),
+                    i,
+                    Inode { kind: InodeKind::Dir { entries: BTreeMap::new() } },
+                );
+                h.inodes.update(ctx.heap(), &parent, |n| {
+                    if let InodeKind::Dir { entries } = &mut n.kind {
+                        entries.insert(leaf.clone(), i);
+                    }
+                });
+                ctx.site("vfs.mkdir.done");
+                ctx.reply(rp, OsMsg::UserReply(SysReply::Ok));
+            }
+            Err(e) => ctx.reply(rp, OsMsg::UserReply(SysReply::Err(e))),
+        }
+    }
+
+    fn readdir(&self, path: &str, rp: ReturnPath, ctx: &mut Ctx<'_, OsMsg>) {
+        let h = self.h();
+        ctx.site("vfs.readdir.entry");
+        match self.resolve(path, ctx.heap_ref()) {
+            Ok((_, _, Some(ino))) => {
+                let node = h.inodes.get(ctx.heap_ref(), &ino).expect("resolved");
+                match node.kind {
+                    InodeKind::Dir { ref entries } => {
+                        let names: Vec<String> = entries.keys().cloned().collect();
+                        ctx.reply(rp, OsMsg::UserReply(SysReply::Names(names)));
+                    }
+                    InodeKind::File { .. } => {
+                        ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::ENOTDIR)))
+                    }
+                }
+            }
+            Ok((_, _, None)) => ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::ENOENT))),
+            Err(e) => ctx.reply(rp, OsMsg::UserReply(SysReply::Err(e))),
+        }
+    }
+
+    fn unlink(&self, path: &str, rp: ReturnPath, ctx: &mut Ctx<'_, OsMsg>) {
+        let h = self.h();
+        ctx.site("vfs.unlink.entry");
+        match self.resolve(path, ctx.heap_ref()) {
+            Ok((parent, leaf, Some(ino))) => {
+                let node = h.inodes.get(ctx.heap_ref(), &ino).expect("resolved");
+                if matches!(node.kind, InodeKind::Dir { .. }) {
+                    ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EISDIR)));
+                    return;
+                }
+                // Refuse to unlink files that are still open (keeps the
+                // open-file table free of dangling inodes).
+                let busy = h
+                    .oft
+                    .find_key(ctx.heap_ref(), |_, f| f.target == OpenTarget::File { ino })
+                    .is_some();
+                if ctx.site_branch("vfs.unlink.busy", busy) {
+                    ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EBUSY)));
+                    return;
+                }
+                self.free_file_blocks(ino, ctx);
+                h.inodes.remove(ctx.heap(), &ino);
+                h.inodes.update(ctx.heap(), &parent, |n| {
+                    if let InodeKind::Dir { entries } = &mut n.kind {
+                        entries.remove(&leaf);
+                    }
+                });
+                ctx.site("vfs.unlink.done");
+                ctx.reply(rp, OsMsg::UserReply(SysReply::Ok));
+            }
+            Ok((_, _, None)) => ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::ENOENT))),
+            Err(e) => ctx.reply(rp, OsMsg::UserReply(SysReply::Err(e))),
+        }
+    }
+
+    fn rename(&self, from: &str, to: &str, rp: ReturnPath, ctx: &mut Ctx<'_, OsMsg>) {
+        let h = self.h();
+        ctx.site("vfs.rename.entry");
+        let src = match self.resolve(from, ctx.heap_ref()) {
+            Ok((p, l, Some(i))) => (p, l, i),
+            Ok(_) => {
+                ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::ENOENT)));
+                return;
+            }
+            Err(e) => {
+                ctx.reply(rp, OsMsg::UserReply(SysReply::Err(e)));
+                return;
+            }
+        };
+        let dst = match self.resolve(to, ctx.heap_ref()) {
+            Ok((p, l, None)) => (p, l),
+            Ok((_, _, Some(_))) => {
+                ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EEXIST)));
+                return;
+            }
+            Err(e) => {
+                ctx.reply(rp, OsMsg::UserReply(SysReply::Err(e)));
+                return;
+            }
+        };
+        h.inodes.update(ctx.heap(), &src.0, |n| {
+            if let InodeKind::Dir { entries } = &mut n.kind {
+                entries.remove(&src.1);
+            }
+        });
+        h.inodes.update(ctx.heap(), &dst.0, |n| {
+            if let InodeKind::Dir { entries } = &mut n.kind {
+                entries.insert(dst.1.clone(), src.2);
+            }
+        });
+        ctx.site("vfs.rename.done");
+        ctx.reply(rp, OsMsg::UserReply(SysReply::Ok));
+    }
+
+    fn fsync(&self, pid: Pid, fd: Fd, rp: ReturnPath, ctx: &mut Ctx<'_, OsMsg>) {
+        ctx.site("vfs.fsync.entry");
+        let Some((_, of)) = self.slot_of(pid.0, fd, ctx.heap_ref()) else {
+            ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EBADF)));
+            return;
+        };
+        let OpenTarget::File { ino } = of.target else {
+            ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EBADF)));
+            return;
+        };
+        self.fsync_start(ino, rp, ctx);
+    }
+
+    fn fsync_start(&self, ino: u64, rp: ReturnPath, ctx: &mut Ctx<'_, OsMsg>) {
+        let h = self.h();
+        // Collect this file's dirty cached blocks.
+        let blocks: Vec<u64> = h.file_blocks.with_map(ctx.heap_ref(), |m| {
+            m.range((ino, 0)..(ino + 1, 0)).map(|(_, b)| *b).collect()
+        });
+        let dirty: Vec<u64> = blocks
+            .into_iter()
+            .filter(|b| {
+                h.cache.with(ctx.heap_ref(), b, |c| c.dirty).unwrap_or(false)
+            })
+            .collect();
+        if dirty.is_empty() {
+            ctx.reply(rp, OsMsg::UserReply(SysReply::Ok));
+            return;
+        }
+        let Some(tid) = h.pool.activate(ctx.heap()) else {
+            ctx.site("vfs.fsync.backlog");
+            h.backlog.push(ctx.heap(), VfsCont::Fsync { rp, ino, remaining: u32::MAX });
+            return;
+        };
+        ctx.site("vfs.fsync.flush");
+        let n = dirty.len() as u32;
+        for b in dirty {
+            let data = h.cache.update(ctx.heap(), &b, |c| {
+                c.dirty = false;
+                c.data.clone()
+            });
+            if let Some(data) = data {
+                let id = ctx.send_request(self.topo.disk, OsMsg::DiskWrite { block: b, data });
+                h.disk_waits.insert(ctx.heap(), id.0, (tid.0, 0));
+            }
+        }
+        h.pool.yield_blocked(ctx.heap(), tid, VfsCont::Fsync { rp, ino, remaining: n });
+        ctx.yield_window();
+    }
+
+    fn exec_load(&self, prog: &str, rp: ReturnPath, ctx: &mut Ctx<'_, OsMsg>) {
+        ctx.site("vfs.exec.entry");
+        let block = EXEC_BASE + (fnv(prog) % 256);
+        self.run_or_park(VfsCont::ExecLoad { rp, block }, ctx);
+    }
+
+    /// Duplicates `parent`'s descriptor table for `child` (fork).
+    fn fork_dup(&self, parent: Pid, child: Pid, rp: ReturnPath, ctx: &mut Ctx<'_, OsMsg>) {
+        let h = self.h();
+        ctx.site("vfs.forkdup.entry");
+        let entries: Vec<(u32, u32)> = h.fds.with_map(ctx.heap_ref(), |m| {
+            m.range((parent.0, 0)..(parent.0 + 1, 0)).map(|(k, v)| (k.1, *v)).collect()
+        });
+        let mut dup_count = 0u32;
+        for (fd, slot) in entries {
+            if dup_count == 1 {
+                // Mid-duplication fault: the child holds only part of the
+                // descriptor table, with drifted pipe counts, unless the
+                // whole transaction is rolled back.
+                ctx.site("vfs.forkdup.fd");
+            }
+            dup_count += 1;
+            h.fds.insert(ctx.heap(), (child.0, fd), slot);
+            let target = h.oft.update(ctx.heap(), &slot, |f| {
+                f.refs += 1;
+                f.target
+            });
+            match target {
+                Some(OpenTarget::PipeR { id }) => {
+                    h.pipes.update(ctx.heap(), &id, |p| p.readers += 1);
+                }
+                Some(OpenTarget::PipeW { id }) => {
+                    h.pipes.update(ctx.heap(), &id, |p| p.writers += 1);
+                }
+                _ => {}
+            }
+        }
+        ctx.site("vfs.forkdup.done");
+        ctx.reply(rp, OsMsg::ROk);
+    }
+
+    fn cleanup(&self, pid: Pid, ctx: &mut Ctx<'_, OsMsg>) {
+        let h = self.h();
+        ctx.site("vfs.cleanup.entry");
+        // Close every descriptor of the departed process.
+        let keys: Vec<(u32, u32)> = h.fds.with_map(ctx.heap_ref(), |m| {
+            m.range((pid.0, 0)..(pid.0 + 1, 0)).map(|(k, _)| *k).collect()
+        });
+        for k in keys {
+            if let Some(slot) = h.fds.remove(ctx.heap(), &k) {
+                self.close_slot(slot, ctx);
+            }
+        }
+        // Cancel its blocked pipe reads.
+        let pipe_ids = h.pipes.keys(ctx.heap_ref());
+        for id in pipe_ids {
+            let cancelled = h
+                .pipes
+                .update(ctx.heap(), &id, |p| {
+                    let (mine, rest): (Vec<BlockedRead>, Vec<BlockedRead>) =
+                        std::mem::take(&mut p.waiting).into_iter().partition(|w| w.pid == pid.0);
+                    p.waiting = rest;
+                    mine
+                })
+                .unwrap_or_default();
+            for w in cancelled {
+                ctx.reply(w.rp, OsMsg::UserReply(SysReply::Err(Errno::EKILLED)));
+            }
+        }
+        ctx.site("vfs.cleanup.done");
+    }
+
+    fn user_call(&self, pid: Pid, call: &Syscall, rp: ReturnPath, ctx: &mut Ctx<'_, OsMsg>) {
+        match call {
+            Syscall::Open { path, flags } => self.open(pid, path, *flags, rp, ctx),
+            Syscall::Close { fd } => self.close(pid, *fd, rp, ctx),
+            Syscall::Dup { fd } => self.dup(pid, *fd, rp, ctx),
+            Syscall::Pipe => self.mkpipe(pid, rp, ctx),
+            Syscall::Seek { fd, from } => self.seek(pid, *fd, *from, rp, ctx),
+            Syscall::Stat { path } => self.stat(path, rp, ctx),
+            Syscall::Mkdir { path } => self.mkdir(path, rp, ctx),
+            Syscall::ReadDir { path } => self.readdir(path, rp, ctx),
+            Syscall::Unlink { path } => self.unlink(path, rp, ctx),
+            Syscall::Rename { from, to } => self.rename(from, to, rp, ctx),
+            Syscall::Fsync { fd } => self.fsync(pid, *fd, rp, ctx),
+            Syscall::Read { fd, len } => {
+                ctx.site("vfs.read.entry");
+                if *len > MAX_IO {
+                    ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EINVAL)));
+                    return;
+                }
+                match self.slot_of(pid.0, *fd, ctx.heap_ref()) {
+                    Some((slot, of)) => match of.target {
+                        OpenTarget::PipeR { id } => self.pipe_read(pid, id, *len, rp, ctx),
+                        OpenTarget::PipeW { .. } => {
+                            ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EBADF)))
+                        }
+                        OpenTarget::File { .. } => {
+                            self.run_or_park(VfsCont::Read { slot, rp, len: *len }, ctx)
+                        }
+                    },
+                    None => ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EBADF))),
+                }
+            }
+            Syscall::Write { fd, bytes } => {
+                ctx.site("vfs.write.entry");
+                if bytes.len() as u32 > MAX_IO {
+                    ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EINVAL)));
+                    return;
+                }
+                match self.slot_of(pid.0, *fd, ctx.heap_ref()) {
+                    Some((slot, of)) => match of.target {
+                        OpenTarget::PipeW { id } => self.pipe_write(id, bytes, rp, ctx),
+                        OpenTarget::PipeR { .. } => {
+                            ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EBADF)))
+                        }
+                        OpenTarget::File { .. } => self.run_or_park(
+                            VfsCont::Write { slot, rp, data: bytes.clone() },
+                            ctx,
+                        ),
+                    },
+                    None => ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EBADF))),
+                }
+            }
+            _ => ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::ENOSYS))),
+        }
+    }
+}
+
+impl Server<OsMsg> for VfsServer {
+    fn name(&self) -> &'static str {
+        "vfs"
+    }
+
+    fn init(&mut self, ctx: &mut Ctx<'_, OsMsg>) {
+        let threads = self.threads;
+        let heap = ctx.heap();
+        let mut root_entries = BTreeMap::new();
+        let inodes = heap.alloc_map::<u64, Inode>("vfs.inodes");
+        // Pre-create /tmp and /bin.
+        inodes.insert(heap, 2, Inode { kind: InodeKind::Dir { entries: BTreeMap::new() } });
+        inodes.insert(heap, 3, Inode { kind: InodeKind::Dir { entries: BTreeMap::new() } });
+        root_entries.insert("tmp".to_string(), 2);
+        root_entries.insert("bin".to_string(), 3);
+        inodes.insert(heap, ROOT_INO, Inode { kind: InodeKind::Dir { entries: root_entries } });
+        let h = Handles {
+            ops: heap.alloc_cell("vfs.ops", 0),
+            stats: heap.alloc_map("vfs.stats"),
+            last_event: heap.alloc_cell("vfs.last_event", 0),
+            inodes,
+            next_ino: heap.alloc_cell("vfs.next_ino", 4),
+            file_blocks: heap.alloc_map("vfs.file_blocks"),
+            next_block: heap.alloc_cell("vfs.next_block", DATA_BASE),
+            free_blocks: heap.alloc_vec("vfs.free_blocks"),
+            cache: heap.alloc_map("vfs.cache"),
+            cache_stamp: heap.alloc_cell("vfs.cache_stamp", 0),
+            oft: heap.alloc_map("vfs.oft"),
+            next_slot: heap.alloc_cell("vfs.next_slot", 0),
+            fds: heap.alloc_map("vfs.fds"),
+            pipes: heap.alloc_map("vfs.pipes"),
+            next_pipe: heap.alloc_cell("vfs.next_pipe", 0),
+            pool: CoPool::new(heap, threads),
+            disk_waits: heap.alloc_map("vfs.disk_waits"),
+            backlog: heap.alloc_vec("vfs.backlog"),
+        };
+        self.h = Some(h);
+    }
+
+    fn handle(&mut self, msg: &Message<OsMsg>, ctx: &mut Ctx<'_, OsMsg>) {
+        match &msg.payload {
+            OsMsg::User { pid, call } => self.user_call(*pid, call, msg.return_path(), ctx),
+            OsMsg::VfsExecLoad { pid: _, prog } => {
+                self.exec_load(prog, msg.return_path(), ctx)
+            }
+            OsMsg::VfsCleanup { pid } | OsMsg::VfsCleanupSelf { pid } => self.cleanup(*pid, ctx),
+            OsMsg::VfsForkDup { parent, child } => {
+                self.fork_dup(*parent, *child, msg.return_path(), ctx)
+            }
+            OsMsg::RData(_) | OsMsg::ROk | OsMsg::RErr(_) | OsMsg::RCrash => {
+                if let Some(request_id) = msg.reply_to {
+                    self.disk_reply(request_id.0, &msg.payload, ctx);
+                }
+            }
+            OsMsg::Ping => {
+                ctx.site("vfs.ping");
+                ctx.reply(msg.return_path(), OsMsg::Pong);
+                return;
+            }
+            _ => {}
+        }
+        // Deferred bookkeeping after the reply went out (outside the
+        // recovery window). Under the paper's unoptimized build every one
+        // of these writes is undo-logged; the window-gated build skips the
+        // logging entirely.
+        ctx.site("vfs.post.account");
+        let h = self.h();
+        let label = msg.payload.label();
+        let now = ctx.now();
+        h.ops.update(ctx.heap(), |n| *n += 1);
+        if h.stats.update(ctx.heap(), &label, |n| *n += 1).is_none() {
+            h.stats.insert(ctx.heap(), label, 1);
+        }
+        h.last_event.set(ctx.heap(), now);
+        h.cache_stamp.update(ctx.heap(), |s| *s = s.wrapping_add(0));
+        ctx.site("vfs.post.done");
+        ctx.charge(25);
+    }
+
+    fn on_restore(&mut self, heap: &mut Heap) {
+        // Paper §IV-E: after a rollback or restart the thread library may
+        // still believe the crashed thread is running; repair it.
+        self.h().pool.fix_after_restore(heap);
+    }
+
+    fn audit_facts(&self, heap: &Heap) -> Vec<(String, u64)> {
+        let h = self.h();
+        let mut facts = Vec::new();
+        let mut slot_refs: std::collections::BTreeMap<u32, u32> = Default::default();
+        h.fds.for_each(heap, |(pid, _), slot| {
+            facts.push(("vfs.fd_pid".to_string(), u64::from(*pid)));
+            *slot_refs.entry(*slot).or_insert(0) += 1;
+        });
+        // Slot reference counts must match the descriptor table exactly.
+        let mut pipe_readers: std::collections::BTreeMap<u32, u32> = Default::default();
+        let mut pipe_writers: std::collections::BTreeMap<u32, u32> = Default::default();
+        h.oft.for_each(heap, |slot, of| {
+            if slot_refs.get(slot).copied().unwrap_or(0) != of.refs {
+                facts.push(("vfs.torn_refs".to_string(), u64::from(*slot)));
+            }
+            match of.target {
+                OpenTarget::PipeR { id } => {
+                    *pipe_readers.entry(id).or_insert(0) += of.refs;
+                }
+                OpenTarget::PipeW { id } => {
+                    *pipe_writers.entry(id).or_insert(0) += of.refs;
+                }
+                OpenTarget::File { .. } => {}
+            }
+        });
+        // Pipe endpoint counts must match the open-file table.
+        h.pipes.for_each(heap, |id, p| {
+            if pipe_readers.get(id).copied().unwrap_or(0) != p.readers
+                || pipe_writers.get(id).copied().unwrap_or(0) != p.writers
+            {
+                facts.push(("vfs.torn_pipe".to_string(), u64::from(*id)));
+            }
+        });
+        // Every data block must belong to an existing file inode.
+        h.file_blocks.for_each(heap, |(ino, _), _| {
+            if !h.inodes.contains_key(heap, ino) {
+                facts.push(("vfs.orphan_blocks".to_string(), *ino));
+            }
+        });
+        facts.push(("vfs.open_slots".to_string(), h.oft.len(heap) as u64));
+        facts.push(("vfs.pipes".to_string(), h.pipes.len(heap) as u64));
+        facts.push(("vfs.inodes".to_string(), h.inodes.len(heap) as u64));
+        facts
+    }
+
+    fn clone_box(&self) -> Box<dyn Server<OsMsg>> {
+        Box::new(self.clone())
+    }
+}

@@ -1,0 +1,203 @@
+//! Property test: the compartmentalized OSIRIS OS and the monolithic
+//! baseline implement the same ABI. Random syscall scripts must produce
+//! *identical* result traces on both engines — timing may differ, semantics
+//! may not. This is what makes the Table IV comparison meaningful.
+
+use std::sync::{Arc, Mutex};
+
+use osiris_kernel::abi::{OpenFlags, SeekFrom};
+use osiris_kernel::{Host, ProgramRegistry, Sys};
+use osiris_monolith::Monolith;
+use osiris_servers::{Os, OsConfig};
+use proptest::prelude::*;
+
+/// One scripted operation. Descriptor-valued operations index into the list
+/// of descriptors opened so far, so scripts stay well-formed on both
+/// engines as long as they allocate descriptors identically (both use
+/// lowest-free).
+#[derive(Clone, Debug)]
+enum Op {
+    Open(u8, OpenFlags),
+    Close(u8),
+    Write(u8, Vec<u8>),
+    Read(u8, u16),
+    Seek(u8, i32),
+    Unlink(u8),
+    Mkdir(u8),
+    ReadDir(u8),
+    Stat(u8),
+    Rename(u8, u8),
+    Dup(u8),
+    DsPut(u8, Vec<u8>),
+    DsGet(u8),
+    DsDel(u8),
+    DsList,
+    Brk(i8),
+    Mmap(u8),
+    VmStat,
+    GetPid,
+    SigPending,
+}
+
+fn flags_strategy() -> impl Strategy<Value = OpenFlags> {
+    prop_oneof![
+        Just(OpenFlags::RDONLY),
+        Just(OpenFlags::CREATE),
+        Just(OpenFlags::RDWR_CREATE),
+        Just(OpenFlags::APPEND),
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), flags_strategy()).prop_map(|(p, f)| Op::Open(p, f)),
+        any::<u8>().prop_map(Op::Close),
+        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..300))
+            .prop_map(|(fd, d)| Op::Write(fd, d)),
+        (any::<u8>(), any::<u16>()).prop_map(|(fd, n)| Op::Read(fd, n % 2048)),
+        (any::<u8>(), any::<i32>()).prop_map(|(fd, o)| Op::Seek(fd, o % 5000)),
+        any::<u8>().prop_map(Op::Unlink),
+        any::<u8>().prop_map(Op::Mkdir),
+        any::<u8>().prop_map(Op::ReadDir),
+        any::<u8>().prop_map(Op::Stat),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Rename(a, b)),
+        any::<u8>().prop_map(Op::Dup),
+        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..32))
+            .prop_map(|(k, v)| Op::DsPut(k, v)),
+        any::<u8>().prop_map(Op::DsGet),
+        any::<u8>().prop_map(Op::DsDel),
+        Just(Op::DsList),
+        any::<i8>().prop_map(|d| Op::Brk(d % 8)),
+        any::<u8>().prop_map(|p| Op::Mmap(p % 16)),
+        Just(Op::VmStat),
+        Just(Op::GetPid),
+        Just(Op::SigPending),
+    ]
+}
+
+fn path(p: u8) -> String {
+    // A small universe of paths, including directories and nested files.
+    match p % 6 {
+        0 => "/tmp/pa".to_string(),
+        1 => "/tmp/pb".to_string(),
+        2 => "/tmp/pc".to_string(),
+        3 => "/tmp/dir".to_string(),
+        4 => "/tmp/dir/inner".to_string(),
+        _ => "/missing/path".to_string(),
+    }
+}
+
+fn key(k: u8) -> String {
+    format!("k{}", k % 5)
+}
+
+/// Executes the script, rendering every result as a string.
+fn run_script(sys: &mut Sys, ops: &[Op], trace: &Mutex<Vec<String>>) {
+    let mut fds = Vec::new();
+    let push = |s: String| trace.lock().unwrap().push(s);
+    for op in ops {
+        let line = match op {
+            Op::Open(p, f) => match sys.open(&path(*p), *f) {
+                Ok(fd) => {
+                    fds.push(fd);
+                    format!("open {}", fd)
+                }
+                Err(e) => format!("open!{e}"),
+            },
+            Op::Close(i) => match fds.get(*i as usize % fds.len().max(1)) {
+                Some(fd) => format!("close {:?}", sys.close(*fd)),
+                None => "close-nofd".into(),
+            },
+            Op::Write(i, d) => match fds.get(*i as usize % fds.len().max(1)) {
+                Some(fd) => format!("write {:?}", sys.write(*fd, d)),
+                None => "write-nofd".into(),
+            },
+            Op::Read(i, n) => match fds.get(*i as usize % fds.len().max(1)) {
+                Some(fd) => match sys.read(*fd, u32::from(*n)) {
+                    Ok(d) => format!("read {} {:x}", d.len(), fingerprint(&d)),
+                    Err(e) => format!("read!{e}"),
+                },
+                None => "read-nofd".into(),
+            },
+            Op::Seek(i, o) => match fds.get(*i as usize % fds.len().max(1)) {
+                Some(fd) => {
+                    let from = if *o < 0 {
+                        SeekFrom::Current(i64::from(*o))
+                    } else {
+                        SeekFrom::Start(*o as u64)
+                    };
+                    format!("seek {:?}", sys.seek(*fd, from))
+                }
+                None => "seek-nofd".into(),
+            },
+            Op::Unlink(p) => format!("unlink {:?}", sys.unlink(&path(*p))),
+            Op::Mkdir(p) => format!("mkdir {:?}", sys.mkdir(&path(*p))),
+            Op::ReadDir(p) => format!("readdir {:?}", sys.readdir(&path(*p))),
+            Op::Stat(p) => format!("stat {:?}", sys.stat(&path(*p))),
+            Op::Rename(a, b) => format!("rename {:?}", sys.rename(&path(*a), &path(*b))),
+            Op::Dup(i) => match fds.get(*i as usize % fds.len().max(1)) {
+                Some(fd) => match sys.dup(*fd) {
+                    Ok(nfd) => {
+                        fds.push(nfd);
+                        format!("dup {}", nfd)
+                    }
+                    Err(e) => format!("dup!{e}"),
+                },
+                None => "dup-nofd".into(),
+            },
+            Op::DsPut(k, v) => format!("put {:?}", sys.ds_put(&key(*k), v)),
+            Op::DsGet(k) => match sys.ds_get(&key(*k)) {
+                Ok(v) => format!("get {} {:x}", v.len(), fingerprint(&v)),
+                Err(e) => format!("get!{e}"),
+            },
+            Op::DsDel(k) => format!("del {:?}", sys.ds_del(&key(*k))),
+            Op::DsList => format!("list {:?}", sys.ds_list("")),
+            Op::Brk(d) => format!("brk {:?}", sys.brk(i64::from(*d))),
+            Op::Mmap(p) => format!("mmap {:?}", sys.mmap(u64::from(*p))),
+            Op::VmStat => format!("vmstat {:?}", sys.vmstat()),
+            Op::GetPid => format!("getpid {:?}", sys.getpid()),
+            Op::SigPending => format!("sigpending {:?}", sys.sigpending()),
+        };
+        push(line);
+    }
+}
+
+fn fingerprint(d: &[u8]) -> u64 {
+    d.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(*b)).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+fn trace_on<E: osiris_kernel::OsEngine>(engine: E, ops: Vec<Op>) -> Vec<String> {
+    osiris_kernel::install_quiet_panic_hook();
+    let trace = Arc::new(Mutex::new(Vec::new()));
+    let shared = Arc::clone(&trace);
+    let mut registry = ProgramRegistry::new();
+    registry.register("script", move |sys| {
+        run_script(sys, &ops, &shared);
+        0
+    });
+    let mut host = Host::new(engine, registry);
+    let outcome = host.run("script", &[]);
+    assert!(outcome.completed(), "script wedged: {outcome:?}");
+    let out = trace.lock().unwrap().clone();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any random single-process syscall script produces the same result
+    /// trace on the microkernel OS and the monolith.
+    #[test]
+    fn engines_agree_on_random_scripts(
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+    ) {
+        let osiris_trace = trace_on(
+            Os::new(OsConfig { vm_frames: 1024, ..Default::default() }),
+            ops.clone(),
+        );
+        let monolith_trace = trace_on(Monolith::with_cost(Default::default(), 64, 1024), ops);
+        prop_assert_eq!(osiris_trace, monolith_trace);
+    }
+}

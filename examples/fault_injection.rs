@@ -1,0 +1,66 @@
+//! A miniature survivability campaign (paper §VI-B, Tables II/III):
+//! profile the test suite, plan one fail-stop fault per triggered PM/VFS
+//! site, inject each in a fresh run under two recovery policies, and
+//! compare the outcome distributions.
+//!
+//! ```text
+//! cargo run --release --example fault_injection
+//! ```
+
+use osiris::faults::{
+    classify, plan_faults, run_parallel, FaultModel, Injector, Outcome, Recorder, Tally,
+};
+use osiris::workloads::{build_testsuite, run_suite_with};
+use osiris::{Host, Os, OsConfig, PolicyKind};
+
+fn main() {
+    osiris::install_quiet_panic_hook();
+
+    // 1. Profiling run: which instrumentation sites does the suite trigger?
+    println!("profiling the test suite...");
+    let recorder = Recorder::new();
+    let handle = recorder.clone();
+    let (_, _) = run_suite_with(
+        OsConfig::with_policy(PolicyKind::Enhanced),
+        Some(Box::new(recorder)),
+    );
+    // Keep the campaign small: PM and VFS sites only.
+    let profile = handle.profile().restrict_to(&["pm", "vfs"]);
+    println!("{} distinct PM/VFS sites triggered", profile.len());
+
+    // 2. One fail-stop fault per site.
+    let plans = plan_faults(&profile, FaultModel::FailStop, 7);
+    println!("{} faults planned\n", plans.len());
+
+    // 3. Inject each fault in its own fresh run, per policy.
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    println!(
+        "{:<14} {:>6} {:>6} {:>9} {:>6}   (injecting on {} threads)",
+        "policy", "pass", "fail", "shutdown", "crash", threads
+    );
+    for policy in [PolicyKind::Naive, PolicyKind::Enhanced] {
+        let outcomes: Vec<Outcome> = run_parallel(plans.clone(), threads, |plan| {
+            let injector = Injector::new(&plan);
+            let mut os = Os::new(OsConfig::with_policy(policy));
+            os.set_fault_hook(Box::new(injector));
+            let (registry, _) = build_testsuite();
+            let mut host = Host::new(os, registry);
+            let outcome = host.run("suite", &[]);
+            let os = host.into_engine();
+            let violations = if outcome.completed() { os.audit().len() } else { 0 };
+            classify(&outcome, violations)
+        });
+        let t: Tally = outcomes.into_iter().collect();
+        println!(
+            "{:<14} {:>5} {:>6} {:>9} {:>6}",
+            policy.to_string(),
+            t.pass,
+            t.fail,
+            t.shutdown,
+            t.crash
+        );
+    }
+    println!("\nenhanced recovery turns uncontrolled crashes into recoveries or");
+    println!("controlled shutdowns; the naive baseline survives by luck and");
+    println!("leaves torn state behind (caught as crashes by the audit).");
+}

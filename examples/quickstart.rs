@@ -1,0 +1,81 @@
+//! Quickstart: boot the OSIRIS OS, run a workload, crash the Process
+//! Manager mid-call, and watch the system recover with error
+//! virtualization.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use osiris::kernel::{FaultEffect, FaultHook, Probe};
+use osiris::{Host, Os, OsConfig, PolicyKind, ProgramRegistry};
+
+/// A single fail-stop fault in PM's fork path, fired once.
+struct CrashForkOnce(AtomicBool);
+
+impl FaultHook for CrashForkOnce {
+    fn on_site(&mut self, probe: &Probe) -> FaultEffect {
+        if probe.site == "pm.fork.validate" && !self.0.swap(true, Ordering::Relaxed) {
+            println!("[injector] firing a fail-stop fault at {}::{}", probe.component, probe.site);
+            FaultEffect::Panic
+        } else {
+            FaultEffect::None
+        }
+    }
+}
+
+fn main() {
+    osiris::install_quiet_panic_hook();
+
+    let mut registry = ProgramRegistry::new();
+    registry.register("worker", |sys| {
+        // Some honest work: a file and a computation.
+        let fd = sys.open("/tmp/out", osiris::kernel::abi::OpenFlags::CREATE).unwrap();
+        sys.write(fd, b"results").unwrap();
+        sys.close(fd).unwrap();
+        sys.compute(10_000);
+        7
+    });
+    registry.register("main", |sys| {
+        println!("[init] pid {} booted; spawning a worker...", sys.pid());
+        let child = sys.spawn("worker", &[]).expect("spawn works");
+        let code = sys.waitpid(child).expect("waitpid works");
+        println!("[init] worker {child} exited with {code}");
+
+        // Now fork — the injected fault crashes PM while it handles this
+        // very call. OSIRIS rolls PM back to the top of its request loop
+        // and answers E_CRASH instead (error virtualization).
+        match sys.fork_run(|_child| 0) {
+            Err(osiris::kernel::abi::Errno::ECRASH) => {
+                println!("[init] fork failed with E_CRASH: PM crashed and was recovered");
+            }
+            other => println!("[init] unexpected fork result: {other:?}"),
+        }
+
+        // PM is alive again: the same call now succeeds.
+        let child = sys.fork_run(|_child| 3).expect("PM recovered");
+        let code = sys.waitpid(child).expect("waitpid after recovery");
+        println!("[init] post-recovery fork: child {child} exited with {code}");
+        0
+    });
+
+    let mut os = Os::new(OsConfig::with_policy(PolicyKind::Enhanced));
+    os.set_fault_hook(Box::new(CrashForkOnce(AtomicBool::new(false))));
+
+    let mut host = Host::new(os, registry);
+    let outcome = host.run("main", &[]);
+    let os = host.into_engine();
+
+    println!("\noutcome:   {outcome:?}");
+    println!(
+        "recovered: {} component crash(es) by rollback + error virtualization",
+        os.metrics().recovered_rollback
+    );
+    let violations = os.audit();
+    println!(
+        "audit:     {}",
+        if violations.is_empty() { "globally consistent".to_string() } else { format!("{violations:?}") }
+    );
+    assert!(outcome.completed() && violations.is_empty());
+}

@@ -1,0 +1,62 @@
+//! # OSIRIS-rs
+//!
+//! A Rust reproduction of **"OSIRIS: Efficient and Consistent Recovery of
+//! Compartmentalized Operating Systems"** (Bhat et al., DSN 2016): a
+//! compartmentalized OS simulator whose core servers recover from crashes —
+//! including *persistent* software faults — without runtime dependency
+//! tracking, by restricting recovery to statically provable **safe recovery
+//! windows**.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`checkpoint`] — undo-log in-memory checkpointing ([`Heap`], `PCell`,
+//!   `PMap`, `PVec`, `PBuf`).
+//! * [`core`] — the recovery framework: SEEPs, recovery windows, policies,
+//!   reconciliation decisions.
+//! * [`kernel`] — the deterministic microkernel substrate and the
+//!   user-process host ([`Sys`], [`Host`], [`ProgramRegistry`]).
+//! * [`servers`] — the five core servers (PM, VM, VFS, DS, RS) plus the
+//!   disk driver, assembled as [`Os`].
+//! * [`monolith`] — the monolithic baseline with the same syscall ABI.
+//! * [`faults`] — EDFI-style fault injection and campaign tooling.
+//! * [`workloads`] — the prototype test suite and Unixbench analogs.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use osiris::{Host, Os, OsConfig, PolicyKind, ProgramRegistry};
+//!
+//! let mut registry = ProgramRegistry::new();
+//! registry.register("hello", |sys| {
+//!     let pid = sys.getpid().expect("PM answers");
+//!     i32::from(pid.0 != 1)
+//! });
+//!
+//! let os = Os::new(OsConfig::with_policy(PolicyKind::Enhanced));
+//! let mut host = Host::new(os, registry);
+//! let outcome = host.run("hello", &[]);
+//! assert!(outcome.completed());
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use osiris_checkpoint as checkpoint;
+pub use osiris_core as core;
+pub use osiris_cothread as cothread;
+pub use osiris_faults as faults;
+pub use osiris_kernel as kernel;
+pub use osiris_monolith as monolith;
+pub use osiris_servers as servers;
+pub use osiris_workloads as workloads;
+
+pub use osiris_checkpoint::Heap;
+pub use osiris_core::{
+    CrashContext, Enhanced, Naive, Pessimistic, PolicyKind, RecoveryAction, RecoveryPolicy,
+    RecoveryWindow, SeepClass, SeepMeta, Stateless,
+};
+pub use osiris_kernel::{
+    install_quiet_panic_hook, Host, Instrumentation, OsEngine, ProgramRegistry, RunOutcome,
+    ShutdownKind, Sys,
+};
+pub use osiris_monolith::Monolith;
+pub use osiris_servers::{Os, OsConfig};
