@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, build, and the tier-1 test suite.
+# Everything runs without network access; the workspace has no external
+# dependencies.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+echo "== workspace tests =="
+cargo test -q --workspace
+
+echo "ci.sh: all gates passed"

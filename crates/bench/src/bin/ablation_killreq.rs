@@ -7,7 +7,9 @@ use osiris_core::PolicyKind;
 use osiris_faults::FaultModel;
 
 fn main() {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let t = osiris_bench::survivability_for(
         &[PolicyKind::Enhanced, PolicyKind::EnhancedKill],
         FaultModel::TransientFailStop,

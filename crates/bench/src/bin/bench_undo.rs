@@ -1,0 +1,75 @@
+//! Undo-journal microbenchmark with allocator-call counting.
+//!
+//! Installs a counting wrapper around the system allocator so the run can
+//! *prove* the typed journal's "zero allocator calls in steady state"
+//! claim, then benchmarks the boxed-closure baseline against the typed
+//! journal (with and without write coalescing) and writes `BENCH_undo.json`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use osiris_bench::{bench_undo, UndoBenchConfig};
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator wrapper that counts every allocation entry point.
+struct CountingAlloc;
+
+// SAFETY: delegates every operation unchanged to the system allocator; the
+// counter is a relaxed atomic with no effect on allocation behavior.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_calls() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+fn main() {
+    let cfg = UndoBenchConfig {
+        alloc_count: Some(alloc_calls),
+        ..Default::default()
+    };
+    let result = bench_undo(cfg);
+    print!("{}", result.render());
+
+    let typed_allocs = result.typed.steady_state_allocs.expect("counter installed");
+    println!(
+        "steady-state allocator calls (typed, warm arena): {typed_allocs} \
+         across {} windows x {} writes",
+        result.windows, result.writes_per_window
+    );
+    std::fs::write("BENCH_undo.json", result.to_json().pretty()).expect("write BENCH_undo.json");
+    println!("results written to BENCH_undo.json");
+
+    // The two headline claims, enforced so regressions fail loudly in CI.
+    assert!(
+        result.speedup() >= 5.0,
+        "typed journal logging overhead must be >=5x faster than the boxed baseline, got {:.2}x",
+        result.speedup()
+    );
+    assert_eq!(
+        typed_allocs, 0,
+        "steady-state logging must not touch the allocator"
+    );
+}

@@ -4,8 +4,7 @@
 //! without functional degradation).
 
 fn main() {
-    let intervals: Vec<u64> =
-        (0..10).map(|k| 25_000u64 << k).collect(); // 25k .. 12.8M cycles
+    let intervals: Vec<u64> = (0..10).map(|k| 25_000u64 << k).collect(); // 25k .. 12.8M cycles
     let points = osiris_bench::figure3(&intervals, 1.0);
     print!("{}", osiris_bench::render_figure3(&points, &intervals));
 }

@@ -4,10 +4,20 @@
 fn main() {
     let report = osiris_bench::count_workspace_loc();
     println!("Reliable Computing Base accounting (SLOCCount analog)");
-    println!("{:<14} {:>8}  {}", "Crate", "LoC", "RCB?");
+    println!("{:<14} {:>8}  RCB?", "Crate", "LoC");
     for c in &report.crates {
-        println!("{:<14} {:>8}  {}", c.name, c.loc, if c.rcb { "yes" } else { "" });
+        println!(
+            "{:<14} {:>8}  {}",
+            c.name,
+            c.loc,
+            if c.rcb { "yes" } else { "" }
+        );
     }
     println!("{:<14} {:>8}", "total", report.total());
-    println!("{:<14} {:>8}  ({:.1}% of the code base)", "RCB", report.rcb_total(), report.rcb_pct());
+    println!(
+        "{:<14} {:>8}  ({:.1}% of the code base)",
+        "RCB",
+        report.rcb_total(),
+        report.rcb_pct()
+    );
 }

@@ -5,7 +5,9 @@
 use osiris_faults::FaultModel;
 
 fn main() {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
 
     println!("=== RCB (paper V-A) ===");
     let rcb = osiris_bench::count_workspace_loc();
@@ -18,27 +20,27 @@ fn main() {
 
     println!("=== Table I ===");
     let table1 = osiris_bench::table1();
-    print!("{}\n", table1.render());
+    println!("{}", table1.render());
 
     println!("=== Table II ===");
     let table2 = osiris_bench::survivability(FaultModel::FailStop, threads, 0xfa11_5709);
-    print!("{}\n", table2.render());
+    println!("{}", table2.render());
 
     println!("=== Table III ===");
     let table3 = osiris_bench::survivability(FaultModel::FullEdfi, threads, 0xedf1_edf1);
-    print!("{}\n", table3.render());
+    println!("{}", table3.render());
 
     println!("=== Table IV ===");
     let table4 = osiris_bench::table4(1.0);
-    print!("{}\n", osiris_bench::render_table4(&table4));
+    println!("{}", osiris_bench::render_table4(&table4));
 
     println!("=== Table V ===");
     let table5 = osiris_bench::table5(1.0);
-    print!("{}\n", osiris_bench::render_table5(&table5));
+    println!("{}", osiris_bench::render_table5(&table5));
 
     println!("=== Table VI ===");
     let table6 = osiris_bench::table6();
-    print!("{}\n", osiris_bench::render_table6(&table6));
+    println!("{}", osiris_bench::render_table6(&table6));
 
     println!("=== Figure 3 ===");
     let intervals: Vec<u64> = (0..10).map(|k| 25_000u64 << k).collect();
@@ -55,7 +57,13 @@ fn main() {
         table6,
         figure3,
     };
-    let json = serde_json::to_string_pretty(&results).expect("results serialize");
+    let json = results.to_json().pretty();
     std::fs::write("reproduce_results.json", &json).expect("write results json");
     println!("\n(machine-readable copy written to reproduce_results.json)");
+
+    println!("\n=== Undo-journal microbenchmark ===");
+    let undo = osiris_bench::bench_undo(osiris_bench::UndoBenchConfig::default());
+    print!("{}", undo.render());
+    std::fs::write("BENCH_undo.json", undo.to_json().pretty()).expect("write undo json");
+    println!("(machine-readable copy written to BENCH_undo.json)");
 }

@@ -4,7 +4,9 @@
 use osiris_faults::FaultModel;
 
 fn main() {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let t = osiris_bench::survivability(FaultModel::FullEdfi, threads, 0xedf1_edf1);
     print!("{}", t.render());
 }

@@ -33,7 +33,7 @@ fn campaign_config(policy: PolicyKind) -> OsConfig {
 // ---------------------------------------------------------------------
 
 /// One row of Table I.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct CoverageRow {
     /// Server name.
     pub server: String,
@@ -44,7 +44,7 @@ pub struct CoverageRow {
 }
 
 /// Table I: percentage of execution spent inside recovery windows.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table1 {
     /// Per-server rows.
     pub rows: Vec<CoverageRow>,
@@ -59,7 +59,13 @@ fn coverage_run(policy: PolicyKind) -> Vec<(String, f64, u64)> {
     os.reports()
         .into_iter()
         .filter(|r| SERVERS.contains(&r.name))
-        .map(|r| (r.name.to_string(), 100.0 * r.window.coverage_by_sites(), r.cycles))
+        .map(|r| {
+            (
+                r.name.to_string(),
+                100.0 * r.window.coverage_by_sites(),
+                r.cycles,
+            )
+        })
         .collect()
 }
 
@@ -89,7 +95,11 @@ pub fn table1() -> Table1 {
         cycles_p += pw;
         we += ec * ew;
         cycles_e += ew;
-        rows.push(CoverageRow { server: server.to_string(), pessimistic: pc, enhanced: ec });
+        rows.push(CoverageRow {
+            server: server.to_string(),
+            pessimistic: pc,
+            enhanced: ec,
+        });
     }
     Table1 {
         rows,
@@ -103,7 +113,10 @@ impl Table1 {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str("Table I: recovery coverage (% of executed sites inside windows)\n");
-        out.push_str(&format!("{:<10} {:>12} {:>12}\n", "Server", "Pessimistic", "Enhanced"));
+        out.push_str(&format!(
+            "{:<10} {:>12} {:>12}\n",
+            "Server", "Pessimistic", "Enhanced"
+        ));
         for r in &self.rows {
             out.push_str(&format!(
                 "{:<10} {:>12.1} {:>12.1}\n",
@@ -139,7 +152,10 @@ pub struct SurvivabilityTable {
 pub fn profile_suite() -> SiteProfile {
     let recorder = Recorder::new();
     let handle = recorder.clone();
-    let (_, _) = run_suite_with(campaign_config(PolicyKind::Enhanced), Some(Box::new(recorder)));
+    let (_, _) = run_suite_with(
+        campaign_config(PolicyKind::Enhanced),
+        Some(Box::new(recorder)),
+    );
     handle.profile().restrict_to(&SERVERS)
 }
 
@@ -164,14 +180,21 @@ pub fn survivability_for(
         let jobs: Vec<_> = plans.clone();
         let outcomes: Vec<Outcome> = run_parallel(jobs, threads, |plan| {
             let injector = Injector::new(&plan);
-            let (outcome, os) =
-                run_suite_with(campaign_config(policy), Some(Box::new(injector)));
-            let violations = if outcome.completed() { os.audit().len() } else { 0 };
+            let (outcome, os) = run_suite_with(campaign_config(policy), Some(Box::new(injector)));
+            let violations = if outcome.completed() {
+                os.audit().len()
+            } else {
+                0
+            };
             classify(&outcome, violations)
         });
         rows.push((policy, outcomes.into_iter().collect()));
     }
-    SurvivabilityTable { model, faults: plans.len(), rows }
+    SurvivabilityTable {
+        model,
+        faults: plans.len(),
+        rows,
+    }
 }
 
 impl SurvivabilityTable {
@@ -209,7 +232,7 @@ impl SurvivabilityTable {
 // ---------------------------------------------------------------------
 
 /// One Table IV row.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table4Row {
     /// Benchmark name.
     pub bench: String,
@@ -228,7 +251,11 @@ fn ub_registry() -> ProgramRegistry {
 }
 
 fn osiris_engine(policy: PolicyKind, instr: Instrumentation) -> Os {
-    Os::new(OsConfig { policy, instrumentation: instr, ..Default::default() })
+    Os::new(OsConfig {
+        policy,
+        instrumentation: instr,
+        ..Default::default()
+    })
 }
 
 fn bench_score<E: OsEngine>(engine: E, bench: &str, scale: f64) -> f64 {
@@ -249,8 +276,11 @@ pub fn table4(scale: f64) -> Vec<Table4Row> {
                 bench,
                 scale,
             );
-            let osiris =
-                bench_score(osiris_engine(PolicyKind::Enhanced, Instrumentation::Off), bench, scale);
+            let osiris = bench_score(
+                osiris_engine(PolicyKind::Enhanced, Instrumentation::Off),
+                bench,
+                scale,
+            );
             Table4Row {
                 bench: bench.to_string(),
                 monolith,
@@ -276,7 +306,10 @@ pub fn render_table4(rows: &[Table4Row]) -> String {
         ));
     }
     let gm = geomean(&rows.iter().map(|r| r.slowdown).collect::<Vec<_>>());
-    out.push_str(&format!("{:<18} {:>12} {:>12} {:>9.2}x\n", "geomean", "", "", gm));
+    out.push_str(&format!(
+        "{:<18} {:>12} {:>12} {:>9.2}x\n",
+        "geomean", "", "", gm
+    ));
     out
 }
 
@@ -286,7 +319,7 @@ pub fn render_table4(rows: &[Table4Row]) -> String {
 
 /// One Table V row: slowdown ratios relative to the uninstrumented
 /// baseline (lower is better).
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table5Row {
     /// Benchmark name.
     pub bench: String,
@@ -304,8 +337,11 @@ pub fn table5(scale: f64) -> Vec<Table5Row> {
     BENCHMARKS
         .iter()
         .map(|bench| {
-            let base =
-                bench_score(osiris_engine(PolicyKind::Enhanced, Instrumentation::Off), bench, scale);
+            let base = bench_score(
+                osiris_engine(PolicyKind::Enhanced, Instrumentation::Off),
+                bench,
+                scale,
+            );
             let noopt = bench_score(
                 osiris_engine(PolicyKind::Enhanced, Instrumentation::Always),
                 bench,
@@ -334,7 +370,9 @@ pub fn table5(scale: f64) -> Vec<Table5Row> {
 /// Renders Table V.
 pub fn render_table5(rows: &[Table5Row]) -> String {
     let mut out = String::new();
-    out.push_str("Table V: slowdown of recovery instrumentation (ratio vs baseline, lower is better)\n");
+    out.push_str(
+        "Table V: slowdown of recovery instrumentation (ratio vs baseline, lower is better)\n",
+    );
     out.push_str(&format!(
         "{:<18} {:>13} {:>13} {:>13}\n",
         "Benchmark", "Without opt.", "Pessimistic", "Enhanced"
@@ -361,7 +399,7 @@ pub fn render_table5(rows: &[Table5Row]) -> String {
 // ---------------------------------------------------------------------
 
 /// One Table VI row, in kilobytes.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct Table6Row {
     /// Server name.
     pub server: String,
@@ -431,7 +469,7 @@ pub fn render_table6(rows: &[Table6Row]) -> String {
 // ---------------------------------------------------------------------
 
 /// One point of Figure 3.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig3Point {
     /// Benchmark name.
     pub bench: String,

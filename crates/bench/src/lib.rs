@@ -11,10 +11,12 @@
 pub mod experiments;
 pub mod json;
 pub mod loc;
+pub mod undo_bench;
 
 pub use experiments::*;
-pub use json::{ResultsJson, SurvivabilityJson};
+pub use json::{Json, ResultsJson, SurvivabilityJson};
 pub use loc::{count_workspace_loc, CrateLoc, RcbReport};
+pub use undo_bench::{bench_undo, UndoBenchConfig, UndoBenchResult, UndoModeResult};
 
 /// Geometric mean of a non-empty slice (returns 0 for empty input).
 pub fn geomean(xs: &[f64]) -> f64 {

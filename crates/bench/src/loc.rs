@@ -11,7 +11,7 @@
 use std::path::{Path, PathBuf};
 
 /// Line counts for one crate.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct CrateLoc {
     /// Crate directory name.
     pub name: String,
@@ -22,7 +22,7 @@ pub struct CrateLoc {
 }
 
 /// The full RCB report.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct RcbReport {
     /// Per-crate counts.
     pub crates: Vec<CrateLoc>,
@@ -53,7 +53,9 @@ impl RcbReport {
 pub const RCB_CRATES: [&str; 4] = ["checkpoint", "core", "cothread", "kernel"];
 
 fn count_file(path: &Path) -> usize {
-    let Ok(text) = std::fs::read_to_string(path) else { return 0 };
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return 0;
+    };
     text.lines()
         .map(str::trim)
         .filter(|l| !l.is_empty() && !l.starts_with("//"))
@@ -62,7 +64,9 @@ fn count_file(path: &Path) -> usize {
 
 fn count_dir(dir: &Path) -> usize {
     let mut total = 0;
-    let Ok(entries) = std::fs::read_dir(dir) else { return 0 };
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
     for entry in entries.flatten() {
         let p = entry.path();
         if p.is_dir() {
@@ -77,7 +81,11 @@ fn count_dir(dir: &Path) -> usize {
 /// Locates the workspace root from this crate's manifest dir.
 fn workspace_root() -> PathBuf {
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    manifest.parent().and_then(Path::parent).map(Path::to_path_buf).unwrap_or(manifest)
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
 }
 
 /// Counts source lines for every workspace crate (plus the facade,
@@ -86,21 +94,35 @@ pub fn count_workspace_loc() -> RcbReport {
     let root = workspace_root();
     let mut crates = Vec::new();
     if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
-        let mut dirs: Vec<PathBuf> =
-            entries.flatten().map(|e| e.path()).filter(|p| p.is_dir()).collect();
+        let mut dirs: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
         dirs.sort();
         for dir in dirs {
-            let name =
-                dir.file_name().and_then(|n| n.to_str()).unwrap_or("?").to_string();
+            let name = dir
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or("?")
+                .to_string();
             let loc = count_dir(&dir);
             let rcb = RCB_CRATES.contains(&name.as_str());
             crates.push(CrateLoc { name, loc, rcb });
         }
     }
-    for (name, sub) in [("facade", "src"), ("examples", "examples"), ("tests", "tests")] {
+    for (name, sub) in [
+        ("facade", "src"),
+        ("examples", "examples"),
+        ("tests", "tests"),
+    ] {
         let loc = count_dir(&root.join(sub));
         if loc > 0 {
-            crates.push(CrateLoc { name: name.to_string(), loc, rcb: false });
+            crates.push(CrateLoc {
+                name: name.to_string(),
+                loc,
+                rcb: false,
+            });
         }
     }
     RcbReport { crates }

@@ -49,25 +49,37 @@ fn table4_shapes_hold() {
     // IPC-bound benchmarks pay the microkernel tax.
     for name in ["pipe", "syscall", "spawn", "context1"] {
         let r = rows.iter().find(|r| r.bench == name).expect("row");
-        assert!(r.slowdown > 2.0, "{name} must pay the IPC tax: {}", r.slowdown);
+        assert!(
+            r.slowdown > 2.0,
+            "{name} must pay the IPC tax: {}",
+            r.slowdown
+        );
     }
 }
 
 #[test]
 fn table5_shapes_hold() {
     let rows = table5(0.5);
-    let gm = |f: fn(&osiris_bench::Table5Row) -> f64| {
-        geomean(&rows.iter().map(f).collect::<Vec<_>>())
-    };
+    let gm =
+        |f: fn(&osiris_bench::Table5Row) -> f64| geomean(&rows.iter().map(f).collect::<Vec<_>>());
     let noopt = gm(|r| r.without_opt);
     let pess = gm(|r| r.pessimistic);
     let enh = gm(|r| r.enhanced);
     // The paper's headline: window gating turns a noticeable overhead into
     // ~5%, and the gated policies cost about the same.
-    assert!(noopt > pess && noopt > enh, "gating must pay off: {noopt} vs {pess}/{enh}");
-    assert!(pess < 1.12 && enh < 1.12, "gated overhead stays single-digit");
+    assert!(
+        noopt > pess && noopt > enh,
+        "gating must pay off: {noopt} vs {pess}/{enh}"
+    );
+    assert!(
+        pess < 1.12 && enh < 1.12,
+        "gated overhead stays single-digit"
+    );
     assert!(noopt > 1.05, "unoptimized instrumentation must be visible");
-    assert!((pess - enh).abs() < 0.02, "gated policies are near-identical");
+    assert!(
+        (pess - enh).abs() < 0.02,
+        "gated policies are near-identical"
+    );
 }
 
 #[test]
@@ -85,7 +97,10 @@ fn table6_vm_dominates() {
         vm.overhead_kb(),
         others
     );
-    assert!(vm.clone_kb >= vm.base_kb * 0.9, "the spare clone mirrors the resident state");
+    assert!(
+        vm.clone_kb >= vm.base_kb * 0.9,
+        "the spare clone mirrors the resident state"
+    );
 }
 
 #[test]
@@ -104,7 +119,10 @@ fn figure3_pm_dependence_shapes_hold() {
     for bench in ["dhry2reg", "fsbuffer", "pipe"] {
         let lo = score(bench, intervals[0]);
         let hi = score(bench, intervals[1]);
-        assert!((lo - hi).abs() / hi < 0.02, "{bench} must be flat: {lo} vs {hi}");
+        assert!(
+            (lo - hi).abs() / hi < 0.02,
+            "{bench} must be flat: {lo} vs {hi}"
+        );
     }
     // PM-dependent: worse under higher fault rates.
     for bench in ["spawn", "shell1", "syscall"] {
@@ -113,5 +131,8 @@ fn figure3_pm_dependence_shapes_hold() {
         assert!(lo < hi, "{bench} must degrade under faults: {lo} vs {hi}");
     }
     // And every point completed without functional degradation.
-    assert!(points.iter().all(|p| p.ok), "every fig3 run must complete cleanly");
+    assert!(
+        points.iter().all(|p| p.ok),
+        "every fig3 run must complete cleanly"
+    );
 }

@@ -2,12 +2,20 @@
 
 use std::fmt;
 
-use crate::heap::{Heap, Holder, Obj, ObjId};
+use crate::heap::{Heap, Holder, ObjId};
 
 /// A handle to a growable byte buffer stored in a [`Heap`], with range-level
 /// undo logging. This is the closest analog to the paper's raw
 /// *(address, old bytes)* undo entries: a write of `n` bytes logs exactly the
 /// `n` overwritten bytes.
+///
+/// Repeated writes to the same offset within one window coalesce: a later
+/// write covered by an earlier one (same offset, same or shorter length)
+/// appends nothing, because rolling back the earlier record already restores
+/// the whole range. Only *length-neutral* writes coalesce — a write that
+/// grows the buffer (possible after an intervening truncate shortened it)
+/// always appends, because its zero-fill growth is not captured by the
+/// covering record.
 ///
 /// ```
 /// # use osiris_checkpoint::Heap;
@@ -31,18 +39,12 @@ fn refresh_bytes(holder: &mut Holder<Vec<u8>>) {
     holder.extra_bytes = holder.value.len();
 }
 
-fn holder_mut(objs: &mut [Obj], index: u32) -> &mut Holder<Vec<u8>> {
-    objs[index as usize]
-        .data
-        .as_any_mut()
-        .downcast_mut::<Holder<Vec<u8>>>()
-        .expect("undo type mismatch")
-}
-
 impl Heap {
     /// Allocates a new empty [`PBuf`] named `name`.
     pub fn alloc_buf(&mut self, name: &'static str) -> PBuf {
-        PBuf { id: self.alloc_obj(name, Vec::<u8>::new()) }
+        PBuf {
+            id: self.alloc_obj(name, Vec::<u8>::new()),
+        }
     }
 }
 
@@ -76,25 +78,9 @@ impl PBuf {
         if bytes.is_empty() {
             return;
         }
-        let id = self.id;
-        let old_len = heap.holder::<Vec<u8>>(id).value.len();
+        heap.log_buf_write(self.id, offset, bytes.len());
+        let h = heap.holder_mut::<Vec<u8>>(self.id);
         let end = offset + bytes.len();
-        let overwritten: Vec<u8> = {
-            let data = &heap.holder::<Vec<u8>>(id).value;
-            let ow_end = end.min(old_len);
-            if offset < old_len { data[offset..ow_end].to_vec() } else { Vec::new() }
-        };
-        heap.record_write(bytes.len(), move |objs| {
-            let h = holder_mut(objs, id.index);
-            // Restore old contents then old length.
-            let restore_end = offset + overwritten.len();
-            if restore_end <= h.value.len() {
-                h.value[offset..restore_end].copy_from_slice(&overwritten);
-            }
-            h.value.truncate(old_len);
-            refresh_bytes(h);
-        });
-        let h = heap.holder_mut::<Vec<u8>>(id);
         if end > h.value.len() {
             h.value.resize(end, 0);
         }
@@ -104,18 +90,12 @@ impl PBuf {
 
     /// Truncates the buffer to `len` bytes, logging the removed tail.
     pub fn truncate(&self, heap: &mut Heap, len: usize) {
-        let id = self.id;
-        let cur = heap.holder::<Vec<u8>>(id).value.len();
+        let cur = heap.holder::<Vec<u8>>(self.id).value.len();
         if len >= cur {
             return;
         }
-        let tail: Vec<u8> = heap.holder::<Vec<u8>>(id).value[len..].to_vec();
-        heap.record_write(tail.len(), move |objs| {
-            let h = holder_mut(objs, id.index);
-            h.value.extend_from_slice(&tail);
-            refresh_bytes(h);
-        });
-        let h = heap.holder_mut::<Vec<u8>>(id);
+        heap.log_buf_truncate(self.id, len);
+        let h = heap.holder_mut::<Vec<u8>>(self.id);
         h.value.truncate(len);
         refresh_bytes(h);
     }
@@ -155,6 +135,70 @@ mod tests {
         b.truncate(&mut h, 3);
         h.rollback_to(m);
         assert_eq!(b.snapshot(&h), b"abcdef");
+    }
+
+    #[test]
+    fn covered_rewrites_coalesce_but_longer_ones_do_not() {
+        let mut h = Heap::new("t");
+        let b = h.alloc_buf("b");
+        b.write_at(&mut h, 0, &[9u8; 32]);
+        h.set_logging(true);
+        let m = h.mark();
+        b.write_at(&mut h, 0, &[1u8; 16]);
+        // Same offset, same or shorter length: covered by the first record.
+        b.write_at(&mut h, 0, &[2u8; 16]);
+        b.write_at(&mut h, 0, &[3u8; 8]);
+        assert_eq!(h.log_len(), 1);
+        assert_eq!(h.stats().coalesced_writes, 2);
+        // Longer write at the same offset is NOT covered and must append.
+        b.write_at(&mut h, 0, &[4u8; 24]);
+        assert_eq!(h.log_len(), 2);
+        // Different offset is a different slot.
+        b.write_at(&mut h, 16, &[5u8; 4]);
+        assert_eq!(h.log_len(), 3);
+        h.rollback_to(m);
+        assert_eq!(b.snapshot(&h), vec![9u8; 32]);
+    }
+
+    #[test]
+    fn coalesced_growth_writes_roll_back_length() {
+        let mut h = Heap::new("t");
+        let b = h.alloc_buf("b");
+        h.set_logging(true);
+        let m = h.mark();
+        // First write grows the empty buffer; repeats are covered by it.
+        b.write_at(&mut h, 0, &[1u8; 64]);
+        b.write_at(&mut h, 0, &[2u8; 64]);
+        b.write_at(&mut h, 0, &[3u8; 64]);
+        assert_eq!(h.log_len(), 1);
+        h.rollback_to(m);
+        assert!(
+            b.is_empty(&h),
+            "rollback must restore the pre-window length"
+        );
+    }
+
+    #[test]
+    fn growing_rewrite_after_truncate_is_not_coalesced() {
+        let mut h = Heap::new("t");
+        let b = h.alloc_buf("b");
+        let base: Vec<u8> = (0..48).collect();
+        b.write_at(&mut h, 0, &base);
+        h.set_logging(true);
+        let m = h.mark();
+        // Covering record for [32, 48).
+        b.write_at(&mut h, 32, &[1u8; 16]);
+        // Shrink below the covered range's end; the tail is logged.
+        b.truncate(&mut h, 30);
+        // Covered offset and length, but the buffer is now shorter: this
+        // write grows it back to 48 and must append (a coalesced skip would
+        // leave the zero-filled growth at [30, 32) unlogged and break the
+        // truncate record's replay).
+        b.write_at(&mut h, 32, &[2u8; 16]);
+        assert_eq!(h.stats().coalesced_writes, 0);
+        assert_eq!(h.log_len(), 3);
+        h.rollback_to(m);
+        assert_eq!(b.snapshot(&h), base);
     }
 
     #[test]

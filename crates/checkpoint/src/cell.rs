@@ -40,7 +40,10 @@ impl Heap {
     /// Allocates a new [`PCell`] named `name` (for debugging and memory
     /// attribution) holding `value`.
     pub fn alloc_cell<T: HeapValue>(&mut self, name: &'static str, value: T) -> PCell<T> {
-        PCell { id: self.alloc_obj(name, value), _marker: PhantomData }
+        PCell {
+            id: self.alloc_obj(name, value),
+            _marker: PhantomData,
+        }
     }
 }
 
@@ -61,34 +64,14 @@ impl<T: HeapValue> PCell<T> {
 
     /// Replaces the stored value, logging the old one for rollback.
     pub fn set(&self, heap: &mut Heap, value: T) {
-        let id = self.id;
-        let old = heap.holder::<T>(id).value.clone();
-        let bytes = std::mem::size_of::<T>();
-        heap.record_write(bytes, move |objs| {
-            let holder = objs[id.index as usize]
-                .data
-                .as_any_mut()
-                .downcast_mut::<crate::heap::Holder<T>>()
-                .expect("undo type mismatch");
-            holder.value = old;
-        });
-        heap.holder_mut::<T>(id).value = value;
+        heap.log_cell_set::<T>(self.id);
+        heap.holder_mut::<T>(self.id).value = value;
     }
 
     /// Mutates the stored value in place through `f`, logging the old value.
     pub fn update<R>(&self, heap: &mut Heap, f: impl FnOnce(&mut T) -> R) -> R {
-        let id = self.id;
-        let old = heap.holder::<T>(id).value.clone();
-        let bytes = std::mem::size_of::<T>();
-        heap.record_write(bytes, move |objs| {
-            let holder = objs[id.index as usize]
-                .data
-                .as_any_mut()
-                .downcast_mut::<crate::heap::Holder<T>>()
-                .expect("undo type mismatch");
-            holder.value = old;
-        });
-        f(&mut heap.holder_mut::<T>(id).value)
+        heap.log_cell_set::<T>(self.id);
+        f(&mut heap.holder_mut::<T>(self.id).value)
     }
 }
 

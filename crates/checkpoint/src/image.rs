@@ -30,10 +30,20 @@ impl std::fmt::Debug for HeapImage {
 impl Heap {
     /// Takes a deep snapshot of every object in this heap.
     pub fn clone_image(&self) -> HeapImage {
-        let objs: Vec<Obj> =
-            self.objs.iter().map(|o| Obj { name: o.name, data: o.data.clone_obj() }).collect();
+        let objs: Vec<Obj> = self
+            .objs
+            .iter()
+            .map(|o| Obj {
+                name: o.name,
+                data: o.data.clone_obj(),
+            })
+            .collect();
         let bytes = objs.iter().map(|o| o.data.approx_bytes()).sum();
-        HeapImage { objs, heap_id: self.id(), bytes }
+        HeapImage {
+            objs,
+            heap_id: self.id(),
+            bytes,
+        }
     }
 
     /// Replaces this heap's contents with `image`, discarding the undo log.
@@ -45,9 +55,19 @@ impl Heap {
     ///
     /// Panics if the image was taken from a different heap.
     pub fn restore_image(&mut self, image: &HeapImage) {
-        assert_eq!(image.heap_id, self.id(), "image belongs to a different heap");
-        self.objs =
-            image.objs.iter().map(|o| Obj { name: o.name, data: o.data.clone_obj() }).collect();
+        assert_eq!(
+            image.heap_id,
+            self.id(),
+            "image belongs to a different heap"
+        );
+        self.objs = image
+            .objs
+            .iter()
+            .map(|o| Obj {
+                name: o.name,
+                data: o.data.clone_obj(),
+            })
+            .collect();
         self.discard_log();
     }
 }

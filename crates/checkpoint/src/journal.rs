@@ -1,0 +1,958 @@
+//! The typed, allocation-free undo journal.
+//!
+//! The original implementation of [`crate::Heap`] logged every store as a
+//! boxed `dyn FnOnce` closure — one allocator round-trip per logged write,
+//! exactly the per-store overhead the paper's function-cloning optimization
+//! exists to shave. This module replaces it with a *typed* journal:
+//!
+//! * [`UndoRecord`] — a plain struct tagged with an [`UndoKind`] covering the
+//!   five container mutation shapes (cell set; vec set/push/pop/truncate;
+//!   map insert/remove; buf write/extend). Typed variants carry monomorphized
+//!   `restore`/`drop_payload` function pointers, so replay needs no dynamic
+//!   dispatch through a trait object and no per-record allocation.
+//! * [`Arena`] — a reusable byte arena holding the old-value payloads. Values
+//!   are *moved* in (`ptr::copy_nonoverlapping` + `mem::forget`) and moved
+//!   back out exactly once on rollback (`ptr::read_unaligned`), or dropped
+//!   exactly once via the record's `drop_payload` when the log is discarded.
+//!   `rollback`/`discard` only reset lengths — capacity is never freed, so a
+//!   warm window logs with zero allocator calls.
+//! * [`CoalesceIndex`] — a small open-addressing hash table keyed by
+//!   `(object, slot)`. Repeated stores to the same location inside one
+//!   logging span keep only the *first* old value: replaying records in
+//!   reverse means the first record lands last and restores the span-start
+//!   value, so dropping the later ones is rollback-equivalent while turning
+//!   O(writes) undo bytes into O(distinct locations).
+//!
+//! This is the only module in the crate allowed to use `unsafe`; everything
+//! unsafe is confined to moving payload bytes in and out of the arena under
+//! the record's type witness (the monomorphized function pointers).
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::mem::size_of;
+
+use crate::heap::{HeapValue, Holder, Obj};
+use crate::map::MapKey;
+
+/// Per-record fixed accounting overhead: the address word, as in the paper's
+/// *(address, old value)* undo-log entries.
+const WORD: usize = size_of::<usize>();
+
+fn off_u32(off: usize) -> u32 {
+    u32::try_from(off).expect("undo arena exceeds 4 GiB")
+}
+
+// ---------------------------------------------------------------------------
+// Arena
+// ---------------------------------------------------------------------------
+
+/// Reusable byte arena for old-value payloads.
+///
+/// Payload bytes of typed records are type-erased: they are raw object
+/// representations moved in with an untyped byte copy and only ever
+/// reinterpreted through the owning record's monomorphized function pointers.
+/// Buf records store plain initialized bytes and read them back as a slice.
+pub(crate) struct Arena {
+    bytes: Vec<u8>,
+    /// Cumulative payload bytes appended without growing the allocation —
+    /// i.e. bytes served from reused (warm) capacity.
+    reused: u64,
+}
+
+impl Arena {
+    pub(crate) fn new() -> Self {
+        Arena {
+            bytes: Vec::new(),
+            reused: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    pub(crate) fn reuse_bytes(&self) -> u64 {
+        self.reused
+    }
+
+    pub(crate) fn reset_reuse(&mut self) {
+        self.reused = 0;
+    }
+
+    fn note_reuse(&mut self, extra: usize) {
+        if self.bytes.len() + extra <= self.bytes.capacity() {
+            self.reused += extra as u64;
+        }
+    }
+
+    /// Drops the bytes at `len..` from the arena without freeing capacity.
+    pub(crate) fn truncate(&mut self, len: usize) {
+        debug_assert!(len <= self.bytes.len());
+        self.bytes.truncate(len);
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.bytes.clear();
+    }
+
+    /// Appends initialized bytes (buf payloads); returns their offset.
+    pub(crate) fn push_bytes(&mut self, src: &[u8]) -> u32 {
+        self.note_reuse(src.len());
+        let off = self.bytes.len();
+        self.bytes.extend_from_slice(src);
+        off_u32(off)
+    }
+
+    /// Appends the raw representation of `value` without dropping it.
+    ///
+    /// `ptr::copy_nonoverlapping` is an untyped copy, so padding bytes are
+    /// carried over as-is; they are only ever read back as a whole `T`.
+    #[allow(unsafe_code)]
+    fn push_raw<T>(&mut self, value: &T) {
+        let sz = size_of::<T>();
+        self.bytes.reserve(sz);
+        let off = self.bytes.len();
+        // SAFETY: `reserve` guarantees capacity for `sz` more bytes, so the
+        // destination range is in-bounds spare capacity; source and
+        // destination cannot overlap (the value is not inside the arena).
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                (value as *const T).cast::<u8>(),
+                self.bytes.as_mut_ptr().add(off),
+                sz,
+            );
+            self.bytes.set_len(off + sz);
+        }
+    }
+
+    /// Moves `value` into the arena; returns its offset. The value must
+    /// later be taken out (rollback) or dropped (discard) exactly once.
+    pub(crate) fn push_value<T>(&mut self, value: T) -> u32 {
+        self.note_reuse(size_of::<T>());
+        let off = self.bytes.len();
+        self.push_raw(&value);
+        std::mem::forget(value);
+        off_u32(off)
+    }
+
+    /// Clones each element of `items` into the arena, contiguously; returns
+    /// the offset of the first element.
+    pub(crate) fn push_clone_slice<T: Clone>(&mut self, items: &[T]) -> u32 {
+        self.note_reuse(std::mem::size_of_val(items));
+        let off = self.bytes.len();
+        for item in items {
+            let clone = item.clone();
+            self.push_raw(&clone);
+            std::mem::forget(clone);
+        }
+        off_u32(off)
+    }
+
+    /// Initialized payload bytes of a buf record.
+    pub(crate) fn slice(&self, off: u32, len: usize) -> &[u8] {
+        &self.bytes[off as usize..off as usize + len]
+    }
+
+    /// Moves the value stored at `off` back out of the arena.
+    ///
+    /// # Safety
+    ///
+    /// `off` must come from a `push_value`/`push_clone_slice` call for the
+    /// same `T`, and each stored value must be taken at most once (the bytes
+    /// are logically moved out; taking twice would double-drop).
+    #[allow(unsafe_code)]
+    pub(crate) unsafe fn take<T>(&self, off: u32) -> T {
+        debug_assert!(off as usize + size_of::<T>() <= self.bytes.len());
+        // SAFETY: per the contract above the bytes at `off` are the valid
+        // representation of a `T`; `read_unaligned` has no alignment
+        // requirement, which matters because the arena packs payloads densely.
+        unsafe { std::ptr::read_unaligned(self.bytes.as_ptr().add(off as usize).cast::<T>()) }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Records
+// ---------------------------------------------------------------------------
+
+/// Monomorphized replay entry point: moves the record's payload out of the
+/// arena and writes it back into the object it came from.
+type RestoreFn = unsafe fn(&mut [Obj], &UndoRecord, &Arena);
+/// Monomorphized discard entry point: drops the record's payload in place
+/// (used when a window closes and the log is thrown away unapplied).
+type DropFn = unsafe fn(&UndoRecord, &Arena);
+
+/// The mutation shape a record undoes — one variant per container operation.
+///
+/// Typed variants carry the function pointers minted at append time (when the
+/// concrete `T`/`K`/`V` were statically known); buf variants operate on plain
+/// bytes and need none.
+pub(crate) enum UndoKind {
+    /// `PCell::set`/`update`: restore the old value.
+    CellSet {
+        restore: RestoreFn,
+        drop_payload: DropFn,
+    },
+    /// `PVec::set`/`update`: restore the old element at `aux`.
+    VecSet {
+        restore: RestoreFn,
+        drop_payload: DropFn,
+    },
+    /// `PVec::push`: pop the appended element (no payload).
+    VecPush { restore: RestoreFn },
+    /// `PVec::pop`: push the removed element back.
+    VecPop {
+        restore: RestoreFn,
+        drop_payload: DropFn,
+    },
+    /// `PVec::truncate`: re-extend with the `aux` removed tail elements.
+    VecTruncate {
+        restore: RestoreFn,
+        drop_payload: DropFn,
+    },
+    /// `PMap::insert`/`update`: restore the old binding (`aux` = had one).
+    MapInsert {
+        restore: RestoreFn,
+        drop_payload: DropFn,
+    },
+    /// `PMap::remove`: re-insert the removed binding.
+    MapRemove {
+        restore: RestoreFn,
+        drop_payload: DropFn,
+    },
+    /// `PBuf::write_at`: restore the overwritten bytes at offset `aux`, then
+    /// truncate back to the old length `aux2`.
+    BufWrite,
+    /// `PBuf::truncate`: re-append the removed tail bytes.
+    BufTruncate,
+}
+
+/// One undo-log entry: the paper's *(address, old value)* pair, with the
+/// old value stored out-of-line in the [`Arena`].
+pub(crate) struct UndoRecord {
+    pub(crate) kind: UndoKind,
+    /// Object index within the heap (the "address").
+    pub(crate) obj: u32,
+    /// Arena offset of this record's payload. Because records are strictly
+    /// LIFO, this is also the arena length to truncate back to when the
+    /// record is popped.
+    pub(crate) off: u32,
+    /// Payload length in arena bytes.
+    pub(crate) plen: u32,
+    /// Kind-specific scalar: element index (`VecSet`), tail element count
+    /// (`VecTruncate`), buffer offset (`BufWrite`), had-old flag
+    /// (`MapInsert`).
+    pub(crate) aux: u64,
+    /// Kind-specific scalar: old buffer length (`BufWrite`).
+    pub(crate) aux2: u64,
+    /// Bytes this record accounts for in the undo-log statistics.
+    pub(crate) bytes: usize,
+}
+
+fn holder_mut<T: HeapValue>(objs: &mut [Obj], obj: u32) -> &mut Holder<T> {
+    objs[obj as usize]
+        .data
+        .as_any_mut()
+        .downcast_mut::<Holder<T>>()
+        .expect("undo type mismatch")
+}
+
+// Monomorphized restore/drop implementations. All of them uphold the arena
+// contract: each payload is taken exactly once.
+
+#[allow(unsafe_code)]
+unsafe fn restore_cell<T: HeapValue>(objs: &mut [Obj], rec: &UndoRecord, arena: &Arena) {
+    // SAFETY: payload pushed by `push_cell::<T>` for this record.
+    holder_mut::<T>(objs, rec.obj).value = unsafe { arena.take::<T>(rec.off) };
+}
+
+#[allow(unsafe_code)]
+unsafe fn restore_vec_set<T: HeapValue>(objs: &mut [Obj], rec: &UndoRecord, arena: &Arena) {
+    let h = holder_mut::<Vec<T>>(objs, rec.obj);
+    // SAFETY: payload pushed by `push_vec_set::<T>` for this record.
+    h.value[rec.aux as usize] = unsafe { arena.take::<T>(rec.off) };
+}
+
+unsafe fn restore_vec_push<T: HeapValue>(objs: &mut [Obj], rec: &UndoRecord, _arena: &Arena) {
+    let h = holder_mut::<Vec<T>>(objs, rec.obj);
+    h.value.pop();
+    h.extra_bytes = h.value.len() * size_of::<T>();
+}
+
+#[allow(unsafe_code)]
+unsafe fn restore_vec_pop<T: HeapValue>(objs: &mut [Obj], rec: &UndoRecord, arena: &Arena) {
+    // SAFETY: payload pushed by `push_vec_pop::<T>` for this record.
+    let value = unsafe { arena.take::<T>(rec.off) };
+    let h = holder_mut::<Vec<T>>(objs, rec.obj);
+    h.value.push(value);
+    h.extra_bytes = h.value.len() * size_of::<T>();
+}
+
+#[allow(unsafe_code)]
+unsafe fn restore_vec_truncate<T: HeapValue>(objs: &mut [Obj], rec: &UndoRecord, arena: &Arena) {
+    let h = holder_mut::<Vec<T>>(objs, rec.obj);
+    for i in 0..rec.aux as usize {
+        let off = rec.off + off_u32(i * size_of::<T>());
+        // SAFETY: element `i` of the tail pushed by `push_vec_truncate::<T>`.
+        h.value.push(unsafe { arena.take::<T>(off) });
+    }
+    h.extra_bytes = h.value.len() * size_of::<T>();
+}
+
+#[allow(unsafe_code)]
+unsafe fn drop_value<T: HeapValue>(rec: &UndoRecord, arena: &Arena) {
+    // SAFETY: single payload value pushed for this record.
+    drop(unsafe { arena.take::<T>(rec.off) });
+}
+
+#[allow(unsafe_code)]
+unsafe fn drop_slice<T: HeapValue>(rec: &UndoRecord, arena: &Arena) {
+    for i in 0..rec.aux as usize {
+        // SAFETY: element `i` of the tail pushed for this record.
+        drop(unsafe { arena.take::<T>(rec.off + off_u32(i * size_of::<T>())) });
+    }
+}
+
+#[allow(unsafe_code)]
+unsafe fn restore_map_insert<K: MapKey, V: HeapValue>(
+    objs: &mut [Obj],
+    rec: &UndoRecord,
+    arena: &Arena,
+) {
+    // SAFETY: key (and value iff `aux == 1`) pushed by `push_map_insert`.
+    let key = unsafe { arena.take::<K>(rec.off) };
+    let old = if rec.aux == 1 {
+        Some(unsafe { arena.take::<V>(rec.off + off_u32(size_of::<K>())) })
+    } else {
+        None
+    };
+    let h = holder_mut::<BTreeMap<K, V>>(objs, rec.obj);
+    match old {
+        Some(v) => {
+            h.value.insert(key, v);
+        }
+        None => {
+            h.value.remove(&key);
+        }
+    }
+    h.extra_bytes = h.value.len() * (size_of::<K>() + size_of::<V>());
+}
+
+#[allow(unsafe_code)]
+unsafe fn drop_map_insert<K: MapKey, V: HeapValue>(rec: &UndoRecord, arena: &Arena) {
+    // SAFETY: mirrors `restore_map_insert`'s payload layout.
+    drop(unsafe { arena.take::<K>(rec.off) });
+    if rec.aux == 1 {
+        drop(unsafe { arena.take::<V>(rec.off + off_u32(size_of::<K>())) });
+    }
+}
+
+#[allow(unsafe_code)]
+unsafe fn restore_map_remove<K: MapKey, V: HeapValue>(
+    objs: &mut [Obj],
+    rec: &UndoRecord,
+    arena: &Arena,
+) {
+    // SAFETY: key then value pushed by `push_map_remove`.
+    let key = unsafe { arena.take::<K>(rec.off) };
+    let value = unsafe { arena.take::<V>(rec.off + off_u32(size_of::<K>())) };
+    let h = holder_mut::<BTreeMap<K, V>>(objs, rec.obj);
+    h.value.insert(key, value);
+    h.extra_bytes = h.value.len() * (size_of::<K>() + size_of::<V>());
+}
+
+#[allow(unsafe_code)]
+unsafe fn drop_map_remove<K: MapKey, V: HeapValue>(rec: &UndoRecord, arena: &Arena) {
+    // SAFETY: mirrors `restore_map_remove`'s payload layout.
+    drop(unsafe { arena.take::<K>(rec.off) });
+    drop(unsafe { arena.take::<V>(rec.off + off_u32(size_of::<K>())) });
+}
+
+fn restore_buf_write(objs: &mut [Obj], rec: &UndoRecord, arena: &Arena) {
+    let h = holder_mut::<Vec<u8>>(objs, rec.obj);
+    let offset = rec.aux as usize;
+    let overwritten = arena.slice(rec.off, rec.plen as usize);
+    let restore_end = offset + overwritten.len();
+    if restore_end <= h.value.len() {
+        h.value[offset..restore_end].copy_from_slice(overwritten);
+    }
+    h.value.truncate(rec.aux2 as usize);
+    h.extra_bytes = h.value.len();
+}
+
+fn restore_buf_truncate(objs: &mut [Obj], rec: &UndoRecord, arena: &Arena) {
+    let h = holder_mut::<Vec<u8>>(objs, rec.obj);
+    h.value
+        .extend_from_slice(arena.slice(rec.off, rec.plen as usize));
+    h.extra_bytes = h.value.len();
+}
+
+// ---------------------------------------------------------------------------
+// Coalescing index
+// ---------------------------------------------------------------------------
+
+/// Coalescing slot for a whole-object location (a `PCell`).
+const SLOT_WHOLE: u64 = u64::MAX;
+const INDEX_INITIAL: usize = 256;
+const INDEX_MAX: usize = 1 << 16;
+const PROBE_LIMIT: usize = 8;
+
+/// The SplitMix64 finalizer (Steele, Lea & Flood) — duplicated from
+/// `osiris-rng` so this crate stays dependency-free.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[derive(Clone, Copy, Default)]
+struct Entry {
+    /// Epoch stamp; an entry whose epoch differs from the index's is empty.
+    epoch: u32,
+    obj: u32,
+    slot: u64,
+    /// Journal position of the record covering this location.
+    pos: u32,
+    /// Payload bytes that record restores at this location (buf writes have
+    /// variable coverage; a later shorter write is covered, a longer one not).
+    covered: u32,
+}
+
+/// Open-addressing index from `(object, slot)` to the journal record that
+/// already covers that location in the current logging span.
+///
+/// Invalidation is O(1) by bumping the epoch; the table itself is reused
+/// forever (never freed), keeping the hot path allocation-free once warm.
+/// The index is best-effort: dropping an entry (probe overflow at max size)
+/// merely forfeits coalescing for that location, never correctness.
+pub(crate) struct CoalesceIndex {
+    table: Vec<Entry>,
+    epoch: u32,
+}
+
+impl CoalesceIndex {
+    fn new() -> Self {
+        CoalesceIndex {
+            table: Vec::new(),
+            epoch: 1,
+        }
+    }
+
+    fn home(&self, obj: u32, slot: u64) -> usize {
+        mix64((u64::from(obj) << 32) ^ slot.rotate_left(17)) as usize
+    }
+
+    /// Forgets every entry in O(1).
+    fn invalidate_all(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch wrapped: ancient entries could alias the fresh epoch, so
+            // pay for a real clear once every 2^32 invalidations.
+            self.table.fill(Entry::default());
+            self.epoch = 1;
+        }
+    }
+
+    /// Is `(obj, slot)` already covered by a record at position `>= barrier`
+    /// restoring at least `covered` payload bytes?
+    fn lookup(&self, obj: u32, slot: u64, covered: u32, barrier: u32) -> bool {
+        if self.table.is_empty() {
+            return false;
+        }
+        let mask = self.table.len() - 1;
+        let home = self.home(obj, slot);
+        for i in 0..PROBE_LIMIT {
+            let e = &self.table[(home + i) & mask];
+            if e.epoch != self.epoch {
+                // First empty slot ends the probe cluster (inserts always
+                // fill the first empty slot, so nothing lives past one).
+                return false;
+            }
+            if e.obj == obj && e.slot == slot {
+                return e.pos >= barrier && covered <= e.covered;
+            }
+        }
+        false
+    }
+
+    /// Records that journal position `pos` covers `(obj, slot)`.
+    fn insert(&mut self, obj: u32, slot: u64, pos: u32, covered: u32) {
+        if self.table.is_empty() {
+            self.table = vec![Entry::default(); INDEX_INITIAL];
+        }
+        loop {
+            if self.try_insert(obj, slot, pos, covered) {
+                return;
+            }
+            if self.table.len() >= INDEX_MAX {
+                // Best-effort: give up coalescing for this location.
+                return;
+            }
+            self.grow();
+        }
+    }
+
+    fn try_insert(&mut self, obj: u32, slot: u64, pos: u32, covered: u32) -> bool {
+        let mask = self.table.len() - 1;
+        let home = self.home(obj, slot);
+        let mut free = None;
+        for i in 0..PROBE_LIMIT {
+            let idx = (home + i) & mask;
+            let e = &self.table[idx];
+            if e.epoch == self.epoch {
+                if e.obj == obj && e.slot == slot {
+                    free = Some(idx);
+                    break;
+                }
+            } else if free.is_none() {
+                free = Some(idx);
+            }
+        }
+        match free {
+            Some(idx) => {
+                self.table[idx] = Entry {
+                    epoch: self.epoch,
+                    obj,
+                    slot,
+                    pos,
+                    covered,
+                };
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn grow(&mut self) {
+        let doubled = self.table.len() * 2;
+        let old = std::mem::replace(&mut self.table, vec![Entry::default(); doubled]);
+        let live_epoch = self.epoch;
+        for e in old {
+            if e.epoch == live_epoch {
+                // Re-home; on probe overflow the entry is simply dropped.
+                let _ = self.try_insert(e.obj, e.slot, e.pos, e.covered);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Journal
+// ---------------------------------------------------------------------------
+
+/// The typed undo journal: record list + payload arena + coalescing index.
+pub(crate) struct Journal {
+    records: Vec<UndoRecord>,
+    arena: Arena,
+    index: CoalesceIndex,
+    /// Journal length at the most recent [`crate::Heap::mark`]. Coalescing
+    /// must never suppress an append whose covering record lies before the
+    /// latest mark — a rollback to that mark would then miss the location.
+    /// `Cell` because `mark` takes `&self`.
+    barrier: Cell<u32>,
+}
+
+impl Journal {
+    pub(crate) fn new() -> Self {
+        Journal {
+            records: Vec::new(),
+            arena: Arena::new(),
+            index: CoalesceIndex::new(),
+            barrier: Cell::new(0),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub(crate) fn arena_len(&self) -> usize {
+        self.arena.len()
+    }
+
+    pub(crate) fn arena_reuse_bytes(&self) -> u64 {
+        self.arena.reuse_bytes()
+    }
+
+    pub(crate) fn reset_reuse(&mut self) {
+        self.arena.reset_reuse();
+    }
+
+    /// Called from `Heap::mark`: raises the coalescing barrier so records
+    /// before the new mark no longer justify skipping appends.
+    pub(crate) fn note_mark(&self) {
+        let len = off_u32(self.records.len());
+        if len > self.barrier.get() {
+            self.barrier.set(len);
+        }
+    }
+
+    /// Drops all coalescing knowledge (after rollback, discard, or a logging
+    /// span boundary).
+    pub(crate) fn invalidate_coalescing(&mut self) {
+        self.index.invalidate_all();
+        self.barrier.set(off_u32(self.records.len()));
+    }
+
+    fn next_pos(&self) -> u32 {
+        off_u32(self.records.len())
+    }
+
+    // -- coverage queries (checked *before* cloning the old value) ---------
+
+    pub(crate) fn cell_covered<T>(&self, obj: u32) -> bool {
+        self.index
+            .lookup(obj, SLOT_WHOLE, size_of::<T>() as u32, self.barrier.get())
+    }
+
+    pub(crate) fn vec_covered<T>(&self, obj: u32, index: usize) -> bool {
+        self.index
+            .lookup(obj, index as u64, size_of::<T>() as u32, self.barrier.get())
+    }
+
+    pub(crate) fn buf_covered(&self, obj: u32, offset: usize, write_len: usize) -> bool {
+        self.index
+            .lookup(obj, offset as u64, off_u32(write_len), self.barrier.get())
+    }
+
+    // -- appends ------------------------------------------------------------
+
+    pub(crate) fn push_cell<T: HeapValue>(&mut self, obj: u32, old: T, coalesce: bool) -> usize {
+        let bytes = WORD + size_of::<T>();
+        let pos = self.next_pos();
+        let off = self.arena.push_value(old);
+        self.records.push(UndoRecord {
+            kind: UndoKind::CellSet {
+                restore: restore_cell::<T>,
+                drop_payload: drop_value::<T>,
+            },
+            obj,
+            off,
+            plen: size_of::<T>() as u32,
+            aux: 0,
+            aux2: 0,
+            bytes,
+        });
+        if coalesce {
+            self.index
+                .insert(obj, SLOT_WHOLE, pos, size_of::<T>() as u32);
+        }
+        bytes
+    }
+
+    pub(crate) fn push_vec_set<T: HeapValue>(
+        &mut self,
+        obj: u32,
+        index: usize,
+        old: T,
+        coalesce: bool,
+    ) -> usize {
+        let bytes = WORD + size_of::<T>();
+        let pos = self.next_pos();
+        let off = self.arena.push_value(old);
+        self.records.push(UndoRecord {
+            kind: UndoKind::VecSet {
+                restore: restore_vec_set::<T>,
+                drop_payload: drop_value::<T>,
+            },
+            obj,
+            off,
+            plen: size_of::<T>() as u32,
+            aux: index as u64,
+            aux2: 0,
+            bytes,
+        });
+        if coalesce {
+            self.index
+                .insert(obj, index as u64, pos, size_of::<T>() as u32);
+        }
+        bytes
+    }
+
+    pub(crate) fn push_vec_push<T: HeapValue>(&mut self, obj: u32) -> usize {
+        let bytes = WORD + size_of::<T>();
+        self.records.push(UndoRecord {
+            kind: UndoKind::VecPush {
+                restore: restore_vec_push::<T>,
+            },
+            obj,
+            off: off_u32(self.arena.len()),
+            plen: 0,
+            aux: 0,
+            aux2: 0,
+            bytes,
+        });
+        bytes
+    }
+
+    pub(crate) fn push_vec_pop<T: HeapValue>(&mut self, obj: u32, old: T) -> usize {
+        let bytes = WORD + size_of::<T>();
+        let off = self.arena.push_value(old);
+        self.records.push(UndoRecord {
+            kind: UndoKind::VecPop {
+                restore: restore_vec_pop::<T>,
+                drop_payload: drop_value::<T>,
+            },
+            obj,
+            off,
+            plen: size_of::<T>() as u32,
+            aux: 0,
+            aux2: 0,
+            bytes,
+        });
+        bytes
+    }
+
+    pub(crate) fn push_vec_truncate<T: HeapValue>(&mut self, obj: u32, tail: &[T]) -> usize {
+        let bytes = WORD + std::mem::size_of_val(tail);
+        let off = self.arena.push_clone_slice(tail);
+        self.records.push(UndoRecord {
+            kind: UndoKind::VecTruncate {
+                restore: restore_vec_truncate::<T>,
+                drop_payload: drop_slice::<T>,
+            },
+            obj,
+            off,
+            plen: off_u32(std::mem::size_of_val(tail)),
+            aux: tail.len() as u64,
+            aux2: 0,
+            bytes,
+        });
+        bytes
+    }
+
+    pub(crate) fn push_map_insert<K: MapKey, V: HeapValue>(
+        &mut self,
+        obj: u32,
+        key: K,
+        old: Option<V>,
+    ) -> usize {
+        let bytes = WORD + size_of::<K>() + size_of::<V>();
+        let off = self.arena.push_value(key);
+        let had_old = old.is_some();
+        let mut plen = size_of::<K>();
+        if let Some(v) = old {
+            self.arena.push_value(v);
+            plen += size_of::<V>();
+        }
+        self.records.push(UndoRecord {
+            kind: UndoKind::MapInsert {
+                restore: restore_map_insert::<K, V>,
+                drop_payload: drop_map_insert::<K, V>,
+            },
+            obj,
+            off,
+            plen: off_u32(plen),
+            aux: u64::from(had_old),
+            aux2: 0,
+            bytes,
+        });
+        bytes
+    }
+
+    pub(crate) fn push_map_remove<K: MapKey, V: HeapValue>(
+        &mut self,
+        obj: u32,
+        key: K,
+        old: V,
+    ) -> usize {
+        let bytes = WORD + size_of::<K>() + size_of::<V>();
+        let off = self.arena.push_value(key);
+        self.arena.push_value(old);
+        self.records.push(UndoRecord {
+            kind: UndoKind::MapRemove {
+                restore: restore_map_remove::<K, V>,
+                drop_payload: drop_map_remove::<K, V>,
+            },
+            obj,
+            off,
+            plen: off_u32(size_of::<K>() + size_of::<V>()),
+            aux: 0,
+            aux2: 0,
+            bytes,
+        });
+        bytes
+    }
+
+    pub(crate) fn push_buf_write(
+        &mut self,
+        obj: u32,
+        offset: usize,
+        overwritten: &[u8],
+        old_len: usize,
+        write_len: usize,
+        coalesce: bool,
+    ) -> usize {
+        let bytes = WORD + write_len;
+        let pos = self.next_pos();
+        let off = self.arena.push_bytes(overwritten);
+        self.records.push(UndoRecord {
+            kind: UndoKind::BufWrite,
+            obj,
+            off,
+            plen: off_u32(overwritten.len()),
+            aux: offset as u64,
+            aux2: old_len as u64,
+            bytes,
+        });
+        if coalesce {
+            self.index
+                .insert(obj, offset as u64, pos, off_u32(write_len));
+        }
+        bytes
+    }
+
+    pub(crate) fn push_buf_truncate(&mut self, obj: u32, tail: &[u8]) -> usize {
+        let bytes = WORD + tail.len();
+        let off = self.arena.push_bytes(tail);
+        self.records.push(UndoRecord {
+            kind: UndoKind::BufTruncate,
+            obj,
+            off,
+            plen: off_u32(tail.len()),
+            aux: 0,
+            aux2: 0,
+            bytes,
+        });
+        bytes
+    }
+
+    // -- replay / discard ---------------------------------------------------
+
+    /// Pops the newest record, applies its restore, and releases its arena
+    /// payload. Returns the record's accounted bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the journal is empty.
+    #[allow(unsafe_code)]
+    pub(crate) fn pop_and_apply(&mut self, objs: &mut [Obj]) -> usize {
+        let rec = self.records.pop().expect("pop from empty journal");
+        match rec.kind {
+            UndoKind::CellSet { restore, .. }
+            | UndoKind::VecSet { restore, .. }
+            | UndoKind::VecPush { restore }
+            | UndoKind::VecPop { restore, .. }
+            | UndoKind::VecTruncate { restore, .. }
+            | UndoKind::MapInsert { restore, .. }
+            | UndoKind::MapRemove { restore, .. } => {
+                // SAFETY: `restore` was minted for this record's payload
+                // type at append time, and LIFO replay takes each payload
+                // exactly once before the arena is truncated below.
+                unsafe { restore(objs, &rec, &self.arena) }
+            }
+            UndoKind::BufWrite => restore_buf_write(objs, &rec, &self.arena),
+            UndoKind::BufTruncate => restore_buf_truncate(objs, &rec, &self.arena),
+        }
+        self.arena.truncate(rec.off as usize);
+        rec.bytes
+    }
+
+    /// Drops every record's payload without applying it and resets lengths
+    /// (never capacity). Called from `discard_log` and `Drop`.
+    #[allow(unsafe_code)]
+    pub(crate) fn discard(&mut self) {
+        for rec in self.records.drain(..) {
+            match rec.kind {
+                UndoKind::CellSet { drop_payload, .. }
+                | UndoKind::VecSet { drop_payload, .. }
+                | UndoKind::VecPop { drop_payload, .. }
+                | UndoKind::VecTruncate { drop_payload, .. }
+                | UndoKind::MapInsert { drop_payload, .. }
+                | UndoKind::MapRemove { drop_payload, .. } => {
+                    // SAFETY: discarding is the only other way a payload
+                    // leaves the arena; each record is drained exactly once.
+                    unsafe { drop_payload(&rec, &self.arena) }
+                }
+                UndoKind::VecPush { .. } | UndoKind::BufWrite | UndoKind::BufTruncate => {}
+            }
+        }
+        self.arena.reset();
+        self.invalidate_coalescing();
+    }
+}
+
+impl Drop for Journal {
+    fn drop(&mut self) {
+        // Payloads still in the arena own heap data (Strings, Vecs…); drop
+        // them properly rather than leaking when the heap itself dies.
+        self.discard();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesce_index_basic_hit_and_barrier() {
+        let mut idx = CoalesceIndex::new();
+        assert!(!idx.lookup(1, 5, 8, 0));
+        idx.insert(1, 5, 3, 8);
+        assert!(idx.lookup(1, 5, 8, 0));
+        assert!(idx.lookup(1, 5, 4, 0), "smaller coverage is still covered");
+        assert!(!idx.lookup(1, 5, 9, 0), "larger coverage is not");
+        assert!(
+            !idx.lookup(1, 5, 8, 4),
+            "record before the barrier does not count"
+        );
+        assert!(!idx.lookup(2, 5, 8, 0));
+        assert!(!idx.lookup(1, 6, 8, 0));
+    }
+
+    #[test]
+    fn coalesce_index_invalidate_forgets_everything() {
+        let mut idx = CoalesceIndex::new();
+        for slot in 0..100u64 {
+            idx.insert(7, slot, slot as u32, 8);
+        }
+        assert!(idx.lookup(7, 99, 8, 0));
+        idx.invalidate_all();
+        for slot in 0..100u64 {
+            assert!(!idx.lookup(7, slot, 8, 0));
+        }
+    }
+
+    #[test]
+    fn coalesce_index_grows_past_initial_capacity() {
+        let mut idx = CoalesceIndex::new();
+        let n = (INDEX_INITIAL * 4) as u64;
+        for slot in 0..n {
+            idx.insert(1, slot, slot as u32, 8);
+        }
+        let hits = (0..n).filter(|&s| idx.lookup(1, s, 8, 0)).count();
+        // Growth re-homes entries; a tiny fraction may be dropped on probe
+        // overflow, but the vast majority must survive.
+        assert!(
+            hits as f64 > n as f64 * 0.95,
+            "only {hits}/{n} entries survived growth"
+        );
+    }
+
+    #[test]
+    fn arena_push_take_roundtrip_for_droppable_values() {
+        let mut arena = Arena::new();
+        let off_a = arena.push_value(String::from("hello"));
+        let off_b = arena.push_value(vec![1u32, 2, 3]);
+        #[allow(unsafe_code)]
+        // SAFETY: offsets and types match the pushes above, taken once each.
+        let (a, b) = unsafe { (arena.take::<String>(off_a), arena.take::<Vec<u32>>(off_b)) };
+        assert_eq!(a, "hello");
+        assert_eq!(b, vec![1, 2, 3]);
+        arena.reset();
+        assert_eq!(arena.len(), 0);
+    }
+
+    #[test]
+    fn arena_tracks_reuse_only_within_capacity() {
+        let mut arena = Arena::new();
+        arena.push_bytes(&[0u8; 1024]);
+        let cold = arena.reuse_bytes();
+        arena.reset();
+        arena.push_bytes(&[0u8; 1024]);
+        assert_eq!(
+            arena.reuse_bytes(),
+            cold + 1024,
+            "warm append counts as reuse"
+        );
+    }
+}

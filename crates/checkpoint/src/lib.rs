@@ -38,20 +38,25 @@
 //! heap.rollback_to(mark);
 //! assert_eq!(counter.get(&heap), 0);
 //! ```
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod buf;
 mod cell;
 mod heap;
 mod image;
+// The typed undo journal is the one place allowed to use `unsafe`: it moves
+// old-value payloads in and out of a type-erased byte arena under the
+// monomorphized function pointers stored in each record.
+#[allow(unsafe_code)]
+mod journal;
 mod map;
 mod stats;
 mod vec;
 
 pub use buf::PBuf;
 pub use cell::PCell;
-pub use heap::{Heap, HeapValue, Mark, ObjId};
+pub use heap::{Heap, HeapValue, Mark, ObjId, UndoMode};
 pub use image::HeapImage;
 pub use map::PMap;
 pub use stats::HeapStats;

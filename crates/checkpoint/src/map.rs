@@ -4,11 +4,14 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::marker::PhantomData;
 
-use crate::heap::{Heap, HeapValue, Holder, Obj, ObjId};
+use crate::heap::{Heap, HeapValue, Holder, ObjId};
 
 /// A handle to a `BTreeMap<K, V>` stored in a [`Heap`], with undo-logged
 /// mutation. Servers keep their tables (process table, file table, key-value
 /// store…) in `PMap`s so a crashed request can be rolled back precisely.
+///
+/// Map mutations are never coalesced: the coalescing index is type-erased and
+/// cannot compare keys, and hashing alone cannot prove two keys equal.
 ///
 /// ```
 /// # use osiris_checkpoint::Heap;
@@ -47,18 +50,13 @@ fn refresh_bytes<K: MapKey, V: HeapValue>(holder: &mut Holder<BTreeMap<K, V>>) {
     holder.extra_bytes = holder.value.len() * entry_bytes::<K, V>();
 }
 
-fn holder_mut<K: MapKey, V: HeapValue>(objs: &mut [Obj], index: u32) -> &mut Holder<BTreeMap<K, V>> {
-    objs[index as usize]
-        .data
-        .as_any_mut()
-        .downcast_mut::<Holder<BTreeMap<K, V>>>()
-        .expect("undo type mismatch")
-}
-
 impl Heap {
     /// Allocates a new empty [`PMap`] named `name`.
     pub fn alloc_map<K: MapKey, V: HeapValue>(&mut self, name: &'static str) -> PMap<K, V> {
-        PMap { id: self.alloc_obj(name, BTreeMap::<K, V>::new()), _marker: PhantomData }
+        PMap {
+            id: self.alloc_obj(name, BTreeMap::<K, V>::new()),
+            _marker: PhantomData,
+        }
     }
 }
 
@@ -75,12 +73,17 @@ impl<K: MapKey, V: HeapValue> PMap<K, V> {
 
     /// Returns a clone of the value stored under `key`.
     pub fn get(&self, heap: &Heap, key: &K) -> Option<V> {
-        heap.holder::<BTreeMap<K, V>>(self.id).value.get(key).cloned()
+        heap.holder::<BTreeMap<K, V>>(self.id)
+            .value
+            .get(key)
+            .cloned()
     }
 
     /// Whether `key` is present.
     pub fn contains_key(&self, heap: &Heap, key: &K) -> bool {
-        heap.holder::<BTreeMap<K, V>>(self.id).value.contains_key(key)
+        heap.holder::<BTreeMap<K, V>>(self.id)
+            .value
+            .contains_key(key)
     }
 
     /// Applies `f` to a shared reference of the value under `key`.
@@ -96,19 +99,13 @@ impl<K: MapKey, V: HeapValue> PMap<K, V> {
     /// Inserts `value` under `key`, returning the previous value. The
     /// previous binding (or absence) is logged for rollback.
     pub fn insert(&self, heap: &mut Heap, key: K, value: V) -> Option<V> {
-        let id = self.id;
-        let undo_key = key.clone();
-        let old = heap.holder::<BTreeMap<K, V>>(id).value.get(&key).cloned();
-        let undo_old = old.clone();
-        heap.record_write(entry_bytes::<K, V>(), move |objs| {
-            let h = holder_mut::<K, V>(objs, id.index);
-            match undo_old {
-                Some(v) => h.value.insert(undo_key, v),
-                None => h.value.remove(&undo_key),
-            };
-            refresh_bytes(h);
-        });
-        let h = heap.holder_mut::<BTreeMap<K, V>>(id);
+        let old = heap
+            .holder::<BTreeMap<K, V>>(self.id)
+            .value
+            .get(&key)
+            .cloned();
+        heap.log_map_insert::<K, V>(self.id, &key, old.as_ref());
+        let h = heap.holder_mut::<BTreeMap<K, V>>(self.id);
         let prev = h.value.insert(key, value);
         refresh_bytes(h);
         prev.or(old)
@@ -117,16 +114,13 @@ impl<K: MapKey, V: HeapValue> PMap<K, V> {
     /// Removes the binding for `key`, returning its value. Logged for
     /// rollback. Removing an absent key logs nothing.
     pub fn remove(&self, heap: &mut Heap, key: &K) -> Option<V> {
-        let id = self.id;
-        let old = heap.holder::<BTreeMap<K, V>>(id).value.get(key).cloned()?;
-        let undo_key = key.clone();
-        let undo_val = old.clone();
-        heap.record_write(entry_bytes::<K, V>(), move |objs| {
-            let h = holder_mut::<K, V>(objs, id.index);
-            h.value.insert(undo_key, undo_val);
-            refresh_bytes(h);
-        });
-        let h = heap.holder_mut::<BTreeMap<K, V>>(id);
+        let old = heap
+            .holder::<BTreeMap<K, V>>(self.id)
+            .value
+            .get(key)
+            .cloned()?;
+        heap.log_map_remove::<K, V>(self.id, key, &old);
+        let h = heap.holder_mut::<BTreeMap<K, V>>(self.id);
         let out = h.value.remove(key);
         refresh_bytes(h);
         out.or(Some(old))
@@ -135,14 +129,13 @@ impl<K: MapKey, V: HeapValue> PMap<K, V> {
     /// Mutates the value under `key` in place, logging the old value.
     /// Returns `None` (without calling `f`) if the key is absent.
     pub fn update<R>(&self, heap: &mut Heap, key: &K, f: impl FnOnce(&mut V) -> R) -> Option<R> {
-        let id = self.id;
-        let old = heap.holder::<BTreeMap<K, V>>(id).value.get(key).cloned()?;
-        let undo_key = key.clone();
-        heap.record_write(entry_bytes::<K, V>(), move |objs| {
-            let h = holder_mut::<K, V>(objs, id.index);
-            h.value.insert(undo_key, old);
-        });
-        let h = heap.holder_mut::<BTreeMap<K, V>>(id);
+        let old = heap
+            .holder::<BTreeMap<K, V>>(self.id)
+            .value
+            .get(key)
+            .cloned()?;
+        heap.log_map_insert::<K, V>(self.id, key, Some(&old));
+        let h = heap.holder_mut::<BTreeMap<K, V>>(self.id);
         h.value.get_mut(key).map(f)
     }
 
@@ -155,7 +148,11 @@ impl<K: MapKey, V: HeapValue> PMap<K, V> {
 
     /// Returns a clone of all keys, in order.
     pub fn keys(&self, heap: &Heap) -> Vec<K> {
-        heap.holder::<BTreeMap<K, V>>(self.id).value.keys().cloned().collect()
+        heap.holder::<BTreeMap<K, V>>(self.id)
+            .value
+            .keys()
+            .cloned()
+            .collect()
     }
 
     /// Returns the first key matching `pred`, if any.
@@ -233,5 +230,36 @@ mod tests {
         }
         assert_eq!(m.keys(&h), vec![1, 2, 3]);
         assert_eq!(m.find_key(&h, |_, v| *v > 15), Some(2));
+    }
+
+    #[test]
+    fn map_writes_are_never_coalesced() {
+        let mut h = Heap::new("t");
+        let m = h.alloc_map::<u32, u64>("m");
+        m.insert(&mut h, 1, 0);
+        h.set_logging(true);
+        let mark = h.mark();
+        for i in 1..=5 {
+            m.insert(&mut h, 1, i);
+        }
+        assert_eq!(h.log_len(), 5);
+        assert_eq!(h.stats().coalesced_writes, 0);
+        h.rollback_to(mark);
+        assert_eq!(m.get(&h, &1), Some(0));
+    }
+
+    #[test]
+    fn owned_keys_and_values_roll_back_exactly() {
+        let mut h = Heap::new("t");
+        let m = h.alloc_map::<String, Vec<u8>>("m");
+        m.insert(&mut h, "a".into(), vec![1]);
+        h.set_logging(true);
+        let mark = h.mark();
+        m.insert(&mut h, "a".into(), vec![9, 9]);
+        m.insert(&mut h, "b".into(), vec![2]);
+        m.remove(&mut h, &"a".to_string());
+        h.rollback_to(mark);
+        assert_eq!(m.get(&h, &"a".to_string()), Some(vec![1]));
+        assert_eq!(m.get(&h, &"b".to_string()), None);
     }
 }

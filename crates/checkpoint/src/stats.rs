@@ -3,20 +3,32 @@
 /// Counters accumulated by a [`crate::Heap`].
 ///
 /// `writes` counts every logical store, whether or not it was logged;
-/// `undo_appends` counts only logged stores. The difference is exactly the
-/// work the paper's out-of-window optimization avoids.
+/// `undo_appends` counts only logged stores that actually appended a record.
+/// `writes - undo_appends - coalesced_writes` is the out-of-window work the
+/// paper's function-cloning optimization avoids, and `coalesced_writes` is
+/// the in-window work the typed journal's write coalescing avoids on top.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct HeapStats {
     /// Logical store operations performed through persistent containers.
     pub writes: u64,
-    /// Stores that appended an undo record (logging enabled).
+    /// Stores that appended an undo record (logging enabled, not coalesced).
     pub undo_appends: u64,
+    /// Logged stores elided because an earlier record in the same window
+    /// already covers their location (rollback-equivalent).
+    pub coalesced_writes: u64,
     /// Bytes currently held by the undo log.
     pub undo_bytes_current: usize,
     /// High-water mark of `undo_bytes_current` (Table VI's "+undo log").
     pub undo_bytes_peak: usize,
+    /// Cumulative payload bytes appended into already-warm arena capacity
+    /// (i.e. without growing the allocation). Steady-state windows should see
+    /// this track total payload bytes — the "zero allocator calls" claim.
+    pub arena_reuse_bytes: u64,
     /// Number of rollbacks performed.
     pub rollbacks: u64,
+    /// `set_logging(false)` requests that were overridden (and therefore did
+    /// not take effect) because force-logging was active.
+    pub gating_overrides: u64,
 }
 
 #[cfg(test)]
@@ -28,8 +40,11 @@ mod tests {
         let s = HeapStats::default();
         assert_eq!(s.writes, 0);
         assert_eq!(s.undo_appends, 0);
+        assert_eq!(s.coalesced_writes, 0);
         assert_eq!(s.undo_bytes_current, 0);
         assert_eq!(s.undo_bytes_peak, 0);
+        assert_eq!(s.arena_reuse_bytes, 0);
         assert_eq!(s.rollbacks, 0);
+        assert_eq!(s.gating_overrides, 0);
     }
 }

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::marker::PhantomData;
 
-use crate::heap::{Heap, HeapValue, Holder, Obj, ObjId};
+use crate::heap::{Heap, HeapValue, Holder, ObjId};
 
 /// A handle to a `Vec<T>` stored in a [`Heap`], with undo-logged mutation.
 ///
@@ -36,18 +36,13 @@ fn refresh_bytes<T: HeapValue>(holder: &mut Holder<Vec<T>>) {
     holder.extra_bytes = holder.value.len() * std::mem::size_of::<T>();
 }
 
-fn holder_mut<T: HeapValue>(objs: &mut [Obj], index: u32) -> &mut Holder<Vec<T>> {
-    objs[index as usize]
-        .data
-        .as_any_mut()
-        .downcast_mut::<Holder<Vec<T>>>()
-        .expect("undo type mismatch")
-}
-
 impl Heap {
     /// Allocates a new empty [`PVec`] named `name`.
     pub fn alloc_vec<T: HeapValue>(&mut self, name: &'static str) -> PVec<T> {
-        PVec { id: self.alloc_obj(name, Vec::<T>::new()), _marker: PhantomData }
+        PVec {
+            id: self.alloc_obj(name, Vec::<T>::new()),
+            _marker: PhantomData,
+        }
     }
 
     /// Allocates a [`PVec`] pre-filled with `len` clones of `value`.
@@ -64,7 +59,10 @@ impl Heap {
         let id = self.alloc_obj(name, data);
         let extra = len * std::mem::size_of::<T>();
         self.holder_mut::<Vec<T>>(id).extra_bytes = extra;
-        PVec { id, _marker: PhantomData }
+        PVec {
+            id,
+            _marker: PhantomData,
+        }
     }
 }
 
@@ -96,31 +94,20 @@ impl<T: HeapValue> PVec<T> {
 
     /// Appends `value`, logging the inverse (a pop).
     pub fn push(&self, heap: &mut Heap, value: T) {
-        let id = self.id;
-        heap.record_write(std::mem::size_of::<T>(), move |objs| {
-            let h = holder_mut::<T>(objs, id.index);
-            h.value.pop();
-            refresh_bytes(h);
-        });
-        let h = heap.holder_mut::<Vec<T>>(id);
+        heap.log_vec_push::<T>(self.id);
+        let h = heap.holder_mut::<Vec<T>>(self.id);
         h.value.push(value);
         refresh_bytes(h);
     }
 
     /// Removes and returns the last element, logging the inverse.
     pub fn pop(&self, heap: &mut Heap) -> Option<T> {
-        let id = self.id;
-        let last = heap.holder::<Vec<T>>(id).value.last().cloned()?;
-        let undo_val = last.clone();
-        heap.record_write(std::mem::size_of::<T>(), move |objs| {
-            let h = holder_mut::<T>(objs, id.index);
-            h.value.push(undo_val);
-            refresh_bytes(h);
-        });
-        let h = heap.holder_mut::<Vec<T>>(id);
-        let out = h.value.pop();
+        let last = heap.holder::<Vec<T>>(self.id).value.last().cloned()?;
+        heap.log_vec_pop::<T>(self.id, &last);
+        let h = heap.holder_mut::<Vec<T>>(self.id);
+        h.value.pop();
         refresh_bytes(h);
-        out.or(Some(last))
+        Some(last)
     }
 
     /// Overwrites the element at `index`, logging the old value.
@@ -129,13 +116,9 @@ impl<T: HeapValue> PVec<T> {
     ///
     /// Panics if `index` is out of bounds.
     pub fn set(&self, heap: &mut Heap, index: usize, value: T) {
-        let id = self.id;
-        let old = heap.holder::<Vec<T>>(id).value[index].clone();
-        heap.record_write(std::mem::size_of::<T>(), move |objs| {
-            let h = holder_mut::<T>(objs, id.index);
-            h.value[index] = old;
-        });
-        heap.holder_mut::<Vec<T>>(id).value[index] = value;
+        assert!(index < self.len(heap), "PVec::set index out of bounds");
+        heap.log_vec_set::<T>(self.id, index);
+        heap.holder_mut::<Vec<T>>(self.id).value[index] = value;
     }
 
     /// Mutates the element at `index` in place, logging the old value.
@@ -144,30 +127,19 @@ impl<T: HeapValue> PVec<T> {
     ///
     /// Panics if `index` is out of bounds.
     pub fn update<R>(&self, heap: &mut Heap, index: usize, f: impl FnOnce(&mut T) -> R) -> R {
-        let id = self.id;
-        let old = heap.holder::<Vec<T>>(id).value[index].clone();
-        heap.record_write(std::mem::size_of::<T>(), move |objs| {
-            let h = holder_mut::<T>(objs, id.index);
-            h.value[index] = old;
-        });
-        f(&mut heap.holder_mut::<Vec<T>>(id).value[index])
+        assert!(index < self.len(heap), "PVec::update index out of bounds");
+        heap.log_vec_set::<T>(self.id, index);
+        f(&mut heap.holder_mut::<Vec<T>>(self.id).value[index])
     }
 
     /// Shortens the vector to `len`, logging the removed tail.
     pub fn truncate(&self, heap: &mut Heap, len: usize) {
-        let id = self.id;
-        let cur = heap.holder::<Vec<T>>(id).value.len();
+        let cur = heap.holder::<Vec<T>>(self.id).value.len();
         if len >= cur {
             return;
         }
-        let tail: Vec<T> = heap.holder::<Vec<T>>(id).value[len..].to_vec();
-        let bytes = tail.len() * std::mem::size_of::<T>();
-        heap.record_write(bytes, move |objs| {
-            let h = holder_mut::<T>(objs, id.index);
-            h.value.extend(tail);
-            refresh_bytes(h);
-        });
-        let h = heap.holder_mut::<Vec<T>>(id);
+        heap.log_vec_truncate::<T>(self.id, len);
+        let h = heap.holder_mut::<Vec<T>>(self.id);
         h.value.truncate(len);
         refresh_bytes(h);
     }
@@ -185,8 +157,8 @@ impl<T: HeapValue> PVec<T> {
     }
 
     /// Returns the index of the first element matching `pred`, if any.
-    pub fn position(&self, heap: &Heap, mut pred: impl FnMut(&T) -> bool) -> Option<usize> {
-        heap.holder::<Vec<T>>(self.id).value.iter().position(|v| pred(v))
+    pub fn position(&self, heap: &Heap, pred: impl FnMut(&T) -> bool) -> Option<usize> {
+        heap.holder::<Vec<T>>(self.id).value.iter().position(pred)
     }
 }
 
@@ -222,6 +194,25 @@ mod tests {
     }
 
     #[test]
+    fn repeated_set_of_same_index_coalesces() {
+        let mut h = Heap::new("t");
+        let v = h.alloc_vec::<u64>("v");
+        v.push(&mut h, 0);
+        v.push(&mut h, 0);
+        h.set_logging(true);
+        let m = h.mark();
+        for i in 1..=10 {
+            v.set(&mut h, 0, i);
+            v.set(&mut h, 1, i * 100);
+        }
+        // One record per distinct index, not per store.
+        assert_eq!(h.log_len(), 2);
+        assert_eq!(h.stats().coalesced_writes, 18);
+        h.rollback_to(m);
+        assert_eq!(v.snapshot(&h), vec![0, 0]);
+    }
+
+    #[test]
     fn filled_allocation_accounts_bytes() {
         let mut h = Heap::new("t");
         let _v = h.alloc_vec_filled::<u64>("frames", 0, 1024);
@@ -248,5 +239,20 @@ mod tests {
         h.set_logging(true);
         assert_eq!(v.pop(&mut h), None);
         assert_eq!(h.log_len(), 0);
+    }
+
+    #[test]
+    fn droppable_elements_roll_back_exactly() {
+        let mut h = Heap::new("t");
+        let v = h.alloc_vec::<String>("v");
+        v.push(&mut h, "a".into());
+        h.set_logging(true);
+        let m = h.mark();
+        v.push(&mut h, "b".into());
+        v.set(&mut h, 0, "A".into());
+        v.pop(&mut h);
+        v.clear(&mut h);
+        h.rollback_to(m);
+        assert_eq!(v.snapshot(&h), vec!["a".to_string()]);
     }
 }

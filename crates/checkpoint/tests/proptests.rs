@@ -1,9 +1,14 @@
-//! Property tests: rollback restores arbitrary mutation sequences exactly.
+//! Randomized properties: rollback restores arbitrary mutation sequences
+//! exactly. Driven by the in-tree deterministic PRNG (`osiris-rng`), so the
+//! suite needs no external dependencies and every failure is reproducible
+//! from the printed case seed.
 
 use std::collections::BTreeMap;
 
 use osiris_checkpoint::Heap;
-use proptest::prelude::*;
+use osiris_rng::Rng;
+
+const CASES: u64 = 128;
 
 /// One random mutation against a small state universe of a cell, a vec, a
 /// map and a buffer.
@@ -21,20 +26,27 @@ enum Op {
     BufTruncate(u8),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        any::<u64>().prop_map(Op::CellSet),
-        any::<u16>().prop_map(Op::VecPush),
-        Just(Op::VecPop),
-        (any::<u8>(), any::<u16>()).prop_map(|(i, v)| Op::VecSet(i, v)),
-        any::<u8>().prop_map(Op::VecTruncate),
-        (any::<u8>(), any::<u64>()).prop_map(|(k, v)| Op::MapInsert(k, v)),
-        any::<u8>().prop_map(Op::MapRemove),
-        (any::<u8>(), any::<u64>()).prop_map(|(k, v)| Op::MapUpdate(k, v)),
-        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..32))
-            .prop_map(|(o, b)| Op::BufWrite(o, b)),
-        any::<u8>().prop_map(Op::BufTruncate),
-    ]
+fn gen_op(r: &mut Rng) -> Op {
+    match r.below(10) {
+        0 => Op::CellSet(r.next_u64()),
+        1 => Op::VecPush(r.next_u64() as u16),
+        2 => Op::VecPop,
+        3 => Op::VecSet(r.byte(), r.next_u64() as u16),
+        4 => Op::VecTruncate(r.byte()),
+        5 => Op::MapInsert(r.byte(), r.next_u64()),
+        6 => Op::MapRemove(r.byte()),
+        7 => Op::MapUpdate(r.byte(), r.next_u64()),
+        8 => {
+            let len = r.below_usize(32);
+            Op::BufWrite(r.byte(), r.bytes(len))
+        }
+        _ => Op::BufTruncate(r.byte()),
+    }
+}
+
+fn gen_ops(r: &mut Rng, max: usize) -> Vec<Op> {
+    let n = r.below_usize(max);
+    (0..n).map(|_| gen_op(r)).collect()
 }
 
 struct World {
@@ -98,14 +110,14 @@ fn snapshot(heap: &Heap, w: &World) -> Snapshot {
     }
 }
 
-proptest! {
-    /// Any prefix of mutations, then a mark, then any suffix: rollback to the
-    /// mark restores the exact post-prefix state.
-    #[test]
-    fn rollback_restores_exact_state(
-        prefix in proptest::collection::vec(op_strategy(), 0..40),
-        suffix in proptest::collection::vec(op_strategy(), 0..40),
-    ) {
+/// Any prefix of mutations, then a mark, then any suffix: rollback to the
+/// mark restores the exact post-prefix state.
+#[test]
+fn rollback_restores_exact_state() {
+    for case in 0..CASES {
+        let mut r = Rng::new(0x5EED_0001 ^ case);
+        let prefix = gen_ops(&mut r, 40);
+        let suffix = gen_ops(&mut r, 40);
         let mut heap = Heap::new("prop");
         let w = build_world(&mut heap);
         heap.set_logging(true);
@@ -118,13 +130,17 @@ proptest! {
             apply(&mut heap, &w, op);
         }
         heap.rollback_to(mark);
-        prop_assert_eq!(snapshot(&heap, &w), expected);
+        assert_eq!(snapshot(&heap, &w), expected, "case seed {case}");
     }
+}
 
-    /// Rollback to the very beginning always restores the initial state,
-    /// and leaves an empty log.
-    #[test]
-    fn rollback_to_origin(ops in proptest::collection::vec(op_strategy(), 0..80)) {
+/// Rollback to the very beginning always restores the initial state, and
+/// leaves an empty log.
+#[test]
+fn rollback_to_origin() {
+    for case in 0..CASES {
+        let mut r = Rng::new(0x5EED_0002 ^ case);
+        let ops = gen_ops(&mut r, 80);
         let mut heap = Heap::new("prop");
         let w = build_world(&mut heap);
         let initial = snapshot(&heap, &w);
@@ -134,18 +150,20 @@ proptest! {
             apply(&mut heap, &w, op);
         }
         heap.rollback_to(mark);
-        prop_assert_eq!(snapshot(&heap, &w), initial);
-        prop_assert_eq!(heap.log_len(), 0);
-        prop_assert_eq!(heap.log_bytes(), 0);
+        assert_eq!(snapshot(&heap, &w), initial, "case seed {case}");
+        assert_eq!(heap.log_len(), 0);
+        assert_eq!(heap.log_bytes(), 0);
     }
+}
 
-    /// A heap image equals the state it was taken from, regardless of later
-    /// mutations.
-    #[test]
-    fn image_roundtrip(
-        before in proptest::collection::vec(op_strategy(), 0..40),
-        after in proptest::collection::vec(op_strategy(), 0..40),
-    ) {
+/// A heap image equals the state it was taken from, regardless of later
+/// mutations.
+#[test]
+fn image_roundtrip() {
+    for case in 0..CASES {
+        let mut r = Rng::new(0x5EED_0003 ^ case);
+        let before = gen_ops(&mut r, 40);
+        let after = gen_ops(&mut r, 40);
         let mut heap = Heap::new("prop");
         let w = build_world(&mut heap);
         for op in &before {
@@ -157,19 +175,24 @@ proptest! {
             apply(&mut heap, &w, op);
         }
         heap.restore_image(&image);
-        prop_assert_eq!(snapshot(&heap, &w), expected);
+        assert_eq!(snapshot(&heap, &w), expected, "case seed {case}");
     }
+}
 
-    /// With logging off, no undo state accumulates no matter what runs.
-    #[test]
-    fn no_logging_no_log(ops in proptest::collection::vec(op_strategy(), 0..80)) {
+/// With logging off, no undo state accumulates no matter what runs.
+#[test]
+fn no_logging_no_log() {
+    for case in 0..CASES {
+        let mut r = Rng::new(0x5EED_0004 ^ case);
+        let ops = gen_ops(&mut r, 80);
         let mut heap = Heap::new("prop");
         let w = build_world(&mut heap);
         heap.set_logging(false);
         for op in &ops {
             apply(&mut heap, &w, op);
         }
-        prop_assert_eq!(heap.log_len(), 0);
-        prop_assert_eq!(heap.stats().undo_appends, 0);
+        assert_eq!(heap.log_len(), 0, "case seed {case}");
+        assert_eq!(heap.stats().undo_appends, 0);
+        assert_eq!(heap.stats().coalesced_writes, 0);
     }
 }

@@ -76,6 +76,8 @@ mod window;
 pub use policy::{
     Enhanced, EnhancedKill, Naive, Pessimistic, PolicyKind, RecoveryPolicy, Stateless,
 };
-pub use recovery::{decide_recovery, CrashContext, RecoveryAction, RecoveryDecision, RecoveryPhase};
+pub use recovery::{
+    decide_recovery, CrashContext, RecoveryAction, RecoveryDecision, RecoveryPhase,
+};
 pub use seep::{MessageKind, SeepClass, SeepMeta};
 pub use window::{CloseReason, RecoveryWindow, WindowStats};

@@ -78,8 +78,12 @@ impl fmt::Display for PolicyKind {
 
 impl PolicyKind {
     /// All four standard policies evaluated in the paper, in table order.
-    pub const STANDARD: [PolicyKind; 4] =
-        [PolicyKind::Stateless, PolicyKind::Naive, PolicyKind::Pessimistic, PolicyKind::Enhanced];
+    pub const STANDARD: [PolicyKind; 4] = [
+        PolicyKind::Stateless,
+        PolicyKind::Naive,
+        PolicyKind::Pessimistic,
+        PolicyKind::Enhanced,
+    ];
 
     /// Instantiates the corresponding standard policy.
     ///
@@ -288,7 +292,12 @@ mod tests {
         for p in [PolicyKind::Pessimistic, PolicyKind::Enhanced] {
             let p = p.instantiate();
             let d = p.reconcile(&ctx(true, true));
-            assert_eq!(d.action, RecoveryAction::RollbackAndErrorReply, "{}", p.name());
+            assert_eq!(
+                d.action,
+                RecoveryAction::RollbackAndErrorReply,
+                "{}",
+                p.name()
+            );
             assert!(d.error_reply);
         }
     }

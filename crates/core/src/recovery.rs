@@ -81,7 +81,10 @@ impl RecoveryDecision {
     /// the system.
     pub fn new(action: RecoveryAction, error_reply: bool) -> Self {
         let error_reply = error_reply && action.system_survives();
-        RecoveryDecision { action, error_reply }
+        RecoveryDecision {
+            action,
+            error_reply,
+        }
     }
 }
 

@@ -67,7 +67,11 @@ impl SeepMeta {
     /// Metadata for a request of the given side-effect class that can be
     /// error-replied.
     pub fn request(class: SeepClass) -> Self {
-        SeepMeta { class, kind: MessageKind::Request, reply_possible: true }
+        SeepMeta {
+            class,
+            kind: MessageKind::Request,
+            reply_possible: true,
+        }
     }
 
     /// Metadata for a reply. Replies inform the requester of *completed*
@@ -76,12 +80,20 @@ impl SeepMeta {
     /// results of already-committed state changes as state-modifying at the
     /// requester only when flagged).
     pub fn reply(class: SeepClass) -> Self {
-        SeepMeta { class, kind: MessageKind::Reply, reply_possible: false }
+        SeepMeta {
+            class,
+            kind: MessageKind::Reply,
+            reply_possible: false,
+        }
     }
 
     /// Metadata for a one-way notification of the given class.
     pub fn notification(class: SeepClass) -> Self {
-        SeepMeta { class, kind: MessageKind::Notification, reply_possible: false }
+        SeepMeta {
+            class,
+            kind: MessageKind::Notification,
+            reply_possible: false,
+        }
     }
 }
 

@@ -102,7 +102,11 @@ impl Default for RecoveryWindow {
 impl RecoveryWindow {
     /// Creates a window in the idle state.
     pub fn new() -> Self {
-        RecoveryWindow { state: State::Idle, stats: WindowStats::default(), scoped_sends: false }
+        RecoveryWindow {
+            state: State::Idle,
+            stats: WindowStats::default(),
+            scoped_sends: false,
+        }
     }
 
     /// Whether the current window saw requester-scoped sends the policy
@@ -264,7 +268,11 @@ mod tests {
         let mut heap = Heap::new("t");
         let mut w = RecoveryWindow::new();
         w.open(&mut heap);
-        w.on_send(&Pessimistic, &SeepMeta::request(SeepClass::NonStateModifying), &mut heap);
+        w.on_send(
+            &Pessimistic,
+            &SeepMeta::request(SeepClass::NonStateModifying),
+            &mut heap,
+        );
         assert!(w.is_closed());
         assert_eq!(w.stats().closed_by_send, 1);
         assert!(!heap.logging());
@@ -275,9 +283,17 @@ mod tests {
         let mut heap = Heap::new("t");
         let mut w = RecoveryWindow::new();
         w.open(&mut heap);
-        w.on_send(&Enhanced, &SeepMeta::request(SeepClass::NonStateModifying), &mut heap);
+        w.on_send(
+            &Enhanced,
+            &SeepMeta::request(SeepClass::NonStateModifying),
+            &mut heap,
+        );
         assert!(w.is_open());
-        w.on_send(&Enhanced, &SeepMeta::request(SeepClass::StateModifying), &mut heap);
+        w.on_send(
+            &Enhanced,
+            &SeepMeta::request(SeepClass::StateModifying),
+            &mut heap,
+        );
         assert!(w.is_closed());
     }
 

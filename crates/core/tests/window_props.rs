@@ -1,12 +1,16 @@
-//! Property tests on the recovery-window state machine: the safety
-//! argument of the whole paper hangs on these invariants.
+//! Randomized properties on the recovery-window state machine: the safety
+//! argument of the whole paper hangs on these invariants. Driven by the
+//! in-tree deterministic PRNG (`osiris-rng`); every failure reproduces from
+//! the printed case seed.
 
 use osiris_checkpoint::Heap;
 use osiris_core::{
     CloseReason, Enhanced, EnhancedKill, MessageKind, Pessimistic, RecoveryPolicy, RecoveryWindow,
     SeepClass, SeepMeta,
 };
-use proptest::prelude::*;
+use osiris_rng::Rng;
+
+const CASES: u64 = 160;
 
 #[derive(Clone, Copy, Debug)]
 enum Event {
@@ -17,18 +21,27 @@ enum Event {
     Yield,
 }
 
-fn event_strategy() -> impl Strategy<Value = Event> {
-    prop_oneof![
-        any::<u64>().prop_map(Event::Write),
-        Just(Event::SendNsm),
-        Just(Event::SendSm),
-        Just(Event::SendScoped),
-        Just(Event::Yield),
-    ]
+fn gen_event(r: &mut Rng) -> Event {
+    match r.below(5) {
+        0 => Event::Write(r.next_u64()),
+        1 => Event::SendNsm,
+        2 => Event::SendSm,
+        3 => Event::SendScoped,
+        _ => Event::Yield,
+    }
+}
+
+fn gen_events(r: &mut Rng, max: usize) -> Vec<Event> {
+    let n = r.below_usize(max);
+    (0..n).map(|_| gen_event(r)).collect()
 }
 
 fn meta(class: SeepClass) -> SeepMeta {
-    SeepMeta { class, kind: MessageKind::Request, reply_possible: true }
+    SeepMeta {
+        class,
+        kind: MessageKind::Request,
+        reply_possible: true,
+    }
 }
 
 fn apply(
@@ -47,14 +60,14 @@ fn apply(
     }
 }
 
-proptest! {
-    /// Invariant: whenever the window is still open after an arbitrary
-    /// event sequence, rolling back restores the exact checkpoint state.
-    #[test]
-    fn open_window_always_rolls_back_exactly(
-        initial in any::<u64>(),
-        events in proptest::collection::vec(event_strategy(), 0..30),
-    ) {
+/// Invariant: whenever the window is still open after an arbitrary event
+/// sequence, rolling back restores the exact checkpoint state.
+#[test]
+fn open_window_always_rolls_back_exactly() {
+    for case in 0..CASES {
+        let mut r = Rng::new(0x31ED_0001 ^ case);
+        let initial = r.next_u64();
+        let events = gen_events(&mut r, 30);
         let mut heap = Heap::new("prop");
         let cell = heap.alloc_cell("v", initial);
         let mut w = RecoveryWindow::new();
@@ -64,21 +77,23 @@ proptest! {
         }
         if w.is_open() {
             w.rollback(&mut heap);
-            prop_assert_eq!(cell.get(&heap), initial);
-            prop_assert_eq!(heap.log_len(), 0);
+            assert_eq!(cell.get(&heap), initial, "case seed {case}");
+            assert_eq!(heap.log_len(), 0);
         } else {
             // Closed window: the undo log must already be discarded (the
             // overhead optimization) and logging disabled.
-            prop_assert_eq!(heap.log_len(), 0);
-            prop_assert!(!heap.logging());
+            assert_eq!(heap.log_len(), 0, "case seed {case}");
+            assert!(!heap.logging());
         }
     }
+}
 
-    /// Invariant: under the pessimistic policy, ANY send closes the window.
-    #[test]
-    fn pessimistic_closes_on_first_send(
-        events in proptest::collection::vec(event_strategy(), 1..30),
-    ) {
+/// Invariant: under the pessimistic policy, ANY send closes the window.
+#[test]
+fn pessimistic_closes_on_first_send() {
+    for case in 0..CASES {
+        let mut r = Rng::new(0x31ED_0002 ^ case);
+        let events = gen_events(&mut r, 30);
         let mut heap = Heap::new("prop");
         let cell = heap.alloc_cell("v", 0u64);
         let mut w = RecoveryWindow::new();
@@ -87,18 +102,23 @@ proptest! {
         for e in events {
             apply(&mut w, &mut heap, cell, &Pessimistic, e);
             sent = sent
-                || matches!(e, Event::SendNsm | Event::SendSm | Event::SendScoped | Event::Yield);
-            prop_assert_eq!(w.is_open(), !sent);
+                || matches!(
+                    e,
+                    Event::SendNsm | Event::SendSm | Event::SendScoped | Event::Yield
+                );
+            assert_eq!(w.is_open(), !sent, "case seed {case}");
         }
     }
+}
 
-    /// Invariant: the enhanced policy closes exactly on the first
-    /// state-modifying (or scoped, which it treats as state-modifying) send
-    /// or yield.
-    #[test]
-    fn enhanced_closes_exactly_on_dependency_creation(
-        events in proptest::collection::vec(event_strategy(), 1..30),
-    ) {
+/// Invariant: the enhanced policy closes exactly on the first
+/// state-modifying (or scoped, which it treats as state-modifying) send or
+/// yield.
+#[test]
+fn enhanced_closes_exactly_on_dependency_creation() {
+    for case in 0..CASES {
+        let mut r = Rng::new(0x31ED_0003 ^ case);
+        let events = gen_events(&mut r, 30);
         let mut heap = Heap::new("prop");
         let cell = heap.alloc_cell("v", 0u64);
         let mut w = RecoveryWindow::new();
@@ -106,18 +126,20 @@ proptest! {
         let mut dependency = false;
         for e in events {
             apply(&mut w, &mut heap, cell, &Enhanced, e);
-            dependency = dependency
-                || matches!(e, Event::SendSm | Event::SendScoped | Event::Yield);
-            prop_assert_eq!(w.is_open(), !dependency);
+            dependency =
+                dependency || matches!(e, Event::SendSm | Event::SendScoped | Event::Yield);
+            assert_eq!(w.is_open(), !dependency, "case seed {case}");
         }
     }
+}
 
-    /// Invariant: enhanced-kill keeps scoped sends inside the window and
-    /// remembers them; scoped-send memory resets at open/complete.
-    #[test]
-    fn enhanced_kill_tracks_scoped_sends(
-        events in proptest::collection::vec(event_strategy(), 1..30),
-    ) {
+/// Invariant: enhanced-kill keeps scoped sends inside the window and
+/// remembers them; scoped-send memory resets at open/complete.
+#[test]
+fn enhanced_kill_tracks_scoped_sends() {
+    for case in 0..CASES {
+        let mut r = Rng::new(0x31ED_0004 ^ case);
+        let events = gen_events(&mut r, 30);
         let mut heap = Heap::new("prop");
         let cell = heap.alloc_cell("v", 0u64);
         let mut w = RecoveryWindow::new();
@@ -130,21 +152,26 @@ proptest! {
             if !closed && matches!(e, Event::SendScoped) {
                 scoped = true;
             }
-            prop_assert_eq!(w.is_open(), !closed);
+            assert_eq!(w.is_open(), !closed, "case seed {case}");
             if w.is_open() {
-                prop_assert_eq!(w.had_scoped_sends(), scoped);
+                assert_eq!(w.had_scoped_sends(), scoped, "case seed {case}");
             }
         }
         w.open(&mut heap);
-        prop_assert!(!w.had_scoped_sends(), "open() must reset scoped-send memory");
+        assert!(
+            !w.had_scoped_sends(),
+            "open() must reset scoped-send memory"
+        );
     }
+}
 
-    /// Invariant: coverage counters never lose a site tick.
-    #[test]
-    fn site_ticks_are_conserved(
-        in_window in 0u64..200,
-        out_window in 0u64..200,
-    ) {
+/// Invariant: coverage counters never lose a site tick.
+#[test]
+fn site_ticks_are_conserved() {
+    for case in 0..CASES {
+        let mut r = Rng::new(0x31ED_0005 ^ case);
+        let in_window = r.below(200);
+        let out_window = r.below(200);
         let mut heap = Heap::new("prop");
         let mut w = RecoveryWindow::new();
         for _ in 0..out_window {
@@ -155,13 +182,13 @@ proptest! {
             w.tick_site();
         }
         let s = w.stats();
-        prop_assert_eq!(s.sites_in, in_window);
-        prop_assert_eq!(s.sites_out, out_window);
+        assert_eq!(s.sites_in, in_window, "case seed {case}");
+        assert_eq!(s.sites_out, out_window, "case seed {case}");
         let cov = s.coverage_by_sites();
-        prop_assert!((0.0..=1.0).contains(&cov));
+        assert!((0.0..=1.0).contains(&cov));
         if in_window + out_window > 0 {
             let expect = in_window as f64 / (in_window + out_window) as f64;
-            prop_assert!((cov - expect).abs() < 1e-9);
+            assert!((cov - expect).abs() < 1e-9, "case seed {case}");
         }
     }
 }

@@ -87,10 +87,21 @@ impl<C: HeapValue> CoPool<C> {
     pub fn new(heap: &mut Heap, capacity: u32) -> Self {
         let slots = heap.alloc_map::<u32, Slot<C>>("cothread.slots");
         for id in 0..capacity {
-            slots.insert(heap, id, Slot { state: CoState::Idle, continuation: None });
+            slots.insert(
+                heap,
+                id,
+                Slot {
+                    state: CoState::Idle,
+                    continuation: None,
+                },
+            );
         }
         let current = heap.alloc_cell("cothread.current", None);
-        CoPool { slots, current, capacity }
+        CoPool {
+            slots,
+            current,
+            capacity,
+        }
     }
 
     /// Pool capacity.
@@ -137,8 +148,10 @@ impl<C: HeapValue> CoPool<C> {
         if self.current.get(heap).is_some() {
             return None;
         }
-        let is_blocked =
-            self.slots.with(heap, &tid.0, |s| s.state == CoState::Blocked).unwrap_or(false);
+        let is_blocked = self
+            .slots
+            .with(heap, &tid.0, |s| s.state == CoState::Blocked)
+            .unwrap_or(false);
         if !is_blocked {
             return None;
         }
@@ -160,7 +173,11 @@ impl<C: HeapValue> CoPool<C> {
     /// Panics if `tid` is not the active thread — yielding someone else's
     /// context is a server bug.
     pub fn yield_blocked(&self, heap: &mut Heap, tid: ThreadId, continuation: C) {
-        assert_eq!(self.current.get(heap), Some(tid.0), "only the active thread may yield");
+        assert_eq!(
+            self.current.get(heap),
+            Some(tid.0),
+            "only the active thread may yield"
+        );
         self.slots.update(heap, &tid.0, |s| {
             s.state = CoState::Blocked;
             s.continuation = Some(continuation);
@@ -174,7 +191,11 @@ impl<C: HeapValue> CoPool<C> {
     ///
     /// Panics if `tid` is not the active thread.
     pub fn finish(&self, heap: &mut Heap, tid: ThreadId) {
-        assert_eq!(self.current.get(heap), Some(tid.0), "only the active thread may finish");
+        assert_eq!(
+            self.current.get(heap),
+            Some(tid.0),
+            "only the active thread may finish"
+        );
         self.slots.update(heap, &tid.0, |s| {
             s.state = CoState::Idle;
             s.continuation = None;

@@ -1,9 +1,12 @@
-//! Property tests for the cooperative thread pool: lifecycle legality,
-//! conservation of threads, and exact restoration under rollback.
+//! Randomized properties for the cooperative thread pool: lifecycle
+//! legality, conservation of threads, and exact restoration under rollback.
+//! Driven by the in-tree deterministic PRNG (`osiris-rng`).
 
 use osiris_checkpoint::Heap;
 use osiris_cothread::{CoPool, CoState, ThreadId};
-use proptest::prelude::*;
+use osiris_rng::Rng;
+
+const CASES: u64 = 160;
 
 #[derive(Clone, Copy, Debug)]
 enum Op {
@@ -14,14 +17,19 @@ enum Op {
     FixAfterRestore,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        Just(Op::Activate),
-        any::<u16>().prop_map(Op::YieldCurrent),
-        Just(Op::ResumeOldestBlocked),
-        Just(Op::FinishCurrent),
-        Just(Op::FixAfterRestore),
-    ]
+fn gen_op(r: &mut Rng) -> Op {
+    match r.below(5) {
+        0 => Op::Activate,
+        1 => Op::YieldCurrent(r.next_u64() as u16),
+        2 => Op::ResumeOldestBlocked,
+        3 => Op::FinishCurrent,
+        _ => Op::FixAfterRestore,
+    }
+}
+
+fn gen_ops(r: &mut Rng, max: usize) -> Vec<Op> {
+    let n = r.below_usize(max);
+    (0..n).map(|_| gen_op(r)).collect()
 }
 
 /// Reference model of the pool.
@@ -107,12 +115,12 @@ fn check_counts(pool: &CoPool<u16>, heap: &Heap, model: &Model) {
     );
 }
 
-proptest! {
-    #[test]
-    fn pool_matches_model(
-        capacity in 1u32..6,
-        ops in proptest::collection::vec(op_strategy(), 0..60),
-    ) {
+#[test]
+fn pool_matches_model() {
+    for case in 0..CASES {
+        let mut r = Rng::new(0xC0DE_0001 ^ case);
+        let capacity = 1 + r.below(5) as u32;
+        let ops = gen_ops(&mut r, 60);
         let mut heap = Heap::new("prop");
         let pool: CoPool<u16> = CoPool::new(&mut heap, capacity);
         let mut model = Model::new(capacity);
@@ -121,13 +129,15 @@ proptest! {
             check_counts(&pool, &heap, &model);
         }
     }
+}
 
-    #[test]
-    fn rollback_restores_pool_bookkeeping(
-        capacity in 1u32..6,
-        prefix in proptest::collection::vec(op_strategy(), 0..20),
-        suffix in proptest::collection::vec(op_strategy(), 0..20),
-    ) {
+#[test]
+fn rollback_restores_pool_bookkeeping() {
+    for case in 0..CASES {
+        let mut r = Rng::new(0xC0DE_0002 ^ case);
+        let capacity = 1 + r.below(5) as u32;
+        let prefix = gen_ops(&mut r, 20);
+        let suffix = gen_ops(&mut r, 20);
         let mut heap = Heap::new("prop");
         let pool: CoPool<u16> = CoPool::new(&mut heap, capacity);
         let mut model = Model::new(capacity);

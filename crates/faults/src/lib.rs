@@ -28,8 +28,7 @@ use std::fmt;
 use std::sync::{Arc, Mutex};
 
 use osiris_kernel::{FaultEffect, FaultHook, Probe, RunOutcome, ShutdownKind, SiteKind};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use osiris_rng::Rng;
 
 /// A fully-qualified instrumentation site.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -138,7 +137,13 @@ impl FaultHook for Recorder {
             site: probe.site.to_string(),
             kind: probe.kind.into(),
         };
-        *self.shared.lock().expect("recorder lock").counts.entry(id).or_insert(0) += 1;
+        *self
+            .shared
+            .lock()
+            .expect("recorder lock")
+            .counts
+            .entry(id)
+            .or_insert(0) += 1;
         FaultEffect::None
     }
 }
@@ -203,35 +208,45 @@ pub enum FaultModel {
 /// (fail-stop model) or a seeded realistic mix (full model, which also
 /// re-visits value/branch sites with fail-silent faults).
 pub fn plan_faults(profile: &SiteProfile, model: FaultModel, seed: u64) -> Vec<FaultPlan> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let mut plans = Vec::new();
     for site in profile.triggered_sites() {
         match model {
             FaultModel::FailStop => {
-                plans.push(FaultPlan { site, kind: FaultKind::Crash, transient: false });
+                plans.push(FaultPlan {
+                    site,
+                    kind: FaultKind::Crash,
+                    transient: false,
+                });
             }
             FaultModel::TransientFailStop => {
-                plans.push(FaultPlan { site, kind: FaultKind::Crash, transient: true });
+                plans.push(FaultPlan {
+                    site,
+                    kind: FaultKind::Crash,
+                    transient: true,
+                });
             }
             FaultModel::FullEdfi => {
                 // Every site gets a primary fault drawn from the realistic
                 // mix; value/branch sites additionally get their
                 // kind-specific fail-silent fault.
-                let primary = match rng.gen_range(0..100u32) {
+                let primary = match rng.below(100) {
                     0..=54 => FaultKind::Crash,
                     55..=69 => FaultKind::Hang,
                     70..=84 => FaultKind::BranchFlip,
-                    _ => FaultKind::ValueCorrupt(1 << rng.gen_range(0..16)),
+                    _ => FaultKind::ValueCorrupt(1 << rng.below(16)),
                 };
                 let primary = match (primary, site.kind) {
                     // Kind-incompatible draws degrade to a crash.
                     (FaultKind::BranchFlip, k) if k != SiteKindTag::Branch => FaultKind::Crash,
-                    (FaultKind::ValueCorrupt(_), k) if k != SiteKindTag::Value => {
-                        FaultKind::Crash
-                    }
+                    (FaultKind::ValueCorrupt(_), k) if k != SiteKindTag::Value => FaultKind::Crash,
                     (p, _) => p,
                 };
-                plans.push(FaultPlan { site: site.clone(), kind: primary, transient: false });
+                plans.push(FaultPlan {
+                    site: site.clone(),
+                    kind: primary,
+                    transient: false,
+                });
                 match site.kind {
                     SiteKindTag::Branch => plans.push(FaultPlan {
                         site,
@@ -240,7 +255,7 @@ pub fn plan_faults(profile: &SiteProfile, model: FaultModel, seed: u64) -> Vec<F
                     }),
                     SiteKindTag::Value => plans.push(FaultPlan {
                         site,
-                        kind: FaultKind::ValueCorrupt(1 << rng.gen_range(0..16)),
+                        kind: FaultKind::ValueCorrupt(1 << rng.below(16)),
                         transient: false,
                     }),
                     SiteKindTag::Block => {}
@@ -455,7 +470,10 @@ where
             });
         }
     });
-    results.into_iter().map(|r| r.expect("every job completed")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("every job completed"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -490,7 +508,11 @@ mod tests {
         let mut p = SiteProfile::default();
         for (c, s, k) in sites {
             p.counts.insert(
-                SiteId { component: c.to_string(), site: s.to_string(), kind: *k },
+                SiteId {
+                    component: c.to_string(),
+                    site: s.to_string(),
+                    kind: *k,
+                },
                 1,
             );
         }
@@ -523,7 +545,14 @@ mod tests {
     }
 
     fn probe(c: &'static str, s: &'static str, k: SiteKind) -> Probe {
-        Probe { component: c, site: s, kind: k, now: 0, window_open: true, replyable: true }
+        Probe {
+            component: c,
+            site: s,
+            kind: k,
+            now: 0,
+            window_open: true,
+            replyable: true,
+        }
     }
 
     #[test]
@@ -564,20 +593,37 @@ mod tests {
             transient: false,
         };
         let mut inj = Injector::new(&plan);
-        assert_eq!(inj.on_site(&probe("pm", "x", SiteKind::Block)), FaultEffect::Panic);
-        assert_eq!(inj.on_site(&probe("pm", "x", SiteKind::Block)), FaultEffect::Panic);
-        assert_eq!(inj.on_site(&probe("pm", "y", SiteKind::Block)), FaultEffect::None);
-        assert_eq!(inj.on_site(&probe("vm", "x", SiteKind::Block)), FaultEffect::None);
+        assert_eq!(
+            inj.on_site(&probe("pm", "x", SiteKind::Block)),
+            FaultEffect::Panic
+        );
+        assert_eq!(
+            inj.on_site(&probe("pm", "x", SiteKind::Block)),
+            FaultEffect::Panic
+        );
+        assert_eq!(
+            inj.on_site(&probe("pm", "y", SiteKind::Block)),
+            FaultEffect::None
+        );
+        assert_eq!(
+            inj.on_site(&probe("vm", "x", SiteKind::Block)),
+            FaultEffect::None
+        );
     }
 
     #[test]
     fn classification_matrix() {
         use osiris_kernel::RunOutcome as RO;
-        let done =
-            RO::Completed { init_code: 0, exit_codes: Default::default() };
+        let done = RO::Completed {
+            init_code: 0,
+            exit_codes: Default::default(),
+        };
         assert_eq!(classify(&done, 0), Outcome::Pass);
         assert_eq!(classify(&done, 2), Outcome::Crash);
-        let failed = RO::Completed { init_code: 3, exit_codes: Default::default() };
+        let failed = RO::Completed {
+            init_code: 3,
+            exit_codes: Default::default(),
+        };
         assert_eq!(classify(&failed, 0), Outcome::Fail);
         assert_eq!(
             classify(&RO::Shutdown(ShutdownKind::Controlled("x".into())), 0),

@@ -106,17 +106,37 @@ pub struct OpenFlags {
 
 impl OpenFlags {
     /// Read-only open.
-    pub const RDONLY: OpenFlags =
-        OpenFlags { read: true, write: false, create: false, truncate: false, append: false };
+    pub const RDONLY: OpenFlags = OpenFlags {
+        read: true,
+        write: false,
+        create: false,
+        truncate: false,
+        append: false,
+    };
     /// Write-only, create + truncate (like `O_WRONLY|O_CREAT|O_TRUNC`).
-    pub const CREATE: OpenFlags =
-        OpenFlags { read: false, write: true, create: true, truncate: true, append: false };
+    pub const CREATE: OpenFlags = OpenFlags {
+        read: false,
+        write: true,
+        create: true,
+        truncate: true,
+        append: false,
+    };
     /// Read-write, create if absent.
-    pub const RDWR_CREATE: OpenFlags =
-        OpenFlags { read: true, write: true, create: true, truncate: false, append: false };
+    pub const RDWR_CREATE: OpenFlags = OpenFlags {
+        read: true,
+        write: true,
+        create: true,
+        truncate: false,
+        append: false,
+    };
     /// Write-only append, create if absent.
-    pub const APPEND: OpenFlags =
-        OpenFlags { read: false, write: true, create: true, truncate: false, append: true };
+    pub const APPEND: OpenFlags = OpenFlags {
+        read: false,
+        write: true,
+        create: true,
+        truncate: false,
+        append: true,
+    };
 }
 
 /// Seek origin for [`Syscall::Seek`].
@@ -420,7 +440,10 @@ mod tests {
     #[test]
     fn reply_into_result() {
         assert_eq!(SysReply::Ok.into_result(), Ok(SysReply::Ok));
-        assert_eq!(SysReply::Err(Errno::ENOENT).into_result(), Err(Errno::ENOENT));
+        assert_eq!(
+            SysReply::Err(Errno::ENOENT).into_result(),
+            Err(Errno::ENOENT)
+        );
     }
 
     #[test]
@@ -428,12 +451,17 @@ mod tests {
         assert_eq!(Syscall::GetPid.name(), "getpid");
         assert_eq!(Syscall::Pipe.name(), "pipe");
         assert_eq!(
-            Syscall::Open { path: "/x".into(), flags: OpenFlags::RDONLY }.name(),
+            Syscall::Open {
+                path: "/x".into(),
+                flags: OpenFlags::RDONLY
+            }
+            .name(),
             "open"
         );
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // guards the preset definitions
     fn open_flag_presets() {
         assert!(OpenFlags::RDONLY.read && !OpenFlags::RDONLY.write);
         assert!(OpenFlags::CREATE.create && OpenFlags::CREATE.truncate);

@@ -234,7 +234,11 @@ impl<'a, P: Protocol> Ctx<'a, P> {
     /// Panics if the payload's SEEP metadata is not of request kind.
     pub fn send_request(&mut self, dst: Endpoint, payload: P) -> MsgId {
         let seep = payload.seep();
-        assert_eq!(seep.kind, MessageKind::Request, "send_request with non-request payload");
+        assert_eq!(
+            seep.kind,
+            MessageKind::Request,
+            "send_request with non-request payload"
+        );
         let id = self.alloc_msg_id();
         self.push_send(Message {
             id,
@@ -353,7 +357,8 @@ impl<'a, P: Protocol> Ctx<'a, P> {
     /// about to yield (paper §IV-E): once the thread parks, interleaved work
     /// makes rollback to this request's checkpoint unsafe.
     pub fn yield_window(&mut self) {
-        self.window.close(self.heap, osiris_core::CloseReason::ThreadYield);
+        self.window
+            .close(self.heap, osiris_core::CloseReason::ThreadYield);
     }
 
     /// Requests recovery of `target` (Recovery Server only).
@@ -373,7 +378,10 @@ impl<'a, P: Protocol> Ctx<'a, P> {
     ///
     /// Panics if the calling component is not privileged.
     pub fn kill_hung(&mut self, target: u8) {
-        assert!(self.privileged, "kill_hung() requires a privileged component");
+        assert!(
+            self.privileged,
+            "kill_hung() requires a privileged component"
+        );
         self.priv_ops.push(PrivOp::KillHung { target });
     }
 
@@ -384,7 +392,10 @@ impl<'a, P: Protocol> Ctx<'a, P> {
     ///
     /// Panics if the calling component is not privileged.
     pub fn controlled_shutdown(&mut self, reason: &'static str) {
-        assert!(self.privileged, "controlled_shutdown() requires a privileged component");
+        assert!(
+            self.privileged,
+            "controlled_shutdown() requires a privileged component"
+        );
         self.priv_ops.push(PrivOp::ControlledShutdown { reason });
     }
 

@@ -17,7 +17,7 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crate::abi::{Errno, Fd, FileStat, OpenFlags, Pid, SeekFrom, Signal, Syscall, SysReply};
+use crate::abi::{Errno, Fd, FileStat, OpenFlags, Pid, SeekFrom, Signal, SysReply, Syscall};
 use crate::message::SyscallId;
 use crate::metrics::ShutdownKind;
 
@@ -53,7 +53,9 @@ impl std::fmt::Debug for ProgramRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let mut names: Vec<_> = self.map.keys().collect();
         names.sort();
-        f.debug_struct("ProgramRegistry").field("programs", &names).finish()
+        f.debug_struct("ProgramRegistry")
+            .field("programs", &names)
+            .finish()
     }
 }
 
@@ -122,7 +124,10 @@ pub struct Sys {
 
 impl std::fmt::Debug for Sys {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Sys").field("pid", &self.pid).field("args", &self.args).finish()
+        f.debug_struct("Sys")
+            .field("pid", &self.pid)
+            .field("args", &self.args)
+            .finish()
     }
 }
 
@@ -148,7 +153,11 @@ impl Sys {
 
     fn call(&mut self, sc: Syscall) -> Result<SysReply, Errno> {
         loop {
-            if self.to_host.send((self.pid, ProcAction::Syscall(sc.clone()))).is_err() {
+            if self
+                .to_host
+                .send((self.pid, ProcAction::Syscall(sc.clone())))
+                .is_err()
+            {
                 std::panic::panic_any(ProcExit::Killed);
             }
             match self.from_host.recv() {
@@ -167,7 +176,11 @@ impl Sys {
 
     /// Performs `units` of pure computation (advances virtual time only).
     pub fn compute(&mut self, units: u64) {
-        if self.to_host.send((self.pid, ProcAction::Compute(units))).is_err() {
+        if self
+            .to_host
+            .send((self.pid, ProcAction::Compute(units)))
+            .is_err()
+        {
             std::panic::panic_any(ProcExit::Killed);
         }
         match self.from_host.recv() {
@@ -213,7 +226,11 @@ impl Sys {
     where
         F: FnOnce(&mut Sys) -> i32 + Send + 'static,
     {
-        if self.to_host.send((self.pid, ProcAction::Fork(Box::new(child_fn)))).is_err() {
+        if self
+            .to_host
+            .send((self.pid, ProcAction::Fork(Box::new(child_fn))))
+            .is_err()
+        {
             std::panic::panic_any(ProcExit::Killed);
         }
         match self.from_host.recv() {
@@ -236,7 +253,9 @@ impl Sys {
     /// `ENOENT` if the program is not registered; process-manager errors
     /// otherwise.
     pub fn exec(&mut self, prog: &str, args: &[&str]) -> Result<std::convert::Infallible, Errno> {
-        let Some(f) = self.registry.get(prog) else { return Err(Errno::ENOENT) };
+        let Some(f) = self.registry.get(prog) else {
+            return Err(Errno::ENOENT);
+        };
         let call = Syscall::Exec {
             prog: prog.to_string(),
             args: args.iter().map(|s| s.to_string()).collect(),
@@ -389,7 +408,10 @@ impl Sys {
     ///
     /// `ENOENT`, `EISDIR`, `EMFILE`, `ECRASH`, …
     pub fn open(&mut self, path: &str, flags: OpenFlags) -> Result<Fd, Errno> {
-        match self.call(Syscall::Open { path: path.to_string(), flags })? {
+        match self.call(Syscall::Open {
+            path: path.to_string(),
+            flags,
+        })? {
             SysReply::Desc(fd) => Ok(fd),
             other => panic!("open: unexpected reply {:?}", other),
         }
@@ -423,7 +445,10 @@ impl Sys {
     ///
     /// `EBADF`, `EPIPE` (no readers left), `ENOSPC`, …
     pub fn write(&mut self, fd: Fd, bytes: &[u8]) -> Result<u32, Errno> {
-        match self.call(Syscall::Write { fd, bytes: bytes.to_vec() })? {
+        match self.call(Syscall::Write {
+            fd,
+            bytes: bytes.to_vec(),
+        })? {
             SysReply::Val(n) => Ok(n as u32),
             other => panic!("write: unexpected reply {:?}", other),
         }
@@ -447,7 +472,10 @@ impl Sys {
     ///
     /// `ENOENT`, `EISDIR`, `EBUSY` (still open).
     pub fn unlink(&mut self, path: &str) -> Result<(), Errno> {
-        self.call(Syscall::Unlink { path: path.to_string() }).map(|_| ())
+        self.call(Syscall::Unlink {
+            path: path.to_string(),
+        })
+        .map(|_| ())
     }
 
     /// Creates a directory.
@@ -456,7 +484,10 @@ impl Sys {
     ///
     /// `EEXIST`, `ENOENT` (missing parent), `ENOTDIR`.
     pub fn mkdir(&mut self, path: &str) -> Result<(), Errno> {
-        self.call(Syscall::Mkdir { path: path.to_string() }).map(|_| ())
+        self.call(Syscall::Mkdir {
+            path: path.to_string(),
+        })
+        .map(|_| ())
     }
 
     /// Lists a directory's entries.
@@ -465,7 +496,9 @@ impl Sys {
     ///
     /// `ENOENT`, `ENOTDIR`.
     pub fn readdir(&mut self, path: &str) -> Result<Vec<String>, Errno> {
-        match self.call(Syscall::ReadDir { path: path.to_string() })? {
+        match self.call(Syscall::ReadDir {
+            path: path.to_string(),
+        })? {
             SysReply::Names(n) => Ok(n),
             other => panic!("readdir: unexpected reply {:?}", other),
         }
@@ -477,7 +510,9 @@ impl Sys {
     ///
     /// `ENOENT`.
     pub fn stat(&mut self, path: &str) -> Result<FileStat, Errno> {
-        match self.call(Syscall::Stat { path: path.to_string() })? {
+        match self.call(Syscall::Stat {
+            path: path.to_string(),
+        })? {
             SysReply::StatInfo(s) => Ok(s),
             other => panic!("stat: unexpected reply {:?}", other),
         }
@@ -489,7 +524,11 @@ impl Sys {
     ///
     /// `ENOENT`, `EISDIR`, `EBUSY`.
     pub fn rename(&mut self, from: &str, to: &str) -> Result<(), Errno> {
-        self.call(Syscall::Rename { from: from.to_string(), to: to.to_string() }).map(|_| ())
+        self.call(Syscall::Rename {
+            from: from.to_string(),
+            to: to.to_string(),
+        })
+        .map(|_| ())
     }
 
     /// Creates a pipe; returns `(read_end, write_end)`.
@@ -533,7 +572,11 @@ impl Sys {
     ///
     /// `ENOSPC`, `ECRASH`.
     pub fn ds_put(&mut self, key: &str, value: &[u8]) -> Result<(), Errno> {
-        self.call(Syscall::DsPut { key: key.to_string(), value: value.to_vec() }).map(|_| ())
+        self.call(Syscall::DsPut {
+            key: key.to_string(),
+            value: value.to_vec(),
+        })
+        .map(|_| ())
     }
 
     /// Retrieves the value stored under `key`.
@@ -542,7 +585,9 @@ impl Sys {
     ///
     /// `ENOKEY` if absent.
     pub fn ds_get(&mut self, key: &str) -> Result<Vec<u8>, Errno> {
-        match self.call(Syscall::DsGet { key: key.to_string() })? {
+        match self.call(Syscall::DsGet {
+            key: key.to_string(),
+        })? {
             SysReply::Data(d) => Ok(d),
             other => panic!("ds_get: unexpected reply {:?}", other),
         }
@@ -554,7 +599,10 @@ impl Sys {
     ///
     /// `ENOKEY` if absent.
     pub fn ds_del(&mut self, key: &str) -> Result<(), Errno> {
-        self.call(Syscall::DsDel { key: key.to_string() }).map(|_| ())
+        self.call(Syscall::DsDel {
+            key: key.to_string(),
+        })
+        .map(|_| ())
     }
 
     /// Lists data-store keys with the given prefix.
@@ -563,7 +611,9 @@ impl Sys {
     ///
     /// `ECRASH`.
     pub fn ds_list(&mut self, prefix: &str) -> Result<Vec<String>, Errno> {
-        match self.call(Syscall::DsList { prefix: prefix.to_string() })? {
+        match self.call(Syscall::DsList {
+            prefix: prefix.to_string(),
+        })? {
             SysReply::Names(n) => Ok(n),
             other => panic!("ds_list: unexpected reply {:?}", other),
         }
@@ -605,7 +655,10 @@ pub struct HostConfig {
 
 impl Default for HostConfig {
     fn default() -> Self {
-        HostConfig { max_virtual_time: 500_000_000_000, max_idle_timer_fires: 10_000 }
+        HostConfig {
+            max_virtual_time: 500_000_000_000,
+            max_idle_timer_fires: 10_000,
+        }
     }
 }
 
@@ -643,7 +696,11 @@ pub struct Host<E: OsEngine> {
 impl<E: OsEngine> Host<E> {
     /// Creates a host over `engine` with the given program registry.
     pub fn new(engine: E, registry: ProgramRegistry) -> Self {
-        Host { engine, registry: Arc::new(registry), cfg: HostConfig::default() }
+        Host {
+            engine,
+            registry: Arc::new(registry),
+            cfg: HostConfig::default(),
+        }
     }
 
     /// Overrides the host limits.
@@ -737,7 +794,13 @@ impl<E: OsEngine> Host<E> {
                         } else {
                             next_sid += 1;
                             let sid = SyscallId(next_sid);
-                            pending.insert(sid, PendingCall { pid, kind: PendingKind::Plain });
+                            pending.insert(
+                                sid,
+                                PendingCall {
+                                    pid,
+                                    kind: PendingKind::Plain,
+                                },
+                            );
                             if let Some(p) = procs.get_mut(&pid) {
                                 p.blocked_on = Some(sid);
                             }
@@ -765,8 +828,13 @@ impl<E: OsEngine> Host<E> {
                         } else {
                             next_sid += 1;
                             let sid = SyscallId(next_sid);
-                            pending
-                                .insert(sid, PendingCall { pid, kind: PendingKind::Fork { f: Some(f) } });
+                            pending.insert(
+                                sid,
+                                PendingCall {
+                                    pid,
+                                    kind: PendingKind::Fork { f: Some(f) },
+                                },
+                            );
                             if let Some(p) = procs.get_mut(&pid) {
                                 p.blocked_on = Some(sid);
                             }
@@ -779,7 +847,8 @@ impl<E: OsEngine> Host<E> {
                         if !dead.contains(&pid) {
                             dead.insert(pid);
                             next_sid += 1;
-                            self.engine.submit(SyscallId(next_sid), pid, Syscall::Exit { code });
+                            self.engine
+                                .submit(SyscallId(next_sid), pid, Syscall::Exit { code });
                         }
                         if let Some(p) = procs.get_mut(&pid) {
                             p.blocked_on = None;
@@ -810,7 +879,9 @@ impl<E: OsEngine> Host<E> {
                 if trace {
                     eprintln!("[host] reply to {} ({:?}): {:?}", pid, sid, reply);
                 }
-                let Some(call) = pending.remove(&sid) else { continue };
+                let Some(call) = pending.remove(&sid) else {
+                    continue;
+                };
                 debug_assert_eq!(call.pid, pid);
                 if let Some(p) = procs.get_mut(&pid) {
                     if p.blocked_on == Some(sid) {
@@ -898,7 +969,10 @@ impl<E: OsEngine> Host<E> {
             let live = procs.keys().filter(|p| !dead.contains(p)).count();
             if live == 0 {
                 let init_code = exit_codes.get(&Pid::INIT.0).copied().unwrap_or(-1);
-                break RunOutcome::Completed { init_code, exit_codes: exit_codes.clone() };
+                break RunOutcome::Completed {
+                    init_code,
+                    exit_codes: exit_codes.clone(),
+                };
             }
             let mut fired = 0u32;
             let mut progressed = false;
@@ -973,15 +1047,14 @@ impl<E: OsEngine> Host<E> {
                 finish_thread(pid, result, &action_tx);
             })
             .expect("spawn process thread");
-        ProcEntry { input_tx, handle: Some(handle), blocked_on: None }
+        ProcEntry {
+            input_tx,
+            handle: Some(handle),
+            blocked_on: None,
+        }
     }
 
-    fn start_fork(
-        &self,
-        pid: Pid,
-        f: ForkFn,
-        action_tx: Sender<(Pid, ProcAction)>,
-    ) -> ProcEntry {
+    fn start_fork(&self, pid: Pid, f: ForkFn, action_tx: Sender<(Pid, ProcAction)>) -> ProcEntry {
         let (input_tx, input_rx) = channel::<ProcInput>();
         let registry = Arc::clone(&self.registry);
         let handle = std::thread::Builder::new()
@@ -999,7 +1072,11 @@ impl<E: OsEngine> Host<E> {
                 finish_thread(pid, result, &action_tx);
             })
             .expect("spawn fork thread");
-        ProcEntry { input_tx, handle: Some(handle), blocked_on: None }
+        ProcEntry {
+            input_tx,
+            handle: Some(handle),
+            blocked_on: None,
+        }
     }
 }
 

@@ -205,7 +205,14 @@ impl<P: Protocol> Kernel<P> {
         assert!(!self.initialized, "init_components() called twice");
         self.initialized = true;
         for idx in 0..self.comps.len() {
-            let Kernel { cfg, comps, hook, clock, next_msg_id, .. } = self;
+            let Kernel {
+                cfg,
+                comps,
+                hook,
+                clock,
+                next_msg_id,
+                ..
+            } = self;
             let comp = &mut comps[idx];
             let mut ctx = Ctx {
                 comp_name: comp.name,
@@ -332,12 +339,15 @@ impl<P: Protocol> Kernel<P> {
     /// Panics if `dst` is not a component endpoint or init has not run.
     pub fn send_user_request(&mut self, dst: Endpoint, payload: P, sid: SyscallId, pid: Pid) {
         assert!(self.initialized, "kernel not initialized");
-        let Endpoint::Component(c) = dst else { panic!("user requests must target components") };
+        let Endpoint::Component(c) = dst else {
+            panic!("user requests must target components")
+        };
         self.metrics.syscalls += 1;
         if let Some((_, budget)) = &mut self.shutdown_pending {
             *budget = budget.saturating_sub(1);
         }
-        self.clock.advance(self.cfg.cost.syscall_entry + self.cfg.cost.ipc_send);
+        self.clock
+            .advance(self.cfg.cost.syscall_entry + self.cfg.cost.ipc_send);
         self.next_msg_id += 1;
         let msg = Message {
             id: MsgId(self.next_msg_id),
@@ -370,8 +380,13 @@ impl<P: Protocol> Kernel<P> {
     /// Advances the clock to the next timer and delivers its message.
     /// Returns `false` if no timer was pending.
     pub fn fire_next_timer(&mut self) -> bool {
-        let Some((&(at, seq), _)) = self.timers.iter().next() else { return false };
-        let (dst, payload) = self.timers.remove(&(at, seq)).expect("timer key just observed");
+        let Some((&(at, seq), _)) = self.timers.iter().next() else {
+            return false;
+        };
+        let (dst, payload) = self
+            .timers
+            .remove(&(at, seq))
+            .expect("timer key just observed");
         self.clock.advance_to(at);
         self.metrics.timers_fired += 1;
         self.next_msg_id += 1;
@@ -397,7 +412,9 @@ impl<P: Protocol> Kernel<P> {
             if self.shutdown.is_some() {
                 return;
             }
-            let Some(idx) = self.pick_runnable() else { return };
+            let Some(idx) = self.pick_runnable() else {
+                return;
+            };
             if let Some((_, budget)) = &mut self.shutdown_pending {
                 if *budget == 0 {
                     self.finalize_pending_shutdown();
@@ -405,7 +422,10 @@ impl<P: Protocol> Kernel<P> {
                 }
                 *budget -= 1;
             }
-            let msg = self.comps[idx].inbox.pop_front().expect("picked component has mail");
+            let msg = self.comps[idx]
+                .inbox
+                .pop_front()
+                .expect("picked component has mail");
             self.process_message(idx, msg);
         }
     }
@@ -452,7 +472,14 @@ impl<P: Protocol> Kernel<P> {
         let deliver_cost = self.cfg.cost.ipc_deliver + self.cfg.cost.handler_base;
         self.clock.advance(deliver_cost);
 
-        let Kernel { cfg, comps, hook, clock, next_msg_id, .. } = self;
+        let Kernel {
+            cfg,
+            comps,
+            hook,
+            clock,
+            next_msg_id,
+            ..
+        } = self;
         let comp = &mut comps[idx];
         comp.messages += 1;
         // Top of the request-processing loop: open the recovery window
@@ -470,8 +497,8 @@ impl<P: Protocol> Kernel<P> {
 
         let writes_before = comp.heap.stats().writes;
         let appends_before = comp.heap.stats().undo_appends;
-        let cur_replyable =
-            msg.seep.kind == MessageKind::Request && msg.seep.reply_possible;
+        let coalesced_before = comp.heap.stats().coalesced_writes;
+        let cur_replyable = msg.seep.kind == MessageKind::Request && msg.seep.reply_possible;
 
         let mut ctx = Ctx {
             comp_name: comp.name,
@@ -507,10 +534,15 @@ impl<P: Protocol> Kernel<P> {
         // Account handler cycles and memory-write costs. Logged writes
         // happened while the window was open; unlogged ones outside (exact
         // under window-gated instrumentation, the measurement mode).
+        // Coalesced writes were logged but elided by the journal: they pay
+        // only the memory write, not the undo append.
         let writes = comp.heap.stats().writes - writes_before;
         let appends = comp.heap.stats().undo_appends - appends_before;
-        let write_cost_in = appends * (cfg.cost.mem_write + cfg.cost.undo_append);
-        let write_cost_out = (writes - appends.min(writes)) * cfg.cost.mem_write;
+        let coalesced = comp.heap.stats().coalesced_writes - coalesced_before;
+        let logged = (appends + coalesced).min(writes);
+        let write_cost_in =
+            appends * (cfg.cost.mem_write + cfg.cost.undo_append) + coalesced * cfg.cost.mem_write;
+        let write_cost_out = (writes - logged) * cfg.cost.mem_write;
         comp.window.charge_split(write_cost_in, write_cost_out);
         let handler_cycles = ctx_cycles + write_cost_in + write_cost_out;
         comp.cycles += handler_cycles + deliver_cost;
@@ -539,8 +571,12 @@ impl<P: Protocol> Kernel<P> {
                     comp.status = CompStatus::Hung;
                     let window_open = comp.window.is_open();
                     let scoped_sends = comp.window.had_scoped_sends();
-                    comp.crash_info =
-                        Some(PendingCrash { msg, window_open, reply_possible, scoped_sends });
+                    comp.crash_info = Some(PendingCrash {
+                        msg,
+                        window_open,
+                        reply_possible,
+                        scoped_sends,
+                    });
                 } else {
                     self.metrics.crashes += 1;
                     self.comps[idx].crashes += 1;
@@ -564,7 +600,12 @@ impl<P: Protocol> Kernel<P> {
         comp.status = CompStatus::Crashed;
         let window_open = comp.window.is_open();
         let scoped_sends = comp.window.had_scoped_sends();
-        comp.crash_info = Some(PendingCrash { msg, window_open, reply_possible, scoped_sends });
+        comp.crash_info = Some(PendingCrash {
+            msg,
+            window_open,
+            reply_possible,
+            scoped_sends,
+        });
 
         match self.rs_ep {
             // The Recovery Server itself crashed (or no RS exists): the
@@ -639,27 +680,35 @@ impl<P: Protocol> Kernel<P> {
 
         let mut recovery_cycles = cost.reconcile;
         match decision.action {
-            RecoveryAction::RollbackAndErrorReply
-            | RecoveryAction::RollbackAndKillRequester => {
+            RecoveryAction::RollbackAndErrorReply | RecoveryAction::RollbackAndKillRequester => {
                 // Restart phase: swap in the spare clone and transfer state.
                 recovery_cycles += cost.restart_base
                     + (comp.heap.resident_bytes() as u64 / 1024) * cost.restart_per_kb;
                 // Rollback phase: apply the undo log in reverse.
                 recovery_cycles += comp.heap.log_len() as u64 * cost.undo_rollback;
                 comp.window.rollback(&mut comp.heap);
-                comp.server =
-                    comp.pristine_server.as_ref().expect("pristine captured at init").clone_box();
+                comp.server = comp
+                    .pristine_server
+                    .as_ref()
+                    .expect("pristine captured at init")
+                    .clone_box();
                 comp.server.on_restore(&mut comp.heap);
                 comp.recoveries += 1;
                 self.metrics.recovered_rollback += 1;
             }
             RecoveryAction::FreshRestart => {
                 recovery_cycles += cost.restart_base;
-                let image = comp.pristine_image.as_ref().expect("pristine captured at init");
+                let image = comp
+                    .pristine_image
+                    .as_ref()
+                    .expect("pristine captured at init");
                 comp.heap.restore_image(image);
                 comp.window.complete(&mut comp.heap);
-                comp.server =
-                    comp.pristine_server.as_ref().expect("pristine captured at init").clone_box();
+                comp.server = comp
+                    .pristine_server
+                    .as_ref()
+                    .expect("pristine captured at init")
+                    .clone_box();
                 comp.server.on_restore(&mut comp.heap);
                 comp.recoveries += 1;
                 self.metrics.recovered_fresh += 1;
@@ -667,8 +716,11 @@ impl<P: Protocol> Kernel<P> {
             RecoveryAction::ContinueAsIs => {
                 recovery_cycles += cost.restart_base;
                 comp.window.complete(&mut comp.heap);
-                comp.server =
-                    comp.pristine_server.as_ref().expect("pristine captured at init").clone_box();
+                comp.server = comp
+                    .pristine_server
+                    .as_ref()
+                    .expect("pristine captured at init")
+                    .clone_box();
                 comp.server.on_restore(&mut comp.heap);
                 comp.recoveries += 1;
                 self.metrics.recovered_naive += 1;
@@ -678,8 +730,16 @@ impl<P: Protocol> Kernel<P> {
                 let reason = format!(
                     "unrecoverable crash in {} (window {}, reply {})",
                     comp.name,
-                    if pending.window_open { "open" } else { "closed" },
-                    if pending.reply_possible { "possible" } else { "impossible" },
+                    if pending.window_open {
+                        "open"
+                    } else {
+                        "closed"
+                    },
+                    if pending.reply_possible {
+                        "possible"
+                    } else {
+                        "impossible"
+                    },
                 );
                 // The crashed component stays dead during the grace window.
                 self.recovering = None;
@@ -691,11 +751,8 @@ impl<P: Protocol> Kernel<P> {
                     match pending.msg.src {
                         Endpoint::Process(pid) => {
                             if let Some(sid) = pending.msg.user_tag {
-                                self.user_replies.push((
-                                    sid,
-                                    pid,
-                                    SysReply::Err(Errno::ESHUTDOWN),
-                                ));
+                                self.user_replies
+                                    .push((sid, pid, SysReply::Err(Errno::ESHUTDOWN)));
                             }
                         }
                         Endpoint::Component(_) => {
@@ -749,7 +806,8 @@ impl<P: Protocol> Kernel<P> {
         match failed.src {
             Endpoint::Process(pid) => {
                 let sid = failed.user_tag.expect("user request carries a syscall tag");
-                self.user_replies.push((sid, pid, SysReply::Err(Errno::ECRASH)));
+                self.user_replies
+                    .push((sid, pid, SysReply::Err(Errno::ECRASH)));
             }
             Endpoint::Component(c) => {
                 self.next_msg_id += 1;
@@ -818,6 +876,7 @@ impl<P: Protocol> Kernel<P> {
                 undo_peak_bytes: c.heap.stats().undo_bytes_peak,
                 writes: c.heap.stats().writes,
                 undo_appends: c.heap.stats().undo_appends,
+                coalesced_writes: c.heap.stats().coalesced_writes,
                 crashes: c.crashes,
                 recoveries: c.recoveries,
             })

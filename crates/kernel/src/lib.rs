@@ -31,9 +31,7 @@ pub use component::{
     Ctx, FaultEffect, FaultHook, InjectedCrash, InjectedHang, NoFaults, PrivOp, Probe, Server,
     SiteKind,
 };
-pub use host::{
-    ForkFn, Host, HostConfig, OsEngine, ProgramFn, ProgramRegistry, RunOutcome, Sys,
-};
+pub use host::{ForkFn, Host, HostConfig, OsEngine, ProgramFn, ProgramRegistry, RunOutcome, Sys};
 pub use kernel::{Instrumentation, Kernel, KernelConfig};
 pub use message::{Endpoint, Message, MsgId, Protocol, ReturnPath, SyscallId};
 pub use metrics::{ComponentReport, KernelMetrics, ShutdownKind};

@@ -109,7 +109,11 @@ pub struct ReturnPath {
 impl<P> Message<P> {
     /// The return path needed to reply to this message later.
     pub fn return_path(&self) -> ReturnPath {
-        ReturnPath { ep: self.src, msg_id: self.id, user_tag: self.user_tag }
+        ReturnPath {
+            ep: self.src,
+            msg_id: self.id,
+            user_tag: self.user_tag,
+        }
     }
 }
 

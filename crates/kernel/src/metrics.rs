@@ -26,6 +26,9 @@ pub struct ComponentReport {
     pub writes: u64,
     /// Writes that appended an undo record.
     pub undo_appends: u64,
+    /// Logged writes elided by the journal's write coalescing: they paid the
+    /// memory-write cost but no `undo_append` cost.
+    pub coalesced_writes: u64,
     /// Times this component crashed.
     pub crashes: u64,
     /// Times this component was recovered.

@@ -2,8 +2,10 @@
 //! teardown — using the monolith-free mini engine from `kernel_direct` is
 //! unnecessary here; a trivial engine suffices.
 
-use osiris_kernel::abi::{Pid, Syscall, SysReply};
-use osiris_kernel::{Host, HostConfig, OsEngine, ProgramRegistry, RunOutcome, ShutdownKind, SyscallId};
+use osiris_kernel::abi::{Pid, SysReply, Syscall};
+use osiris_kernel::{
+    Host, HostConfig, OsEngine, ProgramRegistry, RunOutcome, ShutdownKind, SyscallId,
+};
 
 /// An engine that answers `getpid` and swallows everything else (so any
 /// other call blocks forever) — a deliberately broken OS for limit tests.
@@ -62,15 +64,16 @@ fn swallowed_syscall_is_detected_as_hang() {
 fn virtual_time_limit_aborts_runaway_runs() {
     osiris_kernel::install_quiet_panic_hook();
     let mut registry = ProgramRegistry::new();
-    registry.register("main", |sys| {
-        loop {
-            sys.compute(1_000_000);
-            if sys.getpid().is_err() {
-                return 1;
-            }
+    registry.register("main", |sys| loop {
+        sys.compute(1_000_000);
+        if sys.getpid().is_err() {
+            return 1;
         }
     });
-    let host_cfg = HostConfig { max_virtual_time: 5_000_000, ..Default::default() };
+    let host_cfg = HostConfig {
+        max_virtual_time: 5_000_000,
+        ..Default::default()
+    };
     let mut host = Host::new(BlackHole::default(), registry).with_config(host_cfg);
     match host.run("main", &[]) {
         RunOutcome::Hang(reason) => assert!(reason.contains("time limit"), "{reason}"),
@@ -88,7 +91,10 @@ fn clean_exit_reports_codes() {
     });
     let mut host = Host::new(BlackHole::default(), registry);
     match host.run("main", &[]) {
-        RunOutcome::Completed { init_code, exit_codes } => {
+        RunOutcome::Completed {
+            init_code,
+            exit_codes,
+        } => {
             assert_eq!(init_code, 42);
             assert_eq!(exit_codes.get(&1), Some(&42));
         }

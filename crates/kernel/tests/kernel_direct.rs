@@ -109,7 +109,10 @@ struct Worker {
 
 impl Worker {
     fn new(peer: Option<Endpoint>) -> Self {
-        Worker { peer, counter: None }
+        Worker {
+            peer,
+            counter: None,
+        }
     }
 }
 
@@ -215,7 +218,12 @@ fn build(policy: PolicyKind, instr: Instrumentation) -> (Kernel<Msg>, Arc<Atomic
         instrumentation: instr,
         ..Default::default()
     });
-    let rs = kernel.register(Box::new(MiniRs { recoveries: Arc::clone(&recoveries) }), true);
+    let rs = kernel.register(
+        Box::new(MiniRs {
+            recoveries: Arc::clone(&recoveries),
+        }),
+        true,
+    );
     assert_eq!(rs, Endpoint::Component(0));
     let w1 = kernel.register(Box::new(Worker::new(None)), false);
     let relay = kernel.register(Box::new(Worker::new(Some(w1))), false);
@@ -261,7 +269,11 @@ fn crash_in_open_window_rolls_back_and_replies_ecrash() {
     let replies = kernel.take_user_replies();
     assert_eq!(
         replies,
-        vec![(SyscallId(1), Pid(1), SysReply::Err(osiris_kernel::abi::Errno::ECRASH))]
+        vec![(
+            SyscallId(1),
+            Pid(1),
+            SysReply::Err(osiris_kernel::abi::Errno::ECRASH)
+        )]
     );
     assert_eq!(counter_of(&kernel, 0), 0, "increment must be rolled back");
     assert_eq!(recoveries.load(Ordering::Relaxed), 1, "RS saw the crash");
@@ -277,7 +289,12 @@ fn crash_after_state_modifying_send_is_controlled_shutdown() {
         always: false,
         fired: false,
     }));
-    kernel.send_user_request(Endpoint::Component(2), Msg::BumpViaPeer, SyscallId(1), Pid(1));
+    kernel.send_user_request(
+        Endpoint::Component(2),
+        Msg::BumpViaPeer,
+        SyscallId(1),
+        Pid(1),
+    );
     kernel.pump();
     match kernel.shutdown_state() {
         Some(ShutdownKind::Controlled(reason)) => {
@@ -300,10 +317,19 @@ fn messages_sent_before_crash_are_delivered() {
         always: false,
         fired: false,
     }));
-    kernel.send_user_request(Endpoint::Component(2), Msg::BumpViaPeer, SyscallId(1), Pid(1));
+    kernel.send_user_request(
+        Endpoint::Component(2),
+        Msg::BumpViaPeer,
+        SyscallId(1),
+        Pid(1),
+    );
     kernel.pump();
     assert!(kernel.shutdown_state().is_none());
-    assert_eq!(counter_of(&kernel, 0), 1, "peer processed the in-flight Bump");
+    assert_eq!(
+        counter_of(&kernel, 0),
+        1,
+        "peer processed the in-flight Bump"
+    );
     // Naive keeps the relay's half-applied +100 (the crash fired before
     // the deferred bookkeeping write).
     assert_eq!(counter_of(&kernel, 1), 100);
@@ -325,7 +351,11 @@ fn stateless_restart_resets_state() {
     }));
     kernel.send_user_request(Endpoint::Component(1), Msg::Bump, SyscallId(3), Pid(1));
     kernel.pump();
-    assert_eq!(counter_of(&kernel, 0), 0, "stateless restart resets the counter");
+    assert_eq!(
+        counter_of(&kernel, 0),
+        0,
+        "stateless restart resets the counter"
+    );
     assert_eq!(kernel.metrics().recovered_fresh, 1);
 }
 
@@ -346,8 +376,15 @@ fn persistent_fault_is_survived_by_discarding_each_request() {
     assert!(replies
         .iter()
         .all(|(_, _, r)| *r == SysReply::Err(osiris_kernel::abi::Errno::ECRASH)));
-    assert_eq!(recoveries.load(Ordering::Relaxed), 5, "each request recovered");
-    assert!(kernel.shutdown_state().is_none(), "persistent faults never wedge the system");
+    assert_eq!(
+        recoveries.load(Ordering::Relaxed),
+        5,
+        "each request recovered"
+    );
+    assert!(
+        kernel.shutdown_state().is_none(),
+        "persistent faults never wedge the system"
+    );
 }
 
 #[test]
@@ -360,7 +397,10 @@ fn timers_fire_and_mutate_state() {
     let before = kernel.now();
     assert!(kernel.fire_next_timer());
     kernel.pump();
-    assert!(kernel.now() >= before + 50, "clock advanced to the deadline");
+    assert!(
+        kernel.now() >= before + 50,
+        "clock advanced to the deadline"
+    );
     assert_eq!(counter_of(&kernel, 0), 1000, "tick handler ran");
 }
 
@@ -401,7 +441,11 @@ fn non_state_modifying_send_keeps_enhanced_window_open() {
     let replies = kernel.take_user_replies();
     assert_eq!(
         replies,
-        vec![(SyscallId(1), Pid(1), SysReply::Err(osiris_kernel::abi::Errno::ECRASH))]
+        vec![(
+            SyscallId(1),
+            Pid(1),
+            SysReply::Err(osiris_kernel::abi::Errno::ECRASH)
+        )]
     );
     assert_eq!(counter_of(&kernel, 1), 0, "the +7 was rolled back");
     assert!(kernel.shutdown_state().is_none());
@@ -440,7 +484,12 @@ fn instrumentation_off_still_recovers_nothing_is_logged() {
 #[test]
 fn instrumentation_always_logs_everything() {
     let (mut kernel, _) = build(PolicyKind::Enhanced, Instrumentation::Always);
-    kernel.send_user_request(Endpoint::Component(2), Msg::BumpViaPeer, SyscallId(1), Pid(1));
+    kernel.send_user_request(
+        Endpoint::Component(2),
+        Msg::BumpViaPeer,
+        SyscallId(1),
+        Pid(1),
+    );
     kernel.pump();
     let relay = kernel
         .component_reports()
@@ -448,14 +497,92 @@ fn instrumentation_always_logs_everything() {
         .find(|r| r.name == "worker" && r.endpoint == 2)
         .expect("relay report");
     // The +100 write happens before the window closes; with Always the
-    // writes after the close are logged too, so undo_appends == writes.
-    assert_eq!(relay.undo_appends, relay.writes, "Always must log every write");
+    // writes after the close are logged too. Some logged writes may be
+    // elided by the journal's coalescing, but every write is accounted as
+    // either an append or a coalesced append — none escape the log.
+    assert_eq!(
+        relay.undo_appends + relay.coalesced_writes,
+        relay.writes,
+        "Always must log (or coalesce) every write"
+    );
+}
+
+#[test]
+fn always_overrides_gating_requests_and_counts_them() {
+    // Under Always, the kernel force-logs at boot; any later
+    // `set_logging(false)` (e.g. the Off-mode deliver path, or component
+    // code gating itself) must be overridden — and visibly counted — rather
+    // than silently ignored. Under WindowGated the same request succeeds and
+    // the counter stays zero.
+    let (mut kernel, _) = build(PolicyKind::Enhanced, Instrumentation::Always);
+    kernel.send_user_request(Endpoint::Component(1), Msg::Bump, SyscallId(1), Pid(1));
+    kernel.pump();
+    let heap = kernel.heap_of("worker").expect("worker heap");
+    assert!(
+        heap.stats().gating_overrides > 0,
+        "window completion gates off; Always must override and count it"
+    );
+    assert!(heap.logging(), "force-logging keeps the gate open");
+
+    let (mut kernel, _) = build(PolicyKind::Enhanced, Instrumentation::WindowGated);
+    kernel.send_user_request(Endpoint::Component(1), Msg::Bump, SyscallId(1), Pid(1));
+    kernel.pump();
+    let gated = kernel.heap_of("worker").expect("worker heap");
+    assert_eq!(
+        gated.stats().gating_overrides,
+        0,
+        "no force-logging, no overrides"
+    );
+    assert!(!gated.logging(), "the gate actually closed");
+    // WindowGated logs strictly less than Always on the same schedule.
+    let always_report = {
+        let (mut k, _) = build(PolicyKind::Enhanced, Instrumentation::Always);
+        k.send_user_request(
+            Endpoint::Component(2),
+            Msg::BumpViaPeer,
+            SyscallId(1),
+            Pid(1),
+        );
+        k.pump();
+        k.component_reports()
+            .into_iter()
+            .find(|r| r.endpoint == 2)
+            .expect("relay")
+    };
+    let gated_report = {
+        let (mut k, _) = build(PolicyKind::Enhanced, Instrumentation::WindowGated);
+        k.send_user_request(
+            Endpoint::Component(2),
+            Msg::BumpViaPeer,
+            SyscallId(1),
+            Pid(1),
+        );
+        k.pump();
+        k.component_reports()
+            .into_iter()
+            .find(|r| r.endpoint == 2)
+            .expect("relay")
+    };
+    assert_eq!(
+        always_report.writes, gated_report.writes,
+        "identical schedule"
+    );
+    assert!(
+        always_report.undo_appends + always_report.coalesced_writes
+            >= gated_report.undo_appends + gated_report.coalesced_writes,
+        "Always logs at least as much as WindowGated"
+    );
 }
 
 #[test]
 fn gated_instrumentation_logs_only_in_window() {
     let (mut kernel, _) = build(PolicyKind::Pessimistic, Instrumentation::WindowGated);
-    kernel.send_user_request(Endpoint::Component(2), Msg::BumpViaPeer, SyscallId(1), Pid(1));
+    kernel.send_user_request(
+        Endpoint::Component(2),
+        Msg::BumpViaPeer,
+        SyscallId(1),
+        Pid(1),
+    );
     kernel.pump();
     let relay = kernel
         .component_reports()

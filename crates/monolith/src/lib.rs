@@ -18,7 +18,7 @@
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use osiris_kernel::abi::{
-    Errno, Fd, FileStat, OpenFlags, Pid, SeekFrom, Signal, Syscall, SysReply,
+    Errno, Fd, FileStat, OpenFlags, Pid, SeekFrom, Signal, SysReply, Syscall,
 };
 use osiris_kernel::{CostModel, OsEngine, ShutdownKind, SyscallId, VirtualClock};
 
@@ -246,13 +246,23 @@ impl Monolith {
         let fd = self.alloc_fd(pid)?;
         let slot = self.next_slot;
         self.next_slot += 1;
-        self.oft.insert(slot, Open { target, offset: 0, flags, refs: 1 });
+        self.oft.insert(
+            slot,
+            Open {
+                target,
+                offset: 0,
+                flags,
+                refs: 1,
+            },
+        );
         self.fds.insert((pid, fd), slot);
         Some(fd)
     }
 
     fn close_slot(&mut self, slot: u32) {
-        let Some(of) = self.oft.get(&slot).cloned() else { return };
+        let Some(of) = self.oft.get(&slot).cloned() else {
+            return;
+        };
         match of.target {
             Target::File { .. } => {}
             Target::PipeR { id } => {
@@ -278,7 +288,12 @@ impl Monolith {
             }
         }
         if let Target::PipeR { id } | Target::PipeW { id } = of.target {
-            if self.pipes.get(&id).map(|p| p.readers == 0 && p.writers == 0).unwrap_or(false) {
+            if self
+                .pipes
+                .get(&id)
+                .map(|p| p.readers == 0 && p.writers == 0)
+                .unwrap_or(false)
+            {
                 self.pipes.remove(&id);
             }
         }
@@ -292,7 +307,9 @@ impl Monolith {
     }
 
     fn terminate(&mut self, pid: u32, code: i32) {
-        let Some(proc) = self.procs.get(&pid).cloned() else { return };
+        let Some(proc) = self.procs.get(&pid).cloned() else {
+            return;
+        };
         self.charge(self.cost.handler_base + proc.resident() * self.cost.mem_write);
         self.free_frames += proc.resident();
         // Children: reap zombies, reparent the rest to init.
@@ -311,8 +328,12 @@ impl Monolith {
             }
         }
         // Close descriptors.
-        let keys: Vec<(u32, u32)> =
-            self.fds.keys().filter(|(p, _)| *p == pid).copied().collect();
+        let keys: Vec<(u32, u32)> = self
+            .fds
+            .keys()
+            .filter(|(p, _)| *p == pid)
+            .copied()
+            .collect();
         for k in keys {
             if let Some(slot) = self.fds.remove(&k) {
                 self.close_slot(slot);
@@ -323,8 +344,9 @@ impl Monolith {
         let mut cancelled = Vec::new();
         for id in pipe_ids {
             if let Some(p) = self.pipes.get_mut(&id) {
-                let (mine, rest): (Vec<_>, Vec<_>) =
-                    std::mem::take(&mut p.waiting).into_iter().partition(|(_, w, _)| w.0 == pid);
+                let (mine, rest): (Vec<_>, Vec<_>) = std::mem::take(&mut p.waiting)
+                    .into_iter()
+                    .partition(|(_, w, _)| w.0 == pid);
                 p.waiting = rest;
                 cancelled.extend(mine);
             }
@@ -533,15 +555,13 @@ impl Monolith {
                 self.reply(sid, pid, r);
             }
             Syscall::Open { path, flags } => self.open(sid, pid, &path, flags),
-            Syscall::Close { fd } => {
-                match self.fds.remove(&(pid.0, fd.0)) {
-                    Some(slot) => {
-                        self.close_slot(slot);
-                        self.reply(sid, pid, SysReply::Ok);
-                    }
-                    None => self.reply(sid, pid, SysReply::Err(Errno::EBADF)),
+            Syscall::Close { fd } => match self.fds.remove(&(pid.0, fd.0)) {
+                Some(slot) => {
+                    self.close_slot(slot);
+                    self.reply(sid, pid, SysReply::Ok);
                 }
-            }
+                None => self.reply(sid, pid, SysReply::Err(Errno::EBADF)),
+            },
             Syscall::Read { fd, len } => self.read(sid, pid, fd, len),
             Syscall::Write { fd, bytes } => self.write(sid, pid, fd, &bytes),
             Syscall::Seek { fd, from } => self.seek(sid, pid, fd, from),
@@ -555,7 +575,12 @@ impl Monolith {
                 self.next_pipe += 1;
                 self.pipes.insert(
                     id,
-                    MPipe { buf: VecDeque::new(), readers: 1, writers: 1, waiting: Vec::new() },
+                    MPipe {
+                        buf: VecDeque::new(),
+                        readers: 1,
+                        writers: 1,
+                        waiting: Vec::new(),
+                    },
                 );
                 let Some(rfd) = self.install_fd(pid.0, Target::PipeR { id }, OpenFlags::RDONLY)
                 else {
@@ -640,8 +665,12 @@ impl Monolith {
                 self.reply(sid, pid, r);
             }
             Syscall::DsList { prefix } => {
-                let names: Vec<String> =
-                    self.kv.keys().filter(|k| k.starts_with(&prefix)).cloned().collect();
+                let names: Vec<String> = self
+                    .kv
+                    .keys()
+                    .filter(|k| k.starts_with(&prefix))
+                    .cloned()
+                    .collect();
                 self.reply(sid, pid, SysReply::Names(names));
             }
         }
@@ -651,10 +680,10 @@ impl Monolith {
         let mut zombie: Option<(u32, i32)> = None;
         let mut has_child = false;
         for (cpid, p) in &self.procs {
-            if p.ppid == pid.0 && target.map_or(true, |t| t == *cpid) {
+            if p.ppid == pid.0 && target.is_none_or(|t| t == *cpid) {
                 has_child = true;
                 if let ProcState::Zombie(code) = p.state {
-                    if zombie.map_or(true, |(z, _)| *cpid < z) {
+                    if zombie.is_none_or(|(z, _)| *cpid < z) {
                         zombie = Some((*cpid, code));
                     }
                 }
@@ -813,7 +842,11 @@ impl Monolith {
                     self.reply(sid, pid, SysReply::Err(Errno::EIO));
                     return;
                 };
-                let off = if of.flags.append { data.len() } else { of.offset as usize };
+                let off = if of.flags.append {
+                    data.len()
+                } else {
+                    of.offset as usize
+                };
                 let end = off + bytes.len();
                 if data.len() < end {
                     data.resize(end, 0);
@@ -943,12 +976,16 @@ impl Monolith {
         match self.resolve(path) {
             Ok((_, _, Some(ino))) => {
                 let st = match self.nodes.get(&ino) {
-                    Some(Node::File(d)) => {
-                        FileStat { size: d.len() as u64, is_dir: false, nlink: 1 }
-                    }
-                    Some(Node::Dir(e)) => {
-                        FileStat { size: 0, is_dir: true, nlink: e.len() as u32 + 2 }
-                    }
+                    Some(Node::File(d)) => FileStat {
+                        size: d.len() as u64,
+                        is_dir: false,
+                        nlink: 1,
+                    },
+                    Some(Node::Dir(e)) => FileStat {
+                        size: 0,
+                        is_dir: true,
+                        nlink: e.len() as u32 + 2,
+                    },
                     None => {
                         self.reply(sid, pid, SysReply::Err(Errno::EIO));
                         return;
@@ -1009,7 +1046,9 @@ impl OsEngine for Monolith {
     }
 
     fn fire_next_timer(&mut self) -> bool {
-        let Some((&(at, seq), _)) = self.timers.iter().next() else { return false };
+        let Some((&(at, seq), _)) = self.timers.iter().next() else {
+            return false;
+        };
         let (sid, pid) = self.timers.remove(&(at, seq)).expect("key just observed");
         self.clock.advance_to(at);
         self.reply(sid, pid, SysReply::Ok);

@@ -154,6 +154,9 @@ fn monolith_is_faster_than_nothing_but_charges_time() {
         0
     });
     expect_zero(&o);
-    assert!(m.now() > 10_000, "compute and syscalls must advance the clock");
+    assert!(
+        m.now() > 10_000,
+        "compute and syscalls must advance the clock"
+    );
     assert_eq!(m.syscall_count(), 100 + 1 /* exit */);
 }

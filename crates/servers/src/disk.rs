@@ -77,7 +77,10 @@ impl Server<OsMsg> for DiskDriver {
                 h.pending.insert(
                     ctx.heap(),
                     token,
-                    Pending { rp: msg.return_path(), op: DiskOp::Read { block: *block } },
+                    Pending {
+                        rp: msg.return_path(),
+                        op: DiskOp::Read { block: *block },
+                    },
                 );
                 ctx.set_timer(self.latency, OsMsg::DiskTick { token });
             }
@@ -90,14 +93,19 @@ impl Server<OsMsg> for DiskDriver {
                     token,
                     Pending {
                         rp: msg.return_path(),
-                        op: DiskOp::Write { block: *block, data: data.clone() },
+                        op: DiskOp::Write {
+                            block: *block,
+                            data: data.clone(),
+                        },
                     },
                 );
                 ctx.set_timer(self.latency, OsMsg::DiskTick { token });
             }
             OsMsg::DiskTick { token } => {
                 // Stale tokens (rolled-back queue entries) are ignored.
-                let Some(p) = h.pending.remove(ctx.heap(), token) else { return };
+                let Some(p) = h.pending.remove(ctx.heap(), token) else {
+                    return;
+                };
                 ctx.site("disk.complete");
                 h.ops.update(ctx.heap(), |n| *n += 1);
                 match p.op {

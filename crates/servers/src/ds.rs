@@ -10,7 +10,7 @@
 //! immediately while the enhanced policy keeps it open to the end.
 
 use osiris_checkpoint::{Heap, PCell, PMap};
-use osiris_kernel::abi::{Errno, Pid, Syscall, SysReply};
+use osiris_kernel::abi::{Errno, Pid, SysReply, Syscall};
 use osiris_kernel::{Ctx, Message, ReturnPath, Server};
 
 use crate::proto::OsMsg;
@@ -53,10 +53,8 @@ impl DataStore {
                 // the window survives to the end of the handler.
                 ctx.notify(self.topo.rs, OsMsg::Announce { key: key.clone() });
                 ctx.site("ds.put.announced");
-                let fresh = ctx.site_branch(
-                    "ds.put.fresh",
-                    !h.store.contains_key(ctx.heap_ref(), key),
-                );
+                let fresh =
+                    ctx.site_branch("ds.put.fresh", !h.store.contains_key(ctx.heap_ref(), key));
                 if fresh && h.store.len(ctx.heap_ref()) >= MAX_KEYS {
                     ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::ENOSPC)));
                     return;

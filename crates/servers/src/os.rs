@@ -5,7 +5,7 @@
 use std::collections::BTreeSet;
 
 use osiris_core::{PolicyKind, RecoveryPolicy};
-use osiris_kernel::abi::{Pid, Syscall, SysReply};
+use osiris_kernel::abi::{Pid, SysReply, Syscall};
 use osiris_kernel::{
     ComponentReport, CostModel, Endpoint, FaultHook, Instrumentation, Kernel, KernelConfig,
     KernelMetrics, OsEngine, ShutdownKind, SyscallId,
@@ -73,7 +73,10 @@ impl std::fmt::Debug for OsConfig {
 impl OsConfig {
     /// Convenience: default configuration with the given policy.
     pub fn with_policy(policy: PolicyKind) -> Self {
-        OsConfig { policy, ..Default::default() }
+        OsConfig {
+            policy,
+            ..Default::default()
+        }
     }
 }
 
@@ -123,7 +126,11 @@ impl Os {
             "registration order must match the canonical topology"
         );
         kernel.init_components();
-        Os { kernel, topo, pending_refusals: Vec::new() }
+        Os {
+            kernel,
+            topo,
+            pending_refusals: Vec::new(),
+        }
     }
 
     /// Boots with defaults under the given policy.
@@ -222,7 +229,10 @@ impl Os {
         let pm_alive = set("pm", "pm.alive");
         let vm_spaces = set("vm", "vm.space");
         for pid in pm_alive.difference(&vm_spaces) {
-            violations.push(format!("pid {} alive in PM but has no VM address space", pid));
+            violations.push(format!(
+                "pid {} alive in PM but has no VM address space",
+                pid
+            ));
         }
         let pm_all = set("pm", "pm.proc");
         for pid in vm_spaces.difference(&pm_all) {
@@ -235,7 +245,10 @@ impl Os {
         }
 
         let one = |comp: &str, key: &str| -> Option<u64> {
-            facts.iter().find(|(c, k, _)| *c == comp && k == key).map(|(_, _, v)| *v)
+            facts
+                .iter()
+                .find(|(c, k, _)| *c == comp && k == key)
+                .map(|(_, _, v)| *v)
         };
         for (comp, key, val) in &facts {
             if key.contains("torn") || key.contains("orphan") {
@@ -255,10 +268,9 @@ impl Os {
                 ));
             }
         }
-        if let (Some(list), Some(free)) = (
-            one("vm", "vm.free_list_len"),
-            one("vm", "vm.frames_free"),
-        ) {
+        if let (Some(list), Some(free)) =
+            (one("vm", "vm.free_list_len"), one("vm", "vm.frames_free"))
+        {
             if list != free {
                 violations.push(format!(
                     "VM free list ({}) disagrees with free counter ({})",
@@ -288,13 +300,16 @@ impl OsEngine for Os {
         if self.kernel.shutdown_pending() && !is_save_syscall(&call) {
             // Non-save calls are refused during the grace window so the
             // remaining budget is spent on state saving.
-            self.pending_refusals.push((sid, pid, SysReply::Err(
-                osiris_kernel::abi::Errno::ESHUTDOWN,
-            )));
+            self.pending_refusals.push((
+                sid,
+                pid,
+                SysReply::Err(osiris_kernel::abi::Errno::ESHUTDOWN),
+            ));
             return;
         }
         let dst = self.route(&call);
-        self.kernel.send_user_request(dst, OsMsg::User { pid, call }, sid, pid);
+        self.kernel
+            .send_user_request(dst, OsMsg::User { pid, call }, sid, pid);
     }
 
     fn pump(&mut self) -> Vec<(SyscallId, Pid, SysReply)> {

@@ -12,7 +12,7 @@
 //! open), the state-modifying `VmFork`/`VmExecReset` last.
 
 use osiris_checkpoint::{Heap, PCell, PMap};
-use osiris_kernel::abi::{Errno, Pid, Signal, Syscall, SysReply};
+use osiris_kernel::abi::{Errno, Pid, Signal, SysReply, Syscall};
 use osiris_kernel::{Ctx, Endpoint, Message, MsgId, Protocol, ReturnPath, Server};
 
 use crate::proto::OsMsg;
@@ -53,13 +53,44 @@ struct SleepEntry {
 /// half-started transactions.
 #[derive(Clone, Debug)]
 enum PmCont {
-    SpawnLoad { parent: u32, child: u32, prog: String, rp: ReturnPath },
-    SpawnVm { parent: u32, child: u32, prog: String, rp: ReturnPath },
-    SpawnVfs { parent: u32, child: u32, prog: String, rp: ReturnPath },
-    ForkVm { parent: u32, child: u32, rp: ReturnPath },
-    ForkVfs { parent: u32, child: u32, rp: ReturnPath },
-    ExecLoad { pid: u32, prog: String, rp: ReturnPath },
-    ExecVm { pid: u32, prog: String, rp: ReturnPath },
+    SpawnLoad {
+        parent: u32,
+        child: u32,
+        prog: String,
+        rp: ReturnPath,
+    },
+    SpawnVm {
+        parent: u32,
+        child: u32,
+        prog: String,
+        rp: ReturnPath,
+    },
+    SpawnVfs {
+        parent: u32,
+        child: u32,
+        prog: String,
+        rp: ReturnPath,
+    },
+    ForkVm {
+        parent: u32,
+        child: u32,
+        rp: ReturnPath,
+    },
+    ForkVfs {
+        parent: u32,
+        child: u32,
+        rp: ReturnPath,
+    },
+    ExecLoad {
+        pid: u32,
+        prog: String,
+        rp: ReturnPath,
+    },
+    ExecVm {
+        pid: u32,
+        prog: String,
+        rp: ReturnPath,
+    },
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -255,12 +286,20 @@ impl ProcessManager {
         let child = self.alloc_pid(ctx);
         let id = ctx.send_request(
             self.topo.vfs,
-            OsMsg::VfsExecLoad { pid: Pid(child), prog: prog.to_string() },
+            OsMsg::VfsExecLoad {
+                pid: Pid(child),
+                prog: prog.to_string(),
+            },
         );
         h.pending.insert(
             ctx.heap(),
             id.0,
-            PmCont::SpawnLoad { parent: parent.0, child, prog: prog.to_string(), rp },
+            PmCont::SpawnLoad {
+                parent: parent.0,
+                child,
+                prog: prog.to_string(),
+                rp,
+            },
         );
         ctx.site("pm.spawn.load_sent");
     }
@@ -274,12 +313,21 @@ impl ProcessManager {
         };
         ctx.site("pm.fork.validate");
         let child = self.alloc_pid(ctx);
-        let id = ctx
-            .send_request(self.topo.vm, OsMsg::VmFork { parent, child: Pid(child) });
+        let id = ctx.send_request(
+            self.topo.vm,
+            OsMsg::VmFork {
+                parent,
+                child: Pid(child),
+            },
+        );
         h.pending.insert(
             ctx.heap(),
             id.0,
-            PmCont::ForkVm { parent: parent.0, child, rp },
+            PmCont::ForkVm {
+                parent: parent.0,
+                child,
+                rp,
+            },
         );
         let _ = pproc;
         ctx.site("pm.fork.vm_sent");
@@ -295,12 +343,19 @@ impl ProcessManager {
         ctx.site("pm.exec.validate");
         let id = ctx.send_request(
             self.topo.vfs,
-            OsMsg::VfsExecLoad { pid, prog: prog.to_string() },
+            OsMsg::VfsExecLoad {
+                pid,
+                prog: prog.to_string(),
+            },
         );
         h.pending.insert(
             ctx.heap(),
             id.0,
-            PmCont::ExecLoad { pid: pid.0, prog: prog.to_string(), rp },
+            PmCont::ExecLoad {
+                pid: pid.0,
+                prog: prog.to_string(),
+                rp,
+            },
         );
         ctx.site("pm.exec.load_sent");
     }
@@ -319,7 +374,12 @@ impl ProcessManager {
             _ => None,
         };
         match cont {
-            PmCont::SpawnLoad { parent, child, prog, rp } => {
+            PmCont::SpawnLoad {
+                parent,
+                child,
+                prog,
+                rp,
+            } => {
                 if let Some(e) = err {
                     ctx.reply(rp, OsMsg::UserReply(SysReply::Err(e)));
                     return;
@@ -327,11 +387,28 @@ impl ProcessManager {
                 ctx.site("pm.spawn.loaded");
                 let id = ctx.send_request(
                     self.topo.vm,
-                    OsMsg::VmFork { parent: Pid(parent), child: Pid(child) },
+                    OsMsg::VmFork {
+                        parent: Pid(parent),
+                        child: Pid(child),
+                    },
                 );
-                h.pending.insert(ctx.heap(), id.0, PmCont::SpawnVm { parent, child, prog, rp });
+                h.pending.insert(
+                    ctx.heap(),
+                    id.0,
+                    PmCont::SpawnVm {
+                        parent,
+                        child,
+                        prog,
+                        rp,
+                    },
+                );
             }
-            PmCont::SpawnVm { parent, child, prog, rp } => {
+            PmCont::SpawnVm {
+                parent,
+                child,
+                prog,
+                rp,
+            } => {
                 if let Some(e) = err {
                     ctx.reply(rp, OsMsg::UserReply(SysReply::Err(e)));
                     return;
@@ -339,11 +416,28 @@ impl ProcessManager {
                 ctx.site("pm.spawn.vm_done");
                 let id = ctx.send_request(
                     self.topo.vfs,
-                    OsMsg::VfsForkDup { parent: Pid(parent), child: Pid(child) },
+                    OsMsg::VfsForkDup {
+                        parent: Pid(parent),
+                        child: Pid(child),
+                    },
                 );
-                h.pending.insert(ctx.heap(), id.0, PmCont::SpawnVfs { parent, child, prog, rp });
+                h.pending.insert(
+                    ctx.heap(),
+                    id.0,
+                    PmCont::SpawnVfs {
+                        parent,
+                        child,
+                        prog,
+                        rp,
+                    },
+                );
             }
-            PmCont::SpawnVfs { parent, child, prog, rp } => {
+            PmCont::SpawnVfs {
+                parent,
+                child,
+                prog,
+                rp,
+            } => {
                 if let Some(e) = err {
                     // Undo the VM half of the fork before failing the call.
                     ctx.notify(self.topo.vm, OsMsg::VmFree { pid: Pid(child) });
@@ -372,9 +466,13 @@ impl ProcessManager {
                 ctx.site("pm.fork.vm_done");
                 let id = ctx.send_request(
                     self.topo.vfs,
-                    OsMsg::VfsForkDup { parent: Pid(parent), child: Pid(child) },
+                    OsMsg::VfsForkDup {
+                        parent: Pid(parent),
+                        child: Pid(child),
+                    },
                 );
-                h.pending.insert(ctx.heap(), id.0, PmCont::ForkVfs { parent, child, rp });
+                h.pending
+                    .insert(ctx.heap(), id.0, PmCont::ForkVfs { parent, child, rp });
             }
             PmCont::ForkVfs { parent, child, rp } => {
                 if let Some(e) = err {
@@ -408,7 +506,8 @@ impl ProcessManager {
                 }
                 ctx.site("pm.exec.loaded");
                 let id = ctx.send_request(self.topo.vm, OsMsg::VmExecReset { pid: Pid(pid) });
-                h.pending.insert(ctx.heap(), id.0, PmCont::ExecVm { pid, prog, rp });
+                h.pending
+                    .insert(ctx.heap(), id.0, PmCont::ExecVm { pid, prog, rp });
             }
             PmCont::ExecVm { pid, prog, rp } => {
                 if let Some(e) = err {
@@ -437,7 +536,9 @@ impl ProcessManager {
     fn terminate(&self, pid: u32, code: i32, self_exit: bool, ctx: &mut Ctx<'_, OsMsg>) {
         let h = self.h();
         ctx.site("pm.term.entry");
-        let Some(proc) = h.procs.get(ctx.heap_ref(), &pid) else { return };
+        let Some(proc) = h.procs.get(ctx.heap_ref(), &pid) else {
+            return;
+        };
 
         // Reparent or reap this process's children.
         let children: Vec<(u32, ProcState)> = {
@@ -486,7 +587,8 @@ impl ProcessManager {
             ctx.reply(w.rp, OsMsg::UserReply(SysReply::Exited(Pid(pid), code)));
             ctx.site("pm.term.woke_parent");
         } else if h.procs.contains_key(ctx.heap_ref(), &ppid) {
-            h.procs.update(ctx.heap(), &pid, |p| p.state = ProcState::Zombie(code));
+            h.procs
+                .update(ctx.heap(), &pid, |p| p.state = ProcState::Zombie(code));
             ctx.site("pm.term.zombie");
         } else {
             // Parent already gone: auto-reap.
@@ -502,7 +604,7 @@ impl ProcessManager {
         let mut zombie: Option<(u32, i32)> = None;
         let mut has_child = false;
         h.procs.for_each(ctx.heap_ref(), |cpid, p| {
-            if p.ppid == caller.0 && target.map_or(true, |t| t == *cpid) {
+            if p.ppid == caller.0 && target.is_none_or(|t| t == *cpid) {
                 has_child = true;
                 if let ProcState::Zombie(code) = p.state {
                     if zombie.is_none() {
@@ -516,14 +618,22 @@ impl ProcessManager {
             h.procs.remove(ctx.heap(), &cpid);
             ctx.reply(rp, OsMsg::UserReply(SysReply::Exited(Pid(cpid), code)));
         } else if ctx.site_branch("pm.wait.has_child", has_child) {
-            h.waiters.insert(ctx.heap(), caller.0, Waiter { target, rp });
+            h.waiters
+                .insert(ctx.heap(), caller.0, Waiter { target, rp });
             ctx.site("pm.wait.block");
         } else {
             ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::ECHILD)));
         }
     }
 
-    fn kill(&self, _caller: Pid, target: Pid, sig: Signal, rp: ReturnPath, ctx: &mut Ctx<'_, OsMsg>) {
+    fn kill(
+        &self,
+        _caller: Pid,
+        target: Pid,
+        sig: Signal,
+        rp: ReturnPath,
+        ctx: &mut Ctx<'_, OsMsg>,
+    ) {
         ctx.site("pm.kill.entry");
         let h = self.h();
         let Some(tproc) = h.procs.get(ctx.heap_ref(), &target.0) else {
@@ -545,8 +655,7 @@ impl ProcessManager {
             if let Some(w) = h.waiters.remove(ctx.heap(), &target.0) {
                 ctx.reply(w.rp, OsMsg::UserReply(SysReply::Err(Errno::EKILLED)));
             }
-            let sleep_token =
-                h.sleeps.find_key(ctx.heap_ref(), |_, s| s.pid == target.0);
+            let sleep_token = h.sleeps.find_key(ctx.heap_ref(), |_, s| s.pid == target.0);
             if let Some(tok) = sleep_token {
                 if let Some(s) = h.sleeps.remove(ctx.heap(), &tok) {
                     ctx.reply(s.rp, OsMsg::UserReply(SysReply::Err(Errno::EKILLED)));
@@ -570,7 +679,14 @@ impl ProcessManager {
         ctx.reply(rp, OsMsg::UserReply(SysReply::Ok));
     }
 
-    fn sigmask(&self, pid: Pid, sig: Signal, masked: bool, rp: ReturnPath, ctx: &mut Ctx<'_, OsMsg>) {
+    fn sigmask(
+        &self,
+        pid: Pid,
+        sig: Signal,
+        masked: bool,
+        rp: ReturnPath,
+        ctx: &mut Ctx<'_, OsMsg>,
+    ) {
         ctx.site("pm.sigmask.entry");
         if sig == Signal::SigKill {
             ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EINVAL)));
@@ -599,7 +715,10 @@ impl ProcessManager {
     fn sigpending(&self, pid: Pid, rp: ReturnPath, ctx: &mut Ctx<'_, OsMsg>) {
         ctx.site("pm.sigpending.entry");
         let h = self.h();
-        match h.procs.update(ctx.heap(), &pid.0, |p| std::mem::take(&mut p.pending_sigs)) {
+        match h
+            .procs
+            .update(ctx.heap(), &pid.0, |p| std::mem::take(&mut p.pending_sigs))
+        {
             Some(sigs) => ctx.reply(rp, OsMsg::UserReply(SysReply::Signals(sigs))),
             None => ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::ESRCH))),
         }
@@ -614,7 +733,8 @@ impl ProcessManager {
         }
         let token = h.next_token.get(ctx.heap_ref());
         h.next_token.set(ctx.heap(), token + 1);
-        h.sleeps.insert(ctx.heap(), token, SleepEntry { pid: pid.0, rp });
+        h.sleeps
+            .insert(ctx.heap(), token, SleepEntry { pid: pid.0, rp });
         ctx.set_timer(ticks.max(1), OsMsg::SleepTick { token });
         ctx.site("pm.sleep.armed");
     }

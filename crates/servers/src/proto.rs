@@ -22,7 +22,7 @@
 //!   gap (Table I).
 
 use osiris_core::{SeepClass, SeepMeta};
-use osiris_kernel::abi::{Errno, Pid, Syscall, SysReply};
+use osiris_kernel::abi::{Errno, Pid, SysReply, Syscall};
 use osiris_kernel::Protocol;
 
 /// Every message exchanged in the OSIRIS OS.
@@ -183,7 +183,10 @@ impl Protocol for OsMsg {
             // ever be delivered — a crash while processing it is not
             // error-virtualizable (the window decision logic sees
             // `reply_possible = false`).
-            User { call: osiris_kernel::abi::Syscall::Exit { .. }, .. } => SeepMeta {
+            User {
+                call: osiris_kernel::abi::Syscall::Exit { .. },
+                ..
+            } => SeepMeta {
                 class: SeepClass::StateModifying,
                 kind: osiris_core::MessageKind::Request,
                 reply_possible: false,
@@ -217,7 +220,10 @@ impl Protocol for OsMsg {
             // Trace-only notification: the receiver's handler is state-free.
             Announce { .. } => SeepMeta::notification(SeepClass::NonStateModifying),
             // Kernel/timer notifications (no sender window to consider).
-            CrashNotify { .. } | KillRequester { .. } | HeartbeatTick | DiskTick { .. }
+            CrashNotify { .. }
+            | KillRequester { .. }
+            | HeartbeatTick
+            | DiskTick { .. }
             | SleepTick { .. } => SeepMeta::notification(SeepClass::NonStateModifying),
         }
     }
@@ -296,20 +302,34 @@ mod tests {
             SeepClass::NonStateModifying
         );
         assert_eq!(
-            OsMsg::VfsExecLoad { pid: Pid(1), prog: "sh".into() }.seep().class,
+            OsMsg::VfsExecLoad {
+                pid: Pid(1),
+                prog: "sh".into()
+            }
+            .seep()
+            .class,
             SeepClass::NonStateModifying
         );
         assert_eq!(OsMsg::Ping.seep().class, SeepClass::NonStateModifying);
-        assert_eq!(OsMsg::Announce { key: "k".into() }.seep().class, SeepClass::NonStateModifying);
+        assert_eq!(
+            OsMsg::Announce { key: "k".into() }.seep().class,
+            SeepClass::NonStateModifying
+        );
     }
 
     #[test]
     fn mutating_requests_are_state_modifying() {
         for m in [
-            OsMsg::VmFork { parent: Pid(1), child: Pid(2) },
+            OsMsg::VmFork {
+                parent: Pid(1),
+                child: Pid(2),
+            },
             OsMsg::VmExecReset { pid: Pid(1) },
             OsMsg::DiskRead { block: 0 },
-            OsMsg::DiskWrite { block: 0, data: vec![] },
+            OsMsg::DiskWrite {
+                block: 0,
+                data: vec![],
+            },
         ] {
             assert_eq!(m.seep().class, SeepClass::StateModifying, "{}", m.label());
             assert_eq!(m.seep().kind, MessageKind::Request);
@@ -318,8 +338,13 @@ mod tests {
 
     #[test]
     fn replies_are_conservative() {
-        for m in [OsMsg::ROk, OsMsg::RVal(0), OsMsg::RErr(Errno::EIO), OsMsg::RCrash, OsMsg::Pong]
-        {
+        for m in [
+            OsMsg::ROk,
+            OsMsg::RVal(0),
+            OsMsg::RErr(Errno::EIO),
+            OsMsg::RCrash,
+            OsMsg::Pong,
+        ] {
             assert_eq!(m.seep().kind, MessageKind::Reply, "{}", m.label());
             assert_eq!(m.seep().class, SeepClass::StateModifying, "{}", m.label());
         }
@@ -328,7 +353,10 @@ mod tests {
     #[test]
     fn crash_constructors() {
         assert!(matches!(OsMsg::crash_reply(), OsMsg::RCrash));
-        assert!(matches!(OsMsg::crash_notify(3), OsMsg::CrashNotify { target: 3 }));
+        assert!(matches!(
+            OsMsg::crash_notify(3),
+            OsMsg::CrashNotify { target: 3 }
+        ));
         assert!(matches!(
             OsMsg::kill_requester(Pid(9)),
             OsMsg::KillRequester { pid: Pid(9) }
@@ -348,28 +376,40 @@ mod tests {
 
     #[test]
     fn exit_path_releases_are_requester_scoped() {
-        for m in [OsMsg::VmFreeSelf { pid: Pid(1) }, OsMsg::VfsCleanupSelf { pid: Pid(1) }] {
+        for m in [
+            OsMsg::VmFreeSelf { pid: Pid(1) },
+            OsMsg::VfsCleanupSelf { pid: Pid(1) },
+        ] {
             assert_eq!(m.seep().class, SeepClass::RequesterScoped, "{}", m.label());
             // Scoped messages still count as state-modifying for plain
             // policies (conservative default).
             assert!(m.seep().class.is_state_modifying());
         }
         // The kill-path variants stay plain state-modifying.
-        for m in [OsMsg::VmFree { pid: Pid(1) }, OsMsg::VfsCleanup { pid: Pid(1) }] {
+        for m in [
+            OsMsg::VmFree { pid: Pid(1) },
+            OsMsg::VfsCleanup { pid: Pid(1) },
+        ] {
             assert_eq!(m.seep().class, SeepClass::StateModifying, "{}", m.label());
         }
     }
 
     #[test]
     fn reply_result_maps_errors() {
-        assert_eq!(reply_result(&OsMsg::RErr(Errno::EIO)).unwrap_err(), Errno::EIO);
+        assert_eq!(
+            reply_result(&OsMsg::RErr(Errno::EIO)).unwrap_err(),
+            Errno::EIO
+        );
         assert_eq!(reply_result(&OsMsg::RCrash).unwrap_err(), Errno::ECRASH);
         assert!(reply_result(&OsMsg::ROk).is_ok());
     }
 
     #[test]
     fn user_reply_projection() {
-        assert_eq!(OsMsg::UserReply(SysReply::Ok).as_user_reply(), Some(SysReply::Ok));
+        assert_eq!(
+            OsMsg::UserReply(SysReply::Ok).as_user_reply(),
+            Some(SysReply::Ok)
+        );
         assert_eq!(OsMsg::Ping.as_user_reply(), None);
     }
 }

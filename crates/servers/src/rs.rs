@@ -43,7 +43,11 @@ impl RecoveryServer {
     /// Creates an RS that heartbeats all core servers every
     /// `heartbeat_interval` cycles.
     pub fn new(topo: Topology, heartbeat_interval: u64) -> Self {
-        RecoveryServer { topo, heartbeat_interval, h: None }
+        RecoveryServer {
+            topo,
+            heartbeat_interval,
+            h: None,
+        }
     }
 
     fn h(&self) -> Handles {
@@ -53,13 +57,19 @@ impl RecoveryServer {
     /// Components RS watches: every core server except itself, plus the
     /// disk driver.
     fn watched(&self) -> Vec<u8> {
-        [self.topo.pm, self.topo.vm, self.topo.vfs, self.topo.ds, self.topo.disk]
-            .iter()
-            .filter_map(|ep| match ep {
-                Endpoint::Component(c) => Some(*c),
-                _ => None,
-            })
-            .collect()
+        [
+            self.topo.pm,
+            self.topo.vm,
+            self.topo.vfs,
+            self.topo.ds,
+            self.topo.disk,
+        ]
+        .iter()
+        .filter_map(|ep| match ep {
+            Endpoint::Component(c) => Some(*c),
+            _ => None,
+        })
+        .collect()
     }
 
     fn heartbeat_round(&self, ctx: &mut Ctx<'_, OsMsg>) {
@@ -95,7 +105,8 @@ impl RecoveryServer {
         ctx.site("rs.hb.armed");
         // Post-round bookkeeping: compact restart statistics.
         let mut total_restarts = 0;
-        h.services.for_each(ctx.heap_ref(), |_, svc| total_restarts += svc.restarts);
+        h.services
+            .for_each(ctx.heap_ref(), |_, svc| total_restarts += svc.restarts);
         ctx.site("rs.hb.compact");
         let _ = total_restarts;
         ctx.charge(40);
@@ -116,9 +127,22 @@ impl Server<OsMsg> for RecoveryServer {
             ping_waits: heap.alloc_map("rs.ping_waits"),
             round: heap.alloc_cell("rs.round", 0),
         };
-        for ep in [self.topo.pm, self.topo.vm, self.topo.vfs, self.topo.ds, self.topo.disk] {
+        for ep in [
+            self.topo.pm,
+            self.topo.vm,
+            self.topo.vfs,
+            self.topo.ds,
+            self.topo.disk,
+        ] {
             if let Endpoint::Component(c) = ep {
-                h.services.insert(heap, u32::from(c), Service { endpoint: c, restarts: 0 });
+                h.services.insert(
+                    heap,
+                    u32::from(c),
+                    Service {
+                        endpoint: c,
+                        restarts: 0,
+                    },
+                );
             }
         }
         self.h = Some(h);
@@ -132,7 +156,8 @@ impl Server<OsMsg> for RecoveryServer {
                 // Recovery code path: restart, rollback and reconciliation
                 // are executed by the kernel under RS direction.
                 ctx.site("rs.recover.notify");
-                h.services.update(ctx.heap(), &u32::from(*target), |s| s.restarts += 1);
+                h.services
+                    .update(ctx.heap(), &u32::from(*target), |s| s.restarts += 1);
                 ctx.site("rs.recover.account");
                 ctx.recover(*target);
                 ctx.site("rs.recover.issued");

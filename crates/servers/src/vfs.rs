@@ -18,7 +18,7 @@ use std::collections::BTreeMap;
 
 use osiris_checkpoint::{Heap, PCell, PMap, PVec};
 use osiris_cothread::{CoPool, ThreadId};
-use osiris_kernel::abi::{Errno, Fd, FileStat, OpenFlags, Pid, SeekFrom, Syscall, SysReply};
+use osiris_kernel::abi::{Errno, Fd, FileStat, OpenFlags, Pid, SeekFrom, SysReply, Syscall};
 use osiris_kernel::{Ctx, Message, Protocol, ReturnPath, Server};
 
 use crate::disk::BLOCK_SIZE;
@@ -97,10 +97,25 @@ struct CacheBlock {
 /// Cooperative-thread continuations (stored in the heap; see module docs).
 #[derive(Clone, Debug)]
 enum VfsCont {
-    Read { slot: u32, rp: ReturnPath, len: u32 },
-    Write { slot: u32, rp: ReturnPath, data: Vec<u8> },
-    ExecLoad { rp: ReturnPath, block: u64 },
-    Fsync { rp: ReturnPath, ino: u64, remaining: u32 },
+    Read {
+        slot: u32,
+        rp: ReturnPath,
+        len: u32,
+    },
+    Write {
+        slot: u32,
+        rp: ReturnPath,
+        data: Vec<u8>,
+    },
+    ExecLoad {
+        rp: ReturnPath,
+        block: u64,
+    },
+    Fsync {
+        rp: ReturnPath,
+        ino: u64,
+        remaining: u32,
+    },
 }
 
 /// Result of driving a continuation one step.
@@ -149,7 +164,12 @@ impl VfsServer {
     /// Creates a VFS with the given block-cache capacity and cooperative
     /// thread count.
     pub fn new(topo: Topology, cache_cap: usize, threads: u32) -> Self {
-        VfsServer { topo, cache_cap, threads, h: None }
+        VfsServer {
+            topo,
+            cache_cap,
+            threads,
+            h: None,
+        }
     }
 
     fn h(&self) -> Handles {
@@ -181,7 +201,8 @@ impl VfsServer {
         }
         let stamp = h.cache_stamp.get(ctx.heap_ref());
         h.cache_stamp.set(ctx.heap(), stamp + 1);
-        h.cache.insert(ctx.heap(), block, CacheBlock { data, dirty, stamp });
+        h.cache
+            .insert(ctx.heap(), block, CacheBlock { data, dirty, stamp });
     }
 
     /// Evicts the oldest block (FIFO by insertion stamp). A dirty victim is
@@ -205,7 +226,13 @@ impl VfsServer {
             let victim = h.cache.remove(ctx.heap(), &b).expect("victim just seen");
             if victim.dirty {
                 // The write travels with the message; no thread waits for it.
-                ctx.send_request(self.topo.disk, OsMsg::DiskWrite { block: b, data: victim.data });
+                ctx.send_request(
+                    self.topo.disk,
+                    OsMsg::DiskWrite {
+                        block: b,
+                        data: victim.data,
+                    },
+                );
             }
         }
     }
@@ -287,12 +314,27 @@ impl VfsServer {
         Some((slot, of))
     }
 
-    fn install_fd(&self, pid: u32, target: OpenTarget, flags: OpenFlags, ctx: &mut Ctx<'_, OsMsg>) -> Option<u32> {
+    fn install_fd(
+        &self,
+        pid: u32,
+        target: OpenTarget,
+        flags: OpenFlags,
+        ctx: &mut Ctx<'_, OsMsg>,
+    ) -> Option<u32> {
         let h = self.h();
         let fd = self.alloc_fd(pid, ctx)?;
         let slot = h.next_slot.get(ctx.heap_ref());
         h.next_slot.set(ctx.heap(), slot + 1);
-        h.oft.insert(ctx.heap(), slot, OpenFile { target, offset: 0, flags, refs: 1 });
+        h.oft.insert(
+            ctx.heap(),
+            slot,
+            OpenFile {
+                target,
+                offset: 0,
+                flags,
+                refs: 1,
+            },
+        );
         h.fds.insert(ctx.heap(), (pid, fd), slot);
         Some(fd)
     }
@@ -313,7 +355,10 @@ impl VfsServer {
                     ctx.reply(rp, OsMsg::ROk);
                     Step::Done
                 } else {
-                    Step::Need { block, cont: VfsCont::ExecLoad { rp, block } }
+                    Step::Need {
+                        block,
+                        cont: VfsCont::ExecLoad { rp, block },
+                    }
                 }
             }
             VfsCont::Fsync { .. } => unreachable!("fsync is driven by its own path"),
@@ -342,14 +387,20 @@ impl VfsServer {
         }
         // Value probe: a fail-silent fault here perturbs the effective
         // read length (an off-by-N bug), silently returning wrong data.
-        let n = ctx.site_val("vfs.read.len", u64::from(len).min(size - off)).min(size - off).max(1);
+        let n = ctx
+            .site_val("vfs.read.len", u64::from(len).min(size - off))
+            .min(size - off)
+            .max(1);
         let b0 = off / BLOCK_SIZE as u64;
         let b1 = (off + n - 1) / BLOCK_SIZE as u64;
         // Ensure phase: every mapped block must be cached.
         for idx in b0..=b1 {
             if let Some(block) = h.file_blocks.get(ctx.heap_ref(), &(ino, idx)) {
                 if !h.cache.contains_key(ctx.heap_ref(), &block) {
-                    return Step::Need { block, cont: VfsCont::Read { slot, rp, len } };
+                    return Step::Need {
+                        block,
+                        cont: VfsCont::Read { slot, rp, len },
+                    };
                 }
             }
         }
@@ -366,7 +417,7 @@ impl VfsServer {
                     let bytes = self.cached(block, ctx.heap_ref()).expect("ensured above");
                     data.extend_from_slice(&bytes[s..e]);
                 }
-                None => data.extend(std::iter::repeat(0u8).take(e - s)),
+                None => data.extend(std::iter::repeat_n(0u8, e - s)),
             }
         }
         h.oft.update(ctx.heap(), &slot, |f| f.offset = off + n);
@@ -420,7 +471,10 @@ impl VfsServer {
             }
             if let Some(block) = h.file_blocks.get(ctx.heap_ref(), &(ino, idx)) {
                 if !h.cache.contains_key(ctx.heap_ref(), &block) {
-                    return Step::Need { block, cont: VfsCont::Write { slot, rp, data } };
+                    return Step::Need {
+                        block,
+                        cont: VfsCont::Write { slot, rp, data },
+                    };
                 }
             }
         }
@@ -593,7 +647,14 @@ impl VfsServer {
     // Inline operations
     // ------------------------------------------------------------------
 
-    fn open(&self, pid: Pid, path: &str, flags: OpenFlags, rp: ReturnPath, ctx: &mut Ctx<'_, OsMsg>) {
+    fn open(
+        &self,
+        pid: Pid,
+        path: &str,
+        flags: OpenFlags,
+        rp: ReturnPath,
+        ctx: &mut Ctx<'_, OsMsg>,
+    ) {
         let h = self.h();
         ctx.site("vfs.open.entry");
         let (parent, leaf, ino) = match self.resolve(path, ctx.heap_ref()) {
@@ -605,7 +666,10 @@ impl VfsServer {
         };
         let ino = match ino {
             Some(i) => {
-                let node = h.inodes.get(ctx.heap_ref(), &i).expect("resolved inode exists");
+                let node = h
+                    .inodes
+                    .get(ctx.heap_ref(), &i)
+                    .expect("resolved inode exists");
                 if matches!(node.kind, InodeKind::Dir { .. }) {
                     ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EISDIR)));
                     return;
@@ -613,7 +677,8 @@ impl VfsServer {
                 if flags.truncate {
                     ctx.site("vfs.open.truncate");
                     self.free_file_blocks(i, ctx);
-                    h.inodes.update(ctx.heap(), &i, |n| n.kind = InodeKind::File { size: 0 });
+                    h.inodes
+                        .update(ctx.heap(), &i, |n| n.kind = InodeKind::File { size: 0 });
                 }
                 i
             }
@@ -624,7 +689,13 @@ impl VfsServer {
                 }
                 let i = h.next_ino.get(ctx.heap_ref());
                 h.next_ino.set(ctx.heap(), i + 1);
-                h.inodes.insert(ctx.heap(), i, Inode { kind: InodeKind::File { size: 0 } });
+                h.inodes.insert(
+                    ctx.heap(),
+                    i,
+                    Inode {
+                        kind: InodeKind::File { size: 0 },
+                    },
+                );
                 h.inodes.update(ctx.heap(), &parent, |n| {
                     if let InodeKind::Dir { entries } = &mut n.kind {
                         entries.insert(leaf.clone(), i);
@@ -650,7 +721,9 @@ impl VfsServer {
     /// just the one that drops the last slot reference.
     fn close_slot(&self, slot: u32, ctx: &mut Ctx<'_, OsMsg>) {
         let h = self.h();
-        let Some(of) = h.oft.get(ctx.heap_ref(), &slot) else { return };
+        let Some(of) = h.oft.get(ctx.heap_ref(), &slot) else {
+            return;
+        };
         match of.target {
             OpenTarget::File { .. } => {}
             OpenTarget::PipeR { id } => {
@@ -734,7 +807,12 @@ impl VfsServer {
         h.pipes.insert(
             ctx.heap(),
             id,
-            Pipe { buf: Vec::new(), readers: 1, writers: 1, waiting: Vec::new() },
+            Pipe {
+                buf: Vec::new(),
+                readers: 1,
+                writers: 1,
+                waiting: Vec::new(),
+            },
         );
         let Some(rfd) = self.install_fd(pid.0, OpenTarget::PipeR { id }, OpenFlags::RDONLY, ctx)
         else {
@@ -742,8 +820,13 @@ impl VfsServer {
             ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EMFILE)));
             return;
         };
-        let wflags =
-            OpenFlags { read: false, write: true, create: false, truncate: false, append: false };
+        let wflags = OpenFlags {
+            read: false,
+            write: true,
+            create: false,
+            truncate: false,
+            append: false,
+        };
         let Some(wfd) = self.install_fd(pid.0, OpenTarget::PipeW { id }, wflags, ctx) else {
             // Roll the read end back by hand.
             if let Some(slot) = h.fds.remove(ctx.heap(), &(pid.0, rfd)) {
@@ -775,7 +858,11 @@ impl VfsServer {
             ctx.reply(rp, OsMsg::UserReply(SysReply::Data(Vec::new())));
         } else {
             h.pipes.update(ctx.heap(), &id, |p| {
-                p.waiting.push(BlockedRead { pid: pid.0, rp, len });
+                p.waiting.push(BlockedRead {
+                    pid: pid.0,
+                    rp,
+                    len,
+                });
             });
             ctx.site("vfs.pipe.read_block");
         }
@@ -847,7 +934,11 @@ impl VfsServer {
             Ok((_, _, Some(ino))) => {
                 let node = h.inodes.get(ctx.heap_ref(), &ino).expect("resolved");
                 let st = match node.kind {
-                    InodeKind::File { size } => FileStat { size, is_dir: false, nlink: 1 },
+                    InodeKind::File { size } => FileStat {
+                        size,
+                        is_dir: false,
+                        nlink: 1,
+                    },
                     InodeKind::Dir { ref entries } => FileStat {
                         size: 0,
                         is_dir: true,
@@ -865,16 +956,18 @@ impl VfsServer {
         let h = self.h();
         ctx.site("vfs.mkdir.entry");
         match self.resolve(path, ctx.heap_ref()) {
-            Ok((_, _, Some(_))) => {
-                ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EEXIST)))
-            }
+            Ok((_, _, Some(_))) => ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EEXIST))),
             Ok((parent, leaf, None)) => {
                 let i = h.next_ino.get(ctx.heap_ref());
                 h.next_ino.set(ctx.heap(), i + 1);
                 h.inodes.insert(
                     ctx.heap(),
                     i,
-                    Inode { kind: InodeKind::Dir { entries: BTreeMap::new() } },
+                    Inode {
+                        kind: InodeKind::Dir {
+                            entries: BTreeMap::new(),
+                        },
+                    },
                 );
                 h.inodes.update(ctx.heap(), &parent, |n| {
                     if let InodeKind::Dir { entries } = &mut n.kind {
@@ -1005,7 +1098,9 @@ impl VfsServer {
         let dirty: Vec<u64> = blocks
             .into_iter()
             .filter(|b| {
-                h.cache.with(ctx.heap_ref(), b, |c| c.dirty).unwrap_or(false)
+                h.cache
+                    .with(ctx.heap_ref(), b, |c| c.dirty)
+                    .unwrap_or(false)
             })
             .collect();
         if dirty.is_empty() {
@@ -1014,7 +1109,14 @@ impl VfsServer {
         }
         let Some(tid) = h.pool.activate(ctx.heap()) else {
             ctx.site("vfs.fsync.backlog");
-            h.backlog.push(ctx.heap(), VfsCont::Fsync { rp, ino, remaining: u32::MAX });
+            h.backlog.push(
+                ctx.heap(),
+                VfsCont::Fsync {
+                    rp,
+                    ino,
+                    remaining: u32::MAX,
+                },
+            );
             return;
         };
         ctx.site("vfs.fsync.flush");
@@ -1029,7 +1131,15 @@ impl VfsServer {
                 h.disk_waits.insert(ctx.heap(), id.0, (tid.0, 0));
             }
         }
-        h.pool.yield_blocked(ctx.heap(), tid, VfsCont::Fsync { rp, ino, remaining: n });
+        h.pool.yield_blocked(
+            ctx.heap(),
+            tid,
+            VfsCont::Fsync {
+                rp,
+                ino,
+                remaining: n,
+            },
+        );
         ctx.yield_window();
     }
 
@@ -1044,17 +1154,17 @@ impl VfsServer {
         let h = self.h();
         ctx.site("vfs.forkdup.entry");
         let entries: Vec<(u32, u32)> = h.fds.with_map(ctx.heap_ref(), |m| {
-            m.range((parent.0, 0)..(parent.0 + 1, 0)).map(|(k, v)| (k.1, *v)).collect()
+            m.range((parent.0, 0)..(parent.0 + 1, 0))
+                .map(|(k, v)| (k.1, *v))
+                .collect()
         });
-        let mut dup_count = 0u32;
-        for (fd, slot) in entries {
+        for (dup_count, (fd, slot)) in entries.into_iter().enumerate() {
             if dup_count == 1 {
                 // Mid-duplication fault: the child holds only part of the
                 // descriptor table, with drifted pipe counts, unless the
                 // whole transaction is rolled back.
                 ctx.site("vfs.forkdup.fd");
             }
-            dup_count += 1;
             h.fds.insert(ctx.heap(), (child.0, fd), slot);
             let target = h.oft.update(ctx.heap(), &slot, |f| {
                 f.refs += 1;
@@ -1079,7 +1189,9 @@ impl VfsServer {
         ctx.site("vfs.cleanup.entry");
         // Close every descriptor of the departed process.
         let keys: Vec<(u32, u32)> = h.fds.with_map(ctx.heap_ref(), |m| {
-            m.range((pid.0, 0)..(pid.0 + 1, 0)).map(|(k, _)| *k).collect()
+            m.range((pid.0, 0)..(pid.0 + 1, 0))
+                .map(|(k, _)| *k)
+                .collect()
         });
         for k in keys {
             if let Some(slot) = h.fds.remove(ctx.heap(), &k) {
@@ -1093,7 +1205,9 @@ impl VfsServer {
                 .pipes
                 .update(ctx.heap(), &id, |p| {
                     let (mine, rest): (Vec<BlockedRead>, Vec<BlockedRead>) =
-                        std::mem::take(&mut p.waiting).into_iter().partition(|w| w.pid == pid.0);
+                        std::mem::take(&mut p.waiting)
+                            .into_iter()
+                            .partition(|w| w.pid == pid.0);
                     p.waiting = rest;
                     mine
                 })
@@ -1130,9 +1244,14 @@ impl VfsServer {
                         OpenTarget::PipeW { .. } => {
                             ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EBADF)))
                         }
-                        OpenTarget::File { .. } => {
-                            self.run_or_park(VfsCont::Read { slot, rp, len: *len }, ctx)
-                        }
+                        OpenTarget::File { .. } => self.run_or_park(
+                            VfsCont::Read {
+                                slot,
+                                rp,
+                                len: *len,
+                            },
+                            ctx,
+                        ),
                     },
                     None => ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EBADF))),
                 }
@@ -1150,7 +1269,11 @@ impl VfsServer {
                             ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EBADF)))
                         }
                         OpenTarget::File { .. } => self.run_or_park(
-                            VfsCont::Write { slot, rp, data: bytes.clone() },
+                            VfsCont::Write {
+                                slot,
+                                rp,
+                                data: bytes.clone(),
+                            },
                             ctx,
                         ),
                     },
@@ -1173,11 +1296,35 @@ impl Server<OsMsg> for VfsServer {
         let mut root_entries = BTreeMap::new();
         let inodes = heap.alloc_map::<u64, Inode>("vfs.inodes");
         // Pre-create /tmp and /bin.
-        inodes.insert(heap, 2, Inode { kind: InodeKind::Dir { entries: BTreeMap::new() } });
-        inodes.insert(heap, 3, Inode { kind: InodeKind::Dir { entries: BTreeMap::new() } });
+        inodes.insert(
+            heap,
+            2,
+            Inode {
+                kind: InodeKind::Dir {
+                    entries: BTreeMap::new(),
+                },
+            },
+        );
+        inodes.insert(
+            heap,
+            3,
+            Inode {
+                kind: InodeKind::Dir {
+                    entries: BTreeMap::new(),
+                },
+            },
+        );
         root_entries.insert("tmp".to_string(), 2);
         root_entries.insert("bin".to_string(), 3);
-        inodes.insert(heap, ROOT_INO, Inode { kind: InodeKind::Dir { entries: root_entries } });
+        inodes.insert(
+            heap,
+            ROOT_INO,
+            Inode {
+                kind: InodeKind::Dir {
+                    entries: root_entries,
+                },
+            },
+        );
         let h = Handles {
             ops: heap.alloc_cell("vfs.ops", 0),
             stats: heap.alloc_map("vfs.stats"),
@@ -1204,9 +1351,7 @@ impl Server<OsMsg> for VfsServer {
     fn handle(&mut self, msg: &Message<OsMsg>, ctx: &mut Ctx<'_, OsMsg>) {
         match &msg.payload {
             OsMsg::User { pid, call } => self.user_call(*pid, call, msg.return_path(), ctx),
-            OsMsg::VfsExecLoad { pid: _, prog } => {
-                self.exec_load(prog, msg.return_path(), ctx)
-            }
+            OsMsg::VfsExecLoad { pid: _, prog } => self.exec_load(prog, msg.return_path(), ctx),
             OsMsg::VfsCleanup { pid } | OsMsg::VfsCleanupSelf { pid } => self.cleanup(*pid, ctx),
             OsMsg::VfsForkDup { parent, child } => {
                 self.fork_dup(*parent, *child, msg.return_path(), ctx)

@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 
 use osiris_checkpoint::{Heap, PCell, PMap, PVec};
-use osiris_kernel::abi::{Errno, Pid, Syscall, SysReply};
+use osiris_kernel::abi::{Errno, Pid, SysReply, Syscall};
 use osiris_kernel::{Ctx, Message, ReturnPath, Server};
 
 use crate::proto::OsMsg;
@@ -58,7 +58,11 @@ pub struct VmManager {
 impl VmManager {
     /// Creates a VM manager with a frame pool of `total_frames` pages.
     pub fn new(topo: Topology, total_frames: u64) -> Self {
-        VmManager { topo, total_frames, h: None }
+        VmManager {
+            topo,
+            total_frames,
+            h: None,
+        }
     }
 
     fn h(&self) -> Handles {
@@ -82,7 +86,10 @@ impl VmManager {
             if i == 1 {
                 ctx.site("vm.alloc.frame");
             }
-            let idx = h.free_list.pop(ctx.heap()).expect("free_frames said enough");
+            let idx = h
+                .free_list
+                .pop(ctx.heap())
+                .expect("free_frames said enough");
             h.frames.set(ctx.heap(), idx as usize, pid);
             taken.push(idx);
         }
@@ -98,7 +105,8 @@ impl VmManager {
             h.frames.set(ctx.heap(), idx as usize, 0);
             h.free_list.push(ctx.heap(), idx);
         }
-        h.free_frames.update(ctx.heap(), |f| *f += indices.len() as u64);
+        h.free_frames
+            .update(ctx.heap(), |f| *f += indices.len() as u64);
     }
 
     /// Deferred bookkeeping performed after the reply has been sent: by
@@ -110,7 +118,8 @@ impl VmManager {
         let h = self.h();
         let now = ctx.now();
         h.ops.update(ctx.heap(), |n| *n += 1);
-        h.next_mapping.update(ctx.heap(), |m| *m = m.wrapping_add(0));
+        h.next_mapping
+            .update(ctx.heap(), |m| *m = m.wrapping_add(0));
         h.free_frames.update(ctx.heap(), |f| *f = f.wrapping_add(0));
         h.ops.update(ctx.heap(), |n| *n = n.wrapping_add(0));
         let _ = now;
@@ -129,8 +138,8 @@ impl VmManager {
                 };
                 // Value probe: a perturbed target size is the classic
                 // fail-silent accounting bug (caught later by the audit).
-                let new = ctx.site_val("vm.brk.target", (space.data_pages as i64 + pages) as u64)
-                    as i64;
+                let new =
+                    ctx.site_val("vm.brk.target", (space.data_pages as i64 + pages) as u64) as i64;
                 if new < 0 {
                     ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::EINVAL)));
                     return;
@@ -209,9 +218,7 @@ impl VmManager {
                 // Purely read-only: fully recoverable end to end.
                 ctx.site("vm.stat");
                 match h.spaces.get(ctx.heap_ref(), &pid.0) {
-                    Some(s) => {
-                        ctx.reply(rp, OsMsg::UserReply(SysReply::Val(s.resident() as i64)))
-                    }
+                    Some(s) => ctx.reply(rp, OsMsg::UserReply(SysReply::Val(s.resident() as i64))),
                     None => ctx.reply(rp, OsMsg::UserReply(SysReply::Err(Errno::ESRCH))),
                 }
             }
@@ -245,11 +252,17 @@ impl Server<OsMsg> for VmManager {
         };
         self.h = Some(h);
         // Address space for init (pid 1), which exists from boot.
-        let taken = self.alloc_frames(1, IMG_PAGES, ctx).expect("boot frames available");
+        let taken = self
+            .alloc_frames(1, IMG_PAGES, ctx)
+            .expect("boot frames available");
         self.h().spaces.insert(
             ctx.heap(),
             1,
-            Space { data_pages: IMG_PAGES, mappings: BTreeMap::new(), frames: taken },
+            Space {
+                data_pages: IMG_PAGES,
+                mappings: BTreeMap::new(),
+                frames: taken,
+            },
         );
     }
 
@@ -298,7 +311,11 @@ impl Server<OsMsg> for VmManager {
                 h.spaces.insert(
                     ctx.heap(),
                     pid.0,
-                    Space { data_pages: IMG_PAGES, mappings: BTreeMap::new(), frames: taken },
+                    Space {
+                        data_pages: IMG_PAGES,
+                        mappings: BTreeMap::new(),
+                        frames: taken,
+                    },
                 );
                 ctx.site("vm.exec_reset.commit");
                 ctx.reply(msg.return_path(), OsMsg::ROk);

@@ -7,9 +7,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 use osiris_core::PolicyKind;
 use osiris_kernel::abi::{Errno, OpenFlags, SeekFrom};
-use osiris_kernel::{
-    FaultEffect, FaultHook, Host, Probe, ProgramRegistry, RunOutcome,
-};
+use osiris_kernel::{FaultEffect, FaultHook, Host, Probe, ProgramRegistry, RunOutcome};
 use osiris_servers::{Os, OsConfig};
 
 struct CrashOnce {
@@ -65,7 +63,10 @@ fn disk_crash_mid_read_is_recovered_and_degrades_to_eio() {
         Ok(_) => 0,
         Err(_) => 1,
     });
-    let mut os = Os::new(OsConfig { vm_frames: 1024, ..Default::default() });
+    let mut os = Os::new(OsConfig {
+        vm_frames: 1024,
+        ..Default::default()
+    });
     os.set_fault_hook(Box::new(CrashOnce {
         site: "disk.read.queue",
         fired: AtomicBool::new(false),
@@ -93,7 +94,10 @@ fn disk_crash_during_completion_tick_shuts_down() {
         Ok(_) => 0,
         Err(_) => 1,
     });
-    let mut os = Os::new(OsConfig { vm_frames: 1024, ..Default::default() });
+    let mut os = Os::new(OsConfig {
+        vm_frames: 1024,
+        ..Default::default()
+    });
     os.set_fault_hook(Box::new(CrashOnce {
         site: "disk.complete",
         fired: AtomicBool::new(false),
@@ -140,5 +144,8 @@ fn stateless_driver_restart_is_enough_for_clean_blocks() {
     // the fault never fires and the run is clean; the point is that a
     // stateless-driver configuration boots and runs like MINIX 3.
     let outcome = host.run("main", &[]);
-    assert!(matches!(outcome, RunOutcome::Completed { init_code: 0, .. }), "{outcome:?}");
+    assert!(
+        matches!(outcome, RunOutcome::Completed { init_code: 0, .. }),
+        "{outcome:?}"
+    );
 }

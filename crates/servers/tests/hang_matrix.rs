@@ -9,7 +9,11 @@ use osiris_servers::OsConfig;
 use osiris_workloads::run_suite_with;
 
 fn cfg(policy: PolicyKind) -> OsConfig {
-    OsConfig { policy, vm_frames: 2048, ..Default::default() }
+    OsConfig {
+        policy,
+        vm_frames: 2048,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -24,7 +28,10 @@ fn hang_in_ds_is_detected_and_recovered() {
         kind: FaultKind::Hang,
         transient: true,
     };
-    let (outcome, os) = run_suite_with(cfg(PolicyKind::Enhanced), Some(Box::new(Injector::new(&plan))));
+    let (outcome, os) = run_suite_with(
+        cfg(PolicyKind::Enhanced),
+        Some(Box::new(Injector::new(&plan))),
+    );
     // The hung DS is killed by the heartbeat round and recovered; the
     // in-flight put is error-virtualized, so its test fails but the run
     // completes.
@@ -50,12 +57,18 @@ fn transient_hangs_never_produce_uncontrolled_crashes_under_enhanced() {
     let profile = handle.profile().restrict_to(&["ds"]);
     let plans: Vec<FaultPlan> = plan_faults(&profile, FaultModel::FailStop, 1)
         .into_iter()
-        .map(|p| FaultPlan { kind: FaultKind::Hang, transient: true, ..p })
+        .map(|p| FaultPlan {
+            kind: FaultKind::Hang,
+            transient: true,
+            ..p
+        })
         .collect();
     assert!(plans.len() >= 5, "too few DS sites: {}", plans.len());
     for plan in plans {
-        let (outcome, os) =
-            run_suite_with(cfg(PolicyKind::Enhanced), Some(Box::new(Injector::new(&plan))));
+        let (outcome, os) = run_suite_with(
+            cfg(PolicyKind::Enhanced),
+            Some(Box::new(Injector::new(&plan))),
+        );
         if let RunOutcome::Shutdown(kind) = &outcome {
             assert!(
                 matches!(kind, ShutdownKind::Controlled(_)),
@@ -65,8 +78,17 @@ fn transient_hangs_never_produce_uncontrolled_crashes_under_enhanced() {
             );
         }
         if outcome.completed() {
-            assert!(os.audit().is_empty(), "audit after {:?}: {:?}", plan, os.audit());
+            assert!(
+                os.audit().is_empty(),
+                "audit after {:?}: {:?}",
+                plan,
+                os.audit()
+            );
         }
-        assert!(os.metrics().hangs >= 1, "the hang never fired for {:?}", plan);
+        assert!(
+            os.metrics().hangs >= 1,
+            "the hang never fired for {:?}",
+            plan
+        );
     }
 }

@@ -85,13 +85,11 @@ fn enhanced_kill_behaves_like_enhanced_elsewhere() {
     // A crash before any send still recovers by error virtualization.
     osiris_kernel::install_quiet_panic_hook();
     let mut registry = ProgramRegistry::new();
-    registry.register("main", |sys| {
-        match sys.fork_run(|_c| 0) {
-            Err(osiris_kernel::abi::Errno::ECRASH) => 0,
-            other => {
-                let _ = other;
-                1
-            }
+    registry.register("main", |sys| match sys.fork_run(|_c| 0) {
+        Err(osiris_kernel::abi::Errno::ECRASH) => 0,
+        other => {
+            let _ = other;
+            1
         }
     });
     let mut os = Os::new(OsConfig::with_policy(PolicyKind::EnhancedKill));
@@ -101,7 +99,10 @@ fn enhanced_kill_behaves_like_enhanced_elsewhere() {
     }));
     let mut host = Host::new(os, registry);
     let outcome = host.run("main", &[]);
-    assert!(matches!(outcome, RunOutcome::Completed { init_code: 0, .. }), "{outcome:?}");
+    assert!(
+        matches!(outcome, RunOutcome::Completed { init_code: 0, .. }),
+        "{outcome:?}"
+    );
 }
 
 #[test]

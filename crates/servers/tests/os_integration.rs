@@ -108,11 +108,9 @@ fn fork_run_closure() {
 fn exec_replaces_image() {
     let (outcome, os) = run_one(|sys| {
         let child = sys
-            .fork_run(|csys| {
-                match csys.exec("child_echo", &["a", "b", "c"]) {
-                    Err(e) => panic!("exec failed: {e}"),
-                    Ok(never) => match never {},
-                }
+            .fork_run(|csys| match csys.exec("child_echo", &["a", "b", "c"]) {
+                Err(e) => panic!("exec failed: {e}"),
+                Ok(never) => match never {},
             })
             .unwrap();
         assert_eq!(sys.waitpid(child).unwrap(), 3);
@@ -132,7 +130,10 @@ fn file_write_read_roundtrip() {
         assert_eq!(sys.read(fd, 64).unwrap(), b"", "second read hits EOF");
         sys.close(fd).unwrap();
         sys.unlink("/tmp/a.txt").unwrap();
-        assert_eq!(sys.open("/tmp/a.txt", OpenFlags::RDONLY).unwrap_err(), Errno::ENOENT);
+        assert_eq!(
+            sys.open("/tmp/a.txt", OpenFlags::RDONLY).unwrap_err(),
+            Errno::ENOENT
+        );
         0
     });
     expect_clean(&outcome, &os);
@@ -207,7 +208,7 @@ fn directories_stat_rename() {
         sys.rename("/tmp/d/f", "/tmp/d/g").unwrap();
         assert_eq!(sys.stat("/tmp/d/f").unwrap_err(), Errno::ENOENT);
         assert_eq!(sys.stat("/tmp/d/g").unwrap().size, 3);
-        assert_eq!(sys.readdir("/tmp").unwrap().contains(&"d".to_string()), true);
+        assert!(sys.readdir("/tmp").unwrap().contains(&"d".to_string()));
         0
     });
     expect_clean(&outcome, &os);
@@ -236,7 +237,10 @@ fn fsync_flushes_dirty_blocks() {
     });
     expect_clean(&outcome, &os);
     let disk = os.reports().into_iter().find(|r| r.name == "disk").unwrap();
-    assert!(disk.messages >= 4, "fsync must push dirty blocks to the driver");
+    assert!(
+        disk.messages >= 4,
+        "fsync must push dirty blocks to the driver"
+    );
 }
 
 #[test]
@@ -305,7 +309,11 @@ fn dup_shares_offset() {
         sys.write(fd, b"abcdef").unwrap();
         let fd2 = sys.dup(fd).unwrap();
         sys.seek(fd, SeekFrom::Start(2)).unwrap();
-        assert_eq!(sys.read(fd2, 2).unwrap(), b"cd", "dup shares the file offset");
+        assert_eq!(
+            sys.read(fd2, 2).unwrap(),
+            b"cd",
+            "dup shares the file offset"
+        );
         sys.close(fd).unwrap();
         assert_eq!(sys.read(fd2, 2).unwrap(), b"ef", "slot survives one close");
         sys.close(fd2).unwrap();
@@ -357,8 +365,14 @@ fn signals_mask_and_pending() {
         let pending = sys.sigpending().unwrap();
         assert!(pending.contains(&Signal::SigTerm));
         assert!(pending.contains(&Signal::SigUsr1));
-        assert!(sys.sigpending().unwrap().is_empty(), "pending set was cleared");
-        assert_eq!(sys.sigmask(Signal::SigKill, true).unwrap_err(), Errno::EINVAL);
+        assert!(
+            sys.sigpending().unwrap().is_empty(),
+            "pending set was cleared"
+        );
+        assert_eq!(
+            sys.sigmask(Signal::SigKill, true).unwrap_err(),
+            Errno::EINVAL
+        );
         0
     });
     expect_clean(&outcome, &os);
@@ -393,7 +407,10 @@ fn sleep_advances_virtual_time() {
 #[test]
 fn waitpid_non_child_is_echild() {
     let (outcome, os) = run_one(|sys| {
-        assert_eq!(sys.waitpid(osiris_kernel::abi::Pid(999)).unwrap_err(), Errno::ECHILD);
+        assert_eq!(
+            sys.waitpid(osiris_kernel::abi::Pid(999)).unwrap_err(),
+            Errno::ECHILD
+        );
         0
     });
     expect_clean(&outcome, &os);
@@ -411,7 +428,10 @@ struct CrashOnce {
 
 impl CrashOnce {
     fn new(site: &'static str) -> Self {
-        CrashOnce { site, fired: AtomicBool::new(false) }
+        CrashOnce {
+            site,
+            fired: AtomicBool::new(false),
+        }
     }
 }
 
@@ -486,15 +506,13 @@ fn pessimistic_policy_shuts_down_where_enhanced_recovers() {
     // `pm.spawn.load_sent` runs after the read-only VfsExecLoad request:
     // enhanced keeps the window open (recovers), pessimistic closed it at
     // the send (controlled shutdown).
-    let prog: fn(&mut osiris_kernel::Sys) -> i32 = |sys| {
-        match sys.spawn("child_ok", &[]) {
-            Err(Errno::ECRASH) => 0,
-            Ok(child) => {
-                let _ = sys.waitpid(child);
-                0
-            }
-            Err(e) => panic!("unexpected error {e}"),
+    let prog: fn(&mut osiris_kernel::Sys) -> i32 = |sys| match sys.spawn("child_ok", &[]) {
+        Err(Errno::ECRASH) => 0,
+        Ok(child) => {
+            let _ = sys.waitpid(child);
+            0
         }
+        Err(e) => panic!("unexpected error {e}"),
     };
     let (enhanced, os) = run_with_crash(PolicyKind::Enhanced, "pm.spawn.load_sent", prog);
     assert!(enhanced.completed(), "enhanced: {:?}", enhanced);
@@ -502,7 +520,10 @@ fn pessimistic_policy_shuts_down_where_enhanced_recovers() {
 
     let (pessimistic, _) = run_with_crash(PolicyKind::Pessimistic, "pm.spawn.load_sent", prog);
     assert!(
-        matches!(pessimistic, RunOutcome::Shutdown(ShutdownKind::Controlled(_))),
+        matches!(
+            pessimistic,
+            RunOutcome::Shutdown(ShutdownKind::Controlled(_))
+        ),
         "pessimistic: {:?}",
         pessimistic
     );
@@ -582,7 +603,9 @@ fn vfs_crash_in_window_recovers() {
     let (outcome, os) = run_with_crash(PolicyKind::Enhanced, "vfs.open.entry", |sys| {
         match sys.open("/tmp/x", OpenFlags::CREATE) {
             Err(Errno::ECRASH) => {
-                let fd = sys.open("/tmp/x", OpenFlags::CREATE).expect("VFS recovered");
+                let fd = sys
+                    .open("/tmp/x", OpenFlags::CREATE)
+                    .expect("VFS recovered");
                 sys.write(fd, b"ok").unwrap();
                 sys.close(fd).unwrap();
                 0
@@ -622,7 +645,9 @@ fn hung_server_is_detected_by_heartbeat_and_recovered() {
         }
     });
     let mut os = Os::new(OsConfig::with_policy(PolicyKind::Enhanced));
-    os.set_fault_hook(Box::new(HangOnce { fired: AtomicBool::new(false) }));
+    os.set_fault_hook(Box::new(HangOnce {
+        fired: AtomicBool::new(false),
+    }));
     let mut host = Host::new(os, registry);
     let outcome = host.run("main", &[]);
     assert!(outcome.completed(), "outcome: {:?}", outcome);

@@ -18,7 +18,10 @@ struct CrashOnce {
 
 impl CrashOnce {
     fn new(site: &'static str) -> Self {
-        CrashOnce { site, fired: AtomicBool::new(false) }
+        CrashOnce {
+            site,
+            fired: AtomicBool::new(false),
+        }
     }
 }
 
@@ -91,7 +94,11 @@ fn run_cell(policy: PolicyKind, site: &'static str, prog: &'static str) -> (RunO
         0
     });
 
-    let mut os = Os::new(OsConfig { policy, vm_frames: 1024, ..Default::default() });
+    let mut os = Os::new(OsConfig {
+        policy,
+        vm_frames: 1024,
+        ..Default::default()
+    });
     os.set_fault_hook(Box::new(CrashOnce::new(site)));
     let mut host = Host::new(os, registry);
     let outcome = host.run(prog, &[]);
@@ -147,8 +154,18 @@ fn pm_fork_after_vm_send_shuts_down_under_both() {
 fn pm_spawn_phase1_distinguishes_the_policies() {
     // After the read-only VfsExecLoad send: enhanced still recovers,
     // pessimistic has already closed its window.
-    assert_cell(PolicyKind::Enhanced, "pm.spawn.load_sent", "drive_spawn", Expect::Recovered);
-    assert_cell(PolicyKind::Pessimistic, "pm.spawn.load_sent", "drive_spawn", Expect::Shutdown);
+    assert_cell(
+        PolicyKind::Enhanced,
+        "pm.spawn.load_sent",
+        "drive_spawn",
+        Expect::Recovered,
+    );
+    assert_cell(
+        PolicyKind::Pessimistic,
+        "pm.spawn.load_sent",
+        "drive_spawn",
+        Expect::Shutdown,
+    );
 }
 
 #[test]
@@ -162,7 +179,12 @@ fn pm_spawn_continuation_phases_shut_down() {
 
 #[test]
 fn pm_post_reply_bookkeeping_shuts_down() {
-    assert_cell(PolicyKind::Enhanced, "pm.post.account", "drive_fork", Expect::Shutdown);
+    assert_cell(
+        PolicyKind::Enhanced,
+        "pm.post.account",
+        "drive_fork",
+        Expect::Shutdown,
+    );
 }
 
 // ---------------- VM ----------------
@@ -179,7 +201,12 @@ fn vm_user_call_sites_recover() {
 fn vm_mid_allocation_crash_rolls_back_cleanly() {
     // The torn-transaction site: rollback must leave frame accounting
     // balanced (the audit inside assert_cell checks it).
-    assert_cell(PolicyKind::Enhanced, "vm.alloc.frame", "drive_brk", Expect::Recovered);
+    assert_cell(
+        PolicyKind::Enhanced,
+        "vm.alloc.frame",
+        "drive_brk",
+        Expect::Recovered,
+    );
 }
 
 // ---------------- VFS ----------------
@@ -195,8 +222,18 @@ fn vfs_open_sites_recover() {
 
 #[test]
 fn ds_put_after_announce_distinguishes_the_policies() {
-    assert_cell(PolicyKind::Enhanced, "ds.put.commit", "drive_ds", Expect::Recovered);
-    assert_cell(PolicyKind::Pessimistic, "ds.put.commit", "drive_ds", Expect::Shutdown);
+    assert_cell(
+        PolicyKind::Enhanced,
+        "ds.put.commit",
+        "drive_ds",
+        Expect::Recovered,
+    );
+    assert_cell(
+        PolicyKind::Pessimistic,
+        "ds.put.commit",
+        "drive_ds",
+        Expect::Shutdown,
+    );
 }
 
 #[test]
@@ -221,12 +258,23 @@ fn recovery_restores_state_exactly() {
             Err(Errno::ECRASH) => {}
             other => panic!("expected ECRASH, got {other:?}"),
         }
-        assert_eq!(sys.ds_get("stable").unwrap(), b"before", "pre-crash state survives");
-        assert_eq!(sys.ds_get("victim").unwrap_err(), Errno::ENOKEY, "crashed put rolled back");
+        assert_eq!(
+            sys.ds_get("stable").unwrap(),
+            b"before",
+            "pre-crash state survives"
+        );
+        assert_eq!(
+            sys.ds_get("victim").unwrap_err(),
+            Errno::ENOKEY,
+            "crashed put rolled back"
+        );
         sys.ds_put("victim", b"second try").unwrap();
         0
     });
-    let mut os = Os::new(OsConfig { vm_frames: 1024, ..Default::default() });
+    let mut os = Os::new(OsConfig {
+        vm_frames: 1024,
+        ..Default::default()
+    });
     struct SecondPut {
         puts_seen: u32,
     }
@@ -244,7 +292,10 @@ fn recovery_restores_state_exactly() {
     os.set_fault_hook(Box::new(SecondPut { puts_seen: 0 }));
     let mut host = Host::new(os, registry);
     let outcome = host.run("main", &[]);
-    assert!(matches!(outcome, RunOutcome::Completed { init_code: 0, .. }), "{outcome:?}");
+    assert!(
+        matches!(outcome, RunOutcome::Completed { init_code: 0, .. }),
+        "{outcome:?}"
+    );
 }
 
 // ---------------- baselines for contrast ----------------
@@ -268,7 +319,11 @@ fn stateless_loses_earlier_state() {
         let _ = sys.ds_put("trigger", b"x"); // crashes; DS restarts fresh
         i32::from(sys.ds_get("persisted").is_ok()) // 1 => state survived (bad)
     });
-    let mut os = Os::new(OsConfig { policy: PolicyKind::Stateless, vm_frames: 1024, ..Default::default() });
+    let mut os = Os::new(OsConfig {
+        policy: PolicyKind::Stateless,
+        vm_frames: 1024,
+        ..Default::default()
+    });
     struct SecondPut(u32);
     impl FaultHook for SecondPut {
         fn on_site(&mut self, probe: &Probe) -> FaultEffect {
@@ -286,7 +341,10 @@ fn stateless_loses_earlier_state() {
     let outcome = host.run("main", &[]);
     match outcome {
         RunOutcome::Completed { init_code, .. } => {
-            assert_eq!(init_code, 0, "stateless restart must have wiped the earlier key")
+            assert_eq!(
+                init_code, 0,
+                "stateless restart must have wiped the earlier key"
+            )
         }
         other => panic!("{other:?}"),
     }

@@ -4,7 +4,7 @@
 //! be made consciously — this test makes it loud.
 
 use osiris_core::{MessageKind, SeepClass};
-use osiris_kernel::abi::{Errno, OpenFlags, Pid, Signal, Syscall, SysReply};
+use osiris_kernel::abi::{Errno, OpenFlags, Pid, Signal, SysReply, Syscall};
 use osiris_kernel::Protocol;
 use osiris_servers::OsMsg;
 
@@ -21,32 +21,105 @@ fn full_classification_matrix() {
         // User syscalls: replyable state-modifying requests, except exit.
         (user(Syscall::GetPid), Request, StateModifying, true),
         (
-            user(Syscall::Open { path: "/x".into(), flags: OpenFlags::RDONLY }),
+            user(Syscall::Open {
+                path: "/x".into(),
+                flags: OpenFlags::RDONLY,
+            }),
             Request,
             StateModifying,
             true,
         ),
-        (user(Syscall::Kill { pid: Pid(2), sig: Signal::SigKill }), Request, StateModifying, true),
-        (user(Syscall::Exit { code: 0 }), Request, StateModifying, false),
-        // PM → VM.
-        (OsMsg::VmFork { parent: Pid(1), child: Pid(2) }, Request, StateModifying, true),
-        (OsMsg::VmExecReset { pid: Pid(1) }, Request, StateModifying, true),
-        (OsMsg::VmFree { pid: Pid(1) }, Notification, StateModifying, false),
-        (OsMsg::VmFreeSelf { pid: Pid(1) }, Notification, RequesterScoped, false),
-        (OsMsg::VmUsage { pid: Pid(1) }, Request, NonStateModifying, true),
-        // PM → VFS.
         (
-            OsMsg::VfsExecLoad { pid: Pid(1), prog: "sh".into() },
+            user(Syscall::Kill {
+                pid: Pid(2),
+                sig: Signal::SigKill,
+            }),
+            Request,
+            StateModifying,
+            true,
+        ),
+        (
+            user(Syscall::Exit { code: 0 }),
+            Request,
+            StateModifying,
+            false,
+        ),
+        // PM → VM.
+        (
+            OsMsg::VmFork {
+                parent: Pid(1),
+                child: Pid(2),
+            },
+            Request,
+            StateModifying,
+            true,
+        ),
+        (
+            OsMsg::VmExecReset { pid: Pid(1) },
+            Request,
+            StateModifying,
+            true,
+        ),
+        (
+            OsMsg::VmFree { pid: Pid(1) },
+            Notification,
+            StateModifying,
+            false,
+        ),
+        (
+            OsMsg::VmFreeSelf { pid: Pid(1) },
+            Notification,
+            RequesterScoped,
+            false,
+        ),
+        (
+            OsMsg::VmUsage { pid: Pid(1) },
             Request,
             NonStateModifying,
             true,
         ),
-        (OsMsg::VfsCleanup { pid: Pid(1) }, Notification, StateModifying, false),
-        (OsMsg::VfsCleanupSelf { pid: Pid(1) }, Notification, RequesterScoped, false),
-        (OsMsg::VfsForkDup { parent: Pid(1), child: Pid(2) }, Request, StateModifying, true),
+        // PM → VFS.
+        (
+            OsMsg::VfsExecLoad {
+                pid: Pid(1),
+                prog: "sh".into(),
+            },
+            Request,
+            NonStateModifying,
+            true,
+        ),
+        (
+            OsMsg::VfsCleanup { pid: Pid(1) },
+            Notification,
+            StateModifying,
+            false,
+        ),
+        (
+            OsMsg::VfsCleanupSelf { pid: Pid(1) },
+            Notification,
+            RequesterScoped,
+            false,
+        ),
+        (
+            OsMsg::VfsForkDup {
+                parent: Pid(1),
+                child: Pid(2),
+            },
+            Request,
+            StateModifying,
+            true,
+        ),
         // VFS → disk.
         (OsMsg::DiskRead { block: 0 }, Request, StateModifying, true),
-        (OsMsg::DiskWrite { block: 0, data: vec![] }, Request, StateModifying, true),
+        (
+            OsMsg::DiskWrite {
+                block: 0,
+                data: vec![],
+            },
+            Request,
+            StateModifying,
+            true,
+        ),
         // Replies: conservative.
         (OsMsg::ROk, Reply, StateModifying, false),
         (OsMsg::RVal(1), Reply, StateModifying, false),
@@ -56,23 +129,58 @@ fn full_classification_matrix() {
         (OsMsg::Pong, Reply, StateModifying, false),
         (OsMsg::UserReply(SysReply::Ok), Reply, StateModifying, false),
         // DS → RS trace: the one non-state-modifying notification.
-        (OsMsg::Announce { key: "k".into() }, Notification, NonStateModifying, false),
+        (
+            OsMsg::Announce { key: "k".into() },
+            Notification,
+            NonStateModifying,
+            false,
+        ),
         // RS → DS status persistence: state-modifying.
-        (OsMsg::StatusPublish { round: 1 }, Notification, StateModifying, false),
+        (
+            OsMsg::StatusPublish { round: 1 },
+            Notification,
+            StateModifying,
+            false,
+        ),
         // Heartbeats.
         (OsMsg::Ping, Request, NonStateModifying, true),
         // Kernel and timer notifications.
-        (OsMsg::CrashNotify { target: 1 }, Notification, NonStateModifying, false),
-        (OsMsg::KillRequester { pid: Pid(1) }, Notification, NonStateModifying, false),
+        (
+            OsMsg::CrashNotify { target: 1 },
+            Notification,
+            NonStateModifying,
+            false,
+        ),
+        (
+            OsMsg::KillRequester { pid: Pid(1) },
+            Notification,
+            NonStateModifying,
+            false,
+        ),
         (OsMsg::HeartbeatTick, Notification, NonStateModifying, false),
-        (OsMsg::DiskTick { token: 1 }, Notification, NonStateModifying, false),
-        (OsMsg::SleepTick { token: 1 }, Notification, NonStateModifying, false),
+        (
+            OsMsg::DiskTick { token: 1 },
+            Notification,
+            NonStateModifying,
+            false,
+        ),
+        (
+            OsMsg::SleepTick { token: 1 },
+            Notification,
+            NonStateModifying,
+            false,
+        ),
     ];
     for (msg, kind, class, reply_possible) in matrix {
         let seep = msg.seep();
         assert_eq!(seep.kind, kind, "{}: kind", msg.label());
         assert_eq!(seep.class, class, "{}: class", msg.label());
-        assert_eq!(seep.reply_possible, reply_possible, "{}: reply", msg.label());
+        assert_eq!(
+            seep.reply_possible,
+            reply_possible,
+            "{}: reply",
+            msg.label()
+        );
     }
 }
 
@@ -83,7 +191,11 @@ fn only_announce_and_reads_keep_enhanced_windows_open() {
     // window — the list must be exactly the read-only/trace set.
     let open_keepers = [
         OsMsg::VmUsage { pid: Pid(1) }.seep(),
-        OsMsg::VfsExecLoad { pid: Pid(1), prog: "x".into() }.seep(),
+        OsMsg::VfsExecLoad {
+            pid: Pid(1),
+            prog: "x".into(),
+        }
+        .seep(),
         OsMsg::Ping.seep(),
         OsMsg::Announce { key: "k".into() }.seep(),
     ];
@@ -91,8 +203,16 @@ fn only_announce_and_reads_keep_enhanced_windows_open() {
         assert!(Enhanced.send_keeps_window_open(&seep), "{seep:?}");
     }
     let closers = [
-        OsMsg::VmFork { parent: Pid(1), child: Pid(2) }.seep(),
-        OsMsg::DiskWrite { block: 0, data: vec![] }.seep(),
+        OsMsg::VmFork {
+            parent: Pid(1),
+            child: Pid(2),
+        }
+        .seep(),
+        OsMsg::DiskWrite {
+            block: 0,
+            data: vec![],
+        }
+        .seep(),
         OsMsg::VmFreeSelf { pid: Pid(1) }.seep(), // scoped: closes under plain enhanced
         OsMsg::ROk.seep(),
         OsMsg::StatusPublish { round: 0 }.seep(),

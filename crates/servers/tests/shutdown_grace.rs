@@ -8,7 +8,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use osiris_core::PolicyKind;
 use osiris_kernel::abi::Errno;
 use osiris_kernel::{
-    FaultEffect, FaultHook, Host, ProgramRegistry, RunOutcome, ShutdownKind, Probe,
+    FaultEffect, FaultHook, Host, Probe, ProgramRegistry, RunOutcome, ShutdownKind,
 };
 use osiris_servers::{Os, OsConfig};
 
@@ -86,7 +86,11 @@ fn grace_window_lets_the_application_save() {
     }
     // …but the save made it into the data store before the end: DS served
     // both the pre-crash put and the grace-window put (plus their writes).
-    let ds = os.reports().into_iter().find(|r| r.name == "ds").expect("ds exists");
+    let ds = os
+        .reports()
+        .into_iter()
+        .find(|r| r.name == "ds")
+        .expect("ds exists");
     assert!(ds.messages >= 2, "the grace-window DsPut was served");
     assert!(ds.writes >= 2, "both puts mutated the store");
 }
@@ -98,7 +102,7 @@ fn non_save_syscalls_are_refused_during_grace() {
     registry.register("main", |sys| {
         let _ = sys.ds_put("x", b"1");
         let _ = sys.fork_run(|_c| 0); // triggers the unrecoverable crash
-        // During grace, a spawn (not save-class) must fail with ESHUTDOWN…
+                                      // During grace, a spawn (not save-class) must fail with ESHUTDOWN…
         let spawn_err = sys.spawn("main", &[]).unwrap_err();
         // …while a save-class put still succeeds.
         let save_ok = sys.ds_put("x", b"2").is_ok();

@@ -4,7 +4,7 @@
 
 use osiris_core::PolicyKind;
 use osiris_kernel::abi::{OpenFlags, SeekFrom};
-use osiris_kernel::{Host, OsEngine, ProgramRegistry, RunOutcome};
+use osiris_kernel::{Host, ProgramRegistry, RunOutcome};
 use osiris_servers::{Os, OsConfig};
 
 /// Each child writes a multi-block file, evicts it from the cache by
@@ -91,7 +91,10 @@ fn backlog_drains_when_threads_saturate() {
     );
     assert!(os.audit().is_empty(), "{:?}", os.audit());
     let disk = os.reports().into_iter().find(|r| r.name == "disk").unwrap();
-    assert!(disk.messages > 12, "the readers must have gone through the disk");
+    assert!(
+        disk.messages > 12,
+        "the readers must have gone through the disk"
+    );
 }
 
 #[test]

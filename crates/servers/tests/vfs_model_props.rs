@@ -8,8 +8,10 @@ use std::sync::{Arc, Mutex};
 
 use osiris_kernel::abi::{Errno, Fd, OpenFlags, SeekFrom};
 use osiris_kernel::{Host, ProgramRegistry, Sys};
+use osiris_rng::Rng;
 use osiris_servers::{Os, OsConfig};
-use proptest::prelude::*;
+
+const CASES: u64 = 40;
 
 #[derive(Clone, Debug)]
 enum FsOp {
@@ -23,18 +25,20 @@ enum FsOp {
     StatSize(u8),
 }
 
-fn op_strategy() -> impl Strategy<Value = FsOp> {
-    prop_oneof![
-        any::<u8>().prop_map(FsOp::Open),
-        any::<u8>().prop_map(FsOp::Close),
-        (any::<u8>(), proptest::collection::vec(any::<u8>(), 1..2048))
-            .prop_map(|(f, d)| FsOp::Write(f, d)),
-        (any::<u8>(), any::<u16>()).prop_map(|(f, n)| FsOp::Read(f, n % 4096)),
-        (any::<u8>(), any::<u16>()).prop_map(|(f, o)| FsOp::SeekStart(f, o % 8192)),
-        any::<u8>().prop_map(FsOp::Truncate),
-        any::<u8>().prop_map(FsOp::Unlink),
-        any::<u8>().prop_map(FsOp::StatSize),
-    ]
+fn gen_op(r: &mut Rng) -> FsOp {
+    match r.below(8) {
+        0 => FsOp::Open(r.byte()),
+        1 => FsOp::Close(r.byte()),
+        2 => {
+            let len = 1 + r.below_usize(2047);
+            FsOp::Write(r.byte(), r.bytes(len))
+        }
+        3 => FsOp::Read(r.byte(), (r.next_u64() % 4096) as u16),
+        4 => FsOp::SeekStart(r.byte(), (r.next_u64() % 8192) as u16),
+        5 => FsOp::Truncate(r.byte()),
+        6 => FsOp::Unlink(r.byte()),
+        _ => FsOp::StatSize(r.byte()),
+    }
 }
 
 fn pathname(p: u8) -> String {
@@ -51,7 +55,11 @@ struct Model {
 
 impl Model {
     fn count_open(&self, path: &str) -> usize {
-        self.open.iter().flatten().filter(|(p, _)| p == path).count()
+        self.open
+            .iter()
+            .flatten()
+            .filter(|(p, _)| p == path)
+            .count()
     }
 }
 
@@ -153,7 +161,9 @@ fn model_step(m: &mut Model, op: &FsOp) -> String {
 fn real_step(sys: &mut Sys, fds: &mut Vec<Option<Fd>>, op: &FsOp) -> String {
     match op {
         FsOp::Open(p) => {
-            let fd = sys.open(&pathname(*p), OpenFlags::RDWR_CREATE).expect("open");
+            let fd = sys
+                .open(&pathname(*p), OpenFlags::RDWR_CREATE)
+                .expect("open");
             fds.push(Some(fd));
             format!("open {}", fds.len() - 1)
         }
@@ -202,7 +212,9 @@ fn real_step(sys: &mut Sys, fds: &mut Vec<Option<Fd>>, op: &FsOp) -> String {
             }
         }
         FsOp::Truncate(p) => {
-            let fd = sys.open(&pathname(*p), OpenFlags::CREATE).expect("trunc-open");
+            let fd = sys
+                .open(&pathname(*p), OpenFlags::CREATE)
+                .expect("trunc-open");
             sys.close(fd).expect("trunc-close");
             "trunc ok".into()
         }
@@ -220,14 +232,14 @@ fn real_step(sys: &mut Sys, fds: &mut Vec<Option<Fd>>, op: &FsOp) -> String {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+#[test]
+fn vfs_matches_reference_model() {
+    osiris_kernel::install_quiet_panic_hook();
+    for case in 0..CASES {
+        let mut r = Rng::new(0xF5F5_0001 ^ case);
+        let n = 1 + r.below_usize(49);
+        let ops: Vec<FsOp> = (0..n).map(|_| gen_op(&mut r)).collect();
 
-    #[test]
-    fn vfs_matches_reference_model(
-        ops in proptest::collection::vec(op_strategy(), 1..50),
-    ) {
-        osiris_kernel::install_quiet_panic_hook();
         // Expected trace, from the model.
         let mut model = Model::default();
         let expected: Vec<String> = ops.iter().map(|op| model_step(&mut model, op)).collect();
@@ -246,11 +258,15 @@ proptest! {
             }
             0
         });
-        let os = Os::new(OsConfig { vm_frames: 512, vfs_cache_blocks: 8, ..Default::default() });
+        let os = Os::new(OsConfig {
+            vm_frames: 512,
+            vfs_cache_blocks: 8,
+            ..Default::default()
+        });
         let mut host = Host::new(os, registry);
         let outcome = host.run("fsprop", &[]);
-        prop_assert!(outcome.completed(), "{:?}", outcome);
+        assert!(outcome.completed(), "case seed {case}: {outcome:?}");
         let got = observed.lock().unwrap().clone();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case seed {case}");
     }
 }

@@ -13,8 +13,8 @@ pub mod unixbench;
 
 pub use testsuite::build_testsuite;
 pub use unixbench::{
-    run_benchmark_with,
-    default_iters, register_unixbench, run_benchmark, BenchResult, BENCHMARKS, CYCLES_PER_SECOND,
+    default_iters, register_unixbench, run_benchmark, run_benchmark_with, BenchResult, BENCHMARKS,
+    CYCLES_PER_SECOND,
 };
 
 use osiris_core::PolicyKind;

@@ -27,7 +27,12 @@ fn check(cond: bool) -> Result<(), Errno> {
 }
 
 /// Registers one Result-returning test under `name`.
-fn reg(registry: &mut ProgramRegistry, names: &mut Vec<&'static str>, name: &'static str, f: TestFn) {
+fn reg(
+    registry: &mut ProgramRegistry,
+    names: &mut Vec<&'static str>,
+    name: &'static str,
+    f: TestFn,
+) {
     registry.register(name, move |sys| match f(sys) {
         Ok(()) => 0,
         Err(_) => 1,
@@ -799,7 +804,6 @@ fn t_compute(sys: &mut Sys) -> Result<(), Errno> {
     Ok(())
 }
 
-
 fn t_rename_across_dirs(sys: &mut Sys) -> Result<(), Errno> {
     sys.mkdir("/tmp/t_rsrc")?;
     sys.mkdir("/tmp/t_rdst")?;
@@ -900,10 +904,12 @@ fn t_pipe_two_writers(sys: &mut Sys) -> Result<(), Errno> {
 }
 
 fn t_exec_args(sys: &mut Sys) -> Result<(), Errno> {
-    let child = sys.fork_run(|c| match c.exec("helper_argc", &["1", "2", "3", "4", "5"]) {
-        Err(_) => -1,
-        Ok(never) => match never {},
-    })?;
+    let child = sys.fork_run(
+        |c| match c.exec("helper_argc", &["1", "2", "3", "4", "5"]) {
+            Err(_) => -1,
+            Ok(never) => match never {},
+        },
+    )?;
     check(sys.waitpid(child)? == 5)
 }
 
@@ -995,7 +1001,9 @@ pub fn build_testsuite() -> (ProgramRegistry, Vec<&'static str>) {
         Ok(never) => match never {},
     });
     registry.register("helper_touch", |sys| {
-        let Some(path) = sys.args().first().cloned() else { return 1 };
+        let Some(path) = sys.args().first().cloned() else {
+            return 1;
+        };
         match sys.open(&path, OpenFlags::CREATE) {
             Ok(fd) => {
                 let ok = sys.write(fd, b"data").is_ok();
@@ -1010,37 +1018,102 @@ pub fn build_testsuite() -> (ProgramRegistry, Vec<&'static str>) {
     reg(&mut registry, &mut names, "t_getppid", t_getppid);
     reg(&mut registry, &mut names, "t_spawn_basic", t_spawn_basic);
     reg(&mut registry, &mut names, "t_spawn_args", t_spawn_args);
-    reg(&mut registry, &mut names, "t_spawn_missing", t_spawn_missing);
+    reg(
+        &mut registry,
+        &mut names,
+        "t_spawn_missing",
+        t_spawn_missing,
+    );
     reg(&mut registry, &mut names, "t_spawn_many", t_spawn_many);
     reg(&mut registry, &mut names, "t_fork_basic", t_fork_basic);
     reg(&mut registry, &mut names, "t_fork_nested", t_fork_nested);
     reg(&mut registry, &mut names, "t_exec_basic", t_exec_basic);
     reg(&mut registry, &mut names, "t_exec_chain", t_exec_chain);
-    reg(&mut registry, &mut names, "t_wait_any_order", t_wait_any_order);
-    reg(&mut registry, &mut names, "t_wait_specific", t_wait_specific);
+    reg(
+        &mut registry,
+        &mut names,
+        "t_wait_any_order",
+        t_wait_any_order,
+    );
+    reg(
+        &mut registry,
+        &mut names,
+        "t_wait_specific",
+        t_wait_specific,
+    );
     reg(&mut registry, &mut names, "t_wait_echild", t_wait_echild);
-    reg(&mut registry, &mut names, "t_wait_not_my_child", t_wait_not_my_child);
+    reg(
+        &mut registry,
+        &mut names,
+        "t_wait_not_my_child",
+        t_wait_not_my_child,
+    );
     reg(&mut registry, &mut names, "t_zombie_reap", t_zombie_reap);
     reg(&mut registry, &mut names, "t_exit_codes", t_exit_codes);
-    reg(&mut registry, &mut names, "t_orphan_reparent", t_orphan_reparent);
+    reg(
+        &mut registry,
+        &mut names,
+        "t_orphan_reparent",
+        t_orphan_reparent,
+    );
     reg(&mut registry, &mut names, "t_kill_basic", t_kill_basic);
-    reg(&mut registry, &mut names, "t_sigterm_default", t_sigterm_default);
-    reg(&mut registry, &mut names, "t_sigterm_masked", t_sigterm_masked);
-    reg(&mut registry, &mut names, "t_sigusr_pending", t_sigusr_pending);
-    reg(&mut registry, &mut names, "t_sigmask_invalid", t_sigmask_invalid);
+    reg(
+        &mut registry,
+        &mut names,
+        "t_sigterm_default",
+        t_sigterm_default,
+    );
+    reg(
+        &mut registry,
+        &mut names,
+        "t_sigterm_masked",
+        t_sigterm_masked,
+    );
+    reg(
+        &mut registry,
+        &mut names,
+        "t_sigusr_pending",
+        t_sigusr_pending,
+    );
+    reg(
+        &mut registry,
+        &mut names,
+        "t_sigmask_invalid",
+        t_sigmask_invalid,
+    );
     reg(&mut registry, &mut names, "t_kill_esrch", t_kill_esrch);
     reg(&mut registry, &mut names, "t_sleep_basic", t_sleep_basic);
     reg(&mut registry, &mut names, "t_sleep_kill", t_sleep_kill);
-    reg(&mut registry, &mut names, "t_brk_grow_shrink", t_brk_grow_shrink);
+    reg(
+        &mut registry,
+        &mut names,
+        "t_brk_grow_shrink",
+        t_brk_grow_shrink,
+    );
     reg(&mut registry, &mut names, "t_brk_invalid", t_brk_invalid);
     reg(&mut registry, &mut names, "t_mmap_munmap", t_mmap_munmap);
-    reg(&mut registry, &mut names, "t_munmap_invalid", t_munmap_invalid);
+    reg(
+        &mut registry,
+        &mut names,
+        "t_munmap_invalid",
+        t_munmap_invalid,
+    );
     reg(&mut registry, &mut names, "t_vmstat_fork", t_vmstat_fork);
     reg(&mut registry, &mut names, "t_mmap_large", t_mmap_large);
-    reg(&mut registry, &mut names, "t_create_write_read", t_create_write_read);
+    reg(
+        &mut registry,
+        &mut names,
+        "t_create_write_read",
+        t_create_write_read,
+    );
     reg(&mut registry, &mut names, "t_read_eof", t_read_eof);
     reg(&mut registry, &mut names, "t_open_enoent", t_open_enoent);
-    reg(&mut registry, &mut names, "t_open_truncate", t_open_truncate);
+    reg(
+        &mut registry,
+        &mut names,
+        "t_open_truncate",
+        t_open_truncate,
+    );
     reg(&mut registry, &mut names, "t_append", t_append);
     reg(&mut registry, &mut names, "t_seek_all", t_seek_all);
     reg(&mut registry, &mut names, "t_seek_invalid", t_seek_invalid);
@@ -1049,12 +1122,32 @@ pub fn build_testsuite() -> (ProgramRegistry, Vec<&'static str>) {
     reg(&mut registry, &mut names, "t_mkdir_eexist", t_mkdir_eexist);
     reg(&mut registry, &mut names, "t_mkdir_nested", t_mkdir_nested);
     reg(&mut registry, &mut names, "t_readdir_root", t_readdir_root);
-    reg(&mut registry, &mut names, "t_readdir_on_file", t_readdir_on_file);
-    reg(&mut registry, &mut names, "t_stat_file_dir", t_stat_file_dir);
-    reg(&mut registry, &mut names, "t_unlink_enoent", t_unlink_enoent);
+    reg(
+        &mut registry,
+        &mut names,
+        "t_readdir_on_file",
+        t_readdir_on_file,
+    );
+    reg(
+        &mut registry,
+        &mut names,
+        "t_stat_file_dir",
+        t_stat_file_dir,
+    );
+    reg(
+        &mut registry,
+        &mut names,
+        "t_unlink_enoent",
+        t_unlink_enoent,
+    );
     reg(&mut registry, &mut names, "t_unlink_busy", t_unlink_busy);
     reg(&mut registry, &mut names, "t_rename", t_rename);
-    reg(&mut registry, &mut names, "t_rename_missing", t_rename_missing);
+    reg(
+        &mut registry,
+        &mut names,
+        "t_rename_missing",
+        t_rename_missing,
+    );
     reg(&mut registry, &mut names, "t_bigfile", t_bigfile);
     reg(&mut registry, &mut names, "t_fsync", t_fsync);
     reg(&mut registry, &mut names, "t_many_files", t_many_files);
@@ -1063,39 +1156,144 @@ pub fn build_testsuite() -> (ProgramRegistry, Vec<&'static str>) {
     reg(&mut registry, &mut names, "t_pipe_basic", t_pipe_basic);
     reg(&mut registry, &mut names, "t_pipe_eof", t_pipe_eof);
     reg(&mut registry, &mut names, "t_pipe_epipe", t_pipe_epipe);
-    reg(&mut registry, &mut names, "t_pipe_blocking", t_pipe_blocking);
-    reg(&mut registry, &mut names, "t_pipe_pingpong", t_pipe_pingpong);
+    reg(
+        &mut registry,
+        &mut names,
+        "t_pipe_blocking",
+        t_pipe_blocking,
+    );
+    reg(
+        &mut registry,
+        &mut names,
+        "t_pipe_pingpong",
+        t_pipe_pingpong,
+    );
     reg(&mut registry, &mut names, "t_pipe_chunks", t_pipe_chunks);
-    reg(&mut registry, &mut names, "t_pipe_dup_ends", t_pipe_dup_ends);
+    reg(
+        &mut registry,
+        &mut names,
+        "t_pipe_dup_ends",
+        t_pipe_dup_ends,
+    );
     reg(&mut registry, &mut names, "t_ds_put_get", t_ds_put_get);
     reg(&mut registry, &mut names, "t_ds_del", t_ds_del);
-    reg(&mut registry, &mut names, "t_ds_list_prefix", t_ds_list_prefix);
+    reg(
+        &mut registry,
+        &mut names,
+        "t_ds_list_prefix",
+        t_ds_list_prefix,
+    );
     reg(&mut registry, &mut names, "t_ds_overwrite", t_ds_overwrite);
     reg(&mut registry, &mut names, "t_ds_many", t_ds_many);
     reg(&mut registry, &mut names, "t_shell_like", t_shell_like);
-    reg(&mut registry, &mut names, "t_fd_cleanup_on_exit", t_fd_cleanup_on_exit);
-    reg(&mut registry, &mut names, "t_kill_blocked_reader", t_kill_blocked_reader);
-    reg(&mut registry, &mut names, "t_concurrent_disk", t_concurrent_disk);
-    reg(&mut registry, &mut names, "t_exec_load_cache", t_exec_load_cache);
+    reg(
+        &mut registry,
+        &mut names,
+        "t_fd_cleanup_on_exit",
+        t_fd_cleanup_on_exit,
+    );
+    reg(
+        &mut registry,
+        &mut names,
+        "t_kill_blocked_reader",
+        t_kill_blocked_reader,
+    );
+    reg(
+        &mut registry,
+        &mut names,
+        "t_concurrent_disk",
+        t_concurrent_disk,
+    );
+    reg(
+        &mut registry,
+        &mut names,
+        "t_exec_load_cache",
+        t_exec_load_cache,
+    );
     reg(&mut registry, &mut names, "t_mixed_stress", t_mixed_stress);
     reg(&mut registry, &mut names, "t_compute", t_compute);
-    reg(&mut registry, &mut names, "t_rename_across_dirs", t_rename_across_dirs);
-    reg(&mut registry, &mut names, "t_rename_onto_existing", t_rename_onto_existing);
+    reg(
+        &mut registry,
+        &mut names,
+        "t_rename_across_dirs",
+        t_rename_across_dirs,
+    );
+    reg(
+        &mut registry,
+        &mut names,
+        "t_rename_onto_existing",
+        t_rename_onto_existing,
+    );
     reg(&mut registry, &mut names, "t_deep_paths", t_deep_paths);
     reg(&mut registry, &mut names, "t_stat_nlink", t_stat_nlink);
-    reg(&mut registry, &mut names, "t_mkdir_under_file", t_mkdir_under_file);
-    reg(&mut registry, &mut names, "t_write_to_rdonly_fd", t_write_to_rdonly_fd);
-    reg(&mut registry, &mut names, "t_seek_past_eof_then_write", t_seek_past_eof_then_write);
-    reg(&mut registry, &mut names, "t_pipe_two_writers", t_pipe_two_writers);
+    reg(
+        &mut registry,
+        &mut names,
+        "t_mkdir_under_file",
+        t_mkdir_under_file,
+    );
+    reg(
+        &mut registry,
+        &mut names,
+        "t_write_to_rdonly_fd",
+        t_write_to_rdonly_fd,
+    );
+    reg(
+        &mut registry,
+        &mut names,
+        "t_seek_past_eof_then_write",
+        t_seek_past_eof_then_write,
+    );
+    reg(
+        &mut registry,
+        &mut names,
+        "t_pipe_two_writers",
+        t_pipe_two_writers,
+    );
     reg(&mut registry, &mut names, "t_exec_args", t_exec_args);
-    reg(&mut registry, &mut names, "t_sleep_ordering", t_sleep_ordering);
-    reg(&mut registry, &mut names, "t_unmask_keeps_pending", t_unmask_keeps_pending);
-    reg(&mut registry, &mut names, "t_ds_binary_values", t_ds_binary_values);
-    reg(&mut registry, &mut names, "t_ds_empty_value", t_ds_empty_value);
-    reg(&mut registry, &mut names, "t_vm_fork_after_munmap", t_vm_fork_after_munmap);
-    reg(&mut registry, &mut names, "t_fsync_after_eviction", t_fsync_after_eviction);
+    reg(
+        &mut registry,
+        &mut names,
+        "t_sleep_ordering",
+        t_sleep_ordering,
+    );
+    reg(
+        &mut registry,
+        &mut names,
+        "t_unmask_keeps_pending",
+        t_unmask_keeps_pending,
+    );
+    reg(
+        &mut registry,
+        &mut names,
+        "t_ds_binary_values",
+        t_ds_binary_values,
+    );
+    reg(
+        &mut registry,
+        &mut names,
+        "t_ds_empty_value",
+        t_ds_empty_value,
+    );
+    reg(
+        &mut registry,
+        &mut names,
+        "t_vm_fork_after_munmap",
+        t_vm_fork_after_munmap,
+    );
+    reg(
+        &mut registry,
+        &mut names,
+        "t_fsync_after_eviction",
+        t_fsync_after_eviction,
+    );
     reg(&mut registry, &mut names, "t_readdir_bin", t_readdir_bin);
-    reg(&mut registry, &mut names, "t_relative_path_rejected", t_relative_path_rejected);
+    reg(
+        &mut registry,
+        &mut names,
+        "t_relative_path_rejected",
+        t_relative_path_rejected,
+    );
 
     // The suite driver: runs every test as a child process, counting
     // failures. Exit code = number of failed tests (0 = all passed).

@@ -47,7 +47,11 @@ pub const BENCHMARKS: [&str; 12] = [
 /// retry when "retry" is among the args (the service-disruption mode, where
 /// the benchmark must run to completion under periodic fault load).
 fn setup(sys: &mut Sys) -> (u64, bool) {
-    let n = sys.args().first().and_then(|a| a.parse().ok()).unwrap_or(10);
+    let n = sys
+        .args()
+        .first()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(10);
     let retry = sys.args().iter().any(|a| a == "retry");
     sys.set_retry_ecrash(retry);
     (n, retry)
@@ -372,7 +376,11 @@ pub fn run_benchmark_with<E: OsEngine>(
     let mut host = Host::new(engine, registry).with_config(HostConfig::default());
     let start = host.engine().now();
     let iter_arg = iters.to_string();
-    let args: Vec<&str> = if retry { vec![&iter_arg, "retry"] } else { vec![&iter_arg] };
+    let args: Vec<&str> = if retry {
+        vec![&iter_arg, "retry"]
+    } else {
+        vec![&iter_arg]
+    };
     let outcome = host.run(bench, &args);
     let cycles = host.engine().now().saturating_sub(start).max(1);
     let ok = matches!(outcome, RunOutcome::Completed { init_code: 0, .. });
@@ -386,8 +394,12 @@ pub fn run_benchmark_with<E: OsEngine>(
 }
 
 /// Runs one benchmark without ECRASH retry (the common case).
-pub fn run_benchmark<E: OsEngine>(engine: E, registry: ProgramRegistry, bench: &str, iters: u64)
-    -> BenchResult {
+pub fn run_benchmark<E: OsEngine>(
+    engine: E,
+    registry: ProgramRegistry,
+    bench: &str,
+    iters: u64,
+) -> BenchResult {
     run_benchmark_with(engine, registry, bench, iters, false)
 }
 

@@ -8,8 +8,10 @@ use std::sync::{Arc, Mutex};
 use osiris_kernel::abi::{OpenFlags, SeekFrom};
 use osiris_kernel::{Host, ProgramRegistry, Sys};
 use osiris_monolith::Monolith;
+use osiris_rng::Rng;
 use osiris_servers::{Os, OsConfig};
-use proptest::prelude::*;
+
+const CASES: u64 = 48;
 
 /// One scripted operation. Descriptor-valued operations index into the list
 /// of descriptors opened so far, so scripts stay well-formed on both
@@ -39,40 +41,47 @@ enum Op {
     SigPending,
 }
 
-fn flags_strategy() -> impl Strategy<Value = OpenFlags> {
-    prop_oneof![
-        Just(OpenFlags::RDONLY),
-        Just(OpenFlags::CREATE),
-        Just(OpenFlags::RDWR_CREATE),
-        Just(OpenFlags::APPEND),
-    ]
+fn gen_flags(r: &mut Rng) -> OpenFlags {
+    match r.below(4) {
+        0 => OpenFlags::RDONLY,
+        1 => OpenFlags::CREATE,
+        2 => OpenFlags::RDWR_CREATE,
+        _ => OpenFlags::APPEND,
+    }
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (any::<u8>(), flags_strategy()).prop_map(|(p, f)| Op::Open(p, f)),
-        any::<u8>().prop_map(Op::Close),
-        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..300))
-            .prop_map(|(fd, d)| Op::Write(fd, d)),
-        (any::<u8>(), any::<u16>()).prop_map(|(fd, n)| Op::Read(fd, n % 2048)),
-        (any::<u8>(), any::<i32>()).prop_map(|(fd, o)| Op::Seek(fd, o % 5000)),
-        any::<u8>().prop_map(Op::Unlink),
-        any::<u8>().prop_map(Op::Mkdir),
-        any::<u8>().prop_map(Op::ReadDir),
-        any::<u8>().prop_map(Op::Stat),
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Rename(a, b)),
-        any::<u8>().prop_map(Op::Dup),
-        (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..32))
-            .prop_map(|(k, v)| Op::DsPut(k, v)),
-        any::<u8>().prop_map(Op::DsGet),
-        any::<u8>().prop_map(Op::DsDel),
-        Just(Op::DsList),
-        any::<i8>().prop_map(|d| Op::Brk(d % 8)),
-        any::<u8>().prop_map(|p| Op::Mmap(p % 16)),
-        Just(Op::VmStat),
-        Just(Op::GetPid),
-        Just(Op::SigPending),
-    ]
+fn gen_op(r: &mut Rng) -> Op {
+    match r.below(20) {
+        0 => {
+            let p = r.byte();
+            Op::Open(p, gen_flags(r))
+        }
+        1 => Op::Close(r.byte()),
+        2 => {
+            let len = r.below_usize(300);
+            Op::Write(r.byte(), r.bytes(len))
+        }
+        3 => Op::Read(r.byte(), (r.next_u64() % 2048) as u16),
+        4 => Op::Seek(r.byte(), (r.next_u64() as i32) % 5000),
+        5 => Op::Unlink(r.byte()),
+        6 => Op::Mkdir(r.byte()),
+        7 => Op::ReadDir(r.byte()),
+        8 => Op::Stat(r.byte()),
+        9 => Op::Rename(r.byte(), r.byte()),
+        10 => Op::Dup(r.byte()),
+        11 => {
+            let len = r.below_usize(32);
+            Op::DsPut(r.byte(), r.bytes(len))
+        }
+        12 => Op::DsGet(r.byte()),
+        13 => Op::DsDel(r.byte()),
+        14 => Op::DsList,
+        15 => Op::Brk((r.byte() as i8) % 8),
+        16 => Op::Mmap(r.byte() % 16),
+        17 => Op::VmStat,
+        18 => Op::GetPid,
+        _ => Op::SigPending,
+    }
 }
 
 fn path(p: u8) -> String {
@@ -184,20 +193,22 @@ fn trace_on<E: osiris_kernel::OsEngine>(engine: E, ops: Vec<Op>) -> Vec<String> 
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Any random single-process syscall script produces the same result
-    /// trace on the microkernel OS and the monolith.
-    #[test]
-    fn engines_agree_on_random_scripts(
-        ops in proptest::collection::vec(op_strategy(), 1..40),
-    ) {
+/// Any random single-process syscall script produces the same result trace
+/// on the microkernel OS and the monolith.
+#[test]
+fn engines_agree_on_random_scripts() {
+    for case in 0..CASES {
+        let mut r = Rng::new(0xEA61_0001 ^ case);
+        let n = 1 + r.below_usize(39);
+        let ops: Vec<Op> = (0..n).map(|_| gen_op(&mut r)).collect();
         let osiris_trace = trace_on(
-            Os::new(OsConfig { vm_frames: 1024, ..Default::default() }),
+            Os::new(OsConfig {
+                vm_frames: 1024,
+                ..Default::default()
+            }),
             ops.clone(),
         );
         let monolith_trace = trace_on(Monolith::with_cost(Default::default(), 64, 1024), ops);
-        prop_assert_eq!(osiris_trace, monolith_trace);
+        assert_eq!(osiris_trace, monolith_trace, "case seed {case}");
     }
 }

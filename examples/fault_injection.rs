@@ -33,7 +33,9 @@ fn main() {
     println!("{} faults planned\n", plans.len());
 
     // 3. Inject each fault in its own fresh run, per policy.
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     println!(
         "{:<14} {:>6} {:>6} {:>9} {:>6}   (injecting on {} threads)",
         "policy", "pass", "fail", "shutdown", "crash", threads
@@ -47,7 +49,11 @@ fn main() {
             let mut host = Host::new(os, registry);
             let outcome = host.run("suite", &[]);
             let os = host.into_engine();
-            let violations = if outcome.completed() { os.audit().len() } else { 0 };
+            let violations = if outcome.completed() {
+                os.audit().len()
+            } else {
+                0
+            };
             classify(&outcome, violations)
         });
         let t: Tally = outcomes.into_iter().collect();

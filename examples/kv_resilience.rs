@@ -24,7 +24,8 @@ fn main() {
         for i in 0..KEYS {
             let key = format!("user/{i}");
             let value = format!("value-{i}");
-            sys.ds_put(&key, value.as_bytes()).expect("put succeeds (after retries)");
+            sys.ds_put(&key, value.as_bytes())
+                .expect("put succeeds (after retries)");
         }
         // Verify every key survived the crash storm.
         for i in 0..KEYS {
@@ -46,7 +47,11 @@ fn main() {
     let outcome = host.run("kv_client", &[]);
     let os = host.into_engine();
 
-    let ds = os.reports().into_iter().find(|r| r.name == "ds").expect("ds exists");
+    let ds = os
+        .reports()
+        .into_iter()
+        .find(|r| r.name == "ds")
+        .expect("ds exists");
     println!("outcome:        {outcome:?}");
     println!("DS crashes:     {}", ds.crashes);
     println!("DS recoveries:  {}", ds.recoveries);
@@ -54,9 +59,16 @@ fn main() {
     let violations = os.audit();
     println!(
         "audit:          {}",
-        if violations.is_empty() { "consistent".to_string() } else { format!("{violations:?}") }
+        if violations.is_empty() {
+            "consistent".to_string()
+        } else {
+            format!("{violations:?}")
+        }
     );
     assert!(outcome.completed());
-    assert!(ds.recoveries > 0, "the fault load must actually have crashed DS");
+    assert!(
+        ds.recoveries > 0,
+        "the fault load must actually have crashed DS"
+    );
     assert!(violations.is_empty());
 }

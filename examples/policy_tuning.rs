@@ -68,7 +68,10 @@ fn main() {
     });
 
     println!("recovery coverage (% of executed sites inside windows)\n");
-    println!("{:<8} {:>12} {:>10} {:>10}", "server", "pessimistic", "ping-only", "enhanced");
+    println!(
+        "{:<8} {:>12} {:>10} {:>10}",
+        "server", "pessimistic", "ping-only", "enhanced"
+    );
     for i in 0..pess.len() {
         println!(
             "{:<8} {:>12.1} {:>10.1} {:>10.1}",

@@ -17,7 +17,10 @@ struct CrashForkOnce(AtomicBool);
 impl FaultHook for CrashForkOnce {
     fn on_site(&mut self, probe: &Probe) -> FaultEffect {
         if probe.site == "pm.fork.validate" && !self.0.swap(true, Ordering::Relaxed) {
-            println!("[injector] firing a fail-stop fault at {}::{}", probe.component, probe.site);
+            println!(
+                "[injector] firing a fail-stop fault at {}::{}",
+                probe.component, probe.site
+            );
             FaultEffect::Panic
         } else {
             FaultEffect::None
@@ -31,7 +34,9 @@ fn main() {
     let mut registry = ProgramRegistry::new();
     registry.register("worker", |sys| {
         // Some honest work: a file and a computation.
-        let fd = sys.open("/tmp/out", osiris::kernel::abi::OpenFlags::CREATE).unwrap();
+        let fd = sys
+            .open("/tmp/out", osiris::kernel::abi::OpenFlags::CREATE)
+            .unwrap();
         sys.write(fd, b"results").unwrap();
         sys.close(fd).unwrap();
         sys.compute(10_000);
@@ -75,7 +80,11 @@ fn main() {
     let violations = os.audit();
     println!(
         "audit:     {}",
-        if violations.is_empty() { "globally consistent".to_string() } else { format!("{violations:?}") }
+        if violations.is_empty() {
+            "globally consistent".to_string()
+        } else {
+            format!("{violations:?}")
+        }
     );
     assert!(outcome.completed() && violations.is_empty());
 }

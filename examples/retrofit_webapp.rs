@@ -19,8 +19,8 @@ use osiris::checkpoint::{PCell, PMap};
 use osiris::core::{SeepClass, SeepMeta};
 use osiris::kernel::abi::{Pid, SysReply};
 use osiris::kernel::{
-    Ctx, Endpoint, FaultEffect, FaultHook, Kernel, KernelConfig, Message, Probe, Protocol,
-    Server, SyscallId,
+    Ctx, Endpoint, FaultEffect, FaultHook, Kernel, KernelConfig, Message, Probe, Protocol, Server,
+    SyscallId,
 };
 use osiris::PolicyKind;
 
@@ -29,11 +29,19 @@ use osiris::PolicyKind;
 #[derive(Clone, Debug)]
 enum AppMsg {
     /// Client request to the gateway: place an order.
-    PlaceOrder { user: u32, item: &'static str },
+    PlaceOrder {
+        user: u32,
+        item: &'static str,
+    },
     /// Gateway → sessions: read-only credit check.
-    CheckCredit { user: u32 },
+    CheckCredit {
+        user: u32,
+    },
     /// Gateway → storage: commit the order (state-modifying).
-    Commit { user: u32, item: &'static str },
+    Commit {
+        user: u32,
+        item: &'static str,
+    },
     /// Generic success/value replies.
     ROk,
     RVal(u64),
@@ -141,9 +149,10 @@ impl Server<AppMsg> for Gateway {
                 };
                 ctx.site("gw.order.checked");
                 if *credit == 0 {
-                    ctx.reply(rp, AppMsg::ClientReply(SysReply::Err(
-                        osiris::kernel::abi::Errno::EPERM,
-                    )));
+                    ctx.reply(
+                        rp,
+                        AppMsg::ClientReply(SysReply::Err(osiris::kernel::abi::Errno::EPERM)),
+                    );
                     return;
                 }
                 // Commit is state-modifying: from here on, a crash means a
@@ -163,9 +172,10 @@ impl Server<AppMsg> for Gateway {
                 // retryable error to the client.
                 let Some(reply_to) = msg.reply_to else { return };
                 if let Some((_, _, rp)) = pending.remove(ctx.heap(), &reply_to.0) {
-                    ctx.reply(rp, AppMsg::ClientReply(SysReply::Err(
-                        osiris::kernel::abi::Errno::ECRASH,
-                    )));
+                    ctx.reply(
+                        rp,
+                        AppMsg::ClientReply(SysReply::Err(osiris::kernel::abi::Errno::ECRASH)),
+                    );
                 }
             }
             _ => {}
@@ -196,7 +206,11 @@ impl Server<AppMsg> for Sessions {
     fn handle(&mut self, msg: &Message<AppMsg>, ctx: &mut Ctx<'_, AppMsg>) {
         if let AppMsg::CheckCredit { user } = &msg.payload {
             ctx.site("sess.check");
-            let credit = self.credit.expect("init").get(ctx.heap_ref(), user).unwrap_or(0);
+            let credit = self
+                .credit
+                .expect("init")
+                .get(ctx.heap_ref(), user)
+                .unwrap_or(0);
             ctx.site("sess.reply");
             ctx.reply(msg.return_path(), AppMsg::RVal(credit));
         }
@@ -227,12 +241,17 @@ impl Server<AppMsg> for Storage {
             let next = self.next.expect("init");
             let id = next.get(ctx.heap_ref());
             next.set(ctx.heap(), id + 1);
-            self.orders.expect("init").insert(ctx.heap(), id, (*user, item));
+            self.orders
+                .expect("init")
+                .insert(ctx.heap(), id, (*user, item));
             ctx.reply(msg.return_path(), AppMsg::ROk);
         }
     }
     fn audit_facts(&self, heap: &osiris::Heap) -> Vec<(String, u64)> {
-        vec![("orders".to_string(), self.orders.expect("init").len(heap) as u64)]
+        vec![(
+            "orders".to_string(),
+            self.orders.expect("init").len(heap) as u64,
+        )]
     }
     fn clone_box(&self) -> Box<dyn Server<AppMsg>> {
         Box::new(self.clone())
@@ -260,9 +279,20 @@ fn main() {
     });
     let manager = kernel.register(Box::new(Manager), true);
     let sessions = kernel.register(Box::new(Sessions { credit: None }), false);
-    let storage = kernel.register(Box::new(Storage { orders: None, next: None }), false);
+    let storage = kernel.register(
+        Box::new(Storage {
+            orders: None,
+            next: None,
+        }),
+        false,
+    );
     let gateway = kernel.register(
-        Box::new(Gateway { sessions, storage, pending: None, orders_routed: None }),
+        Box::new(Gateway {
+            sessions,
+            storage,
+            pending: None,
+            orders_routed: None,
+        }),
         false,
     );
     let _ = manager;
@@ -278,12 +308,18 @@ fn main() {
             sid += 1;
             kernel.send_user_request(
                 gateway,
-                AppMsg::PlaceOrder { user, item: "widget" },
+                AppMsg::PlaceOrder {
+                    user,
+                    item: "widget",
+                },
                 SyscallId(sid),
                 Pid(u64::from(user) as u32),
             );
             kernel.pump();
-            let reply = kernel.take_user_replies().pop().expect("one reply per request");
+            let reply = kernel
+                .take_user_replies()
+                .pop()
+                .expect("one reply per request");
             match reply.2 {
                 SysReply::Ok => {
                     placed += 1;
@@ -308,7 +344,10 @@ fn main() {
     println!("orders placed:        {placed}");
     println!("client retries:       {retries} (each = a recovered tier-2 crash)");
     println!("ledger entries:       {orders}");
-    println!("recoveries performed: {}", kernel.metrics().recovered_rollback);
+    println!(
+        "recoveries performed: {}",
+        kernel.metrics().recovered_rollback
+    );
     assert_eq!(placed, 8);
     assert_eq!(orders, 8, "no order lost, none duplicated");
     assert!(retries > 0, "the fault load must have been felt");

@@ -64,7 +64,9 @@ fn microkernel_and_monolith_agree_on_results() {
             sys.seek(fd, SeekFrom::Start(2)).unwrap();
             let part = sys.read(fd, 3).unwrap();
             sys.ds_put("result", &part).unwrap();
-            let child = sys.fork_run(|c| i32::from(c.getpid().unwrap().0 > 1)).unwrap();
+            let child = sys
+                .fork_run(|c| i32::from(c.getpid().unwrap().0 > 1))
+                .unwrap();
             let code = sys.waitpid(child).unwrap();
             let stored = sys.ds_get("result").unwrap();
             let mut acc = code;

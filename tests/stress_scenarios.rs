@@ -18,7 +18,13 @@ struct RotatingCrash {
 
 impl RotatingCrash {
     fn new(targets: Vec<&'static str>, interval: u64) -> Self {
-        RotatingCrash { targets, interval, next_at: interval, cursor: 0, injected: 0 }
+        RotatingCrash {
+            targets,
+            interval,
+            next_at: interval,
+            cursor: 0,
+            injected: 0,
+        }
     }
 }
 
@@ -69,7 +75,10 @@ fn mixed_registry() -> ProgramRegistry {
 #[test]
 fn sustained_rotating_crashes_across_all_servers() {
     osiris::install_quiet_panic_hook();
-    let mut os = Os::new(OsConfig { vm_frames: 2048, ..Default::default() });
+    let mut os = Os::new(OsConfig {
+        vm_frames: 2048,
+        ..Default::default()
+    });
     os.set_fault_hook(Box::new(RotatingCrash::new(
         vec!["pm", "vfs", "vm", "ds"],
         40_000,
@@ -87,11 +96,15 @@ fn sustained_rotating_crashes_across_all_servers() {
         os.metrics().recovered_rollback
     );
     assert_eq!(
-        u64::from(os.metrics().crashes),
+        os.metrics().crashes,
         os.metrics().recovered_rollback + os.metrics().controlled_shutdowns,
         "every crash was either recovered or (never, here) shut down"
     );
-    assert!(os.audit().is_empty(), "no inconsistency accumulates: {:?}", os.audit());
+    assert!(
+        os.audit().is_empty(),
+        "no inconsistency accumulates: {:?}",
+        os.audit()
+    );
     // Every core server but RS should have logged at least one recovery
     // across a long enough run (RS is excluded from the rotation).
     let recovered: Vec<&str> = os
@@ -100,7 +113,10 @@ fn sustained_rotating_crashes_across_all_servers() {
         .filter(|r| r.recoveries > 0)
         .map(|r| r.name)
         .collect();
-    assert!(recovered.len() >= 2, "recoveries spread across servers: {recovered:?}");
+    assert!(
+        recovered.len() >= 2,
+        "recoveries spread across servers: {recovered:?}"
+    );
 }
 
 #[test]
@@ -138,7 +154,10 @@ fn ds_crash_storm_preserves_every_acknowledged_write() {
         }
         i32::from(acked.len() < 100) // the storm must not starve progress
     });
-    let mut os = Os::new(OsConfig { vm_frames: 1024, ..Default::default() });
+    let mut os = Os::new(OsConfig {
+        vm_frames: 1024,
+        ..Default::default()
+    });
     os.set_fault_hook(Box::new(PeriodicCrash::new("ds", 20_000)));
     let mut host = Host::new(os, registry);
     let outcome = host.run("main", &[]);
@@ -185,7 +204,10 @@ fn deep_process_trees_survive_pm_fault_load() {
         }
         0
     });
-    let mut os = Os::new(OsConfig { vm_frames: 2048, ..Default::default() });
+    let mut os = Os::new(OsConfig {
+        vm_frames: 2048,
+        ..Default::default()
+    });
     os.set_fault_hook(Box::new(PeriodicCrash::new("pm", 30_000)));
     let mut host = Host::new(os, registry);
     let outcome = host.run("main", &[]);
