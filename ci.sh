@@ -22,4 +22,14 @@ cargo test -q
 echo "== workspace tests =="
 cargo test -q --workspace
 
+echo "== trace determinism: two identical runs, byte-identical exports =="
+trace_tmp="$(mktemp -d)"
+trap 'rm -rf "$trace_tmp"' EXIT
+OSIRIS_TRACE_OUT="$trace_tmp/a.json" cargo run --release --example quickstart >/dev/null
+OSIRIS_TRACE_OUT="$trace_tmp/b.json" cargo run --release --example quickstart >/dev/null
+diff "$trace_tmp/a.json" "$trace_tmp/b.json"
+
+echo "== bench_trace --check: tracer overhead bounds =="
+cargo run --release -p osiris-bench --bin bench_trace -- --check
+
 echo "ci.sh: all gates passed"

@@ -2,131 +2,15 @@
 //! to its text tables so reproduction runs can be diffed by tooling.
 //!
 //! The emitter is hand-rolled (a tiny value tree + renderer) so the
-//! workspace builds fully offline with no serialization dependencies.
+//! workspace builds fully offline with no serialization dependencies. The
+//! [`Json`] value type itself lives in `osiris-trace` (which also uses it
+//! for the Chrome trace exporter) and is re-exported here.
 
 use crate::experiments::{Fig3Point, SurvivabilityTable, Table1, Table4Row, Table5Row, Table6Row};
 use crate::loc::RcbReport;
+use osiris_trace::HistSummary;
 
-/// A JSON value. Objects preserve insertion order so emitted files diff
-/// stably across runs.
-#[derive(Clone, Debug, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// An integer (kept exact, no float round-trip).
-    Int(i64),
-    /// An unsigned integer.
-    UInt(u64),
-    /// A float; non-finite values render as `null`.
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object (ordered key/value pairs).
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Builds an object from key/value pairs.
-    pub fn obj<const N: usize>(pairs: [(&str, Json); N]) -> Json {
-        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
-    }
-
-    /// Builds an array by converting each item.
-    pub fn arr<T, F: FnMut(&T) -> Json>(items: &[T], f: F) -> Json {
-        Json::Arr(items.iter().map(f).collect())
-    }
-
-    /// Renders with two-space indentation and a trailing newline, the
-    /// layout `reproduce` commits to disk.
-    pub fn pretty(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, 0);
-        out.push('\n');
-        out
-    }
-
-    fn write(&self, out: &mut String, depth: usize) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Int(i) => out.push_str(&i.to_string()),
-            Json::UInt(u) => out.push_str(&u.to_string()),
-            Json::Num(x) if x.is_finite() => {
-                // `{}` on f64 is the shortest exact representation, but
-                // renders integral floats without a decimal point; keep the
-                // point so the value stays typed as a float for readers.
-                let s = format!("{x}");
-                out.push_str(&s);
-                if !s.contains(['.', 'e', 'E']) {
-                    out.push_str(".0");
-                }
-            }
-            Json::Num(_) => out.push_str("null"),
-            Json::Str(s) => write_escaped(out, s),
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    newline_indent(out, depth + 1);
-                    item.write(out, depth + 1);
-                }
-                newline_indent(out, depth);
-                out.push(']');
-            }
-            Json::Obj(pairs) => {
-                if pairs.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push('{');
-                for (i, (k, v)) in pairs.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    newline_indent(out, depth + 1);
-                    write_escaped(out, k);
-                    out.push_str(": ");
-                    v.write(out, depth + 1);
-                }
-                newline_indent(out, depth);
-                out.push('}');
-            }
-        }
-    }
-}
-
-fn newline_indent(out: &mut String, depth: usize) {
-    out.push('\n');
-    for _ in 0..depth {
-        out.push_str("  ");
-    }
-}
-
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
+pub use osiris_trace::Json;
 
 /// JSON mirror of one survivability table (the native types live in
 /// `osiris-faults`, which has no serialization code at all).
@@ -231,12 +115,25 @@ fn table5_json(r: &Table5Row) -> Json {
     ])
 }
 
+/// Renders a histogram summary as an ordered JSON object.
+pub fn hist_json(h: &HistSummary) -> Json {
+    Json::obj([
+        ("count", Json::UInt(h.count)),
+        ("min", Json::UInt(h.min)),
+        ("p50", Json::UInt(h.p50)),
+        ("p99", Json::UInt(h.p99)),
+        ("max", Json::UInt(h.max)),
+        ("mean", Json::UInt(h.mean)),
+    ])
+}
+
 fn table6_json(r: &Table6Row) -> Json {
     Json::obj([
         ("server", Json::Str(r.server.clone())),
         ("base_kb", Json::Num(r.base_kb)),
         ("clone_kb", Json::Num(r.clone_kb)),
         ("undo_kb", Json::Num(r.undo_kb)),
+        ("recovery_latency", hist_json(&r.recovery_latency)),
     ])
 }
 
@@ -289,37 +186,26 @@ impl ResultsJson {
 
 #[cfg(test)]
 mod tests {
-    use super::Json;
+    use super::{hist_json, Json};
+    use osiris_trace::HistSummary;
 
     #[test]
-    fn scalars_render() {
+    fn hist_summary_renders_all_fields() {
+        let h = HistSummary {
+            count: 2,
+            min: 1,
+            max: 4,
+            mean: 2,
+            p50: 1,
+            p99: 4,
+        };
+        let j = hist_json(&h).pretty();
+        assert!(j.contains("\"count\": 2"));
+        assert!(j.contains("\"mean\": 2"));
+    }
+
+    #[test]
+    fn reexported_json_still_renders() {
         assert_eq!(Json::Null.pretty(), "null\n");
-        assert_eq!(Json::Bool(true).pretty(), "true\n");
-        assert_eq!(Json::Int(-3).pretty(), "-3\n");
-        assert_eq!(Json::UInt(u64::MAX).pretty(), format!("{}\n", u64::MAX));
-        assert_eq!(Json::Num(1.5).pretty(), "1.5\n");
-        assert_eq!(
-            Json::Num(2.0).pretty(),
-            "2.0\n",
-            "integral floats keep the point"
-        );
-        assert_eq!(Json::Num(f64::NAN).pretty(), "null\n");
-    }
-
-    #[test]
-    fn strings_escape() {
-        let s = Json::Str("a\"b\\c\nd\te\u{1}".into());
-        assert_eq!(s.pretty(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"\n");
-    }
-
-    #[test]
-    fn nesting_indents() {
-        let doc = Json::obj([
-            ("xs", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
-            ("empty", Json::Arr(vec![])),
-            ("o", Json::obj([("k", Json::Str("v".into()))])),
-        ]);
-        let expect = "{\n  \"xs\": [\n    1,\n    2\n  ],\n  \"empty\": [],\n  \"o\": {\n    \"k\": \"v\"\n  }\n}\n";
-        assert_eq!(doc.pretty(), expect);
     }
 }

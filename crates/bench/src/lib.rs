@@ -11,11 +11,16 @@
 pub mod experiments;
 pub mod json;
 pub mod loc;
+pub mod trace_bench;
 pub mod undo_bench;
 
 pub use experiments::*;
 pub use json::{Json, ResultsJson, SurvivabilityJson};
 pub use loc::{count_workspace_loc, CrateLoc, RcbReport};
+pub use trace_bench::{
+    bench_trace, TraceBenchConfig, TraceBenchResult, TraceModeResult, DISABLED_BOUND_PCT,
+    DISABLED_EPSILON_NS,
+};
 pub use undo_bench::{bench_undo, UndoBenchConfig, UndoBenchResult, UndoModeResult};
 
 /// Geometric mean of a non-empty slice (returns 0 for empty input).

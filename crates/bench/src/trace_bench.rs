@@ -1,0 +1,395 @@
+//! Microbenchmark for the flight-recorder hot path.
+//!
+//! Drives identical logged-write windows through a [`Heap`] under three
+//! tracer configurations and compares nanoseconds per write:
+//!
+//! * **baseline** — no tracer attached; each emit point is one `Option`
+//!   check.
+//! * **disabled** — a [`TraceHandle`] is attached but tracing is off; each
+//!   emit point additionally pays one branch on a bool the heap caches at
+//!   window boundaries (see `Heap::set_tracer`). This is the configuration
+//!   every production run ships with, so its overhead over the baseline is
+//!   the headline number (`bench_trace` enforces ≤2%).
+//! * **enabled** — full recording; each logged write lands one
+//!   [`osiris_trace::TraceEvent`] in the preallocated ring.
+//!
+//! The ring is sized at [`TraceHandle::new`] time, so enabled-mode steady
+//! state must make **zero** allocator calls; when the caller supplies an
+//! allocation counter (see `src/bin/bench_trace.rs`) the harness proves it.
+//!
+//! Per-write deltas in the fraction-of-a-nanosecond range are at the edge
+//! of what wall-clock timing resolves, so each mode keeps the fastest of
+//! several repetitions and the pass criterion accepts either the relative
+//! bound or a small absolute epsilon (see
+//! [`TraceBenchResult::disabled_within_bound`]).
+
+use std::time::Instant;
+
+use osiris_checkpoint::Heap;
+use osiris_rng::Rng;
+use osiris_trace::{TraceConfig, TraceHandle};
+
+use crate::json::Json;
+
+/// Benchmark configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceBenchConfig {
+    /// Recovery windows (mark → writes → rollback) per measured mode.
+    pub windows: u64,
+    /// Logged writes per window.
+    pub writes_per_window: u64,
+    /// Windows run before measuring, to warm caches, the undo arena and
+    /// the trace ring.
+    pub warmup_windows: u64,
+    /// Reads the process-wide allocation count, if the caller installed a
+    /// counting allocator. Used to prove enabled-mode recording makes zero
+    /// allocator calls once the ring exists.
+    pub alloc_count: Option<fn() -> u64>,
+}
+
+impl Default for TraceBenchConfig {
+    fn default() -> Self {
+        TraceBenchConfig {
+            windows: 400,
+            writes_per_window: 4_096,
+            warmup_windows: 8,
+            alloc_count: None,
+        }
+    }
+}
+
+impl TraceBenchConfig {
+    /// A scaled-down configuration for CI gates (`bench_trace --check`):
+    /// large enough to exercise ring wraparound and to keep min-of-reps
+    /// timing stable against scheduler noise, small enough to finish in
+    /// well under a second.
+    pub fn quick() -> TraceBenchConfig {
+        TraceBenchConfig {
+            windows: 100,
+            writes_per_window: 2_048,
+            warmup_windows: 4,
+            alloc_count: None,
+        }
+    }
+}
+
+/// Measurements for one tracer configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceModeResult {
+    /// Nanoseconds per logged write (fastest repetition).
+    pub ns_per_write: f64,
+    /// Logged writes per second implied by `ns_per_write`.
+    pub writes_per_sec: f64,
+    /// Allocator calls during one measured (post-warmup) repetition, if an
+    /// allocation counter was supplied.
+    pub steady_state_allocs: Option<u64>,
+}
+
+/// The full comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceBenchResult {
+    /// Configuration echoed back.
+    pub windows: u64,
+    /// Configuration echoed back.
+    pub writes_per_window: u64,
+    /// No tracer attached.
+    pub baseline: TraceModeResult,
+    /// Tracer attached but off — the shipping configuration.
+    pub disabled: TraceModeResult,
+    /// Full recording.
+    pub enabled: TraceModeResult,
+    /// Events the enabled run actually recorded (post-warmup repetitions).
+    pub events_recorded: u64,
+    /// Whether the enabled run's ring wrapped, i.e. the benchmark exercised
+    /// the steady-state overwrite path rather than only initial fills.
+    pub ring_wrapped: bool,
+}
+
+/// Absolute overhead (ns/write) below which the disabled-tracer check
+/// passes regardless of the relative bound: half a nanosecond per write is
+/// the cost of the relaxed atomic load itself and is unresolvable against
+/// store workloads that finish in a few nanoseconds.
+pub const DISABLED_EPSILON_NS: f64 = 0.5;
+
+/// Relative bound on the disabled-tracer overhead.
+pub const DISABLED_BOUND_PCT: f64 = 2.0;
+
+impl TraceBenchResult {
+    /// Disabled-tracer overhead over the no-tracer baseline, in percent
+    /// (clamped at zero: timing jitter can make the disabled run faster).
+    pub fn disabled_overhead_pct(&self) -> f64 {
+        overhead_pct(self.baseline.ns_per_write, self.disabled.ns_per_write)
+    }
+
+    /// Disabled-tracer overhead in absolute ns/write (clamped at zero).
+    pub fn disabled_overhead_ns(&self) -> f64 {
+        (self.disabled.ns_per_write - self.baseline.ns_per_write).max(0.0)
+    }
+
+    /// Enabled-tracer overhead over the no-tracer baseline, in percent.
+    pub fn enabled_overhead_pct(&self) -> f64 {
+        overhead_pct(self.baseline.ns_per_write, self.enabled.ns_per_write)
+    }
+
+    /// The headline check: the shipping (attached-but-disabled) tracer
+    /// costs at most [`DISABLED_BOUND_PCT`] percent over no tracer at all,
+    /// or at most [`DISABLED_EPSILON_NS`] absolute — whichever is more
+    /// permissive, because on sub-10ns write paths the relative bound is
+    /// finer than the clock.
+    pub fn disabled_within_bound(&self) -> bool {
+        self.disabled_overhead_pct() <= DISABLED_BOUND_PCT
+            || self.disabled_overhead_ns() <= DISABLED_EPSILON_NS
+    }
+
+    /// Renders a human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "flight recorder: {} windows x {} logged writes\n",
+            self.windows, self.writes_per_window
+        ));
+        let row = |name: &str, r: &TraceModeResult| {
+            let allocs = match r.steady_state_allocs {
+                Some(n) => format!("{n}"),
+                None => "-".to_string(),
+            };
+            format!(
+                "{:<22} {:>8.2} ns/write {:>14.0} wr/s {:>8} allocs\n",
+                name, r.ns_per_write, r.writes_per_sec, allocs
+            )
+        };
+        out.push_str(&row("no tracer", &self.baseline));
+        out.push_str(&row("attached, disabled", &self.disabled));
+        out.push_str(&row("attached, recording", &self.enabled));
+        out.push_str(&format!(
+            "disabled overhead: {:.2}% ({:.3} ns/write, bound {}% or {} ns)  \
+             recording overhead: {:.2}%\n",
+            self.disabled_overhead_pct(),
+            self.disabled_overhead_ns(),
+            DISABLED_BOUND_PCT,
+            DISABLED_EPSILON_NS,
+            self.enabled_overhead_pct()
+        ));
+        out.push_str(&format!(
+            "events recorded: {} (ring wrapped: {})\n",
+            self.events_recorded, self.ring_wrapped
+        ));
+        out
+    }
+
+    /// Machine-readable form (written to `BENCH_trace.json`).
+    pub fn to_json(&self) -> Json {
+        let mode = |r: &TraceModeResult| {
+            Json::obj([
+                ("ns_per_write", Json::Num(r.ns_per_write)),
+                ("writes_per_sec", Json::Num(r.writes_per_sec)),
+                (
+                    "steady_state_allocs",
+                    match r.steady_state_allocs {
+                        Some(n) => Json::UInt(n),
+                        None => Json::Null,
+                    },
+                ),
+            ])
+        };
+        Json::obj([
+            ("windows", Json::UInt(self.windows)),
+            ("writes_per_window", Json::UInt(self.writes_per_window)),
+            ("baseline_no_tracer", mode(&self.baseline)),
+            ("attached_disabled", mode(&self.disabled)),
+            ("attached_recording", mode(&self.enabled)),
+            (
+                "disabled_overhead_pct",
+                Json::Num(self.disabled_overhead_pct()),
+            ),
+            (
+                "disabled_overhead_ns_per_write",
+                Json::Num(self.disabled_overhead_ns()),
+            ),
+            ("disabled_bound_pct", Json::Num(DISABLED_BOUND_PCT)),
+            ("disabled_epsilon_ns", Json::Num(DISABLED_EPSILON_NS)),
+            (
+                "disabled_within_bound",
+                Json::Bool(self.disabled_within_bound()),
+            ),
+            (
+                "enabled_overhead_pct",
+                Json::Num(self.enabled_overhead_pct()),
+            ),
+            ("events_recorded", Json::UInt(self.events_recorded)),
+            ("ring_wrapped", Json::Bool(self.ring_wrapped)),
+        ])
+    }
+}
+
+fn overhead_pct(base_ns: f64, mode_ns: f64) -> f64 {
+    ((mode_ns - base_ns).max(0.0) / base_ns.max(1e-9)) * 100.0
+}
+
+/// The tracer attachment under test.
+#[derive(Clone, Copy)]
+enum Attach {
+    None,
+    Disabled,
+    Enabled,
+}
+
+struct World {
+    hot: osiris_checkpoint::PCell<u64>,
+    scratch: Vec<osiris_checkpoint::PCell<u64>>,
+}
+
+/// One precomputed logged write; the schedule is generated outside the
+/// timed loop so the measurement isolates the store+log+trace path.
+#[derive(Clone, Copy)]
+enum Op {
+    Cell(u64),
+    Scratch(u32, u64),
+}
+
+/// The write mix: skewed toward one hot cell (coalesced appends, which
+/// emit `UndoCoalesce`) with a minority of scattered stores (fresh appends,
+/// which emit `UndoAppend`), so both trace emit points are on the measured
+/// path.
+fn gen_schedule(r: &mut Rng, writes: u64, scratch_cells: usize) -> Vec<Op> {
+    (0..writes)
+        .map(|_| match r.below(4) {
+            0..=2 => Op::Cell(r.next_u64()),
+            _ => Op::Scratch(r.below(scratch_cells as u64) as u32, r.next_u64()),
+        })
+        .collect()
+}
+
+#[inline]
+fn apply_ops(heap: &mut Heap, w: &World, ops: &[Op]) {
+    for op in ops {
+        match *op {
+            Op::Cell(v) => w.hot.set(heap, v),
+            Op::Scratch(i, v) => w.scratch[i as usize].set(heap, v),
+        }
+    }
+}
+
+fn run_window(heap: &mut Heap, w: &World, ops: &[Op]) {
+    heap.set_logging(true);
+    let mark = heap.mark();
+    apply_ops(heap, w, ops);
+    heap.rollback_to(mark);
+    heap.set_logging(false);
+}
+
+/// Timing repetitions per mode. The three modes are timed **interleaved**
+/// (baseline rep, disabled rep, enabled rep, baseline rep, …) and the
+/// fastest repetition per mode is kept: sub-nanosecond deltas are far below
+/// run-to-run machine drift, so the modes must sample the same conditions
+/// for their difference to mean anything.
+const REPS: usize = 9;
+
+struct ModeState {
+    heap: Heap,
+    w: World,
+    handle: Option<TraceHandle>,
+    best: f64,
+    steady_state_allocs: Option<u64>,
+}
+
+fn setup(attach: Attach, cfg: &TraceBenchConfig, ops: &[Op]) -> ModeState {
+    let mut heap = Heap::new("bench-trace");
+    let handle = match attach {
+        Attach::None => None,
+        Attach::Disabled => Some(TraceHandle::new(TraceConfig::default())),
+        Attach::Enabled => Some(TraceHandle::new(TraceConfig::on())),
+    };
+    if let Some(h) = &handle {
+        heap.set_tracer(h.clone(), 0);
+    }
+    let w = World {
+        hot: heap.alloc_cell("hot", 0),
+        scratch: (0..8).map(|_| heap.alloc_cell("scratch", 0)).collect(),
+    };
+    for _ in 0..cfg.warmup_windows {
+        run_window(&mut heap, &w, ops);
+    }
+    ModeState {
+        heap,
+        w,
+        handle,
+        best: f64::INFINITY,
+        steady_state_allocs: None,
+    }
+}
+
+/// Runs the comparison.
+pub fn bench_trace(cfg: TraceBenchConfig) -> TraceBenchResult {
+    let mut r = Rng::new(0x7ACE);
+    // 8 scratch cells, matching `setup`'s world.
+    let ops = gen_schedule(&mut r, cfg.writes_per_window, 8);
+
+    let mut modes = [
+        setup(Attach::None, &cfg, &ops),
+        setup(Attach::Disabled, &cfg, &ops),
+        setup(Attach::Enabled, &cfg, &ops),
+    ];
+
+    for rep in 0..REPS {
+        for m in modes.iter_mut() {
+            // Allocator accounting covers one post-warmup repetition
+            // exactly; the remaining repetitions only refine the timing.
+            let allocs_before = cfg.alloc_count.map(|f| f());
+            let start = Instant::now();
+            for _ in 0..cfg.windows {
+                run_window(&mut m.heap, &m.w, &ops);
+            }
+            m.best = m.best.min(start.elapsed().as_secs_f64().max(1e-9));
+            if rep == 0 {
+                m.steady_state_allocs = cfg.alloc_count.map(|f| f() - allocs_before.unwrap_or(0));
+            }
+        }
+    }
+
+    let total_writes = cfg.windows * cfg.writes_per_window;
+    let result = |m: &ModeState| TraceModeResult {
+        ns_per_write: m.best * 1e9 / total_writes as f64,
+        writes_per_sec: total_writes as f64 / m.best,
+        steady_state_allocs: m.steady_state_allocs,
+    };
+    let (events_recorded, ring_wrapped) = modes[2]
+        .handle
+        .as_ref()
+        .expect("enabled mode attaches a tracer")
+        .with(|t| (t.total_recorded(), t.has_wrapped()));
+    TraceBenchResult {
+        windows: cfg.windows,
+        writes_per_window: cfg.writes_per_window,
+        baseline: result(&modes[0]),
+        disabled: result(&modes[1]),
+        enabled: result(&modes[2]),
+        events_recorded,
+        ring_wrapped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_sane_numbers() {
+        let r = bench_trace(TraceBenchConfig::quick());
+        assert!(r.baseline.ns_per_write > 0.0);
+        assert!(r.disabled.ns_per_write > 0.0);
+        assert!(r.enabled.ns_per_write > 0.0);
+        // (warmup + REPS measured reps) * windows * writes, minus nothing:
+        // every logged write emits exactly one event (append or coalesce),
+        // plus per-window mark/rollback events.
+        assert!(r.events_recorded > 0);
+        assert!(
+            r.ring_wrapped,
+            "quick config must exercise ring wraparound ({} events)",
+            r.events_recorded
+        );
+        let j = r.to_json().pretty();
+        assert!(j.contains("disabled_overhead_pct"));
+        assert!(j.contains("attached_recording"));
+    }
+}

@@ -6,6 +6,8 @@ use std::fmt;
 use std::mem::size_of;
 use std::sync::atomic::{AtomicU32, Ordering};
 
+use osiris_trace::{TraceEvent, TraceHandle};
+
 use crate::journal::Journal;
 use crate::map::MapKey;
 use crate::stats::HeapStats;
@@ -150,6 +152,12 @@ pub struct Heap {
     id: u32,
     name: &'static str,
     stats: HeapStats,
+    tracer: Option<TraceHandle>,
+    trace_comp: u8,
+    /// Cached snapshot of `tracer.is_enabled()`, refreshed at the logging
+    /// gate (window open/close) so the per-write emit check is a plain
+    /// in-struct bool load instead of an `Arc` deref plus atomic load.
+    trace_live: bool,
 }
 
 impl fmt::Debug for Heap {
@@ -178,6 +186,43 @@ impl Heap {
             id: NEXT_HEAP_ID.fetch_add(1, Ordering::Relaxed),
             name,
             stats: HeapStats::default(),
+            tracer: None,
+            trace_comp: osiris_trace::KERNEL_COMP,
+            trace_live: false,
+        }
+    }
+
+    /// Attaches a flight-recorder handle; journal activity (appends,
+    /// coalesced writes, marks, rollbacks, discards) is emitted as trace
+    /// events attributed to component `comp`.
+    ///
+    /// The enabled flag is snapshotted here and at every
+    /// [`Heap::set_logging`] call (the recovery-window gate), so with the
+    /// tracer disabled — or absent — each emit point costs one branch on a
+    /// bool stored in the heap itself. A runtime
+    /// [`TraceHandle::set_enabled`] toggle therefore takes effect at the
+    /// next window boundary, not mid-window.
+    pub fn set_tracer(&mut self, tracer: TraceHandle, comp: u8) {
+        self.trace_live = tracer.is_enabled();
+        self.tracer = Some(tracer);
+        self.trace_comp = comp;
+    }
+
+    /// The attached flight-recorder handle, if any.
+    pub fn tracer(&self) -> Option<&TraceHandle> {
+        self.tracer.as_ref()
+    }
+
+    /// Emits `event` to the attached tracer (no-op without one), attributed
+    /// to this heap's component. Also used by the recovery-window machinery
+    /// in `osiris-core`, which reaches the recorder through the heap.
+    #[inline]
+    pub fn trace_emit(&self, event: TraceEvent) {
+        if !self.trace_live {
+            return;
+        }
+        if let Some(t) = &self.tracer {
+            t.emit(self.trace_comp, event);
         }
     }
 
@@ -251,10 +296,20 @@ impl Heap {
     fn account_append(&mut self, bytes: usize) {
         self.stats.undo_appends += 1;
         self.stats.undo_bytes_current += bytes;
+        self.stats.undo_bytes_appended += bytes as u64;
         if self.stats.undo_bytes_current > self.stats.undo_bytes_peak {
             self.stats.undo_bytes_peak = self.stats.undo_bytes_current;
         }
         self.stats.arena_reuse_bytes = self.journal.arena_reuse_bytes();
+        self.trace_emit(TraceEvent::UndoAppend {
+            bytes: bytes as u32,
+        });
+    }
+
+    /// Common bookkeeping for a coalesced (elided) logged write.
+    fn account_coalesced(&mut self) {
+        self.stats.coalesced_writes += 1;
+        self.trace_emit(TraceEvent::UndoCoalesce);
     }
 
     fn typed(&self) -> bool {
@@ -267,7 +322,7 @@ impl Heap {
             return;
         }
         if self.typed() && self.coalescing && self.journal.cell_covered::<T>(id.index) {
-            self.stats.coalesced_writes += 1;
+            self.account_coalesced();
             return;
         }
         let old = self.holder::<T>(id).value.clone();
@@ -293,7 +348,7 @@ impl Heap {
             return;
         }
         if self.typed() && self.coalescing && self.journal.vec_covered::<T>(id.index, index) {
-            self.stats.coalesced_writes += 1;
+            self.account_coalesced();
             return;
         }
         let old = self.holder::<Vec<T>>(id).value[index].clone();
@@ -473,7 +528,7 @@ impl Heap {
             if offset + write_len <= cur_len
                 && self.journal.buf_covered(id.index, offset, write_len)
             {
-                self.stats.coalesced_writes += 1;
+                self.account_coalesced();
                 return;
             }
         }
@@ -615,6 +670,7 @@ impl Heap {
     /// off when it closes; this is the analog of the paper's function-cloning
     /// optimization that removes instrumentation overhead outside windows.
     pub fn set_logging(&mut self, on: bool) -> bool {
+        self.trace_live = self.tracer.as_ref().is_some_and(TraceHandle::is_enabled);
         let effective = on || self.force_logging;
         if !on && self.force_logging {
             self.stats.gating_overrides += 1;
@@ -643,6 +699,9 @@ impl Heap {
     /// Returns a checkpoint mark at the current undo-log position.
     pub fn mark(&self) -> Mark {
         self.journal.note_mark();
+        self.trace_emit(TraceEvent::CheckpointMark {
+            log_len: self.log_len() as u32,
+        });
         Mark {
             log_len: self.log_len(),
             heap_id: self.id,
@@ -685,6 +744,11 @@ impl Heap {
             mark.log_len,
             self.log_len()
         );
+        // The log is about to be consumed: sample its size *now* so the
+        // per-window peak is taken at window close, not at report time.
+        self.sample_window_close();
+        let records = (self.log_len() - mark.log_len) as u32;
+        let bytes_before = self.stats.undo_bytes_current;
         while self.log_len() > mark.log_len {
             let bytes = match self.mode {
                 UndoMode::Typed => self.journal.pop_and_apply(&mut self.objs),
@@ -699,6 +763,29 @@ impl Heap {
         self.stats.rollbacks += 1;
         // Surviving index entries may reference popped positions; forget them.
         self.journal.invalidate_coalescing();
+        if records > 0 {
+            self.trace_emit(TraceEvent::Rollback {
+                records,
+                bytes: bytes_before.saturating_sub(self.stats.undo_bytes_current) as u32,
+            });
+        }
+    }
+
+    /// Records the current undo-log size as a window-close sample: the
+    /// high-water mark of *per-window* log size (`undo_bytes_window_peak`)
+    /// and the size of the last closed window. Every path that retires a
+    /// log — commit discard, rollback, image restore — passes through here,
+    /// so Table VI's peak is sampled when windows close rather than
+    /// reconstructed at report time.
+    fn sample_window_close(&mut self) {
+        let bytes = self.stats.undo_bytes_current;
+        if self.log_len() == 0 {
+            return;
+        }
+        self.stats.undo_bytes_last_window = bytes;
+        if bytes > self.stats.undo_bytes_window_peak {
+            self.stats.undo_bytes_window_peak = bytes;
+        }
     }
 
     /// Discards the entire undo log without applying it.
@@ -707,6 +794,14 @@ impl Heap {
     /// can never be restored, so the log is dead weight. Capacity (records,
     /// arena, index) is retained so the next window logs allocation-free.
     pub fn discard_log(&mut self) {
+        self.sample_window_close();
+        let records = self.log_len() as u32;
+        if records > 0 {
+            self.trace_emit(TraceEvent::Discard {
+                records,
+                bytes: self.stats.undo_bytes_current as u32,
+            });
+        }
         self.journal.discard();
         self.boxed_log.clear();
         self.stats.undo_bytes_current = 0;

@@ -54,6 +54,21 @@ pub enum RecoveryAction {
     UncontrolledCrash,
 }
 
+impl From<RecoveryAction> for osiris_trace::ActionCode {
+    fn from(a: RecoveryAction) -> osiris_trace::ActionCode {
+        match a {
+            RecoveryAction::RollbackAndErrorReply => osiris_trace::ActionCode::RollbackErrorReply,
+            RecoveryAction::RollbackAndKillRequester => {
+                osiris_trace::ActionCode::RollbackKillRequester
+            }
+            RecoveryAction::FreshRestart => osiris_trace::ActionCode::FreshRestart,
+            RecoveryAction::ContinueAsIs => osiris_trace::ActionCode::ContinueAsIs,
+            RecoveryAction::ControlledShutdown => osiris_trace::ActionCode::ControlledShutdown,
+            RecoveryAction::UncontrolledCrash => osiris_trace::ActionCode::UncontrolledCrash,
+        }
+    }
+}
+
 impl RecoveryAction {
     /// Whether this action keeps the system running.
     pub fn system_survives(self) -> bool {

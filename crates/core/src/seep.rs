@@ -37,6 +37,16 @@ impl SeepClass {
     }
 }
 
+impl From<SeepClass> for osiris_trace::SeepClassCode {
+    fn from(c: SeepClass) -> osiris_trace::SeepClassCode {
+        match c {
+            SeepClass::NonStateModifying => osiris_trace::SeepClassCode::NonStateModifying,
+            SeepClass::StateModifying => osiris_trace::SeepClassCode::StateModifying,
+            SeepClass::RequesterScoped => osiris_trace::SeepClassCode::RequesterScoped,
+        }
+    }
+}
+
 /// Kind of a message travelling through a SEEP.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum MessageKind {

@@ -9,6 +9,7 @@
 //! paper's key overhead optimization.
 
 use osiris_checkpoint::{Heap, Mark};
+use osiris_trace::{CloseCode, SeepClassCode, TraceEvent};
 
 use crate::policy::RecoveryPolicy;
 use crate::seep::SeepMeta;
@@ -22,6 +23,16 @@ pub enum CloseReason {
     ThreadYield,
     /// Explicitly closed by the component or runtime.
     Manual,
+}
+
+impl From<CloseReason> for CloseCode {
+    fn from(r: CloseReason) -> CloseCode {
+        match r {
+            CloseReason::DisallowedSend => CloseCode::DisallowedSend,
+            CloseReason::ThreadYield => CloseCode::ThreadYield,
+            CloseReason::Manual => CloseCode::Manual,
+        }
+    }
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -134,6 +145,7 @@ impl RecoveryWindow {
         self.state = State::Open(heap.mark());
         self.scoped_sends = false;
         self.stats.opens += 1;
+        heap.trace_emit(TraceEvent::WindowOpen);
     }
 
     /// Begins processing a request *without* opening a window (baseline
@@ -149,7 +161,7 @@ impl RecoveryWindow {
             return;
         }
         if !policy.send_keeps_window_open(seep) {
-            self.close(heap, CloseReason::DisallowedSend);
+            self.close_traced(heap, CloseReason::DisallowedSend, seep.class.into());
         } else if seep.class == SeepClass::RequesterScoped {
             self.scoped_sends = true;
         }
@@ -158,6 +170,11 @@ impl RecoveryWindow {
     /// Forcibly closes the window (thread yield, manual close). No-op if the
     /// window is not open.
     pub fn close(&mut self, heap: &mut Heap, reason: CloseReason) {
+        self.close_traced(heap, reason, SeepClassCode::None);
+    }
+
+    /// Close with the SEEP class that forced it, recorded in the trace.
+    fn close_traced(&mut self, heap: &mut Heap, reason: CloseReason, class: SeepClassCode) {
         if !self.is_open() {
             return;
         }
@@ -169,15 +186,27 @@ impl RecoveryWindow {
             CloseReason::ThreadYield => self.stats.closed_by_yield += 1,
             CloseReason::Manual => self.stats.closed_manually += 1,
         }
+        heap.trace_emit(TraceEvent::WindowClose {
+            reason: reason.into(),
+            class,
+        });
     }
 
     /// Finishes processing a request normally: the checkpoint is no longer
     /// needed, so the log is discarded and the window returns to idle.
     pub fn complete(&mut self, heap: &mut Heap) {
+        let was_open = self.is_open();
         heap.set_logging(false);
         heap.discard_log();
         self.state = State::Idle;
         self.scoped_sends = false;
+        if was_open {
+            // Mid-handler closes already recorded their own WindowClose.
+            heap.trace_emit(TraceEvent::WindowClose {
+                reason: CloseCode::Completed,
+                class: SeepClassCode::None,
+            });
+        }
     }
 
     /// Rolls the heap back to the checkpoint taken when the window opened
@@ -196,6 +225,10 @@ impl RecoveryWindow {
                 heap.set_logging(false);
                 self.state = State::Idle;
                 self.stats.rollbacks += 1;
+                heap.trace_emit(TraceEvent::WindowClose {
+                    reason: CloseCode::Rollback,
+                    class: SeepClassCode::None,
+                });
             }
             _ => panic!("rollback requested while recovery window is not open"),
         }

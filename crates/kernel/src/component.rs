@@ -223,6 +223,14 @@ impl<'a, P: Protocol> Ctx<'a, P> {
         let meta = msg.seep;
         self.window.on_send(self.policy, &meta, self.heap);
         self.charge(self.cost.ipc_send);
+        self.heap.trace_emit(osiris_trace::TraceEvent::IpcSend {
+            dst: match msg.dst {
+                Endpoint::Component(c) => c,
+                _ => osiris_trace::KERNEL_COMP,
+            },
+            msg_id: msg.id.0,
+            class: meta.class.into(),
+        });
         self.out.push(msg);
     }
 

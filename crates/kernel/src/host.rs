@@ -651,6 +651,9 @@ pub struct HostConfig {
     /// Declare a hang after this many consecutive timer fires yielding no
     /// process progress.
     pub max_idle_timer_fires: u32,
+    /// Log every process action and reply to stderr. The
+    /// `OSIRIS_HOST_TRACE=1` environment variable forces this on.
+    pub verbose: bool,
 }
 
 impl Default for HostConfig {
@@ -658,6 +661,7 @@ impl Default for HostConfig {
         HostConfig {
             max_virtual_time: 500_000_000_000,
             max_idle_timer_fires: 10_000,
+            verbose: false,
         }
     }
 }
@@ -734,7 +738,8 @@ impl<E: OsEngine> Host<E> {
     ///
     /// Panics if `root_prog` is not registered.
     pub fn run(&mut self, root_prog: &str, root_args: &[&str]) -> RunOutcome {
-        let trace = std::env::var_os("OSIRIS_HOST_TRACE").is_some_and(|v| v == "1");
+        let trace =
+            self.cfg.verbose || std::env::var_os("OSIRIS_HOST_TRACE").is_some_and(|v| v == "1");
         let root = self
             .registry
             .get(root_prog)

@@ -15,6 +15,7 @@ use osiris_checkpoint::{Heap, HeapImage};
 use osiris_core::{
     decide_recovery, CrashContext, MessageKind, RecoveryAction, RecoveryPolicy, RecoveryWindow,
 };
+use osiris_trace::{Log2Hist, TraceConfig, TraceEvent, TraceHandle, KERNEL_COMP};
 
 use crate::abi::{Errno, Pid, SysReply};
 use crate::clock::{CostModel, VirtualClock};
@@ -47,6 +48,11 @@ pub struct KernelConfig {
     /// save their state before the system stops (paper §VII, the
     /// Otherworld-style extension). `0` shuts down immediately.
     pub shutdown_grace: u32,
+    /// Flight-recorder configuration. Disabled by default; setting
+    /// `trace.verbose` additionally mirrors every recorded event to stderr
+    /// (the replacement for the old `OSIRIS_KERNEL_TRACE` prints, which
+    /// remain honored as an env-var override).
+    pub trace: TraceConfig,
 }
 
 impl Default for KernelConfig {
@@ -56,6 +62,7 @@ impl Default for KernelConfig {
             instrumentation: Instrumentation::WindowGated,
             cost: CostModel::default(),
             shutdown_grace: 0,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -65,6 +72,7 @@ impl std::fmt::Debug for KernelConfig {
         f.debug_struct("KernelConfig")
             .field("policy", &self.policy.name())
             .field("instrumentation", &self.instrumentation)
+            .field("trace", &self.trace.enabled)
             .finish()
     }
 }
@@ -99,6 +107,12 @@ struct Comp<P: Protocol> {
     messages: u64,
     crashes: u64,
     recoveries: u64,
+    /// Virtual cycles charged per recovery of this component.
+    recovery_hist: Log2Hist,
+    /// In-window cycles per completed request.
+    window_hist: Log2Hist,
+    /// Undo bytes appended per completed request window.
+    undo_hist: Log2Hist,
 }
 
 /// The deterministic microkernel.
@@ -122,7 +136,7 @@ pub struct Kernel<P: Protocol> {
     metrics: KernelMetrics,
     rr_cursor: usize,
     initialized: bool,
-    trace: bool,
+    tracer: TraceHandle,
 }
 
 impl<P: Protocol> std::fmt::Debug for Kernel<P> {
@@ -138,6 +152,11 @@ impl<P: Protocol> std::fmt::Debug for Kernel<P> {
 impl<P: Protocol> Kernel<P> {
     /// Creates a kernel with the given configuration.
     pub fn new(cfg: KernelConfig) -> Self {
+        let mut tcfg = cfg.trace.clone();
+        if std::env::var_os("OSIRIS_KERNEL_TRACE").is_some_and(|v| v == "1") {
+            tcfg.verbose = true;
+        }
+        let tracer = TraceHandle::new(tcfg);
         Kernel {
             cfg,
             clock: VirtualClock::new(),
@@ -155,8 +174,55 @@ impl<P: Protocol> Kernel<P> {
             metrics: KernelMetrics::default(),
             rr_cursor: 0,
             initialized: false,
-            trace: std::env::var_os("OSIRIS_KERNEL_TRACE").is_some_and(|v| v == "1"),
+            tracer,
         }
+    }
+
+    /// The flight recorder attached to this kernel.
+    pub fn tracer(&self) -> &TraceHandle {
+        &self.tracer
+    }
+
+    /// Component names indexed by endpoint, for trace rendering.
+    pub fn trace_names(&self) -> Vec<String> {
+        self.comps.iter().map(|c| c.name.to_string()).collect()
+    }
+
+    /// Renders the recorded event stream as deterministic text (one line
+    /// per event) — the artifact diffed by the trace-determinism CI gate.
+    pub fn trace_text(&self) -> String {
+        osiris_trace::render_text(&self.tracer.snapshot(), &self.trace_names())
+    }
+
+    /// Exports the recorded event stream as a Chrome `trace_event` JSON
+    /// document (loadable in `chrome://tracing` / Perfetto).
+    pub fn chrome_trace(&self) -> osiris_trace::Json {
+        osiris_trace::chrome::chrome_trace(&self.tracer.snapshot(), &self.trace_names())
+    }
+
+    /// The post-mortem black box: the last configured number of events per
+    /// component, or `None` when tracing is disabled.
+    pub fn blackbox(&self) -> Option<String> {
+        self.tracer.blackbox(&self.trace_names())
+    }
+
+    /// Dumps the black box to stderr (crash post-mortem).
+    fn dump_blackbox(&self, why: &str) {
+        if let Some(dump) = self.blackbox() {
+            eprintln!("[kernel t={}] {}:\n{}", self.clock.now(), why, dump);
+        }
+    }
+
+    /// Records an uncontrolled-crash shutdown: the trace event, the black
+    /// box dump, and the state transition itself.
+    fn crash_shutdown(&mut self, reason: String) {
+        self.tracer.set_now(self.clock.now());
+        self.tracer.emit(
+            KERNEL_COMP,
+            TraceEvent::ShutdownDecision { controlled: false },
+        );
+        self.dump_blackbox(&format!("uncontrolled crash: {reason}"));
+        self.shutdown = Some(ShutdownKind::Crash(reason));
     }
 
     /// Registers a component. The first component registered with
@@ -170,11 +236,13 @@ impl<P: Protocol> Kernel<P> {
         assert!(!self.initialized, "register() after init_components()");
         let idx = u8::try_from(self.comps.len()).expect("too many components");
         let name = server.name();
+        let mut heap = Heap::new(name);
+        heap.set_tracer(self.tracer.clone(), idx);
         self.comps.push(Comp {
             name,
             server,
             pristine_server: None,
-            heap: Heap::new(name),
+            heap,
             pristine_image: None,
             window: RecoveryWindow::new(),
             inbox: VecDeque::new(),
@@ -185,6 +253,9 @@ impl<P: Protocol> Kernel<P> {
             messages: 0,
             crashes: 0,
             recoveries: 0,
+            recovery_hist: Log2Hist::new(),
+            window_hist: Log2Hist::new(),
+            undo_hist: Log2Hist::new(),
         });
         if privileged && self.rs_ep.is_none() {
             self.rs_ep = Some(idx);
@@ -252,8 +323,13 @@ impl<P: Protocol> Kernel<P> {
             comp.window.reset_stats();
             comp.cycles = 0;
             comp.messages = 0;
+            comp.recovery_hist.reset();
+            comp.window_hist.reset();
+            comp.undo_hist.reset();
         }
         self.metrics = KernelMetrics::default();
+        self.tracer.set_now(self.clock.now());
+        self.tracer.clear();
     }
 
     /// Number of registered components.
@@ -301,6 +377,11 @@ impl<P: Protocol> Kernel<P> {
         if self.shutdown.is_some() || self.shutdown_pending.is_some() {
             return;
         }
+        self.tracer.set_now(self.clock.now());
+        self.tracer.emit(
+            KERNEL_COMP,
+            TraceEvent::ShutdownDecision { controlled: true },
+        );
         if self.cfg.shutdown_grace > 0 {
             self.shutdown_pending =
                 Some((ShutdownKind::Controlled(reason), self.cfg.shutdown_grace));
@@ -323,7 +404,11 @@ impl<P: Protocol> Kernel<P> {
     /// external aborts).
     pub fn force_shutdown(&mut self, kind: ShutdownKind) {
         if self.shutdown.is_none() {
-            self.shutdown = Some(kind);
+            if let ShutdownKind::Crash(reason) = kind {
+                self.crash_shutdown(reason);
+            } else {
+                self.shutdown = Some(kind);
+            }
         }
     }
 
@@ -348,6 +433,14 @@ impl<P: Protocol> Kernel<P> {
         }
         self.clock
             .advance(self.cfg.cost.syscall_entry + self.cfg.cost.ipc_send);
+        self.tracer.set_now(self.clock.now());
+        self.tracer.emit(
+            c,
+            TraceEvent::SyscallEnter {
+                sid: sid.0,
+                pid: pid.0,
+            },
+        );
         self.next_msg_id += 1;
         let msg = Message {
             id: MsgId(self.next_msg_id),
@@ -388,6 +481,7 @@ impl<P: Protocol> Kernel<P> {
             .remove(&(at, seq))
             .expect("timer key just observed");
         self.clock.advance_to(at);
+        self.tracer.set_now(self.clock.now());
         self.metrics.timers_fired += 1;
         self.next_msg_id += 1;
         let msg = Message {
@@ -457,20 +551,22 @@ impl<P: Protocol> Kernel<P> {
     }
 
     fn process_message(&mut self, idx: usize, msg: Message<P>) {
-        if self.trace {
-            eprintln!(
-                "[kernel t={}] {} <- {} : {} (window will open)",
-                self.clock.now(),
-                self.comps[idx].name,
-                msg.src,
-                msg.payload.label()
-            );
-        }
         self.metrics.ipc_delivered += 1;
         let checkpointing = self.cfg.policy.checkpointing();
         let instr = self.cfg.instrumentation;
         let deliver_cost = self.cfg.cost.ipc_deliver + self.cfg.cost.handler_base;
         self.clock.advance(deliver_cost);
+        self.tracer.set_now(self.clock.now());
+        self.tracer.emit(
+            idx as u8,
+            TraceEvent::IpcDeliver {
+                src: match msg.src {
+                    Endpoint::Component(c) => c,
+                    _ => KERNEL_COMP,
+                },
+                msg_id: msg.id.0,
+            },
+        );
 
         let Kernel {
             cfg,
@@ -498,6 +594,8 @@ impl<P: Protocol> Kernel<P> {
         let writes_before = comp.heap.stats().writes;
         let appends_before = comp.heap.stats().undo_appends;
         let coalesced_before = comp.heap.stats().coalesced_writes;
+        let cycles_in_before = comp.window.stats().cycles_in;
+        let undo_bytes_before = comp.heap.stats().undo_bytes_appended;
         let cur_replyable = msg.seep.kind == MessageKind::Request && msg.seep.reply_possible;
 
         let mut ctx = Ctx {
@@ -547,6 +645,7 @@ impl<P: Protocol> Kernel<P> {
         let handler_cycles = ctx_cycles + write_cost_in + write_cost_out;
         comp.cycles += handler_cycles + deliver_cost;
         self.clock.advance(handler_cycles);
+        self.tracer.set_now(self.clock.now());
 
         self.route_messages(out);
         self.register_timers(idx as u8, timers);
@@ -556,6 +655,10 @@ impl<P: Protocol> Kernel<P> {
                 let comp = &mut self.comps[idx];
                 if checkpointing {
                     comp.window.complete(&mut comp.heap);
+                    comp.window_hist
+                        .record(comp.window.stats().cycles_in - cycles_in_before);
+                    comp.undo_hist
+                        .record(comp.heap.stats().undo_bytes_appended - undo_bytes_before);
                 }
                 self.execute_priv_ops(priv_ops);
             }
@@ -567,6 +670,8 @@ impl<P: Protocol> Kernel<P> {
                     // The component is wedged: it stops processing messages
                     // until the Recovery Server's heartbeat declares it dead.
                     self.metrics.hangs += 1;
+                    self.tracer
+                        .emit(idx as u8, TraceEvent::HangDetected { target: idx as u8 });
                     let comp = &mut self.comps[idx];
                     comp.status = CompStatus::Hung;
                     let window_open = comp.window.is_open();
@@ -580,6 +685,8 @@ impl<P: Protocol> Kernel<P> {
                 } else {
                     self.metrics.crashes += 1;
                     self.comps[idx].crashes += 1;
+                    self.tracer
+                        .emit(idx as u8, TraceEvent::Crash { target: idx as u8 });
                     self.handle_crash(idx, msg, reply_possible);
                 }
             }
@@ -590,10 +697,10 @@ impl<P: Protocol> Kernel<P> {
         if self.recovering.is_some() {
             // Second failure while recovery is in progress: the single-fault
             // assumption is violated and nothing consistent remains.
-            self.shutdown = Some(ShutdownKind::Crash(format!(
+            self.crash_shutdown(format!(
                 "component {} crashed during recovery of another component",
                 self.comps[idx].name
-            )));
+            ));
             return;
         }
         let comp = &mut self.comps[idx];
@@ -640,6 +747,8 @@ impl<P: Protocol> Kernel<P> {
                         self.comps[t].status = CompStatus::Crashed;
                         self.metrics.crashes += 1;
                         self.comps[t].crashes += 1;
+                        self.tracer.set_now(self.clock.now());
+                        self.tracer.emit(target, TraceEvent::Crash { target });
                         self.execute_recovery(target);
                     }
                 }
@@ -654,19 +763,13 @@ impl<P: Protocol> Kernel<P> {
     /// Executes the three recovery phases — restart, rollback,
     /// reconciliation — for the crashed component `target` (paper §IV-C).
     fn execute_recovery(&mut self, target: u8) {
-        if self.trace {
-            eprintln!(
-                "[kernel t={}] recovering {}",
-                self.clock.now(),
-                self.comps[target as usize].name
-            );
-        }
         let t = target as usize;
         let Some(pending) = self.comps[t].crash_info.take() else {
             // Spurious request (e.g. the component already recovered).
             self.recovering = None;
             return;
         };
+        self.tracer.set_now(self.clock.now());
         let crash_ctx = CrashContext {
             window_open: pending.window_open,
             reply_possible: pending.reply_possible,
@@ -675,6 +778,13 @@ impl<P: Protocol> Kernel<P> {
             requester_is_process: matches!(pending.msg.src, Endpoint::Process(_)),
         };
         let decision = decide_recovery(self.cfg.policy.as_ref(), &crash_ctx);
+        self.tracer.emit(
+            KERNEL_COMP,
+            TraceEvent::RecoveryDecision {
+                target,
+                action: decision.action.into(),
+            },
+        );
         let cost = &self.cfg.cost;
         let comp = &mut self.comps[t];
 
@@ -751,6 +861,14 @@ impl<P: Protocol> Kernel<P> {
                     match pending.msg.src {
                         Endpoint::Process(pid) => {
                             if let Some(sid) = pending.msg.user_tag {
+                                self.tracer.emit(
+                                    target,
+                                    TraceEvent::SyscallExit {
+                                        sid: sid.0,
+                                        pid: pid.0,
+                                        ok: false,
+                                    },
+                                );
                                 self.user_replies
                                     .push((sid, pid, SysReply::Err(Errno::ESHUTDOWN)));
                             }
@@ -764,11 +882,12 @@ impl<P: Protocol> Kernel<P> {
                 return;
             }
             RecoveryAction::UncontrolledCrash => {
-                self.shutdown = Some(ShutdownKind::Crash(format!(
+                let reason = format!(
                     "fault in recovery path while handling crash of {}",
                     comp.name
-                )));
+                );
                 self.recovering = None;
+                self.crash_shutdown(reason);
                 return;
             }
         }
@@ -776,6 +895,15 @@ impl<P: Protocol> Kernel<P> {
         comp.status = CompStatus::Alive;
         self.metrics.recovery_cycles += recovery_cycles;
         self.clock.advance(recovery_cycles);
+        self.tracer.set_now(self.clock.now());
+        self.tracer.emit(
+            KERNEL_COMP,
+            TraceEvent::RecoveryDone {
+                target,
+                cycles: recovery_cycles,
+            },
+        );
+        self.comps[t].recovery_hist.record(recovery_cycles);
         self.recovering = None;
 
         // Reconciliation phase: error virtualization — tell the requester
@@ -806,6 +934,14 @@ impl<P: Protocol> Kernel<P> {
         match failed.src {
             Endpoint::Process(pid) => {
                 let sid = failed.user_tag.expect("user request carries a syscall tag");
+                self.tracer.emit(
+                    from,
+                    TraceEvent::SyscallExit {
+                        sid: sid.0,
+                        pid: pid.0,
+                        ok: false,
+                    },
+                );
                 self.user_replies
                     .push((sid, pid, SysReply::Err(Errno::ECRASH)));
             }
@@ -841,7 +977,20 @@ impl<P: Protocol> Kernel<P> {
                         .as_user_reply()
                         .expect("messages to processes must be user replies");
                     match msg.user_tag {
-                        Some(sid) => self.user_replies.push((sid, pid, reply)),
+                        Some(sid) => {
+                            self.tracer.emit(
+                                match msg.src {
+                                    Endpoint::Component(c) => c,
+                                    _ => KERNEL_COMP,
+                                },
+                                TraceEvent::SyscallExit {
+                                    sid: sid.0,
+                                    pid: pid.0,
+                                    ok: !matches!(reply, SysReply::Err(_)),
+                                },
+                            );
+                            self.user_replies.push((sid, pid, reply));
+                        }
                         // An untagged message to a process is a kill event:
                         // PM decided to terminate it outside any syscall.
                         None => self.kill_events.push(pid),
@@ -874,6 +1023,14 @@ impl<P: Protocol> Kernel<P> {
                 heap_bytes: c.heap.resident_bytes(),
                 clone_bytes: c.pristine_image.as_ref().map(|i| i.bytes()).unwrap_or(0),
                 undo_peak_bytes: c.heap.stats().undo_bytes_peak,
+                undo_window_peak_bytes: c
+                    .heap
+                    .stats()
+                    .undo_bytes_window_peak
+                    .max(c.heap.stats().undo_bytes_peak),
+                recovery_latency: c.recovery_hist.summary(),
+                window_cycles: c.window_hist.summary(),
+                undo_window_bytes: c.undo_hist.summary(),
                 writes: c.heap.stats().writes,
                 undo_appends: c.heap.stats().undo_appends,
                 coalesced_writes: c.heap.stats().coalesced_writes,

@@ -1,6 +1,7 @@
 //! Kernel- and component-level metrics backing the evaluation tables.
 
 use osiris_core::WindowStats;
+use osiris_trace::HistSummary;
 
 /// Per-component report: the raw material for Tables I and VI.
 #[derive(Clone, Debug)]
@@ -22,6 +23,17 @@ pub struct ComponentReport {
     pub clone_bytes: usize,
     /// Peak undo-log size observed (Table VI "+undo log").
     pub undo_peak_bytes: usize,
+    /// Peak undo-log size sampled at window close. Under window-gated
+    /// instrumentation this equals [`Self::undo_peak_bytes`]; under `Always`
+    /// it excludes out-of-window log growth, making it the accurate Table VI
+    /// figure for long runs.
+    pub undo_window_peak_bytes: usize,
+    /// Distribution of virtual cycles charged per recovery.
+    pub recovery_latency: HistSummary,
+    /// Distribution of in-window cycles per completed request.
+    pub window_cycles: HistSummary,
+    /// Distribution of undo bytes appended per completed request window.
+    pub undo_window_bytes: HistSummary,
     /// Total logical writes and logged writes.
     pub writes: u64,
     /// Writes that appended an undo record.

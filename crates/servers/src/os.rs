@@ -43,6 +43,9 @@ pub struct OsConfig {
     /// store writes, file writes/sync/close) are admitted during grace;
     /// everything else fails with `ESHUTDOWN`.
     pub shutdown_grace: u32,
+    /// Flight-recorder configuration (see `osiris_trace::TraceConfig`).
+    /// Disabled by default; `TraceConfig::on()` records everything.
+    pub trace: osiris_trace::TraceConfig,
 }
 
 impl Default for OsConfig {
@@ -56,6 +59,7 @@ impl Default for OsConfig {
             vfs_cache_blocks: 64,
             vfs_threads: 4,
             shutdown_grace: 0,
+            trace: osiris_trace::TraceConfig::default(),
         }
     }
 }
@@ -106,6 +110,7 @@ impl Os {
             instrumentation: cfg.instrumentation,
             cost: cfg.cost,
             shutdown_grace: cfg.shutdown_grace,
+            trace: cfg.trace,
         };
         let heartbeat = kcfg.cost.heartbeat_interval;
         let disk_latency = kcfg.cost.disk_latency;
@@ -207,6 +212,28 @@ impl Os {
         &mut self.kernel
     }
 
+    /// The flight recorder attached to the kernel.
+    pub fn trace_handle(&self) -> &osiris_trace::TraceHandle {
+        self.kernel.tracer()
+    }
+
+    /// The recorded event stream rendered as deterministic text.
+    pub fn trace_text(&self) -> String {
+        self.kernel.trace_text()
+    }
+
+    /// The recorded event stream as a Chrome `trace_event` JSON document
+    /// (load the serialized form in `chrome://tracing` or Perfetto).
+    pub fn chrome_trace(&self) -> osiris_trace::Json {
+        self.kernel.chrome_trace()
+    }
+
+    /// The post-mortem black box (last events per component), if tracing is
+    /// enabled.
+    pub fn blackbox(&self) -> Option<String> {
+        self.kernel.blackbox()
+    }
+
     /// Cross-component consistency audit. Call at quiescence (no in-flight
     /// syscalls). Returns human-readable violations; empty means the global
     /// state is consistent.
@@ -276,6 +303,18 @@ impl Os {
                     "VM free list ({}) disagrees with free counter ({})",
                     list, free
                 ));
+            }
+        }
+        if !violations.is_empty() {
+            // A consistency violation is exactly what the black box exists
+            // for: dump the recent event history alongside the findings.
+            if let Some(dump) = self.blackbox() {
+                eprintln!(
+                    "[os t={}] audit found {} violation(s):\n{}",
+                    self.kernel.now(),
+                    violations.len(),
+                    dump
+                );
             }
         }
         violations

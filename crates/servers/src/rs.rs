@@ -156,6 +156,8 @@ impl Server<OsMsg> for RecoveryServer {
                 // Recovery code path: restart, rollback and reconciliation
                 // are executed by the kernel under RS direction.
                 ctx.site("rs.recover.notify");
+                ctx.heap_ref()
+                    .trace_emit(osiris_trace::TraceEvent::RsCrashNotified { target: *target });
                 h.services
                     .update(ctx.heap(), &u32::from(*target), |s| s.restarts += 1);
                 ctx.site("rs.recover.account");

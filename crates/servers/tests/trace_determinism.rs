@@ -1,0 +1,65 @@
+//! Same-configuration trace determinism: the flight recorder timestamps
+//! events with the virtual clock only, so two identical runs must produce
+//! **byte-identical** trace exports — the property the `ci.sh` gate and
+//! post-mortem workflows (diff a failing run against a good one) rely on.
+
+use osiris_core::PolicyKind;
+use osiris_faults::PeriodicCrash;
+use osiris_servers::OsConfig;
+use osiris_trace::TraceConfig;
+use osiris_workloads::run_suite_with;
+
+fn traced_cfg(policy: PolicyKind) -> OsConfig {
+    let mut cfg = OsConfig::with_policy(policy);
+    cfg.trace = TraceConfig::on();
+    cfg
+}
+
+/// One full suite run with tracing on; returns the text and Chrome-JSON
+/// renderings of the recorded trace.
+fn run_traced(policy: PolicyKind, faulted: bool) -> (String, String) {
+    let hook = if faulted {
+        Some(Box::new(PeriodicCrash::new("pm", 200_000)) as Box<dyn osiris_kernel::FaultHook>)
+    } else {
+        None
+    };
+    let (_, os) = run_suite_with(traced_cfg(policy), hook);
+    (os.trace_text(), os.chrome_trace().pretty())
+}
+
+#[test]
+fn fault_free_runs_are_byte_identical() {
+    let (text_a, chrome_a) = run_traced(PolicyKind::Enhanced, false);
+    let (text_b, chrome_b) = run_traced(PolicyKind::Enhanced, false);
+    assert!(!text_a.is_empty(), "suite must record events");
+    assert_eq!(text_a, text_b, "text export must be deterministic");
+    assert_eq!(chrome_a, chrome_b, "Chrome export must be deterministic");
+}
+
+#[test]
+fn faulted_runs_are_byte_identical_and_record_recovery() {
+    let (text_a, chrome_a) = run_traced(PolicyKind::Enhanced, true);
+    let (text_b, chrome_b) = run_traced(PolicyKind::Enhanced, true);
+    assert_eq!(text_a, text_b);
+    assert_eq!(chrome_a, chrome_b);
+    // The injected crashes must be visible in the trace: crash capture,
+    // the RS notification, the decision and the completed recovery.
+    for needle in [
+        "Crash",
+        "RsCrashNotified",
+        "RecoveryDecision",
+        "RecoveryDone",
+    ] {
+        assert!(
+            text_a.contains(needle),
+            "faulted trace must contain {needle}"
+        );
+    }
+}
+
+#[test]
+fn disabled_tracer_records_nothing() {
+    let (_, os) = run_suite_with(OsConfig::with_policy(PolicyKind::Enhanced), None);
+    assert!(os.trace_text().is_empty());
+    assert!(os.trace_handle().with(|t| t.is_empty()));
+}

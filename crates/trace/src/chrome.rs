@@ -1,0 +1,295 @@
+//! Chrome `trace_event`-format export.
+//!
+//! Converts a [`TraceRecord`] stream into the JSON Object Format consumed
+//! by `chrome://tracing` and Perfetto: one "process" (the simulated OS)
+//! with one "thread" per component, recovery windows and recoveries drawn
+//! as duration slices, syscalls as async spans keyed by syscall id, and
+//! everything else as instant events. Timestamps are virtual-clock cycles
+//! reported in the `ts` microsecond field — the absolute unit is
+//! meaningless, only the deterministic relative layout matters.
+
+use crate::json::Json;
+use crate::{comp_name, TraceEvent, TraceRecord, KERNEL_COMP};
+
+/// `tid` used for kernel-originated events (Perfetto dislikes 255-ish
+/// gaps less than it dislikes colliding tids, so keep it distinct).
+const KERNEL_TID: u64 = 999;
+
+fn tid(comp: u8) -> u64 {
+    if comp == KERNEL_COMP {
+        KERNEL_TID
+    } else {
+        comp as u64
+    }
+}
+
+fn event_json(name: &str, ph: &str, r: &TraceRecord, mut args: Vec<(String, Json)>) -> Json {
+    let mut pairs = vec![
+        ("name".to_string(), Json::Str(name.to_string())),
+        ("ph".to_string(), Json::Str(ph.to_string())),
+        ("ts".to_string(), Json::UInt(r.now)),
+        ("pid".to_string(), Json::UInt(1)),
+        ("tid".to_string(), Json::UInt(tid(r.comp))),
+    ];
+    args.push(("seq".to_string(), Json::UInt(r.seq)));
+    pairs.push(("args".to_string(), Json::Obj(args)));
+    Json::Obj(pairs)
+}
+
+fn kv(k: &str, v: Json) -> (String, Json) {
+    (k.to_string(), v)
+}
+
+/// Renders `records` as a complete Chrome trace document.
+///
+/// `names` maps component indices to display names (the kernel's component
+/// table order); unknown indices fall back to `c<n>`.
+pub fn chrome_trace(records: &[TraceRecord], names: &[String]) -> Json {
+    let mut events = Vec::with_capacity(records.len() + names.len() + 2);
+
+    // Metadata: name the process and one thread per component.
+    events.push(Json::obj([
+        ("name", Json::Str("process_name".into())),
+        ("ph", Json::Str("M".into())),
+        ("pid", Json::UInt(1)),
+        (
+            "args",
+            Json::obj([("name", Json::Str("osiris (virtual cycles)".into()))]),
+        ),
+    ]));
+    for (i, name) in names.iter().enumerate() {
+        events.push(Json::obj([
+            ("name", Json::Str("thread_name".into())),
+            ("ph", Json::Str("M".into())),
+            ("pid", Json::UInt(1)),
+            ("tid", Json::UInt(i as u64)),
+            ("args", Json::obj([("name", Json::Str(name.clone()))])),
+        ]));
+    }
+    events.push(Json::obj([
+        ("name", Json::Str("thread_name".into())),
+        ("ph", Json::Str("M".into())),
+        ("pid", Json::UInt(1)),
+        ("tid", Json::UInt(KERNEL_TID)),
+        ("args", Json::obj([("name", Json::Str("kernel".into()))])),
+    ]));
+
+    for r in records {
+        match &r.event {
+            TraceEvent::IpcSend { dst, msg_id, class } => events.push(event_json(
+                "ipc_send",
+                "i",
+                r,
+                vec![
+                    kv("dst", Json::Str(comp_name(*dst, names))),
+                    kv("msg_id", Json::UInt(*msg_id)),
+                    kv("class", Json::Str(format!("{class:?}"))),
+                ],
+            )),
+            TraceEvent::IpcDeliver { src, msg_id } => events.push(event_json(
+                "ipc_deliver",
+                "i",
+                r,
+                vec![
+                    kv("src", Json::Str(comp_name(*src, names))),
+                    kv("msg_id", Json::UInt(*msg_id)),
+                ],
+            )),
+            // Windows never overlap within a component, so B/E pairs on the
+            // component's tid nest correctly.
+            TraceEvent::WindowOpen => events.push(event_json("window", "B", r, vec![])),
+            TraceEvent::WindowClose { reason, class } => {
+                // An unmatched E (close without a recorded open, e.g. after
+                // ring wraparound) confuses viewers less than an unmatched
+                // B, and Perfetto tolerates both.
+                events.push(event_json(
+                    "window",
+                    "E",
+                    r,
+                    vec![
+                        kv("reason", Json::Str(format!("{reason:?}"))),
+                        kv("class", Json::Str(format!("{class:?}"))),
+                    ],
+                ))
+            }
+            TraceEvent::UndoAppend { bytes } => events.push(event_json(
+                "undo_append",
+                "i",
+                r,
+                vec![kv("bytes", Json::UInt(*bytes as u64))],
+            )),
+            TraceEvent::UndoCoalesce => events.push(event_json("undo_coalesce", "i", r, vec![])),
+            TraceEvent::CheckpointMark { log_len } => events.push(event_json(
+                "checkpoint_mark",
+                "i",
+                r,
+                vec![kv("log_len", Json::UInt(*log_len as u64))],
+            )),
+            TraceEvent::Rollback { records, bytes } => events.push(event_json(
+                "rollback",
+                "i",
+                r,
+                vec![
+                    kv("records", Json::UInt(*records as u64)),
+                    kv("bytes", Json::UInt(*bytes as u64)),
+                ],
+            )),
+            TraceEvent::Discard { records, bytes } => events.push(event_json(
+                "discard",
+                "i",
+                r,
+                vec![
+                    kv("records", Json::UInt(*records as u64)),
+                    kv("bytes", Json::UInt(*bytes as u64)),
+                ],
+            )),
+            TraceEvent::Crash { target } => events.push(event_json(
+                "crash",
+                "i",
+                r,
+                vec![kv("target", Json::Str(comp_name(*target, names)))],
+            )),
+            TraceEvent::HangDetected { target } => events.push(event_json(
+                "hang_detected",
+                "i",
+                r,
+                vec![kv("target", Json::Str(comp_name(*target, names)))],
+            )),
+            TraceEvent::RsCrashNotified { target } => events.push(event_json(
+                "rs_crash_notified",
+                "i",
+                r,
+                vec![kv("target", Json::Str(comp_name(*target, names)))],
+            )),
+            TraceEvent::RecoveryDecision { target, action } => events.push(event_json(
+                "recovery_decision",
+                "i",
+                r,
+                vec![
+                    kv("target", Json::Str(comp_name(*target, names))),
+                    kv("action", Json::Str(format!("{action:?}"))),
+                ],
+            )),
+            // Recovery latency renders as a complete slice ending at the
+            // RecoveryDone timestamp (the clock has already been charged).
+            TraceEvent::RecoveryDone { target, cycles } => {
+                let mut e = event_json(
+                    "recovery",
+                    "X",
+                    r,
+                    vec![
+                        kv("target", Json::Str(comp_name(*target, names))),
+                        kv("cycles", Json::UInt(*cycles)),
+                    ],
+                );
+                if let Json::Obj(pairs) = &mut e {
+                    for (k, v) in pairs.iter_mut() {
+                        if k == "ts" {
+                            *v = Json::UInt(r.now.saturating_sub(*cycles));
+                        }
+                    }
+                    pairs.insert(3, ("dur".to_string(), Json::UInt(*cycles)));
+                }
+                events.push(e)
+            }
+            // Syscalls to one server can interleave, so use async spans
+            // keyed by syscall id instead of B/E stack slices.
+            TraceEvent::SyscallEnter { sid, pid } => {
+                let mut e = event_json("syscall", "b", r, vec![kv("pid", Json::UInt(*pid as u64))]);
+                if let Json::Obj(pairs) = &mut e {
+                    pairs.insert(2, ("cat".to_string(), Json::Str("syscall".into())));
+                    pairs.insert(3, ("id".to_string(), Json::UInt(*sid)));
+                }
+                events.push(e)
+            }
+            TraceEvent::SyscallExit { sid, pid, ok } => {
+                let mut e = event_json(
+                    "syscall",
+                    "e",
+                    r,
+                    vec![
+                        kv("pid", Json::UInt(*pid as u64)),
+                        kv("ok", Json::Bool(*ok)),
+                    ],
+                );
+                if let Json::Obj(pairs) = &mut e {
+                    pairs.insert(2, ("cat".to_string(), Json::Str("syscall".into())));
+                    pairs.insert(3, ("id".to_string(), Json::UInt(*sid)));
+                }
+                events.push(e)
+            }
+            TraceEvent::ShutdownDecision { controlled } => events.push(event_json(
+                "shutdown_decision",
+                "i",
+                r,
+                vec![kv("controlled", Json::Bool(*controlled))],
+            )),
+        }
+    }
+
+    Json::obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::Str("ns".into())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CloseCode, TraceRecord};
+
+    #[test]
+    fn exports_valid_structure() {
+        let names = vec!["rs".to_string(), "pm".to_string()];
+        let recs = vec![
+            TraceRecord {
+                now: 10,
+                seq: 0,
+                comp: 1,
+                event: TraceEvent::WindowOpen,
+            },
+            TraceRecord {
+                now: 40,
+                seq: 1,
+                comp: 1,
+                event: TraceEvent::WindowClose {
+                    reason: CloseCode::Completed,
+                    class: crate::SeepClassCode::None,
+                },
+            },
+            TraceRecord {
+                now: 900,
+                seq: 0,
+                comp: 0,
+                event: TraceEvent::RecoveryDone {
+                    target: 1,
+                    cycles: 600,
+                },
+            },
+        ];
+        let doc = chrome_trace(&recs, &names);
+        let text = doc.pretty();
+        assert!(text.contains("\"traceEvents\""));
+        assert!(text.contains("\"thread_name\""));
+        assert!(text.contains("\"ph\": \"B\""));
+        assert!(text.contains("\"ph\": \"E\""));
+        // The recovery slice starts at now - cycles.
+        assert!(text.contains("\"dur\": 600"));
+        assert!(text.contains("\"ts\": 300"));
+    }
+
+    #[test]
+    fn deterministic_render() {
+        let names = vec!["pm".to_string()];
+        let recs = vec![TraceRecord {
+            now: 1,
+            seq: 0,
+            comp: 0,
+            event: TraceEvent::UndoAppend { bytes: 8 },
+        }];
+        assert_eq!(
+            chrome_trace(&recs, &names).pretty(),
+            chrome_trace(&recs, &names).pretty()
+        );
+    }
+}

@@ -1,0 +1,192 @@
+//! Fixed-bucket log2 histograms.
+//!
+//! Buckets are powers of two: bucket 0 holds the value 0, bucket `b ≥ 1`
+//! holds values whose bit length is `b`, i.e. the range `[2^(b-1), 2^b)`.
+//! 65 buckets cover the whole `u64` domain, the array is `Copy`-sized, and
+//! recording a sample is two adds and a `leading_zeros` — cheap enough for
+//! per-window sampling and entirely allocation-free.
+
+/// Number of buckets: one for zero plus one per possible bit length.
+pub const BUCKETS: usize = 65;
+
+/// An allocation-free log2 histogram over `u64` samples.
+#[derive(Clone, Copy, Debug)]
+pub struct Log2Hist {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Log2Hist {
+    fn default() -> Self {
+        Log2Hist::new()
+    }
+}
+
+impl Log2Hist {
+    /// An empty histogram.
+    pub const fn new() -> Log2Hist {
+        Log2Hist {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket index for `value` (its bit length; 0 for 0).
+    pub fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Lower bound of bucket `b` (its representative value in summaries).
+    pub fn bucket_floor(b: usize) -> u64 {
+        if b == 0 {
+            0
+        } else {
+            1u64 << (b - 1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Raw bucket counts.
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Resets to empty.
+    pub fn reset(&mut self) {
+        *self = Log2Hist::new();
+    }
+
+    /// The value at quantile `q` (0.0–1.0), approximated by the floor of
+    /// the bucket containing that rank and clamped to the observed
+    /// min/max. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_floor(b).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Condenses the histogram into a fixed summary.
+    pub fn summary(&self) -> HistSummary {
+        HistSummary {
+            count: self.count,
+            min: if self.count == 0 { 0 } else { self.min },
+            max: self.max,
+            mean: self.sum.checked_div(self.count).unwrap_or(0),
+            p50: self.quantile(0.50),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Fixed-size digest of a [`Log2Hist`], suitable for embedding in reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Smallest sample (0 if empty).
+    pub min: u64,
+    /// Largest sample (0 if empty).
+    pub max: u64,
+    /// Integer mean (0 if empty).
+    pub mean: u64,
+    /// Approximate median (log2-bucket resolution).
+    pub p50: u64,
+    /// Approximate 99th percentile (log2-bucket resolution).
+    pub p99: u64,
+}
+
+impl std::fmt::Display for HistSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.count == 0 {
+            write!(f, "n=0")
+        } else {
+            write!(
+                f,
+                "n={} min={} p50={} p99={} max={}",
+                self.count, self.min, self.p50, self.p99, self.max
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_domain() {
+        assert_eq!(Log2Hist::bucket_of(0), 0);
+        assert_eq!(Log2Hist::bucket_of(1), 1);
+        assert_eq!(Log2Hist::bucket_of(2), 2);
+        assert_eq!(Log2Hist::bucket_of(3), 2);
+        assert_eq!(Log2Hist::bucket_of(4), 3);
+        assert_eq!(Log2Hist::bucket_of(u64::MAX), 64);
+        assert_eq!(Log2Hist::bucket_floor(0), 0);
+        assert_eq!(Log2Hist::bucket_floor(1), 1);
+        assert_eq!(Log2Hist::bucket_floor(3), 4);
+    }
+
+    #[test]
+    fn summary_of_empty() {
+        let h = Log2Hist::new();
+        assert_eq!(h.summary(), HistSummary::default());
+    }
+
+    #[test]
+    fn summary_tracks_extremes_and_quantiles() {
+        let mut h = Log2Hist::new();
+        for v in [5u64, 5, 5, 5, 1000] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 5);
+        assert_eq!(s.max, 1000);
+        // p50 falls in bucket_of(5) = 3, floor 4, clamped to min 5.
+        assert_eq!(s.p50, 5);
+        // p99 falls in the 1000 bucket: floor 512, within [5, 1000].
+        assert_eq!(s.p99, 512);
+        assert_eq!(s.mean, (5 * 4 + 1000) / 5);
+    }
+
+    #[test]
+    fn quantiles_clamp_to_observed_range() {
+        let mut h = Log2Hist::new();
+        h.record(7);
+        assert_eq!(h.quantile(0.0), 7);
+        assert_eq!(h.quantile(1.0), 7);
+    }
+}

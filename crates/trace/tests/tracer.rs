@@ -1,0 +1,146 @@
+//! Tracer behavior: ring wraparound, filtering, sequence numbers, and the
+//! black-box tail.
+
+use osiris_trace::{
+    render_text, Category, CategoryMask, Severity, TraceConfig, TraceEvent, TraceHandle,
+};
+
+fn cfg(capacity: usize) -> TraceConfig {
+    TraceConfig {
+        enabled: true,
+        capacity,
+        ..TraceConfig::default()
+    }
+}
+
+#[test]
+fn ring_wraps_and_keeps_newest() {
+    let h = TraceHandle::new(cfg(4));
+    for i in 0..10u64 {
+        h.set_now(i);
+        h.emit(0, TraceEvent::IpcDeliver { src: 1, msg_id: i });
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.len(), 4, "ring holds exactly its capacity");
+    // Oldest-first chronological order: the last four emits survive.
+    let ids: Vec<u64> = snap
+        .iter()
+        .map(|r| match r.event {
+            TraceEvent::IpcDeliver { msg_id, .. } => msg_id,
+            _ => unreachable!(),
+        })
+        .collect();
+    assert_eq!(ids, vec![6, 7, 8, 9]);
+    assert_eq!(snap[0].now, 6);
+    h.with(|t| {
+        assert!(t.has_wrapped());
+        assert_eq!(t.total_recorded(), 10);
+    });
+}
+
+#[test]
+fn per_component_sequence_numbers() {
+    let h = TraceHandle::new(cfg(16));
+    h.emit(0, TraceEvent::WindowOpen);
+    h.emit(1, TraceEvent::WindowOpen);
+    h.emit(0, TraceEvent::UndoCoalesce);
+    let snap = h.snapshot();
+    assert_eq!(snap[0].seq, 0);
+    assert_eq!(snap[1].seq, 0, "each component has its own counter");
+    assert_eq!(snap[2].seq, 1);
+}
+
+#[test]
+fn category_filter_drops_unselected_events() {
+    let h = TraceHandle::new(TraceConfig {
+        categories: CategoryMask::of(&[Category::Window]),
+        ..cfg(16)
+    });
+    h.emit(0, TraceEvent::WindowOpen);
+    h.emit(0, TraceEvent::UndoAppend { bytes: 8 });
+    h.emit(0, TraceEvent::IpcDeliver { src: 1, msg_id: 1 });
+    let snap = h.snapshot();
+    assert_eq!(snap.len(), 1);
+    assert_eq!(snap[0].event, TraceEvent::WindowOpen);
+    // Filtered events do not consume sequence numbers.
+    h.emit(
+        0,
+        TraceEvent::WindowClose {
+            reason: osiris_trace::CloseCode::Manual,
+            class: osiris_trace::SeepClassCode::None,
+        },
+    );
+    assert_eq!(h.snapshot()[1].seq, 1);
+}
+
+#[test]
+fn severity_filter_drops_low_severity() {
+    let h = TraceHandle::new(TraceConfig {
+        min_severity: Severity::Warn,
+        ..cfg(16)
+    });
+    h.emit(0, TraceEvent::UndoAppend { bytes: 8 }); // Debug
+    h.emit(0, TraceEvent::WindowOpen); // Info
+    h.emit(0, TraceEvent::Crash { target: 0 }); // Warn
+    h.emit(0, TraceEvent::ShutdownDecision { controlled: false }); // Error
+    assert_eq!(h.snapshot().len(), 2);
+}
+
+#[test]
+fn zero_capacity_counts_but_stores_nothing() {
+    let h = TraceHandle::new(cfg(0));
+    h.emit(0, TraceEvent::WindowOpen);
+    assert!(h.snapshot().is_empty());
+    h.with(|t| assert_eq!(t.total_recorded(), 1));
+}
+
+#[test]
+fn blackbox_tail_is_per_component() {
+    let h = TraceHandle::new(TraceConfig {
+        blackbox_tail: 2,
+        ..cfg(64)
+    });
+    for i in 0..5u64 {
+        h.set_now(i);
+        h.emit(0, TraceEvent::IpcDeliver { src: 2, msg_id: i });
+    }
+    h.emit(1, TraceEvent::WindowOpen);
+    let names = vec!["pm".to_string(), "vfs".to_string()];
+    let dump = h.blackbox(&names).expect("enabled tracer dumps");
+    // Component 0 contributes its last two events only; component 1 its one.
+    assert_eq!(dump.matches("msg_id: 3").count(), 1);
+    assert_eq!(dump.matches("msg_id: 4").count(), 1);
+    assert_eq!(dump.matches("msg_id: 2").count(), 0);
+    assert!(dump.contains("vfs"));
+}
+
+#[test]
+fn render_text_is_deterministic_and_named() {
+    let h = TraceHandle::new(cfg(8));
+    h.set_now(42);
+    h.emit(0, TraceEvent::WindowOpen);
+    h.emit(
+        osiris_trace::KERNEL_COMP,
+        TraceEvent::ShutdownDecision { controlled: true },
+    );
+    let names = vec!["pm".to_string()];
+    let a = render_text(&h.snapshot(), &names);
+    let b = render_text(&h.snapshot(), &names);
+    assert_eq!(a, b);
+    assert!(a.contains("pm"));
+    assert!(a.contains("kernel"));
+    assert!(a.contains("t=42"));
+}
+
+#[test]
+fn enable_toggle() {
+    let h = TraceHandle::new(TraceConfig::default());
+    h.emit(0, TraceEvent::WindowOpen);
+    assert!(h.snapshot().is_empty());
+    h.set_enabled(true);
+    h.emit(0, TraceEvent::WindowOpen);
+    assert_eq!(h.snapshot().len(), 1);
+    h.set_enabled(false);
+    h.emit(0, TraceEvent::WindowOpen);
+    assert_eq!(h.snapshot().len(), 1);
+}

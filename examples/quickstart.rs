@@ -1,6 +1,8 @@
 //! Quickstart: boot the OSIRIS OS, run a workload, crash the Process
 //! Manager mid-call, and watch the system recover with error
-//! virtualization.
+//! virtualization. The run is flight-recorded; a Chrome-trace JSON (open
+//! it in `chrome://tracing` or <https://ui.perfetto.dev>) is written to
+//! `quickstart_trace.json`, or to the path in `OSIRIS_TRACE_OUT`.
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -65,7 +67,9 @@ fn main() {
         0
     });
 
-    let mut os = Os::new(OsConfig::with_policy(PolicyKind::Enhanced));
+    let mut cfg = OsConfig::with_policy(PolicyKind::Enhanced);
+    cfg.trace = osiris::TraceConfig::on();
+    let mut os = Os::new(cfg);
     os.set_fault_hook(Box::new(CrashForkOnce(AtomicBool::new(false))));
 
     let mut host = Host::new(os, registry);
@@ -86,5 +90,14 @@ fn main() {
             format!("{violations:?}")
         }
     );
+
+    // Export the flight-recorder trace in Chrome trace_event format.
+    let out = std::env::var("OSIRIS_TRACE_OUT").unwrap_or_else(|_| "quickstart_trace.json".into());
+    std::fs::write(&out, os.chrome_trace().pretty()).expect("write trace JSON");
+    println!(
+        "trace:     {} events -> {out} (open in chrome://tracing or ui.perfetto.dev)",
+        os.trace_handle().with(|t| t.len())
+    );
+
     assert!(outcome.completed() && violations.is_empty());
 }

@@ -20,6 +20,8 @@
 //! * [`monolith`] — the monolithic baseline with the same syscall ABI.
 //! * [`faults`] — EDFI-style fault injection and campaign tooling.
 //! * [`workloads`] — the prototype test suite and Unixbench analogs.
+//! * [`trace`] — the deterministic flight recorder (event ring, histograms,
+//!   Chrome-trace export, post-mortem black box).
 //!
 //! # Quickstart
 //!
@@ -47,6 +49,7 @@ pub use osiris_faults as faults;
 pub use osiris_kernel as kernel;
 pub use osiris_monolith as monolith;
 pub use osiris_servers as servers;
+pub use osiris_trace as trace;
 pub use osiris_workloads as workloads;
 
 pub use osiris_checkpoint::Heap;
@@ -60,3 +63,4 @@ pub use osiris_kernel::{
 };
 pub use osiris_monolith::Monolith;
 pub use osiris_servers::{Os, OsConfig};
+pub use osiris_trace::{TraceConfig, TraceEvent, TraceHandle};
