@@ -22,14 +22,25 @@ cargo test -q
 echo "== workspace tests =="
 cargo test -q --workspace
 
-echo "== trace determinism: two identical runs, byte-identical exports =="
+echo "== trace + metrics determinism: two identical runs, byte-identical exports =="
 trace_tmp="$(mktemp -d)"
 trap 'rm -rf "$trace_tmp"' EXIT
-OSIRIS_TRACE_OUT="$trace_tmp/a.json" cargo run --release --example quickstart >/dev/null
-OSIRIS_TRACE_OUT="$trace_tmp/b.json" cargo run --release --example quickstart >/dev/null
+OSIRIS_TRACE_OUT="$trace_tmp/a.json" OSIRIS_METRICS_OUT="$trace_tmp/a_metrics" \
+    cargo run --release --example quickstart >/dev/null
+OSIRIS_TRACE_OUT="$trace_tmp/b.json" OSIRIS_METRICS_OUT="$trace_tmp/b_metrics" \
+    cargo run --release --example quickstart >/dev/null
 diff "$trace_tmp/a.json" "$trace_tmp/b.json"
+diff "$trace_tmp/a_metrics.prom" "$trace_tmp/b_metrics.prom"
+diff "$trace_tmp/a_metrics.json" "$trace_tmp/b_metrics.json"
+
+echo "== promlint: Prometheus exposition well-formedness =="
+cargo run --release -p osiris-metrics --bin promlint -- \
+    "$trace_tmp/a_metrics.prom" "$trace_tmp/b_metrics.prom"
 
 echo "== bench_trace --check: tracer overhead bounds =="
 cargo run --release -p osiris-bench --bin bench_trace -- --check
+
+echo "== bench_metrics --check: registry overhead bounds =="
+cargo run --release -p osiris-bench --bin bench_metrics -- --check
 
 echo "ci.sh: all gates passed"

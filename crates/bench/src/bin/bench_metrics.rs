@@ -1,0 +1,91 @@
+//! Metrics-registry microbenchmark with allocator-call counting.
+//!
+//! Installs a counting wrapper around the system allocator so the run can
+//! *prove* the registry's "zero allocator calls in steady state" claim,
+//! then benchmarks metric writes with no registry vs registered-but-off
+//! handles vs full recording, and writes `BENCH_metrics.json`.
+//!
+//! `--check` runs a scaled-down workload and enforces the same invariants
+//! without writing the JSON artifact — the CI gate.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use osiris_bench::{bench_metrics, MetricsBenchConfig};
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator wrapper that counts every allocation entry point.
+struct CountingAlloc;
+
+// SAFETY: delegates every operation unchanged to the system allocator; the
+// counter is a relaxed atomic with no effect on allocation behavior.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_calls() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check" || a == "--quick");
+    let mut cfg = if check {
+        MetricsBenchConfig::quick()
+    } else {
+        MetricsBenchConfig::default()
+    };
+    cfg.alloc_count = Some(alloc_calls);
+
+    let result = bench_metrics(cfg);
+    print!("{}", result.render());
+
+    if !check {
+        std::fs::write("BENCH_metrics.json", result.to_json().pretty())
+            .expect("write BENCH_metrics.json");
+        println!("results written to BENCH_metrics.json");
+    }
+
+    // The two headline claims, enforced so regressions fail loudly in CI.
+    let enabled_allocs = result
+        .enabled
+        .steady_state_allocs
+        .expect("counter installed");
+    assert_eq!(
+        enabled_allocs, 0,
+        "steady-state recording must not touch the allocator"
+    );
+    assert!(
+        result.disabled_within_bound(),
+        "disabled registry overhead {:.2}% ({:.3} ns/write) exceeds the {}%/{}ns bound",
+        result.disabled_overhead_pct(),
+        result.disabled_overhead_ns(),
+        osiris_bench::DISABLED_BOUND_PCT,
+        osiris_bench::DISABLED_EPSILON_NS,
+    );
+    println!(
+        "OK: disabled overhead {:.2}% within bound, recording made {} allocator calls",
+        result.disabled_overhead_pct(),
+        enabled_allocs
+    );
+}

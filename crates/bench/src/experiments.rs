@@ -2,8 +2,9 @@
 
 use osiris_core::PolicyKind;
 use osiris_faults::{
-    classify, plan_faults, run_parallel, FaultModel, Injector, Outcome, PeriodicCrash, Recorder,
-    SiteProfile, Tally,
+    campaign::model_label, classify, plan_faults, run_parallel, Campaign, FaultModel,
+    InjectionRecord, Injector, Outcome, PeriodicCrash, Recorder, RecoveryActionTag, SiteProfile,
+    Tally,
 };
 use osiris_kernel::{Instrumentation, OsEngine, ProgramRegistry};
 use osiris_monolith::Monolith;
@@ -26,6 +27,20 @@ fn campaign_config(policy: PolicyKind) -> OsConfig {
         vm_frames: 8192,
         ..Default::default()
     }
+}
+
+/// Campaign config for injected runs: flight-record quietly (small ring,
+/// kernel auto-dump off) so a run that ends in an uncontrolled crash can
+/// hand its trace tail to the campaign observer's black-box dump.
+fn injection_config(policy: PolicyKind) -> OsConfig {
+    let mut cfg = campaign_config(policy);
+    cfg.trace = osiris_trace::TraceConfig {
+        enabled: true,
+        capacity: 2048,
+        blackbox_tail: 0,
+        ..Default::default()
+    };
+    cfg
 }
 
 // ---------------------------------------------------------------------
@@ -144,6 +159,12 @@ pub struct SurvivabilityTable {
     pub faults: usize,
     /// Outcome tallies, in policy order.
     pub rows: Vec<(PolicyKind, Tally)>,
+    /// Per-injection records (site, fault, outcome, recovery action,
+    /// latency), in completion order across all policies.
+    pub records: Vec<InjectionRecord>,
+    /// The campaign observer's final report document — the payload of
+    /// `campaign_report.json`.
+    pub report: osiris_trace::Json,
 }
 
 /// Profiles the suite once (paper: "a separate profiling run to determine
@@ -165,6 +186,16 @@ pub fn survivability(model: FaultModel, threads: usize, seed: u64) -> Survivabil
     survivability_for(&PolicyKind::STANDARD, model, threads, seed)
 }
 
+/// Runs the benchmark suite once fault-free under the default policy and
+/// writes the kernel's metrics registry as Prometheus text plus JSON,
+/// rooted at `base` (producing `<base>.prom` and `<base>.json`).
+pub fn export_suite_metrics(
+    base: &str,
+) -> std::io::Result<(std::path::PathBuf, std::path::PathBuf)> {
+    let (_, os) = run_suite_with(OsConfig::default(), None);
+    os.write_metrics(base)
+}
+
 /// Like [`survivability`], for an arbitrary policy set (used by the
 /// kill-requester ablation of paper §VII).
 pub fn survivability_for(
@@ -175,18 +206,44 @@ pub fn survivability_for(
 ) -> SurvivabilityTable {
     let profile = profile_suite();
     let plans = plan_faults(&profile, model, seed);
+    let campaign = Campaign::new(model_label(model), model, plans.len() * policies.len());
     let mut rows = Vec::new();
     for &policy in policies {
         let jobs: Vec<_> = plans.clone();
+        let campaign = &campaign;
         let outcomes: Vec<Outcome> = run_parallel(jobs, threads, |plan| {
             let injector = Injector::new(&plan);
-            let (outcome, os) = run_suite_with(campaign_config(policy), Some(Box::new(injector)));
+            let (outcome, os) = run_suite_with(injection_config(policy), Some(Box::new(injector)));
             let violations = if outcome.completed() {
                 os.audit().len()
             } else {
                 0
             };
-            classify(&outcome, violations)
+            let class = classify(&outcome, violations);
+            let m = os.metrics();
+            // An uncontrolled crash carries its flight-recorder tail so the
+            // campaign observer can dump a post-mortem black box.
+            let blackbox = (class == Outcome::Crash).then(|| {
+                let tail = os.trace_handle().with(|t| t.tail_per_comp(12));
+                osiris_trace::render_text(&tail, &os.kernel().trace_names())
+            });
+            campaign.record(InjectionRecord {
+                site: plan.site.clone(),
+                kind: plan.kind,
+                policy: policy.to_string(),
+                outcome: class,
+                action: RecoveryActionTag::from_counts(
+                    m.recovered_rollback,
+                    m.recovered_fresh,
+                    m.recovered_naive,
+                    m.controlled_shutdowns,
+                ),
+                run_cycles: os.kernel().now(),
+                recoveries: m.recovered_rollback + m.recovered_fresh + m.recovered_naive,
+                recovery_cycles: m.recovery_cycles,
+                blackbox,
+            });
+            class
         });
         rows.push((policy, outcomes.into_iter().collect()));
     }
@@ -194,6 +251,8 @@ pub fn survivability_for(
         model,
         faults: plans.len(),
         rows,
+        records: campaign.records(),
+        report: campaign.report_json(),
     }
 }
 

@@ -11,12 +11,14 @@
 pub mod experiments;
 pub mod json;
 pub mod loc;
+pub mod metrics_bench;
 pub mod trace_bench;
 pub mod undo_bench;
 
 pub use experiments::*;
 pub use json::{Json, ResultsJson, SurvivabilityJson};
 pub use loc::{count_workspace_loc, CrateLoc, RcbReport};
+pub use metrics_bench::{bench_metrics, MetricsBenchConfig, MetricsBenchResult, MetricsModeResult};
 pub use trace_bench::{
     bench_trace, TraceBenchConfig, TraceBenchResult, TraceModeResult, DISABLED_BOUND_PCT,
     DISABLED_EPSILON_NS,

@@ -772,17 +772,15 @@ impl Heap {
     }
 
     /// Records the current undo-log size as a window-close sample: the
-    /// high-water mark of *per-window* log size (`undo_bytes_window_peak`)
-    /// and the size of the last closed window. Every path that retires a
-    /// log — commit discard, rollback, image restore — passes through here,
-    /// so Table VI's peak is sampled when windows close rather than
-    /// reconstructed at report time.
+    /// high-water mark of *per-window* log size (`undo_bytes_window_peak`).
+    /// Every path that retires a log — commit discard, rollback, image
+    /// restore — passes through here, so Table VI's peak is sampled when
+    /// windows close rather than reconstructed at report time.
     fn sample_window_close(&mut self) {
         let bytes = self.stats.undo_bytes_current;
         if self.log_len() == 0 {
             return;
         }
-        self.stats.undo_bytes_last_window = bytes;
         if bytes > self.stats.undo_bytes_window_peak {
             self.stats.undo_bytes_window_peak = bytes;
         }

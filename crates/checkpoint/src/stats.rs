@@ -25,14 +25,10 @@ pub struct HeapStats {
     /// rollback or discard); per-window deltas of this counter feed the
     /// undo-bytes-per-window histogram.
     pub undo_bytes_appended: u64,
-    /// Undo-log bytes held by the most recently retired (closed or rolled
-    /// back) window, sampled at the moment the log was consumed.
-    pub undo_bytes_last_window: usize,
-    /// High-water mark of `undo_bytes_last_window`: the largest undo log
-    /// any single window accumulated, sampled at window close rather than
-    /// at report time. Under window-gated instrumentation this equals
-    /// `undo_bytes_peak`; under always-on logging it excludes log growth
-    /// that happened outside any window.
+    /// The largest undo log any single window accumulated, sampled at
+    /// window close rather than at report time. Under window-gated
+    /// instrumentation this equals `undo_bytes_peak`; under always-on
+    /// logging it excludes log growth that happened outside any window.
     pub undo_bytes_window_peak: usize,
     /// Cumulative payload bytes appended into already-warm arena capacity
     /// (i.e. without growing the allocation). Steady-state windows should see
@@ -58,7 +54,6 @@ mod tests {
         assert_eq!(s.undo_bytes_current, 0);
         assert_eq!(s.undo_bytes_peak, 0);
         assert_eq!(s.undo_bytes_appended, 0);
-        assert_eq!(s.undo_bytes_last_window, 0);
         assert_eq!(s.undo_bytes_window_peak, 0);
         assert_eq!(s.arena_reuse_bytes, 0);
         assert_eq!(s.rollbacks, 0);

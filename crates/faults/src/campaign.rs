@@ -1,0 +1,425 @@
+//! Live observability for fault-injection campaigns.
+//!
+//! A [`Campaign`] is a thread-safe observer the campaign runner feeds one
+//! [`InjectionRecord`] per injected run. It
+//!
+//! * streams every outcome into a metrics registry
+//!   (`osiris_campaign_outcomes_total{policy,component,model,outcome}` plus
+//!   run-length and recovery-latency histograms), so campaign results ride
+//!   the same Prometheus/JSON exporters as the kernel counters;
+//! * keeps a component × policy outcome matrix and prints it live —
+//!   Table II/III-style — with a progress line as runs complete;
+//! * re-prints the flight-recorder tail of the first few runs that ended
+//!   in an *uncontrolled crash* (the black-box dump of PR 2), which is
+//!   exactly the evidence needed to debug a survivability regression;
+//! * renders a final `campaign_report.json` document with the matrix and
+//!   the full per-injection record list.
+//!
+//! Progress and dumps go to **stderr**; stdout stays reserved for the
+//! deterministic table output the CI diff gates compare.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use osiris_metrics::MetricsHandle;
+use osiris_trace::Json;
+
+use crate::{FaultKind, FaultModel, Outcome, SiteId, Tally};
+
+/// Short label for a fault model, used in metrics labels and reports.
+pub fn model_label(model: FaultModel) -> &'static str {
+    match model {
+        FaultModel::FailStop => "fail-stop",
+        FaultModel::TransientFailStop => "transient-fail-stop",
+        FaultModel::FullEdfi => "full-edfi",
+    }
+}
+
+/// Short label for a fault kind, used in metrics labels and reports.
+pub fn kind_label(kind: FaultKind) -> &'static str {
+    match kind {
+        FaultKind::Crash => "crash",
+        FaultKind::Hang => "hang",
+        FaultKind::BranchFlip => "branch-flip",
+        FaultKind::ValueCorrupt(_) => "value-corrupt",
+    }
+}
+
+/// The recovery action a run's kernel metrics say dominated it: what the
+/// system actually *did* about the injected fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryActionTag {
+    /// Rollback + error virtualization.
+    Rollback,
+    /// Fresh (stateless) restart.
+    Fresh,
+    /// Restart keeping crash-time state (naive).
+    Naive,
+    /// Controlled shutdown.
+    Shutdown,
+    /// No recovery machinery engaged (fault never fired, or fail-silent).
+    None,
+}
+
+impl RecoveryActionTag {
+    /// Derives the tag from a run's recovery counters, in the priority
+    /// order rollback > fresh > naive > shutdown.
+    pub fn from_counts(rollback: u64, fresh: u64, naive: u64, shutdowns: u64) -> Self {
+        if rollback > 0 {
+            RecoveryActionTag::Rollback
+        } else if fresh > 0 {
+            RecoveryActionTag::Fresh
+        } else if naive > 0 {
+            RecoveryActionTag::Naive
+        } else if shutdowns > 0 {
+            RecoveryActionTag::Shutdown
+        } else {
+            RecoveryActionTag::None
+        }
+    }
+
+    /// Short label for metrics and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecoveryActionTag::Rollback => "rollback",
+            RecoveryActionTag::Fresh => "fresh",
+            RecoveryActionTag::Naive => "naive",
+            RecoveryActionTag::Shutdown => "shutdown",
+            RecoveryActionTag::None => "none",
+        }
+    }
+}
+
+/// Everything the campaign keeps about one injected run.
+#[derive(Clone, Debug)]
+pub struct InjectionRecord {
+    /// Where the fault was injected.
+    pub site: SiteId,
+    /// The fault injected.
+    pub kind: FaultKind,
+    /// Recovery policy the run executed under.
+    pub policy: String,
+    /// Classified outcome.
+    pub outcome: Outcome,
+    /// Dominant recovery action taken by the run.
+    pub action: RecoveryActionTag,
+    /// Virtual cycles the run took end to end.
+    pub run_cycles: u64,
+    /// Recoveries executed during the run.
+    pub recoveries: u64,
+    /// Virtual cycles spent in recovery phases.
+    pub recovery_cycles: u64,
+    /// Flight-recorder tail of the run, carried only for uncontrolled
+    /// crashes (the black-box dump).
+    pub blackbox: Option<String>,
+}
+
+struct State {
+    done: usize,
+    /// (policy, component) → outcome tally.
+    matrix: BTreeMap<(String, String), Tally>,
+    records: Vec<InjectionRecord>,
+    blackbox_dumps: usize,
+}
+
+/// Thread-safe live observer for a fault-injection campaign.
+pub struct Campaign {
+    label: String,
+    model: FaultModel,
+    total: usize,
+    progress_every: usize,
+    max_blackbox_dumps: usize,
+    live: bool,
+    metrics: MetricsHandle,
+    inner: Mutex<State>,
+}
+
+impl std::fmt::Debug for Campaign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Campaign")
+            .field("label", &self.label)
+            .field("total", &self.total)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Campaign {
+    /// Creates an observer for a campaign of `total` planned runs. Progress
+    /// prints roughly ten times over the campaign's lifetime.
+    pub fn new(label: &str, model: FaultModel, total: usize) -> Campaign {
+        Campaign {
+            label: label.to_string(),
+            model,
+            total,
+            progress_every: (total / 10).max(1),
+            max_blackbox_dumps: 3,
+            live: true,
+            metrics: MetricsHandle::default(),
+            inner: Mutex::new(State {
+                done: 0,
+                matrix: BTreeMap::new(),
+                records: Vec::new(),
+                blackbox_dumps: 0,
+            }),
+        }
+    }
+
+    /// Suppresses the live progress matrix and black-box dumps (tests).
+    pub fn quiet(mut self) -> Campaign {
+        self.live = false;
+        self
+    }
+
+    /// Streams campaign outcomes into `handle` instead of a private
+    /// registry — e.g. the OS run's own registry, so one export carries
+    /// both kernel and campaign series.
+    pub fn with_metrics(mut self, handle: MetricsHandle) -> Campaign {
+        self.metrics = handle;
+        self
+    }
+
+    /// The registry campaign series are streamed into.
+    pub fn metrics_handle(&self) -> &MetricsHandle {
+        &self.metrics
+    }
+
+    /// Ingests one completed run: updates the matrix, streams the registry
+    /// series, prints progress at checkpoints, and dumps the black box of
+    /// the first few uncontrolled crashes.
+    pub fn record(&self, rec: InjectionRecord) {
+        let model = model_label(self.model);
+        self.metrics
+            .counter(
+                "osiris_campaign_outcomes_total",
+                "Fault-injection runs by policy, component, model and outcome",
+                &[
+                    ("policy", &rec.policy),
+                    ("component", &rec.site.component),
+                    ("model", model),
+                    ("outcome", &rec.outcome.to_string()),
+                ],
+            )
+            .inc();
+        self.metrics
+            .hist(
+                "osiris_campaign_run_cycles",
+                "Virtual cycles per injected run",
+                &[("policy", &rec.policy), ("model", model)],
+            )
+            .observe(rec.run_cycles);
+        if rec.recoveries > 0 {
+            self.metrics
+                .hist(
+                    "osiris_campaign_recovery_cycles",
+                    "Virtual cycles spent in recovery per run that recovered",
+                    &[("policy", &rec.policy), ("model", model)],
+                )
+                .observe(rec.recovery_cycles);
+        }
+
+        let mut st = self.inner.lock().expect("campaign lock");
+        st.matrix
+            .entry((rec.policy.clone(), rec.site.component.clone()))
+            .or_default()
+            .add(rec.outcome);
+        st.done += 1;
+        let crash_dump = if rec.outcome == Outcome::Crash
+            && rec.blackbox.is_some()
+            && st.blackbox_dumps < self.max_blackbox_dumps
+        {
+            st.blackbox_dumps += 1;
+            rec.blackbox.clone()
+        } else {
+            None
+        };
+        let at_checkpoint = st.done.is_multiple_of(self.progress_every) || st.done == self.total;
+        let progress = if self.live && at_checkpoint {
+            Some((st.done, render_matrix_locked(&st.matrix)))
+        } else {
+            None
+        };
+        st.records.push(rec);
+        drop(st);
+
+        if let Some(dump) = crash_dump {
+            eprintln!(
+                "[campaign {}] uncontrolled crash — flight-recorder tail:\n{}",
+                self.label, dump
+            );
+        }
+        if let Some((done, matrix)) = progress {
+            eprintln!(
+                "[campaign {}] {}/{} runs ({})\n{}",
+                self.label, done, self.total, model, matrix
+            );
+        }
+    }
+
+    /// Runs completed so far.
+    pub fn done(&self) -> usize {
+        self.inner.lock().expect("campaign lock").done
+    }
+
+    /// The component × outcome matrix rendered as text, one block row per
+    /// (policy, component) pair.
+    pub fn render_matrix(&self) -> String {
+        render_matrix_locked(&self.inner.lock().expect("campaign lock").matrix)
+    }
+
+    /// A clone of every record ingested so far, in completion order.
+    pub fn records(&self) -> Vec<InjectionRecord> {
+        self.inner.lock().expect("campaign lock").records.clone()
+    }
+
+    /// The final campaign report document (`campaign_report.json`).
+    pub fn report_json(&self) -> Json {
+        let st = self.inner.lock().expect("campaign lock");
+        let matrix: Vec<_> = st
+            .matrix
+            .iter()
+            .map(|((policy, component), t)| {
+                Json::obj([
+                    ("policy", Json::Str(policy.clone())),
+                    ("component", Json::Str(component.clone())),
+                    ("pass", Json::UInt(t.pass as u64)),
+                    ("fail", Json::UInt(t.fail as u64)),
+                    ("shutdown", Json::UInt(t.shutdown as u64)),
+                    ("crash", Json::UInt(t.crash as u64)),
+                    ("survivability_pct", Json::Num(t.survivability())),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("campaign", Json::Str(self.label.clone())),
+            ("model", Json::Str(model_label(self.model).to_string())),
+            ("planned_runs", Json::UInt(self.total as u64)),
+            ("completed_runs", Json::UInt(st.done as u64)),
+            ("matrix", Json::Arr(matrix)),
+            (
+                "records",
+                Json::arr(&st.records, |r| {
+                    Json::obj([
+                        ("component", Json::Str(r.site.component.clone())),
+                        ("site", Json::Str(r.site.site.clone())),
+                        ("fault", Json::Str(kind_label(r.kind).to_string())),
+                        ("policy", Json::Str(r.policy.clone())),
+                        ("outcome", Json::Str(r.outcome.to_string())),
+                        ("action", Json::Str(r.action.label().to_string())),
+                        ("run_cycles", Json::UInt(r.run_cycles)),
+                        ("recoveries", Json::UInt(r.recoveries)),
+                        ("recovery_cycles", Json::UInt(r.recovery_cycles)),
+                    ])
+                }),
+            ),
+        ])
+    }
+}
+
+fn render_matrix_locked(matrix: &BTreeMap<(String, String), Tally>) -> String {
+    let mut out = format!(
+        "  {:<14} {:<10} {:>6} {:>6} {:>9} {:>6} {:>7}\n",
+        "policy", "component", "pass", "fail", "shutdown", "crash", "surv%"
+    );
+    let mut per_policy: BTreeMap<&str, Tally> = BTreeMap::new();
+    for ((policy, component), t) in matrix {
+        out.push_str(&format!(
+            "  {:<14} {:<10} {:>6} {:>6} {:>9} {:>6} {:>6.1}%\n",
+            policy,
+            component,
+            t.pass,
+            t.fail,
+            t.shutdown,
+            t.crash,
+            t.survivability()
+        ));
+        let agg = per_policy.entry(policy).or_default();
+        agg.pass += t.pass;
+        agg.fail += t.fail;
+        agg.shutdown += t.shutdown;
+        agg.crash += t.crash;
+    }
+    for (policy, t) in per_policy {
+        out.push_str(&format!(
+            "  {:<14} {:<10} {:>6} {:>6} {:>9} {:>6} {:>6.1}%\n",
+            policy,
+            "(all)",
+            t.pass,
+            t.fail,
+            t.shutdown,
+            t.crash,
+            t.survivability()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SiteKindTag;
+
+    fn rec(policy: &str, component: &str, outcome: Outcome) -> InjectionRecord {
+        InjectionRecord {
+            site: SiteId {
+                component: component.into(),
+                site: "s".into(),
+                kind: SiteKindTag::Block,
+            },
+            kind: FaultKind::Crash,
+            policy: policy.into(),
+            outcome,
+            action: RecoveryActionTag::Rollback,
+            run_cycles: 1000,
+            recoveries: 1,
+            recovery_cycles: 50,
+            blackbox: None,
+        }
+    }
+
+    #[test]
+    fn matrix_and_registry_accumulate() {
+        let c = Campaign::new("t", FaultModel::FailStop, 3).quiet();
+        c.record(rec("enhanced", "pm", Outcome::Pass));
+        c.record(rec("enhanced", "pm", Outcome::Fail));
+        c.record(rec("naive", "vfs", Outcome::Crash));
+        assert_eq!(c.done(), 3);
+        let m = c.render_matrix();
+        assert!(m.contains("enhanced"), "{m}");
+        assert!(m.contains("(all)"), "{m}");
+        let snap = c.metrics_handle().snapshot();
+        match snap.find(
+            "osiris_campaign_outcomes_total",
+            &[
+                ("policy", "enhanced"),
+                ("component", "pm"),
+                ("model", "fail-stop"),
+                ("outcome", "pass"),
+            ],
+        ) {
+            Some(osiris_metrics::SeriesValue::Counter(1)) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn report_json_carries_matrix_and_records() {
+        let c = Campaign::new("t", FaultModel::FullEdfi, 2).quiet();
+        c.record(rec("enhanced", "pm", Outcome::Pass));
+        c.record(rec("enhanced", "ds", Outcome::Shutdown));
+        let text = c.report_json().pretty();
+        assert!(text.contains("\"model\": \"full-edfi\""));
+        assert!(text.contains("\"completed_runs\": 2"));
+        assert!(text.contains("\"component\": \"ds\""));
+        assert!(text.contains("\"action\": \"rollback\""));
+    }
+
+    #[test]
+    fn action_tag_priority() {
+        use RecoveryActionTag as T;
+        assert_eq!(T::from_counts(1, 1, 0, 1), T::Rollback);
+        assert_eq!(T::from_counts(0, 2, 1, 0), T::Fresh);
+        assert_eq!(T::from_counts(0, 0, 3, 0), T::Naive);
+        assert_eq!(T::from_counts(0, 0, 0, 1), T::Shutdown);
+        assert_eq!(T::from_counts(0, 0, 0, 0), T::None);
+    }
+}

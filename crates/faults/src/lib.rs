@@ -23,6 +23,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
+
+pub use campaign::{Campaign, InjectionRecord, RecoveryActionTag};
+
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::{Arc, Mutex};

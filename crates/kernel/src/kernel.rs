@@ -15,7 +15,8 @@ use osiris_checkpoint::{Heap, HeapImage};
 use osiris_core::{
     decide_recovery, CrashContext, MessageKind, RecoveryAction, RecoveryPolicy, RecoveryWindow,
 };
-use osiris_trace::{Log2Hist, TraceConfig, TraceEvent, TraceHandle, KERNEL_COMP};
+use osiris_metrics::{Counter, Gauge, Hist, MetricsConfig, MetricsHandle};
+use osiris_trace::{TraceConfig, TraceEvent, TraceHandle, KERNEL_COMP};
 
 use crate::abi::{Errno, Pid, SysReply};
 use crate::clock::{CostModel, VirtualClock};
@@ -53,6 +54,10 @@ pub struct KernelConfig {
     /// (the replacement for the old `OSIRIS_KERNEL_TRACE` prints, which
     /// remain honored as an env-var override).
     pub trace: TraceConfig,
+    /// Metrics-registry configuration. Enabled by default: the kernel's own
+    /// accounting ([`KernelMetrics`], [`ComponentReport`]) reads from the
+    /// registry, so disabling it also zeroes those views.
+    pub metrics: MetricsConfig,
 }
 
 impl Default for KernelConfig {
@@ -63,6 +68,7 @@ impl Default for KernelConfig {
             cost: CostModel::default(),
             shutdown_grace: 0,
             trace: TraceConfig::default(),
+            metrics: MetricsConfig::default(),
         }
     }
 }
@@ -103,16 +109,168 @@ struct Comp<P: Protocol> {
     status: CompStatus,
     crash_info: Option<PendingCrash<P>>,
     privileged: bool,
-    cycles: u64,
-    messages: u64,
-    crashes: u64,
-    recoveries: u64,
+    stats: CompStats,
+}
+
+/// Per-component registry series. Live counters/histograms are written at
+/// event time; the gauges and `*_total` mirrors of the checkpoint heap's
+/// hot-path tallies are refreshed by [`Kernel::sync_registry`].
+struct CompStats {
+    cycles: Counter,
+    messages: Counter,
+    crashes: Counter,
+    recoveries: Counter,
     /// Virtual cycles charged per recovery of this component.
-    recovery_hist: Log2Hist,
+    recovery_hist: Hist,
     /// In-window cycles per completed request.
-    window_hist: Log2Hist,
+    window_hist: Hist,
     /// Undo bytes appended per completed request window.
-    undo_hist: Log2Hist,
+    undo_hist: Hist,
+    // Mirrored at sync points (not hot-path writes):
+    heap_bytes: Gauge,
+    clone_bytes: Gauge,
+    undo_window_peak_bytes: Gauge,
+    writes: Counter,
+    undo_appends: Counter,
+    coalesced_writes: Counter,
+    window_opens: Counter,
+    window_rollbacks: Counter,
+}
+
+impl CompStats {
+    fn register(m: &MetricsHandle, name: &str, endpoint: u8) -> CompStats {
+        let ep = endpoint.to_string();
+        let l: [(&str, &str); 2] = [("component", name), ("endpoint", &ep)];
+        CompStats {
+            cycles: m.counter(
+                "osiris_comp_cycles_total",
+                "Virtual cycles spent running this component's handlers",
+                &l,
+            ),
+            messages: m.counter("osiris_comp_messages_total", "Messages handled", &l),
+            crashes: m.counter(
+                "osiris_comp_crashes_total",
+                "Fail-stop crashes observed in this component",
+                &l,
+            ),
+            recoveries: m.counter(
+                "osiris_comp_recoveries_total",
+                "Times this component was recovered",
+                &l,
+            ),
+            recovery_hist: m.hist(
+                "osiris_comp_recovery_latency_cycles",
+                "Virtual cycles charged per recovery",
+                &l,
+            ),
+            window_hist: m.hist(
+                "osiris_comp_window_cycles",
+                "In-window cycles per completed request",
+                &l,
+            ),
+            undo_hist: m.hist(
+                "osiris_comp_undo_window_bytes",
+                "Undo bytes appended per completed request window",
+                &l,
+            ),
+            heap_bytes: m.gauge(
+                "osiris_comp_heap_bytes",
+                "Current resident heap size in bytes",
+                &l,
+            ),
+            clone_bytes: m.gauge(
+                "osiris_comp_clone_bytes",
+                "Size of the pristine clone image kept for recovery",
+                &l,
+            ),
+            undo_window_peak_bytes: m.gauge(
+                "osiris_comp_undo_window_peak_bytes",
+                "Peak undo-log size sampled at window close",
+                &l,
+            ),
+            writes: m.counter(
+                "osiris_comp_writes_total",
+                "Logical heap writes (logged and unlogged)",
+                &l,
+            ),
+            undo_appends: m.counter(
+                "osiris_comp_undo_appends_total",
+                "Writes that appended an undo record",
+                &l,
+            ),
+            coalesced_writes: m.counter(
+                "osiris_comp_coalesced_writes_total",
+                "Logged writes elided by undo-journal coalescing",
+                &l,
+            ),
+            window_opens: m.counter(
+                "osiris_comp_window_opens_total",
+                "Recovery windows opened",
+                &l,
+            ),
+            window_rollbacks: m.counter(
+                "osiris_comp_window_rollbacks_total",
+                "Recovery windows rolled back",
+                &l,
+            ),
+        }
+    }
+}
+
+/// Kernel-wide registry series.
+struct KernelCounters {
+    ipc_delivered: Counter,
+    syscalls: Counter,
+    timers_fired: Counter,
+    hangs: Counter,
+    recovered_rollback: Counter,
+    recovered_fresh: Counter,
+    recovered_naive: Counter,
+    controlled_shutdowns: Counter,
+    recovery_cycles: Counter,
+}
+
+impl KernelCounters {
+    fn register(m: &MetricsHandle) -> KernelCounters {
+        let recoveries = |action: &str| {
+            m.counter(
+                "osiris_kernel_recoveries_total",
+                "Recoveries executed, by action",
+                &[("action", action)],
+            )
+        };
+        KernelCounters {
+            ipc_delivered: m.counter(
+                "osiris_kernel_ipc_delivered_total",
+                "Messages delivered between endpoints",
+                &[],
+            ),
+            syscalls: m.counter(
+                "osiris_kernel_syscalls_total",
+                "User syscalls submitted",
+                &[],
+            ),
+            timers_fired: m.counter(
+                "osiris_kernel_timers_fired_total",
+                "Timer events fired",
+                &[],
+            ),
+            hangs: m.counter("osiris_kernel_hangs_total", "Components detected hung", &[]),
+            recovered_rollback: recoveries("rollback"),
+            recovered_fresh: recoveries("fresh"),
+            recovered_naive: recoveries("naive"),
+            controlled_shutdowns: m.counter(
+                "osiris_kernel_controlled_shutdowns_total",
+                "Controlled shutdowns performed",
+                &[],
+            ),
+            recovery_cycles: m.counter(
+                "osiris_kernel_recovery_cycles_total",
+                "Virtual cycles spent executing recovery phases",
+                &[],
+            ),
+        }
+    }
 }
 
 /// The deterministic microkernel.
@@ -133,7 +291,8 @@ pub struct Kernel<P: Protocol> {
     kill_events: Vec<Pid>,
     hook: Box<dyn FaultHook>,
     rs_ep: Option<u8>,
-    metrics: KernelMetrics,
+    metrics: MetricsHandle,
+    counters: KernelCounters,
     rr_cursor: usize,
     initialized: bool,
     tracer: TraceHandle,
@@ -157,6 +316,8 @@ impl<P: Protocol> Kernel<P> {
             tcfg.verbose = true;
         }
         let tracer = TraceHandle::new(tcfg);
+        let metrics = MetricsHandle::new(cfg.metrics);
+        let counters = KernelCounters::register(&metrics);
         Kernel {
             cfg,
             clock: VirtualClock::new(),
@@ -171,7 +332,8 @@ impl<P: Protocol> Kernel<P> {
             kill_events: Vec::new(),
             hook: Box::new(NoFaults),
             rs_ep: None,
-            metrics: KernelMetrics::default(),
+            metrics,
+            counters,
             rr_cursor: 0,
             initialized: false,
             tracer,
@@ -238,6 +400,7 @@ impl<P: Protocol> Kernel<P> {
         let name = server.name();
         let mut heap = Heap::new(name);
         heap.set_tracer(self.tracer.clone(), idx);
+        let stats = CompStats::register(&self.metrics, name, idx);
         self.comps.push(Comp {
             name,
             server,
@@ -249,13 +412,7 @@ impl<P: Protocol> Kernel<P> {
             status: CompStatus::Alive,
             crash_info: None,
             privileged,
-            cycles: 0,
-            messages: 0,
-            crashes: 0,
-            recoveries: 0,
-            recovery_hist: Log2Hist::new(),
-            window_hist: Log2Hist::new(),
-            undo_hist: Log2Hist::new(),
+            stats,
         });
         if privileged && self.rs_ep.is_none() {
             self.rs_ep = Some(idx);
@@ -321,13 +478,8 @@ impl<P: Protocol> Kernel<P> {
         for comp in &mut self.comps {
             comp.heap.reset_stats();
             comp.window.reset_stats();
-            comp.cycles = 0;
-            comp.messages = 0;
-            comp.recovery_hist.reset();
-            comp.window_hist.reset();
-            comp.undo_hist.reset();
         }
-        self.metrics = KernelMetrics::default();
+        self.metrics.reset();
         self.tracer.set_now(self.clock.now());
         self.tracer.clear();
     }
@@ -412,9 +564,50 @@ impl<P: Protocol> Kernel<P> {
         }
     }
 
-    /// System-wide metrics.
-    pub fn metrics(&self) -> &KernelMetrics {
+    /// System-wide metrics, assembled as a view over the registry. The
+    /// crash total is derived from the per-component crash counters — the
+    /// kernel keeps no separate tally.
+    pub fn metrics(&self) -> KernelMetrics {
+        KernelMetrics {
+            ipc_delivered: self.counters.ipc_delivered.get(),
+            syscalls: self.counters.syscalls.get(),
+            timers_fired: self.counters.timers_fired.get(),
+            crashes: self.comps.iter().map(|c| c.stats.crashes.get()).sum(),
+            hangs: self.counters.hangs.get(),
+            recovered_rollback: self.counters.recovered_rollback.get(),
+            recovered_fresh: self.counters.recovered_fresh.get(),
+            recovered_naive: self.counters.recovered_naive.get(),
+            controlled_shutdowns: self.counters.controlled_shutdowns.get(),
+            recovery_cycles: self.counters.recovery_cycles.get(),
+        }
+    }
+
+    /// The metrics registry backing every counter this kernel maintains.
+    pub fn metrics_handle(&self) -> &MetricsHandle {
         &self.metrics
+    }
+
+    /// Refreshes the registry series that mirror externally maintained
+    /// state: heap residency and checkpoint tallies (kept as plain fields
+    /// on the store's hot path) and window coverage counters. Call before
+    /// exporting; [`Kernel::component_reports`] does it automatically.
+    pub fn sync_registry(&self) {
+        for c in &self.comps {
+            let h = c.heap.stats();
+            c.stats.heap_bytes.set(c.heap.resident_bytes() as u64);
+            c.stats
+                .clone_bytes
+                .set(c.pristine_image.as_ref().map(|i| i.bytes()).unwrap_or(0) as u64);
+            c.stats
+                .undo_window_peak_bytes
+                .set(h.undo_bytes_window_peak.max(h.undo_bytes_peak) as u64);
+            c.stats.writes.set_total(h.writes);
+            c.stats.undo_appends.set_total(h.undo_appends);
+            c.stats.coalesced_writes.set_total(h.coalesced_writes);
+            let w = c.window.stats();
+            c.stats.window_opens.set_total(w.opens);
+            c.stats.window_rollbacks.set_total(w.rollbacks);
+        }
     }
 
     /// Enqueues a user syscall as a request message to `dst`.
@@ -427,7 +620,7 @@ impl<P: Protocol> Kernel<P> {
         let Endpoint::Component(c) = dst else {
             panic!("user requests must target components")
         };
-        self.metrics.syscalls += 1;
+        self.counters.syscalls.inc();
         if let Some((_, budget)) = &mut self.shutdown_pending {
             *budget = budget.saturating_sub(1);
         }
@@ -482,7 +675,7 @@ impl<P: Protocol> Kernel<P> {
             .expect("timer key just observed");
         self.clock.advance_to(at);
         self.tracer.set_now(self.clock.now());
-        self.metrics.timers_fired += 1;
+        self.counters.timers_fired.inc();
         self.next_msg_id += 1;
         let msg = Message {
             id: MsgId(self.next_msg_id),
@@ -551,7 +744,7 @@ impl<P: Protocol> Kernel<P> {
     }
 
     fn process_message(&mut self, idx: usize, msg: Message<P>) {
-        self.metrics.ipc_delivered += 1;
+        self.counters.ipc_delivered.inc();
         let checkpointing = self.cfg.policy.checkpointing();
         let instr = self.cfg.instrumentation;
         let deliver_cost = self.cfg.cost.ipc_deliver + self.cfg.cost.handler_base;
@@ -577,7 +770,7 @@ impl<P: Protocol> Kernel<P> {
             ..
         } = self;
         let comp = &mut comps[idx];
-        comp.messages += 1;
+        comp.stats.messages.inc();
         // Top of the request-processing loop: open the recovery window
         // (taking a checkpoint) — or mark the request unprotected for
         // baseline policies that do no checkpointing.
@@ -643,7 +836,7 @@ impl<P: Protocol> Kernel<P> {
         let write_cost_out = (writes - logged) * cfg.cost.mem_write;
         comp.window.charge_split(write_cost_in, write_cost_out);
         let handler_cycles = ctx_cycles + write_cost_in + write_cost_out;
-        comp.cycles += handler_cycles + deliver_cost;
+        comp.stats.cycles.add(handler_cycles + deliver_cost);
         self.clock.advance(handler_cycles);
         self.tracer.set_now(self.clock.now());
 
@@ -655,10 +848,12 @@ impl<P: Protocol> Kernel<P> {
                 let comp = &mut self.comps[idx];
                 if checkpointing {
                     comp.window.complete(&mut comp.heap);
-                    comp.window_hist
-                        .record(comp.window.stats().cycles_in - cycles_in_before);
-                    comp.undo_hist
-                        .record(comp.heap.stats().undo_bytes_appended - undo_bytes_before);
+                    comp.stats
+                        .window_hist
+                        .observe(comp.window.stats().cycles_in - cycles_in_before);
+                    comp.stats
+                        .undo_hist
+                        .observe(comp.heap.stats().undo_bytes_appended - undo_bytes_before);
                 }
                 self.execute_priv_ops(priv_ops);
             }
@@ -669,7 +864,7 @@ impl<P: Protocol> Kernel<P> {
                 if payload.downcast_ref::<InjectedHang>().is_some() {
                     // The component is wedged: it stops processing messages
                     // until the Recovery Server's heartbeat declares it dead.
-                    self.metrics.hangs += 1;
+                    self.counters.hangs.inc();
                     self.tracer
                         .emit(idx as u8, TraceEvent::HangDetected { target: idx as u8 });
                     let comp = &mut self.comps[idx];
@@ -683,8 +878,7 @@ impl<P: Protocol> Kernel<P> {
                         scoped_sends,
                     });
                 } else {
-                    self.metrics.crashes += 1;
-                    self.comps[idx].crashes += 1;
+                    self.comps[idx].stats.crashes.inc();
                     self.tracer
                         .emit(idx as u8, TraceEvent::Crash { target: idx as u8 });
                     self.handle_crash(idx, msg, reply_possible);
@@ -745,15 +939,14 @@ impl<P: Protocol> Kernel<P> {
                     let t = target as usize;
                     if self.comps[t].status == CompStatus::Hung {
                         self.comps[t].status = CompStatus::Crashed;
-                        self.metrics.crashes += 1;
-                        self.comps[t].crashes += 1;
+                        self.comps[t].stats.crashes.inc();
                         self.tracer.set_now(self.clock.now());
                         self.tracer.emit(target, TraceEvent::Crash { target });
                         self.execute_recovery(target);
                     }
                 }
                 PrivOp::ControlledShutdown { reason } => {
-                    self.metrics.controlled_shutdowns += 1;
+                    self.counters.controlled_shutdowns.inc();
                     self.begin_controlled_shutdown(reason.to_string());
                 }
             }
@@ -803,8 +996,8 @@ impl<P: Protocol> Kernel<P> {
                     .expect("pristine captured at init")
                     .clone_box();
                 comp.server.on_restore(&mut comp.heap);
-                comp.recoveries += 1;
-                self.metrics.recovered_rollback += 1;
+                comp.stats.recoveries.inc();
+                self.counters.recovered_rollback.inc();
             }
             RecoveryAction::FreshRestart => {
                 recovery_cycles += cost.restart_base;
@@ -820,8 +1013,8 @@ impl<P: Protocol> Kernel<P> {
                     .expect("pristine captured at init")
                     .clone_box();
                 comp.server.on_restore(&mut comp.heap);
-                comp.recoveries += 1;
-                self.metrics.recovered_fresh += 1;
+                comp.stats.recoveries.inc();
+                self.counters.recovered_fresh.inc();
             }
             RecoveryAction::ContinueAsIs => {
                 recovery_cycles += cost.restart_base;
@@ -832,11 +1025,11 @@ impl<P: Protocol> Kernel<P> {
                     .expect("pristine captured at init")
                     .clone_box();
                 comp.server.on_restore(&mut comp.heap);
-                comp.recoveries += 1;
-                self.metrics.recovered_naive += 1;
+                comp.stats.recoveries.inc();
+                self.counters.recovered_naive.inc();
             }
             RecoveryAction::ControlledShutdown => {
-                self.metrics.controlled_shutdowns += 1;
+                self.counters.controlled_shutdowns.inc();
                 let reason = format!(
                     "unrecoverable crash in {} (window {}, reply {})",
                     comp.name,
@@ -893,7 +1086,7 @@ impl<P: Protocol> Kernel<P> {
         }
 
         comp.status = CompStatus::Alive;
-        self.metrics.recovery_cycles += recovery_cycles;
+        self.counters.recovery_cycles.add(recovery_cycles);
         self.clock.advance(recovery_cycles);
         self.tracer.set_now(self.clock.now());
         self.tracer.emit(
@@ -903,7 +1096,7 @@ impl<P: Protocol> Kernel<P> {
                 cycles: recovery_cycles,
             },
         );
-        self.comps[t].recovery_hist.record(recovery_cycles);
+        self.comps[t].stats.recovery_hist.observe(recovery_cycles);
         self.recovering = None;
 
         // Reconciliation phase: error virtualization — tell the requester
@@ -1009,8 +1202,11 @@ impl<P: Protocol> Kernel<P> {
         }
     }
 
-    /// Per-component reports for the evaluation tables.
+    /// Per-component reports for the evaluation tables: views assembled
+    /// from the metrics registry (live counters and histograms) plus the
+    /// window and heap state the registry mirrors.
     pub fn component_reports(&self) -> Vec<ComponentReport> {
+        self.sync_registry();
         self.comps
             .iter()
             .enumerate()
@@ -1018,24 +1214,19 @@ impl<P: Protocol> Kernel<P> {
                 name: c.name,
                 endpoint: i as u8,
                 window: *c.window.stats(),
-                cycles: c.cycles,
-                messages: c.messages,
-                heap_bytes: c.heap.resident_bytes(),
-                clone_bytes: c.pristine_image.as_ref().map(|i| i.bytes()).unwrap_or(0),
-                undo_peak_bytes: c.heap.stats().undo_bytes_peak,
-                undo_window_peak_bytes: c
-                    .heap
-                    .stats()
-                    .undo_bytes_window_peak
-                    .max(c.heap.stats().undo_bytes_peak),
-                recovery_latency: c.recovery_hist.summary(),
-                window_cycles: c.window_hist.summary(),
-                undo_window_bytes: c.undo_hist.summary(),
-                writes: c.heap.stats().writes,
-                undo_appends: c.heap.stats().undo_appends,
-                coalesced_writes: c.heap.stats().coalesced_writes,
-                crashes: c.crashes,
-                recoveries: c.recoveries,
+                cycles: c.stats.cycles.get(),
+                messages: c.stats.messages.get(),
+                heap_bytes: c.stats.heap_bytes.get() as usize,
+                clone_bytes: c.stats.clone_bytes.get() as usize,
+                undo_window_peak_bytes: c.stats.undo_window_peak_bytes.get() as usize,
+                recovery_latency: c.stats.recovery_hist.summary(),
+                window_cycles: c.stats.window_hist.summary(),
+                undo_window_bytes: c.stats.undo_hist.summary(),
+                writes: c.stats.writes.get(),
+                undo_appends: c.stats.undo_appends.get(),
+                coalesced_writes: c.stats.coalesced_writes.get(),
+                crashes: c.stats.crashes.get(),
+                recoveries: c.stats.recoveries.get(),
             })
             .collect()
     }

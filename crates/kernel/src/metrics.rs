@@ -1,4 +1,10 @@
 //! Kernel- and component-level metrics backing the evaluation tables.
+//!
+//! Since the unified registry landed, [`KernelMetrics`] and
+//! [`ComponentReport`] are *views*: the kernel assembles them on demand
+//! from its `osiris-metrics` registry series (see
+//! `Kernel::metrics_handle`), so these structs, the Prometheus/JSON
+//! exports, and the campaign observer all read the same counters.
 
 use osiris_core::WindowStats;
 use osiris_trace::HistSummary;
@@ -21,12 +27,11 @@ pub struct ComponentReport {
     /// Size of the pristine clone image kept for recovery (Table VI
     /// "+clone").
     pub clone_bytes: usize,
-    /// Peak undo-log size observed (Table VI "+undo log").
-    pub undo_peak_bytes: usize,
-    /// Peak undo-log size sampled at window close. Under window-gated
-    /// instrumentation this equals [`Self::undo_peak_bytes`]; under `Always`
-    /// it excludes out-of-window log growth, making it the accurate Table VI
-    /// figure for long runs.
+    /// Peak undo-log size (Table VI "+undo log"), sampled at window close
+    /// and floored at the raw high-water mark. Under window-gated
+    /// instrumentation the two coincide; under `Always` this excludes
+    /// out-of-window log growth, making it the accurate Table VI figure
+    /// for long runs.
     pub undo_window_peak_bytes: usize,
     /// Distribution of virtual cycles charged per recovery.
     pub recovery_latency: HistSummary,

@@ -1,0 +1,44 @@
+//! Offline Prometheus exposition validator for CI.
+//!
+//! ```text
+//! promlint <file.prom> [more.prom ...]
+//! ```
+//!
+//! Exits non-zero with a diagnostic on the first malformed file:
+//! missing `# HELP`/`# TYPE` headers, unknown types, duplicate headers,
+//! or duplicate series.
+
+use osiris_metrics::prom::validate_prometheus;
+
+fn main() {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: promlint <file.prom> [more.prom ...]");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("promlint: {file}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match validate_prometheus(&text) {
+            Ok(()) => {
+                let series = text
+                    .lines()
+                    .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                    .count();
+                println!("promlint: {file}: OK ({series} series)");
+            }
+            Err(e) => {
+                eprintln!("promlint: {file}: {e}");
+                failed = true;
+            }
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}

@@ -46,6 +46,10 @@ pub struct OsConfig {
     /// Flight-recorder configuration (see `osiris_trace::TraceConfig`).
     /// Disabled by default; `TraceConfig::on()` records everything.
     pub trace: osiris_trace::TraceConfig,
+    /// Metrics-registry configuration (see `osiris_metrics::MetricsConfig`).
+    /// Enabled by default — [`Os::metrics`] and [`Os::reports`] are views
+    /// over the registry, so disabling it zeroes them too.
+    pub metrics: osiris_metrics::MetricsConfig,
 }
 
 impl Default for OsConfig {
@@ -60,6 +64,7 @@ impl Default for OsConfig {
             vfs_threads: 4,
             shutdown_grace: 0,
             trace: osiris_trace::TraceConfig::default(),
+            metrics: osiris_metrics::MetricsConfig::default(),
         }
     }
 }
@@ -111,6 +116,7 @@ impl Os {
             cost: cfg.cost,
             shutdown_grace: cfg.shutdown_grace,
             trace: cfg.trace,
+            metrics: cfg.metrics,
         };
         let heartbeat = kcfg.cost.heartbeat_interval;
         let disk_latency = kcfg.cost.disk_latency;
@@ -197,9 +203,40 @@ impl Os {
         self.kernel.component_reports()
     }
 
-    /// Kernel-wide metrics.
-    pub fn metrics(&self) -> &KernelMetrics {
+    /// Kernel-wide metrics (a view assembled from the registry).
+    pub fn metrics(&self) -> KernelMetrics {
         self.kernel.metrics()
+    }
+
+    /// The metrics registry backing every counter the kernel maintains.
+    pub fn metrics_handle(&self) -> &osiris_metrics::MetricsHandle {
+        self.kernel.metrics_handle()
+    }
+
+    /// A consistent snapshot of the registry, with the mirrored heap and
+    /// window series refreshed first.
+    pub fn metrics_snapshot(&self) -> osiris_metrics::MetricsSnapshot {
+        self.kernel.sync_registry();
+        self.kernel.metrics_handle().snapshot()
+    }
+
+    /// The registry rendered in Prometheus text exposition format.
+    pub fn metrics_prometheus(&self) -> String {
+        osiris_metrics::prom::render_prometheus(&self.metrics_snapshot())
+    }
+
+    /// The registry rendered as a JSON document.
+    pub fn metrics_json(&self) -> osiris_trace::Json {
+        osiris_metrics::export::render_json(&self.metrics_snapshot())
+    }
+
+    /// Writes both exposition formats to `<base>.prom` and `<base>.json`,
+    /// creating parent directories as needed. Returns the paths written.
+    pub fn write_metrics(
+        &self,
+        base: &str,
+    ) -> std::io::Result<(std::path::PathBuf, std::path::PathBuf)> {
+        osiris_metrics::write_exports(&self.metrics_snapshot(), base)
     }
 
     /// Direct kernel access for tests and experiment harnesses.

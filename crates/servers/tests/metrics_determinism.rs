@@ -1,0 +1,79 @@
+//! Same-configuration metrics determinism: registry families are kept in
+//! registration order and the kernel drives them off the virtual clock, so
+//! two identical runs must produce **byte-identical** Prometheus and JSON
+//! exports — the property the `ci.sh` metrics-diff gate relies on.
+
+use osiris_core::PolicyKind;
+use osiris_faults::PeriodicCrash;
+use osiris_metrics::validate_prometheus;
+use osiris_servers::OsConfig;
+use osiris_workloads::run_suite_with;
+
+/// One full suite run; returns the Prometheus text and pretty-JSON
+/// renderings of the metrics registry.
+fn run_metered(policy: PolicyKind, faulted: bool) -> (String, String) {
+    let hook = if faulted {
+        Some(Box::new(PeriodicCrash::new("pm", 200_000)) as Box<dyn osiris_kernel::FaultHook>)
+    } else {
+        None
+    };
+    let (_, os) = run_suite_with(OsConfig::with_policy(policy), hook);
+    (os.metrics_prometheus(), os.metrics_json().pretty())
+}
+
+#[test]
+fn fault_free_runs_are_byte_identical() {
+    let (prom_a, json_a) = run_metered(PolicyKind::Enhanced, false);
+    let (prom_b, json_b) = run_metered(PolicyKind::Enhanced, false);
+    assert!(
+        prom_a.contains("osiris_kernel_syscalls_total"),
+        "suite must populate kernel counters"
+    );
+    assert_eq!(prom_a, prom_b, "Prometheus export must be deterministic");
+    assert_eq!(json_a, json_b, "JSON export must be deterministic");
+}
+
+#[test]
+fn faulted_runs_are_byte_identical_and_record_recovery() {
+    let (prom_a, json_a) = run_metered(PolicyKind::Enhanced, true);
+    let (prom_b, json_b) = run_metered(PolicyKind::Enhanced, true);
+    assert_eq!(prom_a, prom_b);
+    assert_eq!(json_a, json_b);
+    // The injected crashes must be visible in the registry: per-component
+    // crash counters, the per-action recovery family and latency samples.
+    for needle in [
+        "osiris_comp_crashes_total",
+        "osiris_kernel_recoveries_total{action=\"rollback\"}",
+        "osiris_comp_recovery_latency_cycles_count",
+    ] {
+        assert!(
+            prom_a.contains(needle),
+            "faulted exposition must contain {needle}"
+        );
+    }
+}
+
+#[test]
+fn exports_are_well_formed_prometheus() {
+    let (prom, _) = run_metered(PolicyKind::Enhanced, true);
+    validate_prometheus(&prom).expect("suite exposition must pass the validator");
+}
+
+#[test]
+fn disabled_registry_reads_zero() {
+    let mut cfg = OsConfig::with_policy(PolicyKind::Enhanced);
+    cfg.metrics = osiris_metrics::MetricsConfig::off();
+    let (_, os) = run_suite_with(cfg, None);
+    let m = os.metrics();
+    assert_eq!(m.syscalls, 0, "disabled registry views read zero");
+    assert_eq!(m.ipc_delivered, 0);
+    assert!(os
+        .metrics_snapshot()
+        .families
+        .iter()
+        .all(|f| f.series.iter().all(|s| match &s.value {
+            osiris_metrics::SeriesValue::Counter(n) | osiris_metrics::SeriesValue::Gauge(n) =>
+                *n == 0,
+            osiris_metrics::SeriesValue::Hist(h) => h.is_empty(),
+        })));
+}

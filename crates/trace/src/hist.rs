@@ -10,7 +10,7 @@
 pub const BUCKETS: usize = 65;
 
 /// An allocation-free log2 histogram over `u64` samples.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Log2Hist {
     buckets: [u64; BUCKETS],
     count: u64,
@@ -63,6 +63,38 @@ impl Log2Hist {
     /// Number of samples recorded.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Sum of all samples (saturating at `u64::MAX`).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Folds `other` into `self`. Merging is commutative and associative
+    /// (up to sum saturation), so partial histograms from independent
+    /// shards can be combined in any order.
+    pub fn merge(&mut self, other: &Log2Hist) {
+        for (b, n) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += n;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 
     /// Whether no samples were recorded.

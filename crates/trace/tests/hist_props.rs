@@ -1,0 +1,141 @@
+//! Edge-case and property-style tests for the log2 histogram: empty
+//! summaries, single-bucket populations, saturation at the top of the
+//! `u64` domain, and merge algebra (identity, commutativity,
+//! associativity) over seeded random shards.
+
+use osiris_rng::Rng;
+use osiris_trace::hist::{HistSummary, Log2Hist, BUCKETS};
+
+#[test]
+fn empty_summary_is_all_zeros() {
+    let h = Log2Hist::new();
+    assert!(h.is_empty());
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.sum(), 0);
+    assert_eq!(h.min(), 0);
+    assert_eq!(h.max(), 0);
+    assert_eq!(h.quantile(0.5), 0);
+    assert_eq!(h.summary(), HistSummary::default());
+    assert_eq!(h.buckets().iter().sum::<u64>(), 0);
+}
+
+#[test]
+fn single_bucket_population_pins_every_quantile() {
+    // All samples share bucket_of(100) = 7; quantiles clamp into the
+    // observed [min, max] range no matter where in the bucket they land.
+    let mut h = Log2Hist::new();
+    for v in [100u64, 101, 127, 64, 64] {
+        h.record(v);
+    }
+    assert_eq!(h.buckets()[7], 5);
+    assert_eq!(h.buckets().iter().sum::<u64>(), 5);
+    let s = h.summary();
+    assert_eq!((s.min, s.max), (64, 127));
+    for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+        let v = h.quantile(q);
+        assert!(
+            (64..=127).contains(&v),
+            "quantile({q}) = {v} left the bucket"
+        );
+    }
+}
+
+#[test]
+fn zero_only_population_stays_in_bucket_zero() {
+    let mut h = Log2Hist::new();
+    for _ in 0..10 {
+        h.record(0);
+    }
+    assert_eq!(h.buckets()[0], 10);
+    let s = h.summary();
+    assert_eq!((s.min, s.p50, s.p99, s.max, s.mean), (0, 0, 0, 0, 0));
+}
+
+#[test]
+fn top_bucket_saturation() {
+    // u64::MAX lands in the last bucket and the running sum saturates
+    // instead of wrapping.
+    let mut h = Log2Hist::new();
+    h.record(u64::MAX);
+    h.record(u64::MAX);
+    h.record(u64::MAX);
+    assert_eq!(h.buckets()[BUCKETS - 1], 3);
+    assert_eq!(h.sum(), u64::MAX);
+    let s = h.summary();
+    assert_eq!(s.max, u64::MAX);
+    assert_eq!(s.min, u64::MAX);
+    // Quantiles clamp to the observed min even though the bucket floor
+    // (2^63) is far below the samples.
+    assert_eq!(s.p50, u64::MAX);
+    assert_eq!(s.p99, u64::MAX);
+}
+
+#[test]
+fn merge_with_empty_is_identity() {
+    let mut r = Rng::new(0x4157_0001);
+    let mut h = Log2Hist::new();
+    for _ in 0..200 {
+        h.record(r.next_u64() >> (r.below(64) as u32));
+    }
+    let mut merged = h;
+    merged.merge(&Log2Hist::new());
+    assert_eq!(merged, h);
+    let mut other = Log2Hist::new();
+    other.merge(&h);
+    assert_eq!(other, h);
+}
+
+/// Builds a histogram from a seeded stream of mixed-magnitude samples.
+fn shard(seed: u64, n: usize) -> Log2Hist {
+    let mut r = Rng::new(seed);
+    let mut h = Log2Hist::new();
+    for _ in 0..n {
+        // Shift by a random amount so every bucket scale gets traffic,
+        // including 0 (full shift of a small value).
+        h.record(r.next_u64() >> (r.below(65) as u32).min(63));
+    }
+    h
+}
+
+#[test]
+fn merge_matches_recording_everything_in_one_histogram() {
+    let mut all = Log2Hist::new();
+    let mut merged = Log2Hist::new();
+    for seed in 1..=8u64 {
+        let s = shard(seed, 500);
+        merged.merge(&s);
+        let mut r = Rng::new(seed);
+        for _ in 0..500 {
+            all.record(r.next_u64() >> (r.below(65) as u32).min(63));
+        }
+    }
+    assert_eq!(merged, all);
+}
+
+#[test]
+fn merge_is_commutative_and_associative() {
+    let a = shard(0xA, 300);
+    let b = shard(0xB, 301);
+    let c = shard(0xC, 302);
+
+    // Commutativity: a+b == b+a.
+    let mut ab = a;
+    ab.merge(&b);
+    let mut ba = b;
+    ba.merge(&a);
+    assert_eq!(ab, ba);
+
+    // Associativity: (a+b)+c == a+(b+c).
+    let mut ab_c = ab;
+    ab_c.merge(&c);
+    let mut bc = b;
+    bc.merge(&c);
+    let mut a_bc = a;
+    a_bc.merge(&bc);
+    assert_eq!(ab_c, a_bc);
+
+    // And the merged summary is self-consistent.
+    let s = ab_c.summary();
+    assert_eq!(s.count, 903);
+    assert!(s.min <= s.p50 && s.p50 <= s.p99 && s.p99 <= s.max);
+}

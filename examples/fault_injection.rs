@@ -3,15 +3,21 @@
 //! site, inject each in a fresh run under two recovery policies, and
 //! compare the outcome distributions.
 //!
+//! The runs stream through a [`Campaign`] observer, which prints live
+//! progress plus a policy × component × outcome matrix to stderr, dumps a
+//! flight-recorder black box for the first uncontrolled crashes, and can
+//! render a machine-readable report at the end.
+//!
 //! ```text
 //! cargo run --release --example fault_injection
 //! ```
 
 use osiris::faults::{
-    classify, plan_faults, run_parallel, FaultModel, Injector, Outcome, Recorder, Tally,
+    classify, plan_faults, run_parallel, Campaign, FaultModel, InjectionRecord, Injector, Outcome,
+    Recorder, RecoveryActionTag, Tally,
 };
 use osiris::workloads::{build_testsuite, run_suite_with};
-use osiris::{Host, Os, OsConfig, PolicyKind};
+use osiris::{Host, Os, OsConfig, PolicyKind, TraceConfig};
 
 fn main() {
     osiris::install_quiet_panic_hook();
@@ -32,18 +38,35 @@ fn main() {
     let plans = plan_faults(&profile, FaultModel::FailStop, 7);
     println!("{} faults planned\n", plans.len());
 
-    // 3. Inject each fault in its own fresh run, per policy.
+    // 3. Inject each fault in its own fresh run, per policy, streaming
+    //    every outcome through the campaign observer.
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
+    let policies = [PolicyKind::Naive, PolicyKind::Enhanced];
+    let campaign = Campaign::new(
+        "example-failstop",
+        FaultModel::FailStop,
+        plans.len() * policies.len(),
+    );
     println!(
         "{:<14} {:>6} {:>6} {:>9} {:>6}   (injecting on {} threads)",
         "policy", "pass", "fail", "shutdown", "crash", threads
     );
-    for policy in [PolicyKind::Naive, PolicyKind::Enhanced] {
+    for policy in policies {
+        let campaign = &campaign;
         let outcomes: Vec<Outcome> = run_parallel(plans.clone(), threads, |plan| {
             let injector = Injector::new(&plan);
-            let mut os = Os::new(OsConfig::with_policy(policy));
+            // Flight-record quietly (kernel auto-dump off) so a crashing
+            // run can hand its trace tail to the campaign's black box.
+            let mut cfg = OsConfig::with_policy(policy);
+            cfg.trace = TraceConfig {
+                enabled: true,
+                capacity: 2048,
+                blackbox_tail: 0,
+                ..Default::default()
+            };
+            let mut os = Os::new(cfg);
             os.set_fault_hook(Box::new(injector));
             let (registry, _) = build_testsuite();
             let mut host = Host::new(os, registry);
@@ -54,7 +77,29 @@ fn main() {
             } else {
                 0
             };
-            classify(&outcome, violations)
+            let class = classify(&outcome, violations);
+            let m = os.metrics();
+            let blackbox = (class == Outcome::Crash).then(|| {
+                let tail = os.trace_handle().with(|t| t.tail_per_comp(12));
+                osiris::trace::render_text(&tail, &os.kernel().trace_names())
+            });
+            campaign.record(InjectionRecord {
+                site: plan.site.clone(),
+                kind: plan.kind,
+                policy: policy.to_string(),
+                outcome: class,
+                action: RecoveryActionTag::from_counts(
+                    m.recovered_rollback,
+                    m.recovered_fresh,
+                    m.recovered_naive,
+                    m.controlled_shutdowns,
+                ),
+                run_cycles: os.kernel().now(),
+                recoveries: m.recovered_rollback + m.recovered_fresh + m.recovered_naive,
+                recovery_cycles: m.recovery_cycles,
+                blackbox,
+            });
+            class
         });
         let t: Tally = outcomes.into_iter().collect();
         println!(
@@ -66,6 +111,9 @@ fn main() {
             t.crash
         );
     }
+
+    println!("\nfinal campaign matrix ({} runs):", campaign.done());
+    print!("{}", campaign.render_matrix());
     println!("\nenhanced recovery turns uncontrolled crashes into recoveries or");
     println!("controlled shutdowns; the naive baseline survives by luck and");
     println!("leaves torn state behind (caught as crashes by the audit).");

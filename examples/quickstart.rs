@@ -2,7 +2,10 @@
 //! Manager mid-call, and watch the system recover with error
 //! virtualization. The run is flight-recorded; a Chrome-trace JSON (open
 //! it in `chrome://tracing` or <https://ui.perfetto.dev>) is written to
-//! `quickstart_trace.json`, or to the path in `OSIRIS_TRACE_OUT`.
+//! `target/quickstart_trace.json`, or to the path in `OSIRIS_TRACE_OUT`.
+//! The kernel's metrics registry is exported alongside it as Prometheus
+//! text and JSON (`target/quickstart_metrics.{prom,json}`, overridable via
+//! `OSIRIS_METRICS_OUT`).
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -92,12 +95,24 @@ fn main() {
     );
 
     // Export the flight-recorder trace in Chrome trace_event format.
-    let out = std::env::var("OSIRIS_TRACE_OUT").unwrap_or_else(|_| "quickstart_trace.json".into());
+    let out =
+        std::env::var("OSIRIS_TRACE_OUT").unwrap_or_else(|_| "target/quickstart_trace.json".into());
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create trace output dir");
+        }
+    }
     std::fs::write(&out, os.chrome_trace().pretty()).expect("write trace JSON");
     println!(
         "trace:     {} events -> {out} (open in chrome://tracing or ui.perfetto.dev)",
         os.trace_handle().with(|t| t.len())
     );
+
+    // Export the metrics registry as Prometheus text + JSON.
+    let base =
+        std::env::var("OSIRIS_METRICS_OUT").unwrap_or_else(|_| "target/quickstart_metrics".into());
+    let (prom, json) = os.write_metrics(&base).expect("write metrics exports");
+    println!("metrics:   {} and {}", prom.display(), json.display());
 
     assert!(outcome.completed() && violations.is_empty());
 }

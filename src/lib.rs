@@ -22,6 +22,8 @@
 //! * [`workloads`] — the prototype test suite and Unixbench analogs.
 //! * [`trace`] — the deterministic flight recorder (event ring, histograms,
 //!   Chrome-trace export, post-mortem black box).
+//! * [`metrics`] — the unified metrics registry (typed counter/gauge/
+//!   histogram handles, Prometheus and JSON exposition).
 //!
 //! # Quickstart
 //!
@@ -47,6 +49,7 @@ pub use osiris_core as core;
 pub use osiris_cothread as cothread;
 pub use osiris_faults as faults;
 pub use osiris_kernel as kernel;
+pub use osiris_metrics as metrics;
 pub use osiris_monolith as monolith;
 pub use osiris_servers as servers;
 pub use osiris_trace as trace;
@@ -61,6 +64,7 @@ pub use osiris_kernel::{
     install_quiet_panic_hook, Host, Instrumentation, OsEngine, ProgramRegistry, RunOutcome,
     ShutdownKind, Sys,
 };
+pub use osiris_metrics::{MetricsConfig, MetricsHandle};
 pub use osiris_monolith::Monolith;
 pub use osiris_servers::{Os, OsConfig};
 pub use osiris_trace::{TraceConfig, TraceEvent, TraceHandle};
