@@ -22,6 +22,10 @@ cargo test -q
 echo "== workspace tests =="
 cargo test -q --workspace
 
+echo "== escalation ladder: sliding-window properties + quarantine matrix =="
+cargo test -q -p osiris-core --test escalation_props
+cargo test -q -p osiris-servers --test escalation_matrix
+
 echo "== trace + metrics determinism: two identical runs, byte-identical exports =="
 trace_tmp="$(mktemp -d)"
 trap 'rm -rf "$trace_tmp"' EXIT
@@ -36,6 +40,20 @@ diff "$trace_tmp/a_metrics.json" "$trace_tmp/b_metrics.json"
 echo "== promlint: Prometheus exposition well-formedness =="
 cargo run --release -p osiris-metrics --bin promlint -- \
     "$trace_tmp/a_metrics.prom" "$trace_tmp/b_metrics.prom"
+
+echo "== escalation metrics: families present in the standard exposition =="
+for fam in osiris_quarantine_total osiris_quarantine_refusals_total \
+    osiris_escalation_restarts_window osiris_escalation_backoff_arms_total \
+    osiris_escalation_budget_exhausted_total; do
+    grep -q "^$fam" "$trace_tmp/a_metrics.prom" || {
+        echo "missing metric family in exposition: $fam" >&2
+        exit 1
+    }
+done
+
+echo "== campaign smoke: degraded/quarantined outcome classes reach the report =="
+OSIRIS_CAMPAIGN_OUT="$trace_tmp/campaign_smoke.json" \
+    cargo run --release -p osiris-bench --bin campaign_smoke >/dev/null
 
 echo "== bench_trace --check: tracer overhead bounds =="
 cargo run --release -p osiris-bench --bin bench_trace -- --check

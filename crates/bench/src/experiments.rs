@@ -1,8 +1,8 @@
 //! The experiments behind every table and figure of the paper.
 
-use osiris_core::PolicyKind;
+use osiris_core::{EscalationPolicy, PolicyKind};
 use osiris_faults::{
-    campaign::model_label, classify, plan_faults, run_parallel, Campaign, FaultModel,
+    campaign::model_label, classify_run, plan_faults, run_parallel, Campaign, FaultModel,
     InjectionRecord, Injector, Outcome, PeriodicCrash, Recorder, RecoveryActionTag, SiteProfile,
     Tally,
 };
@@ -219,8 +219,8 @@ pub fn survivability_for(
             } else {
                 0
             };
-            let class = classify(&outcome, violations);
             let m = os.metrics();
+            let class = classify_run(&outcome, violations, m.quarantines);
             // An uncontrolled crash carries its flight-recorder tail so the
             // campaign observer can dump a post-mortem black box.
             let blackbox = (class == Outcome::Crash).then(|| {
@@ -269,15 +269,17 @@ impl SurvivabilityTable {
             which, self.faults
         );
         out.push_str(&format!(
-            "{:<14} {:>8} {:>8} {:>10} {:>8}\n",
-            "Recovery mode", "Pass", "Fail", "Shutdown", "Crash"
+            "{:<14} {:>8} {:>8} {:>10} {:>12} {:>10} {:>8}\n",
+            "Recovery mode", "Pass", "Fail", "Degraded", "Quarantined", "Shutdown", "Crash"
         ));
         for (policy, t) in &self.rows {
             out.push_str(&format!(
-                "{:<14} {:>7.1}% {:>7.1}% {:>9.1}% {:>7.1}%\n",
+                "{:<14} {:>7.1}% {:>7.1}% {:>9.1}% {:>11.1}% {:>9.1}% {:>7.1}%\n",
                 policy.to_string(),
                 t.pct(t.pass),
                 t.pct(t.fail),
+                t.pct(t.degraded),
+                t.pct(t.quarantined),
                 t.pct(t.shutdown),
                 t.pct(t.crash)
             ));
@@ -491,6 +493,9 @@ pub fn table6() -> Vec<Table6Row> {
     let (_, faulted) = {
         let mut cfg = OsConfig::with_policy(PolicyKind::Enhanced);
         cfg.vm_frames = 8192;
+        // The periodic-crash companion run measures recovery latency, not
+        // the escalation ladder: restart forever so every crash recovers.
+        cfg.escalation = EscalationPolicy::unbounded();
         run_suite_with(cfg, Some(Box::new(PeriodicCrash::new("pm", 200_000))))
     };
     let latencies: Vec<(String, osiris_trace::HistSummary)> = faulted
@@ -586,7 +591,14 @@ pub fn figure3(intervals: &[u64], scale: f64) -> Vec<Fig3Point> {
     let mut points = Vec::new();
     for bench in BENCHMARKS {
         for &interval in intervals {
-            let mut os = osiris_engine(PolicyKind::Enhanced, Instrumentation::WindowGated);
+            // Figure 3 measures throughput under sustained crash-recover
+            // cycles: the escalation ladder must not bench PM mid-run.
+            let mut os = Os::new(OsConfig {
+                policy: PolicyKind::Enhanced,
+                instrumentation: Instrumentation::WindowGated,
+                escalation: EscalationPolicy::unbounded(),
+                ..Default::default()
+            });
             os.set_fault_hook(Box::new(PeriodicCrash::new("pm", interval)));
             let iters = ((default_iters(bench) as f64 * scale) as u64).max(2);
             let r = run_benchmark_with(os, ub_registry(), bench, iters, true);

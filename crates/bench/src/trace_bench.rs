@@ -21,7 +21,11 @@
 //! of what wall-clock timing resolves, so each mode keeps the fastest of
 //! several repetitions and the pass criterion accepts either the relative
 //! bound or a small absolute epsilon (see
-//! [`TraceBenchResult::disabled_within_bound`]).
+//! [`TraceBenchResult::disabled_within_bound`]). Each repetition builds a
+//! mode's state from scratch and drops it before the next mode runs: modes
+//! then reuse the same freed allocator blocks, so they are compared on
+//! identical data placement rather than on whatever cache-set alignment
+//! three simultaneously-live heaps happen to get.
 
 use std::time::Instant;
 
@@ -285,23 +289,31 @@ fn run_window(heap: &mut Heap, w: &World, ops: &[Op]) {
 /// for their difference to mean anything.
 const REPS: usize = 9;
 
+/// Mode order within each repetition.
+const ATTACHES: [Attach; 3] = [Attach::None, Attach::Disabled, Attach::Enabled];
+
 struct ModeState {
     heap: Heap,
     w: World,
     handle: Option<TraceHandle>,
-    best: f64,
-    steady_state_allocs: Option<u64>,
 }
 
 fn setup(attach: Attach, cfg: &TraceBenchConfig, ops: &[Op]) -> ModeState {
     let mut heap = Heap::new("bench-trace");
+    // Every mode constructs a handle — the baseline simply never attaches
+    // its (placebo) one — so all modes issue the same allocation sequence
+    // and their heaps reuse the same allocator chunks at the same
+    // addresses. Without this the baseline/disabled comparison is partly a
+    // comparison of data placements, which at sub-ns/write resolution can
+    // exceed the effect under test.
     let handle = match attach {
-        Attach::None => None,
-        Attach::Disabled => Some(TraceHandle::new(TraceConfig::default())),
+        Attach::None | Attach::Disabled => Some(TraceHandle::new(TraceConfig::default())),
         Attach::Enabled => Some(TraceHandle::new(TraceConfig::on())),
     };
-    if let Some(h) = &handle {
-        heap.set_tracer(h.clone(), 0);
+    if !matches!(attach, Attach::None) {
+        if let Some(h) = &handle {
+            heap.set_tracer(h.clone(), 0);
+        }
     }
     let w = World {
         hot: heap.alloc_cell("hot", 0),
@@ -310,13 +322,7 @@ fn setup(attach: Attach, cfg: &TraceBenchConfig, ops: &[Op]) -> ModeState {
     for _ in 0..cfg.warmup_windows {
         run_window(&mut heap, &w, ops);
     }
-    ModeState {
-        heap,
-        w,
-        handle,
-        best: f64::INFINITY,
-        steady_state_allocs: None,
-    }
+    ModeState { heap, w, handle }
 }
 
 /// Runs the comparison.
@@ -325,14 +331,21 @@ pub fn bench_trace(cfg: TraceBenchConfig) -> TraceBenchResult {
     // 8 scratch cells, matching `setup`'s world.
     let ops = gen_schedule(&mut r, cfg.writes_per_window, 8);
 
-    let mut modes = [
-        setup(Attach::None, &cfg, &ops),
-        setup(Attach::Disabled, &cfg, &ops),
-        setup(Attach::Enabled, &cfg, &ops),
-    ];
+    let mut best = [f64::INFINITY; ATTACHES.len()];
+    let mut steady_state_allocs: [Option<u64>; ATTACHES.len()] = [None; ATTACHES.len()];
+    let mut events_recorded = 0u64;
+    let mut ring_wrapped = false;
 
     for rep in 0..REPS {
-        for m in modes.iter_mut() {
+        for (i, attach) in ATTACHES.iter().enumerate() {
+            // Each mode gets a fresh state that is dropped before the next
+            // mode's setup runs, so every mode's heap, undo arena and
+            // coalescing index land on the allocator blocks the previous
+            // mode just freed. Keeping three long-lived states instead
+            // gives each mode permanently different data placement, and at
+            // sub-ns/write resolution cache-set luck between placements is
+            // larger than the effect under test.
+            let mut m = setup(*attach, &cfg, &ops);
             // Allocator accounting covers one post-warmup repetition
             // exactly; the remaining repetitions only refine the timing.
             let allocs_before = cfg.alloc_count.map(|f| f());
@@ -340,30 +353,34 @@ pub fn bench_trace(cfg: TraceBenchConfig) -> TraceBenchResult {
             for _ in 0..cfg.windows {
                 run_window(&mut m.heap, &m.w, &ops);
             }
-            m.best = m.best.min(start.elapsed().as_secs_f64().max(1e-9));
+            best[i] = best[i].min(start.elapsed().as_secs_f64().max(1e-9));
             if rep == 0 {
-                m.steady_state_allocs = cfg.alloc_count.map(|f| f() - allocs_before.unwrap_or(0));
+                steady_state_allocs[i] = cfg.alloc_count.map(|f| f() - allocs_before.unwrap_or(0));
+            }
+            if matches!(attach, Attach::Enabled) {
+                let (n, w) = m
+                    .handle
+                    .as_ref()
+                    .expect("enabled mode attaches a tracer")
+                    .with(|t| (t.total_recorded(), t.has_wrapped()));
+                events_recorded = n;
+                ring_wrapped = w;
             }
         }
     }
 
     let total_writes = cfg.windows * cfg.writes_per_window;
-    let result = |m: &ModeState| TraceModeResult {
-        ns_per_write: m.best * 1e9 / total_writes as f64,
-        writes_per_sec: total_writes as f64 / m.best,
-        steady_state_allocs: m.steady_state_allocs,
+    let result = |i: usize| TraceModeResult {
+        ns_per_write: best[i] * 1e9 / total_writes as f64,
+        writes_per_sec: total_writes as f64 / best[i],
+        steady_state_allocs: steady_state_allocs[i],
     };
-    let (events_recorded, ring_wrapped) = modes[2]
-        .handle
-        .as_ref()
-        .expect("enabled mode attaches a tracer")
-        .with(|t| (t.total_recorded(), t.has_wrapped()));
     TraceBenchResult {
         windows: cfg.windows,
         writes_per_window: cfg.writes_per_window,
-        baseline: result(&modes[0]),
-        disabled: result(&modes[1]),
-        enabled: result(&modes[2]),
+        baseline: result(0),
+        disabled: result(1),
+        enabled: result(2),
         events_recorded,
         ring_wrapped,
     }
@@ -379,9 +396,9 @@ mod tests {
         assert!(r.baseline.ns_per_write > 0.0);
         assert!(r.disabled.ns_per_write > 0.0);
         assert!(r.enabled.ns_per_write > 0.0);
-        // (warmup + REPS measured reps) * windows * writes, minus nothing:
-        // every logged write emits exactly one event (append or coalesce),
-        // plus per-window mark/rollback events.
+        // One repetition's (warmup + measured) windows * writes, minus
+        // nothing: every logged write emits exactly one event (append or
+        // coalesce), plus per-window mark/rollback events.
         assert!(r.events_recorded > 0);
         assert!(
             r.ring_wrapped,

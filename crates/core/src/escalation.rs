@@ -1,0 +1,246 @@
+//! Recovery escalation: crash-loop detection and the restart ladder.
+//!
+//! OSIRIS (§IV-C, §VII) recovers a *single* crash cleanly, but a component
+//! with a persistent fault on a hot path crashes again immediately after
+//! every restart. Left alone, the recovery server restarts it forever and
+//! the whole workload livelocks. This module supplies the policy half of
+//! the fix — pure functions over the virtual clock, so every decision is
+//! deterministic and replayable:
+//!
+//! * [`RestartBudget`] — a sliding-window crash-loop detector. Each restart
+//!   is recorded with its virtual timestamp; restarts older than the window
+//!   expire. The count of restarts inside the window is the *pressure* the
+//!   ladder reacts to.
+//! * [`EscalationPolicy`] — maps pressure to an [`EscalationStep`]:
+//!   restart (with exponential backoff once the component is visibly
+//!   looping), then quarantine, then controlled shutdown when too many
+//!   components are already benched.
+//!
+//! The mechanism half (arming backoff timers, flipping a component to the
+//! `Quarantined` status, bouncing its messages) lives in the kernel and the
+//! recovery server; they call into this module and never consult wall time.
+
+/// Sliding-window restart counter: the crash-loop detector.
+///
+/// The caller owns the history (a plain `Vec<u64>` of virtual timestamps,
+/// typically stored in the recovery server's checkpointed heap) so the
+/// budget itself stays `Copy` and trivially shareable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RestartBudget {
+    /// Window length in virtual cycles. Restarts older than this no longer
+    /// count against the budget. A zero window disables the detector:
+    /// every observation sees a pressure of exactly 1.
+    pub window: u64,
+    /// Restarts tolerated inside one window before the ladder escalates
+    /// past restarting.
+    pub max_restarts: u32,
+}
+
+impl RestartBudget {
+    /// Records a restart at virtual time `now` and returns the number of
+    /// restarts inside the window (including this one).
+    ///
+    /// Expired entries are pruned from `history` in place, so the vector
+    /// never grows beyond the restarts of one window (plus one).
+    pub fn observe(&self, history: &mut Vec<u64>, now: u64) -> u32 {
+        history.retain(|&t| now.saturating_sub(t) < self.window);
+        history.push(now);
+        history.len() as u32
+    }
+
+    /// The restarts still inside the window at virtual time `now`, without
+    /// recording a new one.
+    pub fn pressure(&self, history: &[u64], now: u64) -> u32 {
+        history
+            .iter()
+            .filter(|&&t| now.saturating_sub(t) < self.window)
+            .count() as u32
+    }
+}
+
+impl Default for RestartBudget {
+    fn default() -> Self {
+        RestartBudget {
+            window: 20_000_000,
+            max_restarts: 8,
+        }
+    }
+}
+
+/// The next rung of the escalation ladder for one crashed component.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EscalationStep {
+    /// Recover the component (rollback / fresh restart per the recovery
+    /// policy), after waiting `backoff` virtual cycles. A backoff of zero
+    /// means recover immediately — the normal single-crash path.
+    Restart {
+        /// Virtual cycles to wait before issuing the recovery.
+        backoff: u64,
+    },
+    /// Bench the component: no further restarts; messages to it are
+    /// bounced with an immediate crash reply.
+    Quarantine,
+    /// Too much of the system is benched — shut down in a controlled way.
+    Shutdown,
+}
+
+/// The escalation ladder: restart budget + backoff curve + quarantine cap.
+///
+/// All fields are plain numbers so the policy is `Copy` and can be embedded
+/// in configuration structs; [`decide`](EscalationPolicy::decide) is a pure
+/// function of its arguments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EscalationPolicy {
+    /// Sliding-window crash-loop detector.
+    pub budget: RestartBudget,
+    /// Backoff before the *second* restart in a window; doubles on each
+    /// further restart.
+    pub backoff_base: u64,
+    /// Cap on the exponential backoff.
+    pub backoff_max: u64,
+    /// Components that may be quarantined before the ladder escalates to
+    /// controlled shutdown instead.
+    pub max_quarantined: u32,
+}
+
+impl Default for EscalationPolicy {
+    fn default() -> Self {
+        EscalationPolicy {
+            budget: RestartBudget::default(),
+            backoff_base: 25_000,
+            backoff_max: 400_000,
+            max_quarantined: 2,
+        }
+    }
+}
+
+impl EscalationPolicy {
+    /// A policy that never escalates: every crash recovers immediately,
+    /// forever — the pre-escalation behaviour, used by experiments that
+    /// deliberately crash a component periodically for the whole run.
+    ///
+    /// Implemented as a zero-length window (every observation sees a
+    /// pressure of 1, below any positive budget), so the restart history
+    /// also stays bounded.
+    pub fn unbounded() -> Self {
+        EscalationPolicy {
+            budget: RestartBudget {
+                window: 0,
+                max_restarts: 1,
+            },
+            backoff_base: 0,
+            backoff_max: 0,
+            max_quarantined: u32::MAX,
+        }
+    }
+
+    /// Backoff (in virtual cycles) before restart number `n` of the current
+    /// window. The first restart is free — single crashes recover at full
+    /// speed — then the delay doubles from [`backoff_base`] up to
+    /// [`backoff_max`].
+    ///
+    /// [`backoff_base`]: EscalationPolicy::backoff_base
+    /// [`backoff_max`]: EscalationPolicy::backoff_max
+    pub fn backoff_for(&self, n: u32) -> u64 {
+        if n <= 1 {
+            return 0;
+        }
+        let doublings = (n - 2).min(16);
+        self.backoff_base
+            .saturating_mul(1u64 << doublings)
+            .min(self.backoff_max)
+    }
+
+    /// The ladder: given `restarts_in_window` (the value
+    /// [`RestartBudget::observe`] returned for this crash) and how many
+    /// components are already quarantined system-wide, pick the next step.
+    pub fn decide(&self, restarts_in_window: u32, quarantined: u32) -> EscalationStep {
+        if restarts_in_window <= self.budget.max_restarts {
+            EscalationStep::Restart {
+                backoff: self.backoff_for(restarts_in_window),
+            }
+        } else if quarantined < self.max_quarantined {
+            EscalationStep::Quarantine
+        } else {
+            EscalationStep::Shutdown
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_prunes_old_restarts() {
+        let b = RestartBudget {
+            window: 100,
+            max_restarts: 3,
+        };
+        let mut h = Vec::new();
+        assert_eq!(b.observe(&mut h, 0), 1);
+        assert_eq!(b.observe(&mut h, 50), 2);
+        // t=0 entry has aged out (100 - 0 >= window).
+        assert_eq!(b.observe(&mut h, 100), 2);
+        assert_eq!(h, vec![50, 100]);
+        // Far future: everything expires.
+        assert_eq!(b.observe(&mut h, 10_000), 1);
+        assert_eq!(h, vec![10_000]);
+    }
+
+    #[test]
+    fn zero_window_never_accumulates() {
+        let b = RestartBudget {
+            window: 0,
+            max_restarts: 1,
+        };
+        let mut h = Vec::new();
+        for t in 0..50u64 {
+            assert_eq!(b.observe(&mut h, t), 1);
+        }
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn backoff_curve_is_capped_exponential() {
+        let p = EscalationPolicy {
+            backoff_base: 1_000,
+            backoff_max: 6_000,
+            ..EscalationPolicy::default()
+        };
+        assert_eq!(p.backoff_for(1), 0);
+        assert_eq!(p.backoff_for(2), 1_000);
+        assert_eq!(p.backoff_for(3), 2_000);
+        assert_eq!(p.backoff_for(4), 4_000);
+        assert_eq!(p.backoff_for(5), 6_000); // capped
+        assert_eq!(p.backoff_for(60), 6_000); // shift stays bounded
+    }
+
+    #[test]
+    fn ladder_steps_restart_quarantine_shutdown() {
+        let p = EscalationPolicy {
+            budget: RestartBudget {
+                window: 1_000,
+                max_restarts: 2,
+            },
+            backoff_base: 10,
+            backoff_max: 100,
+            max_quarantined: 1,
+        };
+        assert_eq!(p.decide(1, 0), EscalationStep::Restart { backoff: 0 });
+        assert_eq!(p.decide(2, 0), EscalationStep::Restart { backoff: 10 });
+        assert_eq!(p.decide(3, 0), EscalationStep::Quarantine);
+        assert_eq!(p.decide(3, 1), EscalationStep::Shutdown);
+    }
+
+    #[test]
+    fn unbounded_policy_always_restarts_immediately() {
+        let p = EscalationPolicy::unbounded();
+        let mut h = Vec::new();
+        for t in 0..1_000u64 {
+            let n = p.budget.observe(&mut h, t);
+            assert_eq!(p.decide(n, 0), EscalationStep::Restart { backoff: 0 });
+        }
+        assert!(h.len() <= 1);
+    }
+}

@@ -68,11 +68,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod escalation;
 mod policy;
 mod recovery;
 mod seep;
 mod window;
 
+pub use escalation::{EscalationPolicy, EscalationStep, RestartBudget};
 pub use policy::{
     Enhanced, EnhancedKill, Naive, Pessimistic, PolicyKind, RecoveryPolicy, Stateless,
 };

@@ -1,0 +1,191 @@
+//! Randomized properties on the escalation ladder's sliding-window restart
+//! budget: the bounded-recovery argument (crash loops terminate in bounded
+//! virtual time) rests on these invariants. Driven by the in-tree
+//! deterministic PRNG (`osiris-rng`); every failure reproduces from the
+//! printed case seed.
+
+use osiris_core::{EscalationPolicy, EscalationStep, RestartBudget};
+use osiris_rng::Rng;
+
+const CASES: u64 = 160;
+
+/// Generates a strictly increasing timestamp sequence — virtual clocks
+/// never run backwards, and two restarts of the same component can never
+/// complete at the same instant (recovery itself charges cycles).
+fn gen_times(r: &mut Rng, max_events: usize, max_gap: u64) -> Vec<u64> {
+    let n = r.below_usize(max_events) + 1;
+    let mut now = r.below(1_000);
+    let mut times = Vec::with_capacity(n);
+    for _ in 0..n {
+        now += r.below(max_gap) + 1;
+        times.push(now);
+    }
+    times
+}
+
+/// Invariant: `observe` returns exactly the number of retained history
+/// entries, every retained entry is strictly inside the window, and the
+/// newest observation is always retained.
+#[test]
+fn observe_counts_exactly_the_window_population() {
+    for case in 0..CASES {
+        let mut r = Rng::new(0x31ED_0101 ^ case);
+        let budget = RestartBudget {
+            window: r.below(500_000) + 1,
+            max_restarts: (r.below(16) + 1) as u32,
+        };
+        let times = gen_times(&mut r, 40, 100_000);
+        let mut history = Vec::new();
+        let mut shadow: Vec<u64> = Vec::new();
+        for &now in &times {
+            let n = budget.observe(&mut history, now);
+            shadow.push(now);
+            shadow.retain(|&t| now.saturating_sub(t) < budget.window);
+            assert_eq!(n as usize, history.len(), "case seed {case}");
+            assert_eq!(history, shadow, "case seed {case}");
+            assert!(
+                history
+                    .iter()
+                    .all(|&t| now.saturating_sub(t) < budget.window),
+                "case seed {case}: stale entry survived pruning"
+            );
+            assert_eq!(history.last(), Some(&now), "case seed {case}");
+            assert!(n >= 1, "case seed {case}: the new restart always counts");
+        }
+    }
+}
+
+/// Invariant: the history length is bounded by the densest possible packing
+/// of the window, so the checkpointed Vec cannot grow without bound even
+/// under a permanent crash loop.
+#[test]
+fn history_never_outgrows_the_window() {
+    for case in 0..CASES {
+        let mut r = Rng::new(0x31ED_0102 ^ case);
+        let budget = RestartBudget {
+            window: r.below(10_000) + 1,
+            max_restarts: 4,
+        };
+        // Dense hammering: gaps of 0..=2 cycles.
+        let times = gen_times(&mut r, 200, 3);
+        let mut history = Vec::new();
+        for &now in &times {
+            budget.observe(&mut history, now);
+            assert!(
+                history.len() as u64 <= budget.window + 1,
+                "case seed {case}: {} entries in a {}-cycle window",
+                history.len(),
+                budget.window
+            );
+        }
+    }
+}
+
+/// Invariant: a zero-width window never accumulates — every observation
+/// sees pressure exactly 1. This is what makes
+/// `EscalationPolicy::unbounded()` restart forever without leaking memory.
+#[test]
+fn zero_window_pressure_is_always_one() {
+    for case in 0..CASES {
+        let mut r = Rng::new(0x31ED_0103 ^ case);
+        let budget = RestartBudget {
+            window: 0,
+            max_restarts: 1,
+        };
+        let times = gen_times(&mut r, 60, 50);
+        let mut history = Vec::new();
+        for &now in &times {
+            assert_eq!(budget.observe(&mut history, now), 1, "case seed {case}");
+            assert_eq!(history.len(), 1, "case seed {case}");
+        }
+    }
+}
+
+/// Invariant: observations are time-translation invariant — shifting every
+/// timestamp by a constant offset yields the same pressure sequence. The
+/// ladder's decisions therefore depend only on crash spacing, never on
+/// absolute virtual time.
+#[test]
+fn pressure_is_translation_invariant() {
+    for case in 0..CASES {
+        let mut r = Rng::new(0x31ED_0104 ^ case);
+        let budget = RestartBudget {
+            window: r.below(100_000) + 1,
+            max_restarts: 8,
+        };
+        let times = gen_times(&mut r, 40, 60_000);
+        let offset = r.below(1 << 40);
+        let run = |shift: u64| -> Vec<u32> {
+            let mut history = Vec::new();
+            times
+                .iter()
+                .map(|&t| budget.observe(&mut history, t + shift))
+                .collect()
+        };
+        assert_eq!(run(0), run(offset), "case seed {case}");
+    }
+}
+
+/// Invariant: the ladder is monotone — for a fixed quarantine count the
+/// step sequence over rising pressure is Restart* then (Quarantine |
+/// Shutdown), never returning to Restart; and backoff within the Restart
+/// band never decreases.
+#[test]
+fn ladder_is_monotone_in_pressure() {
+    for case in 0..CASES {
+        let mut r = Rng::new(0x31ED_0105 ^ case);
+        let policy = EscalationPolicy {
+            budget: RestartBudget {
+                window: 1_000_000,
+                max_restarts: (r.below(12) + 1) as u32,
+            },
+            backoff_base: r.below(50_000) + 1,
+            backoff_max: r.below(500_000) + 50_000,
+            max_quarantined: (r.below(3) + 1) as u32,
+        };
+        let quarantined = r.below(4) as u32;
+        let mut seen_terminal = false;
+        let mut last_backoff = 0u64;
+        for pressure in 1..=(policy.budget.max_restarts + 4) {
+            match policy.decide(pressure, quarantined) {
+                EscalationStep::Restart { backoff } => {
+                    assert!(
+                        !seen_terminal,
+                        "case seed {case}: ladder stepped back down to Restart"
+                    );
+                    assert!(
+                        pressure <= policy.budget.max_restarts,
+                        "case seed {case}: restart past the budget"
+                    );
+                    assert!(
+                        backoff >= last_backoff,
+                        "case seed {case}: backoff shrank ({last_backoff} -> {backoff})"
+                    );
+                    assert!(
+                        backoff <= policy.backoff_max,
+                        "case seed {case}: backoff above cap"
+                    );
+                    last_backoff = backoff;
+                }
+                EscalationStep::Quarantine => {
+                    seen_terminal = true;
+                    assert!(
+                        quarantined < policy.max_quarantined,
+                        "case seed {case}: quarantine past the cap"
+                    );
+                }
+                EscalationStep::Shutdown => {
+                    seen_terminal = true;
+                    assert!(
+                        quarantined >= policy.max_quarantined,
+                        "case seed {case}: shutdown below the quarantine cap"
+                    );
+                }
+            }
+        }
+        assert!(
+            seen_terminal,
+            "case seed {case}: pressure past the budget must leave the Restart band"
+        );
+    }
+}

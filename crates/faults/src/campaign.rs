@@ -283,6 +283,8 @@ impl Campaign {
                     ("component", Json::Str(component.clone())),
                     ("pass", Json::UInt(t.pass as u64)),
                     ("fail", Json::UInt(t.fail as u64)),
+                    ("degraded", Json::UInt(t.degraded as u64)),
+                    ("quarantined", Json::UInt(t.quarantined as u64)),
                     ("shutdown", Json::UInt(t.shutdown as u64)),
                     ("crash", Json::UInt(t.crash as u64)),
                     ("survivability_pct", Json::Num(t.survivability())),
@@ -317,17 +319,27 @@ impl Campaign {
 
 fn render_matrix_locked(matrix: &BTreeMap<(String, String), Tally>) -> String {
     let mut out = format!(
-        "  {:<14} {:<10} {:>6} {:>6} {:>9} {:>6} {:>7}\n",
-        "policy", "component", "pass", "fail", "shutdown", "crash", "surv%"
+        "  {:<14} {:<10} {:>6} {:>6} {:>9} {:>11} {:>9} {:>6} {:>7}\n",
+        "policy",
+        "component",
+        "pass",
+        "fail",
+        "degraded",
+        "quarantined",
+        "shutdown",
+        "crash",
+        "surv%"
     );
     let mut per_policy: BTreeMap<&str, Tally> = BTreeMap::new();
     for ((policy, component), t) in matrix {
         out.push_str(&format!(
-            "  {:<14} {:<10} {:>6} {:>6} {:>9} {:>6} {:>6.1}%\n",
+            "  {:<14} {:<10} {:>6} {:>6} {:>9} {:>11} {:>9} {:>6} {:>6.1}%\n",
             policy,
             component,
             t.pass,
             t.fail,
+            t.degraded,
+            t.quarantined,
             t.shutdown,
             t.crash,
             t.survivability()
@@ -335,16 +347,20 @@ fn render_matrix_locked(matrix: &BTreeMap<(String, String), Tally>) -> String {
         let agg = per_policy.entry(policy).or_default();
         agg.pass += t.pass;
         agg.fail += t.fail;
+        agg.degraded += t.degraded;
+        agg.quarantined += t.quarantined;
         agg.shutdown += t.shutdown;
         agg.crash += t.crash;
     }
     for (policy, t) in per_policy {
         out.push_str(&format!(
-            "  {:<14} {:<10} {:>6} {:>6} {:>9} {:>6} {:>6.1}%\n",
+            "  {:<14} {:<10} {:>6} {:>6} {:>9} {:>11} {:>9} {:>6} {:>6.1}%\n",
             policy,
             "(all)",
             t.pass,
             t.fail,
+            t.degraded,
+            t.quarantined,
             t.shutdown,
             t.crash,
             t.survivability()

@@ -349,13 +349,21 @@ impl FaultHook for PeriodicCrash {
     }
 }
 
-/// Classification of one injected run (Tables II/III columns).
+/// Classification of one injected run (Tables II/III columns, plus the
+/// escalation-ladder classes).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Outcome {
     /// Workload completed and every test passed.
     Pass,
     /// Workload completed, system stable, but one or more tests failed.
     Fail,
+    /// Workload completed with every test passing, but only because the
+    /// escalation ladder quarantined a crash-looping component: the system
+    /// is running in a degraded configuration.
+    Degraded,
+    /// A component was quarantined *and* the workload failed tests or left
+    /// residual inconsistencies attributable to the benched component.
+    Quarantined,
     /// The system performed a controlled shutdown.
     Shutdown,
     /// Uncontrolled crash, hang, or post-run inconsistency.
@@ -367,6 +375,8 @@ impl fmt::Display for Outcome {
         let s = match self {
             Outcome::Pass => "pass",
             Outcome::Fail => "fail",
+            Outcome::Degraded => "degraded",
+            Outcome::Quarantined => "quarantined",
             Outcome::Shutdown => "shutdown",
             Outcome::Crash => "crash",
         };
@@ -378,9 +388,25 @@ impl fmt::Display for Outcome {
 /// consistency violations detected after the run (a stable-looking but
 /// corrupted system counts as a crash).
 pub fn classify(outcome: &RunOutcome, audit_violations: usize) -> Outcome {
+    classify_run(outcome, audit_violations, 0)
+}
+
+/// Classifies a run, escalation-aware: `quarantines` is the number of
+/// components the escalation ladder benched during the run. A completed run
+/// with quarantines is *degraded* (everything still passed) or *quarantined*
+/// (tests failed, or the benched component left dangling state the audit
+/// flags) — either way the system survived in bounded time rather than
+/// crash-looping, which is the property the ladder exists to provide.
+pub fn classify_run(outcome: &RunOutcome, audit_violations: usize, quarantines: u64) -> Outcome {
     match outcome {
         RunOutcome::Completed { init_code, .. } => {
-            if audit_violations > 0 {
+            if quarantines > 0 {
+                if *init_code == 0 && audit_violations == 0 {
+                    Outcome::Degraded
+                } else {
+                    Outcome::Quarantined
+                }
+            } else if audit_violations > 0 {
                 Outcome::Crash
             } else if *init_code == 0 {
                 Outcome::Pass
@@ -401,6 +427,10 @@ pub struct Tally {
     pub pass: usize,
     /// Runs classified `Fail`.
     pub fail: usize,
+    /// Runs classified `Degraded`.
+    pub degraded: usize,
+    /// Runs classified `Quarantined`.
+    pub quarantined: usize,
     /// Runs classified `Shutdown`.
     pub shutdown: usize,
     /// Runs classified `Crash`.
@@ -413,6 +443,8 @@ impl Tally {
         match o {
             Outcome::Pass => self.pass += 1,
             Outcome::Fail => self.fail += 1,
+            Outcome::Degraded => self.degraded += 1,
+            Outcome::Quarantined => self.quarantined += 1,
             Outcome::Shutdown => self.shutdown += 1,
             Outcome::Crash => self.crash += 1,
         }
@@ -420,7 +452,7 @@ impl Tally {
 
     /// Total runs.
     pub fn total(&self) -> usize {
-        self.pass + self.fail + self.shutdown + self.crash
+        self.pass + self.fail + self.degraded + self.quarantined + self.shutdown + self.crash
     }
 
     /// Percentage of runs with the given count.
@@ -432,9 +464,10 @@ impl Tally {
         }
     }
 
-    /// Fraction of runs that kept the system alive (pass + fail).
+    /// Fraction of runs that kept the system alive (pass + fail, plus the
+    /// degraded/quarantined runs that survived on the escalation ladder).
     pub fn survivability(&self) -> f64 {
-        self.pct(self.pass + self.fail)
+        self.pct(self.pass + self.fail + self.degraded + self.quarantined)
     }
 }
 
@@ -638,6 +671,49 @@ mod tests {
             Outcome::Crash
         );
         assert_eq!(classify(&RO::Hang("h".into()), 0), Outcome::Crash);
+    }
+
+    #[test]
+    fn escalation_classification() {
+        use osiris_kernel::RunOutcome as RO;
+        let done = RO::Completed {
+            init_code: 0,
+            exit_codes: Default::default(),
+        };
+        // No quarantines: classify_run degenerates to classify.
+        assert_eq!(classify_run(&done, 0, 0), Outcome::Pass);
+        // Quarantine + clean finish = degraded survival.
+        assert_eq!(classify_run(&done, 0, 1), Outcome::Degraded);
+        // Quarantine + residual inconsistency (e.g. fds the benched VFS
+        // never cleaned) = quarantined, NOT an uncontrolled crash.
+        assert_eq!(classify_run(&done, 2, 1), Outcome::Quarantined);
+        let failed = RO::Completed {
+            init_code: 3,
+            exit_codes: Default::default(),
+        };
+        assert_eq!(classify_run(&failed, 0, 1), Outcome::Quarantined);
+        // Terminal outcomes are unaffected by quarantine accounting.
+        assert_eq!(
+            classify_run(&RO::Shutdown(ShutdownKind::Controlled("x".into())), 0, 1),
+            Outcome::Shutdown
+        );
+        assert_eq!(classify_run(&RO::Hang("h".into()), 0, 1), Outcome::Crash);
+    }
+
+    #[test]
+    fn degraded_tally_counts_toward_survivability() {
+        let t: Tally = [
+            Outcome::Pass,
+            Outcome::Degraded,
+            Outcome::Quarantined,
+            Outcome::Crash,
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(t.total(), 4);
+        assert_eq!(t.degraded, 1);
+        assert_eq!(t.quarantined, 1);
+        assert_eq!(t.survivability(), 75.0);
     }
 
     #[test]

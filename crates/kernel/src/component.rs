@@ -114,6 +114,26 @@ pub enum PrivOp {
         /// Human-readable reason.
         reason: &'static str,
     },
+    /// Bench a crash-looping component: no further restarts; the kernel
+    /// reconciles its pending requester and bounces subsequent requests
+    /// with an immediate crash reply.
+    Quarantine {
+        /// Endpoint index of the component to quarantine.
+        target: u8,
+    },
+    /// Record an escalation-ladder decision for observability: the kernel
+    /// updates the per-component escalation metrics and emits the
+    /// corresponding trace events.
+    NoteEscalation {
+        /// Crashed component the ladder evaluated.
+        target: u8,
+        /// Restarts inside the sliding window, including this crash.
+        restarts_in_window: u32,
+        /// Backoff armed before the next restart (0 = immediate).
+        backoff: u64,
+        /// Whether the restart budget is exhausted.
+        exhausted: bool,
+    },
 }
 
 /// An event-driven OS component (server or driver).
@@ -391,6 +411,47 @@ impl<'a, P: Protocol> Ctx<'a, P> {
             "kill_hung() requires a privileged component"
         );
         self.priv_ops.push(PrivOp::KillHung { target });
+    }
+
+    /// Quarantines a crash-looping component (Recovery Server only): the
+    /// kernel stops restarting it, reconciles its pending requester with a
+    /// crash reply, and bounces subsequent requests to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling component is not privileged.
+    pub fn quarantine(&mut self, target: u8) {
+        assert!(
+            self.privileged,
+            "quarantine() requires a privileged component"
+        );
+        self.priv_ops.push(PrivOp::Quarantine { target });
+    }
+
+    /// Records an escalation-ladder decision (Recovery Server only): the
+    /// kernel updates `osiris_escalation_*` metrics and emits backoff /
+    /// budget-exhausted trace events from it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling component is not privileged.
+    pub fn note_escalation(
+        &mut self,
+        target: u8,
+        restarts_in_window: u32,
+        backoff: u64,
+        exhausted: bool,
+    ) {
+        assert!(
+            self.privileged,
+            "note_escalation() requires a privileged component"
+        );
+        self.priv_ops.push(PrivOp::NoteEscalation {
+            target,
+            restarts_in_window,
+            backoff,
+            exhausted,
+        });
     }
 
     /// Requests a controlled shutdown of the whole system (Recovery Server

@@ -120,6 +120,9 @@ pub struct Sys {
     to_host: Sender<(Pid, ProcAction)>,
     from_host: Receiver<ProcInput>,
     retry_ecrash: bool,
+    retry_budget: u32,
+    retry_backoff_base: u64,
+    retry_backoff_max: u64,
 }
 
 impl std::fmt::Debug for Sys {
@@ -151,7 +154,21 @@ impl Sys {
         self.retry_ecrash = retry;
     }
 
+    /// Backoff (in compute units) before retry number `attempt`: the first
+    /// retry is immediate — a single crash recovers before the retried call
+    /// arrives — then the delay doubles up to the configured cap.
+    fn retry_backoff(&self, attempt: u32) -> u64 {
+        if attempt <= 1 {
+            return 0;
+        }
+        let doublings = (attempt - 2).min(16);
+        self.retry_backoff_base
+            .saturating_mul(1u64 << doublings)
+            .min(self.retry_backoff_max)
+    }
+
     fn call(&mut self, sc: Syscall) -> Result<SysReply, Errno> {
+        let mut attempts: u32 = 0;
         loop {
             if self
                 .to_host
@@ -165,6 +182,17 @@ impl Sys {
                     std::panic::panic_any(ProcExit::Killed)
                 }
                 Ok(ProcInput::Reply(SysReply::Err(Errno::ECRASH))) if self.retry_ecrash => {
+                    // Bounded retry: a crash-looping (or quarantined) server
+                    // keeps answering ECRASH; surface it once the per-call
+                    // budget is spent instead of livelocking.
+                    attempts += 1;
+                    if attempts >= self.retry_budget {
+                        return Err(Errno::ECRASH);
+                    }
+                    let backoff = self.retry_backoff(attempts);
+                    if backoff > 0 {
+                        self.compute(backoff);
+                    }
                     continue;
                 }
                 Ok(ProcInput::Reply(SysReply::Err(e))) => return Err(e),
@@ -651,6 +679,18 @@ pub struct HostConfig {
     /// Declare a hang after this many consecutive timer fires yielding no
     /// process progress.
     pub max_idle_timer_fires: u32,
+    /// Per-call budget for transparent `ECRASH` retries (see
+    /// [`Sys::set_retry_ecrash`]): after this many failed attempts of one
+    /// call, `ECRASH` is surfaced to the program. The default is far above
+    /// what the §VI-E service-disruption runs need (their first, immediate
+    /// retry lands after recovery completes) while still bounding a
+    /// persistent crash loop.
+    pub ecrash_retry_budget: u32,
+    /// Virtual-time backoff (compute units) before the second retry of one
+    /// call; doubles on each further retry. The first retry is immediate.
+    pub ecrash_backoff_base: u64,
+    /// Cap on the exponential retry backoff.
+    pub ecrash_backoff_max: u64,
     /// Log every process action and reply to stderr. The
     /// `OSIRIS_HOST_TRACE=1` environment variable forces this on.
     pub verbose: bool,
@@ -661,6 +701,9 @@ impl Default for HostConfig {
         HostConfig {
             max_virtual_time: 500_000_000_000,
             max_idle_timer_fires: 10_000,
+            ecrash_retry_budget: 64,
+            ecrash_backoff_base: 1_000,
+            ecrash_backoff_max: 250_000,
             verbose: false,
         }
     }
@@ -1037,6 +1080,11 @@ impl<E: OsEngine> Host<E> {
     ) -> ProcEntry {
         let (input_tx, input_rx) = channel::<ProcInput>();
         let registry = Arc::clone(&self.registry);
+        let (retry_budget, retry_backoff_base, retry_backoff_max) = (
+            self.cfg.ecrash_retry_budget,
+            self.cfg.ecrash_backoff_base,
+            self.cfg.ecrash_backoff_max,
+        );
         let handle = std::thread::Builder::new()
             .name(format!("osiris-{}", pid))
             .spawn(move || {
@@ -1047,6 +1095,9 @@ impl<E: OsEngine> Host<E> {
                     to_host: action_tx.clone(),
                     from_host: input_rx,
                     retry_ecrash: false,
+                    retry_budget,
+                    retry_backoff_base,
+                    retry_backoff_max,
                 };
                 let result = catch_unwind(AssertUnwindSafe(|| f(&mut sys)));
                 finish_thread(pid, result, &action_tx);
@@ -1062,6 +1113,11 @@ impl<E: OsEngine> Host<E> {
     fn start_fork(&self, pid: Pid, f: ForkFn, action_tx: Sender<(Pid, ProcAction)>) -> ProcEntry {
         let (input_tx, input_rx) = channel::<ProcInput>();
         let registry = Arc::clone(&self.registry);
+        let (retry_budget, retry_backoff_base, retry_backoff_max) = (
+            self.cfg.ecrash_retry_budget,
+            self.cfg.ecrash_backoff_base,
+            self.cfg.ecrash_backoff_max,
+        );
         let handle = std::thread::Builder::new()
             .name(format!("osiris-{}", pid))
             .spawn(move || {
@@ -1072,6 +1128,9 @@ impl<E: OsEngine> Host<E> {
                     to_host: action_tx.clone(),
                     from_host: input_rx,
                     retry_ecrash: false,
+                    retry_budget,
+                    retry_backoff_base,
+                    retry_backoff_max,
                 };
                 let result = catch_unwind(AssertUnwindSafe(|| f(&mut sys)));
                 finish_thread(pid, result, &action_tx);

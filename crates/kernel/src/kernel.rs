@@ -88,6 +88,9 @@ enum CompStatus {
     Alive,
     Hung,
     Crashed,
+    /// Benched by the escalation ladder: never scheduled again; requests to
+    /// it are bounced with an immediate crash reply instead of delivered.
+    Quarantined,
 }
 
 /// Crash-time facts frozen until recovery executes.
@@ -135,6 +138,13 @@ struct CompStats {
     coalesced_writes: Counter,
     window_opens: Counter,
     window_rollbacks: Counter,
+    // Escalation-ladder series (written by the kernel on behalf of the
+    // Recovery Server's ladder decisions):
+    quarantines: Counter,
+    quarantine_refusals: Counter,
+    escalation_restarts_window: Gauge,
+    escalation_backoff_arms: Counter,
+    escalation_budget_exhausted: Counter,
 }
 
 impl CompStats {
@@ -211,6 +221,31 @@ impl CompStats {
             window_rollbacks: m.counter(
                 "osiris_comp_window_rollbacks_total",
                 "Recovery windows rolled back",
+                &l,
+            ),
+            quarantines: m.counter(
+                "osiris_quarantine_total",
+                "Times this component was quarantined by the escalation ladder",
+                &l,
+            ),
+            quarantine_refusals: m.counter(
+                "osiris_quarantine_refusals_total",
+                "Requests bounced with a crash reply while quarantined",
+                &l,
+            ),
+            escalation_restarts_window: m.gauge(
+                "osiris_escalation_restarts_window",
+                "Restarts of this component inside the current sliding window",
+                &l,
+            ),
+            escalation_backoff_arms: m.counter(
+                "osiris_escalation_backoff_arms_total",
+                "Restart backoffs armed for this component",
+                &l,
+            ),
+            escalation_budget_exhausted: m.counter(
+                "osiris_escalation_budget_exhausted_total",
+                "Times this component exhausted its restart budget",
                 &l,
             ),
         }
@@ -573,6 +608,7 @@ impl<P: Protocol> Kernel<P> {
             syscalls: self.counters.syscalls.get(),
             timers_fired: self.counters.timers_fired.get(),
             crashes: self.comps.iter().map(|c| c.stats.crashes.get()).sum(),
+            quarantines: self.comps.iter().map(|c| c.stats.quarantines.get()).sum(),
             hangs: self.counters.hangs.get(),
             recovered_rollback: self.counters.recovered_rollback.get(),
             recovered_fresh: self.counters.recovered_fresh.get(),
@@ -699,6 +735,7 @@ impl<P: Protocol> Kernel<P> {
             if self.shutdown.is_some() {
                 return;
             }
+            self.bounce_quarantined_mail();
             let Some(idx) = self.pick_runnable() else {
                 return;
             };
@@ -949,6 +986,71 @@ impl<P: Protocol> Kernel<P> {
                     self.counters.controlled_shutdowns.inc();
                     self.begin_controlled_shutdown(reason.to_string());
                 }
+                PrivOp::Quarantine { target } => self.execute_quarantine(target),
+                PrivOp::NoteEscalation {
+                    target,
+                    restarts_in_window,
+                    backoff,
+                    exhausted,
+                } => {
+                    let stats = &self.comps[target as usize].stats;
+                    stats
+                        .escalation_restarts_window
+                        .set(restarts_in_window as u64);
+                    self.tracer.set_now(self.clock.now());
+                    if backoff > 0 {
+                        stats.escalation_backoff_arms.inc();
+                        self.tracer.emit(
+                            KERNEL_COMP,
+                            TraceEvent::BackoffArmed {
+                                target,
+                                delay: backoff,
+                            },
+                        );
+                    }
+                    if exhausted {
+                        stats.escalation_budget_exhausted.inc();
+                        self.tracer
+                            .emit(KERNEL_COMP, TraceEvent::BudgetExhausted { target });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Benches a crash-looping component: reconciles its pending requester
+    /// with a crash reply, marks it [`CompStatus::Quarantined`] (never
+    /// scheduled again), and unstalls the system. Its queued and future
+    /// requests are bounced by [`Kernel::bounce_quarantined_mail`].
+    fn execute_quarantine(&mut self, target: u8) {
+        let t = target as usize;
+        self.tracer.set_now(self.clock.now());
+        if let Some(pending) = self.comps[t].crash_info.take() {
+            self.send_crash_reply(target, pending.msg);
+        }
+        self.comps[t].status = CompStatus::Quarantined;
+        self.comps[t].stats.quarantines.inc();
+        self.tracer
+            .emit(KERNEL_COMP, TraceEvent::Quarantined { target });
+        if self.recovering == Some(target) {
+            self.recovering = None;
+        }
+    }
+
+    /// Drains the inboxes of quarantined components: requests are answered
+    /// with an immediate crash reply (error virtualization without running
+    /// the component), replies and notifications are dropped.
+    fn bounce_quarantined_mail(&mut self) {
+        for idx in 0..self.comps.len() {
+            if self.comps[idx].status != CompStatus::Quarantined {
+                continue;
+            }
+            while let Some(msg) = self.comps[idx].inbox.pop_front() {
+                if msg.seep.kind == MessageKind::Request {
+                    self.comps[idx].stats.quarantine_refusals.inc();
+                    self.tracer.set_now(self.clock.now());
+                    self.send_crash_reply(idx as u8, msg);
+                }
             }
         }
     }
@@ -958,8 +1060,11 @@ impl<P: Protocol> Kernel<P> {
     fn execute_recovery(&mut self, target: u8) {
         let t = target as usize;
         let Some(pending) = self.comps[t].crash_info.take() else {
-            // Spurious request (e.g. the component already recovered).
-            self.recovering = None;
+            // Spurious request (e.g. the component already recovered, or a
+            // stale backoff timer fired after a quarantine).
+            if self.recovering == Some(target) {
+                self.recovering = None;
+            }
             return;
         };
         self.tracer.set_now(self.clock.now());
@@ -1252,6 +1357,16 @@ impl<P: Protocol> Kernel<P> {
     /// detection).
     pub fn any_hung(&self) -> bool {
         self.comps.iter().any(|c| c.status == CompStatus::Hung)
+    }
+
+    /// Endpoints currently quarantined by the escalation ladder.
+    pub fn quarantined(&self) -> Vec<u8> {
+        self.comps
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.status == CompStatus::Quarantined)
+            .map(|(i, _)| i as u8)
+            .collect()
     }
 
     /// Whether a recovery is currently stalling the system.

@@ -63,6 +63,8 @@ pub struct KernelMetrics {
     pub timers_fired: u64,
     /// Component crashes observed (fail-stop panics).
     pub crashes: u64,
+    /// Components quarantined by the escalation ladder.
+    pub quarantines: u64,
     /// Components detected hung.
     pub hangs: u64,
     /// Recoveries by rollback + error virtualization.

@@ -44,6 +44,102 @@ impl OsEngine for BlackHole {
     }
 }
 
+/// An engine that answers every sleep with `ECRASH` — a server stuck in a
+/// permanent crash loop (or quarantined) from the caller's point of view.
+#[derive(Default)]
+struct AlwaysCrashed {
+    replies: Vec<(SyscallId, Pid, SysReply)>,
+    sleep_submissions: u32,
+    now: u64,
+}
+
+impl OsEngine for AlwaysCrashed {
+    fn submit(&mut self, sid: SyscallId, pid: Pid, call: Syscall) {
+        self.now += 100;
+        match call {
+            Syscall::GetPid => self.replies.push((sid, pid, SysReply::Proc(pid))),
+            Syscall::Sleep { .. } => {
+                self.sleep_submissions += 1;
+                self.replies
+                    .push((sid, pid, SysReply::Err(osiris_kernel::abi::Errno::ECRASH)));
+            }
+            _ => {}
+        }
+    }
+    fn pump(&mut self) -> Vec<(SyscallId, Pid, SysReply)> {
+        std::mem::take(&mut self.replies)
+    }
+    fn take_kill_events(&mut self) -> Vec<Pid> {
+        Vec::new()
+    }
+    fn fire_next_timer(&mut self) -> bool {
+        false
+    }
+    fn shutdown_state(&self) -> Option<ShutdownKind> {
+        None
+    }
+    fn now(&self) -> u64 {
+        self.now
+    }
+    fn charge_user(&mut self, units: u64) {
+        self.now += units;
+    }
+}
+
+#[test]
+fn transparent_ecrash_retry_is_bounded_by_the_budget() {
+    osiris_kernel::install_quiet_panic_hook();
+    let mut registry = ProgramRegistry::new();
+    registry.register("main", |sys| {
+        sys.set_retry_ecrash(true);
+        // A server that never stops crashing must surface ECRASH to the
+        // program after the per-call budget, not livelock the run.
+        match sys.sleep(5) {
+            Err(osiris_kernel::abi::Errno::ECRASH) => 0,
+            other => panic!("expected budgeted ECRASH, got {other:?}"),
+        }
+    });
+    let host_cfg = HostConfig {
+        ecrash_retry_budget: 6,
+        ecrash_backoff_base: 10,
+        ecrash_backoff_max: 40,
+        ..Default::default()
+    };
+    let mut host = Host::new(AlwaysCrashed::default(), registry).with_config(host_cfg);
+    let outcome = host.run("main", &[]);
+    let engine = host.into_engine();
+    assert!(
+        matches!(outcome, RunOutcome::Completed { init_code: 0, .. }),
+        "{outcome:?}"
+    );
+    assert_eq!(
+        engine.sleep_submissions, 6,
+        "exactly budget-many attempts reach the engine"
+    );
+    // Retries 2..=5 back off for 10, 20, 40 (cap), 40 compute units, on top
+    // of 100 cycles charged per submission: the retry loop advances virtual
+    // time instead of spinning.
+    assert!(engine.now >= 6 * 100 + 110, "t={}", engine.now);
+}
+
+#[test]
+fn ecrash_surfaces_immediately_without_opt_in() {
+    osiris_kernel::install_quiet_panic_hook();
+    let mut registry = ProgramRegistry::new();
+    registry.register("main", |sys| match sys.sleep(5) {
+        Err(osiris_kernel::abi::Errno::ECRASH) => 0,
+        other => panic!("expected raw ECRASH, got {other:?}"),
+    });
+    let mut host = Host::new(AlwaysCrashed::default(), registry);
+    let outcome = host.run("main", &[]);
+    let engine = host.into_engine();
+    assert!(matches!(
+        outcome,
+        RunOutcome::Completed { init_code: 0, .. }
+    ));
+    assert_eq!(engine.sleep_submissions, 1, "no transparent retry");
+}
+
 #[test]
 fn swallowed_syscall_is_detected_as_hang() {
     osiris_kernel::install_quiet_panic_hook();

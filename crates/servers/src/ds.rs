@@ -122,6 +122,15 @@ impl Server<OsMsg> for DataStore {
                 );
                 ctx.site("ds.status.stored");
             }
+            OsMsg::QuarantinePublish { target } => {
+                // RS records escalation verdicts here so surviving services
+                // (and post-mortem tooling) can discover benched components.
+                ctx.site("ds.quarantine.entry");
+                let h = self.h();
+                h.store
+                    .insert(ctx.heap(), format!("rs/quarantined/{target}"), vec![1]);
+                ctx.site("ds.quarantine.stored");
+            }
             OsMsg::Ping => {
                 ctx.site("ds.ping");
                 ctx.reply(msg.return_path(), OsMsg::Pong)

@@ -4,7 +4,7 @@
 
 use std::collections::BTreeSet;
 
-use osiris_core::{PolicyKind, RecoveryPolicy};
+use osiris_core::{EscalationPolicy, PolicyKind, RecoveryPolicy};
 use osiris_kernel::abi::{Pid, SysReply, Syscall};
 use osiris_kernel::{
     ComponentReport, CostModel, Endpoint, FaultHook, Instrumentation, Kernel, KernelConfig,
@@ -37,6 +37,11 @@ pub struct OsConfig {
     pub vfs_cache_blocks: usize,
     /// VFS cooperative thread count.
     pub vfs_threads: u32,
+    /// Recovery escalation policy driven by RS: sliding-window restart
+    /// budget, exponential restart backoff, quarantine, controlled
+    /// shutdown. `EscalationPolicy::unbounded()` restores the legacy
+    /// restart-forever behaviour.
+    pub escalation: EscalationPolicy,
     /// Shutdown grace budget (paper §VII): number of message deliveries the
     /// kernel keeps serving after a controlled shutdown is decided, so
     /// applications can persist state. Only *save-class* syscalls (data
@@ -62,6 +67,7 @@ impl Default for OsConfig {
             vm_frames: 65_536,
             vfs_cache_blocks: 64,
             vfs_threads: 4,
+            escalation: EscalationPolicy::default(),
             shutdown_grace: 0,
             trace: osiris_trace::TraceConfig::default(),
             metrics: osiris_metrics::MetricsConfig::default(),
@@ -122,7 +128,10 @@ impl Os {
         let disk_latency = kcfg.cost.disk_latency;
         let mut kernel = Kernel::new(kcfg);
         let topo = Topology::CANONICAL;
-        let rs = kernel.register(Box::new(RecoveryServer::new(topo, heartbeat)), true);
+        let rs = kernel.register(
+            Box::new(RecoveryServer::new(topo, heartbeat, cfg.escalation)),
+            true,
+        );
         let pm = kernel.register(Box::new(ProcessManager::new(topo)), false);
         let vm = kernel.register(Box::new(VmManager::new(topo, cfg.vm_frames)), false);
         let vfs = kernel.register(

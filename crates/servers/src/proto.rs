@@ -142,6 +142,12 @@ pub enum OsMsg {
         /// Heartbeat round number.
         round: u64,
     },
+    /// RS records a quarantine decision in the data store so the rest of
+    /// the system can observe which services are benched. State-modifying.
+    QuarantinePublish {
+        /// Endpoint index of the quarantined component.
+        target: u8,
+    },
 
     // --- heartbeats ---
     /// Liveness probe from RS.
@@ -163,6 +169,12 @@ pub enum OsMsg {
     },
     /// RS heartbeat-round timer.
     HeartbeatTick,
+    /// RS restart-backoff timer: recover `target` now that its escalation
+    /// backoff has elapsed.
+    RecoveryTick {
+        /// Endpoint index of the component awaiting its deferred restart.
+        target: u8,
+    },
     /// Disk-latency completion timer.
     DiskTick {
         /// Pending-operation token.
@@ -207,7 +219,7 @@ impl Protocol for OsMsg {
             VfsExecLoad { .. } => SeepMeta::request(SeepClass::NonStateModifying),
             Ping => SeepMeta::request(SeepClass::NonStateModifying),
             // Fire-and-forget state changes.
-            VmFree { .. } | VfsCleanup { .. } | StatusPublish { .. } => {
+            VmFree { .. } | VfsCleanup { .. } | StatusPublish { .. } | QuarantinePublish { .. } => {
                 SeepMeta::notification(SeepClass::StateModifying)
             }
             // Exit-path variants: the receiver's change is scoped to the
@@ -223,6 +235,7 @@ impl Protocol for OsMsg {
             CrashNotify { .. }
             | KillRequester { .. }
             | HeartbeatTick
+            | RecoveryTick { .. }
             | DiskTick { .. }
             | SleepTick { .. } => SeepMeta::notification(SeepClass::NonStateModifying),
         }
@@ -270,11 +283,13 @@ impl Protocol for OsMsg {
             RCrash => "r_crash",
             Announce { .. } => "announce",
             StatusPublish { .. } => "status_publish",
+            QuarantinePublish { .. } => "quarantine_publish",
             Ping => "ping",
             Pong => "pong",
             CrashNotify { .. } => "crash_notify",
             KillRequester { .. } => "kill_requester",
             HeartbeatTick => "heartbeat_tick",
+            RecoveryTick { .. } => "recovery_tick",
             DiskTick { .. } => "disk_tick",
             SleepTick { .. } => "sleep_tick",
         }
@@ -392,6 +407,16 @@ mod tests {
         ] {
             assert_eq!(m.seep().class, SeepClass::StateModifying, "{}", m.label());
         }
+    }
+
+    #[test]
+    fn escalation_messages_classified() {
+        let tick = OsMsg::RecoveryTick { target: 3 }.seep();
+        assert_eq!(tick.kind, MessageKind::Notification);
+        assert_eq!(tick.class, SeepClass::NonStateModifying);
+        let publish = OsMsg::QuarantinePublish { target: 3 }.seep();
+        assert_eq!(publish.kind, MessageKind::Notification);
+        assert_eq!(publish.class, SeepClass::StateModifying);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! "crash" rows of Tables II/III.
 
 use osiris_checkpoint::{Heap, PCell, PMap};
+use osiris_core::{EscalationPolicy, EscalationStep};
 use osiris_kernel::{Ctx, Endpoint, Message, Server};
 
 use crate::proto::OsMsg;
@@ -19,6 +20,11 @@ use crate::topology::Topology;
 struct Service {
     endpoint: u8,
     restarts: u64,
+    /// Virtual-clock timestamps of recent restarts, pruned to the
+    /// escalation policy's sliding window on every observation.
+    restart_history: Vec<u64>,
+    /// Benched by the escalation ladder: no more restarts, no heartbeats.
+    quarantined: bool,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -36,16 +42,19 @@ struct Handles {
 pub struct RecoveryServer {
     topo: Topology,
     heartbeat_interval: u64,
+    escalation: EscalationPolicy,
     h: Option<Handles>,
 }
 
 impl RecoveryServer {
     /// Creates an RS that heartbeats all core servers every
-    /// `heartbeat_interval` cycles.
-    pub fn new(topo: Topology, heartbeat_interval: u64) -> Self {
+    /// `heartbeat_interval` cycles and escalates crash-looping services
+    /// per `escalation`.
+    pub fn new(topo: Topology, heartbeat_interval: u64, escalation: EscalationPolicy) -> Self {
         RecoveryServer {
             topo,
             heartbeat_interval,
+            escalation,
             h: None,
         }
     }
@@ -83,13 +92,29 @@ impl RecoveryServer {
         for ep in silent {
             ctx.site("rs.hb.silent");
             h.outstanding.remove(ctx.heap(), &ep);
+            // The ping that went unanswered still has a wait entry keyed by
+            // message id; drop it too, or hung servers leak one entry per
+            // round for the rest of the run.
+            while let Some(stale) = h.ping_waits.find_key(ctx.heap_ref(), |_, v| *v == ep) {
+                h.ping_waits.remove(ctx.heap(), &stale);
+            }
             ctx.kill_hung(ep as u8);
         }
         ctx.site("rs.hb.checked");
 
         // New round of pings. `Ping` is non-state-modifying, so under the
         // enhanced policy the heartbeat handler itself stays recoverable.
+        // Quarantined services are benched: pinging them would only bounce.
+        let mut benched: Vec<u8> = Vec::new();
+        h.services.for_each(ctx.heap_ref(), |_, s| {
+            if s.quarantined {
+                benched.push(s.endpoint);
+            }
+        });
         for ep in self.watched() {
+            if benched.contains(&ep) {
+                continue;
+            }
             let id = ctx.send_request(Endpoint::Component(ep), OsMsg::Ping);
             h.ping_waits.insert(ctx.heap(), id.0, u32::from(ep));
             h.outstanding.insert(ctx.heap(), u32::from(ep), round);
@@ -141,6 +166,8 @@ impl Server<OsMsg> for RecoveryServer {
                     Service {
                         endpoint: c,
                         restarts: 0,
+                        restart_history: Vec::new(),
+                        quarantined: false,
                     },
                 );
             }
@@ -154,15 +181,69 @@ impl Server<OsMsg> for RecoveryServer {
         match &msg.payload {
             OsMsg::CrashNotify { target } => {
                 // Recovery code path: restart, rollback and reconciliation
-                // are executed by the kernel under RS direction.
+                // are executed by the kernel under RS direction — but only
+                // after the escalation ladder has had its say. A service
+                // that keeps crashing inside the policy's sliding window is
+                // first restarted with exponential backoff, then quarantined
+                // (benched, its requests bounced with a crash reply), and
+                // once the quarantine cap is hit the system shuts down in a
+                // controlled fashion rather than thrash forever.
                 ctx.site("rs.recover.notify");
                 ctx.heap_ref()
                     .trace_emit(osiris_trace::TraceEvent::RsCrashNotified { target: *target });
-                h.services
-                    .update(ctx.heap(), &u32::from(*target), |s| s.restarts += 1);
+                let now = ctx.now();
+                let policy = self.escalation;
+                let mut benched = 0u32;
+                h.services.for_each(ctx.heap_ref(), |_, s| {
+                    if s.quarantined {
+                        benched += 1;
+                    }
+                });
+                let mut pressure = 1u32;
+                h.services.update(ctx.heap(), &u32::from(*target), |s| {
+                    s.restarts += 1;
+                    pressure = policy.budget.observe(&mut s.restart_history, now);
+                });
                 ctx.site("rs.recover.account");
+                let step = policy.decide(pressure, benched);
+                let (backoff, exhausted) = match step {
+                    EscalationStep::Restart { backoff } => (backoff, false),
+                    _ => (0, true),
+                };
+                ctx.note_escalation(*target, pressure, backoff, exhausted);
+                match step {
+                    EscalationStep::Restart { backoff: 0 } => {
+                        ctx.recover(*target);
+                        ctx.site("rs.recover.issued");
+                    }
+                    EscalationStep::Restart { backoff } => {
+                        // Defer the restart: the kernel keeps the system in
+                        // recovery (only RS runs) until the timer fires and
+                        // the RecoveryTick below issues the actual recovery.
+                        ctx.set_timer(backoff, OsMsg::RecoveryTick { target: *target });
+                        ctx.site("rs.recover.deferred");
+                    }
+                    EscalationStep::Quarantine => {
+                        h.services
+                            .update(ctx.heap(), &u32::from(*target), |s| s.quarantined = true);
+                        ctx.notify(self.topo.ds, OsMsg::QuarantinePublish { target: *target });
+                        ctx.quarantine(*target);
+                        ctx.site("rs.recover.quarantined");
+                    }
+                    EscalationStep::Shutdown => {
+                        ctx.controlled_shutdown(
+                            "escalation: restart budget and quarantine cap exhausted",
+                        );
+                        ctx.site("rs.recover.shutdown");
+                    }
+                }
+            }
+            OsMsg::RecoveryTick { target } => {
+                // Backoff expired: issue the deferred recovery. A stale tick
+                // (service already recovered or quarantined meanwhile) is
+                // absorbed by the kernel's crash_info guard.
+                ctx.site("rs.recover.tick");
                 ctx.recover(*target);
-                ctx.site("rs.recover.issued");
             }
             OsMsg::KillRequester { pid } => {
                 // Kill-requester reconciliation (paper §VII): terminate the
@@ -208,6 +289,9 @@ impl Server<OsMsg> for RecoveryServer {
         self.h().services.for_each(heap, |_, s| {
             facts.push(("rs.restarts".to_string(), s.restarts));
             facts.push(("rs.service".to_string(), u64::from(s.endpoint)));
+            if s.quarantined {
+                facts.push(("rs.quarantined".to_string(), u64::from(s.endpoint)));
+            }
         });
         facts
     }

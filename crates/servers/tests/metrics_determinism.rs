@@ -17,7 +17,11 @@ fn run_metered(policy: PolicyKind, faulted: bool) -> (String, String) {
     } else {
         None
     };
-    let (_, os) = run_suite_with(OsConfig::with_policy(policy), hook);
+    let mut cfg = OsConfig::with_policy(policy);
+    // The faulted variant sustains periodic crashes for the whole suite;
+    // keep the legacy restart-forever behaviour so every crash recovers.
+    cfg.escalation = osiris_core::EscalationPolicy::unbounded();
+    let (_, os) = run_suite_with(cfg, hook);
     (os.metrics_prometheus(), os.metrics_json().pretty())
 }
 

@@ -12,6 +12,9 @@ use osiris_workloads::run_suite_with;
 fn traced_cfg(policy: PolicyKind) -> OsConfig {
     let mut cfg = OsConfig::with_policy(policy);
     cfg.trace = TraceConfig::on();
+    // The faulted variant sustains periodic crashes for the whole suite;
+    // keep the legacy restart-forever behaviour so every crash recovers.
+    cfg.escalation = osiris_core::EscalationPolicy::unbounded();
     cfg
 }
 

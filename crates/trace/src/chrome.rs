@@ -224,6 +224,27 @@ pub fn chrome_trace(records: &[TraceRecord], names: &[String]) -> Json {
                 r,
                 vec![kv("controlled", Json::Bool(*controlled))],
             )),
+            TraceEvent::BudgetExhausted { target } => events.push(event_json(
+                "budget_exhausted",
+                "i",
+                r,
+                vec![kv("target", Json::Str(comp_name(*target, names)))],
+            )),
+            TraceEvent::BackoffArmed { target, delay } => events.push(event_json(
+                "backoff_armed",
+                "i",
+                r,
+                vec![
+                    kv("target", Json::Str(comp_name(*target, names))),
+                    kv("delay", Json::UInt(*delay)),
+                ],
+            )),
+            TraceEvent::Quarantined { target } => events.push(event_json(
+                "quarantined",
+                "i",
+                r,
+                vec![kv("target", Json::Str(comp_name(*target, names)))],
+            )),
         }
     }
 

@@ -280,6 +280,26 @@ pub enum TraceEvent {
         /// uncontrolled crash stop.
         controlled: bool,
     },
+    /// Component `target` exhausted its restart budget inside the sliding
+    /// window: the escalation ladder is stepping past plain restarts.
+    BudgetExhausted {
+        /// Crash-looping component.
+        target: u8,
+    },
+    /// Recovery of `target` was deferred by `delay` virtual cycles of
+    /// exponential restart backoff.
+    BackoffArmed {
+        /// Component whose recovery is deferred.
+        target: u8,
+        /// Backoff delay in virtual cycles.
+        delay: u64,
+    },
+    /// Component `target` was quarantined: no further restarts, messages
+    /// to it are bounced with an immediate crash reply.
+    Quarantined {
+        /// Benched component.
+        target: u8,
+    },
 }
 
 impl TraceEvent {
@@ -296,7 +316,10 @@ impl TraceEvent {
             | TraceEvent::HangDetected { .. }
             | TraceEvent::RsCrashNotified { .. }
             | TraceEvent::RecoveryDecision { .. }
-            | TraceEvent::RecoveryDone { .. } => Category::Recovery,
+            | TraceEvent::RecoveryDone { .. }
+            | TraceEvent::BudgetExhausted { .. }
+            | TraceEvent::BackoffArmed { .. }
+            | TraceEvent::Quarantined { .. } => Category::Recovery,
             TraceEvent::SyscallEnter { .. } | TraceEvent::SyscallExit { .. } => Category::Syscall,
             TraceEvent::ShutdownDecision { .. } => Category::Shutdown,
         }
@@ -320,7 +343,10 @@ impl TraceEvent {
             | TraceEvent::HangDetected { .. }
             | TraceEvent::RsCrashNotified { .. }
             | TraceEvent::RecoveryDecision { .. }
-            | TraceEvent::RecoveryDone { .. } => Severity::Warn,
+            | TraceEvent::RecoveryDone { .. }
+            | TraceEvent::BudgetExhausted { .. }
+            | TraceEvent::BackoffArmed { .. }
+            | TraceEvent::Quarantined { .. } => Severity::Warn,
             TraceEvent::ShutdownDecision { .. } => Severity::Error,
         }
     }

@@ -13,8 +13,8 @@
 //! ```
 
 use osiris::faults::{
-    classify, plan_faults, run_parallel, Campaign, FaultModel, InjectionRecord, Injector, Outcome,
-    Recorder, RecoveryActionTag, Tally,
+    classify_run, plan_faults, run_parallel, Campaign, FaultModel, InjectionRecord, Injector,
+    Outcome, Recorder, RecoveryActionTag, Tally,
 };
 use osiris::workloads::{build_testsuite, run_suite_with};
 use osiris::{Host, Os, OsConfig, PolicyKind, TraceConfig};
@@ -50,8 +50,8 @@ fn main() {
         plans.len() * policies.len(),
     );
     println!(
-        "{:<14} {:>6} {:>6} {:>9} {:>6}   (injecting on {} threads)",
-        "policy", "pass", "fail", "shutdown", "crash", threads
+        "{:<14} {:>6} {:>6} {:>9} {:>11} {:>9} {:>6}   (injecting on {} threads)",
+        "policy", "pass", "fail", "degraded", "quarantined", "shutdown", "crash", threads
     );
     for policy in policies {
         let campaign = &campaign;
@@ -77,8 +77,11 @@ fn main() {
             } else {
                 0
             };
-            let class = classify(&outcome, violations);
             let m = os.metrics();
+            // Escalation-aware classification: runs that survived because a
+            // crash-looping component was quarantined report as degraded or
+            // quarantined rather than pass/crash.
+            let class = classify_run(&outcome, violations, m.quarantines);
             let blackbox = (class == Outcome::Crash).then(|| {
                 let tail = os.trace_handle().with(|t| t.tail_per_comp(12));
                 osiris::trace::render_text(&tail, &os.kernel().trace_names())
@@ -103,10 +106,12 @@ fn main() {
         });
         let t: Tally = outcomes.into_iter().collect();
         println!(
-            "{:<14} {:>5} {:>6} {:>9} {:>6}",
+            "{:<14} {:>5} {:>6} {:>9} {:>11} {:>9} {:>6}",
             policy.to_string(),
             t.pass,
             t.fail,
+            t.degraded,
+            t.quarantined,
             t.shutdown,
             t.crash
         );

@@ -39,7 +39,13 @@ fn main() {
         0
     });
 
-    let mut os = Os::new(OsConfig::with_policy(PolicyKind::Enhanced));
+    let mut os = Os::new(OsConfig {
+        policy: PolicyKind::Enhanced,
+        // This example sustains a crash storm on purpose; restart forever
+        // instead of letting the escalation ladder bench DS.
+        escalation: osiris::EscalationPolicy::unbounded(),
+        ..Default::default()
+    });
     // Crash DS inside its recovery window every 50k cycles.
     os.set_fault_hook(Box::new(PeriodicCrash::new("ds", 50_000)));
 

@@ -57,8 +57,8 @@ pub use osiris_workloads as workloads;
 
 pub use osiris_checkpoint::Heap;
 pub use osiris_core::{
-    CrashContext, Enhanced, Naive, Pessimistic, PolicyKind, RecoveryAction, RecoveryPolicy,
-    RecoveryWindow, SeepClass, SeepMeta, Stateless,
+    CrashContext, Enhanced, EscalationPolicy, EscalationStep, Naive, Pessimistic, PolicyKind,
+    RecoveryAction, RecoveryPolicy, RecoveryWindow, RestartBudget, SeepClass, SeepMeta, Stateless,
 };
 pub use osiris_kernel::{
     install_quiet_panic_hook, Host, Instrumentation, OsEngine, ProgramRegistry, RunOutcome,

@@ -111,11 +111,17 @@ fn enhanced_policy_never_leaves_inconsistent_state() {
     let plans = plan_faults(&profile, FaultModel::FailStop, 3);
     assert!(plans.len() > 10, "too few PM fault sites: {}", plans.len());
 
+    // Persistent hot-site faults would trip the escalation ladder long
+    // before the suite ends; this test is about the per-incident recovery
+    // invariant, so let PM restart forever.
+    let unbounded = || {
+        let mut cfg = OsConfig::with_policy(PolicyKind::Enhanced);
+        cfg.escalation = osiris::EscalationPolicy::unbounded();
+        cfg
+    };
     for plan in plans {
-        let (outcome, os) = osiris::workloads::run_suite_with(
-            OsConfig::with_policy(PolicyKind::Enhanced),
-            Some(Box::new(Injector::new(&plan))),
-        );
+        let (outcome, os) =
+            osiris::workloads::run_suite_with(unbounded(), Some(Box::new(Injector::new(&plan))));
         if let RunOutcome::Shutdown(kind) = &outcome {
             assert!(
                 matches!(kind, ShutdownKind::Controlled(_)),
@@ -150,8 +156,13 @@ fn stateless_policy_loses_state_where_enhanced_does_not() {
         kind: FaultKind::Crash,
         transient: false,
     };
+    let restart_forever = |policy: PolicyKind| {
+        let mut cfg = OsConfig::with_policy(policy);
+        cfg.escalation = osiris::EscalationPolicy::unbounded();
+        cfg
+    };
     let (enhanced, _) = osiris::workloads::run_suite_with(
-        OsConfig::with_policy(PolicyKind::Enhanced),
+        restart_forever(PolicyKind::Enhanced),
         Some(Box::new(Injector::new(&plan))),
     );
     // Enhanced completes (waits fail with E_CRASH but the system lives).
@@ -160,7 +171,7 @@ fn stateless_policy_loses_state_where_enhanced_does_not() {
         other => panic!("enhanced should complete with failures: {other:?}"),
     }
     let (stateless, _) = osiris::workloads::run_suite_with(
-        OsConfig::with_policy(PolicyKind::Stateless),
+        restart_forever(PolicyKind::Stateless),
         Some(Box::new(Injector::new(&plan))),
     );
     // Stateless loses the process table: the suite cannot finish cleanly.

@@ -4,7 +4,7 @@
 
 use osiris::faults::PeriodicCrash;
 use osiris::kernel::{FaultEffect, FaultHook, Probe};
-use osiris::{Host, Os, OsConfig, ProgramRegistry, RunOutcome};
+use osiris::{EscalationPolicy, Host, Os, OsConfig, ProgramRegistry, RunOutcome};
 
 /// Injects fail-stop faults into a rotating set of components, each only
 /// inside a consistently recoverable window, at a fixed interval.
@@ -77,6 +77,10 @@ fn sustained_rotating_crashes_across_all_servers() {
     osiris::install_quiet_panic_hook();
     let mut os = Os::new(OsConfig {
         vm_frames: 2048,
+        // These scenarios deliberately sustain crash-recover cycling far
+        // past any sane restart budget: bench the escalation ladder, not
+        // the servers.
+        escalation: EscalationPolicy::unbounded(),
         ..Default::default()
     });
     os.set_fault_hook(Box::new(RotatingCrash::new(
@@ -156,6 +160,7 @@ fn ds_crash_storm_preserves_every_acknowledged_write() {
     });
     let mut os = Os::new(OsConfig {
         vm_frames: 1024,
+        escalation: EscalationPolicy::unbounded(),
         ..Default::default()
     });
     os.set_fault_hook(Box::new(PeriodicCrash::new("ds", 20_000)));
@@ -206,6 +211,7 @@ fn deep_process_trees_survive_pm_fault_load() {
     });
     let mut os = Os::new(OsConfig {
         vm_frames: 2048,
+        escalation: EscalationPolicy::unbounded(),
         ..Default::default()
     });
     os.set_fault_hook(Box::new(PeriodicCrash::new("pm", 30_000)));
