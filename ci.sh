@@ -55,6 +55,16 @@ echo "== campaign smoke: degraded/quarantined outcome classes reach the report =
 OSIRIS_CAMPAIGN_OUT="$trace_tmp/campaign_smoke.json" \
     cargo run --release -p osiris-bench --bin campaign_smoke >/dev/null
 
+echo "== double-fault smoke: faults during recovery survive via the fallback chain =="
+cargo test -q -p osiris-checkpoint --test integrity_proptests
+cargo test -q -p osiris-servers --test recovery_fallback
+OSIRIS_CAMPAIGN_OUT="$trace_tmp/double_fault.json" \
+    cargo run --release -p osiris-bench --bin double_fault >/dev/null
+grep -q '"during-recovery"' "$trace_tmp/double_fault.json" || {
+    echo "double-fault report missing the during-recovery model" >&2
+    exit 1
+}
+
 echo "== bench_trace --check: tracer overhead bounds =="
 cargo run --release -p osiris-bench --bin bench_trace -- --check
 

@@ -2,10 +2,11 @@
 
 use osiris_core::{EscalationPolicy, PolicyKind};
 use osiris_faults::{
-    campaign::model_label, classify_run, plan_faults, run_parallel, Campaign, FaultModel,
-    InjectionRecord, Injector, Outcome, PeriodicCrash, Recorder, RecoveryActionTag, SiteProfile,
-    Tally,
+    campaign::model_label, classify_run, plan_faults, run_parallel, Campaign, DoubleInjector,
+    FaultKind, FaultModel, FaultPlan, InjectionRecord, Injector, Outcome, PeriodicCrash, Recorder,
+    RecoveryActionTag, SiteProfile, Tally,
 };
+use osiris_kernel::FaultHook;
 use osiris_kernel::{Instrumentation, OsEngine, ProgramRegistry};
 use osiris_monolith::Monolith;
 use osiris_servers::{Os, OsConfig};
@@ -206,14 +207,36 @@ pub fn survivability_for(
 ) -> SurvivabilityTable {
     let profile = profile_suite();
     let plans = plan_faults(&profile, model, seed);
+    // Recovery-path models plan *secondary* faults (sites that only execute
+    // during a recovery); each run pairs one with a deterministic primary
+    // crash that triggers the recovery in the first place.
+    let primary =
+        matches!(model, FaultModel::DuringRecovery | FaultModel::DoubleFault).then(|| {
+            let sites = profile.triggered_sites();
+            let site = sites
+                .iter()
+                .find(|s| s.component == "vfs")
+                .or_else(|| sites.first())
+                .expect("profiled workload triggered at least one site")
+                .clone();
+            FaultPlan {
+                site,
+                kind: FaultKind::Crash,
+                transient: true,
+            }
+        });
     let campaign = Campaign::new(model_label(model), model, plans.len() * policies.len());
     let mut rows = Vec::new();
     for &policy in policies {
         let jobs: Vec<_> = plans.clone();
         let campaign = &campaign;
+        let primary = &primary;
         let outcomes: Vec<Outcome> = run_parallel(jobs, threads, |plan| {
-            let injector = Injector::new(&plan);
-            let (outcome, os) = run_suite_with(injection_config(policy), Some(Box::new(injector)));
+            let injector: Box<dyn FaultHook> = match primary {
+                Some(p) => Box::new(DoubleInjector::new(p, &plan)),
+                None => Box::new(Injector::new(&plan)),
+            };
+            let (outcome, os) = run_suite_with(injection_config(policy), Some(injector));
             let violations = if outcome.completed() {
                 os.audit().len()
             } else {
@@ -263,6 +286,8 @@ impl SurvivabilityTable {
             FaultModel::FailStop => "II (fail-stop faults)",
             FaultModel::TransientFailStop => "II-t (transient fail-stop faults)",
             FaultModel::FullEdfi => "III (full EDFI faults)",
+            FaultModel::DuringRecovery => "II-r (faults during recovery)",
+            FaultModel::DoubleFault => "II-d (persistent double faults)",
         };
         let mut out = format!(
             "Table {}: survivability under {} injected faults per policy\n",

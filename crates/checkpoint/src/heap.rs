@@ -8,7 +8,7 @@ use std::sync::atomic::{AtomicU32, Ordering};
 
 use osiris_trace::{TraceEvent, TraceHandle};
 
-use crate::journal::Journal;
+use crate::journal::{IntegrityError, Journal};
 use crate::map::MapKey;
 use crate::stats::HeapStats;
 
@@ -723,6 +723,45 @@ impl Heap {
     /// Bytes currently held by the typed journal's payload arena.
     pub fn arena_len(&self) -> usize {
         self.journal.arena_len()
+    }
+
+    /// The typed journal's running integrity digest (its FNV-1a offset basis
+    /// when the log is empty). Maintained incrementally at append/pop time.
+    pub fn journal_digest(&self) -> u64 {
+        self.journal.digest()
+    }
+
+    /// Verifies the typed undo journal's integrity chain by recomputing the
+    /// digest over every record and payload byte from scratch.
+    ///
+    /// Detects any single bit flip in a record header or payload and any
+    /// torn tail. The recovery path calls this before trusting a rollback;
+    /// a corrupted journal degrades to a fresh restart instead of silently
+    /// replaying damaged state. The boxed reference log carries no digest,
+    /// so in [`UndoMode::BoxedReference`] only the (empty) typed journal is
+    /// checked.
+    pub fn verify_journal(&self) -> Result<(), IntegrityError> {
+        self.journal.verify()
+    }
+
+    /// Corruption-injection test support: flips one bit of an undo-journal
+    /// arena payload byte. Flip the same bit again to restore the payload
+    /// before the log is replayed or discarded.
+    pub fn corrupt_journal_arena_bit(&mut self, byte: usize, bit: u8) {
+        self.journal.corrupt_arena_bit(byte, bit);
+    }
+
+    /// Corruption-injection test support: flips one bit of undo record
+    /// `index`'s `aux` scalar. Reversible.
+    pub fn corrupt_journal_record_bit(&mut self, index: usize, bit: u32) {
+        self.journal.corrupt_record_bit(index, bit);
+    }
+
+    /// Corruption-injection test support: tears the newest `n` records off
+    /// the journal without digest bookkeeping, simulating a torn write. The
+    /// torn payloads are leaked; use only in tests.
+    pub fn tear_journal_tail(&mut self, n: usize) {
+        self.journal.tear_tail(n);
     }
 
     /// Rolls the heap back to `mark`, undoing every logged mutation made

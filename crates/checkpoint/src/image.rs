@@ -1,6 +1,22 @@
 //! Heap images: deep snapshots used for the Recovery Server's clone pool.
 
 use crate::heap::{Heap, Obj};
+use crate::journal::{fnv1a_bytes, fnv1a_u64, IntegrityError, FNV_OFFSET};
+
+/// Structural FNV-1a digest over an image's object graph: object order,
+/// names, and per-object resident sizes. Object *contents* are type-erased
+/// (`dyn` values), so the digest covers the shape the restore path relies
+/// on; [`HeapImage::corrupt_digest_for_test`] models content damage.
+fn image_digest(heap_id: u32, objs: &[Obj]) -> u64 {
+    let mut d = fnv1a_u64(FNV_OFFSET, u64::from(heap_id));
+    d = fnv1a_u64(d, objs.len() as u64);
+    for (i, o) in objs.iter().enumerate() {
+        d = fnv1a_u64(d, i as u64);
+        d = fnv1a_bytes(d, o.name.as_bytes());
+        d = fnv1a_u64(d, o.data.approx_bytes() as u64);
+    }
+    d
+}
 
 /// A deep copy of a heap's entire object graph.
 ///
@@ -16,6 +32,9 @@ pub struct HeapImage {
     objs: Vec<Obj>,
     heap_id: u32,
     bytes: usize,
+    /// Structural digest captured at [`Heap::clone_image`] time; verified by
+    /// [`HeapImage::verify`] before the recovery path restores the image.
+    digest: u64,
 }
 
 impl std::fmt::Debug for HeapImage {
@@ -39,10 +58,12 @@ impl Heap {
             })
             .collect();
         let bytes = objs.iter().map(|o| o.data.approx_bytes()).sum();
+        let digest = image_digest(self.id(), &objs);
         HeapImage {
             objs,
             heap_id: self.id(),
             bytes,
+            digest,
         }
     }
 
@@ -81,6 +102,32 @@ impl HeapImage {
     /// Number of objects captured.
     pub fn object_count(&self) -> usize {
         self.objs.len()
+    }
+
+    /// The structural digest captured when the image was cloned.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Recomputes the structural digest and compares it against the one
+    /// captured at clone time. The recovery path calls this before a fresh
+    /// restart trusts the image; a damaged image degrades to a controlled
+    /// shutdown instead of restoring garbage.
+    pub fn verify(&self) -> Result<(), IntegrityError> {
+        let actual = image_digest(self.heap_id, &self.objs);
+        if actual != self.digest {
+            return Err(IntegrityError::ImageDigest {
+                expected: self.digest,
+                actual,
+            });
+        }
+        Ok(())
+    }
+
+    /// Corruption-injection test support: flips one bit of the stored
+    /// digest, making [`HeapImage::verify`] fail deterministically.
+    pub fn corrupt_digest_for_test(&mut self) {
+        self.digest ^= 1;
     }
 }
 

@@ -153,6 +153,13 @@ impl Arena {
         &self.bytes[off as usize..off as usize + len]
     }
 
+    /// Flips one bit of the stored bytes — corruption-injection test
+    /// support. The caller must flip it back before any payload is replayed
+    /// or dropped through its typed function pointers.
+    pub(crate) fn flip_bit(&mut self, byte: usize, bit: u8) {
+        self.bytes[byte] ^= 1 << (bit & 7);
+    }
+
     /// Moves the value stored at `off` back out of the arena.
     ///
     /// # Safety
@@ -226,6 +233,24 @@ pub(crate) enum UndoKind {
     BufTruncate,
 }
 
+impl UndoKind {
+    /// Stable discriminant folded into the integrity digest (the function
+    /// pointers themselves are not digestible across runs).
+    fn tag(&self) -> u64 {
+        match self {
+            UndoKind::CellSet { .. } => 1,
+            UndoKind::VecSet { .. } => 2,
+            UndoKind::VecPush { .. } => 3,
+            UndoKind::VecPop { .. } => 4,
+            UndoKind::VecTruncate { .. } => 5,
+            UndoKind::MapInsert { .. } => 6,
+            UndoKind::MapRemove { .. } => 7,
+            UndoKind::BufWrite => 8,
+            UndoKind::BufTruncate => 9,
+        }
+    }
+}
+
 /// One undo-log entry: the paper's *(address, old value)* pair, with the
 /// old value stored out-of-line in the [`Arena`].
 pub(crate) struct UndoRecord {
@@ -246,6 +271,10 @@ pub(crate) struct UndoRecord {
     pub(crate) aux2: u64,
     /// Bytes this record accounts for in the undo-log statistics.
     pub(crate) bytes: usize,
+    /// Journal digest *before* this record was appended; popping the record
+    /// restores it, so the running digest always covers exactly the live
+    /// records. Filled in by [`Journal::seal`].
+    pub(crate) prev: u64,
 }
 
 fn holder_mut<T: HeapValue>(objs: &mut [Obj], obj: u32) -> &mut Holder<T> {
@@ -404,6 +433,104 @@ fn mix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+// ---------------------------------------------------------------------------
+// Integrity digest
+// ---------------------------------------------------------------------------
+
+/// FNV-1a 64-bit offset basis: the digest of an empty journal. Hand-rolled
+/// like [`mix64`] so this crate stays dependency-free.
+pub(crate) const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Folds `bytes` into an FNV-1a running digest.
+pub(crate) fn fnv1a_bytes(mut digest: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        digest = (digest ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    digest
+}
+
+/// Folds one little-endian `u64` into an FNV-1a running digest.
+pub(crate) fn fnv1a_u64(digest: u64, v: u64) -> u64 {
+    fnv1a_bytes(digest, &v.to_le_bytes())
+}
+
+/// Why an undo-journal or heap-image integrity check failed.
+///
+/// Returned by [`crate::Heap::verify_journal`] and
+/// [`crate::HeapImage::verify`]; the kernel's recovery path treats any
+/// variant as "this checkpoint cannot be trusted" and falls back to the next
+/// rung of the recovery chain instead of replaying corrupted state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IntegrityError {
+    /// Record `index`'s payload range lies beyond the arena: the journal
+    /// tail was torn off (records and payload bytes disagree).
+    TornPayload {
+        /// Index of the offending record, oldest first.
+        index: usize,
+    },
+    /// Record `index`'s chained prior digest does not match the digest
+    /// recomputed over the records before it.
+    RecordChain {
+        /// Index of the offending record, oldest first.
+        index: usize,
+    },
+    /// The digest recomputed over the whole journal does not match the
+    /// running digest maintained at append time.
+    DigestMismatch {
+        /// The running digest the journal maintained incrementally.
+        expected: u64,
+        /// The digest recomputed from the records and arena.
+        actual: u64,
+    },
+    /// A heap image's structural digest does not match its contents.
+    ImageDigest {
+        /// The digest captured when the image was cloned.
+        expected: u64,
+        /// The digest recomputed from the image's objects.
+        actual: u64,
+    },
+}
+
+impl std::fmt::Display for IntegrityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IntegrityError::TornPayload { index } => {
+                write!(
+                    f,
+                    "undo record #{index} payload lies beyond the arena (torn tail)"
+                )
+            }
+            IntegrityError::RecordChain { index } => {
+                write!(f, "undo record #{index} breaks the journal digest chain")
+            }
+            IntegrityError::DigestMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "journal digest mismatch: expected {expected:#x}, recomputed {actual:#x}"
+                )
+            }
+            IntegrityError::ImageDigest { expected, actual } => {
+                write!(
+                    f,
+                    "heap image digest mismatch: expected {expected:#x}, recomputed {actual:#x}"
+                )
+            }
+        }
+    }
+}
+
+/// Folds one record (header scalars + arena payload bytes) into the digest.
+fn fold_record(digest: u64, rec: &UndoRecord, arena: &Arena) -> u64 {
+    let mut d = fnv1a_u64(digest, rec.kind.tag());
+    d = fnv1a_u64(d, u64::from(rec.obj));
+    d = fnv1a_u64(d, u64::from(rec.off));
+    d = fnv1a_u64(d, u64::from(rec.plen));
+    d = fnv1a_u64(d, rec.aux);
+    d = fnv1a_u64(d, rec.aux2);
+    fnv1a_bytes(d, arena.slice(rec.off, rec.plen as usize))
+}
+
 #[derive(Clone, Copy, Default)]
 struct Entry {
     /// Epoch stamp; an entry whose epoch differs from the index's is empty.
@@ -549,6 +676,11 @@ pub(crate) struct Journal {
     /// latest mark — a rollback to that mark would then miss the location.
     /// `Cell` because `mark` takes `&self`.
     barrier: Cell<u32>,
+    /// Incremental FNV-1a digest over every live record (header scalars +
+    /// payload bytes), maintained at append/pop time with no allocations.
+    /// [`Journal::verify`] recomputes it from scratch before a rollback
+    /// trusts the log.
+    digest: u64,
 }
 
 impl Journal {
@@ -558,6 +690,72 @@ impl Journal {
             arena: Arena::new(),
             index: CoalesceIndex::new(),
             barrier: Cell::new(0),
+            digest: FNV_OFFSET,
+        }
+    }
+
+    /// Chains `rec` into the running digest and appends it. Every append
+    /// path funnels through here so the digest covers the whole journal.
+    fn seal(&mut self, mut rec: UndoRecord) {
+        rec.prev = self.digest;
+        self.digest = fold_record(self.digest, &rec, &self.arena);
+        self.records.push(rec);
+    }
+
+    /// The running integrity digest (FNV offset basis when empty).
+    pub(crate) fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Recomputes the digest chain from scratch — O(records + payload
+    /// bytes) — and compares it against the incrementally maintained state.
+    ///
+    /// Any single bit flip in a record header or payload byte, and any torn
+    /// tail (records or arena bytes lost without the bookkeeping), yields an
+    /// error. Called by the kernel before a rollback replays the log.
+    pub(crate) fn verify(&self) -> Result<(), IntegrityError> {
+        let mut running = FNV_OFFSET;
+        for (index, rec) in self.records.iter().enumerate() {
+            if rec.off as usize + rec.plen as usize > self.arena.len() {
+                return Err(IntegrityError::TornPayload { index });
+            }
+            if rec.prev != running {
+                return Err(IntegrityError::RecordChain { index });
+            }
+            running = fold_record(running, rec, &self.arena);
+        }
+        if running != self.digest {
+            return Err(IntegrityError::DigestMismatch {
+                expected: self.digest,
+                actual: running,
+            });
+        }
+        Ok(())
+    }
+
+    // -- corruption-injection test support ---------------------------------
+
+    /// Flips one bit of an arena payload byte. The caller must flip it back
+    /// before the journal is replayed or discarded (typed payloads are
+    /// reinterpreted through their function pointers).
+    pub(crate) fn corrupt_arena_bit(&mut self, byte: usize, bit: u8) {
+        self.arena.flip_bit(byte, bit);
+    }
+
+    /// Flips one bit of record `index`'s `aux` scalar. Reversible; flip the
+    /// same bit again to restore the record.
+    pub(crate) fn corrupt_record_bit(&mut self, index: usize, bit: u32) {
+        self.records[index].aux ^= 1u64 << (bit & 63);
+    }
+
+    /// Tears the newest `n` records off the journal *without* the digest
+    /// bookkeeping — simulating a torn write. The records' payloads are
+    /// leaked (never dropped), so this is strictly test support.
+    pub(crate) fn tear_tail(&mut self, n: usize) {
+        for _ in 0..n {
+            if let Some(rec) = self.records.pop() {
+                self.arena.truncate(rec.off as usize);
+            }
         }
     }
 
@@ -620,7 +818,7 @@ impl Journal {
         let bytes = WORD + size_of::<T>();
         let pos = self.next_pos();
         let off = self.arena.push_value(old);
-        self.records.push(UndoRecord {
+        self.seal(UndoRecord {
             kind: UndoKind::CellSet {
                 restore: restore_cell::<T>,
                 drop_payload: drop_value::<T>,
@@ -631,6 +829,7 @@ impl Journal {
             aux: 0,
             aux2: 0,
             bytes,
+            prev: 0,
         });
         if coalesce {
             self.index
@@ -649,7 +848,7 @@ impl Journal {
         let bytes = WORD + size_of::<T>();
         let pos = self.next_pos();
         let off = self.arena.push_value(old);
-        self.records.push(UndoRecord {
+        self.seal(UndoRecord {
             kind: UndoKind::VecSet {
                 restore: restore_vec_set::<T>,
                 drop_payload: drop_value::<T>,
@@ -660,6 +859,7 @@ impl Journal {
             aux: index as u64,
             aux2: 0,
             bytes,
+            prev: 0,
         });
         if coalesce {
             self.index
@@ -670,7 +870,7 @@ impl Journal {
 
     pub(crate) fn push_vec_push<T: HeapValue>(&mut self, obj: u32) -> usize {
         let bytes = WORD + size_of::<T>();
-        self.records.push(UndoRecord {
+        self.seal(UndoRecord {
             kind: UndoKind::VecPush {
                 restore: restore_vec_push::<T>,
             },
@@ -680,6 +880,7 @@ impl Journal {
             aux: 0,
             aux2: 0,
             bytes,
+            prev: 0,
         });
         bytes
     }
@@ -687,7 +888,7 @@ impl Journal {
     pub(crate) fn push_vec_pop<T: HeapValue>(&mut self, obj: u32, old: T) -> usize {
         let bytes = WORD + size_of::<T>();
         let off = self.arena.push_value(old);
-        self.records.push(UndoRecord {
+        self.seal(UndoRecord {
             kind: UndoKind::VecPop {
                 restore: restore_vec_pop::<T>,
                 drop_payload: drop_value::<T>,
@@ -698,6 +899,7 @@ impl Journal {
             aux: 0,
             aux2: 0,
             bytes,
+            prev: 0,
         });
         bytes
     }
@@ -705,7 +907,7 @@ impl Journal {
     pub(crate) fn push_vec_truncate<T: HeapValue>(&mut self, obj: u32, tail: &[T]) -> usize {
         let bytes = WORD + std::mem::size_of_val(tail);
         let off = self.arena.push_clone_slice(tail);
-        self.records.push(UndoRecord {
+        self.seal(UndoRecord {
             kind: UndoKind::VecTruncate {
                 restore: restore_vec_truncate::<T>,
                 drop_payload: drop_slice::<T>,
@@ -716,6 +918,7 @@ impl Journal {
             aux: tail.len() as u64,
             aux2: 0,
             bytes,
+            prev: 0,
         });
         bytes
     }
@@ -734,7 +937,7 @@ impl Journal {
             self.arena.push_value(v);
             plen += size_of::<V>();
         }
-        self.records.push(UndoRecord {
+        self.seal(UndoRecord {
             kind: UndoKind::MapInsert {
                 restore: restore_map_insert::<K, V>,
                 drop_payload: drop_map_insert::<K, V>,
@@ -745,6 +948,7 @@ impl Journal {
             aux: u64::from(had_old),
             aux2: 0,
             bytes,
+            prev: 0,
         });
         bytes
     }
@@ -758,7 +962,7 @@ impl Journal {
         let bytes = WORD + size_of::<K>() + size_of::<V>();
         let off = self.arena.push_value(key);
         self.arena.push_value(old);
-        self.records.push(UndoRecord {
+        self.seal(UndoRecord {
             kind: UndoKind::MapRemove {
                 restore: restore_map_remove::<K, V>,
                 drop_payload: drop_map_remove::<K, V>,
@@ -769,6 +973,7 @@ impl Journal {
             aux: 0,
             aux2: 0,
             bytes,
+            prev: 0,
         });
         bytes
     }
@@ -785,7 +990,7 @@ impl Journal {
         let bytes = WORD + write_len;
         let pos = self.next_pos();
         let off = self.arena.push_bytes(overwritten);
-        self.records.push(UndoRecord {
+        self.seal(UndoRecord {
             kind: UndoKind::BufWrite,
             obj,
             off,
@@ -793,6 +998,7 @@ impl Journal {
             aux: offset as u64,
             aux2: old_len as u64,
             bytes,
+            prev: 0,
         });
         if coalesce {
             self.index
@@ -804,7 +1010,7 @@ impl Journal {
     pub(crate) fn push_buf_truncate(&mut self, obj: u32, tail: &[u8]) -> usize {
         let bytes = WORD + tail.len();
         let off = self.arena.push_bytes(tail);
-        self.records.push(UndoRecord {
+        self.seal(UndoRecord {
             kind: UndoKind::BufTruncate,
             obj,
             off,
@@ -812,6 +1018,7 @@ impl Journal {
             aux: 0,
             aux2: 0,
             bytes,
+            prev: 0,
         });
         bytes
     }
@@ -827,6 +1034,7 @@ impl Journal {
     #[allow(unsafe_code)]
     pub(crate) fn pop_and_apply(&mut self, objs: &mut [Obj]) -> usize {
         let rec = self.records.pop().expect("pop from empty journal");
+        self.digest = rec.prev;
         match rec.kind {
             UndoKind::CellSet { restore, .. }
             | UndoKind::VecSet { restore, .. }
@@ -867,6 +1075,7 @@ impl Journal {
             }
         }
         self.arena.reset();
+        self.digest = FNV_OFFSET;
         self.invalidate_coalescing();
     }
 }

@@ -58,6 +58,7 @@ pub use buf::PBuf;
 pub use cell::PCell;
 pub use heap::{Heap, HeapValue, Mark, ObjId, UndoMode};
 pub use image::HeapImage;
+pub use journal::IntegrityError;
 pub use map::PMap;
 pub use stats::HeapStats;
 pub use vec::PVec;

@@ -79,7 +79,7 @@ pub use policy::{
     Enhanced, EnhancedKill, Naive, Pessimistic, PolicyKind, RecoveryPolicy, Stateless,
 };
 pub use recovery::{
-    decide_recovery, CrashContext, RecoveryAction, RecoveryDecision, RecoveryPhase,
+    decide_recovery, fallback_action, CrashContext, RecoveryAction, RecoveryDecision, RecoveryPhase,
 };
 pub use seep::{MessageKind, SeepClass, SeepMeta};
 pub use window::{CloseReason, RecoveryWindow, WindowStats};

@@ -82,6 +82,28 @@ impl RecoveryAction {
     }
 }
 
+/// The recovery fallback chain: the next rung to try when executing `action`
+/// itself fails (journal integrity violation, heap-image damage, or a fault
+/// injected inside a recovery phase).
+///
+/// Each rung gives up strictly more state than the previous one, so the
+/// degraded outcome is always consistent: a rollback whose undo log cannot
+/// be trusted degrades to a fresh restart (all accumulated state lost, but
+/// no corrupted state replayed); a fresh restart whose image cannot be
+/// trusted degrades to a controlled shutdown. Terminal actions have no
+/// fallback — `None` means the chain is exhausted.
+pub fn fallback_action(action: RecoveryAction) -> Option<RecoveryAction> {
+    match action {
+        RecoveryAction::RollbackAndErrorReply | RecoveryAction::RollbackAndKillRequester => {
+            Some(RecoveryAction::FreshRestart)
+        }
+        RecoveryAction::FreshRestart | RecoveryAction::ContinueAsIs => {
+            Some(RecoveryAction::ControlledShutdown)
+        }
+        RecoveryAction::ControlledShutdown | RecoveryAction::UncontrolledCrash => None,
+    }
+}
+
 /// A complete reconciliation decision.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RecoveryDecision {
@@ -135,6 +157,25 @@ mod tests {
         assert!(RecoveryAction::ContinueAsIs.system_survives());
         assert!(!RecoveryAction::ControlledShutdown.system_survives());
         assert!(!RecoveryAction::UncontrolledCrash.system_survives());
+    }
+
+    #[test]
+    fn fallback_chain_terminates_at_shutdown() {
+        let mut action = RecoveryAction::RollbackAndErrorReply;
+        let mut rungs = vec![action];
+        while let Some(next) = fallback_action(action) {
+            action = next;
+            rungs.push(action);
+        }
+        assert_eq!(
+            rungs,
+            vec![
+                RecoveryAction::RollbackAndErrorReply,
+                RecoveryAction::FreshRestart,
+                RecoveryAction::ControlledShutdown,
+            ]
+        );
+        assert_eq!(fallback_action(RecoveryAction::UncontrolledCrash), None);
     }
 
     #[test]

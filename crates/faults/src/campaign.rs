@@ -32,6 +32,8 @@ pub fn model_label(model: FaultModel) -> &'static str {
         FaultModel::FailStop => "fail-stop",
         FaultModel::TransientFailStop => "transient-fail-stop",
         FaultModel::FullEdfi => "full-edfi",
+        FaultModel::DuringRecovery => "during-recovery",
+        FaultModel::DoubleFault => "double-fault",
     }
 }
 

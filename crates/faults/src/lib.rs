@@ -206,7 +206,41 @@ pub enum FaultModel {
     /// The full realistic mix: crashes, hangs, flipped branches, corrupted
     /// values.
     FullEdfi,
+    /// Transient fail-stop faults inside the *recovery path itself*: the
+    /// kernel's restart / rollback / reconciliation phases and the RS's
+    /// conduct sites. These violate the paper's single-fault model (§II-E);
+    /// the hardened recovery path degrades along the fallback chain or
+    /// re-drives the interrupted conduct from the kernel intent log instead
+    /// of crashing the system. Plans from this model are *secondary* faults:
+    /// pair each with a workload-triggering primary via [`DoubleInjector`].
+    DuringRecovery,
+    /// Persistent fail-stop faults in the RS conduct sites: every re-driven
+    /// conduct crashes the RS again, exercising the intent-replay cap after
+    /// which the kernel completes the recovery directly. Secondary faults,
+    /// as with [`FaultModel::DuringRecovery`].
+    DoubleFault,
 }
+
+/// Recovery-path sites a [`FaultModel::DuringRecovery`] plan targets. These
+/// never appear in a (fault-free) profiling run — recoveries only execute
+/// once a primary fault crashed something — so the plan list is synthesized
+/// rather than profile-derived.
+const DURING_RECOVERY_SITES: &[(&str, &str)] = &[
+    ("kernel", "kernel.recovery.rollback"),
+    ("kernel", "kernel.recovery.restart"),
+    ("kernel", "kernel.recovery.reconcile"),
+    ("rs", "rs.recover.notify"),
+    ("rs", "rs.recover.account"),
+    ("rs", "rs.recover.issued"),
+];
+
+/// RS conduct sites a [`FaultModel::DoubleFault`] plan targets with
+/// persistent crashes.
+const DOUBLE_FAULT_SITES: &[(&str, &str)] = &[
+    ("rs", "rs.recover.notify"),
+    ("rs", "rs.recover.account"),
+    ("rs", "rs.recover.issued"),
+];
 
 /// Derives the fault list from a profile: one fault per triggered site
 /// (fail-stop model) or a seeded realistic mix (full model, which also
@@ -214,6 +248,25 @@ pub enum FaultModel {
 pub fn plan_faults(profile: &SiteProfile, model: FaultModel, seed: u64) -> Vec<FaultPlan> {
     let mut rng = Rng::new(seed);
     let mut plans = Vec::new();
+    let synth = |sites: &[(&str, &str)], transient: bool| -> Vec<FaultPlan> {
+        sites
+            .iter()
+            .map(|(c, s)| FaultPlan {
+                site: SiteId {
+                    component: c.to_string(),
+                    site: s.to_string(),
+                    kind: SiteKindTag::Block,
+                },
+                kind: FaultKind::Crash,
+                transient,
+            })
+            .collect()
+    };
+    match model {
+        FaultModel::DuringRecovery => return synth(DURING_RECOVERY_SITES, true),
+        FaultModel::DoubleFault => return synth(DOUBLE_FAULT_SITES, false),
+        _ => {}
+    }
     for site in profile.triggered_sites() {
         match model {
             FaultModel::FailStop => {
@@ -265,6 +318,9 @@ pub fn plan_faults(profile: &SiteProfile, model: FaultModel, seed: u64) -> Vec<F
                     SiteKindTag::Block => {}
                 }
             }
+            FaultModel::DuringRecovery | FaultModel::DoubleFault => {
+                unreachable!("synthesized models handled before the profile loop")
+            }
         }
     }
     plans
@@ -303,6 +359,36 @@ impl FaultHook for Injector {
             self.effect
         } else {
             FaultEffect::None
+        }
+    }
+}
+
+/// Fault hook composing a workload-triggering *primary* fault with a
+/// *secondary* fault armed inside the recovery path: the primary crashes a
+/// component, and the secondary fires while that crash is being recovered
+/// ([`FaultModel::DuringRecovery`] / [`FaultModel::DoubleFault`] runs).
+#[derive(Clone, Debug)]
+pub struct DoubleInjector {
+    primary: Injector,
+    secondary: Injector,
+}
+
+impl DoubleInjector {
+    /// Arms `primary` (the recovery trigger) and `secondary` (the fault in
+    /// the recovery path).
+    pub fn new(primary: &FaultPlan, secondary: &FaultPlan) -> Self {
+        DoubleInjector {
+            primary: Injector::new(primary),
+            secondary: Injector::new(secondary),
+        }
+    }
+}
+
+impl FaultHook for DoubleInjector {
+    fn on_site(&mut self, probe: &Probe) -> FaultEffect {
+        match self.primary.on_site(probe) {
+            FaultEffect::None => self.secondary.on_site(probe),
+            effect => effect,
         }
     }
 }
@@ -384,19 +470,15 @@ impl fmt::Display for Outcome {
     }
 }
 
-/// Classifies a run: `audit_violations` is the number of cross-component
+/// Classifies a run. `audit_violations` is the number of cross-component
 /// consistency violations detected after the run (a stable-looking but
-/// corrupted system counts as a crash).
-pub fn classify(outcome: &RunOutcome, audit_violations: usize) -> Outcome {
-    classify_run(outcome, audit_violations, 0)
-}
-
-/// Classifies a run, escalation-aware: `quarantines` is the number of
-/// components the escalation ladder benched during the run. A completed run
-/// with quarantines is *degraded* (everything still passed) or *quarantined*
-/// (tests failed, or the benched component left dangling state the audit
-/// flags) — either way the system survived in bounded time rather than
-/// crash-looping, which is the property the ladder exists to provide.
+/// corrupted system counts as a crash); `quarantines` is the number of
+/// components the escalation ladder benched during the run (pass 0 when the
+/// run has no ladder). A completed run with quarantines is *degraded*
+/// (everything still passed) or *quarantined* (tests failed, or the benched
+/// component left dangling state the audit flags) — either way the system
+/// survived in bounded time rather than crash-looping, which is the
+/// property the ladder exists to provide.
 pub fn classify_run(outcome: &RunOutcome, audit_violations: usize, quarantines: u64) -> Outcome {
     match outcome {
         RunOutcome::Completed { init_code, .. } => {
@@ -655,22 +737,22 @@ mod tests {
             init_code: 0,
             exit_codes: Default::default(),
         };
-        assert_eq!(classify(&done, 0), Outcome::Pass);
-        assert_eq!(classify(&done, 2), Outcome::Crash);
+        assert_eq!(classify_run(&done, 0, 0), Outcome::Pass);
+        assert_eq!(classify_run(&done, 2, 0), Outcome::Crash);
         let failed = RO::Completed {
             init_code: 3,
             exit_codes: Default::default(),
         };
-        assert_eq!(classify(&failed, 0), Outcome::Fail);
+        assert_eq!(classify_run(&failed, 0, 0), Outcome::Fail);
         assert_eq!(
-            classify(&RO::Shutdown(ShutdownKind::Controlled("x".into())), 0),
+            classify_run(&RO::Shutdown(ShutdownKind::Controlled("x".into())), 0, 0),
             Outcome::Shutdown
         );
         assert_eq!(
-            classify(&RO::Shutdown(ShutdownKind::Crash("x".into())), 0),
+            classify_run(&RO::Shutdown(ShutdownKind::Crash("x".into())), 0, 0),
             Outcome::Crash
         );
-        assert_eq!(classify(&RO::Hang("h".into()), 0), Outcome::Crash);
+        assert_eq!(classify_run(&RO::Hang("h".into()), 0, 0), Outcome::Crash);
     }
 
     #[test]
@@ -680,7 +762,7 @@ mod tests {
             init_code: 0,
             exit_codes: Default::default(),
         };
-        // No quarantines: classify_run degenerates to classify.
+        // No quarantines: the plain Tables II/III classification.
         assert_eq!(classify_run(&done, 0, 0), Outcome::Pass);
         // Quarantine + clean finish = degraded survival.
         assert_eq!(classify_run(&done, 0, 1), Outcome::Degraded);

@@ -95,6 +95,20 @@ pub struct InjectedHang {
     pub site: &'static str,
 }
 
+/// How far the Recovery Server has driven an in-flight recovery. Persisted
+/// kernel-side in the recovery intent log so that an RS crash mid-conduct
+/// can be re-driven instead of forcing an uncontrolled shutdown.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IntentPhase {
+    /// The kernel routed a crash notification to the RS.
+    Notified,
+    /// The RS accounted the crash and issued (or is about to issue) the
+    /// recover request.
+    Issued,
+    /// The RS armed a backoff timer; the recovery is deferred.
+    Deferred,
+}
+
 /// A privileged operation requested by the Recovery Server.
 #[derive(Clone, Debug)]
 pub enum PrivOp {
@@ -120,6 +134,15 @@ pub enum PrivOp {
     Quarantine {
         /// Endpoint index of the component to quarantine.
         target: u8,
+    },
+    /// Update the kernel's persisted recovery intent for `target`: which
+    /// phase the RS has driven the in-flight recovery to. If the RS crashes
+    /// mid-conduct, the kernel re-drives the intent after restarting the RS.
+    RecordIntent {
+        /// Component whose recovery is being conducted.
+        target: u8,
+        /// How far the conduct has progressed.
+        phase: IntentPhase,
     },
     /// Record an escalation-ladder decision for observability: the kernel
     /// updates the per-component escalation metrics and emits the
@@ -426,6 +449,22 @@ impl<'a, P: Protocol> Ctx<'a, P> {
             "quarantine() requires a privileged component"
         );
         self.priv_ops.push(PrivOp::Quarantine { target });
+    }
+
+    /// Updates the kernel's persisted recovery intent for `target`
+    /// (Recovery Server only). The intent log is what makes an RS crash
+    /// mid-conduct survivable: the restarted RS (or the kernel itself, after
+    /// too many replays) completes the in-flight recovery from it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling component is not privileged.
+    pub fn record_intent(&mut self, target: u8, phase: IntentPhase) {
+        assert!(
+            self.privileged,
+            "record_intent() requires a privileged component"
+        );
+        self.priv_ops.push(PrivOp::RecordIntent { target, phase });
     }
 
     /// Records an escalation-ladder decision (Recovery Server only): the

@@ -13,14 +13,18 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use osiris_checkpoint::{Heap, HeapImage};
 use osiris_core::{
-    decide_recovery, CrashContext, MessageKind, RecoveryAction, RecoveryPolicy, RecoveryWindow,
+    decide_recovery, fallback_action, CrashContext, MessageKind, RecoveryAction, RecoveryDecision,
+    RecoveryPolicy, RecoveryWindow,
 };
 use osiris_metrics::{Counter, Gauge, Hist, MetricsConfig, MetricsHandle};
 use osiris_trace::{TraceConfig, TraceEvent, TraceHandle, KERNEL_COMP};
 
 use crate::abi::{Errno, Pid, SysReply};
 use crate::clock::{CostModel, VirtualClock};
-use crate::component::{Ctx, FaultHook, InjectedHang, NoFaults, PrivOp, Server};
+use crate::component::{
+    Ctx, FaultEffect, FaultHook, InjectedHang, IntentPhase, NoFaults, PrivOp, Probe, Server,
+    SiteKind,
+};
 use crate::message::{Endpoint, Message, MsgId, Protocol, SyscallId};
 use crate::metrics::{ComponentReport, KernelMetrics, ShutdownKind};
 
@@ -99,7 +103,26 @@ struct PendingCrash<P> {
     window_open: bool,
     reply_possible: bool,
     scoped_sends: bool,
+    /// The crash happened while another component's recovery was in flight
+    /// (only the RS can run then, so this means the RS crashed mid-conduct).
+    in_recovery_code: bool,
 }
+
+/// A persisted recovery intent: the kernel's durable record that a recovery
+/// for `target` is in flight, refined by the RS via
+/// [`PrivOp::RecordIntent`] as the conduct progresses. If the RS crashes
+/// mid-conduct, the kernel re-drives the intent after restarting the RS —
+/// up to [`MAX_INTENT_REPLAYS`] times, after which the kernel completes the
+/// recovery directly instead of trusting the RS again.
+struct RecoveryIntent {
+    target: u8,
+    phase: IntentPhase,
+    replays: u32,
+}
+
+/// How many times an in-flight recovery intent is re-driven through the RS
+/// before the kernel completes it directly.
+const MAX_INTENT_REPLAYS: u32 = 2;
 
 struct Comp<P: Protocol> {
     name: &'static str,
@@ -263,6 +286,16 @@ struct KernelCounters {
     recovered_naive: Counter,
     controlled_shutdowns: Counter,
     recovery_cycles: Counter,
+    fb_rollback_fresh: Counter,
+    fb_fresh_shutdown: Counter,
+    fb_reconcile_shutdown: Counter,
+    fb_crash_fresh: Counter,
+    intent_replays: Counter,
+    intent_completed: Counter,
+    journal_ok: Counter,
+    journal_corrupt: Counter,
+    image_ok: Counter,
+    image_corrupt: Counter,
 }
 
 impl KernelCounters {
@@ -272,6 +305,20 @@ impl KernelCounters {
                 "osiris_kernel_recoveries_total",
                 "Recoveries executed, by action",
                 &[("action", action)],
+            )
+        };
+        let fallback = |from: &str, to: &str| {
+            m.counter(
+                "osiris_recovery_fallback_total",
+                "Recovery phases degraded to the next rung of the fallback chain",
+                &[("from", from), ("to", to)],
+            )
+        };
+        let integrity = |kind: &str, result: &str| {
+            m.counter(
+                "osiris_journal_integrity_checks_total",
+                "Undo-journal and heap-image integrity checks before recovery",
+                &[("kind", kind), ("result", result)],
             )
         };
         KernelCounters {
@@ -304,6 +351,24 @@ impl KernelCounters {
                 "Virtual cycles spent executing recovery phases",
                 &[],
             ),
+            fb_rollback_fresh: fallback("rollback", "fresh"),
+            fb_fresh_shutdown: fallback("fresh", "shutdown"),
+            fb_reconcile_shutdown: fallback("reconcile", "shutdown"),
+            fb_crash_fresh: fallback("crash", "fresh"),
+            intent_replays: m.counter(
+                "osiris_recovery_fallback_intent_replays_total",
+                "In-flight recovery intents re-driven through a restarted RS",
+                &[],
+            ),
+            intent_completed: m.counter(
+                "osiris_recovery_fallback_intent_completed_total",
+                "In-flight recovery intents completed by the kernel directly",
+                &[],
+            ),
+            journal_ok: integrity("journal", "ok"),
+            journal_corrupt: integrity("journal", "corrupt"),
+            image_ok: integrity("image", "ok"),
+            image_corrupt: integrity("image", "corrupt"),
         }
     }
 }
@@ -326,6 +391,7 @@ pub struct Kernel<P: Protocol> {
     kill_events: Vec<Pid>,
     hook: Box<dyn FaultHook>,
     rs_ep: Option<u8>,
+    intents: Vec<RecoveryIntent>,
     metrics: MetricsHandle,
     counters: KernelCounters,
     rr_cursor: usize,
@@ -367,6 +433,7 @@ impl<P: Protocol> Kernel<P> {
             kill_events: Vec::new(),
             hook: Box::new(NoFaults),
             rs_ep: None,
+            intents: Vec::new(),
             metrics,
             counters,
             rr_cursor: 0,
@@ -913,6 +980,7 @@ impl<P: Protocol> Kernel<P> {
                         window_open,
                         reply_possible,
                         scoped_sends,
+                        in_recovery_code: self.recovering.is_some(),
                     });
                 } else {
                     self.comps[idx].stats.crashes.inc();
@@ -925,9 +993,11 @@ impl<P: Protocol> Kernel<P> {
     }
 
     fn handle_crash(&mut self, idx: usize, msg: Message<P>, reply_possible: bool) {
-        if self.recovering.is_some() {
-            // Second failure while recovery is in progress: the single-fault
-            // assumption is violated and nothing consistent remains.
+        let in_recovery_code = self.recovering.is_some();
+        if in_recovery_code && self.rs_ep != Some(idx as u8) {
+            // While a recovery is in flight only the RS is scheduled, so a
+            // second crash in any *other* component cannot happen; keep the
+            // defensive shutdown for the impossible case.
             self.crash_shutdown(format!(
                 "component {} crashed during recovery of another component",
                 self.comps[idx].name
@@ -943,7 +1013,19 @@ impl<P: Protocol> Kernel<P> {
             window_open,
             reply_possible,
             scoped_sends,
+            in_recovery_code,
         });
+
+        if in_recovery_code {
+            // The RS crashed mid-conduct. The kernel recovers the RS itself,
+            // then re-drives the persisted intents of the interrupted
+            // conduct — this is what lifts the paper's single-fault
+            // limitation for faults in the recovery path.
+            self.recovering = None;
+            self.execute_recovery(idx as u8);
+            self.replay_intents();
+            return;
+        }
 
         match self.rs_ep {
             // The Recovery Server itself crashed (or no RS exists): the
@@ -951,6 +1033,7 @@ impl<P: Protocol> Kernel<P> {
             // system components, including RS itself, can be recovered").
             Some(rs) if rs as usize != idx => {
                 self.recovering = Some(idx as u8);
+                self.note_intent(idx as u8, IntentPhase::Notified);
                 self.next_msg_id += 1;
                 let payload = P::crash_notify(idx as u8);
                 let notify = Message {
@@ -965,6 +1048,77 @@ impl<P: Protocol> Kernel<P> {
                 self.comps[rs as usize].inbox.push_back(notify);
             }
             _ => self.execute_recovery(idx as u8),
+        }
+    }
+
+    /// Updates (or creates) the persisted recovery intent for `target`.
+    fn note_intent(&mut self, target: u8, phase: IntentPhase) {
+        match self.intents.iter_mut().find(|i| i.target == target) {
+            Some(intent) => intent.phase = phase,
+            None => self.intents.push(RecoveryIntent {
+                target,
+                phase,
+                replays: 0,
+            }),
+        }
+    }
+
+    /// Re-drives the persisted recovery intents after the RS itself was
+    /// recovered: each interrupted conduct is re-notified to the restarted
+    /// RS, or — after [`MAX_INTENT_REPLAYS`] replays keep crashing it —
+    /// completed by the kernel directly.
+    fn replay_intents(&mut self) {
+        if self.shutdown.is_some() || self.shutdown_pending.is_some() {
+            return;
+        }
+        let Some(rs) = self.rs_ep else { return };
+        if self.comps[rs as usize].status != CompStatus::Alive {
+            return;
+        }
+        let targets: Vec<u8> = self.intents.iter().map(|i| i.target).collect();
+        for target in targets {
+            let t = target as usize;
+            if self.comps[t].status != CompStatus::Crashed || self.comps[t].crash_info.is_none() {
+                // The recovery actually completed (or the component was
+                // quarantined) before the RS died; nothing to re-drive.
+                self.intents.retain(|i| i.target != target);
+                continue;
+            }
+            let intent = self
+                .intents
+                .iter_mut()
+                .find(|i| i.target == target)
+                .expect("intent present for listed target");
+            intent.replays += 1;
+            let replays = intent.replays;
+            self.tracer.set_now(self.clock.now());
+            self.tracer
+                .emit(KERNEL_COMP, TraceEvent::IntentReplayed { target });
+            if replays <= MAX_INTENT_REPLAYS {
+                self.counters.intent_replays.inc();
+                if self.recovering.is_none() {
+                    self.recovering = Some(target);
+                }
+                self.next_msg_id += 1;
+                let payload = P::crash_notify(target);
+                let notify = Message {
+                    id: MsgId(self.next_msg_id),
+                    src: Endpoint::Kernel,
+                    dst: Endpoint::Component(rs),
+                    reply_to: None,
+                    user_tag: None,
+                    seep: payload.seep(),
+                    payload,
+                };
+                self.comps[rs as usize].inbox.push_back(notify);
+            } else {
+                // The RS keeps dying while conducting this recovery
+                // (a persistent fault in its conduct path): stop trusting it
+                // with this target and complete the recovery directly.
+                self.counters.intent_completed.inc();
+                self.recovering = Some(target);
+                self.execute_recovery(target);
+            }
         }
     }
 
@@ -987,6 +1141,7 @@ impl<P: Protocol> Kernel<P> {
                     self.begin_controlled_shutdown(reason.to_string());
                 }
                 PrivOp::Quarantine { target } => self.execute_quarantine(target),
+                PrivOp::RecordIntent { target, phase } => self.note_intent(target, phase),
                 PrivOp::NoteEscalation {
                     target,
                     restarts_in_window,
@@ -1030,6 +1185,7 @@ impl<P: Protocol> Kernel<P> {
         }
         self.comps[t].status = CompStatus::Quarantined;
         self.comps[t].stats.quarantines.inc();
+        self.intents.retain(|i| i.target != target);
         self.tracer
             .emit(KERNEL_COMP, TraceEvent::Quarantined { target });
         if self.recovering == Some(target) {
@@ -1055,6 +1211,48 @@ impl<P: Protocol> Kernel<P> {
         }
     }
 
+    /// Consults the fault hook at a kernel recovery-phase site: a fail-stop
+    /// or hang effect here means the phase itself failed (the kernel cannot
+    /// panic — it runs below the `catch_unwind` boundary, so the effect is
+    /// absorbed as "this phase cannot be executed").
+    fn recovery_phase_faulted(&mut self, site: &'static str) -> bool {
+        let probe = Probe {
+            component: "kernel",
+            site,
+            kind: SiteKind::Block,
+            now: self.clock.now(),
+            window_open: false,
+            replyable: false,
+        };
+        matches!(
+            self.hook.on_site(&probe),
+            FaultEffect::Panic | FaultEffect::Hang
+        )
+    }
+
+    /// Degrades `action` to the next rung of the fallback chain, counting
+    /// and tracing the transition.
+    fn note_fallback(&mut self, action: &mut RecoveryAction, target: u8) {
+        let from = *action;
+        let to = fallback_action(from).expect("terminal recovery actions have no phase to fail");
+        match from {
+            RecoveryAction::RollbackAndErrorReply | RecoveryAction::RollbackAndKillRequester => {
+                self.counters.fb_rollback_fresh.inc()
+            }
+            _ => self.counters.fb_fresh_shutdown.inc(),
+        }
+        self.tracer.set_now(self.clock.now());
+        self.tracer.emit(
+            KERNEL_COMP,
+            TraceEvent::RecoveryFallback {
+                target,
+                from: from.into(),
+                to: to.into(),
+            },
+        );
+        *action = to;
+    }
+
     /// Executes the three recovery phases — restart, rollback,
     /// reconciliation — for the crashed component `target` (paper §IV-C).
     fn execute_recovery(&mut self, target: u8) {
@@ -1062,6 +1260,7 @@ impl<P: Protocol> Kernel<P> {
         let Some(pending) = self.comps[t].crash_info.take() else {
             // Spurious request (e.g. the component already recovered, or a
             // stale backoff timer fired after a quarantine).
+            self.intents.retain(|i| i.target != target);
             if self.recovering == Some(target) {
                 self.recovering = None;
             }
@@ -1071,11 +1270,11 @@ impl<P: Protocol> Kernel<P> {
         let crash_ctx = CrashContext {
             window_open: pending.window_open,
             reply_possible: pending.reply_possible,
-            in_recovery_code: false,
+            in_recovery_code: pending.in_recovery_code,
             scoped_sends: pending.scoped_sends,
             requester_is_process: matches!(pending.msg.src, Endpoint::Process(_)),
         };
-        let decision = decide_recovery(self.cfg.policy.as_ref(), &crash_ctx);
+        let mut decision = decide_recovery(self.cfg.policy.as_ref(), &crash_ctx);
         self.tracer.emit(
             KERNEL_COMP,
             TraceEvent::RecoveryDecision {
@@ -1083,114 +1282,181 @@ impl<P: Protocol> Kernel<P> {
                 action: decision.action.into(),
             },
         );
-        let cost = &self.cfg.cost;
-        let comp = &mut self.comps[t];
+        if decision.action == RecoveryAction::UncontrolledCrash && pending.in_recovery_code {
+            // The policy (correctly) refuses to recover a fault in recovery
+            // code under the single-fault model. The kernel's intent log
+            // makes the interrupted conduct re-drivable, so the crashed RS
+            // can be fresh-restarted instead of taking the system down.
+            self.counters.fb_crash_fresh.inc();
+            self.tracer.emit(
+                KERNEL_COMP,
+                TraceEvent::RecoveryFallback {
+                    target,
+                    from: RecoveryAction::UncontrolledCrash.into(),
+                    to: RecoveryAction::FreshRestart.into(),
+                },
+            );
+            decision = RecoveryDecision::new(RecoveryAction::FreshRestart, false);
+        }
+        let cost = self.cfg.cost;
 
+        // Attempt loop: each recovery phase is itself fallible — a journal
+        // or image integrity violation, or a fault injected inside the
+        // phase, degrades to the next rung of the fallback chain instead of
+        // executing a phase whose inputs cannot be trusted.
+        let mut action = decision.action;
         let mut recovery_cycles = cost.reconcile;
-        match decision.action {
-            RecoveryAction::RollbackAndErrorReply | RecoveryAction::RollbackAndKillRequester => {
-                // Restart phase: swap in the spare clone and transfer state.
-                recovery_cycles += cost.restart_base
-                    + (comp.heap.resident_bytes() as u64 / 1024) * cost.restart_per_kb;
-                // Rollback phase: apply the undo log in reverse.
-                recovery_cycles += comp.heap.log_len() as u64 * cost.undo_rollback;
-                comp.window.rollback(&mut comp.heap);
-                comp.server = comp
-                    .pristine_server
-                    .as_ref()
-                    .expect("pristine captured at init")
-                    .clone_box();
-                comp.server.on_restore(&mut comp.heap);
-                comp.stats.recoveries.inc();
-                self.counters.recovered_rollback.inc();
-            }
-            RecoveryAction::FreshRestart => {
-                recovery_cycles += cost.restart_base;
-                let image = comp
-                    .pristine_image
-                    .as_ref()
-                    .expect("pristine captured at init");
-                comp.heap.restore_image(image);
-                comp.window.complete(&mut comp.heap);
-                comp.server = comp
-                    .pristine_server
-                    .as_ref()
-                    .expect("pristine captured at init")
-                    .clone_box();
-                comp.server.on_restore(&mut comp.heap);
-                comp.stats.recoveries.inc();
-                self.counters.recovered_fresh.inc();
-            }
-            RecoveryAction::ContinueAsIs => {
-                recovery_cycles += cost.restart_base;
-                comp.window.complete(&mut comp.heap);
-                comp.server = comp
-                    .pristine_server
-                    .as_ref()
-                    .expect("pristine captured at init")
-                    .clone_box();
-                comp.server.on_restore(&mut comp.heap);
-                comp.stats.recoveries.inc();
-                self.counters.recovered_naive.inc();
-            }
-            RecoveryAction::ControlledShutdown => {
-                self.counters.controlled_shutdowns.inc();
-                let reason = format!(
-                    "unrecoverable crash in {} (window {}, reply {})",
-                    comp.name,
-                    if pending.window_open {
-                        "open"
-                    } else {
-                        "closed"
-                    },
-                    if pending.reply_possible {
-                        "possible"
-                    } else {
-                        "impossible"
-                    },
-                );
-                // The crashed component stays dead during the grace window.
-                self.recovering = None;
-                self.begin_controlled_shutdown(reason);
-                if self.shutdown_pending.is_some() {
-                    // Grace is active: answer the failure-triggering request
-                    // with ESHUTDOWN so the caller can proceed to save its
-                    // state instead of blocking forever.
-                    match pending.msg.src {
-                        Endpoint::Process(pid) => {
-                            if let Some(sid) = pending.msg.user_tag {
-                                self.tracer.emit(
-                                    target,
-                                    TraceEvent::SyscallExit {
-                                        sid: sid.0,
-                                        pid: pid.0,
-                                        ok: false,
-                                    },
-                                );
-                                self.user_replies
-                                    .push((sid, pid, SysReply::Err(Errno::ESHUTDOWN)));
-                            }
+        loop {
+            match action {
+                RecoveryAction::RollbackAndErrorReply
+                | RecoveryAction::RollbackAndKillRequester => {
+                    let journal_ok = match self.comps[t].heap.verify_journal() {
+                        Ok(()) => {
+                            self.counters.journal_ok.inc();
+                            true
                         }
-                        Endpoint::Component(_) => {
-                            self.send_crash_reply(target, pending.msg);
+                        Err(_) => {
+                            self.counters.journal_corrupt.inc();
+                            false
                         }
-                        Endpoint::Kernel => {}
+                    };
+                    if !journal_ok || self.recovery_phase_faulted("kernel.recovery.rollback") {
+                        self.note_fallback(&mut action, target);
+                        continue;
                     }
+                    let comp = &mut self.comps[t];
+                    // Restart phase: swap in the spare clone, transfer state.
+                    recovery_cycles += cost.restart_base
+                        + (comp.heap.resident_bytes() as u64 / 1024) * cost.restart_per_kb;
+                    // Rollback phase: apply the undo log in reverse.
+                    recovery_cycles += comp.heap.log_len() as u64 * cost.undo_rollback;
+                    comp.window.rollback(&mut comp.heap);
+                    comp.server = comp
+                        .pristine_server
+                        .as_ref()
+                        .expect("pristine captured at init")
+                        .clone_box();
+                    comp.server.on_restore(&mut comp.heap);
+                    comp.stats.recoveries.inc();
+                    self.counters.recovered_rollback.inc();
+                    break;
                 }
-                return;
-            }
-            RecoveryAction::UncontrolledCrash => {
-                let reason = format!(
-                    "fault in recovery path while handling crash of {}",
-                    comp.name
-                );
-                self.recovering = None;
-                self.crash_shutdown(reason);
-                return;
+                RecoveryAction::FreshRestart => {
+                    let image_ok = match self.comps[t]
+                        .pristine_image
+                        .as_ref()
+                        .expect("pristine captured at init")
+                        .verify()
+                    {
+                        Ok(()) => {
+                            self.counters.image_ok.inc();
+                            true
+                        }
+                        Err(_) => {
+                            self.counters.image_corrupt.inc();
+                            false
+                        }
+                    };
+                    if !image_ok || self.recovery_phase_faulted("kernel.recovery.restart") {
+                        self.note_fallback(&mut action, target);
+                        continue;
+                    }
+                    let comp = &mut self.comps[t];
+                    recovery_cycles += cost.restart_base;
+                    let image = comp
+                        .pristine_image
+                        .as_ref()
+                        .expect("pristine captured at init");
+                    comp.heap.restore_image(image);
+                    comp.window.complete(&mut comp.heap);
+                    comp.server = comp
+                        .pristine_server
+                        .as_ref()
+                        .expect("pristine captured at init")
+                        .clone_box();
+                    comp.server.on_restore(&mut comp.heap);
+                    comp.stats.recoveries.inc();
+                    self.counters.recovered_fresh.inc();
+                    break;
+                }
+                RecoveryAction::ContinueAsIs => {
+                    let comp = &mut self.comps[t];
+                    recovery_cycles += cost.restart_base;
+                    comp.window.complete(&mut comp.heap);
+                    comp.server = comp
+                        .pristine_server
+                        .as_ref()
+                        .expect("pristine captured at init")
+                        .clone_box();
+                    comp.server.on_restore(&mut comp.heap);
+                    comp.stats.recoveries.inc();
+                    self.counters.recovered_naive.inc();
+                    break;
+                }
+                RecoveryAction::ControlledShutdown => {
+                    self.counters.controlled_shutdowns.inc();
+                    let reason = format!(
+                        "unrecoverable crash in {} (window {}, reply {})",
+                        self.comps[t].name,
+                        if pending.window_open {
+                            "open"
+                        } else {
+                            "closed"
+                        },
+                        if pending.reply_possible {
+                            "possible"
+                        } else {
+                            "impossible"
+                        },
+                    );
+                    // The crashed component stays dead during the grace
+                    // window.
+                    self.intents.retain(|i| i.target != target);
+                    self.recovering = None;
+                    self.begin_controlled_shutdown(reason);
+                    if self.shutdown_pending.is_some() {
+                        // Grace is active: answer the failure-triggering
+                        // request with ESHUTDOWN so the caller can proceed
+                        // to save its state instead of blocking forever.
+                        match pending.msg.src {
+                            Endpoint::Process(pid) => {
+                                if let Some(sid) = pending.msg.user_tag {
+                                    self.tracer.emit(
+                                        target,
+                                        TraceEvent::SyscallExit {
+                                            sid: sid.0,
+                                            pid: pid.0,
+                                            ok: false,
+                                        },
+                                    );
+                                    self.user_replies.push((
+                                        sid,
+                                        pid,
+                                        SysReply::Err(Errno::ESHUTDOWN),
+                                    ));
+                                }
+                            }
+                            Endpoint::Component(_) => {
+                                self.send_crash_reply(target, pending.msg);
+                            }
+                            Endpoint::Kernel => {}
+                        }
+                    }
+                    return;
+                }
+                RecoveryAction::UncontrolledCrash => {
+                    let reason = format!(
+                        "fault in recovery path while handling crash of {}",
+                        self.comps[t].name
+                    );
+                    self.recovering = None;
+                    self.crash_shutdown(reason);
+                    return;
+                }
             }
         }
 
-        comp.status = CompStatus::Alive;
+        self.comps[t].status = CompStatus::Alive;
         self.counters.recovery_cycles.add(recovery_cycles);
         self.clock.advance(recovery_cycles);
         self.tracer.set_now(self.clock.now());
@@ -1203,11 +1469,32 @@ impl<P: Protocol> Kernel<P> {
         );
         self.comps[t].stats.recovery_hist.observe(recovery_cycles);
         self.recovering = None;
+        self.intents.retain(|i| i.target != target);
 
         // Reconciliation phase: error virtualization — tell the requester
         // the call failed so it can handle it like any other error — or the
         // kill-requester extension (paper §VII): the requester's exit path
-        // cleans the scoped state its window had already exported.
+        // cleans the scoped state its window had already exported. A fault
+        // here means the requester's view cannot be reconciled: the
+        // component is restored, but the only consistent global outcome
+        // left is a controlled shutdown.
+        if self.recovery_phase_faulted("kernel.recovery.reconcile") {
+            self.counters.fb_reconcile_shutdown.inc();
+            self.tracer.emit(
+                KERNEL_COMP,
+                TraceEvent::RecoveryFallback {
+                    target,
+                    from: action.into(),
+                    to: RecoveryAction::ControlledShutdown.into(),
+                },
+            );
+            self.counters.controlled_shutdowns.inc();
+            self.begin_controlled_shutdown(format!(
+                "fault in reconciliation after recovering {}",
+                self.comps[t].name
+            ));
+            return;
+        }
         if decision.action == RecoveryAction::RollbackAndKillRequester {
             if let (Endpoint::Process(pid), Some(rs)) = (pending.msg.src, self.rs_ep) {
                 self.next_msg_id += 1;

@@ -28,8 +28,8 @@ mod metrics;
 
 pub use clock::{CostModel, VirtualClock};
 pub use component::{
-    Ctx, FaultEffect, FaultHook, InjectedCrash, InjectedHang, NoFaults, PrivOp, Probe, Server,
-    SiteKind,
+    Ctx, FaultEffect, FaultHook, InjectedCrash, InjectedHang, IntentPhase, NoFaults, PrivOp, Probe,
+    Server, SiteKind,
 };
 pub use host::{ForkFn, Host, HostConfig, OsEngine, ProgramFn, ProgramRegistry, RunOutcome, Sys};
 pub use kernel::{Instrumentation, Kernel, KernelConfig};

@@ -131,6 +131,15 @@ impl Server<OsMsg> for DataStore {
                     .insert(ctx.heap(), format!("rs/quarantined/{target}"), vec![1]);
                 ctx.site("ds.quarantine.stored");
             }
+            OsMsg::IntentPublish { target } => {
+                // Observability mirror of the kernel's authoritative
+                // recovery intent log: which recovery the RS is conducting.
+                ctx.site("ds.intent.entry");
+                let h = self.h();
+                h.store
+                    .insert(ctx.heap(), format!("rs/intent/{target}"), vec![1]);
+                ctx.site("ds.intent.stored");
+            }
             OsMsg::Ping => {
                 ctx.site("ds.ping");
                 ctx.reply(msg.return_path(), OsMsg::Pong)

@@ -148,6 +148,13 @@ pub enum OsMsg {
         /// Endpoint index of the quarantined component.
         target: u8,
     },
+    /// RS mirrors its in-flight recovery intent into the data store for
+    /// observability (the authoritative intent log lives in the kernel,
+    /// where it survives an RS crash mid-conduct). State-modifying.
+    IntentPublish {
+        /// Endpoint index of the component being recovered.
+        target: u8,
+    },
 
     // --- heartbeats ---
     /// Liveness probe from RS.
@@ -219,9 +226,11 @@ impl Protocol for OsMsg {
             VfsExecLoad { .. } => SeepMeta::request(SeepClass::NonStateModifying),
             Ping => SeepMeta::request(SeepClass::NonStateModifying),
             // Fire-and-forget state changes.
-            VmFree { .. } | VfsCleanup { .. } | StatusPublish { .. } | QuarantinePublish { .. } => {
-                SeepMeta::notification(SeepClass::StateModifying)
-            }
+            VmFree { .. }
+            | VfsCleanup { .. }
+            | StatusPublish { .. }
+            | QuarantinePublish { .. }
+            | IntentPublish { .. } => SeepMeta::notification(SeepClass::StateModifying),
             // Exit-path variants: the receiver's change is scoped to the
             // requesting (exiting) process, so killing the requester cleans
             // it — policies supporting §VII's reconciliation keep the
@@ -284,6 +293,7 @@ impl Protocol for OsMsg {
             Announce { .. } => "announce",
             StatusPublish { .. } => "status_publish",
             QuarantinePublish { .. } => "quarantine_publish",
+            IntentPublish { .. } => "intent_publish",
             Ping => "ping",
             Pong => "pong",
             CrashNotify { .. } => "crash_notify",

@@ -5,13 +5,17 @@
 //! reconciliation sequence, and periodically sends heartbeat messages to
 //! detect hung servers, killing (and then recovering) those that stop
 //! answering. RS is itself recoverable: if it crashes while idle, the kernel
-//! recovers it directly; a fault *during* a recovery it is conducting
-//! violates the single-fault model and brings the system down — the residual
-//! "crash" rows of Tables II/III.
+//! recovers it directly. A fault *during* a recovery it is conducting used
+//! to violate the single-fault model and bring the system down (the residual
+//! "crash" rows of Tables II/III); now the kernel persists a recovery
+//! *intent* for every conduct ([`Ctx::record_intent`]), fresh-restarts the
+//! crashed RS, and re-drives the interrupted recovery from the intent log —
+//! so the victim still recovers and only the RS's soft heartbeat state is
+//! lost.
 
 use osiris_checkpoint::{Heap, PCell, PMap};
 use osiris_core::{EscalationPolicy, EscalationStep};
-use osiris_kernel::{Ctx, Endpoint, Message, Server};
+use osiris_kernel::{Ctx, Endpoint, IntentPhase, Message, Server};
 
 use crate::proto::OsMsg;
 use crate::topology::Topology;
@@ -213,6 +217,12 @@ impl Server<OsMsg> for RecoveryServer {
                 ctx.note_escalation(*target, pressure, backoff, exhausted);
                 match step {
                     EscalationStep::Restart { backoff: 0 } => {
+                        // Refine the kernel's persisted intent before the
+                        // conduct: if RS crashes past this point the kernel
+                        // re-drives the recovery from the intent log. The DS
+                        // mirror is observability only.
+                        ctx.record_intent(*target, IntentPhase::Issued);
+                        ctx.notify(self.topo.ds, OsMsg::IntentPublish { target: *target });
                         ctx.recover(*target);
                         ctx.site("rs.recover.issued");
                     }
@@ -220,6 +230,8 @@ impl Server<OsMsg> for RecoveryServer {
                         // Defer the restart: the kernel keeps the system in
                         // recovery (only RS runs) until the timer fires and
                         // the RecoveryTick below issues the actual recovery.
+                        ctx.record_intent(*target, IntentPhase::Deferred);
+                        ctx.notify(self.topo.ds, OsMsg::IntentPublish { target: *target });
                         ctx.set_timer(backoff, OsMsg::RecoveryTick { target: *target });
                         ctx.site("rs.recover.deferred");
                     }
@@ -243,6 +255,7 @@ impl Server<OsMsg> for RecoveryServer {
                 // (service already recovered or quarantined meanwhile) is
                 // absorbed by the kernel's crash_info guard.
                 ctx.site("rs.recover.tick");
+                ctx.record_intent(*target, IntentPhase::Issued);
                 ctx.recover(*target);
             }
             OsMsg::KillRequester { pid } => {

@@ -1,0 +1,188 @@
+//! The hardened recovery path end to end: faults injected *into* the
+//! recovery machinery itself no longer take the system down. A fault during
+//! the rollback phase degrades that one recovery to a fresh restart; an RS
+//! crash mid-conduct is re-driven from the kernel's intent log. Both runs
+//! must complete, keep the consistency audit clean, and stay byte-identical
+//! across repeats.
+
+use osiris_core::PolicyKind;
+use osiris_faults::{
+    classify_run, DoubleInjector, FaultKind, FaultPlan, Outcome, SiteId, SiteKindTag,
+};
+use osiris_kernel::abi::{Errno, OpenFlags};
+use osiris_kernel::{Host, ProgramRegistry, RunOutcome};
+use osiris_servers::{Os, OsConfig};
+use osiris_trace::TraceConfig;
+
+fn plan(component: &str, site: &str, transient: bool) -> FaultPlan {
+    FaultPlan {
+        site: SiteId {
+            component: component.to_string(),
+            site: site.to_string(),
+            kind: SiteKindTag::Block,
+        },
+        kind: FaultKind::Crash,
+        transient,
+    }
+}
+
+/// Primary: one transient crash on VFS's hot read path, triggering a
+/// recovery. The secondary then fires inside that recovery.
+fn primary() -> FaultPlan {
+    plan("vfs", "vfs.read.entry", true)
+}
+
+/// Exercises the crashing read with *no* VFS state held (so a degraded
+/// fresh restart loses nothing the audit could flag), expects the single
+/// error-virtualized `E_CRASH` reply, then proves the recovered server
+/// still serves a full open/write/close/unlink cycle.
+fn registry() -> ProgramRegistry {
+    let mut registry = ProgramRegistry::new();
+    registry.register("main", |sys| {
+        let fd = match sys.open("/tmp/hot", OpenFlags::RDWR_CREATE) {
+            Ok(fd) => fd,
+            Err(_) => return 10,
+        };
+        if sys.write(fd, &[7u8; 128]).is_err() {
+            return 11;
+        }
+        // Release every descriptor before the crashing request: whether the
+        // recovery rolls back or degrades to a fresh restart, the program
+        // holds nothing the restarted server could have forgotten.
+        if sys.close(fd).is_err() || sys.unlink("/tmp/hot").is_err() {
+            return 12;
+        }
+        // The injected site fires before fd validation, so the stale fd
+        // still exercises the hot read path. The interrupted request must
+        // come back as the virtualized crash error, nothing else.
+        match sys.read(fd, 32) {
+            Err(Errno::ECRASH) => {}
+            other => {
+                let _ = other;
+                return 13;
+            }
+        }
+        // Recovered service answers with proper error virtualization again
+        // (stale fd is now just a bad descriptor)...
+        match sys.read(fd, 32) {
+            Err(Errno::EBADF) => {}
+            _ => return 14,
+        }
+        // ...and serves fresh work end to end.
+        let fd2 = match sys.open("/tmp/after", OpenFlags::RDWR_CREATE) {
+            Ok(fd) => fd,
+            Err(_) => return 15,
+        };
+        if sys.write(fd2, &[9u8; 64]).is_err() {
+            return 16;
+        }
+        if sys.close(fd2).is_err() || sys.unlink("/tmp/after").is_err() {
+            return 17;
+        }
+        0
+    });
+    registry
+}
+
+fn run_with_secondary(secondary: FaultPlan) -> (RunOutcome, Os) {
+    osiris_kernel::install_quiet_panic_hook();
+    let mut cfg = OsConfig::with_policy(PolicyKind::Enhanced);
+    cfg.trace = TraceConfig::on();
+    let mut os = Os::new(cfg);
+    os.set_fault_hook(Box::new(DoubleInjector::new(&primary(), &secondary)));
+    let mut host = Host::new(os, registry());
+    let outcome = host.run("main", &[]);
+    (outcome, host.into_engine())
+}
+
+/// A fault in the kernel's rollback phase degrades that recovery to a
+/// fresh restart: the run completes, no rollback is counted, the fallback
+/// is visible in metrics and trace, and the audit stays clean.
+#[test]
+fn rollback_phase_fault_degrades_to_fresh_restart() {
+    let (outcome, os) = run_with_secondary(plan("kernel", "kernel.recovery.rollback", true));
+    assert!(
+        matches!(outcome, RunOutcome::Completed { init_code: 0, .. }),
+        "fault during rollback must not take the system down: {outcome:?}"
+    );
+
+    let m = os.metrics();
+    assert_eq!(
+        m.recovered_rollback, 0,
+        "the faulted rollback must not count"
+    );
+    assert!(m.recovered_fresh >= 1, "degraded recovery restarts fresh");
+    assert_eq!(m.controlled_shutdowns, 0);
+
+    let violations = os.audit();
+    assert!(violations.is_empty(), "audit: {violations:?}");
+    assert_eq!(
+        classify_run(&outcome, violations.len(), m.quarantines),
+        Outcome::Pass
+    );
+
+    let prom = os.metrics_prometheus();
+    assert!(
+        prom.contains("osiris_recovery_fallback_total{from=\"rollback\",to=\"fresh\"} 1"),
+        "fallback series missing:\n{prom}"
+    );
+    // The journal was verified (clean) before the phase fault hit.
+    assert!(
+        prom.contains("osiris_journal_integrity_checks_total{kind=\"journal\",result=\"ok\"} 1")
+    );
+
+    let text = os.trace_text();
+    assert!(
+        text.contains("RecoveryFallback"),
+        "trace must record the degradation"
+    );
+}
+
+/// An RS crash mid-conduct (while delivering the crash notification) is
+/// recovered by the kernel directly, and the interrupted recovery is
+/// re-driven from the intent log — the original victim still recovers.
+#[test]
+fn rs_crash_mid_conduct_is_redriven_from_intent_log() {
+    let (outcome, os) = run_with_secondary(plan("rs", "rs.recover.notify", true));
+    assert!(
+        matches!(outcome, RunOutcome::Completed { init_code: 0, .. }),
+        "RS crash mid-conduct must not take the system down: {outcome:?}"
+    );
+
+    // Both the RS (fresh, its crash was inside recovery code) and the
+    // victim recovered.
+    let vfs = os.reports().into_iter().find(|r| r.name == "vfs").unwrap();
+    assert_eq!(vfs.recoveries, 1, "victim must recover exactly once");
+    let m = os.metrics();
+    assert!(m.recovered_fresh >= 1, "RS itself restarts fresh");
+    assert_eq!(m.controlled_shutdowns, 0);
+
+    let violations = os.audit();
+    assert!(violations.is_empty(), "audit: {violations:?}");
+
+    let prom = os.metrics_prometheus();
+    assert!(
+        prom.contains("osiris_recovery_fallback_intent_replays_total 1"),
+        "intent replay series missing:\n{prom}"
+    );
+    assert!(
+        prom.contains("osiris_recovery_fallback_total{from=\"crash\",to=\"fresh\"} 1"),
+        "in-recovery crash must be overridden to a fresh restart:\n{prom}"
+    );
+
+    let text = os.trace_text();
+    assert!(text.contains("IntentReplayed"), "trace: {text}");
+}
+
+/// Acceptance: recovery-path faults are driven off the same virtual clock
+/// as everything else — two identical double-fault runs export
+/// byte-identical traces and metrics.
+#[test]
+fn double_fault_runs_are_byte_identical() {
+    let (_, a) = run_with_secondary(plan("kernel", "kernel.recovery.rollback", true));
+    let (_, b) = run_with_secondary(plan("kernel", "kernel.recovery.rollback", true));
+    assert_eq!(a.trace_text(), b.trace_text());
+    assert_eq!(a.chrome_trace().pretty(), b.chrome_trace().pretty());
+    assert_eq!(a.metrics_prometheus(), b.metrics_prometheus());
+    assert_eq!(a.metrics_json().pretty(), b.metrics_json().pretty());
+}

@@ -245,6 +245,22 @@ pub fn chrome_trace(records: &[TraceRecord], names: &[String]) -> Json {
                 r,
                 vec![kv("target", Json::Str(comp_name(*target, names)))],
             )),
+            TraceEvent::RecoveryFallback { target, from, to } => events.push(event_json(
+                "recovery_fallback",
+                "i",
+                r,
+                vec![
+                    kv("target", Json::Str(comp_name(*target, names))),
+                    kv("from", Json::Str(format!("{from:?}"))),
+                    kv("to", Json::Str(format!("{to:?}"))),
+                ],
+            )),
+            TraceEvent::IntentReplayed { target } => events.push(event_json(
+                "intent_replayed",
+                "i",
+                r,
+                vec![kv("target", Json::Str(comp_name(*target, names)))],
+            )),
         }
     }
 

@@ -300,6 +300,23 @@ pub enum TraceEvent {
         /// Benched component.
         target: u8,
     },
+    /// A recovery phase for `target` could not be executed (journal or
+    /// image integrity violation, or a fault inside the phase itself); the
+    /// kernel degraded from `from` to the next rung of the fallback chain.
+    RecoveryFallback {
+        /// Component whose recovery degraded.
+        target: u8,
+        /// The action that failed.
+        from: ActionCode,
+        /// The action tried next.
+        to: ActionCode,
+    },
+    /// The RS crashed mid-conduct and the persisted recovery intent for
+    /// `target` was re-driven (or completed by the kernel directly).
+    IntentReplayed {
+        /// Component whose in-flight recovery was re-driven.
+        target: u8,
+    },
 }
 
 impl TraceEvent {
@@ -319,7 +336,9 @@ impl TraceEvent {
             | TraceEvent::RecoveryDone { .. }
             | TraceEvent::BudgetExhausted { .. }
             | TraceEvent::BackoffArmed { .. }
-            | TraceEvent::Quarantined { .. } => Category::Recovery,
+            | TraceEvent::Quarantined { .. }
+            | TraceEvent::RecoveryFallback { .. }
+            | TraceEvent::IntentReplayed { .. } => Category::Recovery,
             TraceEvent::SyscallEnter { .. } | TraceEvent::SyscallExit { .. } => Category::Syscall,
             TraceEvent::ShutdownDecision { .. } => Category::Shutdown,
         }
@@ -346,7 +365,9 @@ impl TraceEvent {
             | TraceEvent::RecoveryDone { .. }
             | TraceEvent::BudgetExhausted { .. }
             | TraceEvent::BackoffArmed { .. }
-            | TraceEvent::Quarantined { .. } => Severity::Warn,
+            | TraceEvent::Quarantined { .. }
+            | TraceEvent::RecoveryFallback { .. }
+            | TraceEvent::IntentReplayed { .. } => Severity::Warn,
             TraceEvent::ShutdownDecision { .. } => Severity::Error,
         }
     }
