@@ -41,10 +41,12 @@ echo "== promlint: Prometheus exposition well-formedness =="
 cargo run --release -p osiris-metrics --bin promlint -- \
     "$trace_tmp/a_metrics.prom" "$trace_tmp/b_metrics.prom"
 
-echo "== escalation metrics: families present in the standard exposition =="
+echo "== escalation + clone-pool metrics: families present in the standard exposition =="
 for fam in osiris_quarantine_total osiris_quarantine_refusals_total \
     osiris_escalation_restarts_window osiris_escalation_backoff_arms_total \
-    osiris_escalation_budget_exhausted_total; do
+    osiris_escalation_budget_exhausted_total \
+    osiris_cas_chunks osiris_cas_bytes osiris_cas_dedup_hits_total \
+    osiris_restart_chunks_total osiris_comp_clone_dedup_bytes; do
     grep -q "^$fam" "$trace_tmp/a_metrics.prom" || {
         echo "missing metric family in exposition: $fam" >&2
         exit 1
@@ -54,6 +56,9 @@ done
 echo "== campaign smoke: degraded/quarantined outcome classes reach the report =="
 OSIRIS_CAMPAIGN_OUT="$trace_tmp/campaign_smoke.json" \
     cargo run --release -p osiris-bench --bin campaign_smoke >/dev/null
+
+echo "== content-addressed store: dedup, refcount and bit-flip properties =="
+cargo test -q -p osiris-checkpoint --test cas_proptests
 
 echo "== double-fault smoke: faults during recovery survive via the fallback chain =="
 cargo test -q -p osiris-checkpoint --test integrity_proptests
@@ -70,5 +75,8 @@ cargo run --release -p osiris-bench --bin bench_trace -- --check
 
 echo "== bench_metrics --check: registry overhead bounds =="
 cargo run --release -p osiris-bench --bin bench_metrics -- --check
+
+echo "== bench_restart --check: O(dirty) restart + clone-pool dedup =="
+cargo run --release -p osiris-bench --bin bench_restart -- --check
 
 echo "ci.sh: all gates passed"

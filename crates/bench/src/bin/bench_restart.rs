@@ -1,0 +1,71 @@
+//! Copy-on-write restart microbenchmark with allocator-call counting.
+//!
+//! Installs a counting wrapper around the system allocator so the run can
+//! *prove* the COW restore path's "zero allocator calls" claim, sweeps
+//! restore latency and bytes copied across heap sizes and dirty ratios
+//! (COW manifest vs the deep-copy reference image), and writes
+//! `BENCH_restart.json`. With `--check`, additionally enforces the O(dirty)
+//! gates: >=10x over the deep copy at the largest heap with <=1% dirty,
+//! bytes copied bounded by the dirty set, zero restore-path allocations,
+//! and a deduplicating clone pool.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use osiris_bench::{bench_restart, RestartBenchConfig};
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator wrapper that counts every allocation entry point.
+struct CountingAlloc;
+
+// SAFETY: delegates every operation unchanged to the system allocator; the
+// counter is a relaxed atomic with no effect on allocation behavior.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_calls() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let cfg = RestartBenchConfig {
+        alloc_count: Some(alloc_calls),
+        ..Default::default()
+    };
+    let result = bench_restart(cfg);
+    print!("{}", result.render());
+    std::fs::write("BENCH_restart.json", result.to_json().pretty())
+        .expect("write BENCH_restart.json");
+    println!("results written to BENCH_restart.json");
+
+    if check {
+        if let Err(violation) = result.gate() {
+            eprintln!("bench_restart --check FAILED: {violation}");
+            std::process::exit(1);
+        }
+        println!("bench_restart --check passed: restart cost is O(dirty state)");
+    }
+}

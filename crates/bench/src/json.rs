@@ -131,6 +131,7 @@ fn table6_json(r: &Table6Row) -> Json {
     Json::obj([
         ("server", Json::Str(r.server.clone())),
         ("base_kb", Json::Num(r.base_kb)),
+        ("clone_dedup_kb", Json::Num(r.clone_dedup_kb)),
         ("clone_kb", Json::Num(r.clone_kb)),
         ("undo_kb", Json::Num(r.undo_kb)),
         ("recovery_latency", hist_json(&r.recovery_latency)),

@@ -12,6 +12,7 @@ pub mod experiments;
 pub mod json;
 pub mod loc;
 pub mod metrics_bench;
+pub mod restart_bench;
 pub mod trace_bench;
 pub mod undo_bench;
 
@@ -19,6 +20,9 @@ pub use experiments::*;
 pub use json::{Json, ResultsJson, SurvivabilityJson};
 pub use loc::{count_workspace_loc, CrateLoc, RcbReport};
 pub use metrics_bench::{bench_metrics, MetricsBenchConfig, MetricsBenchResult, MetricsModeResult};
+pub use restart_bench::{
+    bench_restart, PoolDedupResult, RestartBenchConfig, RestartBenchResult, RestartPoint,
+};
 pub use trace_bench::{
     bench_trace, TraceBenchConfig, TraceBenchResult, TraceModeResult, DISABLED_BOUND_PCT,
     DISABLED_EPSILON_NS,

@@ -1,0 +1,403 @@
+//! Microbenchmark for copy-on-write restarts: chunked content-addressed
+//! heap images vs the historical deep-copy images.
+//!
+//! Builds component heaps of increasing size, snapshots them into a
+//! [`ChunkStore`]-backed manifest and into the deep-copy reference image,
+//! then measures restore latency and bytes copied at dirty ratios of 0%,
+//! 1%, 10% and 100% of the heap. The headline claim is that COW restore
+//! cost is O(dirty state): at the largest heap with at most 1% dirtied,
+//! restoring the manifest must be at least an order of magnitude faster
+//! than the deep copy, and (when the caller supplies an allocation counter
+//! — see `src/bin/bench_restart.rs`) the COW write-back must make zero
+//! allocator calls, since clean chunks are skipped and dirty byte pages are
+//! written into capacity the live buffers already own.
+//!
+//! A second scenario clones one image per simulated spare copy into the
+//! shared store and reports deduplicated resident bytes against the
+//! per-copy accounting, demonstrating the clone-pool dedup.
+
+use std::time::Instant;
+
+use osiris_checkpoint::{ChunkStore, Heap, PBuf, CHUNK_SIZE};
+use osiris_rng::Rng;
+
+use crate::json::Json;
+
+/// Benchmark configuration.
+#[derive(Clone, Debug)]
+pub struct RestartBenchConfig {
+    /// Heap sizes to sweep, in [`CHUNK_SIZE`]-byte pages (one page-sized
+    /// buffer object per page, so dirty ratios map to whole objects).
+    pub heap_pages: Vec<usize>,
+    /// Dirty ratios to sweep, in percent of the heap's pages.
+    pub dirty_pcts: Vec<u32>,
+    /// Timing repetitions per point; the fastest is kept.
+    pub reps: usize,
+    /// Spare copies cloned into one shared store for the dedup scenario.
+    pub pool_clones: usize,
+    /// Reads the process-wide allocation count, if the caller installed a
+    /// counting allocator. Used to prove the COW restore path makes zero
+    /// allocator calls.
+    pub alloc_count: Option<fn() -> u64>,
+}
+
+impl Default for RestartBenchConfig {
+    fn default() -> Self {
+        RestartBenchConfig {
+            // 64 KiB, 1 MiB, 8 MiB.
+            heap_pages: vec![16, 256, 2048],
+            dirty_pcts: vec![0, 1, 10, 100],
+            reps: 5,
+            pool_clones: 6,
+            alloc_count: None,
+        }
+    }
+}
+
+/// One (heap size, dirty ratio) measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct RestartPoint {
+    /// Heap size in KiB.
+    pub heap_kb: f64,
+    /// Requested dirty ratio in percent.
+    pub dirty_pct: u32,
+    /// Pages actually dirtied per repetition.
+    pub dirty_pages: usize,
+    /// Fastest copy-on-write restore, nanoseconds.
+    pub cow_restore_ns: f64,
+    /// Fastest deep-copy restore, nanoseconds.
+    pub deep_restore_ns: f64,
+    /// Bytes the COW restore actually copied back.
+    pub cow_bytes_copied: u64,
+    /// Bytes the deep restore copies (always the full image).
+    pub deep_bytes_copied: u64,
+    /// Chunks the COW restore skipped as clean.
+    pub cow_clean_chunks: u64,
+    /// Chunks the COW restore verified and wrote back.
+    pub cow_dirty_chunks: u64,
+    /// Allocator calls made by one measured COW restore, if a counter was
+    /// supplied.
+    pub cow_restore_allocs: Option<u64>,
+}
+
+impl RestartPoint {
+    /// Deep-over-COW restore speedup at this point.
+    pub fn speedup(&self) -> f64 {
+        self.deep_restore_ns / self.cow_restore_ns.max(1.0)
+    }
+}
+
+/// The clone-pool dedup scenario: identical spare copies share one store.
+#[derive(Clone, Copy, Debug)]
+pub struct PoolDedupResult {
+    /// Spare copies cloned.
+    pub clones: usize,
+    /// What the pool would cost under per-copy accounting.
+    pub per_copy_bytes: u64,
+    /// Deduplicated bytes resident in the shared store.
+    pub resident_bytes: u64,
+    /// Chunk insertions satisfied by an already-resident chunk.
+    pub dedup_hits: u64,
+}
+
+/// The full sweep.
+#[derive(Clone, Debug)]
+pub struct RestartBenchResult {
+    /// Timing repetitions per point (fastest kept).
+    pub reps: usize,
+    /// All measured points, in sweep order.
+    pub points: Vec<RestartPoint>,
+    /// The clone-pool dedup scenario.
+    pub pool: PoolDedupResult,
+}
+
+impl RestartBenchResult {
+    /// The O(dirty) headline gate: at the largest heap with at most 1%
+    /// dirtied, COW restore must beat the deep copy by at least 10x, every
+    /// COW restore must copy no more than it dirtied (plus chunk rounding),
+    /// and — when an allocation counter was installed — the COW write-back
+    /// must not touch the allocator. Returns a description of the first
+    /// violated claim.
+    pub fn gate(&self) -> Result<(), String> {
+        let largest = self.points.iter().map(|p| p.heap_kb).fold(0.0f64, f64::max);
+        for p in &self.points {
+            if p.heap_kb >= largest && p.dirty_pct <= 1 && p.speedup() < 10.0 {
+                return Err(format!(
+                    "O(dirty) claim violated: {:.0} KiB heap at {}% dirty restored only {:.1}x \
+                     faster than the deep copy (need >=10x)",
+                    p.heap_kb,
+                    p.dirty_pct,
+                    p.speedup()
+                ));
+            }
+            let dirty_bound = (p.dirty_pages as u64 + 1) * CHUNK_SIZE as u64;
+            if p.cow_bytes_copied > dirty_bound {
+                return Err(format!(
+                    "COW restore copied {} bytes with only {} pages dirty",
+                    p.cow_bytes_copied, p.dirty_pages
+                ));
+            }
+            if let Some(n) = p.cow_restore_allocs {
+                if n != 0 {
+                    return Err(format!(
+                        "COW restore made {n} allocator calls at {:.0} KiB / {}% dirty (need 0)",
+                        p.heap_kb, p.dirty_pct
+                    ));
+                }
+            }
+        }
+        if self.pool.resident_bytes >= self.pool.per_copy_bytes {
+            return Err(format!(
+                "clone pool did not dedup: {} resident vs {} per-copy bytes",
+                self.pool.resident_bytes, self.pool.per_copy_bytes
+            ));
+        }
+        Ok(())
+    }
+
+    /// Renders a human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "restart: COW manifest vs deep-copy restore (best of {} reps)\n",
+            self.reps
+        ));
+        out.push_str(&format!(
+            "{:>9} {:>7} {:>12} {:>12} {:>9} {:>13} {:>13} {:>7}\n",
+            "heap", "dirty", "cow-ns", "deep-ns", "speedup", "cow-copied", "deep-copied", "allocs"
+        ));
+        for p in &self.points {
+            let allocs = match p.cow_restore_allocs {
+                Some(n) => format!("{n}"),
+                None => "-".to_string(),
+            };
+            out.push_str(&format!(
+                "{:>7.0}kB {:>6}% {:>12.0} {:>12.0} {:>8.1}x {:>12}B {:>12}B {:>7}\n",
+                p.heap_kb,
+                p.dirty_pct,
+                p.cow_restore_ns,
+                p.deep_restore_ns,
+                p.speedup(),
+                p.cow_bytes_copied,
+                p.deep_bytes_copied,
+                allocs
+            ));
+        }
+        out.push_str(&format!(
+            "clone pool: {} spare copies, {} B per-copy -> {} B resident ({} dedup hits)\n",
+            self.pool.clones,
+            self.pool.per_copy_bytes,
+            self.pool.resident_bytes,
+            self.pool.dedup_hits
+        ));
+        out
+    }
+
+    /// Machine-readable form (written to `BENCH_restart.json`).
+    pub fn to_json(&self) -> Json {
+        let point = |p: &RestartPoint| {
+            Json::obj([
+                ("heap_kb", Json::Num(p.heap_kb)),
+                ("dirty_pct", Json::UInt(p.dirty_pct as u64)),
+                ("dirty_pages", Json::UInt(p.dirty_pages as u64)),
+                ("cow_restore_ns", Json::Num(p.cow_restore_ns)),
+                ("deep_restore_ns", Json::Num(p.deep_restore_ns)),
+                ("speedup_deep_over_cow", Json::Num(p.speedup())),
+                ("cow_bytes_copied", Json::UInt(p.cow_bytes_copied)),
+                ("deep_bytes_copied", Json::UInt(p.deep_bytes_copied)),
+                ("cow_clean_chunks", Json::UInt(p.cow_clean_chunks)),
+                ("cow_dirty_chunks", Json::UInt(p.cow_dirty_chunks)),
+                (
+                    "cow_restore_allocs",
+                    match p.cow_restore_allocs {
+                        Some(n) => Json::UInt(n),
+                        None => Json::Null,
+                    },
+                ),
+            ])
+        };
+        Json::obj([
+            ("reps", Json::UInt(self.reps as u64)),
+            ("chunk_size", Json::UInt(CHUNK_SIZE as u64)),
+            ("points", Json::arr(&self.points, point)),
+            (
+                "pool",
+                Json::obj([
+                    ("clones", Json::UInt(self.pool.clones as u64)),
+                    ("per_copy_bytes", Json::UInt(self.pool.per_copy_bytes)),
+                    ("resident_bytes", Json::UInt(self.pool.resident_bytes)),
+                    ("dedup_hits", Json::UInt(self.pool.dedup_hits)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// A component heap of `pages` page-sized buffers plus a handful of hot
+/// cells, the shape of a real server's recoverable state.
+struct World {
+    bufs: Vec<PBuf>,
+    /// Allocated so the image covers opaque objects too; never dirtied, so
+    /// the restore's clean-skip path is exercised on both payload kinds.
+    _cells: Vec<osiris_checkpoint::PCell<u64>>,
+}
+
+fn build_world(heap: &mut Heap, pages: usize, r: &mut Rng) -> World {
+    let bufs: Vec<PBuf> = (0..pages).map(|_| heap.alloc_buf("page")).collect();
+    for b in &bufs {
+        b.write_at(heap, 0, &r.bytes(CHUNK_SIZE));
+    }
+    let cells = (0..4)
+        .map(|_| heap.alloc_cell("cell", r.next_u64()))
+        .collect();
+    World {
+        bufs,
+        _cells: cells,
+    }
+}
+
+/// Dirties `dirty_pages` buffers (one byte each — epoch divergence is what
+/// matters, not volume) and one spare write that restores never see. The
+/// cells stay clean so the zero-allocation claim covers the byte-page path
+/// the write-back actually exercises.
+fn dirty(heap: &mut Heap, w: &World, dirty_pages: usize, r: &mut Rng) {
+    for b in w.bufs.iter().take(dirty_pages) {
+        b.write_at(heap, r.below_usize(CHUNK_SIZE - 1), &[r.byte()]);
+    }
+}
+
+fn dirty_count(pages: usize, pct: u32) -> usize {
+    if pct == 0 {
+        0
+    } else {
+        ((pages * pct as usize) / 100).max(1).min(pages)
+    }
+}
+
+fn measure_point(pages: usize, pct: u32, cfg: &RestartBenchConfig) -> RestartPoint {
+    let mut r = Rng::new(0xC0117 ^ ((pages as u64) << 8) ^ pct as u64);
+    let mut heap = Heap::new("bench-restart");
+    let w = build_world(&mut heap, pages, &mut r);
+    let mut store = ChunkStore::new();
+    let cow = heap.clone_image(&mut store, None);
+    let deep = heap.clone_image_deep();
+    let baseline = heap.state_digest();
+    let dirty_pages = dirty_count(pages, pct);
+
+    // COW restores: dirty (untimed), restore (timed), digest-checked.
+    let mut cow_ns = f64::INFINITY;
+    let mut stats = osiris_checkpoint::RestoreStats::default();
+    let mut cow_restore_allocs = None;
+    for rep in 0..cfg.reps {
+        dirty(&mut heap, &w, dirty_pages, &mut r);
+        let before = cfg.alloc_count.map(|f| f());
+        let start = Instant::now();
+        stats = heap.restore_image(&cow, &store).expect("cow restore");
+        cow_ns = cow_ns.min(start.elapsed().as_nanos() as f64);
+        if rep == 0 {
+            cow_restore_allocs = cfg.alloc_count.map(|f| f() - before.unwrap_or(0));
+        }
+        assert_eq!(heap.state_digest(), baseline, "cow restore must be exact");
+    }
+
+    // Deep restores over the identical dirty schedule.
+    let mut deep_ns = f64::INFINITY;
+    for _ in 0..cfg.reps {
+        dirty(&mut heap, &w, dirty_pages, &mut r);
+        let start = Instant::now();
+        heap.restore_image_deep(&deep);
+        deep_ns = deep_ns.min(start.elapsed().as_nanos() as f64);
+        assert_eq!(heap.state_digest(), baseline, "deep restore must be exact");
+    }
+
+    cow.release(&mut store);
+    assert!(store.is_empty(), "bench leaked chunk refs");
+    RestartPoint {
+        heap_kb: (pages * CHUNK_SIZE) as f64 / 1024.0,
+        dirty_pct: pct,
+        dirty_pages,
+        cow_restore_ns: cow_ns,
+        deep_restore_ns: deep_ns,
+        cow_bytes_copied: stats.bytes_restored as u64,
+        deep_bytes_copied: deep.bytes() as u64,
+        cow_clean_chunks: stats.clean_chunks,
+        cow_dirty_chunks: stats.dirty_chunks,
+        cow_restore_allocs,
+    }
+}
+
+/// The dedup scenario: `clones` spare copies of the same component state
+/// cloned into one shared store.
+fn measure_pool(cfg: &RestartBenchConfig) -> PoolDedupResult {
+    let pages = cfg.heap_pages.iter().copied().max().unwrap_or(16).min(256);
+    let mut store = ChunkStore::new();
+    let mut images = Vec::new();
+    let mut per_copy = 0u64;
+    for _ in 0..cfg.pool_clones {
+        // Each spare copy comes from its own heap with identical content,
+        // as the RS's clone pool holds one image per recovery epoch.
+        let mut rr = Rng::new(0xD0D1);
+        let mut heap = Heap::new("bench-pool");
+        build_world(&mut heap, pages, &mut rr);
+        let img = heap.clone_image(&mut store, None);
+        per_copy += img.bytes() as u64;
+        images.push(img);
+    }
+    let result = PoolDedupResult {
+        clones: cfg.pool_clones,
+        per_copy_bytes: per_copy,
+        resident_bytes: store.resident_bytes() as u64,
+        dedup_hits: store.dedup_hits(),
+    };
+    for img in images {
+        img.release(&mut store);
+    }
+    assert!(store.is_empty(), "pool scenario leaked chunk refs");
+    result
+}
+
+/// Runs the sweep.
+pub fn bench_restart(cfg: RestartBenchConfig) -> RestartBenchResult {
+    let mut points = Vec::new();
+    for &pages in &cfg.heap_pages {
+        for &pct in &cfg.dirty_pcts {
+            points.push(measure_point(pages, pct, &cfg));
+        }
+    }
+    let pool = measure_pool(&cfg);
+    RestartBenchResult {
+        reps: cfg.reps,
+        points,
+        pool,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_run_is_o_dirty() {
+        let cfg = RestartBenchConfig {
+            heap_pages: vec![8, 64],
+            dirty_pcts: vec![0, 1, 100],
+            reps: 2,
+            pool_clones: 3,
+            alloc_count: None,
+        };
+        let r = bench_restart(cfg);
+        assert_eq!(r.points.len(), 6);
+        for p in &r.points {
+            assert!(p.cow_restore_ns > 0.0 && p.deep_restore_ns > 0.0);
+            // O(dirty) accounting: copied bytes track the dirty pages, not
+            // the heap size.
+            assert!(p.cow_bytes_copied <= (p.dirty_pages as u64 + 1) * CHUNK_SIZE as u64);
+            assert!(p.deep_bytes_copied as usize > p.dirty_pages * CHUNK_SIZE);
+        }
+        assert!(r.pool.resident_bytes < r.pool.per_copy_bytes);
+        assert!(r.pool.dedup_hits > 0);
+        let j = r.to_json().pretty();
+        assert!(j.contains("speedup_deep_over_cow"));
+        assert!(j.contains("dedup_hits"));
+    }
+}

@@ -3,12 +3,14 @@
 use std::any::Any;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::fmt::Write as _;
 use std::mem::size_of;
 use std::sync::atomic::{AtomicU32, Ordering};
 
 use osiris_trace::{TraceEvent, TraceHandle};
 
-use crate::journal::{IntegrityError, Journal};
+use crate::cas::FnvWriter;
+use crate::journal::{fnv1a_bytes, fnv1a_u64, IntegrityError, Journal, FNV_OFFSET};
 use crate::map::MapKey;
 use crate::stats::HeapStats;
 
@@ -55,6 +57,11 @@ pub struct Mark {
 pub(crate) struct Obj {
     pub(crate) name: &'static str,
     pub(crate) data: Box<dyn AnyObj>,
+    /// Dirty epoch: the heap-global write counter value of the last mutation
+    /// (or allocation) of this object. Snapshot manifests record it, so a
+    /// later [`Heap::clone_image`] re-chunks — and [`Heap::restore_image`]
+    /// rewrites — only objects whose epoch diverges from the manifest.
+    pub(crate) epoch: u64,
 }
 
 /// Object trait: `Any` for downcasting plus deep-clone support so that heap
@@ -65,6 +72,17 @@ pub(crate) trait AnyObj: Any + Send + fmt::Debug {
     fn as_any_mut(&mut self) -> &mut dyn Any;
     /// Approximate resident size in bytes, for memory-overhead accounting.
     fn approx_bytes(&self) -> usize;
+    /// FNV-1a digest over the payload's type identity and content
+    /// (allocation-free). Keys opaque chunks in the content-addressed store
+    /// and feeds [`Heap::state_digest`].
+    fn content_digest(&self) -> u64;
+    /// The byte-backed holder, if this object's payload is `Vec<u8>`
+    /// (every [`crate::PBuf`] and `PVec<u8>`). Byte-backed objects are the
+    /// ones split into fixed-size chunks at snapshot time.
+    fn byte_holder(&self) -> Option<&Holder<Vec<u8>>>;
+    /// Mutable access to the byte-backed holder, for in-place chunk
+    /// write-back during restore (reuses existing capacity).
+    fn byte_holder_mut(&mut self) -> Option<&mut Holder<Vec<u8>>>;
 }
 
 /// Wrapper implementing [`AnyObj`] for concrete container payloads.
@@ -97,6 +115,28 @@ impl<T: HeapValue> AnyObj for Holder<T> {
     fn approx_bytes(&self) -> usize {
         size_of::<T>() + self.extra_bytes
     }
+    fn content_digest(&self) -> u64 {
+        let mut w = FnvWriter(FNV_OFFSET);
+        let _ = w.write_str(std::any::type_name::<T>());
+        w.0 = fnv1a_u64(w.0, size_of::<T>() as u64);
+        match self.byte_holder() {
+            // Byte payloads hash directly; everything else streams its
+            // `Debug` rendering through the FNV sink (no allocation either
+            // way). Folding the type name in first keeps two types with the
+            // same `Debug` text from colliding.
+            Some(h) => fnv1a_bytes(w.0, &h.value),
+            None => {
+                let _ = write!(w, "{:?}", self.value);
+                w.0
+            }
+        }
+    }
+    fn byte_holder(&self) -> Option<&Holder<Vec<u8>>> {
+        (self as &dyn Any).downcast_ref::<Holder<Vec<u8>>>()
+    }
+    fn byte_holder_mut(&mut self) -> Option<&mut Holder<Vec<u8>>> {
+        (self as &mut dyn Any).downcast_mut::<Holder<Vec<u8>>>()
+    }
 }
 
 /// A boxed restore closure, as stored by [`UndoMode::BoxedReference`].
@@ -107,6 +147,10 @@ pub(crate) type BoxedUndoFn = Box<dyn FnOnce(&mut [Obj]) + Send>;
 /// number of bytes the record accounts for.
 pub(crate) struct UndoOp {
     pub(crate) bytes: usize,
+    /// Index of the object the record mutates, so rollback can dirty its
+    /// epoch (a rolled-back object no longer matches any snapshot taken
+    /// between the mutation and the rollback).
+    pub(crate) obj: u32,
     pub(crate) undo: BoxedUndoFn,
 }
 
@@ -143,6 +187,10 @@ static NEXT_HEAP_ID: AtomicU32 = AtomicU32::new(1);
 /// threaded) process.
 pub struct Heap {
     pub(crate) objs: Vec<Obj>,
+    /// Heap-global monotonic write counter backing per-object dirty epochs.
+    /// Bumped by every mutation entry point (and rollback write-back); never
+    /// reset, so an epoch recorded in any snapshot is always comparable.
+    write_epoch: u64,
     journal: Journal,
     boxed_log: Vec<UndoOp>,
     mode: UndoMode,
@@ -177,6 +225,7 @@ impl Heap {
     pub fn new(name: &'static str) -> Self {
         Heap {
             objs: Vec::new(),
+            write_epoch: 0,
             journal: Journal::new(),
             boxed_log: Vec::new(),
             mode: UndoMode::Typed,
@@ -238,17 +287,55 @@ impl Heap {
     /// Allocates a new object slot holding `value` and returns its id.
     pub(crate) fn alloc_obj<T: HeapValue>(&mut self, name: &'static str, value: T) -> ObjId {
         let index = u32::try_from(self.objs.len()).expect("heap object count overflow");
+        self.write_epoch += 1;
         self.objs.push(Obj {
             name,
             data: Box::new(Holder {
                 value,
                 extra_bytes: 0,
             }),
+            epoch: self.write_epoch,
         });
         ObjId {
             index,
             heap_id: self.id,
         }
+    }
+
+    /// Marks object `index` dirty: bumps the heap-global write counter and
+    /// stamps it as the object's epoch. Called on every mutation entry point
+    /// regardless of logging (snapshots must see all writes, not just
+    /// in-window ones). Two field updates, no allocation.
+    #[inline]
+    fn touch(&mut self, index: u32) {
+        self.write_epoch += 1;
+        self.objs[index as usize].epoch = self.write_epoch;
+    }
+
+    /// Dirty epoch of object `index` (manifest comparisons).
+    pub(crate) fn epoch_of(&self, index: usize) -> u64 {
+        self.objs[index].epoch
+    }
+
+    /// Restore support: stamps object `index` with a snapshot-recorded
+    /// epoch. Sound because `write_epoch` is monotonic and at least as large
+    /// as any epoch ever handed out by this heap.
+    pub(crate) fn set_epoch(&mut self, index: usize, epoch: u64) {
+        debug_assert!(epoch <= self.write_epoch);
+        self.objs[index].epoch = epoch;
+    }
+
+    /// FNV-1a digest over the full heap state: every object's name and
+    /// content digest, in slot order. Two heaps-states with equal digests
+    /// hold equal values (modulo FNV collisions); used by the differential
+    /// tests to prove COW restore is state-equivalent to deep-copy restore.
+    pub fn state_digest(&self) -> u64 {
+        let mut d = fnv1a_u64(FNV_OFFSET, u64::from(self.id));
+        for o in &self.objs {
+            d = fnv1a_bytes(d, o.name.as_bytes());
+            d = fnv1a_u64(d, o.data.content_digest());
+        }
+        d
     }
 
     /// Immutable access to the payload of `id`.
@@ -318,6 +405,7 @@ impl Heap {
 
     pub(crate) fn log_cell_set<T: HeapValue>(&mut self, id: ObjId) {
         self.stats.writes += 1;
+        self.touch(id.index);
         if !self.logging {
             return;
         }
@@ -332,6 +420,7 @@ impl Heap {
                 let index = id.index;
                 self.boxed_log.push(UndoOp {
                     bytes: WORD + size_of::<T>(),
+                    obj: index,
                     undo: Box::new(move |objs| {
                         boxed_holder_mut::<T>(objs, index).value = old;
                     }),
@@ -344,6 +433,7 @@ impl Heap {
 
     pub(crate) fn log_vec_set<T: HeapValue>(&mut self, id: ObjId, index: usize) {
         self.stats.writes += 1;
+        self.touch(id.index);
         if !self.logging {
             return;
         }
@@ -360,6 +450,7 @@ impl Heap {
                 let obj = id.index;
                 self.boxed_log.push(UndoOp {
                     bytes: WORD + size_of::<T>(),
+                    obj,
                     undo: Box::new(move |objs| {
                         boxed_holder_mut::<Vec<T>>(objs, obj).value[index] = old;
                     }),
@@ -372,6 +463,7 @@ impl Heap {
 
     pub(crate) fn log_vec_push<T: HeapValue>(&mut self, id: ObjId) {
         self.stats.writes += 1;
+        self.touch(id.index);
         if !self.logging {
             return;
         }
@@ -381,6 +473,7 @@ impl Heap {
                 let obj = id.index;
                 self.boxed_log.push(UndoOp {
                     bytes: WORD + size_of::<T>(),
+                    obj,
                     undo: Box::new(move |objs| {
                         let h = boxed_holder_mut::<Vec<T>>(objs, obj);
                         h.value.pop();
@@ -395,6 +488,7 @@ impl Heap {
 
     pub(crate) fn log_vec_pop<T: HeapValue>(&mut self, id: ObjId, last: &T) {
         self.stats.writes += 1;
+        self.touch(id.index);
         if !self.logging {
             return;
         }
@@ -405,6 +499,7 @@ impl Heap {
                 let obj = id.index;
                 self.boxed_log.push(UndoOp {
                     bytes: WORD + size_of::<T>(),
+                    obj,
                     undo: Box::new(move |objs| {
                         let h = boxed_holder_mut::<Vec<T>>(objs, obj);
                         h.value.push(old);
@@ -419,6 +514,7 @@ impl Heap {
 
     pub(crate) fn log_vec_truncate<T: HeapValue>(&mut self, id: ObjId, new_len: usize) {
         self.stats.writes += 1;
+        self.touch(id.index);
         if !self.logging {
             return;
         }
@@ -440,6 +536,7 @@ impl Heap {
                 let obj = id.index;
                 self.boxed_log.push(UndoOp {
                     bytes,
+                    obj,
                     undo: Box::new(move |objs| {
                         let h = boxed_holder_mut::<Vec<T>>(objs, obj);
                         h.value.extend(tail);
@@ -459,6 +556,7 @@ impl Heap {
         old: Option<&V>,
     ) {
         self.stats.writes += 1;
+        self.touch(id.index);
         if !self.logging {
             return;
         }
@@ -472,6 +570,7 @@ impl Heap {
                 let obj = id.index;
                 self.boxed_log.push(UndoOp {
                     bytes: WORD + size_of::<K>() + size_of::<V>(),
+                    obj,
                     undo: Box::new(move |objs| {
                         let h = boxed_holder_mut::<BTreeMap<K, V>>(objs, obj);
                         match undo_old {
@@ -489,6 +588,7 @@ impl Heap {
 
     pub(crate) fn log_map_remove<K: MapKey, V: HeapValue>(&mut self, id: ObjId, key: &K, old: &V) {
         self.stats.writes += 1;
+        self.touch(id.index);
         if !self.logging {
             return;
         }
@@ -502,6 +602,7 @@ impl Heap {
                 let obj = id.index;
                 self.boxed_log.push(UndoOp {
                     bytes: WORD + size_of::<K>() + size_of::<V>(),
+                    obj,
                     undo: Box::new(move |objs| {
                         let h = boxed_holder_mut::<BTreeMap<K, V>>(objs, obj);
                         h.value.insert(undo_key, undo_val);
@@ -516,6 +617,7 @@ impl Heap {
 
     pub(crate) fn log_buf_write(&mut self, id: ObjId, offset: usize, write_len: usize) {
         self.stats.writes += 1;
+        self.touch(id.index);
         if !self.logging {
             return;
         }
@@ -568,6 +670,7 @@ impl Heap {
                 let obj = id.index;
                 self.boxed_log.push(UndoOp {
                     bytes: WORD + write_len,
+                    obj,
                     undo: Box::new(move |objs| {
                         let h = boxed_holder_mut::<Vec<u8>>(objs, obj);
                         let restore_end = offset + overwritten.len();
@@ -586,6 +689,7 @@ impl Heap {
 
     pub(crate) fn log_buf_truncate(&mut self, id: ObjId, new_len: usize) {
         self.stats.writes += 1;
+        self.touch(id.index);
         if !self.logging {
             return;
         }
@@ -605,6 +709,7 @@ impl Heap {
                 let obj = id.index;
                 self.boxed_log.push(UndoOp {
                     bytes,
+                    obj,
                     undo: Box::new(move |objs| {
                         let h = boxed_holder_mut::<Vec<u8>>(objs, obj);
                         h.value.extend_from_slice(&tail);
@@ -789,14 +894,19 @@ impl Heap {
         let records = (self.log_len() - mark.log_len) as u32;
         let bytes_before = self.stats.undo_bytes_current;
         while self.log_len() > mark.log_len {
-            let bytes = match self.mode {
+            let (bytes, obj) = match self.mode {
                 UndoMode::Typed => self.journal.pop_and_apply(&mut self.objs),
                 UndoMode::BoxedReference => {
                     let op = self.boxed_log.pop().expect("log length checked above");
                     (op.undo)(&mut self.objs);
-                    op.bytes
+                    (op.bytes, op.obj)
                 }
             };
+            // A rollback write-back is a mutation like any other: the
+            // restored object must look dirty to snapshots taken between the
+            // original write and this rollback, or a COW restore would skip
+            // it as clean and resurrect the rolled-back value.
+            self.touch(obj);
             self.stats.undo_bytes_current = self.stats.undo_bytes_current.saturating_sub(bytes);
         }
         self.stats.rollbacks += 1;

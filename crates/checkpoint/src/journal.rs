@@ -440,7 +440,7 @@ fn mix64(mut z: u64) -> u64 {
 /// FNV-1a 64-bit offset basis: the digest of an empty journal. Hand-rolled
 /// like [`mix64`] so this crate stays dependency-free.
 pub(crate) const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+pub(crate) const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
 
 /// Folds `bytes` into an FNV-1a running digest.
 pub(crate) fn fnv1a_bytes(mut digest: u64, bytes: &[u8]) -> u64 {
@@ -490,6 +490,29 @@ pub enum IntegrityError {
         /// The digest recomputed from the image's objects.
         actual: u64,
     },
+    /// A chunk referenced by a heap-image manifest is not resident in the
+    /// content-addressed store (refcount lifecycle bug or foreign store).
+    MissingChunk {
+        /// The manifest's digest for the missing chunk.
+        digest: u64,
+    },
+    /// A resident chunk's content no longer matches the digest it is keyed
+    /// under: the stored payload was corrupted after insertion.
+    ChunkDigest {
+        /// The digest the chunk is keyed under (captured at insert).
+        expected: u64,
+        /// The digest recomputed from the chunk's current content.
+        actual: u64,
+    },
+    /// A heap-image manifest's byte accounting disagrees with the chunk
+    /// store's: the `bytes()` total summed at clone time does not match what
+    /// the referenced chunks actually hold.
+    ImageBytes {
+        /// Bytes the manifest claims.
+        expected: u64,
+        /// Bytes accounted by the referenced chunks.
+        actual: u64,
+    },
 }
 
 impl std::fmt::Display for IntegrityError {
@@ -514,6 +537,21 @@ impl std::fmt::Display for IntegrityError {
                 write!(
                     f,
                     "heap image digest mismatch: expected {expected:#x}, recomputed {actual:#x}"
+                )
+            }
+            IntegrityError::MissingChunk { digest } => {
+                write!(f, "manifest chunk {digest:#x} not resident in chunk store")
+            }
+            IntegrityError::ChunkDigest { expected, actual } => {
+                write!(
+                    f,
+                    "chunk content mismatch: keyed {expected:#x}, recomputed {actual:#x}"
+                )
+            }
+            IntegrityError::ImageBytes { expected, actual } => {
+                write!(
+                    f,
+                    "heap image byte accounting mismatch: manifest {expected}, chunks {actual}"
                 )
             }
         }
@@ -1026,13 +1064,14 @@ impl Journal {
     // -- replay / discard ---------------------------------------------------
 
     /// Pops the newest record, applies its restore, and releases its arena
-    /// payload. Returns the record's accounted bytes.
+    /// payload. Returns the record's accounted bytes and the index of the
+    /// object it restored (so the heap can dirty that object's epoch).
     ///
     /// # Panics
     ///
     /// Panics if the journal is empty.
     #[allow(unsafe_code)]
-    pub(crate) fn pop_and_apply(&mut self, objs: &mut [Obj]) -> usize {
+    pub(crate) fn pop_and_apply(&mut self, objs: &mut [Obj]) -> (usize, u32) {
         let rec = self.records.pop().expect("pop from empty journal");
         self.digest = rec.prev;
         match rec.kind {
@@ -1052,7 +1091,7 @@ impl Journal {
             UndoKind::BufTruncate => restore_buf_truncate(objs, &rec, &self.arena),
         }
         self.arena.truncate(rec.off as usize);
-        rec.bytes
+        (rec.bytes, rec.obj)
     }
 
     /// Drops every record's payload without applying it and resets lengths

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 mod buf;
+mod cas;
 mod cell;
 mod heap;
 mod image;
@@ -55,9 +56,10 @@ mod stats;
 mod vec;
 
 pub use buf::PBuf;
+pub use cas::{ChunkStore, CHUNK_SIZE};
 pub use cell::PCell;
 pub use heap::{Heap, HeapValue, Mark, ObjId, UndoMode};
-pub use image::HeapImage;
+pub use image::{DeepImage, HeapImage, RestoreStats};
 pub use journal::IntegrityError;
 pub use map::PMap;
 pub use stats::HeapStats;

@@ -134,8 +134,8 @@ fn torn_tail_detected() {
     }
 }
 
-/// A corrupted heap-image digest is rejected before restore; the pristine
-/// image verifies.
+/// A corrupted heap-image manifest digest is rejected before restore; the
+/// pristine manifest verifies.
 #[test]
 fn image_digest_corruption_detected() {
     for case in 0..CASES {
@@ -146,8 +146,10 @@ fn image_digest_corruption_detected() {
         for _ in 0..n {
             apply_random(&mut heap, &w, &mut r);
         }
-        let mut image = heap.clone_image();
+        let mut store = osiris_checkpoint::ChunkStore::new();
+        let mut image = heap.clone_image(&mut store, None);
         assert!(image.verify().is_ok(), "case seed {case}");
+        assert!(image.verify_full(&store).is_ok(), "case seed {case}");
         image.corrupt_digest_for_test();
         match image.verify() {
             Err(IntegrityError::ImageDigest { .. }) => {}

@@ -170,12 +170,15 @@ fn image_roundtrip() {
             apply(&mut heap, &w, op);
         }
         let expected = snapshot(&heap, &w);
-        let image = heap.clone_image();
+        let mut store = osiris_checkpoint::ChunkStore::new();
+        let image = heap.clone_image(&mut store, None);
         for op in &after {
             apply(&mut heap, &w, op);
         }
-        heap.restore_image(&image);
+        heap.restore_image(&image, &store).expect("restore");
         assert_eq!(snapshot(&heap, &w), expected, "case seed {case}");
+        image.release(&mut store);
+        assert!(store.is_empty(), "case seed {case}: refs leaked");
     }
 }
 

@@ -144,6 +144,15 @@ pub enum PrivOp {
         /// How far the conduct has progressed.
         phase: IntentPhase,
     },
+    /// Refresh `target`'s spare clone image in the content-addressed pool.
+    /// The kernel re-chunks against the existing manifest off the request
+    /// hot path, so clean objects are reshared instead of recopied; the
+    /// refresh is skipped (counted, not failed) if the component is not
+    /// alive or its heap has diverged from the pristine image.
+    RefreshImage {
+        /// Endpoint index of the component whose image to refresh.
+        target: u8,
+    },
     /// Record an escalation-ladder decision for observability: the kernel
     /// updates the per-component escalation metrics and emits the
     /// corresponding trace events.
@@ -449,6 +458,23 @@ impl<'a, P: Protocol> Ctx<'a, P> {
             "quarantine() requires a privileged component"
         );
         self.priv_ops.push(PrivOp::Quarantine { target });
+    }
+
+    /// Asks the kernel to refresh `target`'s spare clone image in the
+    /// content-addressed pool (Recovery Server only). This is the paper's
+    /// background spare-copy replenishment moved off the recovery hot path:
+    /// the kernel re-chunks incrementally against the previous manifest, so
+    /// a clean heap reshares every chunk instead of recopying the state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calling component is not privileged.
+    pub fn refresh_image(&mut self, target: u8) {
+        assert!(
+            self.privileged,
+            "refresh_image() requires a privileged component"
+        );
+        self.priv_ops.push(PrivOp::RefreshImage { target });
     }
 
     /// Updates the kernel's persisted recovery intent for `target`

@@ -8,10 +8,10 @@
 //! Server, and executes the restart / rollback / reconciliation phases the
 //! RS decides on (paper §IV-C).
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use osiris_checkpoint::{Heap, HeapImage};
+use osiris_checkpoint::{ChunkStore, Heap, HeapImage};
 use osiris_core::{
     decide_recovery, fallback_action, CrashContext, MessageKind, RecoveryAction, RecoveryDecision,
     RecoveryPolicy, RecoveryWindow,
@@ -155,6 +155,7 @@ struct CompStats {
     // Mirrored at sync points (not hot-path writes):
     heap_bytes: Gauge,
     clone_bytes: Gauge,
+    clone_dedup_bytes: Gauge,
     undo_window_peak_bytes: Gauge,
     writes: Counter,
     undo_appends: Counter,
@@ -214,6 +215,11 @@ impl CompStats {
             clone_bytes: m.gauge(
                 "osiris_comp_clone_bytes",
                 "Size of the pristine clone image kept for recovery",
+                &l,
+            ),
+            clone_dedup_bytes: m.gauge(
+                "osiris_comp_clone_dedup_bytes",
+                "Deduplicated store bytes attributed to this component's clone image",
                 &l,
             ),
             undo_window_peak_bytes: m.gauge(
@@ -296,6 +302,14 @@ struct KernelCounters {
     journal_corrupt: Counter,
     image_ok: Counter,
     image_corrupt: Counter,
+    // Content-addressed clone-pool series:
+    cas_chunks: Gauge,
+    cas_bytes: Gauge,
+    cas_dedup_hits: Counter,
+    restart_chunks_clean: Counter,
+    restart_chunks_dirty: Counter,
+    pool_refreshed: Counter,
+    pool_refresh_skipped: Counter,
 }
 
 impl KernelCounters {
@@ -369,6 +383,41 @@ impl KernelCounters {
             journal_corrupt: integrity("journal", "corrupt"),
             image_ok: integrity("image", "ok"),
             image_corrupt: integrity("image", "corrupt"),
+            cas_chunks: m.gauge(
+                "osiris_cas_chunks",
+                "Chunks resident in the content-addressed clone-pool store",
+                &[],
+            ),
+            cas_bytes: m.gauge(
+                "osiris_cas_bytes",
+                "Deduplicated resident bytes in the content-addressed store",
+                &[],
+            ),
+            cas_dedup_hits: m.counter(
+                "osiris_cas_dedup_hits_total",
+                "Chunk insertions satisfied by an already-resident chunk",
+                &[],
+            ),
+            restart_chunks_clean: m.counter(
+                "osiris_restart_chunks_total",
+                "Chunks considered during copy-on-write restores, by kind",
+                &[("kind", "clean")],
+            ),
+            restart_chunks_dirty: m.counter(
+                "osiris_restart_chunks_total",
+                "Chunks considered during copy-on-write restores, by kind",
+                &[("kind", "dirty")],
+            ),
+            pool_refreshed: m.counter(
+                "osiris_cas_pool_refresh_total",
+                "Clone-pool image refreshes requested by the RS, by result",
+                &[("result", "refreshed")],
+            ),
+            pool_refresh_skipped: m.counter(
+                "osiris_cas_pool_refresh_total",
+                "Clone-pool image refreshes requested by the RS, by result",
+                &[("result", "skipped")],
+            ),
         }
     }
 }
@@ -392,6 +441,10 @@ pub struct Kernel<P: Protocol> {
     hook: Box<dyn FaultHook>,
     rs_ep: Option<u8>,
     intents: Vec<RecoveryIntent>,
+    /// The content-addressed chunk store backing every component's pristine
+    /// clone image: identical chunks across components are stored once and
+    /// refcounted, so the spare-copy pool's resident cost is deduplicated.
+    cas: ChunkStore,
     metrics: MetricsHandle,
     counters: KernelCounters,
     rr_cursor: usize,
@@ -434,6 +487,7 @@ impl<P: Protocol> Kernel<P> {
             hook: Box::new(NoFaults),
             rs_ep: None,
             intents: Vec::new(),
+            cas: ChunkStore::new(),
             metrics,
             counters,
             rr_cursor: 0,
@@ -570,7 +624,7 @@ impl<P: Protocol> Kernel<P> {
             self.route_messages(out);
             self.register_timers(idx as u8, timers);
             let comp = &mut self.comps[idx];
-            comp.pristine_image = Some(comp.heap.clone_image());
+            comp.pristine_image = Some(comp.heap.clone_image(&mut self.cas, None));
             comp.pristine_server = Some(comp.server.clone_box());
             if self.cfg.instrumentation == Instrumentation::Always {
                 comp.heap.set_force_logging(true);
@@ -695,12 +749,34 @@ impl<P: Protocol> Kernel<P> {
     /// on the store's hot path) and window coverage counters. Call before
     /// exporting; [`Kernel::component_reports`] does it automatically.
     pub fn sync_registry(&self) {
+        self.counters.cas_chunks.set(self.cas.chunk_count() as u64);
+        self.counters
+            .cas_bytes
+            .set(self.cas.resident_bytes() as u64);
+        self.counters
+            .cas_dedup_hits
+            .set_total(self.cas.dedup_hits());
+        // Attribute each store chunk's resident bytes to the first image
+        // (in endpoint order) that references it: per-component deduped
+        // cost, summing to the store's resident total.
+        let mut seen: BTreeSet<u64> = BTreeSet::new();
         for c in &self.comps {
             let h = c.heap.stats();
             c.stats.heap_bytes.set(c.heap.resident_bytes() as u64);
             c.stats
                 .clone_bytes
                 .set(c.pristine_image.as_ref().map(|i| i.bytes()).unwrap_or(0) as u64);
+            let dedup: usize = c
+                .pristine_image
+                .as_ref()
+                .map(|i| {
+                    i.chunk_refs()
+                        .filter(|d| seen.insert(*d))
+                        .map(|d| self.cas.chunk_bytes(d).unwrap_or(0))
+                        .sum()
+                })
+                .unwrap_or(0);
+            c.stats.clone_dedup_bytes.set(dedup as u64);
             c.stats
                 .undo_window_peak_bytes
                 .set(h.undo_bytes_window_peak.max(h.undo_bytes_peak) as u64);
@@ -1141,6 +1217,7 @@ impl<P: Protocol> Kernel<P> {
                     self.begin_controlled_shutdown(reason.to_string());
                 }
                 PrivOp::Quarantine { target } => self.execute_quarantine(target),
+                PrivOp::RefreshImage { target } => self.refresh_image(target),
                 PrivOp::RecordIntent { target, phase } => self.note_intent(target, phase),
                 PrivOp::NoteEscalation {
                     target,
@@ -1173,6 +1250,40 @@ impl<P: Protocol> Kernel<P> {
         }
     }
 
+    /// Refreshes `target`'s spare clone image against the content-addressed
+    /// pool (requested by the RS off the recovery hot path). The refresh is
+    /// incremental: objects whose dirty epoch still matches the manifest
+    /// reshare their chunks, so a clean heap costs a refcount sweep, not a
+    /// copy. A dead/benched component or a heap that diverged from the
+    /// pristine image skips the refresh (the spare copy must stay pristine).
+    fn refresh_image(&mut self, target: u8) {
+        let t = target as usize;
+        if self.comps[t].status != CompStatus::Alive {
+            self.counters.pool_refresh_skipped.inc();
+            return;
+        }
+        let Kernel {
+            comps,
+            cas,
+            counters,
+            ..
+        } = self;
+        let comp = &mut comps[t];
+        let Some(prev) = comp.pristine_image.take() else {
+            counters.pool_refresh_skipped.inc();
+            return;
+        };
+        if !comp.heap.clean_for(&prev) {
+            comp.pristine_image = Some(prev);
+            counters.pool_refresh_skipped.inc();
+            return;
+        }
+        let fresh = comp.heap.clone_image(cas, Some(&prev));
+        prev.release(cas);
+        comp.pristine_image = Some(fresh);
+        counters.pool_refreshed.inc();
+    }
+
     /// Benches a crash-looping component: reconciles its pending requester
     /// with a crash reply, marks it [`CompStatus::Quarantined`] (never
     /// scheduled again), and unstalls the system. Its queued and future
@@ -1185,6 +1296,12 @@ impl<P: Protocol> Kernel<P> {
         }
         self.comps[t].status = CompStatus::Quarantined;
         self.comps[t].stats.quarantines.inc();
+        // A benched component will never be restarted: return its clone
+        // image's chunk references to the pool so shared chunks survive
+        // only as long as some live component still needs them.
+        if let Some(image) = self.comps[t].pristine_image.take() {
+            image.release(&mut self.cas);
+        }
         self.intents.retain(|i| i.target != target);
         self.tracer
             .emit(KERNEL_COMP, TraceEvent::Quarantined { target });
@@ -1325,9 +1442,15 @@ impl<P: Protocol> Kernel<P> {
                         continue;
                     }
                     let comp = &mut self.comps[t];
-                    // Restart phase: swap in the spare clone, transfer state.
-                    recovery_cycles += cost.restart_base
-                        + (comp.heap.resident_bytes() as u64 / 1024) * cost.restart_per_kb;
+                    // Restart phase: swap in the spare clone, transfer only
+                    // the state that diverged from it (O(dirty), not O(heap)).
+                    let dirty_bytes = comp
+                        .pristine_image
+                        .as_ref()
+                        .map(|i| i.dirty_bytes_for(&comp.heap))
+                        .unwrap_or_else(|| comp.heap.resident_bytes());
+                    recovery_cycles +=
+                        cost.restart_base + (dirty_bytes as u64 / 1024) * cost.restart_per_kb;
                     // Rollback phase: apply the undo log in reverse.
                     recovery_cycles += comp.heap.log_len() as u64 * cost.undo_rollback;
                     comp.window.rollback(&mut comp.heap);
@@ -1361,13 +1484,44 @@ impl<P: Protocol> Kernel<P> {
                         self.note_fallback(&mut action, target);
                         continue;
                     }
+                    // Copy-on-write restore: verify and write back only the
+                    // chunks of objects that diverged from the manifest. A
+                    // chunk-digest or accounting violation here surfaces
+                    // before any mutation, so a corrupt pool image degrades
+                    // down the fallback chain with the heap intact.
+                    let restored = {
+                        let Kernel { comps, cas, .. } = self;
+                        let comp = &mut comps[t];
+                        let image = comp
+                            .pristine_image
+                            .as_ref()
+                            .expect("pristine captured at init");
+                        comp.heap.restore_image(image, cas)
+                    };
+                    let stats = match restored {
+                        Ok(stats) => stats,
+                        Err(_) => {
+                            self.counters.image_corrupt.inc();
+                            self.note_fallback(&mut action, target);
+                            continue;
+                        }
+                    };
+                    self.counters.restart_chunks_clean.add(stats.clean_chunks);
+                    self.counters.restart_chunks_dirty.add(stats.dirty_chunks);
+                    // Restart cost is proportional to the bytes actually
+                    // copied, not to the resident heap size.
+                    recovery_cycles += cost.restart_base
+                        + (stats.bytes_restored as u64 / 1024) * cost.restart_per_kb;
+                    self.tracer.emit(
+                        KERNEL_COMP,
+                        TraceEvent::CowRestore {
+                            target,
+                            clean: stats.clean_chunks.min(u32::MAX as u64) as u32,
+                            dirty: stats.dirty_chunks.min(u32::MAX as u64) as u32,
+                            bytes: stats.bytes_restored.min(u32::MAX as usize) as u32,
+                        },
+                    );
                     let comp = &mut self.comps[t];
-                    recovery_cycles += cost.restart_base;
-                    let image = comp
-                        .pristine_image
-                        .as_ref()
-                        .expect("pristine captured at init");
-                    comp.heap.restore_image(image);
                     comp.window.complete(&mut comp.heap);
                     comp.server = comp
                         .pristine_server
@@ -1610,6 +1764,7 @@ impl<P: Protocol> Kernel<P> {
                 messages: c.stats.messages.get(),
                 heap_bytes: c.stats.heap_bytes.get() as usize,
                 clone_bytes: c.stats.clone_bytes.get() as usize,
+                clone_dedup_bytes: c.stats.clone_dedup_bytes.get() as usize,
                 undo_window_peak_bytes: c.stats.undo_window_peak_bytes.get() as usize,
                 recovery_latency: c.stats.recovery_hist.summary(),
                 window_cycles: c.stats.window_hist.summary(),

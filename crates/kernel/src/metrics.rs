@@ -25,8 +25,14 @@ pub struct ComponentReport {
     /// Current resident heap size in bytes.
     pub heap_bytes: usize,
     /// Size of the pristine clone image kept for recovery (Table VI
-    /// "+clone").
+    /// "+clone", per-copy accounting: what a non-shared spare copy would
+    /// cost).
     pub clone_bytes: usize,
+    /// Deduplicated store bytes attributed to this component's clone image:
+    /// each chunk in the content-addressed pool is charged to the first
+    /// component (in endpoint order) referencing it, so these sum to the
+    /// pool's resident total (Table VI "+clone" deduped accounting).
+    pub clone_dedup_bytes: usize,
     /// Peak undo-log size (Table VI "+undo log"), sampled at window close
     /// and floored at the raw high-water mark. Under window-gated
     /// instrumentation the two coincide; under `Always` this excludes

@@ -224,6 +224,10 @@ impl Server<OsMsg> for RecoveryServer {
                         ctx.record_intent(*target, IntentPhase::Issued);
                         ctx.notify(self.topo.ds, OsMsg::IntentPublish { target: *target });
                         ctx.recover(*target);
+                        // Replenish the spare-copy pool off the hot path:
+                        // after the restore the heap matches the manifest,
+                        // so the refresh reshares every chunk (no copying).
+                        ctx.refresh_image(*target);
                         ctx.site("rs.recover.issued");
                     }
                     EscalationStep::Restart { backoff } => {
@@ -257,6 +261,7 @@ impl Server<OsMsg> for RecoveryServer {
                 ctx.site("rs.recover.tick");
                 ctx.record_intent(*target, IntentPhase::Issued);
                 ctx.recover(*target);
+                ctx.refresh_image(*target);
             }
             OsMsg::KillRequester { pid } => {
                 // Kill-requester reconciliation (paper §VII): terminate the

@@ -261,6 +261,22 @@ pub fn chrome_trace(records: &[TraceRecord], names: &[String]) -> Json {
                 r,
                 vec![kv("target", Json::Str(comp_name(*target, names)))],
             )),
+            TraceEvent::CowRestore {
+                target,
+                clean,
+                dirty,
+                bytes,
+            } => events.push(event_json(
+                "cow_restore",
+                "i",
+                r,
+                vec![
+                    kv("target", Json::Str(comp_name(*target, names))),
+                    kv("clean", Json::UInt(*clean as u64)),
+                    kv("dirty", Json::UInt(*dirty as u64)),
+                    kv("bytes", Json::UInt(*bytes as u64)),
+                ],
+            )),
         }
     }
 

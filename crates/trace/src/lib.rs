@@ -317,6 +317,19 @@ pub enum TraceEvent {
         /// Component whose in-flight recovery was re-driven.
         target: u8,
     },
+    /// A FreshRestart restored `target` from its copy-on-write manifest:
+    /// only the `dirty` diverged chunks were written back, the `clean`
+    /// chunks were skipped, making restart cost O(dirty state).
+    CowRestore {
+        /// Restored component.
+        target: u8,
+        /// Chunks skipped because the live object had not diverged.
+        clean: u32,
+        /// Chunks verified and written back.
+        dirty: u32,
+        /// Bytes actually copied into the heap.
+        bytes: u32,
+    },
 }
 
 impl TraceEvent {
@@ -338,7 +351,8 @@ impl TraceEvent {
             | TraceEvent::BackoffArmed { .. }
             | TraceEvent::Quarantined { .. }
             | TraceEvent::RecoveryFallback { .. }
-            | TraceEvent::IntentReplayed { .. } => Category::Recovery,
+            | TraceEvent::IntentReplayed { .. }
+            | TraceEvent::CowRestore { .. } => Category::Recovery,
             TraceEvent::SyscallEnter { .. } | TraceEvent::SyscallExit { .. } => Category::Syscall,
             TraceEvent::ShutdownDecision { .. } => Category::Shutdown,
         }
@@ -367,7 +381,8 @@ impl TraceEvent {
             | TraceEvent::BackoffArmed { .. }
             | TraceEvent::Quarantined { .. }
             | TraceEvent::RecoveryFallback { .. }
-            | TraceEvent::IntentReplayed { .. } => Severity::Warn,
+            | TraceEvent::IntentReplayed { .. }
+            | TraceEvent::CowRestore { .. } => Severity::Warn,
             TraceEvent::ShutdownDecision { .. } => Severity::Error,
         }
     }
