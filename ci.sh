@@ -30,23 +30,28 @@ echo "== trace + metrics determinism: two identical runs, byte-identical exports
 trace_tmp="$(mktemp -d)"
 trap 'rm -rf "$trace_tmp"' EXIT
 OSIRIS_TRACE_OUT="$trace_tmp/a.json" OSIRIS_METRICS_OUT="$trace_tmp/a_metrics" \
+    OSIRIS_AXIOM_OUT="$trace_tmp/a_axiom.bin" \
     cargo run --release --example quickstart >/dev/null
 OSIRIS_TRACE_OUT="$trace_tmp/b.json" OSIRIS_METRICS_OUT="$trace_tmp/b_metrics" \
+    OSIRIS_AXIOM_OUT="$trace_tmp/b_axiom.bin" \
     cargo run --release --example quickstart >/dev/null
 diff "$trace_tmp/a.json" "$trace_tmp/b.json"
 diff "$trace_tmp/a_metrics.prom" "$trace_tmp/b_metrics.prom"
 diff "$trace_tmp/a_metrics.json" "$trace_tmp/b_metrics.json"
+cmp "$trace_tmp/a_axiom.bin" "$trace_tmp/b_axiom.bin"
 
 echo "== promlint: Prometheus exposition well-formedness =="
 cargo run --release -p osiris-metrics --bin promlint -- \
     "$trace_tmp/a_metrics.prom" "$trace_tmp/b_metrics.prom"
 
-echo "== escalation + clone-pool metrics: families present in the standard exposition =="
+echo "== escalation + clone-pool + axiom metrics: families present in the standard exposition =="
 for fam in osiris_quarantine_total osiris_quarantine_refusals_total \
     osiris_escalation_restarts_window osiris_escalation_backoff_arms_total \
     osiris_escalation_budget_exhausted_total \
     osiris_cas_chunks osiris_cas_bytes osiris_cas_dedup_hits_total \
-    osiris_restart_chunks_total osiris_comp_clone_dedup_bytes; do
+    osiris_restart_chunks_total osiris_comp_clone_dedup_bytes \
+    osiris_axiom_events_total osiris_axiom_bytes \
+    osiris_axiom_chain_verifications_total osiris_axiom_replay_divergence_total; do
     grep -q "^$fam" "$trace_tmp/a_metrics.prom" || {
         echo "missing metric family in exposition: $fam" >&2
         exit 1
@@ -70,6 +75,20 @@ grep -q '"during-recovery"' "$trace_tmp/double_fault.json" || {
     exit 1
 }
 
+echo "== axiom chain integrity: property tests + whole-system replay suite =="
+cargo test -q -p osiris-axiom --test chain_props
+cargo test -q -p osiris-servers --test axiom_replay
+
+echo "== axiom_replay: replaying the recorded axiom reproduces the run byte-for-byte =="
+OSIRIS_REPLAY_TRACE_OUT="$trace_tmp/replay.json" \
+    OSIRIS_REPLAY_METRICS_OUT="$trace_tmp/replay_metrics" \
+    cargo run --release -p osiris-bench --bin axiom_replay -- "$trace_tmp/a_axiom.bin"
+diff "$trace_tmp/a.json" "$trace_tmp/replay.json"
+diff "$trace_tmp/a_metrics.prom" "$trace_tmp/replay_metrics.prom"
+diff "$trace_tmp/a_metrics.json" "$trace_tmp/replay_metrics.json"
+cargo run --release -p osiris-bench --bin axiom_bisect -- \
+    "$trace_tmp/a_axiom.bin" "$trace_tmp/b_axiom.bin" >/dev/null
+
 echo "== bench_trace --check: tracer overhead bounds =="
 cargo run --release -p osiris-bench --bin bench_trace -- --check
 
@@ -78,5 +97,8 @@ cargo run --release -p osiris-bench --bin bench_metrics -- --check
 
 echo "== bench_restart --check: O(dirty) restart + clone-pool dedup =="
 cargo run --release -p osiris-bench --bin bench_restart -- --check
+
+echo "== bench_axiom --check: disabled-recorder overhead + zero-alloc retention =="
+cargo run --release -p osiris-bench --bin bench_axiom -- --check
 
 echo "ci.sh: all gates passed"

@@ -1,0 +1,386 @@
+//! Microbenchmark for the axiom (control-plane log) emit path.
+//!
+//! Every control-plane transition the kernel seals runs the same two-step
+//! emit: fold the event into the live [`ControlState`] (always — the fold
+//! *is* the control plane) and append it to the digest-chained
+//! [`AxiomLog`] (a single branch when retention is off). This bench drives
+//! identical synthetic window/recovery event schedules through that emit
+//! path under three recorder configurations and compares nanoseconds per
+//! event:
+//!
+//! * **baseline** — control fold only, no log attached at all.
+//! * **disabled** — fold plus an append on a disabled [`AxiomLog`]; each
+//!   emit pays one branch on the `enabled` bool. This is the configuration
+//!   every production run ships with, so its overhead over the baseline is
+//!   the headline number (`bench_axiom --check` enforces the same
+//!   ≤[`DISABLED_BOUND_PCT`]%-or-ε bound as `bench_trace`).
+//! * **enabled** — full retention; each emit FNV-chains a fixed-width
+//!   record into the preallocated log.
+//!
+//! The log is sized at [`AxiomLog::new`] time and reset (capacity
+//! retained) between repetitions, so enabled-mode steady state must make
+//! **zero** allocator calls; when the caller supplies an allocation
+//! counter (see `src/bin/bench_axiom.rs`) the harness proves it.
+//!
+//! Timing discipline mirrors `trace_bench`: the three modes run
+//! interleaved, min-of-[`REPS`] repetitions, fresh state per repetition so
+//! every mode samples the same allocator placement.
+
+use std::time::Instant;
+
+use osiris_axiom::{
+    ActionCode, AxiomConfig, AxiomEvent, AxiomLog, CloseCode, ControlState, IntentPhaseCode,
+    SeepClassCode,
+};
+use osiris_rng::Rng;
+
+use crate::json::Json;
+use crate::{DISABLED_BOUND_PCT, DISABLED_EPSILON_NS};
+
+/// Benchmark configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct AxiomBenchConfig {
+    /// Synthetic recovery windows (open → close [→ crash → decision →
+    /// done]) per measured mode.
+    pub windows: u64,
+    /// Windows run before measuring, to warm caches and the log arena.
+    pub warmup_windows: u64,
+    /// Every `crash_every`-th window ends in a crash + full recovery
+    /// sequence instead of a clean close, so the fold's heavier arms are
+    /// on the measured path.
+    pub crash_every: u64,
+    /// Reads the process-wide allocation count, if the caller installed a
+    /// counting allocator.
+    pub alloc_count: Option<fn() -> u64>,
+}
+
+impl Default for AxiomBenchConfig {
+    fn default() -> Self {
+        AxiomBenchConfig {
+            windows: 200_000,
+            warmup_windows: 2_000,
+            crash_every: 16,
+            alloc_count: None,
+        }
+    }
+}
+
+impl AxiomBenchConfig {
+    /// A scaled-down configuration for the CI gate (`bench_axiom
+    /// --check`): large enough for min-of-reps timing to be stable, small
+    /// enough to finish in well under a second.
+    pub fn quick() -> AxiomBenchConfig {
+        AxiomBenchConfig {
+            windows: 40_000,
+            warmup_windows: 1_000,
+            crash_every: 16,
+            alloc_count: None,
+        }
+    }
+}
+
+/// Measurements for one recorder configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct AxiomModeResult {
+    /// Nanoseconds per emitted event (fastest repetition).
+    pub ns_per_event: f64,
+    /// Events per second implied by `ns_per_event`.
+    pub events_per_sec: f64,
+    /// Allocator calls during one measured (post-warmup) repetition, if an
+    /// allocation counter was supplied.
+    pub steady_state_allocs: Option<u64>,
+}
+
+/// The full comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct AxiomBenchResult {
+    /// Configuration echoed back.
+    pub windows: u64,
+    /// Events emitted per measured repetition.
+    pub events_per_rep: u64,
+    /// Control fold only.
+    pub baseline: AxiomModeResult,
+    /// Fold + disabled log — the shipping configuration.
+    pub disabled: AxiomModeResult,
+    /// Full retention.
+    pub enabled: AxiomModeResult,
+    /// Records the enabled log held after one repetition.
+    pub records_retained: u64,
+    /// Bytes of the enabled log's serialized image.
+    pub log_bytes: u64,
+}
+
+impl AxiomBenchResult {
+    /// Disabled-recorder overhead over the fold-only baseline, in percent
+    /// (clamped at zero).
+    pub fn disabled_overhead_pct(&self) -> f64 {
+        overhead_pct(self.baseline.ns_per_event, self.disabled.ns_per_event)
+    }
+
+    /// Disabled-recorder overhead in absolute ns/event (clamped at zero).
+    pub fn disabled_overhead_ns(&self) -> f64 {
+        (self.disabled.ns_per_event - self.baseline.ns_per_event).max(0.0)
+    }
+
+    /// Full-retention overhead over the fold-only baseline, in percent.
+    pub fn enabled_overhead_pct(&self) -> f64 {
+        overhead_pct(self.baseline.ns_per_event, self.enabled.ns_per_event)
+    }
+
+    /// The headline check, same bar as `bench_trace`/`bench_metrics`: the
+    /// shipping (attached-but-disabled) recorder costs at most
+    /// [`DISABLED_BOUND_PCT`] percent over the bare fold, or at most
+    /// [`DISABLED_EPSILON_NS`] ns absolute — whichever is more permissive.
+    pub fn disabled_within_bound(&self) -> bool {
+        self.disabled_overhead_pct() <= DISABLED_BOUND_PCT
+            || self.disabled_overhead_ns() <= DISABLED_EPSILON_NS
+    }
+
+    /// Renders a human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "axiom emit path: {} windows, {} events/rep\n",
+            self.windows, self.events_per_rep
+        ));
+        let row = |name: &str, r: &AxiomModeResult| {
+            let allocs = match r.steady_state_allocs {
+                Some(n) => format!("{n}"),
+                None => "-".to_string(),
+            };
+            format!(
+                "{:<22} {:>8.2} ns/event {:>14.0} ev/s {:>8} allocs\n",
+                name, r.ns_per_event, r.events_per_sec, allocs
+            )
+        };
+        out.push_str(&row("fold only", &self.baseline));
+        out.push_str(&row("attached, disabled", &self.disabled));
+        out.push_str(&row("attached, recording", &self.enabled));
+        out.push_str(&format!(
+            "disabled overhead: {:.2}% ({:.3} ns/event, bound {}% or {} ns)  \
+             recording overhead: {:.2}%\n",
+            self.disabled_overhead_pct(),
+            self.disabled_overhead_ns(),
+            DISABLED_BOUND_PCT,
+            DISABLED_EPSILON_NS,
+            self.enabled_overhead_pct()
+        ));
+        out.push_str(&format!(
+            "records retained: {} ({} serialized bytes)\n",
+            self.records_retained, self.log_bytes
+        ));
+        out
+    }
+
+    /// Machine-readable form (written to `BENCH_axiom.json`).
+    pub fn to_json(&self) -> Json {
+        let mode = |r: &AxiomModeResult| {
+            crate::json::write_mode_json(r.ns_per_event, r.events_per_sec, r.steady_state_allocs)
+        };
+        let obj = crate::json::JsonObj::new()
+            .field("windows", Json::UInt(self.windows))
+            .field("events_per_rep", Json::UInt(self.events_per_rep))
+            .field("baseline_fold_only", mode(&self.baseline))
+            .field("attached_disabled", mode(&self.disabled))
+            .field("attached_recording", mode(&self.enabled));
+        crate::json::overhead_fields(
+            obj,
+            self.disabled_overhead_pct(),
+            self.disabled_overhead_ns(),
+            self.disabled_within_bound(),
+            self.enabled_overhead_pct(),
+        )
+        .field("records_retained", Json::UInt(self.records_retained))
+        .field("log_bytes", Json::UInt(self.log_bytes))
+        .build()
+    }
+}
+
+fn overhead_pct(base_ns: f64, mode_ns: f64) -> f64 {
+    ((mode_ns - base_ns).max(0.0) / base_ns.max(1e-9)) * 100.0
+}
+
+/// The recorder attachment under test.
+#[derive(Clone, Copy)]
+enum Attach {
+    None,
+    Disabled,
+    Enabled,
+}
+
+/// Timing repetitions per mode, interleaved like `trace_bench`.
+const REPS: usize = 9;
+
+/// Mode order within each repetition.
+const ATTACHES: [Attach; 3] = [Attach::None, Attach::Disabled, Attach::Enabled];
+
+/// Generates the event schedule outside the timed loop: one open/close
+/// pair per window, with every `crash_every`-th window expanded into the
+/// full crash → intent → decision → done sequence so the fold's array
+/// writes are exercised, not just the counters.
+fn gen_schedule(r: &mut Rng, cfg: &AxiomBenchConfig) -> Vec<AxiomEvent> {
+    let mut events = Vec::new();
+    events.push(AxiomEvent::Genesis {
+        comps: 6,
+        config_digest: 0xA71,
+    });
+    for w in 0..cfg.windows {
+        let comp = (r.below(6)) as u8;
+        events.push(AxiomEvent::WindowOpen { comp });
+        if cfg.crash_every > 0 && w % cfg.crash_every == cfg.crash_every - 1 {
+            events.push(AxiomEvent::WindowClose {
+                comp,
+                reason: CloseCode::Rollback,
+                class: SeepClassCode::StateModifying,
+            });
+            events.push(AxiomEvent::Crash { comp });
+            events.push(AxiomEvent::IntentRecorded {
+                comp,
+                phase: IntentPhaseCode::Notified,
+            });
+            events.push(AxiomEvent::RecoveryDecision {
+                comp,
+                action: ActionCode::RollbackErrorReply,
+            });
+            events.push(AxiomEvent::RecoveryDone {
+                comp,
+                cycles: r.below(10_000),
+            });
+        } else {
+            events.push(AxiomEvent::WindowClose {
+                comp,
+                reason: CloseCode::Completed,
+                class: SeepClassCode::None,
+            });
+        }
+    }
+    events
+}
+
+struct ModeState {
+    control: ControlState,
+    log: Option<AxiomLog>,
+}
+
+fn setup(attach: Attach, events: &[AxiomEvent], warmup: &[AxiomEvent]) -> ModeState {
+    // Every mode constructs a log — the baseline simply never appends to
+    // its (placebo) one — so all modes issue the same allocation sequence
+    // before the measured loop.
+    let log = AxiomLog::new(AxiomConfig {
+        enabled: matches!(attach, Attach::Enabled),
+        capacity: events.len(),
+    });
+    let mut m = ModeState {
+        control: ControlState::new(),
+        log: Some(log),
+    };
+    run_rep(&mut m, attach, warmup);
+    reset_rep(&mut m);
+    m
+}
+
+#[inline]
+fn run_rep(m: &mut ModeState, attach: Attach, events: &[AxiomEvent]) {
+    let mut now = 0u64;
+    match attach {
+        Attach::None => {
+            for e in events {
+                now += 7;
+                m.control.apply(now, e);
+            }
+        }
+        Attach::Disabled | Attach::Enabled => {
+            let log = m.log.as_mut().expect("log attached");
+            for e in events {
+                now += 7;
+                m.control.apply(now, e);
+                log.append(now, *e);
+            }
+        }
+    }
+}
+
+#[inline]
+fn reset_rep(m: &mut ModeState) {
+    m.control = ControlState::new();
+    if let Some(log) = m.log.as_mut() {
+        log.reset();
+    }
+}
+
+/// Runs the comparison.
+pub fn bench_axiom(cfg: AxiomBenchConfig) -> AxiomBenchResult {
+    let mut r = Rng::new(0xA10);
+    let events = gen_schedule(&mut r, &cfg);
+    let warmup = gen_schedule(
+        &mut r,
+        &AxiomBenchConfig {
+            windows: cfg.warmup_windows,
+            ..cfg
+        },
+    );
+
+    let mut best = [f64::INFINITY; ATTACHES.len()];
+    let mut steady_state_allocs: [Option<u64>; ATTACHES.len()] = [None; ATTACHES.len()];
+    let mut records_retained = 0u64;
+    let mut log_bytes = 0u64;
+
+    for rep in 0..REPS {
+        for (i, attach) in ATTACHES.iter().enumerate() {
+            let mut m = setup(*attach, &events, &warmup);
+            let allocs_before = cfg.alloc_count.map(|f| f());
+            let start = Instant::now();
+            run_rep(&mut m, *attach, &events);
+            best[i] = best[i].min(start.elapsed().as_secs_f64().max(1e-9));
+            if rep == 0 {
+                steady_state_allocs[i] = cfg.alloc_count.map(|f| f() - allocs_before.unwrap_or(0));
+            }
+            if matches!(attach, Attach::Enabled) {
+                let log = m.log.as_ref().expect("enabled mode keeps its log");
+                records_retained = log.len() as u64;
+                log_bytes = log.bytes_len() as u64;
+            }
+        }
+    }
+
+    let total_events = events.len() as u64;
+    let result = |i: usize| AxiomModeResult {
+        ns_per_event: best[i] * 1e9 / total_events as f64,
+        events_per_sec: total_events as f64 / best[i],
+        steady_state_allocs: steady_state_allocs[i],
+    };
+    AxiomBenchResult {
+        windows: cfg.windows,
+        events_per_rep: total_events,
+        baseline: result(0),
+        disabled: result(1),
+        enabled: result(2),
+        records_retained,
+        log_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_sane_numbers() {
+        let cfg = AxiomBenchConfig {
+            windows: 2_000,
+            warmup_windows: 100,
+            crash_every: 8,
+            alloc_count: None,
+        };
+        let r = bench_axiom(cfg);
+        assert!(r.baseline.ns_per_event > 0.0);
+        assert!(r.disabled.ns_per_event > 0.0);
+        assert!(r.enabled.ns_per_event > 0.0);
+        assert_eq!(r.records_retained, r.events_per_rep);
+        assert_eq!(r.log_bytes, 24 + r.records_retained * 41);
+        let j = r.to_json().pretty();
+        assert!(j.contains("disabled_overhead_pct"));
+        assert!(j.contains("attached_recording"));
+        assert!(j.contains("records_retained"));
+    }
+}

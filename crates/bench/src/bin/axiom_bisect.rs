@@ -1,0 +1,62 @@
+//! Divergence bisection between two recorded axioms.
+//!
+//! ```text
+//! axiom_bisect <a.bin> <b.bin>
+//! ```
+//!
+//! Loads two axiom images, verifies each digest chain, and binary-searches
+//! for the first event at which the two histories disagree — e.g. the
+//! first recovery decision where an Enhanced campaign run behaved
+//! differently from a Pessimistic one. Exit status: 0 when the logs are
+//! identical, 1 when they diverge (the diverging records are printed),
+//! 2 on usage or decode errors.
+
+use std::process::ExitCode;
+
+use osiris_axiom::{bisect, AxiomLog};
+
+fn load(path: &str) -> Result<AxiomLog, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    let log = AxiomLog::from_bytes(&bytes).map_err(|e| format!("decode {path}: {e:?}"))?;
+    log.verify()
+        .map_err(|e| format!("chain broken in {path}: {e:?}"))?;
+    Ok(log)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let (a_path, b_path) = match (args.get(1), args.get(2)) {
+        (Some(a), Some(b)) => (a.clone(), b.clone()),
+        _ => {
+            eprintln!("usage: axiom_bisect <a.bin> <b.bin>");
+            return ExitCode::from(2);
+        }
+    };
+    let (a, b) = match (load(&a_path), load(&b_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("axiom_bisect: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "a: {a_path} — {} events, head {:016x}",
+        a.len(),
+        a.head_digest()
+    );
+    println!(
+        "b: {b_path} — {} events, head {:016x}",
+        b.len(),
+        b.head_digest()
+    );
+    match bisect(a.records(), b.records()) {
+        None => {
+            println!("identical: the two runs recorded the same history");
+            ExitCode::SUCCESS
+        }
+        Some(d) => {
+            println!("{}", d.describe());
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Deterministic whole-system replay against a recorded axiom.
+//!
+//! Loads the axiom written by a previous `quickstart` run (path from the
+//! first argument, `OSIRIS_AXIOM_OUT`, or `target/quickstart_axiom.bin`),
+//! verifies its digest chain, then re-executes the identical quickstart
+//! workload fresh. Because every event is timestamped by the virtual clock
+//! and chained in sequence order, the fresh run must re-derive the
+//! recorded history *exactly* — `bisect` of the two axioms must find no
+//! divergence — and its reduction must match the live kernel's control
+//! state and per-component statuses.
+//!
+//! The fresh run's trace and metrics exports are written alongside
+//! (`OSIRIS_REPLAY_TRACE_OUT` / `OSIRIS_REPLAY_METRICS_OUT`); the `ci.sh`
+//! `axiom_replay` gate byte-compares them against the recorded run's.
+//! Finally the tool rebuilds a whole machine from the recorded bytes via
+//! [`Os::replay`] — simulated reboot persistence — and cross-checks the
+//! adopted control state.
+//!
+//! Exits non-zero (panics) on any chain corruption, divergence, or
+//! reduction mismatch.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use osiris_axiom::{reduce, AxiomLog};
+use osiris_core::PolicyKind;
+use osiris_kernel::abi::{Errno, OpenFlags};
+use osiris_kernel::{FaultEffect, FaultHook, Host, Probe, ProgramRegistry};
+use osiris_servers::{Os, OsConfig};
+use osiris_trace::TraceConfig;
+
+/// The quickstart fault: a single fail-stop crash in PM's fork path.
+struct CrashForkOnce(AtomicBool);
+
+impl FaultHook for CrashForkOnce {
+    fn on_site(&mut self, probe: &Probe) -> FaultEffect {
+        if probe.site == "pm.fork.validate" && !self.0.swap(true, Ordering::Relaxed) {
+            FaultEffect::Panic
+        } else {
+            FaultEffect::None
+        }
+    }
+}
+
+/// The quickstart programs, byte-for-byte the same syscall sequence the
+/// recorded run executed.
+fn quickstart_registry() -> ProgramRegistry {
+    let mut registry = ProgramRegistry::new();
+    registry.register("worker", |sys| {
+        let fd = sys.open("/tmp/out", OpenFlags::CREATE).unwrap();
+        sys.write(fd, b"results").unwrap();
+        sys.close(fd).unwrap();
+        sys.compute(10_000);
+        7
+    });
+    registry.register("main", |sys| {
+        let child = sys.spawn("worker", &[]).expect("spawn works");
+        sys.waitpid(child).expect("waitpid works");
+        match sys.fork_run(|_child| 0) {
+            Err(Errno::ECRASH) => {}
+            other => panic!("unexpected fork result: {other:?}"),
+        }
+        let child = sys.fork_run(|_child| 3).expect("PM recovered");
+        sys.waitpid(child).expect("waitpid after recovery");
+        0
+    });
+    registry
+}
+
+fn quickstart_cfg() -> OsConfig {
+    let mut cfg = OsConfig::with_policy(PolicyKind::Enhanced);
+    cfg.trace = TraceConfig::on();
+    cfg.axiom = osiris_axiom::AxiomConfig::on();
+    cfg
+}
+
+fn main() {
+    osiris_kernel::install_quiet_panic_hook();
+
+    // 1. Load and verify the recorded axiom.
+    let recorded_path = std::env::args().nth(1).unwrap_or_else(|| {
+        std::env::var("OSIRIS_AXIOM_OUT").unwrap_or_else(|_| "target/quickstart_axiom.bin".into())
+    });
+    let bytes = std::fs::read(&recorded_path)
+        .unwrap_or_else(|e| panic!("read recorded axiom {recorded_path}: {e}"));
+    let recorded = AxiomLog::from_bytes(&bytes).expect("decode recorded axiom");
+    recorded.verify().expect("recorded chain intact");
+    println!(
+        "recorded:  {} chained events from {recorded_path} (head {:016x})",
+        recorded.len(),
+        recorded.head_digest()
+    );
+
+    // 2. Re-execute the identical workload fresh.
+    let mut os = Os::new(quickstart_cfg());
+    os.set_fault_hook(Box::new(CrashForkOnce(AtomicBool::new(false))));
+    let mut host = Host::new(os, quickstart_registry());
+    let outcome = host.run("main", &[]);
+    let os = host.into_engine();
+    assert!(outcome.completed(), "replayed workload must complete");
+    println!(
+        "replayed:  {} chained events re-derived (head {:016x})",
+        os.axiom().len(),
+        os.axiom().head_digest()
+    );
+
+    // 3. Export the fresh run's trace + metrics for the ci byte-compare.
+    //    This happens before any verification so the metric counters sit
+    //    exactly where the recorded run's did at its own export point
+    //    (quickstart also exports before verifying).
+    let trace_out = std::env::var("OSIRIS_REPLAY_TRACE_OUT")
+        .unwrap_or_else(|_| "target/replay_trace.json".into());
+    if let Some(parent) = std::path::Path::new(&trace_out).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create trace output dir");
+        }
+    }
+    std::fs::write(&trace_out, os.chrome_trace().pretty()).expect("write replay trace");
+    let metrics_base = std::env::var("OSIRIS_REPLAY_METRICS_OUT")
+        .unwrap_or_else(|_| "target/replay_metrics".into());
+    let (prom, json) = os
+        .write_metrics(&metrics_base)
+        .expect("write replay metrics");
+    println!(
+        "exports:   {trace_out}, {} and {}",
+        prom.display(),
+        json.display()
+    );
+    os.verify_axiom().expect("fresh chain intact");
+
+    // 4. The fresh run must re-derive the recorded history exactly.
+    if let Some(d) = os.kernel().check_replay_divergence(recorded.records()) {
+        panic!("replay diverged from the recorded axiom\n{}", d.describe());
+    }
+    println!("bisect:    no divergence — replay re-derived the recorded history");
+
+    // 5. The pure reduction of the recorded log must equal the live
+    //    control state, and both must agree with the kernel's own
+    //    per-component bookkeeping.
+    let reduced = reduce(recorded.records());
+    assert_eq!(
+        &reduced,
+        os.control_state(),
+        "reduce(recorded) must equal the live control state"
+    );
+    let statuses = os.kernel().status_codes();
+    for (i, status) in statuses.iter().enumerate() {
+        assert_eq!(
+            reduced.status(i as u8),
+            *status,
+            "component {i} status must match the reduction"
+        );
+    }
+    println!(
+        "reduce:    control state reconstructed; {} component statuses cross-checked",
+        statuses.len()
+    );
+
+    // 6. Simulated reboot persistence: rebuild a machine from the recorded
+    //    bytes alone and confirm it adopted the proven history.
+    let rebooted = Os::replay(quickstart_cfg(), &bytes).expect("rebuild from recorded axiom");
+    assert_eq!(
+        rebooted.control_state(),
+        &reduced,
+        "rebooted machine must adopt the recorded reduction"
+    );
+    assert_eq!(
+        rebooted.axiom().head_digest(),
+        recorded.head_digest(),
+        "rebooted machine must continue the recorded chain"
+    );
+    println!(
+        "reboot:    Os::replay rebuilt control state from {} bytes (head {:016x})",
+        bytes.len(),
+        rebooted.axiom().head_digest()
+    );
+    println!("OK: replay is consistent with the recorded axiom");
+}

@@ -1,33 +1,33 @@
-//! Metrics-registry microbenchmark with allocator-call counting.
+//! Axiom emit-path microbenchmark with allocator-call counting.
 //!
 //! Installs a counting wrapper around the system allocator so the run can
-//! *prove* the registry's "zero allocator calls in steady state" claim,
-//! then benchmarks metric writes with no registry vs registered-but-off
-//! handles vs full recording, and writes `BENCH_metrics.json`.
+//! *prove* the axiom log's "zero allocator calls in steady state" claim,
+//! then benchmarks the control fold alone vs fold + disabled log vs full
+//! digest-chained retention, and writes `BENCH_axiom.json`.
 //!
 //! `--check` runs a scaled-down workload and enforces the same invariants
 //! without writing the JSON artifact — the CI gate.
 
-use osiris_bench::{bench_metrics, MetricsBenchConfig};
+use osiris_bench::{bench_axiom, AxiomBenchConfig};
 
 osiris_bench::counting_allocator!();
 
 fn main() {
     let check = std::env::args().any(|a| a == "--check" || a == "--quick");
     let mut cfg = if check {
-        MetricsBenchConfig::quick()
+        AxiomBenchConfig::quick()
     } else {
-        MetricsBenchConfig::default()
+        AxiomBenchConfig::default()
     };
     cfg.alloc_count = Some(alloc_calls);
 
-    let result = bench_metrics(cfg);
+    let result = bench_axiom(cfg);
     print!("{}", result.render());
 
     if !check {
-        std::fs::write("BENCH_metrics.json", result.to_json().pretty())
-            .expect("write BENCH_metrics.json");
-        println!("results written to BENCH_metrics.json");
+        std::fs::write("BENCH_axiom.json", result.to_json().pretty())
+            .expect("write BENCH_axiom.json");
+        println!("results written to BENCH_axiom.json");
     }
 
     // The two headline claims, enforced so regressions fail loudly in CI.
@@ -37,18 +37,18 @@ fn main() {
         .expect("counter installed");
     assert_eq!(
         enabled_allocs, 0,
-        "steady-state recording must not touch the allocator"
+        "steady-state axiom retention must not touch the allocator"
     );
     assert!(
         result.disabled_within_bound(),
-        "disabled registry overhead {:.2}% ({:.3} ns/write) exceeds the {}%/{}ns bound",
+        "disabled recorder overhead {:.2}% ({:.3} ns/event) exceeds the {}%/{}ns bound",
         result.disabled_overhead_pct(),
         result.disabled_overhead_ns(),
         osiris_bench::DISABLED_BOUND_PCT,
         osiris_bench::DISABLED_EPSILON_NS,
     );
     println!(
-        "OK: disabled overhead {:.2}% within bound, recording made {} allocator calls",
+        "OK: disabled overhead {:.2}% within bound, retention made {} allocator calls",
         result.disabled_overhead_pct(),
         enabled_allocs
     );

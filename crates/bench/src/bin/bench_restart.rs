@@ -9,45 +9,9 @@
 //! bytes copied bounded by the dirty set, zero restore-path allocations,
 //! and a deduplicating clone pool.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
-
 use osiris_bench::{bench_restart, RestartBenchConfig};
 
-static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
-
-/// System allocator wrapper that counts every allocation entry point.
-struct CountingAlloc;
-
-// SAFETY: delegates every operation unchanged to the system allocator; the
-// counter is a relaxed atomic with no effect on allocation behavior.
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        unsafe { System.alloc(layout) }
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) }
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        unsafe { System.realloc(ptr, layout, new_size) }
-    }
-
-    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        unsafe { System.alloc_zeroed(layout) }
-    }
-}
-
-#[global_allocator]
-static GLOBAL: CountingAlloc = CountingAlloc;
-
-fn alloc_calls() -> u64 {
-    ALLOC_CALLS.load(Ordering::Relaxed)
-}
+osiris_bench::counting_allocator!();
 
 fn main() {
     let check = std::env::args().any(|a| a == "--check");

@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod axiom_bench;
 pub mod experiments;
 pub mod json;
 pub mod loc;
@@ -16,6 +17,7 @@ pub mod restart_bench;
 pub mod trace_bench;
 pub mod undo_bench;
 
+pub use axiom_bench::{bench_axiom, AxiomBenchConfig, AxiomBenchResult, AxiomModeResult};
 pub use experiments::*;
 pub use json::{Json, ResultsJson, SurvivabilityJson};
 pub use loc::{count_workspace_loc, CrateLoc, RcbReport};
@@ -28,6 +30,64 @@ pub use trace_bench::{
     DISABLED_EPSILON_NS,
 };
 pub use undo_bench::{bench_undo, UndoBenchConfig, UndoBenchResult, UndoModeResult};
+
+/// Installs a counting wrapper around the system allocator plus an
+/// `alloc_calls()` reader, so a `bench_*` binary can *prove* a
+/// zero-allocator-calls steady-state claim. Expand once at the top level
+/// of a binary; the expansion defines the `#[global_allocator]` for that
+/// binary, so it cannot be used from a library or more than once.
+///
+/// The expansion contains the only `unsafe` in the workspace's bench
+/// tooling: a `GlobalAlloc` impl that delegates every operation unchanged
+/// to [`std::alloc::System`], with a relaxed atomic counter on the
+/// allocation entry points.
+#[macro_export]
+macro_rules! counting_allocator {
+    () => {
+        static ALLOC_CALLS: ::std::sync::atomic::AtomicU64 = ::std::sync::atomic::AtomicU64::new(0);
+
+        /// System allocator wrapper that counts every allocation entry
+        /// point.
+        struct CountingAlloc;
+
+        // SAFETY: delegates every operation unchanged to the system
+        // allocator; the counter is a relaxed atomic with no effect on
+        // allocation behavior.
+        unsafe impl ::std::alloc::GlobalAlloc for CountingAlloc {
+            unsafe fn alloc(&self, layout: ::std::alloc::Layout) -> *mut u8 {
+                ALLOC_CALLS.fetch_add(1, ::std::sync::atomic::Ordering::Relaxed);
+                unsafe { ::std::alloc::System.alloc(layout) }
+            }
+
+            unsafe fn dealloc(&self, ptr: *mut u8, layout: ::std::alloc::Layout) {
+                unsafe { ::std::alloc::System.dealloc(ptr, layout) }
+            }
+
+            unsafe fn realloc(
+                &self,
+                ptr: *mut u8,
+                layout: ::std::alloc::Layout,
+                new_size: usize,
+            ) -> *mut u8 {
+                ALLOC_CALLS.fetch_add(1, ::std::sync::atomic::Ordering::Relaxed);
+                unsafe { ::std::alloc::System.realloc(ptr, layout, new_size) }
+            }
+
+            unsafe fn alloc_zeroed(&self, layout: ::std::alloc::Layout) -> *mut u8 {
+                ALLOC_CALLS.fetch_add(1, ::std::sync::atomic::Ordering::Relaxed);
+                unsafe { ::std::alloc::System.alloc_zeroed(layout) }
+            }
+        }
+
+        #[global_allocator]
+        static GLOBAL: CountingAlloc = CountingAlloc;
+
+        /// Allocator entry-point calls so far, process-wide.
+        fn alloc_calls() -> u64 {
+            ALLOC_CALLS.load(::std::sync::atomic::Ordering::Relaxed)
+        }
+    };
+}
 
 /// Geometric mean of a non-empty slice (returns 0 for empty input).
 pub fn geomean(xs: &[f64]) -> f64 {

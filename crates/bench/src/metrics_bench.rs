@@ -174,45 +174,24 @@ impl MetricsBenchResult {
     /// Machine-readable form (written to `BENCH_metrics.json`).
     pub fn to_json(&self) -> Json {
         let mode = |r: &MetricsModeResult| {
-            Json::obj([
-                ("ns_per_write", Json::Num(r.ns_per_write)),
-                ("writes_per_sec", Json::Num(r.writes_per_sec)),
-                (
-                    "steady_state_allocs",
-                    match r.steady_state_allocs {
-                        Some(n) => Json::UInt(n),
-                        None => Json::Null,
-                    },
-                ),
-            ])
+            crate::json::write_mode_json(r.ns_per_write, r.writes_per_sec, r.steady_state_allocs)
         };
-        Json::obj([
-            ("rounds", Json::UInt(self.rounds)),
-            ("writes_per_round", Json::UInt(self.writes_per_round)),
-            ("baseline_no_registry", mode(&self.baseline)),
-            ("registered_disabled", mode(&self.disabled)),
-            ("registered_recording", mode(&self.enabled)),
-            (
-                "disabled_overhead_pct",
-                Json::Num(self.disabled_overhead_pct()),
-            ),
-            (
-                "disabled_overhead_ns_per_write",
-                Json::Num(self.disabled_overhead_ns()),
-            ),
-            ("disabled_bound_pct", Json::Num(DISABLED_BOUND_PCT)),
-            ("disabled_epsilon_ns", Json::Num(DISABLED_EPSILON_NS)),
-            (
-                "disabled_within_bound",
-                Json::Bool(self.disabled_within_bound()),
-            ),
-            (
-                "enabled_overhead_pct",
-                Json::Num(self.enabled_overhead_pct()),
-            ),
-            ("counter_total", Json::UInt(self.counter_total)),
-            ("observations", Json::UInt(self.observations)),
-        ])
+        let obj = crate::json::JsonObj::new()
+            .field("rounds", Json::UInt(self.rounds))
+            .field("writes_per_round", Json::UInt(self.writes_per_round))
+            .field("baseline_no_registry", mode(&self.baseline))
+            .field("registered_disabled", mode(&self.disabled))
+            .field("registered_recording", mode(&self.enabled));
+        crate::json::overhead_fields(
+            obj,
+            self.disabled_overhead_pct(),
+            self.disabled_overhead_ns(),
+            self.disabled_within_bound(),
+            self.enabled_overhead_pct(),
+        )
+        .field("counter_total", Json::UInt(self.counter_total))
+        .field("observations", Json::UInt(self.observations))
+        .build()
     }
 }
 

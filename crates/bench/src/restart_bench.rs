@@ -209,10 +209,7 @@ impl RestartBenchResult {
                 ("cow_dirty_chunks", Json::UInt(p.cow_dirty_chunks)),
                 (
                     "cow_restore_allocs",
-                    match p.cow_restore_allocs {
-                        Some(n) => Json::UInt(n),
-                        None => Json::Null,
-                    },
+                    crate::json::alloc_count_json(p.cow_restore_allocs),
                 ),
             ])
         };

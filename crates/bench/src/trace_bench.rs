@@ -184,45 +184,24 @@ impl TraceBenchResult {
     /// Machine-readable form (written to `BENCH_trace.json`).
     pub fn to_json(&self) -> Json {
         let mode = |r: &TraceModeResult| {
-            Json::obj([
-                ("ns_per_write", Json::Num(r.ns_per_write)),
-                ("writes_per_sec", Json::Num(r.writes_per_sec)),
-                (
-                    "steady_state_allocs",
-                    match r.steady_state_allocs {
-                        Some(n) => Json::UInt(n),
-                        None => Json::Null,
-                    },
-                ),
-            ])
+            crate::json::write_mode_json(r.ns_per_write, r.writes_per_sec, r.steady_state_allocs)
         };
-        Json::obj([
-            ("windows", Json::UInt(self.windows)),
-            ("writes_per_window", Json::UInt(self.writes_per_window)),
-            ("baseline_no_tracer", mode(&self.baseline)),
-            ("attached_disabled", mode(&self.disabled)),
-            ("attached_recording", mode(&self.enabled)),
-            (
-                "disabled_overhead_pct",
-                Json::Num(self.disabled_overhead_pct()),
-            ),
-            (
-                "disabled_overhead_ns_per_write",
-                Json::Num(self.disabled_overhead_ns()),
-            ),
-            ("disabled_bound_pct", Json::Num(DISABLED_BOUND_PCT)),
-            ("disabled_epsilon_ns", Json::Num(DISABLED_EPSILON_NS)),
-            (
-                "disabled_within_bound",
-                Json::Bool(self.disabled_within_bound()),
-            ),
-            (
-                "enabled_overhead_pct",
-                Json::Num(self.enabled_overhead_pct()),
-            ),
-            ("events_recorded", Json::UInt(self.events_recorded)),
-            ("ring_wrapped", Json::Bool(self.ring_wrapped)),
-        ])
+        let obj = crate::json::JsonObj::new()
+            .field("windows", Json::UInt(self.windows))
+            .field("writes_per_window", Json::UInt(self.writes_per_window))
+            .field("baseline_no_tracer", mode(&self.baseline))
+            .field("attached_disabled", mode(&self.disabled))
+            .field("attached_recording", mode(&self.enabled));
+        crate::json::overhead_fields(
+            obj,
+            self.disabled_overhead_pct(),
+            self.disabled_overhead_ns(),
+            self.disabled_within_bound(),
+            self.enabled_overhead_pct(),
+        )
+        .field("events_recorded", Json::UInt(self.events_recorded))
+        .field("ring_wrapped", Json::Bool(self.ring_wrapped))
+        .build()
     }
 }
 

@@ -149,10 +149,7 @@ impl UndoBenchResult {
                 ("coalesced_writes", Json::UInt(r.coalesced_writes)),
                 (
                     "steady_state_allocs",
-                    match r.steady_state_allocs {
-                        Some(n) => Json::UInt(n),
-                        None => Json::Null,
-                    },
+                    crate::json::alloc_count_json(r.steady_state_allocs),
                 ),
             ])
         };

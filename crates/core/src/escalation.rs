@@ -19,6 +19,9 @@
 //! The mechanism half (arming backoff timers, flipping a component to the
 //! `Quarantined` status, bouncing its messages) lives in the kernel and the
 //! recovery server; they call into this module and never consult wall time.
+//! Each ladder decision the kernel executes is sealed into the axiom as an
+//! `EscalationStep` (and quarantines as `Quarantined`) event, so the
+//! ladder's whole history is part of the authoritative, replayable record.
 
 /// Sliding-window restart counter: the crash-loop detector.
 ///

@@ -6,7 +6,11 @@
 //! taken at the top of the request loop) and **reconciliation** (make the
 //! global state consistent — by error virtualization or controlled
 //! shutdown). This module holds the pure decision logic; the mechanics are
-//! executed by the message-passing substrate (the kernel crate here).
+//! executed by the message-passing substrate (the kernel crate here). Every
+//! decision the kernel acts on is sealed into the axiom — the hash-chained
+//! control-plane log — as a `RecoveryDecision` (and, when the chosen action
+//! proves impossible, `RecoveryFallback`) event, so a run's decisions can be
+//! replayed from the log alone and bisected against another run's.
 
 use crate::policy::RecoveryPolicy;
 
@@ -54,6 +58,10 @@ pub enum RecoveryAction {
     UncontrolledCrash,
 }
 
+/// The wire form of a decision, shared by the trace and the axiom (the
+/// code lives in `osiris-axiom`; the trace crate re-exports it). Keeping
+/// one numbering for both means a trace event and the axiom record sealing
+/// the same decision can never disagree.
 impl From<RecoveryAction> for osiris_trace::ActionCode {
     fn from(a: RecoveryAction) -> osiris_trace::ActionCode {
         match a {

@@ -102,6 +102,10 @@ pub struct RecoveryWindow {
     state: State,
     stats: WindowStats,
     scoped_sends: bool,
+    /// The close that ended the current/most recent window, staged for the
+    /// kernel to seal into the axiom log (the kernel is the axiom's single
+    /// writer; the window only records what happened).
+    last_close: Option<(CloseCode, SeepClassCode)>,
 }
 
 impl Default for RecoveryWindow {
@@ -117,7 +121,16 @@ impl RecoveryWindow {
             state: State::Idle,
             stats: WindowStats::default(),
             scoped_sends: false,
+            last_close: None,
         }
+    }
+
+    /// Takes the staged record of how the current/most recent window
+    /// closed, if it has not been consumed yet. The kernel drains this
+    /// after each handler (and after recovery's rollback/complete) to emit
+    /// the authoritative `WindowClose` axiom event.
+    pub fn take_last_close(&mut self) -> Option<(CloseCode, SeepClassCode)> {
+        self.last_close.take()
     }
 
     /// Whether the current window saw requester-scoped sends the policy
@@ -144,6 +157,7 @@ impl RecoveryWindow {
         heap.set_logging(true);
         self.state = State::Open(heap.mark());
         self.scoped_sends = false;
+        self.last_close = None;
         self.stats.opens += 1;
         heap.trace_emit(TraceEvent::WindowOpen);
     }
@@ -152,6 +166,7 @@ impl RecoveryWindow {
     /// policies that do no checkpointing). Write logging stays off.
     pub fn begin_unprotected(&mut self) {
         self.state = State::Closed(CloseReason::Manual);
+        self.last_close = None;
     }
 
     /// Notifies the window of an outgoing message; closes it if the policy
@@ -186,6 +201,7 @@ impl RecoveryWindow {
             CloseReason::ThreadYield => self.stats.closed_by_yield += 1,
             CloseReason::Manual => self.stats.closed_manually += 1,
         }
+        self.last_close = Some((reason.into(), class));
         heap.trace_emit(TraceEvent::WindowClose {
             reason: reason.into(),
             class,
@@ -202,6 +218,7 @@ impl RecoveryWindow {
         self.scoped_sends = false;
         if was_open {
             // Mid-handler closes already recorded their own WindowClose.
+            self.last_close = Some((CloseCode::Completed, SeepClassCode::None));
             heap.trace_emit(TraceEvent::WindowClose {
                 reason: CloseCode::Completed,
                 class: SeepClassCode::None,
@@ -225,6 +242,7 @@ impl RecoveryWindow {
                 heap.set_logging(false);
                 self.state = State::Idle;
                 self.stats.rollbacks += 1;
+                self.last_close = Some((CloseCode::Rollback, SeepClassCode::None));
                 heap.trace_emit(TraceEvent::WindowClose {
                     reason: CloseCode::Rollback,
                     class: SeepClassCode::None,

@@ -21,10 +21,33 @@
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
+use osiris_axiom::{AxiomConfig, AxiomEvent, AxiomLog, AxiomRecord, OutcomeCode};
 use osiris_metrics::MetricsHandle;
 use osiris_trace::Json;
 
 use crate::{FaultKind, FaultModel, Outcome, SiteId, Tally};
+
+/// Maps a campaign [`Outcome`] onto the axiom's compact outcome vocabulary
+/// (`Quarantined` collapses into `Degraded` — both are "survived benched").
+pub fn outcome_code(outcome: Outcome) -> OutcomeCode {
+    match outcome {
+        Outcome::Pass => OutcomeCode::Recovered,
+        Outcome::Fail => OutcomeCode::Failed,
+        Outcome::Degraded | Outcome::Quarantined => OutcomeCode::Degraded,
+        Outcome::Shutdown => OutcomeCode::ControlledShutdown,
+        Outcome::Crash => OutcomeCode::UncontrolledCrash,
+    }
+}
+
+/// Digest identifying an injection *site* (component, site path, fault
+/// kind) — deliberately excluding the policy, so the axioms of two
+/// campaigns that differ only in policy align run-for-run and
+/// `osiris_axiom::bisect` lands on the first run whose *outcome* diverged.
+pub fn site_digest(site: &SiteId, kind: FaultKind) -> u64 {
+    let d = osiris_axiom::fnv1a_str(&site.component);
+    let d = osiris_axiom::fnv1a(d, site.site.as_bytes());
+    osiris_axiom::fnv1a(d, kind_label(kind).as_bytes())
+}
 
 /// Short label for a fault model, used in metrics labels and reports.
 pub fn model_label(model: FaultModel) -> &'static str {
@@ -122,6 +145,10 @@ struct State {
     matrix: BTreeMap<(String, String), Tally>,
     records: Vec<InjectionRecord>,
     blackbox_dumps: usize,
+    /// Campaign-level axiom: one hash-chained `Injection` event per run,
+    /// timestamped with the run's virtual cycle count. Two campaigns over
+    /// the same plan can be bisected to the first diverging outcome.
+    axiom: AxiomLog,
 }
 
 /// Thread-safe live observer for a fault-injection campaign.
@@ -162,6 +189,10 @@ impl Campaign {
                 matrix: BTreeMap::new(),
                 records: Vec::new(),
                 blackbox_dumps: 0,
+                axiom: AxiomLog::new(AxiomConfig {
+                    enabled: true,
+                    capacity: total.max(1),
+                }),
             }),
         }
     }
@@ -220,6 +251,15 @@ impl Campaign {
         }
 
         let mut st = self.inner.lock().expect("campaign lock");
+        let run = st.records.len() as u32;
+        st.axiom.append(
+            rec.run_cycles,
+            AxiomEvent::Injection {
+                run,
+                site_digest: site_digest(&rec.site, rec.kind),
+                outcome: outcome_code(rec.outcome),
+            },
+        );
         st.matrix
             .entry((rec.policy.clone(), rec.site.component.clone()))
             .or_default()
@@ -271,6 +311,24 @@ impl Campaign {
     /// A clone of every record ingested so far, in completion order.
     pub fn records(&self) -> Vec<InjectionRecord> {
         self.inner.lock().expect("campaign lock").records.clone()
+    }
+
+    /// The campaign axiom's records: one chained `Injection` event per
+    /// ingested run, in completion order.
+    pub fn axiom_records(&self) -> Vec<AxiomRecord> {
+        self.inner
+            .lock()
+            .expect("campaign lock")
+            .axiom
+            .records()
+            .to_vec()
+    }
+
+    /// The campaign axiom serialized to its crash-consistent format
+    /// (feed two of these to `osiris_axiom::bisect` — or the
+    /// `axiom_bisect` tool — to find the first diverging run).
+    pub fn axiom_bytes(&self) -> Vec<u8> {
+        self.inner.lock().expect("campaign lock").axiom.to_bytes()
     }
 
     /// The final campaign report document (`campaign_report.json`).
@@ -429,6 +487,40 @@ mod tests {
         assert!(text.contains("\"completed_runs\": 2"));
         assert!(text.contains("\"component\": \"ds\""));
         assert!(text.contains("\"action\": \"rollback\""));
+    }
+
+    #[test]
+    fn campaign_axiom_chains_and_bisects_on_outcome() {
+        let a = Campaign::new("a", FaultModel::FailStop, 3).quiet();
+        let b = Campaign::new("b", FaultModel::FailStop, 3).quiet();
+        for c in [&a, &b] {
+            c.record(rec("enhanced", "pm", Outcome::Pass));
+            c.record(rec("pessimistic", "vfs", Outcome::Pass));
+        }
+        // Same plan, same outcomes so far: identical chains despite the
+        // differing policies (the site digest excludes the policy).
+        assert_eq!(a.axiom_bytes(), b.axiom_bytes());
+        a.record(rec("enhanced", "ds", Outcome::Pass));
+        b.record(rec("pessimistic", "ds", Outcome::Shutdown));
+        let la = osiris_axiom::AxiomLog::from_bytes(&a.axiom_bytes()).expect("chain a");
+        let lb = osiris_axiom::AxiomLog::from_bytes(&b.axiom_bytes()).expect("chain b");
+        let div = osiris_axiom::bisect(la.records(), lb.records()).expect("diverged");
+        assert_eq!(div.index, 2);
+        match (div.a.expect("a rec").event, div.b.expect("b rec").event) {
+            (
+                AxiomEvent::Injection {
+                    run: 2,
+                    outcome: OutcomeCode::Recovered,
+                    ..
+                },
+                AxiomEvent::Injection {
+                    run: 2,
+                    outcome: OutcomeCode::ControlledShutdown,
+                    ..
+                },
+            ) => {}
+            other => panic!("unexpected divergence: {other:?}"),
+        }
     }
 
     #[test]

@@ -109,6 +109,16 @@ pub enum IntentPhase {
     Deferred,
 }
 
+impl From<IntentPhase> for osiris_axiom::IntentPhaseCode {
+    fn from(p: IntentPhase) -> osiris_axiom::IntentPhaseCode {
+        match p {
+            IntentPhase::Notified => osiris_axiom::IntentPhaseCode::Notified,
+            IntentPhase::Issued => osiris_axiom::IntentPhaseCode::Issued,
+            IntentPhase::Deferred => osiris_axiom::IntentPhaseCode::Deferred,
+        }
+    }
+}
+
 /// A privileged operation requested by the Recovery Server.
 #[derive(Clone, Debug)]
 pub enum PrivOp {

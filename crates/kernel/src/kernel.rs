@@ -11,6 +11,10 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+use osiris_axiom::{
+    bisect, AxiomConfig, AxiomError, AxiomEvent, AxiomLog, AxiomRecord, CompStatusCode,
+    ControlState, Divergence,
+};
 use osiris_checkpoint::{ChunkStore, Heap, HeapImage};
 use osiris_core::{
     decide_recovery, fallback_action, CrashContext, MessageKind, RecoveryAction, RecoveryDecision,
@@ -62,6 +66,12 @@ pub struct KernelConfig {
     /// accounting ([`KernelMetrics`], [`ComponentReport`]) reads from the
     /// registry, so disabling it also zeroes those views.
     pub metrics: MetricsConfig,
+    /// Axiom-log configuration. The kernel *always* folds control-plane
+    /// events into its live [`ControlState`] (that fold is the control
+    /// plane — the recovery intent log is a view over it); this setting
+    /// only gates whether the events are additionally retained and
+    /// digest-chained for replay/bisection.
+    pub axiom: AxiomConfig,
 }
 
 impl Default for KernelConfig {
@@ -73,6 +83,7 @@ impl Default for KernelConfig {
             shutdown_grace: 0,
             trace: TraceConfig::default(),
             metrics: MetricsConfig::default(),
+            axiom: AxiomConfig::default(),
         }
     }
 }
@@ -108,20 +119,14 @@ struct PendingCrash<P> {
     in_recovery_code: bool,
 }
 
-/// A persisted recovery intent: the kernel's durable record that a recovery
-/// for `target` is in flight, refined by the RS via
-/// [`PrivOp::RecordIntent`] as the conduct progresses. If the RS crashes
-/// mid-conduct, the kernel re-drives the intent after restarting the RS —
-/// up to [`MAX_INTENT_REPLAYS`] times, after which the kernel completes the
-/// recovery directly instead of trusting the RS again.
-struct RecoveryIntent {
-    target: u8,
-    phase: IntentPhase,
-    replays: u32,
-}
-
 /// How many times an in-flight recovery intent is re-driven through the RS
 /// before the kernel completes it directly.
+///
+/// The intent log itself is no longer a separate record: it is the set of
+/// active [`osiris_axiom::IntentSlot`]s in the kernel's [`ControlState`] —
+/// a pure view over the axiom tail (`IntentRecorded` / `IntentReplayed` /
+/// `IntentResolved` events), refined by the RS via [`PrivOp::RecordIntent`]
+/// as the conduct progresses.
 const MAX_INTENT_REPLAYS: u32 = 2;
 
 struct Comp<P: Protocol> {
@@ -310,6 +315,12 @@ struct KernelCounters {
     restart_chunks_dirty: Counter,
     pool_refreshed: Counter,
     pool_refresh_skipped: Counter,
+    // Axiom-log series:
+    axiom_events: Counter,
+    axiom_bytes: Gauge,
+    axiom_chain_ok: Counter,
+    axiom_chain_corrupt: Counter,
+    axiom_replay_divergence: Counter,
 }
 
 impl KernelCounters {
@@ -418,6 +429,31 @@ impl KernelCounters {
                 "Clone-pool image refreshes requested by the RS, by result",
                 &[("result", "skipped")],
             ),
+            axiom_events: m.counter(
+                "osiris_axiom_events_total",
+                "Control-plane events folded into the axiom control state",
+                &[],
+            ),
+            axiom_bytes: m.gauge(
+                "osiris_axiom_bytes",
+                "Serialized size of the recorded axiom log",
+                &[],
+            ),
+            axiom_chain_ok: m.counter(
+                "osiris_axiom_chain_verifications_total",
+                "Axiom digest-chain verifications, by result",
+                &[("result", "ok")],
+            ),
+            axiom_chain_corrupt: m.counter(
+                "osiris_axiom_chain_verifications_total",
+                "Axiom digest-chain verifications, by result",
+                &[("result", "corrupt")],
+            ),
+            axiom_replay_divergence: m.counter(
+                "osiris_axiom_replay_divergence_total",
+                "Replay comparisons that found a divergence from the recorded axiom",
+                &[],
+            ),
         }
     }
 }
@@ -440,7 +476,12 @@ pub struct Kernel<P: Protocol> {
     kill_events: Vec<Pid>,
     hook: Box<dyn FaultHook>,
     rs_ep: Option<u8>,
-    intents: Vec<RecoveryIntent>,
+    /// The authoritative control-plane history. Only events sealed here (or
+    /// folded into `control` when retention is disabled) are real.
+    axiom: AxiomLog,
+    /// Live control state: the running fold of every axiom event, and the
+    /// authority the kernel consults for recovery intents.
+    control: ControlState,
     /// The content-addressed chunk store backing every component's pristine
     /// clone image: identical chunks across components are stored once and
     /// refcounted, so the spare-copy pool's resident cost is deduplicated.
@@ -472,6 +513,7 @@ impl<P: Protocol> Kernel<P> {
         let tracer = TraceHandle::new(tcfg);
         let metrics = MetricsHandle::new(cfg.metrics);
         let counters = KernelCounters::register(&metrics);
+        let axiom = AxiomLog::new(cfg.axiom);
         Kernel {
             cfg,
             clock: VirtualClock::new(),
@@ -486,7 +528,8 @@ impl<P: Protocol> Kernel<P> {
             kill_events: Vec::new(),
             hook: Box::new(NoFaults),
             rs_ep: None,
-            intents: Vec::new(),
+            axiom,
+            control: ControlState::new(),
             cas: ChunkStore::new(),
             metrics,
             counters,
@@ -513,9 +556,15 @@ impl<P: Protocol> Kernel<P> {
     }
 
     /// Exports the recorded event stream as a Chrome `trace_event` JSON
-    /// document (loadable in `chrome://tracing` / Perfetto).
+    /// document (loadable in `chrome://tracing` / Perfetto). When axiom
+    /// retention is enabled the control-plane log renders as an extra
+    /// instant-event lane.
     pub fn chrome_trace(&self) -> osiris_trace::Json {
-        osiris_trace::chrome::chrome_trace(&self.tracer.snapshot(), &self.trace_names())
+        osiris_trace::chrome::chrome_trace_with_axiom(
+            &self.tracer.snapshot(),
+            &self.trace_names(),
+            self.axiom.records(),
+        )
     }
 
     /// The post-mortem black box: the last configured number of events per
@@ -531,9 +580,124 @@ impl<P: Protocol> Kernel<P> {
         }
     }
 
+    /// Seals `event` into the axiom: folds it into the live control state
+    /// (always — the fold *is* the control plane) and appends it to the
+    /// digest-chained log (only when recording is enabled).
+    fn axiom_emit(&mut self, event: AxiomEvent) {
+        Self::axiom_note(
+            &mut self.control,
+            &mut self.axiom,
+            &self.counters,
+            self.clock.now(),
+            event,
+        );
+    }
+
+    /// Field-level variant of [`Kernel::axiom_emit`] for call sites that
+    /// already hold disjoint borrows of the kernel's fields.
+    fn axiom_note(
+        control: &mut ControlState,
+        axiom: &mut AxiomLog,
+        counters: &KernelCounters,
+        now: u64,
+        event: AxiomEvent,
+    ) {
+        control.apply(now, &event);
+        axiom.append(now, event);
+        counters.axiom_events.inc();
+    }
+
+    /// The authoritative control-plane log.
+    pub fn axiom(&self) -> &AxiomLog {
+        &self.axiom
+    }
+
+    /// Serializes the axiom to its crash-consistent byte image.
+    pub fn axiom_bytes(&self) -> Vec<u8> {
+        self.axiom.to_bytes()
+    }
+
+    /// The live control state: the running reduction of the axiom.
+    pub fn control_state(&self) -> &ControlState {
+        &self.control
+    }
+
+    /// Per-component statuses in axiom vocabulary, for cross-checking the
+    /// control-state reduction against the kernel's own bookkeeping.
+    pub fn status_codes(&self) -> Vec<CompStatusCode> {
+        self.comps
+            .iter()
+            .map(|c| match c.status {
+                CompStatus::Alive => CompStatusCode::Alive,
+                CompStatus::Hung => CompStatusCode::Hung,
+                CompStatus::Crashed => CompStatusCode::Crashed,
+                CompStatus::Quarantined => CompStatusCode::Quarantined,
+            })
+            .collect()
+    }
+
+    /// Verifies the recorded axiom's digest chain end to end, counting the
+    /// check in `osiris_axiom_chain_verifications_total`.
+    pub fn verify_axiom(&self) -> Result<(), AxiomError> {
+        match self.axiom.verify() {
+            Ok(()) => {
+                self.counters.axiom_chain_ok.inc();
+                Ok(())
+            }
+            Err(e) => {
+                self.counters.axiom_chain_corrupt.inc();
+                Err(e)
+            }
+        }
+    }
+
+    /// Bisects this kernel's axiom against a previously `recorded` one and
+    /// returns the first diverging event, counting any divergence in
+    /// `osiris_axiom_replay_divergence_total`. `None` means this run
+    /// re-derived the recorded history exactly.
+    pub fn check_replay_divergence(&self, recorded: &[AxiomRecord]) -> Option<Divergence> {
+        let d = bisect(self.axiom.records(), recorded);
+        if d.is_some() {
+            self.counters.axiom_replay_divergence.inc();
+        }
+        d
+    }
+
+    /// Adopts a recorded axiom and its reduction as this kernel's control
+    /// state — simulated reboot persistence. The freshly booted components
+    /// take on the statuses the axiom proves (quarantined components stay
+    /// benched and release their clone images; crashed/hung ones remain
+    /// dead until a recovery request resolves them — their in-flight
+    /// request context was volatile and did not survive the reboot), the
+    /// clock advances to the log's last timestamp, and the chain continues
+    /// from the recorded head so subsequent events extend the same history.
+    pub fn adopt_axiom(&mut self, log: AxiomLog, state: ControlState) {
+        self.clock.advance_to(state.last_now.max(self.clock.now()));
+        for (i, comp) in self.comps.iter_mut().enumerate() {
+            comp.status = match state.status(i as u8) {
+                CompStatusCode::Alive => CompStatus::Alive,
+                CompStatusCode::Hung => CompStatus::Hung,
+                CompStatusCode::Crashed => CompStatus::Crashed,
+                CompStatusCode::Quarantined => CompStatus::Quarantined,
+            };
+            if comp.status == CompStatus::Quarantined {
+                if let Some(image) = comp.pristine_image.take() {
+                    image.release(&mut self.cas);
+                }
+            }
+        }
+        self.recovering = state.recovering.filter(|&t| {
+            (t as usize) < self.comps.len() && self.comps[t as usize].status == CompStatus::Crashed
+        });
+        self.control = state;
+        self.axiom = log;
+        self.tracer.set_now(self.clock.now());
+    }
+
     /// Records an uncontrolled-crash shutdown: the trace event, the black
     /// box dump, and the state transition itself.
     fn crash_shutdown(&mut self, reason: String) {
+        self.axiom_emit(AxiomEvent::ShutdownDecision { controlled: false });
         self.tracer.set_now(self.clock.now());
         self.tracer.emit(
             KERNEL_COMP,
@@ -638,6 +802,24 @@ impl<P: Protocol> Kernel<P> {
         self.metrics.reset();
         self.tracer.set_now(self.clock.now());
         self.tracer.clear();
+        // The axiom likewise starts at the boot barrier: its first event
+        // seals the control-relevant configuration, so two axioms are only
+        // comparable (replay, bisect) when policy/instrumentation/topology
+        // match.
+        self.axiom.reset();
+        let instr = match self.cfg.instrumentation {
+            Instrumentation::Off => 0u8,
+            Instrumentation::WindowGated => 1,
+            Instrumentation::Always => 2,
+        };
+        let config_digest = osiris_axiom::fnv1a(
+            osiris_axiom::fnv1a_str(self.cfg.policy.name()),
+            &[instr, self.comps.len() as u8],
+        );
+        self.axiom_emit(AxiomEvent::Genesis {
+            comps: self.comps.len() as u8,
+            config_digest,
+        });
     }
 
     /// Number of registered components.
@@ -685,6 +867,7 @@ impl<P: Protocol> Kernel<P> {
         if self.shutdown.is_some() || self.shutdown_pending.is_some() {
             return;
         }
+        self.axiom_emit(AxiomEvent::ShutdownDecision { controlled: true });
         self.tracer.set_now(self.clock.now());
         self.tracer.emit(
             KERNEL_COMP,
@@ -749,6 +932,11 @@ impl<P: Protocol> Kernel<P> {
     /// on the store's hot path) and window coverage counters. Call before
     /// exporting; [`Kernel::component_reports`] does it automatically.
     pub fn sync_registry(&self) {
+        self.counters.axiom_bytes.set(if self.axiom.enabled() {
+            self.axiom.bytes_len() as u64
+        } else {
+            0
+        });
         self.counters.cas_chunks.set(self.cas.chunk_count() as u64);
         self.counters
             .cas_bytes
@@ -947,6 +1135,9 @@ impl<P: Protocol> Kernel<P> {
             hook,
             clock,
             next_msg_id,
+            axiom,
+            control,
+            counters,
             ..
         } = self;
         let comp = &mut comps[idx];
@@ -956,6 +1147,13 @@ impl<P: Protocol> Kernel<P> {
         // baseline policies that do no checkpointing.
         if checkpointing {
             comp.window.open(&mut comp.heap);
+            Self::axiom_note(
+                control,
+                axiom,
+                counters,
+                clock.now(),
+                AxiomEvent::WindowOpen { comp: idx as u8 },
+            );
             if instr == Instrumentation::Off {
                 comp.heap.set_logging(false);
             }
@@ -1035,18 +1233,36 @@ impl<P: Protocol> Kernel<P> {
                         .undo_hist
                         .observe(comp.heap.stats().undo_bytes_appended - undo_bytes_before);
                 }
+                if let Some((reason, class)) = comp.window.take_last_close() {
+                    self.axiom_emit(AxiomEvent::WindowClose {
+                        comp: idx as u8,
+                        reason,
+                        class,
+                    });
+                }
                 self.execute_priv_ops(priv_ops);
             }
             Err(payload) => {
                 let reply_possible = msg.seep.kind == MessageKind::Request
                     && msg.seep.reply_possible
                     && !replied_to_msg;
+                // A mid-handler close (DisallowedSend / ThreadYield) may have
+                // been staged before the panic propagated; seal it first so
+                // the axiom orders the close before the fault event.
+                if let Some((reason, class)) = self.comps[idx].window.take_last_close() {
+                    self.axiom_emit(AxiomEvent::WindowClose {
+                        comp: idx as u8,
+                        reason,
+                        class,
+                    });
+                }
                 if payload.downcast_ref::<InjectedHang>().is_some() {
                     // The component is wedged: it stops processing messages
                     // until the Recovery Server's heartbeat declares it dead.
                     self.counters.hangs.inc();
                     self.tracer
                         .emit(idx as u8, TraceEvent::HangDetected { target: idx as u8 });
+                    self.axiom_emit(AxiomEvent::HangDetected { comp: idx as u8 });
                     let comp = &mut self.comps[idx];
                     comp.status = CompStatus::Hung;
                     let window_open = comp.window.is_open();
@@ -1062,6 +1278,7 @@ impl<P: Protocol> Kernel<P> {
                     self.comps[idx].stats.crashes.inc();
                     self.tracer
                         .emit(idx as u8, TraceEvent::Crash { target: idx as u8 });
+                    self.axiom_emit(AxiomEvent::Crash { comp: idx as u8 });
                     self.handle_crash(idx, msg, reply_possible);
                 }
             }
@@ -1128,14 +1345,22 @@ impl<P: Protocol> Kernel<P> {
     }
 
     /// Updates (or creates) the persisted recovery intent for `target`.
+    ///
+    /// The intent "log" is no longer a separate structure: recording an
+    /// intent is an axiom event, and the live intent table is the
+    /// [`ControlState`] reduction of the axiom tail.
     fn note_intent(&mut self, target: u8, phase: IntentPhase) {
-        match self.intents.iter_mut().find(|i| i.target == target) {
-            Some(intent) => intent.phase = phase,
-            None => self.intents.push(RecoveryIntent {
-                target,
-                phase,
-                replays: 0,
-            }),
+        self.axiom_emit(AxiomEvent::IntentRecorded {
+            comp: target,
+            phase: phase.into(),
+        });
+    }
+
+    /// Marks the intent for `target` resolved (recovery completed, target
+    /// quarantined, or the intent found stale during re-drive).
+    fn resolve_intent(&mut self, target: u8) {
+        if self.control.intent(target).active {
+            self.axiom_emit(AxiomEvent::IntentResolved { comp: target });
         }
     }
 
@@ -1151,25 +1376,20 @@ impl<P: Protocol> Kernel<P> {
         if self.comps[rs as usize].status != CompStatus::Alive {
             return;
         }
-        let targets: Vec<u8> = self.intents.iter().map(|i| i.target).collect();
+        let targets: Vec<u8> = self.control.active_intents().collect();
         for target in targets {
             let t = target as usize;
             if self.comps[t].status != CompStatus::Crashed || self.comps[t].crash_info.is_none() {
                 // The recovery actually completed (or the component was
                 // quarantined) before the RS died; nothing to re-drive.
-                self.intents.retain(|i| i.target != target);
+                self.resolve_intent(target);
                 continue;
             }
-            let intent = self
-                .intents
-                .iter_mut()
-                .find(|i| i.target == target)
-                .expect("intent present for listed target");
-            intent.replays += 1;
-            let replays = intent.replays;
             self.tracer.set_now(self.clock.now());
             self.tracer
                 .emit(KERNEL_COMP, TraceEvent::IntentReplayed { target });
+            self.axiom_emit(AxiomEvent::IntentReplayed { comp: target });
+            let replays = self.control.intent(target).replays;
             if replays <= MAX_INTENT_REPLAYS {
                 self.counters.intent_replays.inc();
                 if self.recovering.is_none() {
@@ -1209,6 +1429,7 @@ impl<P: Protocol> Kernel<P> {
                         self.comps[t].stats.crashes.inc();
                         self.tracer.set_now(self.clock.now());
                         self.tracer.emit(target, TraceEvent::Crash { target });
+                        self.axiom_emit(AxiomEvent::Crash { comp: target });
                         self.execute_recovery(target);
                     }
                 }
@@ -1225,6 +1446,12 @@ impl<P: Protocol> Kernel<P> {
                     backoff,
                     exhausted,
                 } => {
+                    self.axiom_emit(AxiomEvent::EscalationStep {
+                        comp: target,
+                        restarts_in_window,
+                        backoff,
+                        exhausted,
+                    });
                     let stats = &self.comps[target as usize].stats;
                     stats
                         .escalation_restarts_window
@@ -1257,10 +1484,18 @@ impl<P: Protocol> Kernel<P> {
     /// copy. A dead/benched component or a heap that diverged from the
     /// pristine image skips the refresh (the spare copy must stay pristine).
     fn refresh_image(&mut self, target: u8) {
+        let refreshed = self.refresh_image_inner(target);
+        self.axiom_emit(AxiomEvent::PoolRefresh {
+            comp: target,
+            refreshed,
+        });
+    }
+
+    fn refresh_image_inner(&mut self, target: u8) -> bool {
         let t = target as usize;
         if self.comps[t].status != CompStatus::Alive {
             self.counters.pool_refresh_skipped.inc();
-            return;
+            return false;
         }
         let Kernel {
             comps,
@@ -1271,17 +1506,18 @@ impl<P: Protocol> Kernel<P> {
         let comp = &mut comps[t];
         let Some(prev) = comp.pristine_image.take() else {
             counters.pool_refresh_skipped.inc();
-            return;
+            return false;
         };
         if !comp.heap.clean_for(&prev) {
             comp.pristine_image = Some(prev);
             counters.pool_refresh_skipped.inc();
-            return;
+            return false;
         }
         let fresh = comp.heap.clone_image(cas, Some(&prev));
         prev.release(cas);
         comp.pristine_image = Some(fresh);
         counters.pool_refreshed.inc();
+        true
     }
 
     /// Benches a crash-looping component: reconciles its pending requester
@@ -1302,7 +1538,9 @@ impl<P: Protocol> Kernel<P> {
         if let Some(image) = self.comps[t].pristine_image.take() {
             image.release(&mut self.cas);
         }
-        self.intents.retain(|i| i.target != target);
+        // The Quarantined axiom event resolves the intent and clears the
+        // window bit in the control-state fold; no separate bookkeeping.
+        self.axiom_emit(AxiomEvent::Quarantined { comp: target });
         self.tracer
             .emit(KERNEL_COMP, TraceEvent::Quarantined { target });
         if self.recovering == Some(target) {
@@ -1367,6 +1605,11 @@ impl<P: Protocol> Kernel<P> {
                 to: to.into(),
             },
         );
+        self.axiom_emit(AxiomEvent::RecoveryFallback {
+            comp: target,
+            from: from.into(),
+            to: to.into(),
+        });
         *action = to;
     }
 
@@ -1377,7 +1620,7 @@ impl<P: Protocol> Kernel<P> {
         let Some(pending) = self.comps[t].crash_info.take() else {
             // Spurious request (e.g. the component already recovered, or a
             // stale backoff timer fired after a quarantine).
-            self.intents.retain(|i| i.target != target);
+            self.resolve_intent(target);
             if self.recovering == Some(target) {
                 self.recovering = None;
             }
@@ -1399,6 +1642,10 @@ impl<P: Protocol> Kernel<P> {
                 action: decision.action.into(),
             },
         );
+        self.axiom_emit(AxiomEvent::RecoveryDecision {
+            comp: target,
+            action: decision.action.into(),
+        });
         if decision.action == RecoveryAction::UncontrolledCrash && pending.in_recovery_code {
             // The policy (correctly) refuses to recover a fault in recovery
             // code under the single-fault model. The kernel's intent log
@@ -1413,6 +1660,11 @@ impl<P: Protocol> Kernel<P> {
                     to: RecoveryAction::FreshRestart.into(),
                 },
             );
+            self.axiom_emit(AxiomEvent::RecoveryFallback {
+                comp: target,
+                from: RecoveryAction::UncontrolledCrash.into(),
+                to: RecoveryAction::FreshRestart.into(),
+            });
             decision = RecoveryDecision::new(RecoveryAction::FreshRestart, false);
         }
         let cost = self.cfg.cost;
@@ -1565,7 +1817,7 @@ impl<P: Protocol> Kernel<P> {
                     );
                     // The crashed component stays dead during the grace
                     // window.
-                    self.intents.retain(|i| i.target != target);
+                    self.resolve_intent(target);
                     self.recovering = None;
                     self.begin_controlled_shutdown(reason);
                     if self.shutdown_pending.is_some() {
@@ -1614,6 +1866,16 @@ impl<P: Protocol> Kernel<P> {
         self.counters.recovery_cycles.add(recovery_cycles);
         self.clock.advance(recovery_cycles);
         self.tracer.set_now(self.clock.now());
+        // The rollback/complete above staged a window close for the
+        // in-flight request; seal it before declaring the recovery done so
+        // the axiom's event order matches the causal order.
+        if let Some((reason, class)) = self.comps[t].window.take_last_close() {
+            self.axiom_emit(AxiomEvent::WindowClose {
+                comp: target,
+                reason,
+                class,
+            });
+        }
         self.tracer.emit(
             KERNEL_COMP,
             TraceEvent::RecoveryDone {
@@ -1621,9 +1883,13 @@ impl<P: Protocol> Kernel<P> {
                 cycles: recovery_cycles,
             },
         );
+        self.axiom_emit(AxiomEvent::RecoveryDone {
+            comp: target,
+            cycles: recovery_cycles,
+        });
         self.comps[t].stats.recovery_hist.observe(recovery_cycles);
         self.recovering = None;
-        self.intents.retain(|i| i.target != target);
+        self.resolve_intent(target);
 
         // Reconciliation phase: error virtualization — tell the requester
         // the call failed so it can handle it like any other error — or the
@@ -1642,6 +1908,11 @@ impl<P: Protocol> Kernel<P> {
                     to: RecoveryAction::ControlledShutdown.into(),
                 },
             );
+            self.axiom_emit(AxiomEvent::RecoveryFallback {
+                comp: target,
+                from: action.into(),
+                to: RecoveryAction::ControlledShutdown.into(),
+            });
             self.counters.controlled_shutdowns.inc();
             self.begin_controlled_shutdown(format!(
                 "fault in reconciliation after recovering {}",

@@ -55,6 +55,11 @@ pub struct OsConfig {
     /// Enabled by default — [`Os::metrics`] and [`Os::reports`] are views
     /// over the registry, so disabling it zeroes them too.
     pub metrics: osiris_metrics::MetricsConfig,
+    /// Axiom (authoritative control-plane log) configuration
+    /// (see `osiris_axiom::AxiomConfig`). Disabled by default —
+    /// `AxiomConfig::on()` records every control-plane transition in a
+    /// hash-chained, replayable event log.
+    pub axiom: osiris_axiom::AxiomConfig,
 }
 
 impl Default for OsConfig {
@@ -71,6 +76,7 @@ impl Default for OsConfig {
             shutdown_grace: 0,
             trace: osiris_trace::TraceConfig::default(),
             metrics: osiris_metrics::MetricsConfig::default(),
+            axiom: osiris_axiom::AxiomConfig::default(),
         }
     }
 }
@@ -123,6 +129,7 @@ impl Os {
             shutdown_grace: cfg.shutdown_grace,
             trace: cfg.trace,
             metrics: cfg.metrics,
+            axiom: cfg.axiom,
         };
         let heartbeat = kcfg.cost.heartbeat_interval;
         let disk_latency = kcfg.cost.disk_latency;
@@ -156,6 +163,59 @@ impl Os {
     /// Boots with defaults under the given policy.
     pub fn boot(policy: PolicyKind) -> Self {
         Os::new(OsConfig::with_policy(policy))
+    }
+
+    /// Reboots a machine from a recorded axiom: verifies the chain,
+    /// reduces it to the control state it encodes, boots a fresh OS under
+    /// `cfg`, and adopts the recorded log + state as the authoritative
+    /// history (simulated reboot persistence — the axiom survives, the
+    /// volatile in-flight context does not).
+    ///
+    /// The adopted chain continues from the recorded head: events emitted
+    /// after replay extend the same hash chain.
+    pub fn replay(cfg: OsConfig, axiom_bytes: &[u8]) -> Result<Self, osiris_axiom::AxiomError> {
+        let log = osiris_axiom::AxiomLog::from_bytes(axiom_bytes)?;
+        let state = osiris_axiom::reduce(log.records());
+        let mut os = Os::new(cfg);
+        os.kernel.adopt_axiom(log, state);
+        Ok(os)
+    }
+
+    /// The authoritative control-plane log (empty unless
+    /// [`OsConfig::axiom`] enabled retention).
+    pub fn axiom(&self) -> &osiris_axiom::AxiomLog {
+        self.kernel.axiom()
+    }
+
+    /// The axiom serialized to its crash-consistent on-disk format.
+    pub fn axiom_bytes(&self) -> Vec<u8> {
+        self.kernel.axiom_bytes()
+    }
+
+    /// Writes the serialized axiom to `path`, creating parent directories
+    /// as needed.
+    pub fn write_axiom(&self, path: &str) -> std::io::Result<std::path::PathBuf> {
+        let path = std::path::PathBuf::from(path);
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(&path, self.kernel.axiom_bytes())?;
+        Ok(path)
+    }
+
+    /// Verifies the axiom's hash chain end to end (also bumps the
+    /// chain-verification counters).
+    pub fn verify_axiom(&self) -> Result<(), osiris_axiom::AxiomError> {
+        self.kernel.verify_axiom()
+    }
+
+    /// The control state maintained by the kernel's live fold over the
+    /// axiom event stream. `osiris_axiom::reduce(os.axiom().records())`
+    /// reconstructs exactly this value when retention is enabled.
+    pub fn control_state(&self) -> &osiris_axiom::ControlState {
+        self.kernel.control_state()
     }
 
     /// Installs a fault-injection hook.

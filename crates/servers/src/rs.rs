@@ -12,6 +12,14 @@
 //! crashed RS, and re-drives the interrupted recovery from the intent log —
 //! so the victim still recovers and only the RS's soft heartbeat state is
 //! lost.
+//!
+//! The intent log is not a separate store: each `record_intent` call is
+//! sealed into the axiom (the hash-chained control-plane log) as an
+//! `IntentRecorded` event, and the kernel re-drives from the *reduction* of
+//! that log — the live `ControlState`'s intent slots. An intent therefore
+//! survives exactly as long as the axiom proves it unresolved, and a
+//! recorded run's re-drives can be replayed and bisected like every other
+//! control-plane transition.
 
 use osiris_checkpoint::{Heap, PCell, PMap};
 use osiris_core::{EscalationPolicy, EscalationStep};

@@ -1,0 +1,132 @@
+//! The axiom's whole-system guarantees, end to end on the OSIRIS suite:
+//! byte-identical recording across identical runs, a reduction that matches
+//! the kernel's live bookkeeping, machine reconstruction from the recorded
+//! bytes alone, and divergence bisection between runs that differ.
+
+use osiris_axiom::{bisect, reduce, AxiomConfig, AxiomEvent, AxiomLog};
+use osiris_core::PolicyKind;
+use osiris_faults::PeriodicCrash;
+use osiris_servers::{Os, OsConfig};
+use osiris_workloads::run_suite_with;
+
+fn recorded_cfg(policy: PolicyKind) -> OsConfig {
+    let mut cfg = OsConfig::with_policy(policy);
+    cfg.axiom = AxiomConfig::on();
+    // Sustained periodic crashes need the legacy restart-forever behaviour
+    // so every crash recovers (same setup as the trace determinism tests).
+    cfg.escalation = osiris_core::EscalationPolicy::unbounded();
+    cfg
+}
+
+fn run_recorded(policy: PolicyKind, faulted: bool) -> Os {
+    let hook = if faulted {
+        Some(Box::new(PeriodicCrash::new("pm", 200_000)) as Box<dyn osiris_kernel::FaultHook>)
+    } else {
+        None
+    };
+    let (_, os) = run_suite_with(recorded_cfg(policy), hook);
+    os
+}
+
+#[test]
+fn identical_runs_record_byte_identical_axioms() {
+    let a = run_recorded(PolicyKind::Enhanced, true);
+    let b = run_recorded(PolicyKind::Enhanced, true);
+    assert!(
+        !a.axiom().is_empty(),
+        "suite must seal control-plane events"
+    );
+    a.verify_axiom().expect("chain intact");
+    assert_eq!(
+        a.axiom_bytes(),
+        b.axiom_bytes(),
+        "same config + workload must record the same history, byte for byte"
+    );
+    assert!(
+        bisect(a.axiom().records(), b.axiom().records()).is_none(),
+        "identical histories must not bisect"
+    );
+    // The injected crashes and their recoveries are part of the record.
+    let names: Vec<&str> = a.axiom().records().iter().map(|r| r.event.name()).collect();
+    for needle in ["crash", "recovery_decision", "recovery_done"] {
+        assert!(names.contains(&needle), "axiom must contain {needle}");
+    }
+}
+
+#[test]
+fn reduction_matches_the_live_kernel() {
+    let os = run_recorded(PolicyKind::Enhanced, true);
+    let reduced = reduce(os.axiom().records());
+    assert_eq!(
+        &reduced,
+        os.control_state(),
+        "pure reduction must equal the incrementally folded control state"
+    );
+    for (i, status) in os.kernel().status_codes().iter().enumerate() {
+        assert_eq!(reduced.status(i as u8), *status);
+    }
+}
+
+#[test]
+fn replay_reconstructs_a_machine_from_bytes() {
+    let live = run_recorded(PolicyKind::Enhanced, true);
+    let bytes = live.axiom_bytes();
+
+    let rebooted =
+        Os::replay(recorded_cfg(PolicyKind::Enhanced), &bytes).expect("replay from bytes");
+    assert_eq!(rebooted.control_state(), live.control_state());
+    assert_eq!(rebooted.axiom().head_digest(), live.axiom().head_digest());
+    assert_eq!(
+        rebooted.kernel().status_codes(),
+        live.kernel().status_codes(),
+        "freshly booted components must take on the statuses the axiom proves"
+    );
+
+    // A corrupted image must be rejected, not adopted.
+    let mut flipped = bytes.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x01;
+    assert!(
+        Os::replay(recorded_cfg(PolicyKind::Enhanced), &flipped).is_err(),
+        "a bit flip anywhere must break the chain"
+    );
+}
+
+#[test]
+fn bisect_pinpoints_where_runs_diverge() {
+    // Same policy, different fault schedule: the histories share the boot
+    // prefix and split at the first crash-driven transition.
+    let faulted = run_recorded(PolicyKind::Enhanced, true);
+    let clean = run_recorded(PolicyKind::Enhanced, false);
+    let d = bisect(faulted.axiom().records(), clean.axiom().records())
+        .expect("a faulted run must diverge from a clean one");
+    assert!(
+        d.index > 0,
+        "both runs boot identically, so the divergence is past genesis"
+    );
+
+    // Different policies are different configurations: genesis seals the
+    // policy into the config digest, so bisect reports divergence at seq 0
+    // rather than letting incomparable histories look aligned.
+    let enhanced = run_recorded(PolicyKind::Enhanced, true);
+    let pessimistic = run_recorded(PolicyKind::Pessimistic, true);
+    let d = bisect(enhanced.axiom().records(), pessimistic.axiom().records())
+        .expect("cross-policy runs must diverge");
+    assert_eq!(d.index, 0);
+    assert!(matches!(
+        d.a.expect("enhanced genesis").event,
+        AxiomEvent::Genesis { .. }
+    ));
+}
+
+#[test]
+fn torn_tail_is_detected_before_reduction() {
+    let os = run_recorded(PolicyKind::Enhanced, true);
+    let bytes = os.axiom_bytes();
+    // Simulate a crash mid-append: the trailing record is half-written.
+    let torn = &bytes[..bytes.len() - 20];
+    assert!(
+        AxiomLog::from_bytes(torn).is_err(),
+        "a torn tail must fail decode/verify, never reduce"
+    );
+}

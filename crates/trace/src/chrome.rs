@@ -10,10 +10,16 @@
 
 use crate::json::Json;
 use crate::{comp_name, TraceEvent, TraceRecord, KERNEL_COMP};
+use osiris_axiom::AxiomRecord;
 
 /// `tid` used for kernel-originated events (Perfetto dislikes 255-ish
 /// gaps less than it dislikes colliding tids, so keep it distinct).
 const KERNEL_TID: u64 = 999;
+
+/// `tid` for the authoritative control-plane log's lane: axiom events
+/// render as instant events on their own named thread so the chained
+/// history reads as one ordered track in the viewer.
+const AXIOM_TID: u64 = 998;
 
 fn tid(comp: u8) -> u64 {
     if comp == KERNEL_COMP {
@@ -45,7 +51,48 @@ fn kv(k: &str, v: Json) -> (String, Json) {
 /// `names` maps component indices to display names (the kernel's component
 /// table order); unknown indices fall back to `c<n>`.
 pub fn chrome_trace(records: &[TraceRecord], names: &[String]) -> Json {
-    let mut events = Vec::with_capacity(records.len() + names.len() + 2);
+    chrome_trace_with_axiom(records, names, &[])
+}
+
+/// One axiom record rendered as a Chrome instant event on the axiom lane:
+/// the event's canonical snake_case name, the full typed payload as a
+/// `detail` arg, and the chain digest so a viewer row can be matched back
+/// to the exact log record.
+pub fn axiom_instant(rec: &AxiomRecord, names: &[String]) -> Json {
+    let mut args = vec![
+        ("seq".to_string(), Json::UInt(rec.seq)),
+        (
+            "digest".to_string(),
+            Json::Str(format!("{:016x}", rec.digest)),
+        ),
+        ("detail".to_string(), Json::Str(format!("{:?}", rec.event))),
+    ];
+    if let Some(comp) = rec.event.comp() {
+        args.insert(1, ("comp".to_string(), Json::Str(comp_name(comp, names))));
+    }
+    Json::Obj(vec![
+        (
+            "name".to_string(),
+            Json::Str(format!("axiom.{}", rec.event.name())),
+        ),
+        ("ph".to_string(), Json::Str("i".to_string())),
+        ("ts".to_string(), Json::UInt(rec.now)),
+        ("pid".to_string(), Json::UInt(1)),
+        ("tid".to_string(), Json::UInt(AXIOM_TID)),
+        ("s".to_string(), Json::Str("t".to_string())),
+        ("args".to_string(), Json::Obj(args)),
+    ])
+}
+
+/// Like [`chrome_trace`], with the authoritative control-plane log
+/// rendered as an additional instant-event lane (`tid` 998, thread name
+/// `axiom`). Pass an empty slice when axiom retention is disabled.
+pub fn chrome_trace_with_axiom(
+    records: &[TraceRecord],
+    names: &[String],
+    axiom: &[AxiomRecord],
+) -> Json {
+    let mut events = Vec::with_capacity(records.len() + axiom.len() + names.len() + 3);
 
     // Metadata: name the process and one thread per component.
     events.push(Json::obj([
@@ -73,6 +120,15 @@ pub fn chrome_trace(records: &[TraceRecord], names: &[String]) -> Json {
         ("tid", Json::UInt(KERNEL_TID)),
         ("args", Json::obj([("name", Json::Str("kernel".into()))])),
     ]));
+    if !axiom.is_empty() {
+        events.push(Json::obj([
+            ("name", Json::Str("thread_name".into())),
+            ("ph", Json::Str("M".into())),
+            ("pid", Json::UInt(1)),
+            ("tid", Json::UInt(AXIOM_TID)),
+            ("args", Json::obj([("name", Json::Str("axiom".into()))])),
+        ]));
+    }
 
     for r in records {
         match &r.event {
@@ -280,6 +336,10 @@ pub fn chrome_trace(records: &[TraceRecord], names: &[String]) -> Json {
         }
     }
 
+    for rec in axiom {
+        events.push(axiom_instant(rec, names));
+    }
+
     Json::obj([
         ("traceEvents", Json::Arr(events)),
         ("displayTimeUnit", Json::Str("ns".into())),
@@ -329,6 +389,62 @@ mod tests {
         // The recovery slice starts at now - cycles.
         assert!(text.contains("\"dur\": 600"));
         assert!(text.contains("\"ts\": 300"));
+    }
+
+    #[test]
+    fn axiom_lane_renders_instants() {
+        use osiris_axiom::{AxiomConfig, AxiomEvent, AxiomLog};
+        let mut log = AxiomLog::new(AxiomConfig {
+            enabled: true,
+            capacity: 4,
+        });
+        log.append(
+            5,
+            AxiomEvent::Genesis {
+                comps: 2,
+                config_digest: 7,
+            },
+        );
+        log.append(9, AxiomEvent::WindowOpen { comp: 1 });
+        let names = vec!["rs".to_string(), "pm".to_string()];
+        let doc = chrome_trace_with_axiom(&[], &names, log.records());
+        let text = doc.pretty();
+        assert!(text.contains("\"axiom.genesis\""), "{text}");
+        assert!(text.contains("\"axiom.window_open\""), "{text}");
+        assert!(text.contains("\"comp\": \"pm\""), "{text}");
+        assert!(text.contains("\"tid\": 998"), "{text}");
+        // The axiom lane gets its own thread_name metadata row.
+        assert!(text.contains("\"name\": \"axiom\""), "{text}");
+        // Digests render as fixed-width hex.
+        let digest = format!("{:016x}", log.records()[0].digest);
+        assert!(text.contains(&digest), "{text}");
+        // No lane, no metadata when the axiom is empty.
+        let empty = chrome_trace_with_axiom(&[], &names, &[]).pretty();
+        assert!(!empty.contains("\"tid\": 998"), "{empty}");
+    }
+
+    #[test]
+    fn exporter_escapes_event_and_component_names() {
+        // Component names flow into event args verbatim; hostile names
+        // (quotes, backslashes, control chars) must come out escaped, not
+        // as broken JSON.
+        let names = vec!["a\"b\\c\nd\u{1}".to_string()];
+        let recs = vec![TraceRecord {
+            now: 3,
+            seq: 0,
+            comp: 5,
+            event: TraceEvent::Crash { target: 0 },
+        }];
+        let text = chrome_trace(&recs, &names).pretty();
+        assert!(
+            text.contains("\"target\": \"a\\\"b\\\\c\\nd\\u0001\""),
+            "{text}"
+        );
+        // Raw quote/backslash/control bytes must never leak unescaped
+        // inside a string: the document still balances its quotes.
+        let quotes = text.chars().filter(|c| *c == '"').count();
+        assert_eq!(quotes % 2, 0, "unbalanced quotes in {text}");
+        assert!(!text.contains('\u{1}'), "raw control char leaked: {text}");
     }
 
     #[test]

@@ -23,7 +23,9 @@
 //!   so always-on emit points in hot paths (undo-log appends) stay within
 //!   the `bench_undo` performance envelope.
 //!
-//! The crate is a leaf: it depends on nothing in the workspace, and the
+//! The crate sits just above `osiris-axiom` (the authoritative
+//! control-plane log), from which it re-exports the shared
+//! [`CloseCode`]/[`SeepClassCode`]/[`ActionCode`] vocabularies; the
 //! checkpoint/core/kernel layers all emit through it. The small hand-rolled
 //! [`Json`] value tree (used by the Chrome `trace_event` exporter in
 //! [`chrome`]) lives here too and is re-exported by `osiris-bench`.
@@ -121,55 +123,7 @@ impl Default for CategoryMask {
     }
 }
 
-/// Why a recovery window closed, as recorded in [`TraceEvent::WindowClose`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum CloseCode {
-    /// The handler ran to completion with the window still open; the
-    /// undo log was discarded as the request committed.
-    Completed,
-    /// A send the active policy classifies as state-externalizing forced
-    /// the window shut mid-handler.
-    DisallowedSend,
-    /// The component's cooperative thread yielded.
-    ThreadYield,
-    /// The server closed its own window explicitly.
-    Manual,
-    /// The window was consumed by a rollback during recovery.
-    Rollback,
-}
-
-/// Side-effect class of the SEEP that participated in a window close
-/// (mirrors `osiris-core`'s `SeepClass`, plus `None` for closes that were
-/// not caused by a send).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum SeepClassCode {
-    /// The close was not caused by a send.
-    None,
-    /// Non-state-modifying at the receiver.
-    NonStateModifying,
-    /// State-modifying at the receiver.
-    StateModifying,
-    /// State-modifying but scoped to the requesting process.
-    RequesterScoped,
-}
-
-/// Recovery action chosen for a crashed component (mirrors `osiris-core`'s
-/// `RecoveryAction`).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum ActionCode {
-    /// Roll back to the window mark and answer `E_CRASH`.
-    RollbackErrorReply,
-    /// Roll back and kill the requesting process to reconcile.
-    RollbackKillRequester,
-    /// Restart from the pristine boot image.
-    FreshRestart,
-    /// Naive restart-in-place without state repair.
-    ContinueAsIs,
-    /// Give up consistently: controlled shutdown.
-    ControlledShutdown,
-    /// Give up inconsistently: uncontrolled crash.
-    UncontrolledCrash,
-}
+pub use osiris_axiom::{ActionCode, CloseCode, SeepClassCode};
 
 /// A typed, fixed-size trace event. Every variant is `Copy` and contains no
 /// heap-owning field, so emitting one never allocates.

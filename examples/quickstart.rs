@@ -72,6 +72,7 @@ fn main() {
 
     let mut cfg = OsConfig::with_policy(PolicyKind::Enhanced);
     cfg.trace = osiris::TraceConfig::on();
+    cfg.axiom = osiris::axiom::AxiomConfig::on();
     let mut os = Os::new(cfg);
     os.set_fault_hook(Box::new(CrashForkOnce(AtomicBool::new(false))));
 
@@ -113,6 +114,20 @@ fn main() {
         std::env::var("OSIRIS_METRICS_OUT").unwrap_or_else(|_| "target/quickstart_metrics".into());
     let (prom, json) = os.write_metrics(&base).expect("write metrics exports");
     println!("metrics:   {} and {}", prom.display(), json.display());
+
+    // Export the authoritative control-plane log (the axiom): verify the
+    // hash chain end to end, then persist the crash-consistent image. The
+    // `axiom_replay` tool reconstructs the control state from this file and
+    // byte-compares a replayed run's exports against this one.
+    os.verify_axiom().expect("axiom chain intact");
+    let axiom_out =
+        std::env::var("OSIRIS_AXIOM_OUT").unwrap_or_else(|_| "target/quickstart_axiom.bin".into());
+    let path = os.write_axiom(&axiom_out).expect("write axiom");
+    println!(
+        "axiom:     {} chained events -> {}",
+        os.axiom().len(),
+        path.display()
+    );
 
     assert!(outcome.completed() && violations.is_empty());
 }

@@ -24,6 +24,9 @@
 //!   Chrome-trace export, post-mortem black box).
 //! * [`metrics`] — the unified metrics registry (typed counter/gauge/
 //!   histogram handles, Prometheus and JSON exposition).
+//! * [`axiom`] — the authoritative control-plane log: hash-chained typed
+//!   events, pure control-state reduction, whole-system replay, divergence
+//!   bisection.
 //!
 //! # Quickstart
 //!
@@ -44,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use osiris_axiom as axiom;
 pub use osiris_checkpoint as checkpoint;
 pub use osiris_core as core;
 pub use osiris_cothread as cothread;
@@ -55,6 +59,7 @@ pub use osiris_servers as servers;
 pub use osiris_trace as trace;
 pub use osiris_workloads as workloads;
 
+pub use osiris_axiom::{AxiomConfig, AxiomEvent, AxiomLog, ControlState};
 pub use osiris_checkpoint::Heap;
 pub use osiris_core::{
     CrashContext, Enhanced, EscalationPolicy, EscalationStep, Naive, Pessimistic, PolicyKind,
