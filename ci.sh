@@ -26,19 +26,25 @@ echo "== escalation ladder: sliding-window properties + quarantine matrix =="
 cargo test -q -p osiris-core --test escalation_props
 cargo test -q -p osiris-servers --test escalation_matrix
 
-echo "== trace + metrics determinism: two identical runs, byte-identical exports =="
+echo "== trace + metrics + timeseries determinism: two identical runs, byte-identical exports =="
 trace_tmp="$(mktemp -d)"
 trap 'rm -rf "$trace_tmp"' EXIT
 OSIRIS_TRACE_OUT="$trace_tmp/a.json" OSIRIS_METRICS_OUT="$trace_tmp/a_metrics" \
     OSIRIS_AXIOM_OUT="$trace_tmp/a_axiom.bin" \
+    OSIRIS_TIMESERIES_OUT="$trace_tmp/a_timeseries.json" \
     cargo run --release --example quickstart >/dev/null
 OSIRIS_TRACE_OUT="$trace_tmp/b.json" OSIRIS_METRICS_OUT="$trace_tmp/b_metrics" \
     OSIRIS_AXIOM_OUT="$trace_tmp/b_axiom.bin" \
+    OSIRIS_TIMESERIES_OUT="$trace_tmp/b_timeseries.json" \
     cargo run --release --example quickstart >/dev/null
 diff "$trace_tmp/a.json" "$trace_tmp/b.json"
 diff "$trace_tmp/a_metrics.prom" "$trace_tmp/b_metrics.prom"
 diff "$trace_tmp/a_metrics.json" "$trace_tmp/b_metrics.json"
+diff "$trace_tmp/a_timeseries.json" "$trace_tmp/b_timeseries.json"
 cmp "$trace_tmp/a_axiom.bin" "$trace_tmp/b_axiom.bin"
+
+echo "== span + timeseries determinism: suite-level byte-identical exports =="
+cargo test -q -p osiris-servers --test span_determinism
 
 echo "== promlint: Prometheus exposition well-formedness =="
 cargo run --release -p osiris-metrics --bin promlint -- \
@@ -51,7 +57,9 @@ for fam in osiris_quarantine_total osiris_quarantine_refusals_total \
     osiris_cas_chunks osiris_cas_bytes osiris_cas_dedup_hits_total \
     osiris_restart_chunks_total osiris_comp_clone_dedup_bytes \
     osiris_axiom_events_total osiris_axiom_bytes \
-    osiris_axiom_chain_verifications_total osiris_axiom_replay_divergence_total; do
+    osiris_axiom_chain_verifications_total osiris_axiom_replay_divergence_total \
+    osiris_span_started_total osiris_span_completed_total \
+    osiris_span_latency_cycles osiris_span_hops_total; do
     grep -q "^$fam" "$trace_tmp/a_metrics.prom" || {
         echo "missing metric family in exposition: $fam" >&2
         exit 1
@@ -82,10 +90,12 @@ cargo test -q -p osiris-servers --test axiom_replay
 echo "== axiom_replay: replaying the recorded axiom reproduces the run byte-for-byte =="
 OSIRIS_REPLAY_TRACE_OUT="$trace_tmp/replay.json" \
     OSIRIS_REPLAY_METRICS_OUT="$trace_tmp/replay_metrics" \
+    OSIRIS_REPLAY_TIMESERIES_OUT="$trace_tmp/replay_timeseries.json" \
     cargo run --release -p osiris-bench --bin axiom_replay -- "$trace_tmp/a_axiom.bin"
 diff "$trace_tmp/a.json" "$trace_tmp/replay.json"
 diff "$trace_tmp/a_metrics.prom" "$trace_tmp/replay_metrics.prom"
 diff "$trace_tmp/a_metrics.json" "$trace_tmp/replay_metrics.json"
+diff "$trace_tmp/a_timeseries.json" "$trace_tmp/replay_timeseries.json"
 cargo run --release -p osiris-bench --bin axiom_bisect -- \
     "$trace_tmp/a_axiom.bin" "$trace_tmp/b_axiom.bin" >/dev/null
 
@@ -100,5 +110,8 @@ cargo run --release -p osiris-bench --bin bench_restart -- --check
 
 echo "== bench_axiom --check: disabled-recorder overhead + zero-alloc retention =="
 cargo run --release -p osiris-bench --bin bench_axiom -- --check
+
+echo "== bench_spans --check: disabled span-recorder overhead + zero-alloc recording =="
+cargo run --release -p osiris-bench --bin bench_spans -- --check
 
 echo "ci.sh: all gates passed"

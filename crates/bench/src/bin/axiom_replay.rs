@@ -70,6 +70,10 @@ fn quickstart_cfg() -> OsConfig {
     let mut cfg = OsConfig::with_policy(PolicyKind::Enhanced);
     cfg.trace = TraceConfig::on();
     cfg.axiom = osiris_axiom::AxiomConfig::on();
+    // Quickstart samples the virtual-time series and folds counter lanes
+    // into its Chrome document; the replay must do the same for the
+    // byte-compare to hold.
+    cfg.timeseries = osiris_metrics::TimeseriesConfig::on();
     cfg
 }
 
@@ -95,7 +99,7 @@ fn main() {
     os.set_fault_hook(Box::new(CrashForkOnce(AtomicBool::new(false))));
     let mut host = Host::new(os, quickstart_registry());
     let outcome = host.run("main", &[]);
-    let os = host.into_engine();
+    let mut os = host.into_engine();
     assert!(outcome.completed(), "replayed workload must complete");
     println!(
         "replayed:  {} chained events re-derived (head {:016x})",
@@ -120,10 +124,16 @@ fn main() {
     let (prom, json) = os
         .write_metrics(&metrics_base)
         .expect("write replay metrics");
+    let ts_out = std::env::var("OSIRIS_REPLAY_TIMESERIES_OUT")
+        .unwrap_or_else(|_| "target/replay_timeseries.json".into());
+    let ts_path = os
+        .write_timeseries(&ts_out)
+        .expect("write replay timeseries");
     println!(
-        "exports:   {trace_out}, {} and {}",
+        "exports:   {trace_out}, {}, {} and {}",
         prom.display(),
-        json.display()
+        json.display(),
+        ts_path.display()
     );
     os.verify_axiom().expect("fresh chain intact");
 

@@ -1,0 +1,56 @@
+//! Span record-path microbenchmark with allocator-call counting.
+//!
+//! Installs a counting wrapper around the system allocator so the run can
+//! *prove* the span recorder's "zero allocator calls in steady state"
+//! claim, then benchmarks bare span arithmetic vs arithmetic + disabled
+//! recorders vs full recording (ring + registry), and writes
+//! `BENCH_spans.json`.
+//!
+//! `--check` runs a scaled-down workload and enforces the same invariants
+//! without writing the JSON artifact — the CI gate.
+
+use osiris_bench::{bench_spans, SpanBenchConfig};
+
+osiris_bench::counting_allocator!();
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check" || a == "--quick");
+    let mut cfg = if check {
+        SpanBenchConfig::quick()
+    } else {
+        SpanBenchConfig::default()
+    };
+    cfg.alloc_count = Some(alloc_calls);
+
+    let result = bench_spans(cfg);
+    print!("{}", result.render());
+
+    if !check {
+        std::fs::write("BENCH_spans.json", result.to_json().pretty())
+            .expect("write BENCH_spans.json");
+        println!("results written to BENCH_spans.json");
+    }
+
+    // The two headline claims, enforced so regressions fail loudly in CI.
+    let enabled_allocs = result
+        .enabled
+        .steady_state_allocs
+        .expect("counter installed");
+    assert_eq!(
+        enabled_allocs, 0,
+        "steady-state span recording must not touch the allocator"
+    );
+    assert!(
+        result.disabled_within_bound(),
+        "disabled span-recorder overhead {:.2}% ({:.3} ns/msg) exceeds the {}%/{}ns bound",
+        result.disabled_overhead_pct(),
+        result.disabled_overhead_ns(),
+        osiris_bench::DISABLED_BOUND_PCT,
+        osiris_bench::DISABLED_EPSILON_NS,
+    );
+    println!(
+        "OK: disabled overhead {:.2}% within bound, recording made {} allocator calls",
+        result.disabled_overhead_pct(),
+        enabled_allocs
+    );
+}

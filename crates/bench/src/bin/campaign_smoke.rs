@@ -101,6 +101,9 @@ fn run_one(program: &str, policy: PolicyKind, campaign: &Campaign) -> Outcome {
     let plan = hot_read_plan();
     let mut cfg = OsConfig::with_policy(policy);
     cfg.escalation = tight_ladder();
+    // Retain the axiom: run_attribution folds its record stream into the
+    // per-injection recovery critical path (zeros without retention).
+    cfg.axiom = osiris_axiom::AxiomConfig::on();
     let mut os = Os::new(cfg);
     os.set_fault_hook(Box::new(Injector::new(&plan)));
     let mut host = Host::new(os, registry());
@@ -113,6 +116,8 @@ fn run_one(program: &str, policy: PolicyKind, campaign: &Campaign) -> Outcome {
     };
     let m = os.metrics();
     let class = classify_run(&outcome, violations, m.quarantines);
+    let (critical_path, span_latency_clean, span_latency_recovery) =
+        osiris_faults::run_attribution(os.kernel().axiom().records(), &os.metrics_snapshot());
     campaign.record(osiris_faults::InjectionRecord {
         site: plan.site,
         kind: plan.kind,
@@ -127,6 +132,9 @@ fn run_one(program: &str, policy: PolicyKind, campaign: &Campaign) -> Outcome {
         run_cycles: os.kernel().now(),
         recoveries: m.recovered_rollback + m.recovered_fresh + m.recovered_naive,
         recovery_cycles: m.recovery_cycles,
+        critical_path,
+        span_latency_clean,
+        span_latency_recovery,
         blackbox: None,
     });
     if !matches!(outcome, RunOutcome::Completed { .. }) {

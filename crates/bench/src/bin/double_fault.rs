@@ -76,7 +76,10 @@ fn registry() -> ProgramRegistry {
 }
 
 fn run_one(secondary: &FaultPlan, campaign: &Campaign) -> (Outcome, String) {
-    let cfg = OsConfig::with_policy(PolicyKind::Enhanced);
+    let mut cfg = OsConfig::with_policy(PolicyKind::Enhanced);
+    // Retain the axiom: run_attribution folds its record stream into the
+    // per-injection recovery critical path (zeros without retention).
+    cfg.axiom = osiris_axiom::AxiomConfig::on();
     let mut os = Os::new(cfg);
     os.set_fault_hook(Box::new(DoubleInjector::new(&primary(), secondary)));
     let mut host = Host::new(os, registry());
@@ -89,6 +92,8 @@ fn run_one(secondary: &FaultPlan, campaign: &Campaign) -> (Outcome, String) {
     };
     let m = os.metrics();
     let class = classify_run(&outcome, violations, m.quarantines);
+    let (critical_path, span_latency_clean, span_latency_recovery) =
+        osiris_faults::run_attribution(os.kernel().axiom().records(), &os.metrics_snapshot());
     campaign.record(osiris_faults::InjectionRecord {
         site: secondary.site.clone(),
         kind: secondary.kind,
@@ -103,6 +108,9 @@ fn run_one(secondary: &FaultPlan, campaign: &Campaign) -> (Outcome, String) {
         run_cycles: os.kernel().now(),
         recoveries: m.recovered_rollback + m.recovered_fresh + m.recovered_naive,
         recovery_cycles: m.recovery_cycles,
+        critical_path,
+        span_latency_clean,
+        span_latency_recovery,
         blackbox: None,
     });
     println!(

@@ -41,6 +41,9 @@ fn injection_config(policy: PolicyKind) -> OsConfig {
         blackbox_tail: 0,
         ..Default::default()
     };
+    // Retain the axiom so each injection's MTTR can be decomposed into its
+    // recovery critical path (detect → execute → replay) after the run.
+    cfg.axiom = osiris_axiom::AxiomConfig::on();
     cfg
 }
 
@@ -250,6 +253,13 @@ pub fn survivability_for(
                 let tail = os.trace_handle().with(|t| t.tail_per_comp(12));
                 osiris_trace::render_text(&tail, &os.kernel().trace_names())
             });
+            // Join the run's axiom + span metrics into the per-injection
+            // MTTR critical path and request-latency split.
+            let (critical_path, span_latency_clean, span_latency_recovery) =
+                osiris_faults::run_attribution(
+                    os.kernel().axiom().records(),
+                    &os.metrics_snapshot(),
+                );
             campaign.record(InjectionRecord {
                 site: plan.site.clone(),
                 kind: plan.kind,
@@ -264,6 +274,9 @@ pub fn survivability_for(
                 run_cycles: os.kernel().now(),
                 recoveries: m.recovered_rollback + m.recovered_fresh + m.recovered_naive,
                 recovery_cycles: m.recovery_cycles,
+                critical_path,
+                span_latency_clean,
+                span_latency_recovery,
                 blackbox,
             });
             class

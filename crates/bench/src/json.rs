@@ -189,7 +189,9 @@ pub fn hist_json(h: &HistSummary) -> Json {
         ("count", Json::UInt(h.count)),
         ("min", Json::UInt(h.min)),
         ("p50", Json::UInt(h.p50)),
+        ("p90", Json::UInt(h.p90)),
         ("p99", Json::UInt(h.p99)),
+        ("p999", Json::UInt(h.p999)),
         ("max", Json::UInt(h.max)),
         ("mean", Json::UInt(h.mean)),
     ])
@@ -266,11 +268,15 @@ mod tests {
             max: 4,
             mean: 2,
             p50: 1,
+            p90: 4,
             p99: 4,
+            p999: 4,
         };
         let j = hist_json(&h).pretty();
         assert!(j.contains("\"count\": 2"));
         assert!(j.contains("\"mean\": 2"));
+        assert!(j.contains("\"p90\": 4"));
+        assert!(j.contains("\"p999\": 4"));
     }
 
     #[test]

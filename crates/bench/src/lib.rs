@@ -14,6 +14,7 @@ pub mod json;
 pub mod loc;
 pub mod metrics_bench;
 pub mod restart_bench;
+pub mod span_bench;
 pub mod trace_bench;
 pub mod undo_bench;
 
@@ -25,6 +26,7 @@ pub use metrics_bench::{bench_metrics, MetricsBenchConfig, MetricsBenchResult, M
 pub use restart_bench::{
     bench_restart, PoolDedupResult, RestartBenchConfig, RestartBenchResult, RestartPoint,
 };
+pub use span_bench::{bench_spans, SpanBenchConfig, SpanBenchResult, SpanModeResult};
 pub use trace_bench::{
     bench_trace, TraceBenchConfig, TraceBenchResult, TraceModeResult, DISABLED_BOUND_PCT,
     DISABLED_EPSILON_NS,

@@ -1,0 +1,501 @@
+//! Microbenchmark for the causal request-span record path.
+//!
+//! Every user request the kernel serves carries a [`SpanInfo`]: minted at
+//! `send_user_request`, copied through every message hop, and closed at
+//! the reply with a latency observation split by recovery overlap. The
+//! span *bookkeeping* (minting the `Copy` struct, carrying it on
+//! messages) is unconditional; the *recording* decision is sampled once
+//! at mint time — `tracer.is_enabled() || metrics.enabled()` — and
+//! carried in the span's `record` flag, so every downstream hop and the
+//! close site branch on a plain bool instead of re-consulting the
+//! handles' shared atomics (the caching discipline `Heap::set_tracer`
+//! documents for the undo path).
+//!
+//! This bench drives identical synthetic span lifecycles (mint → hops →
+//! close, with a recovery-epoch bump every `recovery_every`-th span so
+//! the crossed-recovery arm is on the measured path) under three
+//! attachments, and reports nanoseconds per span-carrying *message*
+//! (open + hops + close), the unit the feature taxes:
+//!
+//! * **baseline** — span bookkeeping only, recording deleted: mint and
+//!   carry the struct, never consult a recorder.
+//! * **disabled** — bookkeeping plus the shipping disabled path: the
+//!   mint site pays the two relaxed loads, every later site one
+//!   predictable branch on the cached flag. Its overhead over the
+//!   baseline is the headline number; `bench_spans --check` holds it to
+//!   the same ≤[`DISABLED_BOUND_PCT`]%-or-≤[`DISABLED_EPSILON_NS`] ns
+//!   per-message bound as `bench_trace`/`bench_axiom`.
+//! * **enabled** — full recording: `SpanOpen`/`SpanHop`/`SpanClose`
+//!   events into the preallocated trace ring plus the `osiris_span_*`
+//!   counter and histogram writes. The ring is sized up front and the
+//!   histogram buckets live inline, so enabled-mode steady state must
+//!   make **zero** allocator calls; when the caller supplies an
+//!   allocation counter (see `src/bin/bench_spans.rs`) the harness
+//!   proves it.
+//!
+//! Timing discipline matches `trace_bench`: modes run interleaved,
+//! min-of-[`REPS`] repetitions, fresh state per repetition.
+
+use std::time::Instant;
+
+use osiris_kernel::SpanInfo;
+use osiris_metrics::{Counter, Hist, MetricsConfig, MetricsHandle};
+use osiris_trace::{TraceConfig, TraceEvent, TraceHandle, KERNEL_COMP};
+
+use crate::json::Json;
+use crate::{DISABLED_BOUND_PCT, DISABLED_EPSILON_NS};
+
+/// Benchmark configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SpanBenchConfig {
+    /// Synthetic request spans per measured repetition.
+    pub spans: u64,
+    /// Spans run before measuring, to warm caches and the ring.
+    pub warmup_spans: u64,
+    /// Message hops between open and close (IPC fan-out per request).
+    pub hops_per_span: u64,
+    /// Every `recovery_every`-th span closes after a recovery-epoch bump,
+    /// so the crossed-recovery split is on the measured path.
+    pub recovery_every: u64,
+    /// Reads the process-wide allocation count, if the caller installed a
+    /// counting allocator.
+    pub alloc_count: Option<fn() -> u64>,
+}
+
+impl Default for SpanBenchConfig {
+    fn default() -> Self {
+        SpanBenchConfig {
+            spans: 200_000,
+            warmup_spans: 2_000,
+            hops_per_span: 3,
+            recovery_every: 16,
+            alloc_count: None,
+        }
+    }
+}
+
+impl SpanBenchConfig {
+    /// A scaled-down configuration for the CI gate (`bench_spans
+    /// --check`): large enough for min-of-reps timing to be stable, small
+    /// enough to finish in well under a second.
+    pub fn quick() -> SpanBenchConfig {
+        SpanBenchConfig {
+            spans: 40_000,
+            warmup_spans: 1_000,
+            hops_per_span: 3,
+            recovery_every: 16,
+            alloc_count: None,
+        }
+    }
+
+    /// Span-carrying messages per span: the opening request delivery,
+    /// each hop, and the closing reply.
+    pub fn msgs_per_span(&self) -> u64 {
+        2 + self.hops_per_span
+    }
+}
+
+/// Measurements for one attachment.
+#[derive(Clone, Copy, Debug)]
+pub struct SpanModeResult {
+    /// Nanoseconds per span-carrying message (fastest repetition).
+    pub ns_per_msg: f64,
+    /// Span-carrying messages per second implied by `ns_per_msg`.
+    pub msgs_per_sec: f64,
+    /// Allocator calls during one measured (post-warmup) repetition, if an
+    /// allocation counter was supplied.
+    pub steady_state_allocs: Option<u64>,
+}
+
+/// The full comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct SpanBenchResult {
+    /// Configuration echoed back.
+    pub spans: u64,
+    /// Hops per span, echoed back.
+    pub hops_per_span: u64,
+    /// Span-carrying messages per span (open + hops + close).
+    pub msgs_per_span: u64,
+    /// Span bookkeeping only; recording deleted.
+    pub baseline: SpanModeResult,
+    /// Bookkeeping + mint-site consult + cached-flag branches — the
+    /// shipping configuration.
+    pub disabled: SpanModeResult,
+    /// Full recording.
+    pub enabled: SpanModeResult,
+    /// Spans the enabled registry counted in one repetition (sanity).
+    pub spans_recorded: u64,
+}
+
+impl SpanBenchResult {
+    /// Disabled-recorder overhead over the bookkeeping-only baseline, in
+    /// percent (clamped at zero).
+    pub fn disabled_overhead_pct(&self) -> f64 {
+        overhead_pct(self.baseline.ns_per_msg, self.disabled.ns_per_msg)
+    }
+
+    /// Disabled-recorder overhead in absolute ns per span-carrying
+    /// message (clamped at zero).
+    pub fn disabled_overhead_ns(&self) -> f64 {
+        (self.disabled.ns_per_msg - self.baseline.ns_per_msg).max(0.0)
+    }
+
+    /// Full-recording overhead over the baseline, in percent.
+    pub fn enabled_overhead_pct(&self) -> f64 {
+        overhead_pct(self.baseline.ns_per_msg, self.enabled.ns_per_msg)
+    }
+
+    /// The headline check, same bar as `bench_trace`/`bench_axiom`: the
+    /// shipping (attached-but-disabled) span recorder costs at most
+    /// [`DISABLED_BOUND_PCT`] percent over bare span bookkeeping, or at
+    /// most [`DISABLED_EPSILON_NS`] ns per span-carrying message —
+    /// whichever is more permissive, because against a bookkeeping loop
+    /// that finishes in fractions of a nanosecond per message the
+    /// relative bound is finer than the clock.
+    pub fn disabled_within_bound(&self) -> bool {
+        self.disabled_overhead_pct() <= DISABLED_BOUND_PCT
+            || self.disabled_overhead_ns() <= DISABLED_EPSILON_NS
+    }
+
+    /// Renders a human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "span record path: {} spans, {} hops each ({} messages/span)\n",
+            self.spans, self.hops_per_span, self.msgs_per_span
+        ));
+        let row = |name: &str, r: &SpanModeResult| {
+            let allocs = match r.steady_state_allocs {
+                Some(n) => format!("{n}"),
+                None => "-".to_string(),
+            };
+            format!(
+                "{:<22} {:>8.2} ns/msg {:>14.0} msg/s {:>8} allocs\n",
+                name, r.ns_per_msg, r.msgs_per_sec, allocs
+            )
+        };
+        out.push_str(&row("bookkeeping only", &self.baseline));
+        out.push_str(&row("attached, disabled", &self.disabled));
+        out.push_str(&row("attached, recording", &self.enabled));
+        out.push_str(&format!(
+            "disabled overhead: {:.2}% ({:.3} ns/msg, bound {}% or {} ns)  \
+             recording overhead: {:.2}%\n",
+            self.disabled_overhead_pct(),
+            self.disabled_overhead_ns(),
+            DISABLED_BOUND_PCT,
+            DISABLED_EPSILON_NS,
+            self.enabled_overhead_pct()
+        ));
+        out.push_str(&format!("spans recorded: {}\n", self.spans_recorded));
+        out
+    }
+
+    /// Machine-readable form (written to `BENCH_spans.json`).
+    pub fn to_json(&self) -> Json {
+        let mode = |r: &SpanModeResult| {
+            crate::json::write_mode_json(r.ns_per_msg, r.msgs_per_sec, r.steady_state_allocs)
+        };
+        let obj = crate::json::JsonObj::new()
+            .field("spans", Json::UInt(self.spans))
+            .field("hops_per_span", Json::UInt(self.hops_per_span))
+            .field("msgs_per_span", Json::UInt(self.msgs_per_span))
+            .field("baseline_bookkeeping", mode(&self.baseline))
+            .field("attached_disabled", mode(&self.disabled))
+            .field("attached_recording", mode(&self.enabled));
+        crate::json::overhead_fields(
+            obj,
+            self.disabled_overhead_pct(),
+            self.disabled_overhead_ns(),
+            self.disabled_within_bound(),
+            self.enabled_overhead_pct(),
+        )
+        .field("spans_recorded", Json::UInt(self.spans_recorded))
+        .build()
+    }
+}
+
+fn overhead_pct(base_ns: f64, mode_ns: f64) -> f64 {
+    ((mode_ns - base_ns).max(0.0) / base_ns.max(1e-9)) * 100.0
+}
+
+/// The recorder attachment under test.
+#[derive(Clone, Copy)]
+enum Attach {
+    None,
+    Disabled,
+    Enabled,
+}
+
+/// Timing repetitions per mode, interleaved like `trace_bench`.
+const REPS: usize = 9;
+
+/// Mode order within each repetition.
+const ATTACHES: [Attach; 3] = [Attach::None, Attach::Disabled, Attach::Enabled];
+
+/// The span-relevant slice of the kernel's registry, registered on a
+/// per-mode [`MetricsHandle`] exactly as `KernelCounters::register` does.
+struct SpanSeries {
+    started: Counter,
+    completed_none: Counter,
+    completed_recovery: Counter,
+    latency_none: Hist,
+    latency_recovery: Hist,
+    hops: Counter,
+}
+
+struct ModeState {
+    tracer: TraceHandle,
+    metrics: MetricsHandle,
+    series: SpanSeries,
+}
+
+fn setup(attach: Attach, cfg: &SpanBenchConfig) -> ModeState {
+    // Every mode constructs both recorders — the baseline simply never
+    // consults its (placebo) ones — so all modes issue the same allocation
+    // sequence before the measured loop.
+    let on = matches!(attach, Attach::Enabled);
+    let tracer = TraceHandle::new(TraceConfig {
+        enabled: on,
+        capacity: 16_384,
+        ..Default::default()
+    });
+    let metrics = MetricsHandle::new(MetricsConfig { enabled: on });
+    let completed = |overlap: &str| {
+        metrics.counter(
+            "osiris_span_completed_total",
+            "spans closed",
+            &[("overlap", overlap)],
+        )
+    };
+    let latency = |overlap: &str| {
+        metrics.hist(
+            "osiris_span_latency_cycles",
+            "cycles per span",
+            &[("overlap", overlap)],
+        )
+    };
+    let series = SpanSeries {
+        started: metrics.counter("osiris_span_started_total", "spans minted", &[]),
+        completed_none: completed("none"),
+        completed_recovery: completed("recovery"),
+        latency_none: latency("none"),
+        latency_recovery: latency("recovery"),
+        hops: metrics.counter("osiris_span_hops_total", "span hops", &[]),
+    };
+    let mut m = ModeState {
+        tracer,
+        metrics,
+        series,
+    };
+    run_rep(
+        &mut m,
+        attach,
+        &SpanBenchConfig {
+            spans: cfg.warmup_spans,
+            ..*cfg
+        },
+    );
+    reset_rep(&mut m);
+    m
+}
+
+/// One repetition: the full span lifecycle loop, mirroring the kernel's
+/// mint / hop / close sequence and its gating exactly. Returns a checksum
+/// over the span bookkeeping so it cannot be optimized away in the
+/// baseline mode.
+#[inline]
+fn run_rep(m: &mut ModeState, attach: Attach, cfg: &SpanBenchConfig) -> u64 {
+    let consult = !matches!(attach, Attach::None);
+    let mut now = 0u64;
+    let mut epoch = 0u64;
+    let mut checksum = 0u64;
+    for s in 0..cfg.spans {
+        // Mint at the workload entry point: the id unconditionally, the
+        // recording decision sampled once from the handles' atomics.
+        now += 13;
+        let span = SpanInfo {
+            id: s + 1,
+            opened_at: now,
+            epoch_at_open: epoch,
+            record: consult && (m.tracer.is_enabled() || m.metrics.enabled()),
+        };
+        checksum = checksum.wrapping_add(span.id ^ span.opened_at);
+        if span.record {
+            m.series.started.inc();
+            m.tracer.set_now(now);
+            m.tracer.emit(
+                KERNEL_COMP,
+                TraceEvent::SpanOpen {
+                    span: span.id,
+                    sid: s,
+                    pid: 1,
+                },
+            );
+        }
+        // Propagate across hops: each delivery branches on the cached
+        // flag, exactly like the kernel's `SpanHop` site.
+        for h in 0..cfg.hops_per_span {
+            now += 7;
+            if span.record {
+                m.series.hops.inc();
+                m.tracer.set_now(now);
+                m.tracer.emit(
+                    (h % 6) as u8,
+                    TraceEvent::SpanHop {
+                        span: span.id,
+                        src: ((h + 1) % 6) as u8,
+                        msg_id: s * cfg.hops_per_span + h,
+                    },
+                );
+            }
+        }
+        // Every `recovery_every`-th span crosses a recovery before it
+        // closes: epoch bump, recovery charge.
+        if cfg.recovery_every > 0 && s % cfg.recovery_every == cfg.recovery_every - 1 {
+            epoch += 1;
+            now += 400;
+        }
+        // Close at the reply, mirroring `close_span`: the flag short-
+        // circuits the overlap split, the latency computation and all
+        // record writes.
+        now += 13;
+        if span.record {
+            let crossed = span.epoch_at_open != epoch;
+            let latency = now - span.opened_at;
+            let (completed, hist) = if crossed {
+                (&m.series.completed_recovery, &m.series.latency_recovery)
+            } else {
+                (&m.series.completed_none, &m.series.latency_none)
+            };
+            completed.inc();
+            hist.observe(latency);
+            m.tracer.set_now(now);
+            m.tracer.emit(
+                KERNEL_COMP,
+                TraceEvent::SpanClose {
+                    span: span.id,
+                    ok: !crossed,
+                    crossed_recovery: crossed,
+                    latency,
+                },
+            );
+        }
+    }
+    checksum
+}
+
+#[inline]
+fn reset_rep(m: &mut ModeState) {
+    m.tracer.clear();
+    m.metrics.reset();
+}
+
+/// Runs the comparison.
+pub fn bench_spans(cfg: SpanBenchConfig) -> SpanBenchResult {
+    let mut best = [f64::INFINITY; ATTACHES.len()];
+    let mut steady_state_allocs: [Option<u64>; ATTACHES.len()] = [None; ATTACHES.len()];
+    let mut spans_recorded = 0u64;
+    let mut sink = 0u64;
+
+    for rep in 0..REPS {
+        for (i, attach) in ATTACHES.iter().enumerate() {
+            // Fresh state per repetition, dropped before the next mode's
+            // setup, so all modes reuse the same freed allocator blocks
+            // (see trace_bench on why placement parity matters at this
+            // resolution).
+            let mut m = setup(*attach, &cfg);
+            let allocs_before = cfg.alloc_count.map(|f| f());
+            let start = Instant::now();
+            sink = sink.wrapping_add(run_rep(&mut m, *attach, &cfg));
+            best[i] = best[i].min(start.elapsed().as_secs_f64().max(1e-9));
+            if rep == 0 {
+                steady_state_allocs[i] = cfg.alloc_count.map(|f| f() - allocs_before.unwrap_or(0));
+            }
+            if matches!(attach, Attach::Enabled) {
+                spans_recorded = m.series.started.get();
+            }
+        }
+    }
+    std::hint::black_box(sink);
+
+    let total_msgs = cfg.spans * cfg.msgs_per_span();
+    let result = |i: usize| SpanModeResult {
+        ns_per_msg: best[i] * 1e9 / total_msgs as f64,
+        msgs_per_sec: total_msgs as f64 / best[i],
+        steady_state_allocs: steady_state_allocs[i],
+    };
+    SpanBenchResult {
+        spans: cfg.spans,
+        hops_per_span: cfg.hops_per_span,
+        msgs_per_span: cfg.msgs_per_span(),
+        baseline: result(0),
+        disabled: result(1),
+        enabled: result(2),
+        spans_recorded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_sane_numbers() {
+        let cfg = SpanBenchConfig {
+            spans: 2_000,
+            warmup_spans: 100,
+            hops_per_span: 3,
+            recovery_every: 8,
+            alloc_count: None,
+        };
+        let r = bench_spans(cfg);
+        assert!(r.baseline.ns_per_msg > 0.0);
+        assert!(r.disabled.ns_per_msg > 0.0);
+        assert!(r.enabled.ns_per_msg > 0.0);
+        assert_eq!(r.spans_recorded, r.spans);
+        assert_eq!(r.msgs_per_span, 5);
+        let j = r.to_json().pretty();
+        assert!(j.contains("disabled_overhead_pct"));
+        assert!(j.contains("attached_recording"));
+        assert!(j.contains("spans_recorded"));
+    }
+
+    #[test]
+    fn enabled_mode_splits_by_recovery_overlap() {
+        // Drive one enabled repetition directly and check the registry
+        // split: with recovery_every=8, every 8th span closes crossed.
+        let cfg = SpanBenchConfig {
+            spans: 64,
+            warmup_spans: 0,
+            hops_per_span: 2,
+            recovery_every: 8,
+            alloc_count: None,
+        };
+        let mut m = setup(Attach::Enabled, &cfg);
+        run_rep(&mut m, Attach::Enabled, &cfg);
+        assert_eq!(m.series.started.get(), 64);
+        assert_eq!(m.series.completed_recovery.get(), 8);
+        assert_eq!(m.series.completed_none.get(), 56);
+        assert_eq!(m.series.hops.get(), 128);
+        // Crossed spans absorbed the recovery charge: strictly slower.
+        assert!(m.series.latency_recovery.summary().p50 > m.series.latency_none.summary().p50);
+    }
+
+    #[test]
+    fn disabled_mode_records_nothing() {
+        let cfg = SpanBenchConfig {
+            spans: 32,
+            warmup_spans: 0,
+            hops_per_span: 2,
+            recovery_every: 8,
+            alloc_count: None,
+        };
+        let mut m = setup(Attach::Disabled, &cfg);
+        let a = run_rep(&mut m, Attach::Disabled, &cfg);
+        assert_eq!(m.series.started.get(), 0);
+        assert_eq!(m.tracer.snapshot().len(), 0);
+        // Bookkeeping is identical across modes: same checksum baseline.
+        let mut b = setup(Attach::None, &cfg);
+        assert_eq!(a, run_rep(&mut b, Attach::None, &cfg));
+    }
+}

@@ -23,7 +23,7 @@ use std::sync::Mutex;
 
 use osiris_axiom::{AxiomConfig, AxiomEvent, AxiomLog, AxiomRecord, OutcomeCode};
 use osiris_metrics::MetricsHandle;
-use osiris_trace::Json;
+use osiris_trace::{HistSummary, Json};
 
 use crate::{FaultKind, FaultModel, Outcome, SiteId, Tally};
 
@@ -115,6 +115,120 @@ impl RecoveryActionTag {
     }
 }
 
+/// MTTR decomposition of a run's recoveries, joined from its axiom
+/// control-plane records: how the recovery time splits into the *detect*
+/// leg (crash/hang capture → RS decision, covering notification and policy
+/// evaluation) and the *execute* leg (the charged rollback/restore/replay
+/// work), plus the re-drive and fallback churn along the way.
+///
+/// Derived offline by [`critical_path`] — a pure fold over
+/// [`AxiomRecord`]s, so any retained axiom (live kernel, serialized file,
+/// replayed log) yields the same breakdown.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// Completed recoveries (`RecoveryDone` events).
+    pub recoveries: u64,
+    /// Σ cycles from crash/hang capture to the RS's `RecoveryDecision`.
+    pub detect_cycles: u64,
+    /// Σ cycles charged to recovery execution (`RecoveryDone.cycles`:
+    /// rollback/restore, state replay, reconnection).
+    pub execute_cycles: u64,
+    /// Σ end-to-end cycles, capture → `RecoveryDone`.
+    pub total_cycles: u64,
+    /// Interrupted recovery intents re-driven through a restarted RS.
+    pub intent_replays: u64,
+    /// Recovery phases degraded along the fallback chain.
+    pub fallbacks: u64,
+}
+
+/// Folds an axiom record stream into its recovery [`CriticalPath`].
+///
+/// Captures (`Crash` / `HangDetected`) open a pending recovery per
+/// component; the matching `RecoveryDecision` closes the detect leg and
+/// the matching `RecoveryDone` closes the whole path. Unmatched captures
+/// (run ended mid-recovery, controlled shutdown) contribute nothing —
+/// the decomposition only accounts for recoveries that completed.
+pub fn critical_path(records: &[AxiomRecord]) -> CriticalPath {
+    let mut cp = CriticalPath::default();
+    // Pending per-component timestamps, indexed by component id.
+    let mut captured: BTreeMap<u8, u64> = BTreeMap::new();
+    let mut decided: BTreeMap<u8, u64> = BTreeMap::new();
+    for r in records {
+        match r.event {
+            AxiomEvent::Crash { comp } | AxiomEvent::HangDetected { comp } => {
+                // A second capture before the decision (e.g. a crash of an
+                // already-hung component) keeps the earliest timestamp:
+                // the path starts when the system first lost the service.
+                captured.entry(comp).or_insert(r.now);
+            }
+            AxiomEvent::RecoveryDecision { comp, .. } => {
+                if let Some(t0) = captured.get(&comp) {
+                    cp.detect_cycles += r.now.saturating_sub(*t0);
+                }
+                decided.insert(comp, r.now);
+            }
+            AxiomEvent::RecoveryDone { comp, cycles } => {
+                cp.recoveries += 1;
+                cp.execute_cycles += cycles;
+                if let Some(t0) = captured.remove(&comp) {
+                    cp.total_cycles += r.now.saturating_sub(t0);
+                }
+                decided.remove(&comp);
+            }
+            AxiomEvent::IntentReplayed { .. } => cp.intent_replays += 1,
+            AxiomEvent::RecoveryFallback { .. } => cp.fallbacks += 1,
+            _ => {}
+        }
+    }
+    cp
+}
+
+impl CriticalPath {
+    /// The breakdown as an ordered JSON object (embedded per injection in
+    /// `campaign_report.json`).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("recoveries", Json::UInt(self.recoveries)),
+            ("detect_cycles", Json::UInt(self.detect_cycles)),
+            ("execute_cycles", Json::UInt(self.execute_cycles)),
+            ("total_cycles", Json::UInt(self.total_cycles)),
+            ("intent_replays", Json::UInt(self.intent_replays)),
+            ("fallbacks", Json::UInt(self.fallbacks)),
+        ])
+    }
+}
+
+/// Joins one finished run's observability artifacts into its attribution
+/// fields: the recovery [`CriticalPath`] from the run's axiom records and
+/// the end-to-end request-latency split (clean / crossed-a-recovery) from
+/// its metrics snapshot. Missing artifacts degrade to zeros: an empty
+/// axiom yields an all-zero path, an absent latency family empty digests.
+pub fn run_attribution(
+    axiom: &[AxiomRecord],
+    snapshot: &osiris_metrics::MetricsSnapshot,
+) -> (CriticalPath, HistSummary, HistSummary) {
+    let latency = |overlap: &str| match snapshot
+        .find("osiris_span_latency_cycles", &[("overlap", overlap)])
+    {
+        Some(osiris_metrics::SeriesValue::Hist(h)) => h.summary(),
+        _ => HistSummary::default(),
+    };
+    (critical_path(axiom), latency("none"), latency("recovery"))
+}
+
+/// A latency digest as JSON: the quantile fields the campaign report
+/// carries per injection for the request-latency split.
+fn latency_json(h: &HistSummary) -> Json {
+    Json::obj([
+        ("count", Json::UInt(h.count)),
+        ("p50", Json::UInt(h.p50)),
+        ("p90", Json::UInt(h.p90)),
+        ("p99", Json::UInt(h.p99)),
+        ("p999", Json::UInt(h.p999)),
+        ("max", Json::UInt(h.max)),
+    ])
+}
+
 /// Everything the campaign keeps about one injected run.
 #[derive(Clone, Debug)]
 pub struct InjectionRecord {
@@ -134,6 +248,15 @@ pub struct InjectionRecord {
     pub recoveries: u64,
     /// Virtual cycles spent in recovery phases.
     pub recovery_cycles: u64,
+    /// MTTR decomposition of the run's recoveries, joined from its axiom
+    /// (all-zero when the run retained no axiom or never recovered).
+    pub critical_path: CriticalPath,
+    /// End-to-end request-latency digest for spans that never overlapped a
+    /// recovery (`osiris_span_latency_cycles{overlap="none"}`).
+    pub span_latency_clean: HistSummary,
+    /// Latency digest for spans that crossed a crash capture or recovery
+    /// (`osiris_span_latency_cycles{overlap="recovery"}`).
+    pub span_latency_recovery: HistSummary,
     /// Flight-recorder tail of the run, carried only for uncontrolled
     /// crashes (the black-box dump).
     pub blackbox: Option<String>,
@@ -370,6 +493,14 @@ impl Campaign {
                         ("run_cycles", Json::UInt(r.run_cycles)),
                         ("recoveries", Json::UInt(r.recoveries)),
                         ("recovery_cycles", Json::UInt(r.recovery_cycles)),
+                        ("critical_path", r.critical_path.to_json()),
+                        (
+                            "span_latency",
+                            Json::obj([
+                                ("none", latency_json(&r.span_latency_clean)),
+                                ("recovery", latency_json(&r.span_latency_recovery)),
+                            ]),
+                        ),
                     ])
                 }),
             ),
@@ -448,6 +579,16 @@ mod tests {
             run_cycles: 1000,
             recoveries: 1,
             recovery_cycles: 50,
+            critical_path: CriticalPath {
+                recoveries: 1,
+                detect_cycles: 10,
+                execute_cycles: 40,
+                total_cycles: 50,
+                intent_replays: 0,
+                fallbacks: 0,
+            },
+            span_latency_clean: HistSummary::default(),
+            span_latency_recovery: HistSummary::default(),
             blackbox: None,
         }
     }
@@ -487,6 +628,57 @@ mod tests {
         assert!(text.contains("\"completed_runs\": 2"));
         assert!(text.contains("\"component\": \"ds\""));
         assert!(text.contains("\"action\": \"rollback\""));
+        // Each record carries its MTTR decomposition and latency split.
+        assert!(text.contains("\"critical_path\""), "{text}");
+        assert!(text.contains("\"detect_cycles\": 10"), "{text}");
+        assert!(text.contains("\"span_latency\""), "{text}");
+        assert!(text.contains("\"p999\""), "{text}");
+    }
+
+    #[test]
+    fn critical_path_folds_capture_decide_done() {
+        use osiris_axiom::ActionCode;
+        let mut log = AxiomLog::new(AxiomConfig {
+            enabled: true,
+            capacity: 16,
+        });
+        // One crash recovery: captured at 100, decided at 130, done at 200
+        // with 60 charged cycles; one replay and one fallback on the way.
+        log.append(100, AxiomEvent::Crash { comp: 2 });
+        log.append(
+            130,
+            AxiomEvent::RecoveryDecision {
+                comp: 2,
+                action: ActionCode::RollbackErrorReply,
+            },
+        );
+        log.append(150, AxiomEvent::IntentReplayed { comp: 2 });
+        log.append(
+            160,
+            AxiomEvent::RecoveryFallback {
+                comp: 2,
+                from: ActionCode::RollbackErrorReply,
+                to: ActionCode::FreshRestart,
+            },
+        );
+        log.append(
+            200,
+            AxiomEvent::RecoveryDone {
+                comp: 2,
+                cycles: 60,
+            },
+        );
+        // A hang on another component that never resolves: contributes
+        // nothing to the completed-path sums.
+        log.append(300, AxiomEvent::HangDetected { comp: 3 });
+        let cp = critical_path(log.records());
+        assert_eq!(cp.recoveries, 1);
+        assert_eq!(cp.detect_cycles, 30);
+        assert_eq!(cp.execute_cycles, 60);
+        assert_eq!(cp.total_cycles, 100);
+        assert_eq!(cp.intent_replays, 1);
+        assert_eq!(cp.fallbacks, 1);
+        assert_eq!(critical_path(&[]), CriticalPath::default());
     }
 
     #[test]

@@ -25,7 +25,9 @@
 
 pub mod campaign;
 
-pub use campaign::{Campaign, InjectionRecord, RecoveryActionTag};
+pub use campaign::{
+    critical_path, run_attribution, Campaign, CriticalPath, InjectionRecord, RecoveryActionTag,
+};
 
 use std::collections::BTreeMap;
 use std::fmt;

@@ -15,7 +15,7 @@ use osiris_checkpoint::Heap;
 use osiris_core::{MessageKind, RecoveryPolicy, RecoveryWindow};
 
 use crate::clock::CostModel;
-use crate::message::{Endpoint, Message, MsgId, Protocol, ReturnPath};
+use crate::message::{Endpoint, Message, MsgId, Protocol, ReturnPath, SpanInfo};
 
 /// What kind of instrumentation site a probe marks.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -228,12 +228,16 @@ pub struct Ctx<'a, P: Protocol> {
     pub(crate) now: u64,
     pub(crate) cycles: u64,
     pub(crate) out: Vec<Message<P>>,
-    pub(crate) timers: Vec<(u64, P)>,
+    pub(crate) timers: Vec<(u64, Option<SpanInfo>, P)>,
     pub(crate) priv_ops: Vec<PrivOp>,
     pub(crate) privileged: bool,
     pub(crate) next_msg_id: &'a mut u64,
     pub(crate) replied: Vec<MsgId>,
     pub(crate) cur_replyable: bool,
+    /// Span of the message being handled: inherited by every send and
+    /// timer the handler issues, so causality propagates hop by hop
+    /// without the servers knowing spans exist.
+    pub(crate) cur_span: Option<SpanInfo>,
 }
 
 impl<P: Protocol> fmt::Debug for Ctx<'_, P> {
@@ -310,6 +314,7 @@ impl<'a, P: Protocol> Ctx<'a, P> {
             "send_request with non-request payload"
         );
         let id = self.alloc_msg_id();
+        let span = self.cur_span;
         self.push_send(Message {
             id,
             src: self.self_ep,
@@ -317,6 +322,7 @@ impl<'a, P: Protocol> Ctx<'a, P> {
             reply_to: None,
             user_tag: None,
             seep,
+            span,
             payload,
         });
         id
@@ -326,6 +332,7 @@ impl<'a, P: Protocol> Ctx<'a, P> {
     pub fn notify(&mut self, dst: Endpoint, payload: P) {
         let seep = payload.seep();
         let id = self.alloc_msg_id();
+        let span = self.cur_span;
         self.push_send(Message {
             id,
             src: self.self_ep,
@@ -333,6 +340,7 @@ impl<'a, P: Protocol> Ctx<'a, P> {
             reply_to: None,
             user_tag: None,
             seep,
+            span,
             payload,
         });
     }
@@ -343,6 +351,9 @@ impl<'a, P: Protocol> Ctx<'a, P> {
         let seep = payload.seep();
         let id = self.alloc_msg_id();
         self.replied.push(rp.msg_id);
+        // The reply rejoins the *requester's* span (restored from the
+        // return path, which may have sat in a continuation), not whatever
+        // message happens to be driving this handler invocation.
         self.push_send(Message {
             id,
             src: self.self_ep,
@@ -350,14 +361,17 @@ impl<'a, P: Protocol> Ctx<'a, P> {
             reply_to: Some(rp.msg_id),
             user_tag: rp.user_tag,
             seep,
+            span: rp.span,
             payload,
         });
     }
 
     /// Schedules `payload` to be delivered to this component as a kernel
-    /// notification after `delay` cycles.
+    /// notification after `delay` cycles. The timer inherits the current
+    /// span, so deferred continuations (e.g. a disk-tick completion) stay
+    /// attributed to the request that armed them.
     pub fn set_timer(&mut self, delay: u64, payload: P) {
-        self.timers.push((delay, payload));
+        self.timers.push((delay, self.cur_span, payload));
     }
 
     /// Executes one instrumentation site (basic-block analog): charges the

@@ -20,7 +20,9 @@ use osiris_core::{
     decide_recovery, fallback_action, CrashContext, MessageKind, RecoveryAction, RecoveryDecision,
     RecoveryPolicy, RecoveryWindow,
 };
-use osiris_metrics::{Counter, Gauge, Hist, MetricsConfig, MetricsHandle};
+use osiris_metrics::{
+    Counter, Gauge, Hist, MetricsConfig, MetricsHandle, TimeseriesConfig, TimeseriesSampler,
+};
 use osiris_trace::{TraceConfig, TraceEvent, TraceHandle, KERNEL_COMP};
 
 use crate::abi::{Errno, Pid, SysReply};
@@ -29,7 +31,7 @@ use crate::component::{
     Ctx, FaultEffect, FaultHook, InjectedHang, IntentPhase, NoFaults, PrivOp, Probe, Server,
     SiteKind,
 };
-use crate::message::{Endpoint, Message, MsgId, Protocol, SyscallId};
+use crate::message::{Endpoint, Message, MsgId, Protocol, SpanInfo, SyscallId};
 use crate::metrics::{ComponentReport, KernelMetrics, ShutdownKind};
 
 /// Whether (and how) checkpointing instrumentation is active.
@@ -72,6 +74,11 @@ pub struct KernelConfig {
     /// only gates whether the events are additionally retained and
     /// digest-chained for replay/bisection.
     pub axiom: AxiomConfig,
+    /// Virtual-time telemetry sampler configuration. Disabled by default;
+    /// when enabled the kernel snapshots the span-latency, crash and
+    /// recovery series every Δ virtual cycles (see
+    /// `osiris_metrics::timeseries`).
+    pub timeseries: TimeseriesConfig,
 }
 
 impl Default for KernelConfig {
@@ -84,6 +91,7 @@ impl Default for KernelConfig {
             trace: TraceConfig::default(),
             metrics: MetricsConfig::default(),
             axiom: AxiomConfig::default(),
+            timeseries: TimeseriesConfig::default(),
         }
     }
 }
@@ -321,6 +329,14 @@ struct KernelCounters {
     axiom_chain_ok: Counter,
     axiom_chain_corrupt: Counter,
     axiom_replay_divergence: Counter,
+    // Causal request-span series (end-to-end latency attribution, split by
+    // whether the request overlapped a crash capture or recovery):
+    spans_started: Counter,
+    spans_completed_none: Counter,
+    spans_completed_recovery: Counter,
+    span_latency_none: Hist,
+    span_latency_recovery: Hist,
+    span_hops: Counter,
 }
 
 impl KernelCounters {
@@ -344,6 +360,20 @@ impl KernelCounters {
                 "osiris_journal_integrity_checks_total",
                 "Undo-journal and heap-image integrity checks before recovery",
                 &[("kind", kind), ("result", result)],
+            )
+        };
+        let spans_completed = |overlap: &str| {
+            m.counter(
+                "osiris_span_completed_total",
+                "Causal request spans closed, by recovery overlap",
+                &[("overlap", overlap)],
+            )
+        };
+        let span_latency = |overlap: &str| {
+            m.hist(
+                "osiris_span_latency_cycles",
+                "End-to-end virtual cycles per request span, by recovery overlap",
+                &[("overlap", overlap)],
             )
         };
         KernelCounters {
@@ -454,6 +484,20 @@ impl KernelCounters {
                 "Replay comparisons that found a divergence from the recorded axiom",
                 &[],
             ),
+            spans_started: m.counter(
+                "osiris_span_started_total",
+                "Causal request spans minted at workload entry points",
+                &[],
+            ),
+            spans_completed_none: spans_completed("none"),
+            spans_completed_recovery: spans_completed("recovery"),
+            span_latency_none: span_latency("none"),
+            span_latency_recovery: span_latency("recovery"),
+            span_hops: m.counter(
+                "osiris_span_hops_total",
+                "Span-carrying message deliveries (causal hops)",
+                &[],
+            ),
         }
     }
 }
@@ -466,9 +510,14 @@ pub struct Kernel<P: Protocol> {
     cfg: KernelConfig,
     clock: VirtualClock,
     comps: Vec<Comp<P>>,
-    timers: BTreeMap<(u64, u64), (u8, P)>,
+    timers: BTreeMap<(u64, u64), (u8, Option<SpanInfo>, P)>,
     timer_seq: u64,
     next_msg_id: u64,
+    /// Monotone span-id source; deterministic, reset at the boot barrier.
+    next_span_id: u64,
+    /// Incremented at every crash/hang capture and completed recovery: a
+    /// span whose open-time epoch differs at close crossed a recovery.
+    recovery_epoch: u64,
     recovering: Option<u8>,
     shutdown: Option<ShutdownKind>,
     shutdown_pending: Option<(ShutdownKind, u32)>,
@@ -488,6 +537,10 @@ pub struct Kernel<P: Protocol> {
     cas: ChunkStore,
     metrics: MetricsHandle,
     counters: KernelCounters,
+    /// Virtual-time telemetry: Δ-cycle snapshots of the latency/crash/
+    /// recovery series, exported as `timeseries.json` and Chrome counter
+    /// lanes.
+    sampler: TimeseriesSampler,
     rr_cursor: usize,
     initialized: bool,
     tracer: TraceHandle,
@@ -514,6 +567,35 @@ impl<P: Protocol> Kernel<P> {
         let metrics = MetricsHandle::new(cfg.metrics);
         let counters = KernelCounters::register(&metrics);
         let axiom = AxiomLog::new(cfg.axiom);
+        let mut sampler = TimeseriesSampler::new(cfg.timeseries);
+        if cfg.timeseries.enabled {
+            // The families worth watching over time: end-to-end request
+            // latency split by recovery overlap, plus the crash/recovery
+            // activity that explains its excursions.
+            sampler.track_hist(
+                "osiris_span_latency_cycles{overlap=\"none\"}",
+                counters.span_latency_none.clone(),
+            );
+            sampler.track_hist(
+                "osiris_span_latency_cycles{overlap=\"recovery\"}",
+                counters.span_latency_recovery.clone(),
+            );
+            sampler.track_counter("osiris_span_started_total", counters.spans_started.clone());
+            sampler.track_counter(
+                "osiris_span_completed_total{overlap=\"none\"}",
+                counters.spans_completed_none.clone(),
+            );
+            sampler.track_counter(
+                "osiris_span_completed_total{overlap=\"recovery\"}",
+                counters.spans_completed_recovery.clone(),
+            );
+            sampler.track_counter(
+                "osiris_kernel_recovery_cycles_total",
+                counters.recovery_cycles.clone(),
+            );
+            sampler.track_counter("osiris_kernel_hangs_total", counters.hangs.clone());
+            sampler.track_counter("osiris_axiom_events_total", counters.axiom_events.clone());
+        }
         Kernel {
             cfg,
             clock: VirtualClock::new(),
@@ -521,6 +603,8 @@ impl<P: Protocol> Kernel<P> {
             timers: BTreeMap::new(),
             timer_seq: 0,
             next_msg_id: 0,
+            next_span_id: 0,
+            recovery_epoch: 0,
             recovering: None,
             shutdown: None,
             shutdown_pending: None,
@@ -533,6 +617,7 @@ impl<P: Protocol> Kernel<P> {
             cas: ChunkStore::new(),
             metrics,
             counters,
+            sampler,
             rr_cursor: 0,
             initialized: false,
             tracer,
@@ -560,11 +645,27 @@ impl<P: Protocol> Kernel<P> {
     /// retention is enabled the control-plane log renders as an extra
     /// instant-event lane.
     pub fn chrome_trace(&self) -> osiris_trace::Json {
-        osiris_trace::chrome::chrome_trace_with_axiom(
+        let mut doc = osiris_trace::chrome::chrome_trace_with_axiom(
             &self.tracer.snapshot(),
             &self.trace_names(),
             self.axiom.records(),
-        )
+        );
+        // Telemetry samples render as counter lanes under the main track.
+        self.sampler.append_chrome_counters(&mut doc);
+        doc
+    }
+
+    /// The virtual-time telemetry sampler (empty unless
+    /// [`KernelConfig::timeseries`] enabled sampling).
+    pub fn timeseries(&self) -> &TimeseriesSampler {
+        &self.sampler
+    }
+
+    /// Takes one final telemetry sample at the current virtual time, so the
+    /// run-end state always appears in the export. Call before rendering
+    /// [`Kernel::timeseries`].
+    pub fn flush_timeseries(&mut self) {
+        self.sampler.sample(self.clock.now());
     }
 
     /// The post-mortem black box: the last configured number of events per
@@ -779,6 +880,7 @@ impl<P: Protocol> Kernel<P> {
                 next_msg_id,
                 replied: Vec::new(),
                 cur_replyable: false,
+                cur_span: None,
             };
             comp.server.init(&mut ctx);
             let out = std::mem::take(&mut ctx.out);
@@ -802,6 +904,11 @@ impl<P: Protocol> Kernel<P> {
         self.metrics.reset();
         self.tracer.set_now(self.clock.now());
         self.tracer.clear();
+        // Span ids and the recovery epoch restart at the boot barrier so
+        // same-seed runs mint byte-identical span streams.
+        self.next_span_id = 0;
+        self.recovery_epoch = 0;
+        self.sampler.reset(self.clock.now());
         // The axiom likewise starts at the boot barrier: its first event
         // seals the control-relevant configuration, so two axioms are only
         // comparable (replay, bisect) when policy/instrumentation/topology
@@ -1001,6 +1108,30 @@ impl<P: Protocol> Kernel<P> {
                 pid: pid.0,
             },
         );
+        // Workload entry point: mint the causal span that every message,
+        // timer and continuation derived from this request will carry. The
+        // id is minted unconditionally (message identity must not depend on
+        // whether telemetry is on); the recording decision is sampled once
+        // here and carried in the span, so hop and close sites branch on a
+        // plain bool instead of the handles' shared atomics.
+        self.next_span_id += 1;
+        let span = SpanInfo {
+            id: self.next_span_id,
+            opened_at: self.clock.now(),
+            epoch_at_open: self.recovery_epoch,
+            record: self.tracer.is_enabled() || self.metrics.enabled(),
+        };
+        if span.record {
+            self.counters.spans_started.inc();
+            self.tracer.emit(
+                KERNEL_COMP,
+                TraceEvent::SpanOpen {
+                    span: span.id,
+                    sid: sid.0,
+                    pid: pid.0,
+                },
+            );
+        }
         self.next_msg_id += 1;
         let msg = Message {
             id: MsgId(self.next_msg_id),
@@ -1009,6 +1140,7 @@ impl<P: Protocol> Kernel<P> {
             reply_to: None,
             user_tag: Some(sid),
             seep: payload.seep(),
+            span: Some(span),
             payload,
         };
         self.comps[c as usize].inbox.push_back(msg);
@@ -1036,7 +1168,7 @@ impl<P: Protocol> Kernel<P> {
         let Some((&(at, seq), _)) = self.timers.iter().next() else {
             return false;
         };
-        let (dst, payload) = self
+        let (dst, span, payload) = self
             .timers
             .remove(&(at, seq))
             .expect("timer key just observed");
@@ -1051,6 +1183,7 @@ impl<P: Protocol> Kernel<P> {
             reply_to: None,
             user_tag: None,
             seep: payload.seep(),
+            span,
             payload,
         };
         self.comps[dst as usize].inbox.push_back(msg);
@@ -1082,6 +1215,9 @@ impl<P: Protocol> Kernel<P> {
                 .pop_front()
                 .expect("picked component has mail");
             self.process_message(idx, msg);
+            // Telemetry tick: one branch when disabled, one snapshot per
+            // crossed Δ-grid point when enabled.
+            self.sampler.maybe_sample(self.clock.now());
         }
     }
 
@@ -1128,6 +1264,22 @@ impl<P: Protocol> Kernel<P> {
                 msg_id: msg.id.0,
             },
         );
+        if let Some(span) = msg.span {
+            if span.record {
+                self.counters.span_hops.inc();
+                self.tracer.emit(
+                    idx as u8,
+                    TraceEvent::SpanHop {
+                        span: span.id,
+                        src: match msg.src {
+                            Endpoint::Component(c) => c,
+                            _ => KERNEL_COMP,
+                        },
+                        msg_id: msg.id.0,
+                    },
+                );
+            }
+        }
 
         let Kernel {
             cfg,
@@ -1186,6 +1338,7 @@ impl<P: Protocol> Kernel<P> {
             next_msg_id,
             replied: Vec::new(),
             cur_replyable,
+            cur_span: msg.span,
         };
 
         let server = &mut comp.server;
@@ -1256,6 +1409,9 @@ impl<P: Protocol> Kernel<P> {
                         class,
                     });
                 }
+                // Any capture starts a new recovery epoch: spans opened
+                // before this point count as having crossed a recovery.
+                self.recovery_epoch += 1;
                 if payload.downcast_ref::<InjectedHang>().is_some() {
                     // The component is wedged: it stops processing messages
                     // until the Recovery Server's heartbeat declares it dead.
@@ -1336,6 +1492,7 @@ impl<P: Protocol> Kernel<P> {
                     reply_to: None,
                     user_tag: None,
                     seep: payload.seep(),
+                    span: None,
                     payload,
                 };
                 self.comps[rs as usize].inbox.push_back(notify);
@@ -1404,6 +1561,7 @@ impl<P: Protocol> Kernel<P> {
                     reply_to: None,
                     user_tag: None,
                     seep: payload.seep(),
+                    span: None,
                     payload,
                 };
                 self.comps[rs as usize].inbox.push_back(notify);
@@ -1835,6 +1993,7 @@ impl<P: Protocol> Kernel<P> {
                                             ok: false,
                                         },
                                     );
+                                    self.close_span(pending.msg.span, false);
                                     self.user_replies.push((
                                         sid,
                                         pid,
@@ -1887,6 +2046,9 @@ impl<P: Protocol> Kernel<P> {
             comp: target,
             cycles: recovery_cycles,
         });
+        // A completed recovery also advances the epoch, so spans opened
+        // while the recovery was in flight are flagged at close.
+        self.recovery_epoch += 1;
         self.comps[t].stats.recovery_hist.observe(recovery_cycles);
         self.recovering = None;
         self.resolve_intent(target);
@@ -1931,6 +2093,7 @@ impl<P: Protocol> Kernel<P> {
                     reply_to: None,
                     user_tag: None,
                     seep: payload.seep(),
+                    span: None,
                     payload,
                 };
                 self.comps[rs as usize].inbox.push_back(msg);
@@ -1938,6 +2101,35 @@ impl<P: Protocol> Kernel<P> {
         } else if decision.error_reply {
             self.send_crash_reply(target, pending.msg);
         }
+    }
+
+    /// Closes a causal span at a user-reply exit point: emits the
+    /// `SpanClose` trace event and observes the end-to-end latency in the
+    /// overlap-split histograms. A `None` span (kernel-originated message)
+    /// is a no-op.
+    fn close_span(&mut self, span: Option<SpanInfo>, ok: bool) {
+        let Some(span) = span else { return };
+        if !span.record {
+            return;
+        }
+        let crossed = span.epoch_at_open != self.recovery_epoch;
+        let latency = self.clock.now().saturating_sub(span.opened_at);
+        if crossed {
+            self.counters.spans_completed_recovery.inc();
+            self.counters.span_latency_recovery.observe(latency);
+        } else {
+            self.counters.spans_completed_none.inc();
+            self.counters.span_latency_none.observe(latency);
+        }
+        self.tracer.emit(
+            KERNEL_COMP,
+            TraceEvent::SpanClose {
+                span: span.id,
+                ok,
+                crossed_recovery: crossed,
+                latency,
+            },
+        );
     }
 
     fn send_crash_reply(&mut self, from: u8, failed: Message<P>) {
@@ -1952,6 +2144,7 @@ impl<P: Protocol> Kernel<P> {
                         ok: false,
                     },
                 );
+                self.close_span(failed.span, false);
                 self.user_replies
                     .push((sid, pid, SysReply::Err(Errno::ECRASH)));
             }
@@ -1965,6 +2158,7 @@ impl<P: Protocol> Kernel<P> {
                     reply_to: Some(failed.id),
                     user_tag: failed.user_tag,
                     seep: payload.seep(),
+                    span: failed.span,
                     payload,
                 };
                 self.comps[c as usize].inbox.push_back(msg);
@@ -1988,6 +2182,7 @@ impl<P: Protocol> Kernel<P> {
                         .expect("messages to processes must be user replies");
                     match msg.user_tag {
                         Some(sid) => {
+                            let ok = !matches!(reply, SysReply::Err(_));
                             self.tracer.emit(
                                 match msg.src {
                                     Endpoint::Component(c) => c,
@@ -1996,9 +2191,10 @@ impl<P: Protocol> Kernel<P> {
                                 TraceEvent::SyscallExit {
                                     sid: sid.0,
                                     pid: pid.0,
-                                    ok: !matches!(reply, SysReply::Err(_)),
+                                    ok,
                                 },
                             );
+                            self.close_span(msg.span, ok);
                             self.user_replies.push((sid, pid, reply));
                         }
                         // An untagged message to a process is a kill event:
@@ -2011,11 +2207,12 @@ impl<P: Protocol> Kernel<P> {
         }
     }
 
-    fn register_timers(&mut self, owner: u8, timers: Vec<(u64, P)>) {
-        for (delay, payload) in timers {
+    fn register_timers(&mut self, owner: u8, timers: Vec<(u64, Option<SpanInfo>, P)>) {
+        for (delay, span, payload) in timers {
             self.timer_seq += 1;
             let at = self.clock.now() + delay;
-            self.timers.insert((at, self.timer_seq), (owner, payload));
+            self.timers
+                .insert((at, self.timer_seq), (owner, span, payload));
         }
     }
 

@@ -33,7 +33,7 @@ pub use component::{
 };
 pub use host::{ForkFn, Host, HostConfig, OsEngine, ProgramFn, ProgramRegistry, RunOutcome, Sys};
 pub use kernel::{Instrumentation, Kernel, KernelConfig};
-pub use message::{Endpoint, Message, MsgId, Protocol, ReturnPath, SyscallId};
+pub use message::{Endpoint, Message, MsgId, Protocol, ReturnPath, SpanInfo, SyscallId};
 pub use metrics::{ComponentReport, KernelMetrics, ShutdownKind};
 
 use std::sync::Once;

@@ -35,6 +35,31 @@ pub struct MsgId(pub u64);
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SyscallId(pub u64);
 
+/// Causal request-span context, minted by the kernel at every workload
+/// entry point and propagated on every message/timer/continuation derived
+/// from the request, so the final user reply can be attributed end to end.
+///
+/// `Copy` and fixed-size: carrying it on messages and return paths (which
+/// live inside checkpointed continuations) never allocates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SpanInfo {
+    /// Span id, monotone per kernel instance (deterministic across runs).
+    pub id: u64,
+    /// Virtual-clock cycle at which the span was opened.
+    pub opened_at: u64,
+    /// The kernel's recovery epoch when the span opened; a differing epoch
+    /// at close means the request overlapped a crash capture or recovery.
+    pub epoch_at_open: u64,
+    /// Whether any telemetry sink (tracer or metrics registry) was enabled
+    /// when the span was minted. Record sites downstream of the mint branch
+    /// on this plain bool instead of re-consulting the handles' shared
+    /// atomics, so a fully disabled configuration pays one predictable
+    /// branch per hop — the same caching discipline `Heap::set_tracer`
+    /// documents for the undo path. A toggle mid-flight takes effect for
+    /// spans minted after it.
+    pub record: bool,
+}
+
 /// The protocol spoken between components: the payload type of all
 /// messages, carrying its own SEEP classification.
 ///
@@ -90,6 +115,8 @@ pub struct Message<P> {
     pub user_tag: Option<SyscallId>,
     /// SEEP metadata (cached from the payload at send time).
     pub seep: SeepMeta,
+    /// The causal request span this message belongs to, if any.
+    pub span: Option<SpanInfo>,
     /// The payload.
     pub payload: P,
 }
@@ -104,6 +131,8 @@ pub struct ReturnPath {
     pub msg_id: MsgId,
     /// The user syscall tag, if the request originated from a process.
     pub user_tag: Option<SyscallId>,
+    /// The causal span of the request, restored onto the eventual reply.
+    pub span: Option<SpanInfo>,
 }
 
 impl<P> Message<P> {
@@ -113,6 +142,7 @@ impl<P> Message<P> {
             ep: self.src,
             msg_id: self.id,
             user_tag: self.user_tag,
+            span: self.span,
         }
     }
 }
@@ -152,12 +182,19 @@ mod tests {
             reply_to: None,
             user_tag: Some(SyscallId(9)),
             seep: P.seep(),
+            span: Some(SpanInfo {
+                id: 11,
+                opened_at: 4,
+                epoch_at_open: 0,
+                record: true,
+            }),
             payload: P,
         };
         let rp = m.return_path();
         assert_eq!(rp.ep, Endpoint::Process(Pid(3)));
         assert_eq!(rp.msg_id, MsgId(7));
         assert_eq!(rp.user_tag, Some(SyscallId(9)));
+        assert_eq!(rp.span.map(|s| s.id), Some(11));
     }
 
     #[test]

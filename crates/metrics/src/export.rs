@@ -63,7 +63,9 @@ pub fn hist_json(h: &Log2Hist) -> Json {
         ("max", Json::UInt(s.max)),
         ("mean", Json::UInt(s.mean)),
         ("p50", Json::UInt(s.p50)),
+        ("p90", Json::UInt(s.p90)),
         ("p99", Json::UInt(s.p99)),
+        ("p999", Json::UInt(s.p999)),
         (
             "buckets",
             Json::arr(&buckets, |&(floor, n)| {

@@ -31,9 +31,11 @@ pub use osiris_trace::hist::{HistSummary, Log2Hist};
 
 pub mod export;
 pub mod prom;
+pub mod timeseries;
 
 pub use export::render_json;
 pub use prom::{render_prometheus, validate_prometheus};
+pub use timeseries::{TimeseriesConfig, TimeseriesSampler};
 
 /// Configuration for a [`MetricsHandle`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

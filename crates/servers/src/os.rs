@@ -60,6 +60,12 @@ pub struct OsConfig {
     /// `AxiomConfig::on()` records every control-plane transition in a
     /// hash-chained, replayable event log.
     pub axiom: osiris_axiom::AxiomConfig,
+    /// Virtual-time telemetry sampler configuration (see
+    /// `osiris_metrics::TimeseriesConfig`). Disabled by default —
+    /// `TimeseriesConfig::on()` snapshots the span-latency and
+    /// crash/recovery series every Δ virtual cycles for the
+    /// `timeseries.json` export and the Chrome counter lanes.
+    pub timeseries: osiris_metrics::TimeseriesConfig,
 }
 
 impl Default for OsConfig {
@@ -77,6 +83,7 @@ impl Default for OsConfig {
             trace: osiris_trace::TraceConfig::default(),
             metrics: osiris_metrics::MetricsConfig::default(),
             axiom: osiris_axiom::AxiomConfig::default(),
+            timeseries: osiris_metrics::TimeseriesConfig::default(),
         }
     }
 }
@@ -130,6 +137,7 @@ impl Os {
             trace: cfg.trace,
             metrics: cfg.metrics,
             axiom: cfg.axiom,
+            timeseries: cfg.timeseries,
         };
         let heartbeat = kcfg.cost.heartbeat_interval;
         let disk_latency = kcfg.cost.disk_latency;
@@ -338,6 +346,33 @@ impl Os {
     /// enabled.
     pub fn blackbox(&self) -> Option<String> {
         self.kernel.blackbox()
+    }
+
+    /// The virtual-time telemetry sampler (empty unless
+    /// [`OsConfig::timeseries`] enabled sampling).
+    pub fn timeseries(&self) -> &osiris_metrics::TimeseriesSampler {
+        self.kernel.timeseries()
+    }
+
+    /// The recorded telemetry time series as a JSON document, after a final
+    /// flush sample at the current virtual time.
+    pub fn timeseries_json(&mut self) -> osiris_trace::Json {
+        self.kernel.flush_timeseries();
+        self.kernel.timeseries().to_json()
+    }
+
+    /// Writes [`Os::timeseries_json`] to `path`, creating parent
+    /// directories as needed.
+    pub fn write_timeseries(&mut self, path: &str) -> std::io::Result<std::path::PathBuf> {
+        let doc = self.timeseries_json();
+        let path = std::path::PathBuf::from(path);
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(&path, doc.pretty())?;
+        Ok(path)
     }
 
     /// Cross-component consistency audit. Call at quiescence (no in-flight

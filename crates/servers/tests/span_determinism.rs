@@ -1,0 +1,110 @@
+//! Same-configuration span and timeseries determinism: span ids are minted
+//! from a kernel-local counter, the recovery epoch advances only on
+//! control-plane transitions, and the virtual-time sampler lands on a
+//! fixed Δ-grid — so two identical runs must produce **byte-identical**
+//! span traces, Chrome documents (span lanes + counter lanes included) and
+//! `timeseries.json` exports. This is the property the critical-path
+//! attribution pipeline and the `ci.sh` diff gates rely on.
+
+use osiris_core::PolicyKind;
+use osiris_faults::PeriodicCrash;
+use osiris_kernel::{Host, ProgramRegistry};
+use osiris_servers::{Os, OsConfig};
+use osiris_trace::{TraceConfig, TraceEvent};
+use osiris_workloads::run_suite_with;
+
+fn traced_cfg(policy: PolicyKind) -> OsConfig {
+    let mut cfg = OsConfig::with_policy(policy);
+    cfg.trace = TraceConfig::on();
+    cfg.timeseries = osiris_metrics::TimeseriesConfig::on();
+    // The faulted variant sustains periodic crashes for the whole suite;
+    // keep the legacy restart-forever behaviour so every crash recovers
+    // and spans keep flowing across recoveries.
+    cfg.escalation = osiris_core::EscalationPolicy::unbounded();
+    cfg
+}
+
+/// One full suite run with tracing, metrics and the virtual-time sampler
+/// on; returns the text trace, the pretty Chrome document and the pretty
+/// timeseries export.
+fn run_traced(policy: PolicyKind, faulted: bool) -> (String, String, String) {
+    let hook = if faulted {
+        Some(Box::new(PeriodicCrash::new("pm", 200_000)) as Box<dyn osiris_kernel::FaultHook>)
+    } else {
+        None
+    };
+    let (_, mut os) = run_suite_with(traced_cfg(policy), hook);
+    let text = os.trace_text();
+    let chrome = os.chrome_trace().pretty();
+    let timeseries = os.timeseries_json().pretty();
+    (text, chrome, timeseries)
+}
+
+#[test]
+fn fault_free_span_exports_are_byte_identical() {
+    let (text_a, chrome_a, ts_a) = run_traced(PolicyKind::Enhanced, false);
+    let (text_b, chrome_b, ts_b) = run_traced(PolicyKind::Enhanced, false);
+    assert_eq!(text_a, text_b, "text trace must be deterministic");
+    assert_eq!(chrome_a, chrome_b, "Chrome document must be deterministic");
+    assert_eq!(ts_a, ts_b, "timeseries export must be deterministic");
+    // The suite must actually exercise the span machinery end to end.
+    assert!(chrome_a.contains("\"ph\": \"b\""), "span open lane present");
+    assert!(
+        chrome_a.contains("\"ph\": \"e\""),
+        "span close lane present"
+    );
+    assert!(
+        ts_a.contains("osiris_span_latency_cycles"),
+        "sampler tracks the span latency families"
+    );
+}
+
+#[test]
+fn faulted_span_exports_are_byte_identical_and_cross_recoveries() {
+    let (text_a, chrome_a, ts_a) = run_traced(PolicyKind::Enhanced, true);
+    let (text_b, chrome_b, ts_b) = run_traced(PolicyKind::Enhanced, true);
+    assert_eq!(text_a, text_b);
+    assert_eq!(chrome_a, chrome_b);
+    assert_eq!(ts_a, ts_b);
+    // Under sustained periodic crashes at least one request span must have
+    // overlapped a recovery and carried the crossed flag to its close.
+    assert!(
+        chrome_a.contains("\"crossed_recovery\": true"),
+        "faulted run must close at least one recovery-crossing span"
+    );
+}
+
+#[test]
+fn span_ids_mint_from_one_after_boot() {
+    // A short direct run whose trace cannot wrap: the first span the
+    // workload opens must be id 1 — the mint counter resets at the boot
+    // barrier, so boot-time component initialization never consumes ids.
+    let mut registry = ProgramRegistry::new();
+    registry.register("main", |sys| {
+        assert_eq!(sys.getpid().unwrap().0, 1);
+        0
+    });
+    let os = Os::new(traced_cfg(PolicyKind::Enhanced));
+    let mut host = Host::new(os, registry);
+    let outcome = host.run("main", &[]);
+    assert!(outcome.completed(), "short run must complete: {outcome:?}");
+    let os = host.into_engine();
+    let opens: Vec<u64> = os
+        .trace_handle()
+        .snapshot()
+        .iter()
+        .filter_map(|r| match r.event {
+            TraceEvent::SpanOpen { span, .. } => Some(span),
+            _ => None,
+        })
+        .collect();
+    assert!(!opens.is_empty(), "run must open at least one span");
+    assert_eq!(opens[0], 1, "span ids are minted from 1 after boot");
+    // Every closed span must have been opened in this run (no stale ids
+    // from boot or a previous epoch).
+    for r in os.trace_handle().snapshot() {
+        if let TraceEvent::SpanClose { span, .. } = r.event {
+            assert!(opens.contains(&span), "close without open: span {span}");
+        }
+    }
+}

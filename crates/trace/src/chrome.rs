@@ -21,6 +21,11 @@ const KERNEL_TID: u64 = 999;
 /// history reads as one ordered track in the viewer.
 const AXIOM_TID: u64 = 998;
 
+/// `tid` for the causal-request-span lane: span open/close pairs render as
+/// async duration events (`b`/`e` keyed by span id) on their own named
+/// thread, so overlapping requests stack instead of colliding.
+const SPAN_TID: u64 = 997;
+
 fn tid(comp: u8) -> u64 {
     if comp == KERNEL_COMP {
         KERNEL_TID
@@ -44,6 +49,21 @@ fn event_json(name: &str, ph: &str, r: &TraceRecord, mut args: Vec<(String, Json
 
 fn kv(k: &str, v: Json) -> (String, Json) {
     (k.to_string(), v)
+}
+
+/// Rewrites a built event onto the span lane: async-correlation `cat`/`id`
+/// fields (the viewer pairs `b`/`e` by them) and the dedicated `tid`.
+fn span_lane(mut e: Json, span: u64) -> Json {
+    if let Json::Obj(pairs) = &mut e {
+        for (k, v) in pairs.iter_mut() {
+            if k == "tid" {
+                *v = Json::UInt(SPAN_TID);
+            }
+        }
+        pairs.insert(2, ("cat".to_string(), Json::Str("span".into())));
+        pairs.insert(3, ("id".to_string(), Json::UInt(span)));
+    }
+    e
 }
 
 /// Renders `records` as a complete Chrome trace document.
@@ -127,6 +147,21 @@ pub fn chrome_trace_with_axiom(
             ("pid", Json::UInt(1)),
             ("tid", Json::UInt(AXIOM_TID)),
             ("args", Json::obj([("name", Json::Str("axiom".into()))])),
+        ]));
+    }
+    let has_spans = records.iter().any(|r| {
+        matches!(
+            r.event,
+            TraceEvent::SpanOpen { .. } | TraceEvent::SpanHop { .. } | TraceEvent::SpanClose { .. }
+        )
+    });
+    if has_spans {
+        events.push(Json::obj([
+            ("name", Json::Str("thread_name".into())),
+            ("ph", Json::Str("M".into())),
+            ("pid", Json::UInt(1)),
+            ("tid", Json::UInt(SPAN_TID)),
+            ("args", Json::obj([("name", Json::Str("spans".into()))])),
         ]));
     }
 
@@ -333,6 +368,50 @@ pub fn chrome_trace_with_axiom(
                     kv("bytes", Json::UInt(*bytes as u64)),
                 ],
             )),
+            // Requests overlap freely, so spans use async b/e pairs keyed
+            // by span id on a dedicated lane, like syscalls on their tids.
+            TraceEvent::SpanOpen { span, sid, pid } => {
+                let e = event_json(
+                    "span",
+                    "b",
+                    r,
+                    vec![
+                        kv("sid", Json::UInt(*sid)),
+                        kv("pid", Json::UInt(*pid as u64)),
+                    ],
+                );
+                events.push(span_lane(e, *span))
+            }
+            TraceEvent::SpanHop { span, src, msg_id } => {
+                let e = event_json(
+                    "span_hop",
+                    "n",
+                    r,
+                    vec![
+                        kv("src", Json::Str(comp_name(*src, names))),
+                        kv("msg_id", Json::UInt(*msg_id)),
+                    ],
+                );
+                events.push(span_lane(e, *span))
+            }
+            TraceEvent::SpanClose {
+                span,
+                ok,
+                crossed_recovery,
+                latency,
+            } => {
+                let e = event_json(
+                    "span",
+                    "e",
+                    r,
+                    vec![
+                        kv("ok", Json::Bool(*ok)),
+                        kv("crossed_recovery", Json::Bool(*crossed_recovery)),
+                        kv("latency", Json::UInt(*latency)),
+                    ],
+                );
+                events.push(span_lane(e, *span))
+            }
         }
     }
 
@@ -442,6 +521,83 @@ mod tests {
         );
         // Raw quote/backslash/control bytes must never leak unescaped
         // inside a string: the document still balances its quotes.
+        let quotes = text.chars().filter(|c| *c == '"').count();
+        assert_eq!(quotes % 2, 0, "unbalanced quotes in {text}");
+        assert!(!text.contains('\u{1}'), "raw control char leaked: {text}");
+    }
+
+    #[test]
+    fn span_lane_renders_async_pairs() {
+        let names = vec!["pm".to_string()];
+        let recs = vec![
+            TraceRecord {
+                now: 10,
+                seq: 0,
+                comp: crate::KERNEL_COMP,
+                event: TraceEvent::SpanOpen {
+                    span: 42,
+                    sid: 7,
+                    pid: 3,
+                },
+            },
+            TraceRecord {
+                now: 15,
+                seq: 0,
+                comp: 0,
+                event: TraceEvent::SpanHop {
+                    span: 42,
+                    src: crate::KERNEL_COMP,
+                    msg_id: 9,
+                },
+            },
+            TraceRecord {
+                now: 90,
+                seq: 1,
+                comp: crate::KERNEL_COMP,
+                event: TraceEvent::SpanClose {
+                    span: 42,
+                    ok: true,
+                    crossed_recovery: false,
+                    latency: 80,
+                },
+            },
+        ];
+        let text = chrome_trace(&recs, &names).pretty();
+        // Open/close render as an async pair correlated by cat+id on the
+        // dedicated span lane, plus its thread_name metadata row.
+        assert!(text.contains("\"ph\": \"b\""), "{text}");
+        assert!(text.contains("\"ph\": \"e\""), "{text}");
+        assert!(text.contains("\"cat\": \"span\""), "{text}");
+        assert!(text.contains("\"id\": 42"), "{text}");
+        assert!(text.contains("\"tid\": 997"), "{text}");
+        assert!(text.contains("\"name\": \"spans\""), "{text}");
+        assert!(text.contains("\"crossed_recovery\": false"), "{text}");
+        // No span events → no span lane metadata.
+        let empty = chrome_trace(&[], &names).pretty();
+        assert!(!empty.contains("\"tid\": 997"), "{empty}");
+    }
+
+    #[test]
+    fn span_lane_escapes_component_names() {
+        // Same hostile-name contract as the axiom/component lanes: a
+        // component name with quotes, backslashes and control chars flows
+        // into the SpanHop `src` arg and must come out escaped.
+        let names = vec!["a\"b\\c\nd\u{1}".to_string()];
+        let recs = vec![TraceRecord {
+            now: 3,
+            seq: 0,
+            comp: 5,
+            event: TraceEvent::SpanHop {
+                span: 1,
+                src: 0,
+                msg_id: 2,
+            },
+        }];
+        let text = chrome_trace(&recs, &names).pretty();
+        assert!(
+            text.contains("\"src\": \"a\\\"b\\\\c\\nd\\u0001\""),
+            "{text}"
+        );
         let quotes = text.chars().filter(|c| *c == '"').count();
         assert_eq!(quotes % 2, 0, "unbalanced quotes in {text}");
         assert!(!text.contains('\u{1}'), "raw control char leaked: {text}");

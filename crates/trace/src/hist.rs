@@ -138,7 +138,9 @@ impl Log2Hist {
             max: self.max,
             mean: self.sum.checked_div(self.count).unwrap_or(0),
             p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
             p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
         }
     }
 }
@@ -156,8 +158,12 @@ pub struct HistSummary {
     pub mean: u64,
     /// Approximate median (log2-bucket resolution).
     pub p50: u64,
+    /// Approximate 90th percentile (log2-bucket resolution).
+    pub p90: u64,
     /// Approximate 99th percentile (log2-bucket resolution).
     pub p99: u64,
+    /// Approximate 99.9th percentile (log2-bucket resolution).
+    pub p999: u64,
 }
 
 impl std::fmt::Display for HistSummary {
@@ -167,8 +173,8 @@ impl std::fmt::Display for HistSummary {
         } else {
             write!(
                 f,
-                "n={} min={} p50={} p99={} max={}",
-                self.count, self.min, self.p50, self.p99, self.max
+                "n={} min={} p50={} p90={} p99={} p999={} max={}",
+                self.count, self.min, self.p50, self.p90, self.p99, self.p999, self.max
             )
         }
     }
@@ -211,6 +217,9 @@ mod tests {
         assert_eq!(s.p50, 5);
         // p99 falls in the 1000 bucket: floor 512, within [5, 1000].
         assert_eq!(s.p99, 512);
+        // p90 rank is ceil(0.9*5)=5, also the 1000 bucket; p99.9 likewise.
+        assert_eq!(s.p90, 512);
+        assert_eq!(s.p999, 512);
         assert_eq!(s.mean, (5 * 4 + 1000) / 5);
     }
 

@@ -77,6 +77,8 @@ pub enum Category {
     Syscall,
     /// Controlled/uncontrolled shutdown decisions.
     Shutdown,
+    /// Causal request spans: open/hop/close lifecycle events.
+    Span,
 }
 
 impl Category {
@@ -92,7 +94,7 @@ pub struct CategoryMask(pub u16);
 
 impl CategoryMask {
     /// Every category enabled.
-    pub const ALL: CategoryMask = CategoryMask(0x7F);
+    pub const ALL: CategoryMask = CategoryMask(0xFF);
     /// No category enabled.
     pub const NONE: CategoryMask = CategoryMask(0);
 
@@ -284,6 +286,39 @@ pub enum TraceEvent {
         /// Bytes actually copied into the heap.
         bytes: u32,
     },
+    /// A causal request span was minted at a workload entry point.
+    SpanOpen {
+        /// Span id (monotone per run).
+        span: u64,
+        /// Syscall id of the originating user request.
+        sid: u64,
+        /// Calling process.
+        pid: u32,
+    },
+    /// A span-carrying message was delivered to the recording component:
+    /// one causal hop of the request's cross-component call chain.
+    SpanHop {
+        /// Span id.
+        span: u64,
+        /// Sending component ([`KERNEL_COMP`] for kernel-originated).
+        src: u8,
+        /// Delivered message id.
+        msg_id: u64,
+    },
+    /// A span closed: the originating request's reply was routed back to
+    /// the user process.
+    SpanClose {
+        /// Span id.
+        span: u64,
+        /// Whether the reply was a success (false for error replies,
+        /// including virtualized `E_CRASH`/`E_SHUTDOWN`).
+        ok: bool,
+        /// Whether at least one crash/hang capture or completed recovery
+        /// happened between span open and close.
+        crossed_recovery: bool,
+        /// End-to-end virtual cycles from open to close.
+        latency: u64,
+    },
 }
 
 impl TraceEvent {
@@ -309,6 +344,9 @@ impl TraceEvent {
             | TraceEvent::CowRestore { .. } => Category::Recovery,
             TraceEvent::SyscallEnter { .. } | TraceEvent::SyscallExit { .. } => Category::Syscall,
             TraceEvent::ShutdownDecision { .. } => Category::Shutdown,
+            TraceEvent::SpanOpen { .. }
+            | TraceEvent::SpanHop { .. }
+            | TraceEvent::SpanClose { .. } => Category::Span,
         }
     }
 
@@ -324,7 +362,10 @@ impl TraceEvent {
             | TraceEvent::WindowOpen
             | TraceEvent::WindowClose { .. }
             | TraceEvent::SyscallEnter { .. }
-            | TraceEvent::SyscallExit { .. } => Severity::Info,
+            | TraceEvent::SyscallExit { .. }
+            | TraceEvent::SpanOpen { .. }
+            | TraceEvent::SpanHop { .. }
+            | TraceEvent::SpanClose { .. } => Severity::Info,
             TraceEvent::Rollback { .. }
             | TraceEvent::Crash { .. }
             | TraceEvent::HangDetected { .. }
@@ -713,5 +754,6 @@ mod tests {
         assert!(!m.contains(Category::Window));
         assert!(m.without(Category::Ipc).contains(Category::Undo));
         assert!(CategoryMask::ALL.contains(Category::Shutdown));
+        assert!(CategoryMask::ALL.contains(Category::Span));
     }
 }

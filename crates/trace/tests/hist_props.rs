@@ -49,6 +49,51 @@ fn zero_only_population_stays_in_bucket_zero() {
     assert_eq!(h.buckets()[0], 10);
     let s = h.summary();
     assert_eq!((s.min, s.p50, s.p99, s.max, s.mean), (0, 0, 0, 0, 0));
+    assert_eq!((s.p90, s.p999), (0, 0));
+}
+
+#[test]
+fn tail_quantiles_are_ordered_and_clamped() {
+    // p50 ≤ p90 ≤ p99 ≤ p99.9 must hold over a mixed-magnitude
+    // population, and all of them stay within [min, max].
+    let h = shard(0xD1, 5000);
+    let s = h.summary();
+    assert!(
+        s.min <= s.p50 && s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.p999 && s.p999 <= s.max,
+        "quantiles out of order: {s}"
+    );
+}
+
+#[test]
+fn tail_quantiles_separate_a_heavy_tail() {
+    // 999 fast samples and one huge outlier: p50/p90 stay in the fast
+    // bucket, p99.9 must reach the outlier's bucket.
+    let mut h = Log2Hist::new();
+    for _ in 0..999 {
+        h.record(8);
+    }
+    h.record(1 << 40);
+    let s = h.summary();
+    assert_eq!(s.p50, 8);
+    assert_eq!(s.p90, 8);
+    assert_eq!(s.p99, 8);
+    assert_eq!(s.p999, 8);
+    // With ten outliers the 99.9th rank lands on the tail.
+    for _ in 0..10 {
+        h.record(1 << 40);
+    }
+    let s = h.summary();
+    assert_eq!(s.p50, 8);
+    assert_eq!(s.p90, 8);
+    assert_eq!(s.p999, 1 << 40);
+}
+
+#[test]
+fn single_sample_pins_all_quantiles() {
+    let mut h = Log2Hist::new();
+    h.record(7);
+    let s = h.summary();
+    assert_eq!((s.p50, s.p90, s.p99, s.p999), (7, 7, 7, 7));
 }
 
 #[test]

@@ -66,6 +66,9 @@ fn main() {
                 blackbox_tail: 0,
                 ..Default::default()
             };
+            // Retain the axiom so each injection's MTTR decomposes into
+            // its recovery critical path (zeros without retention).
+            cfg.axiom = osiris::axiom::AxiomConfig::on();
             let mut os = Os::new(cfg);
             os.set_fault_hook(Box::new(injector));
             let (registry, _) = build_testsuite();
@@ -86,6 +89,11 @@ fn main() {
                 let tail = os.trace_handle().with(|t| t.tail_per_comp(12));
                 osiris::trace::render_text(&tail, &os.kernel().trace_names())
             });
+            let (critical_path, span_latency_clean, span_latency_recovery) =
+                osiris::faults::run_attribution(
+                    os.kernel().axiom().records(),
+                    &os.metrics_snapshot(),
+                );
             campaign.record(InjectionRecord {
                 site: plan.site.clone(),
                 kind: plan.kind,
@@ -100,6 +108,9 @@ fn main() {
                 run_cycles: os.kernel().now(),
                 recoveries: m.recovered_rollback + m.recovered_fresh + m.recovered_naive,
                 recovery_cycles: m.recovery_cycles,
+                critical_path,
+                span_latency_clean,
+                span_latency_recovery,
                 blackbox,
             });
             class

@@ -73,12 +73,13 @@ fn main() {
     let mut cfg = OsConfig::with_policy(PolicyKind::Enhanced);
     cfg.trace = osiris::TraceConfig::on();
     cfg.axiom = osiris::axiom::AxiomConfig::on();
+    cfg.timeseries = osiris::metrics::TimeseriesConfig::on();
     let mut os = Os::new(cfg);
     os.set_fault_hook(Box::new(CrashForkOnce(AtomicBool::new(false))));
 
     let mut host = Host::new(os, registry);
     let outcome = host.run("main", &[]);
-    let os = host.into_engine();
+    let mut os = host.into_engine();
 
     println!("\noutcome:   {outcome:?}");
     println!(
@@ -114,6 +115,18 @@ fn main() {
         std::env::var("OSIRIS_METRICS_OUT").unwrap_or_else(|_| "target/quickstart_metrics".into());
     let (prom, json) = os.write_metrics(&base).expect("write metrics exports");
     println!("metrics:   {} and {}", prom.display(), json.display());
+
+    // Export the virtual-time series the sampler collected during the run
+    // (p50/p99/p99.9 request latency over virtual time, recovery counters).
+    // The same lanes ride along in the Chrome trace as counter tracks.
+    let ts_out = std::env::var("OSIRIS_TIMESERIES_OUT")
+        .unwrap_or_else(|_| "target/quickstart_timeseries.json".into());
+    let ts_path = os.write_timeseries(&ts_out).expect("write timeseries");
+    println!(
+        "series:    {} sampled points -> {}",
+        os.timeseries().len(),
+        ts_path.display()
+    );
 
     // Export the authoritative control-plane log (the axiom): verify the
     // hash chain end to end, then persist the crash-consistent image. The
