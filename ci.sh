@@ -114,4 +114,25 @@ cargo run --release -p osiris-bench --bin bench_axiom -- --check
 echo "== bench_spans --check: disabled span-recorder overhead + zero-alloc recording =="
 cargo run --release -p osiris-bench --bin bench_spans -- --check
 
+echo "== forge fork equivalence + determinism: snapshot-fork campaign suites =="
+cargo test -q -p osiris-faults --test forge_fork
+cargo test -q -p osiris-faults --test forge_campaign
+cargo test -q -p osiris-faults --test forge_sweep
+
+echo "== campaign_coverage: FailStop matrix + DoubleFault x DuringRecovery coverage gates =="
+OSIRIS_FORGE_OUT="$trace_tmp/campaign_coverage" \
+    cargo run --release -p osiris-bench --bin campaign_coverage >/dev/null
+cargo run --release -p osiris-metrics --bin promlint -- "$trace_tmp/campaign_coverage.prom"
+for fam in osiris_forge_forks_total osiris_forge_readopts_total \
+    osiris_forge_fork_dirty_bytes_total osiris_forge_snapshots_total \
+    osiris_forge_cells_covered osiris_forge_frontier_flips_total; do
+    grep -q "^$fam" "$trace_tmp/campaign_coverage.prom" || {
+        echo "missing forge metric family in exposition: $fam" >&2
+        exit 1
+    }
+done
+
+echo "== bench_campaign --check: forged-injection speedup + adoption alloc discipline =="
+cargo run --release -p osiris-bench --bin bench_campaign -- --check
+
 echo "ci.sh: all gates passed"

@@ -1,0 +1,84 @@
+//! Coverage gate for the snapshot-fork campaign forge.
+//!
+//! Runs the default coverage-guided sweep (reachability boundaries, the
+//! quickstart-scale workload) and enforces the sweep-completeness gates:
+//! 100% of the planned FailStop matrix and ≥90% of the full DoubleFault ×
+//! DuringRecovery space within the default budget, plus a live frontier
+//! (the policy spread must produce outcome-class flips, or the
+//! coverage-guided wave has nothing to refine). Unless invoked with
+//! `--check`, writes the coverage report to `<base>.json` and the
+//! campaign registry's Prometheus exposition (which carries the
+//! `osiris_forge_*` families) to `<base>.prom`, where `<base>` is
+//! `$OSIRIS_FORGE_OUT` or `campaign_coverage`.
+//!
+//! ```text
+//! cargo run --release -p osiris-bench --bin campaign_coverage [--check]
+//! ```
+
+use osiris_bench::RECOVERY_COVERAGE_FLOOR;
+use osiris_faults::{Forge, ForgeConfig};
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check" || a == "--quick");
+    let forge = Forge::new(ForgeConfig::default());
+    let result = forge.run();
+    let report = &result.report;
+
+    println!("{}", result.campaign.render_matrix());
+    println!(
+        "coverage: fail-stop {:.0}% ({}/{} cells), recovery space {:.0}% ({}/{} cells)",
+        report.fail_stop_pct(),
+        report.fail_stop.1,
+        report.fail_stop.0,
+        report.recovery_space_pct(),
+        report.recovery_space.1,
+        report.recovery_space.0,
+    );
+    println!(
+        "frontier: {} flips across {} sites, {} refinements, {} outcome cells",
+        report.frontier.flips,
+        report.frontier.sites.len(),
+        report.refinements,
+        report.outcome_cells,
+    );
+
+    if !check {
+        let base =
+            std::env::var("OSIRIS_FORGE_OUT").unwrap_or_else(|_| "campaign_coverage".to_string());
+        std::fs::write(format!("{base}.json"), result.report_json().pretty())
+            .expect("write coverage report");
+        std::fs::write(
+            format!("{base}.prom"),
+            result.campaign.metrics_handle().prometheus(),
+        )
+        .expect("write coverage exposition");
+        println!("results written to {base}.json / {base}.prom");
+    }
+
+    assert_eq!(
+        report.fail_stop_pct(),
+        100.0,
+        "FailStop matrix not fully covered: {:?}",
+        report.fail_stop
+    );
+    assert!(
+        report.recovery_space_pct() >= RECOVERY_COVERAGE_FLOOR,
+        "DoubleFault x DuringRecovery coverage {:.0}% below {RECOVERY_COVERAGE_FLOOR}% \
+         within the default budget",
+        report.recovery_space_pct()
+    );
+    assert!(
+        report.frontier.flips > 0,
+        "no recovery-failure frontier found — the policy sweep should disagree somewhere"
+    );
+    assert_eq!(
+        report.dropped, 0,
+        "default budget must not truncate the base waves"
+    );
+    println!(
+        "OK: coverage {:.0}%/{:.0}%, {} frontier flips",
+        report.fail_stop_pct(),
+        report.recovery_space_pct(),
+        report.frontier.flips
+    );
+}

@@ -230,11 +230,15 @@ pub fn survivability_for(
         });
     let campaign = Campaign::new(model_label(model), model, plans.len() * policies.len());
     let mut rows = Vec::new();
-    for &policy in policies {
-        let jobs: Vec<_> = plans.clone();
+    for (policy_i, &policy) in policies.iter().enumerate() {
+        // Slot-addressed recording: each worker writes its own plan-index
+        // slot, so records, axiom chain and report are identical on every
+        // thread count.
+        let jobs: Vec<_> = plans.iter().cloned().enumerate().collect();
         let campaign = &campaign;
         let primary = &primary;
-        let outcomes: Vec<Outcome> = run_parallel(jobs, threads, |plan| {
+        let runs = plans.len();
+        let outcomes: Vec<Outcome> = run_parallel(jobs, threads, |(idx, plan)| {
             let injector: Box<dyn FaultHook> = match primary {
                 Some(p) => Box::new(DoubleInjector::new(p, &plan)),
                 None => Box::new(Injector::new(&plan)),
@@ -260,25 +264,28 @@ pub fn survivability_for(
                     os.kernel().axiom().records(),
                     &os.metrics_snapshot(),
                 );
-            campaign.record(InjectionRecord {
-                site: plan.site.clone(),
-                kind: plan.kind,
-                policy: policy.to_string(),
-                outcome: class,
-                action: RecoveryActionTag::from_counts(
-                    m.recovered_rollback,
-                    m.recovered_fresh,
-                    m.recovered_naive,
-                    m.controlled_shutdowns,
-                ),
-                run_cycles: os.kernel().now(),
-                recoveries: m.recovered_rollback + m.recovered_fresh + m.recovered_naive,
-                recovery_cycles: m.recovery_cycles,
-                critical_path,
-                span_latency_clean,
-                span_latency_recovery,
-                blackbox,
-            });
+            campaign.record_at(
+                policy_i * runs + idx,
+                InjectionRecord {
+                    site: plan.site.clone(),
+                    kind: plan.kind,
+                    policy: policy.to_string(),
+                    outcome: class,
+                    action: RecoveryActionTag::from_counts(
+                        m.recovered_rollback,
+                        m.recovered_fresh,
+                        m.recovered_naive,
+                        m.controlled_shutdowns,
+                    ),
+                    run_cycles: os.kernel().now(),
+                    recoveries: m.recovered_rollback + m.recovered_fresh + m.recovered_naive,
+                    recovery_cycles: m.recovery_cycles,
+                    critical_path,
+                    span_latency_clean,
+                    span_latency_recovery,
+                    blackbox,
+                },
+            );
             class
         });
         rows.push((policy, outcomes.into_iter().collect()));

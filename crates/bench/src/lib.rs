@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod axiom_bench;
+pub mod campaign_bench;
 pub mod experiments;
 pub mod json;
 pub mod loc;
@@ -19,6 +20,10 @@ pub mod trace_bench;
 pub mod undo_bench;
 
 pub use axiom_bench::{bench_axiom, AxiomBenchConfig, AxiomBenchResult, AxiomModeResult};
+pub use campaign_bench::{
+    bench_campaign, CampaignBenchConfig, CampaignBenchResult, ReadoptAllocs, READOPT_ALLOC_BOUND,
+    RECOVERY_COVERAGE_FLOOR, SPEEDUP_FLOOR,
+};
 pub use experiments::*;
 pub use json::{Json, ResultsJson, SurvivabilityJson};
 pub use loc::{count_workspace_loc, CrateLoc, RcbReport};

@@ -21,8 +21,8 @@ use crate::stats::HeapStats;
 /// memory-overhead experiments approximates a value's size with
 /// `size_of::<T>()`; containers refine this where they can (e.g. [`crate::PBuf`]
 /// counts its actual payload).
-pub trait HeapValue: Clone + fmt::Debug + Send + 'static {}
-impl<T: Clone + fmt::Debug + Send + 'static> HeapValue for T {}
+pub trait HeapValue: Clone + fmt::Debug + Send + Sync + 'static {}
+impl<T: Clone + fmt::Debug + Send + Sync + 'static> HeapValue for T {}
 
 /// Identifier of an object within a heap, paired with the owning heap's id.
 ///
@@ -66,7 +66,7 @@ pub(crate) struct Obj {
 
 /// Object trait: `Any` for downcasting plus deep-clone support so that heap
 /// images (server clones) can be taken.
-pub(crate) trait AnyObj: Any + Send + fmt::Debug {
+pub(crate) trait AnyObj: Any + Send + Sync + fmt::Debug {
     fn clone_obj(&self) -> Box<dyn AnyObj>;
     fn as_any(&self) -> &dyn Any;
     fn as_any_mut(&mut self) -> &mut dyn Any;
@@ -191,6 +191,13 @@ pub struct Heap {
     /// Bumped by every mutation entry point (and rollback write-back); never
     /// reset, so an epoch recorded in any snapshot is always comparable.
     write_epoch: u64,
+    /// Fork support: `write_epoch` as of the last [`Heap::adopt_image`] (or
+    /// `None` before the first adoption). Every live epoch at or below this
+    /// floor is *parent-line* — it identifies the same write (and therefore
+    /// the same content) as the equal epoch in the donor heap's history —
+    /// while epochs above it were minted by this heap after the adoption and
+    /// must never be trusted to match a donor manifest numerically.
+    pub(crate) adopt_floor: Option<u64>,
     journal: Journal,
     boxed_log: Vec<UndoOp>,
     mode: UndoMode,
@@ -226,6 +233,7 @@ impl Heap {
         Heap {
             objs: Vec::new(),
             write_epoch: 0,
+            adopt_floor: None,
             journal: Journal::new(),
             boxed_log: Vec::new(),
             mode: UndoMode::Typed,
@@ -323,6 +331,43 @@ impl Heap {
     pub(crate) fn set_epoch(&mut self, index: usize, epoch: u64) {
         debug_assert!(epoch <= self.write_epoch);
         self.objs[index].epoch = epoch;
+    }
+
+    /// Current value of the heap-global write counter. Snapshots record it
+    /// so [`Heap::adopt_image`] on a fork can raise its own counter to the
+    /// donor's before stamping donor epochs onto live objects.
+    pub fn write_epoch(&self) -> u64 {
+        self.write_epoch
+    }
+
+    /// Raises the write counter to at least `to` (monotonic; never lowers).
+    pub(crate) fn raise_write_epoch(&mut self, to: u64) {
+        if to > self.write_epoch {
+            self.write_epoch = to;
+        }
+    }
+
+    /// Fork support: journal arena warmth — cumulative reuse-byte counter
+    /// and current arena capacity. Captured by snapshots and written back by
+    /// [`Heap::restore_journal_warmth`] so a forked heap's subsequent undo
+    /// accounting (the `arena_reuse_bytes` statistic mirrored into metrics)
+    /// is byte-identical to the donor's.
+    pub fn journal_warmth(&self) -> (u64, usize) {
+        self.journal.warmth()
+    }
+
+    /// Fork support: restores the journal arena's reuse counter and grows
+    /// its capacity to at least the donor's (capacity never shrinks — a
+    /// fresh-boot fork's arena is never larger than its donor's, so the
+    /// capacities match exactly on the differential path).
+    pub fn restore_journal_warmth(&mut self, reused: u64, capacity: usize) {
+        self.journal.restore_warmth(reused, capacity);
+    }
+
+    /// Fork support: overwrites the accumulated statistics wholesale (the
+    /// donor heap's counters at snapshot time).
+    pub fn set_stats(&mut self, stats: HeapStats) {
+        self.stats = stats;
     }
 
     /// FNV-1a digest over the full heap state: every object's name and

@@ -102,8 +102,17 @@ pub struct RestoreStats {
 /// Manifest digest: heap identity, object table (names, epochs, sizes) and
 /// every chunk digest, in order.
 fn manifest_digest(heap_id: u32, entries: &[ImageEntry]) -> u64 {
-    let mut d = fnv1a_u64(FNV_OFFSET, u64::from(heap_id));
-    d = fnv1a_u64(d, entries.len() as u64);
+    let d = fnv1a_u64(FNV_OFFSET, u64::from(heap_id));
+    entries_digest(d, entries)
+}
+
+/// The heap-id-independent tail of [`manifest_digest`]: object table and
+/// chunk digests only. Two manifests with equal entry digests describe the
+/// same state even when they belong to different heap instances — the
+/// comparison the fork path uses to check a forked boot produced the same
+/// pristine pool as its donor.
+fn entries_digest(seed: u64, entries: &[ImageEntry]) -> u64 {
+    let mut d = fnv1a_u64(seed, entries.len() as u64);
     for (i, e) in entries.iter().enumerate() {
         d = fnv1a_u64(d, i as u64);
         d = fnv1a_bytes(d, e.name.as_bytes());
@@ -343,6 +352,125 @@ impl Heap {
         Ok(stats)
     }
 
+    /// Fork support: replaces this heap's contents with a manifest taken
+    /// from a *different* heap instance (the donor), touching only objects
+    /// that are provably identical already — O(dirty), like
+    /// [`Heap::restore_image`], but across heap-id boundaries.
+    ///
+    /// Correctness of the clean-object skip rests on the *parent-line*
+    /// argument: an object is skipped only when its live epoch equals the
+    /// manifest epoch **and** lies at or below this heap's adoption floor.
+    /// Epochs at or below the floor were either minted by the deterministic
+    /// boot sequence this heap shares with the donor, or stamped by a
+    /// previous adoption from the same donor line — both identify the same
+    /// write, hence the same content, as the donor's equal epoch. Epochs
+    /// above the floor were minted by this heap's own post-fork writes and
+    /// are never trusted to match a donor manifest numerically, however the
+    /// counters happen to collide. Before the first adoption the floor is
+    /// the current write counter, which is only sound on a freshly booted
+    /// heap — the caller (the kernel's snapshot-adopt path) guarantees it.
+    ///
+    /// `donor_write_epoch` is the donor's write counter at snapshot time;
+    /// this heap's counter is raised to it so the stamped donor epochs stay
+    /// below the counter, and the floor is then advanced to the raised
+    /// counter. All verification happens before any object is mutated, as
+    /// in [`Heap::restore_image`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object tables disagree in length or names — forks of
+    /// the same configuration always boot identical tables, so a mismatch is
+    /// a programming error, not data corruption.
+    pub fn adopt_image(
+        &mut self,
+        image: &HeapImage,
+        store: &ChunkStore,
+        donor_write_epoch: u64,
+    ) -> Result<RestoreStats, IntegrityError> {
+        image.verify()?;
+        let row_bytes: usize = image.entries.iter().map(|e| e.abytes).sum();
+        if row_bytes != image.bytes {
+            return Err(IntegrityError::ImageBytes {
+                expected: image.bytes as u64,
+                actual: row_bytes as u64,
+            });
+        }
+        assert_eq!(
+            image.entries.len(),
+            self.objs.len(),
+            "adopting heap's object table must match the donor's"
+        );
+        let floor = self.adopt_floor.unwrap_or_else(|| self.write_epoch());
+        let clean = |live: u64, e: &ImageEntry| live == e.epoch && e.epoch <= floor;
+
+        // Pass 1 — verify every chunk a dirty object will read.
+        let mut stats = RestoreStats::default();
+        for (i, e) in image.entries.iter().enumerate() {
+            if clean(self.epoch_of(i), e) {
+                stats.clean_objects += 1;
+                stats.clean_chunks += e.chunk_count();
+                continue;
+            }
+            stats.dirty_objects += 1;
+            stats.dirty_chunks += e.chunk_count();
+            match &e.payload {
+                EntryPayload::Bytes { len, chunks, .. } => {
+                    let mut stored = 0usize;
+                    for c in chunks {
+                        store.verify_chunk(*c)?;
+                        stored += store.chunk_bytes(*c).expect("chunk verified resident");
+                    }
+                    if stored != *len {
+                        return Err(IntegrityError::ImageBytes {
+                            expected: *len as u64,
+                            actual: stored as u64,
+                        });
+                    }
+                    stats.bytes_restored += len;
+                }
+                EntryPayload::Opaque { chunk } => {
+                    store.verify_chunk(*chunk)?;
+                    stats.bytes_restored += e.abytes;
+                }
+            }
+        }
+
+        // Pass 2 — write dirty objects back and stamp donor epochs.
+        self.raise_write_epoch(donor_write_epoch);
+        for (i, e) in image.entries.iter().enumerate() {
+            if clean(self.epoch_of(i), e) {
+                continue;
+            }
+            let obj = &mut self.objs[i];
+            assert_eq!(obj.name, e.name, "object table shape differs from donor");
+            match &e.payload {
+                EntryPayload::Bytes {
+                    extra_bytes,
+                    chunks,
+                    ..
+                } => {
+                    let h = obj
+                        .data
+                        .byte_holder_mut()
+                        .expect("manifest byte row over non-byte object");
+                    h.value.clear();
+                    for c in chunks {
+                        h.value
+                            .extend_from_slice(store.bytes_of(*c).expect("chunk verified"));
+                    }
+                    h.extra_bytes = *extra_bytes;
+                }
+                EntryPayload::Opaque { chunk } => {
+                    obj.data = store.opaque_of(*chunk).expect("chunk verified").clone_obj();
+                }
+            }
+            self.set_epoch(i, e.epoch);
+        }
+        self.discard_log();
+        self.adopt_floor = Some(self.write_epoch());
+        Ok(stats)
+    }
+
     /// Whether this heap is clean with respect to `image`: same object
     /// table, every live epoch matching the manifest. The pool-refresh path
     /// uses this to re-snapshot only components whose pristine state is
@@ -407,6 +535,14 @@ impl HeapImage {
     /// The manifest digest captured when the image was cloned.
     pub fn digest(&self) -> u64 {
         self.digest
+    }
+
+    /// Heap-id-independent digest over the object table and chunk digests.
+    /// Equal content digests mean equal described state, even across heap
+    /// instances (a fork and its donor have distinct heap ids, so their
+    /// [`HeapImage::digest`] values never match; this one does).
+    pub fn content_digest(&self) -> u64 {
+        entries_digest(FNV_OFFSET, &self.entries)
     }
 
     /// Recomputes the manifest digest and compares it against the one

@@ -79,6 +79,21 @@ impl Arena {
         self.reused = 0;
     }
 
+    pub(crate) fn capacity(&self) -> usize {
+        self.bytes.capacity()
+    }
+
+    /// Fork support: restores the reuse counter and ensures at least
+    /// `capacity` bytes of arena capacity (never shrinks).
+    pub(crate) fn restore_warmth(&mut self, reused: u64, capacity: usize) {
+        self.reused = reused;
+        let have = self.bytes.capacity() - self.bytes.len();
+        let want = capacity - self.bytes.len().min(capacity);
+        if want > have {
+            self.bytes.reserve_exact(want);
+        }
+    }
+
     fn note_reuse(&mut self, extra: usize) {
         if self.bytes.len() + extra <= self.bytes.capacity() {
             self.reused += extra as u64;
@@ -811,6 +826,17 @@ impl Journal {
 
     pub(crate) fn reset_reuse(&mut self) {
         self.arena.reset_reuse();
+    }
+
+    /// Fork support: the arena's reuse counter and capacity, captured by
+    /// heap snapshots so a fork continues the donor's warm-arena accounting.
+    pub(crate) fn warmth(&self) -> (u64, usize) {
+        (self.arena.reuse_bytes(), self.arena.capacity())
+    }
+
+    /// Fork support: restores arena warmth recorded by [`Journal::warmth`].
+    pub(crate) fn restore_warmth(&mut self, reused: u64, capacity: usize) {
+        self.arena.restore_warmth(reused, capacity);
     }
 
     /// Called from `Heap::mark`: raises the coalescing barrier so records

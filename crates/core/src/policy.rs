@@ -41,6 +41,18 @@ pub trait RecoveryPolicy: Send + Sync + fmt::Debug {
 
     /// Stable identifier for tables and serialization.
     fn kind(&self) -> PolicyKind;
+
+    /// A boxed copy of this policy, used when an owning configuration is
+    /// cloned (the fork path boots a second OS from the same `OsConfig`).
+    ///
+    /// The default reconstructs the canonical instance for the policy's
+    /// [`PolicyKind`] — correct for every standard policy, which are all
+    /// stateless unit structs. Custom policies (`PolicyKind::Custom`) must
+    /// override this; the default panics for them via
+    /// [`PolicyKind::instantiate`].
+    fn clone_box(&self) -> Box<dyn RecoveryPolicy> {
+        self.kind().instantiate()
+    }
 }
 
 /// Identifies one of the evaluated policies (or a custom one).

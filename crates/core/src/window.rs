@@ -97,7 +97,9 @@ impl WindowStats {
 }
 
 /// The recovery window of one component (or one cooperative thread).
-#[derive(Debug)]
+/// `Clone` exists for the kernel's fork-snapshot path, which captures the
+/// window state verbatim (all fields are plain `Copy` data).
+#[derive(Clone, Debug)]
 pub struct RecoveryWindow {
     state: State,
     stats: WindowStats,

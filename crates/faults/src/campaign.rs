@@ -49,6 +49,21 @@ pub fn site_digest(site: &SiteId, kind: FaultKind) -> u64 {
     osiris_axiom::fnv1a(d, kind_label(kind).as_bytes())
 }
 
+/// 128-bit injection-site digest: the 64-bit [`site_digest`] in the low
+/// lane plus an independent FNV lane (different seed, reversed fold order)
+/// in the high lane. The forge keys its coverage cells by this value; at
+/// 128 bits a collision between two distinct (component, site, kind)
+/// triples would need ~2^64 sites, so cells never alias.
+pub fn site_digest128(site: &SiteId, kind: FaultKind) -> u128 {
+    // Second lane: FNV offset basis perturbed by the 64-bit golden ratio,
+    // folding the fields in the opposite order — the lanes share no state.
+    const LANE2_SEED: u64 = 0xcbf2_9ce4_8422_2325 ^ 0x9e37_79b9_7f4a_7c15;
+    let hi = osiris_axiom::fnv1a(LANE2_SEED, kind_label(kind).as_bytes());
+    let hi = osiris_axiom::fnv1a(hi, site.site.as_bytes());
+    let hi = osiris_axiom::fnv1a(hi, site.component.as_bytes());
+    ((hi as u128) << 64) | site_digest(site, kind) as u128
+}
+
 /// Short label for a fault model, used in metrics labels and reports.
 pub fn model_label(model: FaultModel) -> &'static str {
     match model {
@@ -266,12 +281,38 @@ struct State {
     done: usize,
     /// (policy, component) → outcome tally.
     matrix: BTreeMap<(String, String), Tally>,
-    records: Vec<InjectionRecord>,
+    /// Records by *plan index*, not completion order: workers on any
+    /// thread count land their record in the same slot, so the record
+    /// list — and the axiom chain derived from it — is deterministic.
+    slots: Vec<Option<InjectionRecord>>,
+    /// Next slot for the sequential [`Campaign::record`] ingest path.
+    next_seq: usize,
     blackbox_dumps: usize,
-    /// Campaign-level axiom: one hash-chained `Injection` event per run,
-    /// timestamped with the run's virtual cycle count. Two campaigns over
-    /// the same plan can be bisected to the first diverging outcome.
-    axiom: AxiomLog,
+}
+
+/// Folds the filled record slots, in slot order, into the campaign-level
+/// axiom: one hash-chained `Injection` event per run, timestamped with the
+/// run's virtual cycle count. Derived on demand rather than appended at
+/// ingest time, so out-of-order completion under [`crate::run_parallel`]
+/// cannot reorder the chain — two campaigns over the same plan can always
+/// be bisected to the first diverging outcome.
+fn derive_axiom(slots: &[Option<InjectionRecord>]) -> AxiomLog {
+    let mut log = AxiomLog::new(AxiomConfig {
+        enabled: true,
+        capacity: slots.len().max(1),
+    });
+    for (run, rec) in slots.iter().enumerate() {
+        let Some(rec) = rec else { continue };
+        log.append(
+            rec.run_cycles,
+            AxiomEvent::Injection {
+                run: run as u32,
+                site_digest: site_digest(&rec.site, rec.kind),
+                outcome: outcome_code(rec.outcome),
+            },
+        );
+    }
+    log
 }
 
 /// Thread-safe live observer for a fault-injection campaign.
@@ -310,12 +351,9 @@ impl Campaign {
             inner: Mutex::new(State {
                 done: 0,
                 matrix: BTreeMap::new(),
-                records: Vec::new(),
+                slots: Vec::new(),
+                next_seq: 0,
                 blackbox_dumps: 0,
-                axiom: AxiomLog::new(AxiomConfig {
-                    enabled: true,
-                    capacity: total.max(1),
-                }),
             }),
         }
     }
@@ -339,10 +377,25 @@ impl Campaign {
         &self.metrics
     }
 
-    /// Ingests one completed run: updates the matrix, streams the registry
-    /// series, prints progress at checkpoints, and dumps the black box of
-    /// the first few uncontrolled crashes.
+    /// Ingests one completed run into the next sequential slot: updates
+    /// the matrix, streams the registry series, prints progress at
+    /// checkpoints, and dumps the black box of the first few uncontrolled
+    /// crashes.
     pub fn record(&self, rec: InjectionRecord) {
+        let run = {
+            let mut st = self.inner.lock().expect("campaign lock");
+            let run = st.next_seq;
+            st.next_seq += 1;
+            run
+        };
+        self.record_at(run, rec);
+    }
+
+    /// Ingests the completed run with plan index `run` into its slot.
+    /// Campaign runners hand each [`crate::run_parallel`] worker its job
+    /// index and record through this, so the record list, the matrix and
+    /// the derived axiom chain are identical on every thread count.
+    pub fn record_at(&self, run: usize, rec: InjectionRecord) {
         let model = model_label(self.model);
         self.metrics
             .counter(
@@ -374,15 +427,11 @@ impl Campaign {
         }
 
         let mut st = self.inner.lock().expect("campaign lock");
-        let run = st.records.len() as u32;
-        st.axiom.append(
-            rec.run_cycles,
-            AxiomEvent::Injection {
-                run,
-                site_digest: site_digest(&rec.site, rec.kind),
-                outcome: outcome_code(rec.outcome),
-            },
-        );
+        if st.slots.len() <= run {
+            st.slots.resize_with(run + 1, || None);
+        }
+        assert!(st.slots[run].is_none(), "run {run} recorded twice");
+        st.next_seq = st.next_seq.max(run + 1);
         st.matrix
             .entry((rec.policy.clone(), rec.site.component.clone()))
             .or_default()
@@ -403,7 +452,7 @@ impl Campaign {
         } else {
             None
         };
-        st.records.push(rec);
+        st.slots[run] = Some(rec);
         drop(st);
 
         if let Some(dump) = crash_dump {
@@ -431,18 +480,23 @@ impl Campaign {
         render_matrix_locked(&self.inner.lock().expect("campaign lock").matrix)
     }
 
-    /// A clone of every record ingested so far, in completion order.
+    /// A clone of every record ingested so far, in plan order.
     pub fn records(&self) -> Vec<InjectionRecord> {
-        self.inner.lock().expect("campaign lock").records.clone()
-    }
-
-    /// The campaign axiom's records: one chained `Injection` event per
-    /// ingested run, in completion order.
-    pub fn axiom_records(&self) -> Vec<AxiomRecord> {
         self.inner
             .lock()
             .expect("campaign lock")
-            .axiom
+            .slots
+            .iter()
+            .flatten()
+            .cloned()
+            .collect()
+    }
+
+    /// The campaign axiom's records: one chained `Injection` event per
+    /// ingested run, in plan order (derived from the record slots, so
+    /// completion order never reorders the chain).
+    pub fn axiom_records(&self) -> Vec<AxiomRecord> {
+        derive_axiom(&self.inner.lock().expect("campaign lock").slots)
             .records()
             .to_vec()
     }
@@ -451,38 +505,63 @@ impl Campaign {
     /// (feed two of these to `osiris_axiom::bisect` — or the
     /// `axiom_bisect` tool — to find the first diverging run).
     pub fn axiom_bytes(&self) -> Vec<u8> {
-        self.inner.lock().expect("campaign lock").axiom.to_bytes()
+        derive_axiom(&self.inner.lock().expect("campaign lock").slots).to_bytes()
     }
 
     /// The final campaign report document (`campaign_report.json`).
     pub fn report_json(&self) -> Json {
         let st = self.inner.lock().expect("campaign lock");
+        let tally_fields = |t: &Tally| {
+            [
+                ("pass", Json::UInt(t.pass as u64)),
+                ("fail", Json::UInt(t.fail as u64)),
+                ("degraded", Json::UInt(t.degraded as u64)),
+                ("quarantined", Json::UInt(t.quarantined as u64)),
+                ("shutdown", Json::UInt(t.shutdown as u64)),
+                ("crash", Json::UInt(t.crash as u64)),
+                ("survivability_pct", Json::Num(t.survivability())),
+            ]
+        };
         let matrix: Vec<_> = st
             .matrix
             .iter()
             .map(|((policy, component), t)| {
-                Json::obj([
+                let mut fields = vec![
                     ("policy", Json::Str(policy.clone())),
                     ("component", Json::Str(component.clone())),
-                    ("pass", Json::UInt(t.pass as u64)),
-                    ("fail", Json::UInt(t.fail as u64)),
-                    ("degraded", Json::UInt(t.degraded as u64)),
-                    ("quarantined", Json::UInt(t.quarantined as u64)),
-                    ("shutdown", Json::UInt(t.shutdown as u64)),
-                    ("crash", Json::UInt(t.crash as u64)),
-                    ("survivability_pct", Json::Num(t.survivability())),
-                ])
+                ];
+                fields.extend(tally_fields(t));
+                Json::Obj(
+                    fields
+                        .into_iter()
+                        .map(|(k, v)| (k.to_string(), v))
+                        .collect(),
+                )
             })
             .collect();
+        // The all-policy grand total: the same columns as the per-row
+        // tallies (including degraded/quarantined), so the JSON report and
+        // the rendered matrix footer agree.
+        let mut totals = Tally::default();
+        for t in st.matrix.values() {
+            totals.pass += t.pass;
+            totals.fail += t.fail;
+            totals.degraded += t.degraded;
+            totals.quarantined += t.quarantined;
+            totals.shutdown += t.shutdown;
+            totals.crash += t.crash;
+        }
+        let records: Vec<&InjectionRecord> = st.slots.iter().flatten().collect();
         Json::obj([
             ("campaign", Json::Str(self.label.clone())),
             ("model", Json::Str(model_label(self.model).to_string())),
             ("planned_runs", Json::UInt(self.total as u64)),
             ("completed_runs", Json::UInt(st.done as u64)),
             ("matrix", Json::Arr(matrix)),
+            ("totals", Json::obj(tally_fields(&totals))),
             (
                 "records",
-                Json::arr(&st.records, |r| {
+                Json::arr(&records, |r| {
                     Json::obj([
                         ("component", Json::Str(r.site.component.clone())),
                         ("site", Json::Str(r.site.site.clone())),
@@ -543,6 +622,7 @@ fn render_matrix_locked(matrix: &BTreeMap<(String, String), Tally>) -> String {
         agg.shutdown += t.shutdown;
         agg.crash += t.crash;
     }
+    let mut total = Tally::default();
     for (policy, t) in per_policy {
         out.push_str(&format!(
             "  {:<14} {:<10} {:>6} {:>6} {:>9} {:>11} {:>9} {:>6} {:>6.1}%\n",
@@ -556,7 +636,28 @@ fn render_matrix_locked(matrix: &BTreeMap<(String, String), Tally>) -> String {
             t.crash,
             t.survivability()
         ));
+        total.pass += t.pass;
+        total.fail += t.fail;
+        total.degraded += t.degraded;
+        total.quarantined += t.quarantined;
+        total.shutdown += t.shutdown;
+        total.crash += t.crash;
     }
+    // All-policy grand total, with the full column set (including the
+    // degraded/quarantined ladder outcomes), matching the `totals` object
+    // in `campaign_report.json`.
+    out.push_str(&format!(
+        "  {:<14} {:<10} {:>6} {:>6} {:>9} {:>11} {:>9} {:>6} {:>6.1}%\n",
+        "(total)",
+        "",
+        total.pass,
+        total.fail,
+        total.degraded,
+        total.quarantined,
+        total.shutdown,
+        total.crash,
+        total.survivability()
+    ));
     out
 }
 

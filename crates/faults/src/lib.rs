@@ -24,9 +24,15 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod forge;
 
 pub use campaign::{
-    critical_path, run_attribution, Campaign, CriticalPath, InjectionRecord, RecoveryActionTag,
+    critical_path, run_attribution, site_digest, site_digest128, Campaign, CriticalPath,
+    InjectionRecord, RecoveryActionTag,
+};
+pub use forge::{
+    Boundary, CoverageMap, Forge, ForgeConfig, ForgePlan, ForgeReport, ForgeResult, ForgeVariant,
+    FrontierReport, ScriptWorkload, StepProfile, StepProfiler,
 };
 
 use std::collections::BTreeMap;
@@ -568,6 +574,11 @@ impl FromIterator<Outcome> for Tally {
 /// Runs `f` over `jobs` on `threads` worker threads, preserving input order
 /// in the output. Each job is independent (a fresh simulator instance), so
 /// campaigns parallelize trivially.
+///
+/// Jobs are *started* in input order too (a forward cursor, not a LIFO
+/// stack), so side effects that workers key by job index — e.g.
+/// [`Campaign::record_at`] slots — interleave the same way regardless of
+/// the thread count.
 pub fn run_parallel<J, T, F>(jobs: Vec<J>, threads: usize, f: F) -> Vec<T>
 where
     J: Send,
@@ -577,14 +588,13 @@ where
     let threads = threads.max(1);
     let n = jobs.len();
     let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    let jobs: Vec<(usize, J)> = jobs.into_iter().enumerate().collect();
-    let queue = Mutex::new(jobs);
+    let queue = Mutex::new(jobs.into_iter().enumerate());
     let f = &f;
     let out = Mutex::new(&mut results);
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
-                let job = queue.lock().expect("queue lock").pop();
+                let job = queue.lock().expect("queue lock").next();
                 let Some((idx, job)) = job else { break };
                 let r = f(job);
                 out.lock().expect("out lock")[idx] = Some(r);

@@ -32,7 +32,9 @@ pub use component::{
     Server, SiteKind,
 };
 pub use host::{ForkFn, Host, HostConfig, OsEngine, ProgramFn, ProgramRegistry, RunOutcome, Sys};
-pub use kernel::{Instrumentation, Kernel, KernelConfig};
+pub use kernel::{
+    CasFingerprint, CompSnapshot, Instrumentation, Kernel, KernelConfig, KernelSnapshot,
+};
 pub use message::{Endpoint, Message, MsgId, Protocol, ReturnPath, SpanInfo, SyscallId};
 pub use metrics::{ComponentReport, KernelMetrics, ShutdownKind};
 

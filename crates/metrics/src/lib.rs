@@ -35,7 +35,7 @@ pub mod timeseries;
 
 pub use export::render_json;
 pub use prom::{render_prometheus, validate_prometheus};
-pub use timeseries::{TimeseriesConfig, TimeseriesSampler};
+pub use timeseries::{TimeseriesConfig, TimeseriesSampler, TimeseriesState};
 
 /// Configuration for a [`MetricsHandle`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -174,6 +174,32 @@ impl Registry {
                 match &s.slot {
                     Slot::Scalar(v) => v.store(0, Ordering::Relaxed),
                     Slot::Hist(h) => h.lock().unwrap().reset(),
+                }
+            }
+        }
+    }
+
+    fn restore_from(&mut self, snap: &MetricsSnapshot) {
+        self.reset();
+        for f in &snap.families {
+            // Touch the family even when it carries no series yet, so the
+            // restored exposition lists exactly the donor's families in the
+            // donor's registration order.
+            self.family_mut(&f.name, &f.help, f.kind);
+            for s in &f.series {
+                let labels: Vec<(&str, &str)> = s
+                    .labels
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect();
+                match &s.value {
+                    SeriesValue::Counter(n) | SeriesValue::Gauge(n) => {
+                        self.scalar(&f.name, &f.help, f.kind, &labels)
+                            .store(*n, Ordering::Relaxed);
+                    }
+                    SeriesValue::Hist(h) => {
+                        *self.hist(&f.name, &f.help, &labels).lock().unwrap() = **h;
+                    }
                 }
             }
         }
@@ -324,6 +350,19 @@ impl MetricsHandle {
     /// A deep, consistent copy of every registered family.
     pub fn snapshot(&self) -> MetricsSnapshot {
         self.inner.lock().unwrap().snapshot()
+    }
+
+    /// Overwrites the registry with a snapshot taken from another registry:
+    /// every existing series is zeroed, then each snapshotted family and
+    /// series is (re-)registered in snapshot order and set to its recorded
+    /// value. Registration is idempotent and order-preserving, so when the
+    /// live registry's families are a boot-time prefix-subsequence of the
+    /// snapshot's (the fork case: both sides booted identically, the donor
+    /// may have registered more afterwards), the restored exposition is
+    /// byte-identical to the donor's. Writes bypass the enabled gate — a
+    /// restore mirrors the donor no matter which side is recording.
+    pub fn restore_from(&self, snap: &MetricsSnapshot) {
+        self.inner.lock().unwrap().restore_from(snap);
     }
 
     /// Renders the current state in Prometheus text exposition format.

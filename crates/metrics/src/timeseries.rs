@@ -116,6 +116,16 @@ impl Tracked {
     }
 }
 
+/// Exported sampler state for the fork path: per-series recorded points
+/// (normalized oldest-first) plus the armed sampling-grid position. Taken
+/// with [`TimeseriesSampler::export_state`], written back with
+/// [`TimeseriesSampler::restore_state`].
+#[derive(Clone, Debug)]
+pub struct TimeseriesState {
+    next_due: u64,
+    series: Vec<Vec<Sample>>,
+}
+
 /// A virtual-time sampler over registry series. See the module docs.
 pub struct TimeseriesSampler {
     cfg: TimeseriesConfig,
@@ -186,6 +196,41 @@ impl TimeseriesSampler {
             t.start = 0;
         }
         self.next_due = (now / self.cfg.interval + 1) * self.cfg.interval;
+    }
+
+    /// Fork support: every tracked series' recorded points (oldest first)
+    /// plus the armed grid position, for later [`Self::restore_state`] on a
+    /// sampler tracking the same series in the same order.
+    pub fn export_state(&self) -> TimeseriesState {
+        TimeseriesState {
+            next_due: self.next_due,
+            series: self
+                .tracked
+                .iter()
+                .map(|t| t.in_order().copied().collect())
+                .collect(),
+        }
+    }
+
+    /// Fork support: overwrites recorded points and the armed grid position
+    /// with state exported from a donor sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tracked-series count differs — fork and donor boot the
+    /// same tracking set, so a mismatch is a programming error.
+    pub fn restore_state(&mut self, state: &TimeseriesState) {
+        assert_eq!(
+            state.series.len(),
+            self.tracked.len(),
+            "timeseries restore with a different tracking set"
+        );
+        for (t, pts) in self.tracked.iter_mut().zip(&state.series) {
+            t.points.clear();
+            t.points.extend_from_slice(pts);
+            t.start = 0;
+        }
+        self.next_due = state.next_due;
     }
 
     /// Takes one sample per tracked series if the monotone virtual clock

@@ -50,7 +50,7 @@ mod vm;
 
 pub use disk::{DiskDriver, BLOCK_SIZE};
 pub use ds::{DataStore, MAX_KEYS};
-pub use os::{Os, OsConfig};
+pub use os::{Os, OsConfig, OsSnapshot};
 pub use pm::ProcessManager;
 pub use proto::{reply_result, OsMsg};
 pub use rs::RecoveryServer;

@@ -4,11 +4,12 @@
 
 use std::collections::BTreeSet;
 
+use osiris_checkpoint::{ChunkStore, RestoreStats};
 use osiris_core::{EscalationPolicy, PolicyKind, RecoveryPolicy};
 use osiris_kernel::abi::{Pid, SysReply, Syscall};
 use osiris_kernel::{
     ComponentReport, CostModel, Endpoint, FaultHook, Instrumentation, Kernel, KernelConfig,
-    KernelMetrics, OsEngine, ShutdownKind, SyscallId,
+    KernelMetrics, KernelSnapshot, OsEngine, ShutdownKind, SyscallId,
 };
 
 use crate::disk::DiskDriver;
@@ -98,6 +99,26 @@ impl std::fmt::Debug for OsConfig {
     }
 }
 
+impl Clone for OsConfig {
+    fn clone(&self) -> Self {
+        OsConfig {
+            policy: self.policy,
+            custom_policy: self.custom_policy.as_ref().map(|p| p.clone_box()),
+            instrumentation: self.instrumentation,
+            cost: self.cost,
+            vm_frames: self.vm_frames,
+            vfs_cache_blocks: self.vfs_cache_blocks,
+            vfs_threads: self.vfs_threads,
+            escalation: self.escalation,
+            shutdown_grace: self.shutdown_grace,
+            trace: self.trace.clone(),
+            metrics: self.metrics,
+            axiom: self.axiom,
+            timeseries: self.timeseries,
+        }
+    }
+}
+
 impl OsConfig {
     /// Convenience: default configuration with the given policy.
     pub fn with_policy(policy: PolicyKind) -> Self {
@@ -113,6 +134,9 @@ pub struct Os {
     kernel: Kernel<OsMsg>,
     topo: Topology,
     pending_refusals: Vec<(SyscallId, Pid, SysReply)>,
+    /// The boot configuration, retained so [`Os::fork`] can reboot an
+    /// identical twin before adopting a snapshot.
+    cfg: OsConfig,
 }
 
 impl std::fmt::Debug for Os {
@@ -125,8 +149,8 @@ impl Os {
     /// Boots the OS: registers RS, PM, VM, VFS, DS and the disk driver in
     /// the canonical topology and runs their initialization.
     pub fn new(cfg: OsConfig) -> Self {
-        let policy = match cfg.custom_policy {
-            Some(p) => p,
+        let policy = match &cfg.custom_policy {
+            Some(p) => p.clone_box(),
             None => cfg.policy.instantiate(),
         };
         let kcfg = KernelConfig {
@@ -134,7 +158,7 @@ impl Os {
             instrumentation: cfg.instrumentation,
             cost: cfg.cost,
             shutdown_grace: cfg.shutdown_grace,
-            trace: cfg.trace,
+            trace: cfg.trace.clone(),
             metrics: cfg.metrics,
             axiom: cfg.axiom,
             timeseries: cfg.timeseries,
@@ -165,6 +189,7 @@ impl Os {
             kernel,
             topo,
             pending_refusals: Vec::new(),
+            cfg,
         }
     }
 
@@ -459,6 +484,165 @@ impl Os {
             }
         }
         violations
+    }
+
+    /// The configuration this OS was booted with.
+    pub fn config(&self) -> &OsConfig {
+        &self.cfg
+    }
+
+    /// Captures the whole OS into a self-contained [`OsSnapshot`] backed by
+    /// its own private chunk store. For O(dirty) sequential captures that
+    /// deduplicate across snapshots, use [`Os::snapshot_into`] with a
+    /// shared store instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the OS is quiescent and fault-free (no recovery or
+    /// shutdown in flight, no pending replies, every component alive with a
+    /// closed recovery window).
+    pub fn snapshot(&self) -> OsSnapshot {
+        let mut store = ChunkStore::new();
+        let kernel = self.snapshot_kernel(&mut store, None);
+        OsSnapshot {
+            cfg: self.cfg.clone(),
+            kernel,
+            store: Some(store),
+        }
+    }
+
+    /// Captures the OS into `store` (shared with other snapshots; chunks
+    /// dedupe across them). Passing the previous snapshot of the *same* OS
+    /// as `prev` makes the capture O(dirty): objects unchanged since `prev`
+    /// reshare its chunks without rehashing.
+    pub fn snapshot_into(&self, store: &mut ChunkStore, prev: Option<&OsSnapshot>) -> OsSnapshot {
+        let kernel = self.snapshot_kernel(store, prev);
+        OsSnapshot {
+            cfg: self.cfg.clone(),
+            kernel,
+            store: None,
+        }
+    }
+
+    fn snapshot_kernel(
+        &self,
+        store: &mut ChunkStore,
+        prev: Option<&OsSnapshot>,
+    ) -> KernelSnapshot<OsMsg> {
+        assert!(
+            self.pending_refusals.is_empty(),
+            "snapshot with undelivered shutdown refusals"
+        );
+        self.kernel.sync_registry();
+        self.kernel.snapshot_into(store, prev.map(|p| &p.kernel))
+    }
+
+    /// Forks a new OS from a self-contained snapshot (see [`Os::snapshot`]).
+    /// The fork is byte-equivalent to the donor at capture time: running
+    /// the same steps produces identical metrics, axiom, trace and
+    /// telemetry exports.
+    pub fn fork(snap: &OsSnapshot) -> Os {
+        let store = snap.store.as_ref().expect(
+            "Os::fork needs a self-contained snapshot; use Os::fork_from with the shared store",
+        );
+        Self::fork_from(snap, store).0
+    }
+
+    /// Forks a new OS from a snapshot whose chunks live in `store`. Boots a
+    /// fresh twin from the snapshot's retained configuration — the boot is
+    /// deterministic, so the twin's pristine images and clone-pool store
+    /// re-derive the donor's exactly (asserted) — then adopts the snapshot:
+    /// only objects the donor dirtied after boot are copied (O(dirty)).
+    /// Returns the forked OS and the restore cost.
+    pub fn fork_from(snap: &OsSnapshot, store: &ChunkStore) -> (Os, RestoreStats) {
+        let mut os = Os::new(snap.cfg.clone());
+        // The fault-free-prefix invariant: a same-config boot reproduces
+        // the donor's boot-time clone-pool store bit for bit. If this
+        // fires, boot is not deterministic and forked runs cannot be
+        // trusted to reproduce from-boot runs.
+        assert_eq!(
+            os.kernel.cas_fingerprint(),
+            snap.kernel.cas_fingerprint(),
+            "forked boot diverged from the snapshot donor's boot"
+        );
+        let stats = os.kernel.adopt_snapshot(&snap.kernel, store);
+        (os, stats)
+    }
+
+    /// Re-targets this OS at `snap` without rebooting, if its current state
+    /// permits adoption (same topology and configuration lineage, every
+    /// component alive with a closed window and donor-equal pristine
+    /// images). Returns the restore cost, or `None` when a fresh
+    /// [`Os::fork_from`] is required. This is the campaign forge's hot
+    /// path: one booted worker OS serves many fault variants.
+    pub fn try_readopt(&mut self, snap: &OsSnapshot, store: &ChunkStore) -> Option<RestoreStats> {
+        if !config_compatible(&self.cfg, &snap.cfg) || !self.kernel.can_adopt(&snap.kernel) {
+            return None;
+        }
+        self.pending_refusals.clear();
+        Some(self.kernel.adopt_snapshot(&snap.kernel, store))
+    }
+}
+
+/// Whether two configurations boot byte-identical systems, for the purpose
+/// of deciding snapshot adoption. Conservative: custom policies compare by
+/// name only, so two distinct custom policies sharing a name must not be
+/// mixed within one forge.
+fn config_compatible(a: &OsConfig, b: &OsConfig) -> bool {
+    let policy_name = |c: &OsConfig| c.custom_policy.as_ref().map(|p| p.name().to_string());
+    a.policy == b.policy
+        && policy_name(a) == policy_name(b)
+        && a.instrumentation == b.instrumentation
+        && a.cost == b.cost
+        && a.vm_frames == b.vm_frames
+        && a.vfs_cache_blocks == b.vfs_cache_blocks
+        && a.vfs_threads == b.vfs_threads
+        && a.escalation == b.escalation
+        && a.shutdown_grace == b.shutdown_grace
+        && a.trace.enabled == b.trace.enabled
+        && a.trace.capacity == b.trace.capacity
+        && a.metrics == b.metrics
+        && a.axiom == b.axiom
+        && a.timeseries == b.timeseries
+}
+
+/// A captured OS: the kernel snapshot plus the boot configuration needed to
+/// fork twins. Self-contained when made by [`Os::snapshot`] (owns its chunk
+/// store); store-relative when made by [`Os::snapshot_into`] (the caller's
+/// shared store holds the chunks, and [`OsSnapshot::release`] must be
+/// called before discarding the snapshot to return its references).
+pub struct OsSnapshot {
+    cfg: OsConfig,
+    kernel: KernelSnapshot<OsMsg>,
+    store: Option<ChunkStore>,
+}
+
+impl OsSnapshot {
+    /// Virtual time at capture.
+    pub fn now(&self) -> u64 {
+        self.kernel.now()
+    }
+
+    /// The configuration the donor was booted with.
+    pub fn config(&self) -> &OsConfig {
+        &self.cfg
+    }
+
+    /// Logical capture size: manifest bytes across all component heaps
+    /// (shared chunks counted once per referencing manifest).
+    pub fn manifest_bytes(&self) -> usize {
+        self.kernel.manifest_bytes()
+    }
+
+    /// Releases a store-relative snapshot's chunk references back to
+    /// `store`. Dropping such a snapshot without releasing leaks resident
+    /// chunks in the shared store. Self-contained snapshots just drop.
+    pub fn release(self, store: &mut ChunkStore) {
+        assert!(
+            self.store.is_none(),
+            "release() is for store-relative snapshots; self-contained ones just drop"
+        );
+        self.kernel.release(store);
     }
 }
 

@@ -589,6 +589,49 @@ impl Tracer {
         self.seq = [0; 256];
         self.total = 0;
     }
+
+    /// Fork support: the recorder's full state — chronological ring
+    /// contents, per-component sequence counters, lifetime total and the
+    /// stamped virtual time — for [`Tracer::restore_state`] on a same-config
+    /// recorder.
+    pub fn export_state(&self) -> TracerState {
+        TracerState {
+            records: self.snapshot(),
+            wrapped: self.wrapped,
+            seq: self.seq,
+            total: self.total,
+            now: self.now,
+        }
+    }
+
+    /// Fork support: overwrites this recorder's state with a donor's. The
+    /// ring is rebuilt oldest-first (a rotation the chronological
+    /// [`Tracer::snapshot`] cannot observe); subsequent emits continue
+    /// exactly as they would have on the donor.
+    pub fn restore_state(&mut self, state: &TracerState) {
+        self.ring.clear();
+        self.ring.extend_from_slice(&state.records);
+        self.head = if self.cfg.capacity > 0 && self.ring.len() >= self.cfg.capacity {
+            0
+        } else {
+            self.ring.len()
+        };
+        self.wrapped = state.wrapped;
+        self.seq = state.seq;
+        self.total = state.total;
+        self.now = state.now;
+    }
+}
+
+/// Exported [`Tracer`] state for the fork path: ring contents in
+/// chronological order plus every counter an emit consults.
+#[derive(Clone, Debug)]
+pub struct TracerState {
+    records: Vec<TraceRecord>,
+    wrapped: bool,
+    seq: [u64; 256],
+    total: u64,
+    now: u64,
 }
 
 /// A cheaply cloneable, shareable handle to a [`Tracer`].
@@ -670,6 +713,18 @@ impl TraceHandle {
     /// boot from recorded runs).
     pub fn clear(&self) {
         self.inner.lock().unwrap().clear();
+    }
+
+    /// Fork support: exports the recorder's state (see
+    /// [`Tracer::export_state`]).
+    pub fn export_state(&self) -> TracerState {
+        self.inner.lock().unwrap().export_state()
+    }
+
+    /// Fork support: overwrites the recorder's state with a donor's (see
+    /// [`Tracer::restore_state`]).
+    pub fn restore_state(&self, state: &TracerState) {
+        self.inner.lock().unwrap().restore_state(state);
     }
 
     /// Renders the post-mortem black box: the last `blackbox_tail` events
