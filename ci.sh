@@ -59,7 +59,12 @@ for fam in osiris_quarantine_total osiris_quarantine_refusals_total \
     osiris_axiom_events_total osiris_axiom_bytes \
     osiris_axiom_chain_verifications_total osiris_axiom_replay_divergence_total \
     osiris_span_started_total osiris_span_completed_total \
-    osiris_span_latency_cycles osiris_span_hops_total; do
+    osiris_span_latency_cycles osiris_span_hops_total \
+    osiris_watchdog_armed_total osiris_watchdog_deadline_expired_total \
+    osiris_watchdog_probes_total osiris_watchdog_verdicts_total \
+    osiris_watchdog_replies_rejected_total \
+    osiris_watchdog_detection_latency_cycles \
+    osiris_retry_decisions_total osiris_retry_exhausted_total; do
     grep -q "^$fam" "$trace_tmp/a_metrics.prom" || {
         echo "missing metric family in exposition: $fam" >&2
         exit 1
@@ -114,12 +119,22 @@ cargo run --release -p osiris-bench --bin bench_axiom -- --check
 echo "== bench_spans --check: disabled span-recorder overhead + zero-alloc recording =="
 cargo run --release -p osiris-bench --bin bench_spans -- --check
 
+echo "== watchdog recovery: fail-silent detection, retry/backoff and reply-integrity suite =="
+cargo test -q -p osiris-servers --test watchdog_recovery
+
+echo "== hang_recovery example: wedge -> watchdog verdict -> rollback -> transparent retry =="
+cargo run --release --example hang_recovery >/dev/null
+
+echo "== bench_timeouts --check: hang-detection latency bound + zero-alloc armed deadlines =="
+cargo run --release -p osiris-bench --bin bench_timeouts -- --check
+
 echo "== forge fork equivalence + determinism: snapshot-fork campaign suites =="
 cargo test -q -p osiris-faults --test forge_fork
 cargo test -q -p osiris-faults --test forge_campaign
 cargo test -q -p osiris-faults --test forge_sweep
+cargo test -q -p osiris-faults --test fail_silent_forge
 
-echo "== campaign_coverage: FailStop matrix + DoubleFault x DuringRecovery coverage gates =="
+echo "== campaign_coverage: FailStop + DoubleFault x DuringRecovery + fail-silent Hang/ReplyDrop coverage gates =="
 OSIRIS_FORGE_OUT="$trace_tmp/campaign_coverage" \
     cargo run --release -p osiris-bench --bin campaign_coverage >/dev/null
 cargo run --release -p osiris-metrics --bin promlint -- "$trace_tmp/campaign_coverage.prom"

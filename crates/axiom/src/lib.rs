@@ -116,6 +116,22 @@ pub enum IntentPhaseCode {
     Issued,
 }
 
+/// Watchdog verdict on a component whose armed request deadline expired
+/// (mirrors the kernel's fail-silent detection state machine).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VerdictCode {
+    /// No progress since the deadline expired: the component is hung.
+    Hung,
+    /// The reply eventually arrived after the deadline: slow but correct.
+    Slow,
+    /// The handler completed but its reply never arrived (dropped in
+    /// flight): the request is lost, not the component.
+    ReplyLost,
+    /// The reply arrived but its integrity digest did not match the
+    /// payload: treated as a crash of the sender.
+    CorruptReply,
+}
+
 /// Terminal outcome of one fault-campaign injection (mirrors
 /// `osiris-faults`' run classification).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -263,6 +279,37 @@ pub enum AxiomEvent {
         /// Terminal outcome of the injection run.
         outcome: OutcomeCode,
     },
+    /// The armed deadline for a request to `comp` expired with no reply.
+    DeadlineExpired {
+        /// Component the request was sent to.
+        comp: u8,
+        /// Message id of the armed request.
+        msg_id: u64,
+        /// Delivery attempt the deadline belonged to (0 = first send).
+        attempt: u8,
+    },
+    /// The watchdog concluded its probe of `comp` with a verdict.
+    WatchdogVerdict {
+        /// Component the verdict concerns.
+        comp: u8,
+        /// What the heartbeat/progress probe concluded.
+        verdict: VerdictCode,
+        /// Message id of the request that armed the watchdog.
+        msg_id: u64,
+    },
+    /// The kernel decided whether to transparently retry a failed request.
+    RetryDecision {
+        /// Component the request targets.
+        comp: u8,
+        /// Message id of the request.
+        msg_id: u64,
+        /// Delivery attempt the decision concerns (0 = first send).
+        attempt: u8,
+        /// Whether the retry was granted (else the requester sees E_CRASH).
+        granted: bool,
+        /// Backoff (virtual cycles, incl. jitter) armed before the resend.
+        backoff: u32,
+    },
 }
 
 impl AxiomEvent {
@@ -285,6 +332,9 @@ impl AxiomEvent {
             AxiomEvent::PoolRefresh { .. } => "pool_refresh",
             AxiomEvent::ShutdownDecision { .. } => "shutdown_decision",
             AxiomEvent::Injection { .. } => "injection",
+            AxiomEvent::DeadlineExpired { .. } => "deadline_expired",
+            AxiomEvent::WatchdogVerdict { .. } => "watchdog_verdict",
+            AxiomEvent::RetryDecision { .. } => "retry_decision",
         }
     }
 
@@ -303,7 +353,10 @@ impl AxiomEvent {
             | AxiomEvent::RecoveryDone { comp, .. }
             | AxiomEvent::EscalationStep { comp, .. }
             | AxiomEvent::Quarantined { comp }
-            | AxiomEvent::PoolRefresh { comp, .. } => Some(comp),
+            | AxiomEvent::PoolRefresh { comp, .. }
+            | AxiomEvent::DeadlineExpired { comp, .. }
+            | AxiomEvent::WatchdogVerdict { comp, .. }
+            | AxiomEvent::RetryDecision { comp, .. } => Some(comp),
             AxiomEvent::Genesis { .. }
             | AxiomEvent::ShutdownDecision { .. }
             | AxiomEvent::Injection { .. } => None,
@@ -445,6 +498,25 @@ fn phase_from(b: u8) -> Result<IntentPhaseCode, AxiomError> {
     })
 }
 
+fn verdict_u8(v: VerdictCode) -> u8 {
+    match v {
+        VerdictCode::Hung => 0,
+        VerdictCode::Slow => 1,
+        VerdictCode::ReplyLost => 2,
+        VerdictCode::CorruptReply => 3,
+    }
+}
+
+fn verdict_from(b: u8) -> Result<VerdictCode, AxiomError> {
+    Ok(match b {
+        0 => VerdictCode::Hung,
+        1 => VerdictCode::Slow,
+        2 => VerdictCode::ReplyLost,
+        3 => VerdictCode::CorruptReply,
+        _ => return Err(AxiomError::BadEncoding),
+    })
+}
+
 fn outcome_u8(o: OutcomeCode) -> u8 {
     match o {
         OutcomeCode::Recovered => 0,
@@ -575,6 +647,40 @@ fn encode_event(event: &AxiomEvent) -> (u8, [u8; PAYLOAD_BYTES]) {
             p[12] = outcome_u8(outcome);
             15
         }
+        AxiomEvent::DeadlineExpired {
+            comp,
+            msg_id,
+            attempt,
+        } => {
+            p[0] = comp;
+            p[1..9].copy_from_slice(&msg_id.to_le_bytes());
+            p[9] = attempt;
+            16
+        }
+        AxiomEvent::WatchdogVerdict {
+            comp,
+            verdict,
+            msg_id,
+        } => {
+            p[0] = comp;
+            p[1] = verdict_u8(verdict);
+            p[2..10].copy_from_slice(&msg_id.to_le_bytes());
+            17
+        }
+        AxiomEvent::RetryDecision {
+            comp,
+            msg_id,
+            attempt,
+            granted,
+            backoff,
+        } => {
+            p[0] = comp;
+            p[1..9].copy_from_slice(&msg_id.to_le_bytes());
+            p[9] = attempt;
+            p[10] = granted as u8;
+            p[11..15].copy_from_slice(&backoff.to_le_bytes());
+            18
+        }
     };
     (tag, p)
 }
@@ -632,6 +738,23 @@ fn decode_event(tag: u8, p: &[u8]) -> Result<AxiomEvent, AxiomError> {
             run: u32_at(0),
             site_digest: u64_at(4),
             outcome: outcome_from(p[12])?,
+        },
+        16 => AxiomEvent::DeadlineExpired {
+            comp: p[0],
+            msg_id: u64_at(1),
+            attempt: p[9],
+        },
+        17 => AxiomEvent::WatchdogVerdict {
+            comp: p[0],
+            verdict: verdict_from(p[1])?,
+            msg_id: u64_at(2),
+        },
+        18 => AxiomEvent::RetryDecision {
+            comp: p[0],
+            msg_id: u64_at(1),
+            attempt: p[9],
+            granted: p[10] != 0,
+            backoff: u32_at(11),
         },
         _ => return Err(AxiomError::BadEncoding),
     })
@@ -1021,6 +1144,23 @@ mod tests {
                 run: 41,
                 site_digest: 0x1234,
                 outcome: OutcomeCode::Degraded,
+            },
+            AxiomEvent::DeadlineExpired {
+                comp: 4,
+                msg_id: u64::MAX - 1,
+                attempt: 2,
+            },
+            AxiomEvent::WatchdogVerdict {
+                comp: 4,
+                verdict: VerdictCode::ReplyLost,
+                msg_id: 99,
+            },
+            AxiomEvent::RetryDecision {
+                comp: 4,
+                msg_id: 99,
+                attempt: 1,
+                granted: true,
+                backoff: 250_000,
             },
         ];
         let mut log = AxiomLog::new(AxiomConfig::on());

@@ -78,6 +78,14 @@ pub struct ControlState {
     pub pool_refreshes: u64,
     /// Campaign injections folded (campaign-owned axioms only).
     pub injections: u64,
+    /// Armed request deadlines that expired.
+    pub deadline_expiries: u64,
+    /// Watchdog verdicts concluded (hung, slow, reply-lost, corrupt-reply).
+    pub watchdog_verdicts: u64,
+    /// Transparent retries granted by the kernel.
+    pub retries_granted: u64,
+    /// Retry requests denied (the requester saw `E_CRASH`).
+    pub retries_denied: u64,
     /// Events folded into this state.
     pub events: u64,
     /// Virtual timestamp of the last event folded.
@@ -110,6 +118,10 @@ impl ControlState {
             quarantines: 0,
             pool_refreshes: 0,
             injections: 0,
+            deadline_expiries: 0,
+            watchdog_verdicts: 0,
+            retries_granted: 0,
+            retries_denied: 0,
             events: 0,
             last_now: 0,
         }
@@ -256,6 +268,19 @@ impl ControlState {
             }
             AxiomEvent::Injection { .. } => {
                 self.injections += 1;
+            }
+            AxiomEvent::DeadlineExpired { .. } => {
+                self.deadline_expiries += 1;
+            }
+            AxiomEvent::WatchdogVerdict { .. } => {
+                self.watchdog_verdicts += 1;
+            }
+            AxiomEvent::RetryDecision { granted, .. } => {
+                if granted {
+                    self.retries_granted += 1;
+                } else {
+                    self.retries_denied += 1;
+                }
             }
         }
     }

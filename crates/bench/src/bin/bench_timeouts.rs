@@ -1,0 +1,48 @@
+//! Fail-silent watchdog gate: hang-detection latency bound and
+//! zero-allocation armed-deadline hot path, with allocator-call counting.
+//!
+//! `--check` runs the scaled-down workload and enforces both invariants
+//! without writing the JSON artifact — the CI gate.
+
+use osiris_bench::{bench_timeouts, TimeoutBenchConfig};
+
+osiris_bench::counting_allocator!();
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check" || a == "--quick");
+    let mut cfg = if check {
+        TimeoutBenchConfig::quick()
+    } else {
+        TimeoutBenchConfig::default()
+    };
+    cfg.alloc_count = Some(alloc_calls);
+
+    let result = bench_timeouts(cfg);
+    print!("{}", result.render());
+
+    if !check {
+        std::fs::write("BENCH_timeouts.json", result.to_json().pretty())
+            .expect("write BENCH_timeouts.json");
+        println!("results written to BENCH_timeouts.json");
+    }
+
+    // The two headline claims, enforced so regressions fail loudly in CI.
+    assert!(
+        result.detection_within_bound(),
+        "hang-detection latency {} cycles exceeds the armed-deadline + \
+         one-heartbeat bound of {} cycles",
+        result.detect_max,
+        result.detect_bound,
+    );
+    let delta = result.armed_hot_path_allocs().expect("counter installed");
+    assert_eq!(
+        delta, 0,
+        "arming deadlines must not touch the allocator in steady state \
+         (saw {delta} extra calls over {} rounds)",
+        result.steady_rounds,
+    );
+    println!(
+        "OK: detection within bound ({} <= {}), armed hot path added {} allocator calls",
+        result.detect_max, result.detect_bound, delta
+    );
+}

@@ -1,11 +1,13 @@
 //! Coverage gate for the snapshot-fork campaign forge.
 //!
-//! Runs the default coverage-guided sweep (reachability boundaries, the
-//! quickstart-scale workload) and enforces the sweep-completeness gates:
-//! 100% of the planned FailStop matrix and ≥90% of the full DoubleFault ×
-//! DuringRecovery space within the default budget, plus a live frontier
-//! (the policy spread must produce outcome-class flips, or the
-//! coverage-guided wave has nothing to refine). Unless invoked with
+//! Runs the coverage-guided sweep (reachability boundaries, the
+//! quickstart-scale workload) with the fail-silent wave enabled and
+//! enforces the sweep-completeness gates: 100% of the planned FailStop
+//! matrix, ≥90% of the full DoubleFault × DuringRecovery space within the
+//! budget, 100% of the fail-silent Hang and ReplyDrop plan space (every
+//! watchdog-detected fault kind at every core server, per policy), plus a
+//! live frontier (the policy spread must produce outcome-class flips, or
+//! the coverage-guided wave has nothing to refine). Unless invoked with
 //! `--check`, writes the coverage report to `<base>.json` and the
 //! campaign registry's Prometheus exposition (which carries the
 //! `osiris_forge_*` families) to `<base>.prom`, where `<base>` is
@@ -16,11 +18,21 @@
 //! ```
 
 use osiris_bench::RECOVERY_COVERAGE_FLOOR;
-use osiris_faults::{Forge, ForgeConfig};
+use osiris_faults::{forge_config_fail_silent, Forge, ForgeConfig};
 
 fn main() {
     let check = std::env::args().any(|a| a == "--check" || a == "--quick");
-    let forge = Forge::new(ForgeConfig::default());
+    let forge = Forge::new(ForgeConfig {
+        // The fail-silent wave (hang / stall / reply-drop / reply-corrupt
+        // at every core server, per policy) requires armed deadlines, so
+        // the whole sweep runs under the watchdog-enabled config. The
+        // budget absorbs the extra wave without deferring anything — the
+        // `dropped == 0` gate below keeps that honest.
+        fail_silent_wave: true,
+        os_config: forge_config_fail_silent,
+        budget: 1024,
+        ..ForgeConfig::default()
+    });
     let result = forge.run();
     let report = &result.report;
 
@@ -33,6 +45,16 @@ fn main() {
         report.recovery_space_pct(),
         report.recovery_space.1,
         report.recovery_space.0,
+    );
+    println!(
+        "fail-silent: {:.0}% ({}/{} cells; hang {}/{}, reply-drop {}/{})",
+        report.fail_silent_pct(),
+        report.fail_silent.1,
+        report.fail_silent.0,
+        report.fail_silent_hang.1,
+        report.fail_silent_hang.0,
+        report.fail_silent_reply_drop.1,
+        report.fail_silent_reply_drop.0,
     );
     println!(
         "frontier: {} flips across {} sites, {} refinements, {} outcome cells",
@@ -68,17 +90,38 @@ fn main() {
         report.recovery_space_pct()
     );
     assert!(
+        report.fail_silent_hang.0 > 0,
+        "the fail-silent wave must plan hang cells"
+    );
+    assert_eq!(
+        report.fail_silent_hang_pct(),
+        100.0,
+        "fail-silent Hang plan space not fully covered: {:?}",
+        report.fail_silent_hang
+    );
+    assert!(
+        report.fail_silent_reply_drop.0 > 0,
+        "the fail-silent wave must plan reply-drop cells"
+    );
+    assert_eq!(
+        report.fail_silent_reply_drop_pct(),
+        100.0,
+        "fail-silent ReplyDrop plan space not fully covered: {:?}",
+        report.fail_silent_reply_drop
+    );
+    assert!(
         report.frontier.flips > 0,
         "no recovery-failure frontier found — the policy sweep should disagree somewhere"
     );
     assert_eq!(
         report.dropped, 0,
-        "default budget must not truncate the base waves"
+        "the budget must not truncate the base waves"
     );
     println!(
-        "OK: coverage {:.0}%/{:.0}%, {} frontier flips",
+        "OK: coverage {:.0}%/{:.0}%/{:.0}%, {} frontier flips",
         report.fail_stop_pct(),
         report.recovery_space_pct(),
+        report.fail_silent_pct(),
         report.frontier.flips
     );
 }

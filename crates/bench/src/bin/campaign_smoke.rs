@@ -126,11 +126,15 @@ fn run_one(program: &str, policy: PolicyKind, campaign: &Campaign) -> Outcome {
         action: RecoveryActionTag::from_counts(
             m.recovered_rollback,
             m.recovered_fresh,
+            m.recovered_quiescent,
             m.recovered_naive,
             m.controlled_shutdowns,
         ),
         run_cycles: os.kernel().now(),
-        recoveries: m.recovered_rollback + m.recovered_fresh + m.recovered_naive,
+        recoveries: m.recovered_rollback
+            + m.recovered_fresh
+            + m.recovered_quiescent
+            + m.recovered_naive,
         recovery_cycles: m.recovery_cycles,
         critical_path,
         span_latency_clean,

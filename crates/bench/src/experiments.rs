@@ -274,11 +274,15 @@ pub fn survivability_for(
                     action: RecoveryActionTag::from_counts(
                         m.recovered_rollback,
                         m.recovered_fresh,
+                        m.recovered_quiescent,
                         m.recovered_naive,
                         m.controlled_shutdowns,
                     ),
                     run_cycles: os.kernel().now(),
-                    recoveries: m.recovered_rollback + m.recovered_fresh + m.recovered_naive,
+                    recoveries: m.recovered_rollback
+                        + m.recovered_fresh
+                        + m.recovered_quiescent
+                        + m.recovered_naive,
                     recovery_cycles: m.recovery_cycles,
                     critical_path,
                     span_latency_clean,
@@ -308,6 +312,7 @@ impl SurvivabilityTable {
             FaultModel::FullEdfi => "III (full EDFI faults)",
             FaultModel::DuringRecovery => "II-r (faults during recovery)",
             FaultModel::DoubleFault => "II-d (persistent double faults)",
+            FaultModel::FailSilent => "II-s (fail-silent faults)",
         };
         let mut out = format!(
             "Table {}: survivability under {} injected faults per policy\n",

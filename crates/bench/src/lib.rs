@@ -16,6 +16,7 @@ pub mod loc;
 pub mod metrics_bench;
 pub mod restart_bench;
 pub mod span_bench;
+pub mod timeout_bench;
 pub mod trace_bench;
 pub mod undo_bench;
 
@@ -32,6 +33,7 @@ pub use restart_bench::{
     bench_restart, PoolDedupResult, RestartBenchConfig, RestartBenchResult, RestartPoint,
 };
 pub use span_bench::{bench_spans, SpanBenchConfig, SpanBenchResult, SpanModeResult};
+pub use timeout_bench::{bench_timeouts, TimeoutBenchConfig, TimeoutBenchResult};
 pub use trace_bench::{
     bench_trace, TraceBenchConfig, TraceBenchResult, TraceModeResult, DISABLED_BOUND_PCT,
     DISABLED_EPSILON_NS,

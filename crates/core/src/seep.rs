@@ -71,6 +71,12 @@ pub struct SeepMeta {
     pub kind: MessageKind,
     /// Whether an error reply can reach the requester after recovery.
     pub reply_possible: bool,
+    /// Whether the request's service time is bounded by the cost model.
+    /// Bounded requests get a watchdog deadline armed at delivery;
+    /// intrinsically blocking requests (waits, sleeps, reads that park on a
+    /// continuation for an unbounded time) are engraved unbounded and are
+    /// never armed — a `WaitPid` that takes forever is not a hang.
+    pub bounded: bool,
 }
 
 impl SeepMeta {
@@ -81,6 +87,7 @@ impl SeepMeta {
             class,
             kind: MessageKind::Request,
             reply_possible: true,
+            bounded: true,
         }
     }
 
@@ -94,6 +101,7 @@ impl SeepMeta {
             class,
             kind: MessageKind::Reply,
             reply_possible: false,
+            bounded: true,
         }
     }
 
@@ -103,7 +111,16 @@ impl SeepMeta {
             class,
             kind: MessageKind::Notification,
             reply_possible: false,
+            bounded: true,
         }
+    }
+
+    /// Engraves the passage as unbounded: its service time depends on
+    /// external progress (another process exiting, a timer firing), so no
+    /// deadline is derivable and the watchdog must not arm one.
+    pub fn unbounded(mut self) -> Self {
+        self.bounded = false;
+        self
     }
 }
 
@@ -128,5 +145,15 @@ mod tests {
         let n = SeepMeta::notification(SeepClass::NonStateModifying);
         assert_eq!(n.kind, MessageKind::Notification);
         assert!(!n.reply_possible);
+    }
+
+    #[test]
+    fn bounded_by_default_unbounded_builder() {
+        assert!(SeepMeta::request(SeepClass::NonStateModifying).bounded);
+        assert!(
+            !SeepMeta::request(SeepClass::NonStateModifying)
+                .unbounded()
+                .bounded
+        );
     }
 }

@@ -41,6 +41,7 @@ fn meta(class: SeepClass) -> SeepMeta {
         class,
         kind: MessageKind::Request,
         reply_possible: true,
+        bounded: true,
     }
 }
 

@@ -70,6 +70,7 @@ pub fn model_label(model: FaultModel) -> &'static str {
         FaultModel::FailStop => "fail-stop",
         FaultModel::TransientFailStop => "transient-fail-stop",
         FaultModel::FullEdfi => "full-edfi",
+        FaultModel::FailSilent => "fail-silent",
         FaultModel::DuringRecovery => "during-recovery",
         FaultModel::DoubleFault => "double-fault",
     }
@@ -82,6 +83,9 @@ pub fn kind_label(kind: FaultKind) -> &'static str {
         FaultKind::Hang => "hang",
         FaultKind::BranchFlip => "branch-flip",
         FaultKind::ValueCorrupt(_) => "value-corrupt",
+        FaultKind::Stall(_) => "stall",
+        FaultKind::ReplyDrop => "reply-drop",
+        FaultKind::ReplyCorrupt => "reply-corrupt",
     }
 }
 
@@ -95,6 +99,9 @@ pub enum RecoveryActionTag {
     Fresh,
     /// Restart keeping crash-time state (naive).
     Naive,
+    /// Keep-state restart of a quiescent component the watchdog declared
+    /// dead (committed transaction, lost or tampered reply).
+    Quiescent,
     /// Controlled shutdown.
     Shutdown,
     /// No recovery machinery engaged (fault never fired, or fail-silent).
@@ -103,12 +110,20 @@ pub enum RecoveryActionTag {
 
 impl RecoveryActionTag {
     /// Derives the tag from a run's recovery counters, in the priority
-    /// order rollback > fresh > naive > shutdown.
-    pub fn from_counts(rollback: u64, fresh: u64, naive: u64, shutdowns: u64) -> Self {
+    /// order rollback > fresh > quiescent > naive > shutdown.
+    pub fn from_counts(
+        rollback: u64,
+        fresh: u64,
+        quiescent: u64,
+        naive: u64,
+        shutdowns: u64,
+    ) -> Self {
         if rollback > 0 {
             RecoveryActionTag::Rollback
         } else if fresh > 0 {
             RecoveryActionTag::Fresh
+        } else if quiescent > 0 {
+            RecoveryActionTag::Quiescent
         } else if naive > 0 {
             RecoveryActionTag::Naive
         } else if shutdowns > 0 {
@@ -124,6 +139,7 @@ impl RecoveryActionTag {
             RecoveryActionTag::Rollback => "rollback",
             RecoveryActionTag::Fresh => "fresh",
             RecoveryActionTag::Naive => "naive",
+            RecoveryActionTag::Quiescent => "quiescent",
             RecoveryActionTag::Shutdown => "shutdown",
             RecoveryActionTag::None => "none",
         }
@@ -819,10 +835,11 @@ mod tests {
     #[test]
     fn action_tag_priority() {
         use RecoveryActionTag as T;
-        assert_eq!(T::from_counts(1, 1, 0, 1), T::Rollback);
-        assert_eq!(T::from_counts(0, 2, 1, 0), T::Fresh);
-        assert_eq!(T::from_counts(0, 0, 3, 0), T::Naive);
-        assert_eq!(T::from_counts(0, 0, 0, 1), T::Shutdown);
-        assert_eq!(T::from_counts(0, 0, 0, 0), T::None);
+        assert_eq!(T::from_counts(1, 1, 0, 0, 1), T::Rollback);
+        assert_eq!(T::from_counts(0, 2, 0, 1, 0), T::Fresh);
+        assert_eq!(T::from_counts(0, 0, 2, 1, 0), T::Quiescent);
+        assert_eq!(T::from_counts(0, 0, 0, 3, 0), T::Naive);
+        assert_eq!(T::from_counts(0, 0, 0, 0, 1), T::Shutdown);
+        assert_eq!(T::from_counts(0, 0, 0, 0, 0), T::None);
     }
 }

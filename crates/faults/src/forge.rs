@@ -43,11 +43,13 @@ use osiris_checkpoint::ChunkStore;
 use osiris_core::PolicyKind;
 use osiris_kernel::abi::{Errno, Fd, OpenFlags, Pid, SeekFrom, Signal, SysReply, Syscall};
 use osiris_kernel::{FaultEffect, FaultHook, NoFaults, OsEngine, Probe, RunOutcome, SyscallId};
+use osiris_rng::Rng;
 use osiris_servers::{Os, OsConfig, OsSnapshot};
 use osiris_trace::Json;
 
 use crate::campaign::{
-    model_label, run_attribution, site_digest128, Campaign, InjectionRecord, RecoveryActionTag,
+    kind_label, model_label, run_attribution, site_digest128, Campaign, InjectionRecord,
+    RecoveryActionTag,
 };
 use crate::{
     classify_run, plan_faults, run_parallel, DoubleInjector, FaultKind, FaultModel, FaultPlan,
@@ -660,6 +662,7 @@ impl ForgeVariant {
     fn cell(&self) -> CellKey {
         (
             model_label(self.model),
+            kind_label(self.plan.kind),
             site_digest128(&self.plan.site, self.plan.kind),
             self.policy.to_string(),
             self.primary_window.clone(),
@@ -667,8 +670,8 @@ impl ForgeVariant {
     }
 }
 
-/// (model, armed-site digest, policy, secondary-fault window).
-type CellKey = (&'static str, u128, String, String);
+/// (model, fault kind, armed-site digest, policy, secondary-fault window).
+type CellKey = (&'static str, &'static str, u128, String, String);
 
 /// The discovered profiles plus the budgeted base-wave variant list.
 #[derive(Clone, Debug)]
@@ -742,8 +745,23 @@ impl CoverageMap {
         let labels: Vec<&str> = models.iter().map(|m| model_label(*m)).collect();
         let mut planned = 0;
         let mut executed = 0;
-        for ((model, _, _, _), done) in &self.planned {
+        for ((model, _, _, _, _), done) in &self.planned {
             if labels.contains(model) {
+                planned += 1;
+                executed += usize::from(*done);
+            }
+        }
+        (planned, executed)
+    }
+
+    /// (planned, executed) cells of one model restricted to one fault-kind
+    /// label (see [`kind_label`]).
+    pub fn kind_coverage(&self, model: FaultModel, kind: &str) -> (usize, usize) {
+        let label = model_label(model);
+        let mut planned = 0;
+        let mut executed = 0;
+        for ((m, k, _, _, _), done) in &self.planned {
+            if *m == label && *k == kind {
                 planned += 1;
                 executed += usize::from(*done);
             }
@@ -857,6 +875,15 @@ pub fn forge_config(policy: PolicyKind) -> OsConfig {
     cfg
 }
 
+/// [`forge_config`] with the virtual-time watchdog armed — required for
+/// [`FaultModel::FailSilent`] sweeps, whose faults produce no crash signal
+/// and are only caught by deadlines, probes and reply-integrity checks.
+pub fn forge_config_fail_silent(policy: PolicyKind) -> OsConfig {
+    let mut cfg = forge_config(policy);
+    cfg.watchdog = osiris_kernel::WatchdogConfig::on();
+    cfg
+}
+
 /// Where a variant's fork boundary sits relative to its site's profile.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Boundary {
@@ -888,6 +915,12 @@ pub struct ForgeConfig {
     pub budget: usize,
     /// Whether to spend leftover budget refining the frontier.
     pub frontier_wave: bool,
+    /// Whether to plan the [`FaultModel::FailSilent`] wave: the four
+    /// fail-silent kinds (hang, stall, reply-drop, reply-corrupt) at each
+    /// core server's earliest-reached site, across every policy. Requires
+    /// an `os_config` with the watchdog enabled
+    /// ([`forge_config_fail_silent`]) — asserted at planning time.
+    pub fail_silent_wave: bool,
     /// OS configuration per policy (defaults to [`forge_config`]).
     pub os_config: fn(PolicyKind) -> OsConfig,
 }
@@ -904,6 +937,7 @@ impl Default for ForgeConfig {
             seed: 42,
             budget: 512,
             frontier_wave: true,
+            fail_silent_wave: false,
             os_config: forge_config,
         }
     }
@@ -942,6 +976,13 @@ pub struct ForgeReport {
     pub fail_stop: (usize, usize),
     /// DoubleFault × DuringRecovery space coverage: (planned, executed).
     pub recovery_space: (usize, usize),
+    /// FailSilent plan-space coverage: (planned, executed). Zero planned
+    /// when the wave is off.
+    pub fail_silent: (usize, usize),
+    /// FailSilent coverage restricted to hang cells: (planned, executed).
+    pub fail_silent_hang: (usize, usize),
+    /// FailSilent coverage restricted to reply-drop cells.
+    pub fail_silent_reply_drop: (usize, usize),
     /// Distinct observed (component, window, policy, model, outcome) cells.
     pub outcome_cells: usize,
     /// The frontier of the base wave.
@@ -957,6 +998,21 @@ impl ForgeReport {
     /// DoubleFault × DuringRecovery coverage in percent.
     pub fn recovery_space_pct(&self) -> f64 {
         pct(self.recovery_space)
+    }
+
+    /// FailSilent plan-space coverage in percent.
+    pub fn fail_silent_pct(&self) -> f64 {
+        pct(self.fail_silent)
+    }
+
+    /// FailSilent hang-cell coverage in percent.
+    pub fn fail_silent_hang_pct(&self) -> f64 {
+        pct(self.fail_silent_hang)
+    }
+
+    /// FailSilent reply-drop-cell coverage in percent.
+    pub fn fail_silent_reply_drop_pct(&self) -> f64 {
+        pct(self.fail_silent_reply_drop)
     }
 
     /// The report as a JSON object (embedded in `campaign_report.json`).
@@ -982,6 +1038,27 @@ impl ForgeReport {
             (
                 "recovery_space_coverage_pct",
                 Json::Num(self.recovery_space_pct()),
+            ),
+            ("fail_silent_cells", Json::UInt(self.fail_silent.0 as u64)),
+            (
+                "fail_silent_coverage_pct",
+                Json::Num(self.fail_silent_pct()),
+            ),
+            (
+                "fail_silent_hang_cells",
+                Json::UInt(self.fail_silent_hang.0 as u64),
+            ),
+            (
+                "fail_silent_hang_coverage_pct",
+                Json::Num(self.fail_silent_hang_pct()),
+            ),
+            (
+                "fail_silent_reply_drop_cells",
+                Json::UInt(self.fail_silent_reply_drop.0 as u64),
+            ),
+            (
+                "fail_silent_reply_drop_coverage_pct",
+                Json::Num(self.fail_silent_reply_drop_pct()),
             ),
             ("outcome_cells", Json::UInt(self.outcome_cells as u64)),
             ("frontier_flips", Json::UInt(self.frontier.flips)),
@@ -1161,6 +1238,48 @@ impl Forge {
                 }
             }
         }
+        // Wave 3 (optional): the fail-silent universe. The four kinds at
+        // each core server's earliest-reached site, per policy. The stall
+        // factor is drawn once per (policy, server) from the forge seed, so
+        // the plan — and every derived artifact — is seed-deterministic.
+        if self.config.fail_silent_wave {
+            for (policy_idx, &policy) in self.config.policies.iter().enumerate() {
+                assert!(
+                    (self.config.os_config)(policy).watchdog.enabled,
+                    "fail_silent_wave needs a watchdog-enabled os_config \
+                     (see forge_config_fail_silent); without deadlines these \
+                     faults are undetectable and every run wedges"
+                );
+                let mut rng = Rng::new(self.config.seed);
+                for server in FORGE_SERVERS {
+                    let Some((site, obs)) = profiles[policy_idx].first_site_of(server) else {
+                        continue;
+                    };
+                    let factor = 3 + rng.below(6) as u32;
+                    for kind in [
+                        FaultKind::Hang,
+                        FaultKind::Stall(factor),
+                        FaultKind::ReplyDrop,
+                        FaultKind::ReplyCorrupt,
+                    ] {
+                        variants.push(ForgeVariant {
+                            model: FaultModel::FailSilent,
+                            policy,
+                            policy_idx,
+                            plan: FaultPlan {
+                                site: site.clone(),
+                                kind,
+                                transient: false,
+                            },
+                            primary: None,
+                            boundary: self.boundary_of(&obs),
+                            window_open: obs.window_open,
+                            primary_window: "-".into(),
+                        });
+                    }
+                }
+            }
+        }
         let deferred = variants.split_off(variants.len().min(self.config.budget));
         ForgePlan {
             profiles,
@@ -1316,6 +1435,9 @@ impl Forge {
             fail_stop: coverage.coverage(&[FaultModel::FailStop]),
             recovery_space: coverage
                 .coverage(&[FaultModel::DuringRecovery, FaultModel::DoubleFault]),
+            fail_silent: coverage.coverage(&[FaultModel::FailSilent]),
+            fail_silent_hang: coverage.kind_coverage(FaultModel::FailSilent, "hang"),
+            fail_silent_reply_drop: coverage.kind_coverage(FaultModel::FailSilent, "reply-drop"),
             outcome_cells: coverage.cells_covered(),
             frontier: front,
         };
@@ -1439,11 +1561,15 @@ impl Forge {
             action: RecoveryActionTag::from_counts(
                 m.recovered_rollback,
                 m.recovered_fresh,
+                m.recovered_quiescent,
                 m.recovered_naive,
                 m.controlled_shutdowns,
             ),
             run_cycles: os.kernel().now(),
-            recoveries: m.recovered_rollback + m.recovered_fresh + m.recovered_naive,
+            recoveries: m.recovered_rollback
+                + m.recovered_fresh
+                + m.recovered_quiescent
+                + m.recovered_naive,
             recovery_cycles: m.recovery_cycles,
             critical_path,
             span_latency_clean,

@@ -31,8 +31,8 @@ pub use campaign::{
     InjectionRecord, RecoveryActionTag,
 };
 pub use forge::{
-    Boundary, CoverageMap, Forge, ForgeConfig, ForgePlan, ForgeReport, ForgeResult, ForgeVariant,
-    FrontierReport, ScriptWorkload, StepProfile, StepProfiler,
+    forge_config_fail_silent, Boundary, CoverageMap, Forge, ForgeConfig, ForgePlan, ForgeReport,
+    ForgeResult, ForgeVariant, FrontierReport, ScriptWorkload, StepProfile, StepProfiler,
 };
 
 use std::collections::BTreeMap;
@@ -171,6 +171,17 @@ pub enum FaultKind {
     BranchFlip,
     /// Fail-silent: value XORed with the mask.
     ValueCorrupt(u64),
+    /// Fail-silent: the handler keeps running but is charged `factor`
+    /// stall quanta — slow, not hung; the watchdog's heartbeat probes must
+    /// tell the two apart.
+    Stall(u32),
+    /// Fail-silent: the handler completes but its reply vanishes in
+    /// flight. Only the watchdog's deadline notices.
+    ReplyDrop,
+    /// Fail-silent: the reply's payload is corrupted after the sender
+    /// sealed its integrity digest. The reply-integrity defense must
+    /// reject it and treat the sender as crashed.
+    ReplyCorrupt,
 }
 
 impl FaultKind {
@@ -180,12 +191,22 @@ impl FaultKind {
             FaultKind::Hang => FaultEffect::Hang,
             FaultKind::BranchFlip => FaultEffect::Flip,
             FaultKind::ValueCorrupt(mask) => FaultEffect::Perturb(mask),
+            FaultKind::Stall(factor) => FaultEffect::Stall(factor),
+            FaultKind::ReplyDrop => FaultEffect::DropReply,
+            FaultKind::ReplyCorrupt => FaultEffect::CorruptReply,
         }
     }
 
     /// Whether this fault violates the fail-stop assumption.
     pub fn is_fail_silent(self) -> bool {
-        matches!(self, FaultKind::BranchFlip | FaultKind::ValueCorrupt(_))
+        matches!(
+            self,
+            FaultKind::BranchFlip
+                | FaultKind::ValueCorrupt(_)
+                | FaultKind::Stall(_)
+                | FaultKind::ReplyDrop
+                | FaultKind::ReplyCorrupt
+        )
     }
 }
 
@@ -214,6 +235,12 @@ pub enum FaultModel {
     /// The full realistic mix: crashes, hangs, flipped branches, corrupted
     /// values.
     FullEdfi,
+    /// The fail-silent universe the watchdog subsystem defends against:
+    /// every triggered site is visited with a hang, a stall, a dropped
+    /// reply and a corrupted reply. No fault in this model produces a
+    /// crash signal — detection is entirely on the virtual-time deadlines,
+    /// heartbeat probes and reply-integrity checks.
+    FailSilent,
     /// Transient fail-stop faults inside the *recovery path itself*: the
     /// kernel's restart / rollback / reconciliation phases and the RS's
     /// conduct sites. These violate the paper's single-fault model (§II-E);
@@ -324,6 +351,25 @@ pub fn plan_faults(profile: &SiteProfile, model: FaultModel, seed: u64) -> Vec<F
                         transient: false,
                     }),
                     SiteKindTag::Block => {}
+                }
+            }
+            FaultModel::FailSilent => {
+                // The full fail-silent plan space: all four kinds at every
+                // triggered site, persistent (a retried request hits the
+                // same fault again — the hardest case for the retry
+                // machinery). The stall factor is seeded but deterministic.
+                let factor = 3 + rng.below(6) as u32;
+                for kind in [
+                    FaultKind::Hang,
+                    FaultKind::Stall(factor),
+                    FaultKind::ReplyDrop,
+                    FaultKind::ReplyCorrupt,
+                ] {
+                    plans.push(FaultPlan {
+                        site: site.clone(),
+                        kind,
+                        transient: false,
+                    });
                 }
             }
             FaultModel::DuringRecovery | FaultModel::DoubleFault => {

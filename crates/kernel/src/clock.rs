@@ -74,6 +74,10 @@ pub struct CostModel {
     pub heartbeat_interval: u64,
     /// One unit of user-level computation.
     pub user_compute: u64,
+    /// Extra cycles charged per unit of an injected `Stall(factor)` fault.
+    /// Sized so a small factor already blows past the default watchdog
+    /// deadline while the component keeps making progress (slow, not hung).
+    pub stall_quantum: u64,
 }
 
 impl Default for CostModel {
@@ -93,6 +97,7 @@ impl Default for CostModel {
             disk_latency: 25_000,
             heartbeat_interval: 2_000_000,
             user_compute: 1,
+            stall_quantum: 400_000,
         }
     }
 }

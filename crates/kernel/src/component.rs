@@ -42,6 +42,16 @@ pub enum FaultEffect {
     Flip,
     /// Fail-silent: the value is XORed with the given mask.
     Perturb(u64),
+    /// Fail-silent: the handler completes correctly but charges
+    /// `factor` × `CostModel::stall_quantum` extra cycles — a slow-but-live
+    /// component the watchdog must classify as *slow*, not hung.
+    Stall(u32),
+    /// Fail-silent: the handler completes but its first outbound reply is
+    /// dropped in flight; the requester never hears back.
+    DropReply,
+    /// Fail-silent: the handler completes but its first outbound reply's
+    /// integrity seal is flipped, simulating payload corruption in flight.
+    CorruptReply,
 }
 
 /// Everything a fault hook can observe about the executing site.
@@ -93,6 +103,20 @@ pub struct InjectedCrash {
 pub struct InjectedHang {
     /// The site where the fault fired.
     pub site: &'static str,
+}
+
+/// Reply tampering armed by a fail-silent fault during the current handler
+/// invocation: applied by the kernel to the handler's first outbound reply
+/// after the handler returns (the handler itself completes correctly).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub(crate) enum ReplyTamper {
+    /// No tampering armed.
+    #[default]
+    None,
+    /// Remove the first reply from the outbound batch.
+    Drop,
+    /// Flip the first reply's integrity seal.
+    Corrupt,
 }
 
 /// How far the Recovery Server has driven an in-flight recovery. Persisted
@@ -234,6 +258,7 @@ pub struct Ctx<'a, P: Protocol> {
     pub(crate) next_msg_id: &'a mut u64,
     pub(crate) replied: Vec<MsgId>,
     pub(crate) cur_replyable: bool,
+    pub(crate) tamper: ReplyTamper,
     /// Span of the message being handled: inherited by every send and
     /// timer the handler issues, so causality propagates hop by hop
     /// without the servers knowing spans exist.
@@ -283,7 +308,11 @@ impl<'a, P: Protocol> Ctx<'a, P> {
         MsgId(*self.next_msg_id)
     }
 
-    fn push_send(&mut self, msg: Message<P>) {
+    fn push_send(&mut self, mut msg: Message<P>) {
+        // Seal the payload before it leaves the component: the digest is
+        // what reply-integrity verification checks at delivery, so any
+        // corruption between here and the receiver is detectable.
+        msg.integrity = msg.payload.digest();
         // Every outbound message passes through a SEEP: consult the policy
         // and close the recovery window on the first disallowed send.
         let meta = msg.seep;
@@ -323,6 +352,7 @@ impl<'a, P: Protocol> Ctx<'a, P> {
             user_tag: None,
             seep,
             span,
+            integrity: 0,
             payload,
         });
         id
@@ -341,6 +371,7 @@ impl<'a, P: Protocol> Ctx<'a, P> {
             user_tag: None,
             seep,
             span,
+            integrity: 0,
             payload,
         });
     }
@@ -362,6 +393,7 @@ impl<'a, P: Protocol> Ctx<'a, P> {
             user_tag: rp.user_tag,
             seep,
             span: rp.span,
+            integrity: 0,
             payload,
         });
     }
@@ -389,6 +421,21 @@ impl<'a, P: Protocol> Ctx<'a, P> {
         match self.hook.on_site(&probe) {
             FaultEffect::Panic => std::panic::panic_any(InjectedCrash { site }),
             FaultEffect::Hang => std::panic::panic_any(InjectedHang { site }),
+            effect => self.apply_silent(effect),
+        }
+    }
+
+    /// Applies a fail-silent effect that does not unwind: stalls charge
+    /// extra virtual cycles (the handler still completes correctly), reply
+    /// tampering is armed for the kernel to apply post-handler.
+    fn apply_silent(&mut self, effect: FaultEffect) {
+        match effect {
+            FaultEffect::Stall(factor) => {
+                let extra = self.cost.stall_quantum.saturating_mul(factor as u64);
+                self.charge(extra);
+            }
+            FaultEffect::DropReply => self.tamper = ReplyTamper::Drop,
+            FaultEffect::CorruptReply => self.tamper = ReplyTamper::Corrupt,
             _ => {}
         }
     }
@@ -414,7 +461,10 @@ impl<'a, P: Protocol> Ctx<'a, P> {
             FaultEffect::Panic => std::panic::panic_any(InjectedCrash { site }),
             FaultEffect::Hang => std::panic::panic_any(InjectedHang { site }),
             FaultEffect::Perturb(mask) => value ^ mask,
-            _ => value,
+            effect => {
+                self.apply_silent(effect);
+                value
+            }
         }
     }
 
@@ -428,7 +478,10 @@ impl<'a, P: Protocol> Ctx<'a, P> {
             FaultEffect::Panic => std::panic::panic_any(InjectedCrash { site }),
             FaultEffect::Hang => std::panic::panic_any(InjectedHang { site }),
             FaultEffect::Flip => !cond,
-            _ => cond,
+            effect => {
+                self.apply_silent(effect);
+                cond
+            }
         }
     }
 

@@ -13,7 +13,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use osiris_axiom::{
     bisect, AxiomConfig, AxiomError, AxiomEvent, AxiomLog, AxiomRecord, CompStatusCode,
-    ControlState, Divergence,
+    ControlState, Divergence, VerdictCode,
 };
 use osiris_checkpoint::{ChunkStore, Heap, HeapImage, HeapStats, RestoreStats};
 use osiris_core::{
@@ -29,8 +29,8 @@ use osiris_trace::{TraceConfig, TraceEvent, TraceHandle, TracerState, KERNEL_COM
 use crate::abi::{Errno, Pid, SysReply};
 use crate::clock::{CostModel, VirtualClock};
 use crate::component::{
-    Ctx, FaultEffect, FaultHook, InjectedHang, IntentPhase, NoFaults, PrivOp, Probe, Server,
-    SiteKind,
+    Ctx, FaultEffect, FaultHook, InjectedHang, IntentPhase, NoFaults, PrivOp, Probe, ReplyTamper,
+    Server, SiteKind,
 };
 use crate::message::{Endpoint, Message, MsgId, Protocol, SpanInfo, SyscallId};
 use crate::metrics::{ComponentReport, KernelMetrics, ShutdownKind};
@@ -45,6 +45,78 @@ pub enum Instrumentation {
     WindowGated,
     /// Logging unconditionally — the paper's unoptimized configuration.
     Always,
+}
+
+/// Fail-silent fault tolerance: the virtual-time watchdog.
+///
+/// When enabled, the kernel arms a deadline on every *bounded* request
+/// delivered to a component (derived from the request's SEEP metadata:
+/// state-modifying requests get the longer budget, intrinsically blocking
+/// passages are never armed). An expired deadline starts a heartbeat-probe
+/// round that distinguishes *hung* (no progress — the component is declared
+/// dead and recovered through the Recovery Server's escalation ladder) from
+/// *slow* (progress but late — the reply is accepted and only a `Slow`
+/// verdict is sealed). Crash replies to armed requests are intercepted for
+/// transparent retry with deterministic exponential backoff and seeded
+/// jitter; reply payloads are integrity-checked against the digest stamped
+/// at send time, and a corrupt reply is treated as a crash of its sender.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Master switch. Disabled by default: every hot path below reduces to
+    /// one branch, and the kernel behaves exactly as without a watchdog.
+    pub enabled: bool,
+    /// Deadline armed on non-state-modifying requests, in virtual cycles.
+    /// Sized above the worst fault-free request chain in the default cost
+    /// model (a ~50-hop disk-bound chain costs ≈ 1.25M cycles).
+    pub deadline: u64,
+    /// Deadline armed on state-modifying requests (longer: such requests
+    /// fan out to other servers and the disk).
+    pub deadline_state_modifying: u64,
+    /// Heartbeat-probe period after a deadline expires: how long the
+    /// watchdog waits between progress checks before issuing a verdict.
+    pub probe_period: u64,
+    /// Probe rounds granted to a component that keeps making progress
+    /// before the watchdog gives up watching (verdict `Slow`).
+    pub max_probes: u32,
+    /// Transparent retries granted per request (attempt indices
+    /// `0..max_retries` may be re-driven; the next failure surfaces).
+    pub max_retries: u32,
+    /// Base backoff before the first retry; attempt `n` waits
+    /// `backoff_base << n` plus jitter.
+    pub backoff_base: u64,
+    /// Seed for the deterministic retry jitter (FNV-folded with the message
+    /// id and attempt, so two same-seed runs schedule identical retries).
+    pub jitter_seed: u64,
+    /// Preallocated deadline slots. Requests arriving while all slots are
+    /// armed simply go unwatched (the RS heartbeat remains the backstop);
+    /// the armed-deadline hot path never allocates.
+    pub capacity: usize,
+}
+
+impl WatchdogConfig {
+    /// The watchdog enabled with default deadlines, probing and backoff.
+    pub fn on() -> Self {
+        WatchdogConfig {
+            enabled: true,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            enabled: false,
+            deadline: 1_500_000,
+            deadline_state_modifying: 3_000_000,
+            probe_period: 2_000_000,
+            max_probes: 8,
+            max_retries: 2,
+            backoff_base: 250_000,
+            jitter_seed: 0x0517_C0DE,
+            capacity: 64,
+        }
+    }
 }
 
 /// Kernel configuration.
@@ -80,6 +152,8 @@ pub struct KernelConfig {
     /// recovery series every Δ virtual cycles (see
     /// `osiris_metrics::timeseries`).
     pub timeseries: TimeseriesConfig,
+    /// Virtual-time watchdog configuration (fail-silent fault tolerance).
+    pub watchdog: WatchdogConfig,
 }
 
 impl Default for KernelConfig {
@@ -93,6 +167,7 @@ impl Default for KernelConfig {
             metrics: MetricsConfig::default(),
             axiom: AxiomConfig::default(),
             timeseries: TimeseriesConfig::default(),
+            watchdog: WatchdogConfig::default(),
         }
     }
 }
@@ -126,6 +201,55 @@ struct PendingCrash<P> {
     /// The crash happened while another component's recovery was in flight
     /// (only the RS can run then, so this means the RS crashed mid-conduct).
     in_recovery_code: bool,
+    /// The component was quiescent when the watchdog declared it dead (its
+    /// handler had completed and its transaction committed; only the reply
+    /// was lost or tampered with). The heap is consistent, so a policy
+    /// verdict of "shut down" degrades to a keep-state restart instead.
+    quiescent: bool,
+}
+
+/// Detection state of one armed watchdog deadline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum WdState {
+    /// Deadline armed, not yet expired.
+    Armed,
+    /// Deadline expired; heartbeat-probing the component until `until`.
+    Probing {
+        /// Virtual time of the next progress check.
+        until: u64,
+        /// Probe rounds already spent.
+        probes: u32,
+        /// The component's message counter at the last check — the
+        /// progress signal the heartbeat protocol compares against.
+        progress_at: u64,
+    },
+    /// Verdict issued; the slot only waits for the recovery machinery's
+    /// crash reply so the retry interception can find the arm metadata.
+    Doomed,
+    /// The reply to this request failed its integrity check; reconciliation
+    /// (retry or crash reply, plus sender restart) is pending at the end of
+    /// the current delivery.
+    Rejected,
+}
+
+///// One preallocated watchdog slot: the deadline armed for an in-flight
+/// bounded request. `msg` holds the request itself once its handler
+/// completed without producing a reply (captured by move, never cloned), so
+/// a lost or corrupt reply can be re-driven transparently.
+struct WdSlot<P> {
+    msg_id: u64,
+    /// Endpoint the request was delivered to (the watched component).
+    dst: u8,
+    armed_at: u64,
+    deadline: u64,
+    /// Retry attempts already spent on this request.
+    attempt: u8,
+    /// Kernel recovery epoch at arm time: a state-modifying request may
+    /// only be retried if the epoch advanced since (its partial effects
+    /// were rolled back or restarted away).
+    epoch_at_arm: u64,
+    state: WdState,
+    msg: Option<Message<P>>,
 }
 
 /// How many times an in-flight recovery intent is re-driven through the RS
@@ -304,6 +428,7 @@ struct KernelCounters {
     recovered_rollback: Counter,
     recovered_fresh: Counter,
     recovered_naive: Counter,
+    recovered_quiescent: Counter,
     controlled_shutdowns: Counter,
     recovery_cycles: Counter,
     fb_rollback_fresh: Counter,
@@ -338,6 +463,19 @@ struct KernelCounters {
     span_latency_none: Hist,
     span_latency_recovery: Hist,
     span_hops: Counter,
+    // Virtual-time watchdog series (fail-silent fault tolerance):
+    wd_armed_total: Counter,
+    wd_expired: Counter,
+    wd_probes: Counter,
+    wd_verdict_hung: Counter,
+    wd_verdict_slow: Counter,
+    wd_verdict_reply_lost: Counter,
+    wd_verdict_corrupt: Counter,
+    wd_replies_rejected: Counter,
+    wd_detect_latency: Hist,
+    retry_granted: Counter,
+    retry_denied: Counter,
+    retry_exhausted: Counter,
 }
 
 impl KernelCounters {
@@ -377,6 +515,20 @@ impl KernelCounters {
                 &[("overlap", overlap)],
             )
         };
+        let verdicts = |verdict: &str| {
+            m.counter(
+                "osiris_watchdog_verdicts_total",
+                "Watchdog verdicts issued, by kind",
+                &[("verdict", verdict)],
+            )
+        };
+        let retries = |result: &str| {
+            m.counter(
+                "osiris_retry_decisions_total",
+                "Transparent-retry decisions on failed requests, by result",
+                &[("result", result)],
+            )
+        };
         KernelCounters {
             ipc_delivered: m.counter(
                 "osiris_kernel_ipc_delivered_total",
@@ -397,6 +549,7 @@ impl KernelCounters {
             recovered_rollback: recoveries("rollback"),
             recovered_fresh: recoveries("fresh"),
             recovered_naive: recoveries("naive"),
+            recovered_quiescent: recoveries("quiescent"),
             controlled_shutdowns: m.counter(
                 "osiris_kernel_controlled_shutdowns_total",
                 "Controlled shutdowns performed",
@@ -499,6 +652,42 @@ impl KernelCounters {
                 "Span-carrying message deliveries (causal hops)",
                 &[],
             ),
+            wd_armed_total: m.counter(
+                "osiris_watchdog_armed_total",
+                "Watchdog deadlines armed on bounded requests",
+                &[],
+            ),
+            wd_expired: m.counter(
+                "osiris_watchdog_deadline_expired_total",
+                "Armed deadlines that expired before a reply arrived",
+                &[],
+            ),
+            wd_probes: m.counter(
+                "osiris_watchdog_probes_total",
+                "Heartbeat progress probes issued after a deadline expiry",
+                &[],
+            ),
+            wd_verdict_hung: verdicts("hung"),
+            wd_verdict_slow: verdicts("slow"),
+            wd_verdict_reply_lost: verdicts("reply_lost"),
+            wd_verdict_corrupt: verdicts("corrupt_reply"),
+            wd_replies_rejected: m.counter(
+                "osiris_watchdog_replies_rejected_total",
+                "Replies rejected because their payload digest mismatched",
+                &[],
+            ),
+            wd_detect_latency: m.hist(
+                "osiris_watchdog_detection_latency_cycles",
+                "Virtual cycles from arming a deadline to the hang verdict",
+                &[],
+            ),
+            retry_granted: retries("granted"),
+            retry_denied: retries("denied"),
+            retry_exhausted: m.counter(
+                "osiris_retry_exhausted_total",
+                "Requests whose transparent retry budget ran out",
+                &[],
+            ),
         }
     }
 }
@@ -542,6 +731,15 @@ pub struct Kernel<P: Protocol> {
     /// recovery series, exported as `timeseries.json` and Chrome counter
     /// lanes.
     sampler: TimeseriesSampler,
+    /// Preallocated watchdog deadline slots (fixed at
+    /// [`WatchdogConfig::capacity`]; the armed hot path never allocates).
+    wd_slots: Vec<Option<WdSlot<P>>>,
+    /// Number of occupied watchdog slots — the one-branch fast-path guard.
+    wd_armed: usize,
+    /// Requests awaiting transparent re-delivery after a granted retry,
+    /// keyed by (virtual due time, schedule sequence).
+    retry_wait: BTreeMap<(u64, u64), (u8, Message<P>)>,
+    retry_seq: u64,
     rr_cursor: usize,
     initialized: bool,
     tracer: TraceHandle,
@@ -597,6 +795,7 @@ impl<P: Protocol> Kernel<P> {
             sampler.track_counter("osiris_kernel_hangs_total", counters.hangs.clone());
             sampler.track_counter("osiris_axiom_events_total", counters.axiom_events.clone());
         }
+        let wd_slots = (0..cfg.watchdog.capacity).map(|_| None).collect();
         Kernel {
             cfg,
             clock: VirtualClock::new(),
@@ -619,6 +818,10 @@ impl<P: Protocol> Kernel<P> {
             metrics,
             counters,
             sampler,
+            wd_slots,
+            wd_armed: 0,
+            retry_wait: BTreeMap::new(),
+            retry_seq: 0,
             rr_cursor: 0,
             initialized: false,
             tracer,
@@ -882,6 +1085,7 @@ impl<P: Protocol> Kernel<P> {
                 replied: Vec::new(),
                 cur_replyable: false,
                 cur_span: None,
+                tamper: ReplyTamper::None,
             };
             comp.server.init(&mut ctx);
             let out = std::mem::take(&mut ctx.out);
@@ -922,7 +1126,11 @@ impl<P: Protocol> Kernel<P> {
         };
         let config_digest = osiris_axiom::fnv1a(
             osiris_axiom::fnv1a_str(self.cfg.policy.name()),
-            &[instr, self.comps.len() as u8],
+            &[
+                instr,
+                self.comps.len() as u8,
+                self.cfg.watchdog.enabled as u8,
+            ],
         );
         self.axiom_emit(AxiomEvent::Genesis {
             comps: self.comps.len() as u8,
@@ -1025,8 +1233,20 @@ impl<P: Protocol> Kernel<P> {
             recovered_rollback: self.counters.recovered_rollback.get(),
             recovered_fresh: self.counters.recovered_fresh.get(),
             recovered_naive: self.counters.recovered_naive.get(),
+            recovered_quiescent: self.counters.recovered_quiescent.get(),
             controlled_shutdowns: self.counters.controlled_shutdowns.get(),
             recovery_cycles: self.counters.recovery_cycles.get(),
+            wd_armed: self.counters.wd_armed_total.get(),
+            wd_expired: self.counters.wd_expired.get(),
+            wd_probes: self.counters.wd_probes.get(),
+            wd_verdicts: self.counters.wd_verdict_hung.get()
+                + self.counters.wd_verdict_slow.get()
+                + self.counters.wd_verdict_reply_lost.get()
+                + self.counters.wd_verdict_corrupt.get(),
+            wd_replies_rejected: self.counters.wd_replies_rejected.get(),
+            retries_granted: self.counters.retry_granted.get(),
+            retries_denied: self.counters.retry_denied.get(),
+            retries_exhausted: self.counters.retry_exhausted.get(),
         }
     }
 
@@ -1142,8 +1362,10 @@ impl<P: Protocol> Kernel<P> {
             user_tag: Some(sid),
             seep: payload.seep(),
             span: Some(span),
+            integrity: 0,
             payload,
         };
+        self.watchdog_arm(&msg, 0);
         self.comps[c as usize].inbox.push_back(msg);
     }
 
@@ -1158,22 +1380,44 @@ impl<P: Protocol> Kernel<P> {
         std::mem::take(&mut self.kill_events)
     }
 
-    /// Whether any timer is pending.
+    /// Whether any timer (or scheduled transparent retry) is pending.
     pub fn has_pending_timers(&self) -> bool {
-        !self.timers.is_empty()
+        !self.timers.is_empty() || !self.retry_wait.is_empty()
     }
 
-    /// Advances the clock to the next timer and delivers its message.
-    /// Returns `false` if no timer was pending.
+    /// Advances the clock to the next timer or scheduled retry and delivers
+    /// its message. Returns `false` if neither was pending.
     pub fn fire_next_timer(&mut self) -> bool {
-        let Some((&(at, seq), _)) = self.timers.iter().next() else {
-            return false;
+        let next_timer = self.timers.keys().next().copied();
+        let next_retry = self.retry_wait.keys().next().copied();
+        let fired = match (next_timer, next_retry) {
+            (None, None) => false,
+            (Some(t), Some(r)) if r.0 < t.0 => {
+                self.fire_retry(r);
+                true
+            }
+            (Some(t), _) => {
+                self.fire_timer(t);
+                true
+            }
+            (None, Some(r)) => {
+                self.fire_retry(r);
+                true
+            }
         };
-        let (dst, span, payload) = self
-            .timers
-            .remove(&(at, seq))
-            .expect("timer key just observed");
-        self.clock.advance_to(at);
+        if fired {
+            // Timer fires are the idle-time service points: a deadline that
+            // expired while nothing was runnable is detected here, bounding
+            // hang-detection latency by the armed deadline plus one
+            // heartbeat period.
+            self.service_watchdog();
+        }
+        fired
+    }
+
+    fn fire_timer(&mut self, key: (u64, u64)) {
+        let (dst, span, payload) = self.timers.remove(&key).expect("timer key just observed");
+        self.clock.advance_to(key.0);
         self.tracer.set_now(self.clock.now());
         self.counters.timers_fired.inc();
         self.next_msg_id += 1;
@@ -1185,10 +1429,28 @@ impl<P: Protocol> Kernel<P> {
             user_tag: None,
             seep: payload.seep(),
             span,
+            integrity: 0,
             payload,
         };
         self.comps[dst as usize].inbox.push_back(msg);
-        true
+    }
+
+    /// Re-delivers a retried request once its backoff elapsed: the message
+    /// keeps its identity (id, requester, span), so the eventual reply
+    /// correlates exactly as the original's would have — the retry is
+    /// invisible to both endpoints.
+    fn fire_retry(&mut self, key: (u64, u64)) {
+        let (attempt, msg) = self
+            .retry_wait
+            .remove(&key)
+            .expect("retry key just observed");
+        self.clock.advance_to(key.0);
+        self.tracer.set_now(self.clock.now());
+        let Endpoint::Component(c) = msg.dst else {
+            return;
+        };
+        self.watchdog_arm(&msg, attempt);
+        self.comps[c as usize].inbox.push_back(msg);
     }
 
     /// Processes queued messages until the system is quiescent (all inboxes
@@ -1201,6 +1463,10 @@ impl<P: Protocol> Kernel<P> {
                 return;
             }
             self.bounce_quarantined_mail();
+            self.service_watchdog();
+            if self.shutdown.is_some() {
+                return;
+            }
             let Some(idx) = self.pick_runnable() else {
                 return;
             };
@@ -1340,6 +1606,7 @@ impl<P: Protocol> Kernel<P> {
             replied: Vec::new(),
             cur_replyable,
             cur_span: msg.span,
+            tamper: ReplyTamper::None,
         };
 
         let server = &mut comp.server;
@@ -1347,12 +1614,28 @@ impl<P: Protocol> Kernel<P> {
 
         // Messages sent before the crash point are already on the wire:
         // deliver them regardless of the handler's fate.
-        let out = std::mem::take(&mut ctx.out);
+        let mut out = std::mem::take(&mut ctx.out);
         let timers = std::mem::take(&mut ctx.timers);
         let priv_ops = std::mem::take(&mut ctx.priv_ops);
         let replied_to_msg = ctx.has_replied_to(msg.id);
         let ctx_cycles = ctx.cycles;
+        let tamper = ctx.tamper;
         drop(ctx);
+
+        // An injected fail-silent reply tamper applies to the first
+        // outbound reply: `Drop` loses it on the wire, `Corrupt` breaks the
+        // integrity stamp sealed at send time.
+        if tamper != ReplyTamper::None {
+            if let Some(pos) = out.iter().position(|m| m.reply_to.is_some()) {
+                match tamper {
+                    ReplyTamper::Drop => {
+                        out.remove(pos);
+                    }
+                    ReplyTamper::Corrupt => out[pos].integrity ^= 0xBAD0_BAD0_BAD0_BAD0,
+                    ReplyTamper::None => {}
+                }
+            }
+        }
 
         // Account handler cycles and memory-write costs. Logged writes
         // happened while the window was open; unlogged ones outside (exact
@@ -1395,6 +1678,7 @@ impl<P: Protocol> Kernel<P> {
                     });
                 }
                 self.execute_priv_ops(priv_ops);
+                self.watchdog_after_ok(idx as u8, msg);
             }
             Err(payload) => {
                 let reply_possible = msg.seep.kind == MessageKind::Request
@@ -1430,6 +1714,7 @@ impl<P: Protocol> Kernel<P> {
                         reply_possible,
                         scoped_sends,
                         in_recovery_code: self.recovering.is_some(),
+                        quiescent: false,
                     });
                 } else {
                     self.comps[idx].stats.crashes.inc();
@@ -1464,6 +1749,7 @@ impl<P: Protocol> Kernel<P> {
             reply_possible,
             scoped_sends,
             in_recovery_code,
+            quiescent: false,
         });
 
         if in_recovery_code {
@@ -1494,6 +1780,7 @@ impl<P: Protocol> Kernel<P> {
                     user_tag: None,
                     seep: payload.seep(),
                     span: None,
+                    integrity: 0,
                     payload,
                 };
                 self.comps[rs as usize].inbox.push_back(notify);
@@ -1563,6 +1850,7 @@ impl<P: Protocol> Kernel<P> {
                     user_tag: None,
                     seep: payload.seep(),
                     span: None,
+                    integrity: 0,
                     payload,
                 };
                 self.comps[rs as usize].inbox.push_back(notify);
@@ -1794,6 +2082,22 @@ impl<P: Protocol> Kernel<P> {
             requester_is_process: matches!(pending.msg.src, Endpoint::Process(_)),
         };
         let mut decision = decide_recovery(self.cfg.policy.as_ref(), &crash_ctx);
+        if pending.quiescent
+            && matches!(
+                decision.action,
+                RecoveryAction::ControlledShutdown | RecoveryAction::UncontrolledCrash
+            )
+        {
+            // The watchdog declared this component dead between requests:
+            // its handler had committed and only the reply was lost or
+            // tampered with, so the heap is a consistent post-transaction
+            // state. The policy's "window closed, reply impossible" shutdown
+            // verdict is for mid-flight crashes; here a keep-state restart
+            // (fresh server object over the committed heap) is sound, and
+            // the requester was already reconciled by the retry/crash-reply
+            // interception.
+            decision = RecoveryDecision::new(RecoveryAction::ContinueAsIs, false);
+        }
         self.tracer.emit(
             KERNEL_COMP,
             TraceEvent::RecoveryDecision {
@@ -1955,7 +2259,11 @@ impl<P: Protocol> Kernel<P> {
                         .clone_box();
                     comp.server.on_restore(&mut comp.heap);
                     comp.stats.recoveries.inc();
-                    self.counters.recovered_naive.inc();
+                    if pending.quiescent {
+                        self.counters.recovered_quiescent.inc();
+                    } else {
+                        self.counters.recovered_naive.inc();
+                    }
                     break;
                 }
                 RecoveryAction::ControlledShutdown => {
@@ -2095,6 +2403,7 @@ impl<P: Protocol> Kernel<P> {
                     user_tag: None,
                     seep: payload.seep(),
                     span: None,
+                    integrity: 0,
                     payload,
                 };
                 self.comps[rs as usize].inbox.push_back(msg);
@@ -2134,6 +2443,12 @@ impl<P: Protocol> Kernel<P> {
     }
 
     fn send_crash_reply(&mut self, from: u8, failed: Message<P>) {
+        // Transparent-retry interception: if the failed request had an
+        // armed watchdog deadline and is safe to re-drive, re-deliver it
+        // after a backoff instead of surfacing `E_CRASH`.
+        let Some(failed) = self.watchdog_intercept_crash_reply(from, failed) else {
+            return;
+        };
         match failed.src {
             Endpoint::Process(pid) => {
                 let sid = failed.user_tag.expect("user request carries a syscall tag");
@@ -2160,6 +2475,7 @@ impl<P: Protocol> Kernel<P> {
                     user_tag: failed.user_tag,
                     seep: payload.seep(),
                     span: failed.span,
+                    integrity: 0,
                     payload,
                 };
                 self.comps[c as usize].inbox.push_back(msg);
@@ -2170,10 +2486,558 @@ impl<P: Protocol> Kernel<P> {
         }
     }
 
+    // --- virtual-time watchdog (fail-silent fault tolerance) ---
+
+    /// Whether `msg` qualifies for a watchdog deadline: watchdog on, a
+    /// *bounded* request (per its SEEP engraving) that can be error-replied,
+    /// addressed to a component.
+    fn watchdog_should_arm(&self, msg: &Message<P>) -> bool {
+        self.cfg.watchdog.enabled
+            && msg.seep.kind == MessageKind::Request
+            && msg.seep.reply_possible
+            && msg.seep.bounded
+            && matches!(msg.dst, Endpoint::Component(_))
+    }
+
+    /// Arms a deadline for `msg` in a free preallocated slot. No-op when
+    /// the request does not qualify or every slot is busy (unwatched
+    /// requests fall back to the RS heartbeat); never allocates.
+    fn watchdog_arm(&mut self, msg: &Message<P>, attempt: u8) {
+        if !self.watchdog_should_arm(msg) {
+            return;
+        }
+        let Endpoint::Component(dst) = msg.dst else {
+            return;
+        };
+        let Some(i) = self.wd_slots.iter().position(|s| s.is_none()) else {
+            return;
+        };
+        let w = &self.cfg.watchdog;
+        // The deadline is derived from the SEEP class: state-modifying
+        // requests fan out to other servers and the disk, so they get the
+        // longer budget.
+        let budget = if msg.seep.class.is_state_modifying() {
+            w.deadline_state_modifying
+        } else {
+            w.deadline
+        };
+        let now = self.clock.now();
+        self.wd_slots[i] = Some(WdSlot {
+            msg_id: msg.id.0,
+            dst,
+            armed_at: now,
+            deadline: now + budget,
+            attempt,
+            epoch_at_arm: self.recovery_epoch,
+            state: WdState::Armed,
+            msg: None,
+        });
+        self.wd_armed += 1;
+        self.counters.wd_armed_total.inc();
+        self.tracer.emit(
+            dst,
+            TraceEvent::DeadlineArmed {
+                target: dst,
+                msg_id: msg.id.0,
+                deadline: now + budget,
+            },
+        );
+    }
+
+    /// The slot index watching request `msg_id`, if any.
+    fn wd_find(&self, msg_id: u64) -> Option<usize> {
+        if self.wd_armed == 0 {
+            return None;
+        }
+        self.wd_slots
+            .iter()
+            .position(|s| s.as_ref().is_some_and(|s| s.msg_id == msg_id))
+    }
+
+    /// Disarms slot `i` because the reply arrived. A reply that arrives
+    /// after its deadline seals the `Slow` verdict: the component made
+    /// progress, just late — nothing to recover.
+    fn watchdog_disarm(&mut self, i: usize) {
+        let slot = self.wd_slots[i].take().expect("disarming an empty slot");
+        self.wd_armed -= 1;
+        if self.clock.now() > slot.deadline || matches!(slot.state, WdState::Probing { .. }) {
+            self.counters.wd_verdict_slow.inc();
+            self.tracer.emit(
+                slot.dst,
+                TraceEvent::WatchdogVerdict {
+                    target: slot.dst,
+                    msg_id: slot.msg_id,
+                    verdict: VerdictCode::Slow,
+                },
+            );
+            self.axiom_emit(AxiomEvent::WatchdogVerdict {
+                comp: slot.dst,
+                verdict: VerdictCode::Slow,
+                msg_id: slot.msg_id,
+            });
+        }
+    }
+
+    /// A reply failed its integrity check: it is rejected (never delivered)
+    /// and the slot is marked for reconciliation at the end of the current
+    /// delivery, when the kernel owns the original request again.
+    fn watchdog_note_rejected(&mut self, i: usize) {
+        let slot = self.wd_slots[i].as_mut().expect("rejecting an empty slot");
+        slot.state = WdState::Rejected;
+        let (sender, msg_id) = (slot.dst, slot.msg_id);
+        self.counters.wd_replies_rejected.inc();
+        self.counters.wd_verdict_corrupt.inc();
+        self.tracer
+            .emit(sender, TraceEvent::ReplyRejected { sender, msg_id });
+        self.axiom_emit(AxiomEvent::WatchdogVerdict {
+            comp: sender,
+            verdict: VerdictCode::CorruptReply,
+            msg_id,
+        });
+    }
+
+    /// Post-handler watchdog bookkeeping for a successfully handled
+    /// message: captures `msg` into its still-armed slot — by move, never a
+    /// clone — so a lost reply can be re-driven later, then reconciles any
+    /// reply rejection recorded during this delivery.
+    fn watchdog_after_ok(&mut self, _idx: u8, msg: Message<P>) {
+        if !self.cfg.watchdog.enabled || self.wd_armed == 0 {
+            return;
+        }
+        if let Some(i) = self.wd_find(msg.id.0) {
+            let slot = self.wd_slots[i].as_mut().expect("slot just found");
+            if slot.msg.is_none() {
+                slot.msg = Some(msg);
+            }
+        }
+        self.watchdog_drain_rejected();
+    }
+
+    /// Reconciles every `Rejected` slot holding a captured request: the
+    /// requester gets a transparent retry or a crash reply, and the sender
+    /// of the corrupt reply is preemptively restarted — a corrupt reply is
+    /// treated as a crash of its sender.
+    fn watchdog_drain_rejected(&mut self) {
+        loop {
+            let Some(i) = self.wd_slots.iter().position(|s| {
+                s.as_ref()
+                    .is_some_and(|s| s.state == WdState::Rejected && s.msg.is_some())
+            }) else {
+                return;
+            };
+            let slot = self.wd_slots[i].take().expect("slot just found");
+            self.wd_armed -= 1;
+            let sender = slot.dst;
+            let msg = slot.msg.expect("drained slots hold a captured request");
+            if let Some(failed) =
+                self.watchdog_try_retry(sender, msg, slot.attempt, slot.epoch_at_arm)
+            {
+                // Denied: fall back to error virtualization. The slot is
+                // gone, so this cannot re-enter the interception.
+                self.send_crash_reply(sender, failed);
+            }
+            self.watchdog_preemptive_restart(sender);
+        }
+    }
+
+    /// Treats `target` as crashed without a failing in-flight request (the
+    /// corrupt-reply defense): its requester was already reconciled, so the
+    /// pending crash carries a kernel-sourced placeholder that can never
+    /// trigger a second reply. Recovery routes through the RS conduct and
+    /// the existing escalation ladder.
+    fn watchdog_preemptive_restart(&mut self, target: u8) {
+        let t = target as usize;
+        if self.comps[t].status != CompStatus::Alive || self.recovering.is_some() {
+            // Already dead or benched, or a conduct is in flight: the
+            // ladder is engaged, a second preemption would only amplify.
+            return;
+        }
+        self.comps[t].stats.crashes.inc();
+        self.tracer.set_now(self.clock.now());
+        self.tracer.emit(target, TraceEvent::Crash { target });
+        self.axiom_emit(AxiomEvent::Crash { comp: target });
+        self.comps[t].status = CompStatus::Crashed;
+        let window_open = self.comps[t].window.is_open();
+        self.next_msg_id += 1;
+        let payload = P::crash_reply();
+        let carrier = Message {
+            id: MsgId(self.next_msg_id),
+            src: Endpoint::Kernel,
+            dst: Endpoint::Component(target),
+            reply_to: None,
+            user_tag: None,
+            seep: payload.seep(),
+            span: None,
+            integrity: 0,
+            payload,
+        };
+        self.comps[t].crash_info = Some(PendingCrash {
+            msg: carrier,
+            window_open,
+            reply_possible: false,
+            scoped_sends: false,
+            in_recovery_code: false,
+            quiescent: true,
+        });
+        match self.rs_ep {
+            Some(rs) if rs != target => self.notify_rs_crash(rs, target),
+            _ => self.execute_recovery(target),
+        }
+    }
+
+    /// Declares a hung component dead on the watchdog's verdict and hands
+    /// the recovery to the RS conduct (the existing escalation ladder),
+    /// exactly as the fail-stop crash path does.
+    fn watchdog_declare_dead(&mut self, target: u8) {
+        let t = target as usize;
+        if self.comps[t].status != CompStatus::Hung {
+            return;
+        }
+        self.comps[t].status = CompStatus::Crashed;
+        self.comps[t].stats.crashes.inc();
+        self.tracer.emit(target, TraceEvent::Crash { target });
+        self.axiom_emit(AxiomEvent::Crash { comp: target });
+        match self.rs_ep {
+            Some(rs) if rs != target => self.notify_rs_crash(rs, target),
+            _ => self.execute_recovery(target),
+        }
+    }
+
+    /// Records the recovery intent and queues a crash notification for
+    /// `target` to the Recovery Server.
+    fn notify_rs_crash(&mut self, rs: u8, target: u8) {
+        self.recovering = Some(target);
+        self.note_intent(target, IntentPhase::Notified);
+        self.next_msg_id += 1;
+        let payload = P::crash_notify(target);
+        let notify = Message {
+            id: MsgId(self.next_msg_id),
+            src: Endpoint::Kernel,
+            dst: Endpoint::Component(rs),
+            reply_to: None,
+            user_tag: None,
+            seep: payload.seep(),
+            span: None,
+            integrity: 0,
+            payload,
+        };
+        self.comps[rs as usize].inbox.push_back(notify);
+    }
+
+    /// Services armed deadlines at the current virtual time. Expiries seal
+    /// `DeadlineExpired` and start heartbeat probing; probe rounds
+    /// distinguish *hung* (the component stopped making progress — declared
+    /// dead and recovered) from *slow* (progress but late — the watchdog
+    /// keeps waiting and eventually gives up with a `Slow` verdict); a
+    /// completed handler whose reply never arrived is a `ReplyLost`,
+    /// retried transparently or crash-replied.
+    fn service_watchdog(&mut self) {
+        if !self.cfg.watchdog.enabled || self.wd_armed == 0 || self.recovering.is_some() {
+            // During a recovery conduct only the RS runs; deadlines blocked
+            // behind the stall are serviced right after it completes, so a
+            // hang storm cannot compound an in-flight recovery.
+            return;
+        }
+        let now = self.clock.now();
+        self.tracer.set_now(now);
+        for i in 0..self.wd_slots.len() {
+            if self.shutdown.is_some() || self.recovering.is_some() {
+                // A verdict earlier in this sweep started a conduct (or
+                // shut the system down); the remaining slots wait for the
+                // next service point.
+                return;
+            }
+            let Some(slot) = self.wd_slots[i].as_ref() else {
+                continue;
+            };
+            match slot.state {
+                WdState::Armed if now >= slot.deadline => {
+                    let (dst, msg_id, attempt) = (slot.dst, slot.msg_id, slot.attempt);
+                    self.counters.wd_expired.inc();
+                    self.tracer.emit(
+                        dst,
+                        TraceEvent::DeadlineExpired {
+                            target: dst,
+                            msg_id,
+                        },
+                    );
+                    self.axiom_emit(AxiomEvent::DeadlineExpired {
+                        comp: dst,
+                        msg_id,
+                        attempt,
+                    });
+                    self.watchdog_judge(i, now);
+                }
+                WdState::Probing { until, .. } if now >= until => self.watchdog_judge(i, now),
+                WdState::Rejected => {
+                    // Normally reconciled at the end of the delivery that
+                    // rejected the reply; reaching here means the sender
+                    // also crashed mid-delivery. The crash machinery owns
+                    // its recovery — reconcile the requester only.
+                    let slot = self.wd_slots[i].take().expect("slot just observed");
+                    self.wd_armed -= 1;
+                    if let Some(msg) = slot.msg {
+                        if let Some(failed) =
+                            self.watchdog_try_retry(slot.dst, msg, slot.attempt, slot.epoch_at_arm)
+                        {
+                            self.send_crash_reply(slot.dst, failed);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Issues the verdict for an expired or probing slot `i` at time `now`.
+    fn watchdog_judge(&mut self, i: usize, now: u64) {
+        let slot_ref = self.wd_slots[i].as_ref().expect("judging an empty slot");
+        let (dst, msg_id) = (slot_ref.dst, slot_ref.msg_id);
+        let w = self.cfg.watchdog;
+        match self.comps[dst as usize].status {
+            CompStatus::Hung => {
+                // The heartbeat signal is definitive: the component stopped
+                // consuming messages entirely. Verdict without probing.
+                let slot = self.wd_slots[i].as_mut().expect("slot just observed");
+                slot.state = WdState::Doomed;
+                let armed_at = slot.armed_at;
+                self.counters.wd_verdict_hung.inc();
+                self.counters.wd_detect_latency.observe(now - armed_at);
+                self.tracer.emit(
+                    dst,
+                    TraceEvent::WatchdogVerdict {
+                        target: dst,
+                        msg_id,
+                        verdict: VerdictCode::Hung,
+                    },
+                );
+                self.axiom_emit(AxiomEvent::WatchdogVerdict {
+                    comp: dst,
+                    verdict: VerdictCode::Hung,
+                    msg_id,
+                });
+                self.watchdog_declare_dead(dst);
+            }
+            CompStatus::Crashed | CompStatus::Quarantined => {
+                // The fail-stop machinery is already on it; its crash reply
+                // (or quarantine bounce) resolves this slot through the
+                // retry interception.
+                self.wd_slots[i].as_mut().expect("slot just observed").state = WdState::Doomed;
+            }
+            CompStatus::Alive => {
+                let progress = self.comps[dst as usize].stats.messages.get();
+                let slot = self.wd_slots[i].as_mut().expect("slot just observed");
+                match slot.state {
+                    WdState::Armed => {
+                        // Start the heartbeat-probe round: async completions
+                        // (a disk reply still in flight) get one probe
+                        // period to surface before any verdict.
+                        slot.state = WdState::Probing {
+                            until: now + w.probe_period,
+                            probes: 0,
+                            progress_at: progress,
+                        };
+                        self.counters.wd_probes.inc();
+                        self.tracer.emit(
+                            dst,
+                            TraceEvent::WatchdogProbe {
+                                target: dst,
+                                msg_id,
+                            },
+                        );
+                    }
+                    WdState::Probing { probes, .. } => {
+                        if slot.msg.is_some() {
+                            // The handler completed long ago and a full
+                            // probe period passed with no reply on the
+                            // wire: the reply is lost. Re-drive or surface.
+                            let slot = self.wd_slots[i].take().expect("slot just observed");
+                            self.wd_armed -= 1;
+                            self.counters.wd_verdict_reply_lost.inc();
+                            self.tracer.emit(
+                                dst,
+                                TraceEvent::WatchdogVerdict {
+                                    target: dst,
+                                    msg_id,
+                                    verdict: VerdictCode::ReplyLost,
+                                },
+                            );
+                            self.axiom_emit(AxiomEvent::WatchdogVerdict {
+                                comp: dst,
+                                verdict: VerdictCode::ReplyLost,
+                                msg_id,
+                            });
+                            let msg = slot.msg.expect("reply-lost slots hold the request");
+                            if let Some(failed) =
+                                self.watchdog_try_retry(dst, msg, slot.attempt, slot.epoch_at_arm)
+                            {
+                                self.send_crash_reply(dst, failed);
+                            }
+                        } else if probes + 1 >= w.max_probes {
+                            // Still in the component's queue after every
+                            // probe round: the system is making progress,
+                            // just slowly. Stop watching.
+                            let slot = self.wd_slots[i].take().expect("slot just observed");
+                            self.wd_armed -= 1;
+                            self.counters.wd_verdict_slow.inc();
+                            self.tracer.emit(
+                                dst,
+                                TraceEvent::WatchdogVerdict {
+                                    target: dst,
+                                    msg_id: slot.msg_id,
+                                    verdict: VerdictCode::Slow,
+                                },
+                            );
+                            self.axiom_emit(AxiomEvent::WatchdogVerdict {
+                                comp: dst,
+                                verdict: VerdictCode::Slow,
+                                msg_id: slot.msg_id,
+                            });
+                        } else {
+                            slot.state = WdState::Probing {
+                                until: now + w.probe_period,
+                                probes: probes + 1,
+                                progress_at: progress,
+                            };
+                            self.counters.wd_probes.inc();
+                            self.tracer.emit(
+                                dst,
+                                TraceEvent::WatchdogProbe {
+                                    target: dst,
+                                    msg_id,
+                                },
+                            );
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Decides whether a failed armed request may be re-driven, sealing the
+    /// decision into the axiom either way. Consumes the message when the
+    /// retry is granted (parked in the retry queue until its backoff
+    /// elapses); hands it back when denied so the caller surfaces the
+    /// failure through error virtualization.
+    fn watchdog_try_retry(
+        &mut self,
+        from: u8,
+        failed: Message<P>,
+        attempt: u8,
+        epoch_at_arm: u64,
+    ) -> Option<Message<P>> {
+        let w = self.cfg.watchdog;
+        // Idempotence comes from the SEEP classification: non-state-
+        // modifying requests re-drive transparently; state-modifying ones
+        // only when the recovery epoch advanced since arming — their
+        // partial effects were rolled back or restarted away, so a re-drive
+        // cannot duplicate them.
+        let idempotent = !failed.seep.class.is_state_modifying();
+        let effects_undone = self.recovery_epoch > epoch_at_arm;
+        let budget_left = (attempt as u32) < w.max_retries;
+        let target_usable = self.comps[from as usize].status != CompStatus::Quarantined
+            && self.shutdown.is_none()
+            && self.shutdown_pending.is_none();
+        let granted = budget_left && target_usable && (idempotent || effects_undone);
+        let backoff = if granted {
+            self.watchdog_backoff(failed.id.0, attempt)
+        } else {
+            0
+        };
+        self.axiom_emit(AxiomEvent::RetryDecision {
+            comp: from,
+            msg_id: failed.id.0,
+            attempt,
+            granted,
+            backoff: backoff.min(u32::MAX as u64) as u32,
+        });
+        if granted {
+            self.counters.retry_granted.inc();
+            self.tracer.emit(
+                from,
+                TraceEvent::RetryScheduled {
+                    target: from,
+                    msg_id: failed.id.0,
+                    attempt,
+                    backoff,
+                },
+            );
+            self.retry_seq += 1;
+            let at = self.clock.now() + backoff;
+            self.retry_wait
+                .insert((at, self.retry_seq), (attempt + 1, failed));
+            None
+        } else {
+            self.counters.retry_denied.inc();
+            if !budget_left {
+                self.counters.retry_exhausted.inc();
+                self.tracer.emit(
+                    from,
+                    TraceEvent::RetryExhausted {
+                        target: from,
+                        msg_id: failed.id.0,
+                    },
+                );
+            }
+            Some(failed)
+        }
+    }
+
+    /// Deterministic exponential backoff with seeded jitter: attempt `n`
+    /// waits `backoff_base << n` plus an FNV-derived jitter of up to a
+    /// quarter base, so identical configurations schedule byte-identical
+    /// retries and a retry storm never synchronizes.
+    fn watchdog_backoff(&self, msg_id: u64, attempt: u8) -> u64 {
+        let w = &self.cfg.watchdog;
+        let base = w
+            .backoff_base
+            .saturating_mul(1u64 << attempt.min(16) as u32);
+        let h = osiris_axiom::fnv1a(
+            osiris_axiom::fnv1a(w.jitter_seed, &msg_id.to_le_bytes()),
+            &[attempt],
+        );
+        base + h % (w.backoff_base / 4).max(1)
+    }
+
+    /// Crash-reply interception: when the failed request had an armed
+    /// deadline, consult the retry policy before surfacing `E_CRASH`.
+    /// Returns the message back when it must still be crash-replied.
+    fn watchdog_intercept_crash_reply(
+        &mut self,
+        from: u8,
+        failed: Message<P>,
+    ) -> Option<Message<P>> {
+        if !self.cfg.watchdog.enabled || self.wd_armed == 0 {
+            return Some(failed);
+        }
+        let Some(i) = self.wd_find(failed.id.0) else {
+            return Some(failed);
+        };
+        let slot = self.wd_slots[i].take().expect("slot just found");
+        self.wd_armed -= 1;
+        self.watchdog_try_retry(from, failed, slot.attempt, slot.epoch_at_arm)
+    }
+
     fn route_messages(&mut self, out: Vec<Message<P>>) {
         for msg in out {
+            // Watchdog bookkeeping on replies: verify the integrity stamp
+            // sealed at send time, and disarm the deadline of the request
+            // being answered. A digest mismatch rejects the reply outright.
+            if self.cfg.watchdog.enabled {
+                if let Some(rt) = msg.reply_to {
+                    if let Some(i) = self.wd_find(rt.0) {
+                        if msg.integrity != msg.payload.digest() {
+                            self.watchdog_note_rejected(i);
+                            continue;
+                        }
+                        self.watchdog_disarm(i);
+                    }
+                }
+            }
             match msg.dst {
                 Endpoint::Component(c) => {
+                    self.watchdog_arm(&msg, 0);
                     self.comps[c as usize].inbox.push_back(msg);
                 }
                 Endpoint::Process(pid) => {
@@ -2440,6 +3304,11 @@ impl<P: Protocol + Clone> Kernel<P> {
             self.kill_events.is_empty(),
             "snapshot with undrained kill events"
         );
+        assert_eq!(self.wd_armed, 0, "snapshot with armed watchdog deadlines");
+        assert!(
+            self.retry_wait.is_empty(),
+            "snapshot with parked watchdog retries"
+        );
         let comps = self
             .comps
             .iter()
@@ -2594,6 +3463,11 @@ impl<P: Protocol + Clone> Kernel<P> {
         self.shutdown_pending = None;
         self.user_replies.clear();
         self.kill_events.clear();
+        for s in &mut self.wd_slots {
+            *s = None;
+        }
+        self.wd_armed = 0;
+        self.retry_wait.clear();
         self.hook = Box::new(NoFaults);
         self.axiom = snap.axiom.clone();
         self.control = snap.control.clone();

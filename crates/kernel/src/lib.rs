@@ -34,6 +34,7 @@ pub use component::{
 pub use host::{ForkFn, Host, HostConfig, OsEngine, ProgramFn, ProgramRegistry, RunOutcome, Sys};
 pub use kernel::{
     CasFingerprint, CompSnapshot, Instrumentation, Kernel, KernelConfig, KernelSnapshot,
+    WatchdogConfig,
 };
 pub use message::{Endpoint, Message, MsgId, Protocol, ReturnPath, SpanInfo, SyscallId};
 pub use metrics::{ComponentReport, KernelMetrics, ShutdownKind};

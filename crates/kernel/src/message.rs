@@ -97,6 +97,16 @@ pub trait Protocol: fmt::Debug + Send + 'static {
 
     /// Short stable label for tracing and profiling.
     fn label(&self) -> &'static str;
+
+    /// Content digest used for reply-integrity verification: the kernel
+    /// stamps `digest()` on every reply at send time and re-verifies it at
+    /// delivery when the watchdog is enabled, so a reply whose payload was
+    /// corrupted in flight is rejected and its sender treated as crashed.
+    /// The default (constant 0) opts a protocol out of the defense while
+    /// staying source-compatible.
+    fn digest(&self) -> u64 {
+        0
+    }
 }
 
 /// A message in flight.
@@ -117,6 +127,11 @@ pub struct Message<P> {
     pub seep: SeepMeta,
     /// The causal request span this message belongs to, if any.
     pub span: Option<SpanInfo>,
+    /// Integrity digest of the payload ([`Protocol::digest`]), stamped at
+    /// send time. Verified on reply delivery when the watchdog is enabled;
+    /// a mismatch means the payload was corrupted after the sender sealed
+    /// it, and the reply is rejected.
+    pub integrity: u64,
     /// The payload.
     pub payload: P,
 }
@@ -188,6 +203,7 @@ mod tests {
                 epoch_at_open: 0,
                 record: true,
             }),
+            integrity: 0,
             payload: P,
         };
         let rp = m.return_path();

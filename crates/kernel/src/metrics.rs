@@ -79,10 +79,32 @@ pub struct KernelMetrics {
     pub recovered_fresh: u64,
     /// Recoveries keeping crash-time state (naive).
     pub recovered_naive: u64,
+    /// Keep-state restarts of a quiescent component the watchdog declared
+    /// dead (its transaction had committed; only the reply was lost or
+    /// tampered with, so retaining the heap is sound).
+    pub recovered_quiescent: u64,
     /// Controlled shutdowns performed.
     pub controlled_shutdowns: u64,
     /// Virtual cycles spent executing recovery phases.
     pub recovery_cycles: u64,
+    /// Watchdog deadlines armed on outbound requests.
+    pub wd_armed: u64,
+    /// Armed deadlines that expired before a reply arrived.
+    pub wd_expired: u64,
+    /// Heartbeat probes sent to slow-but-alive components.
+    pub wd_probes: u64,
+    /// Watchdog verdicts delivered, all categories (hung, slow,
+    /// reply-lost, corrupt-reply).
+    pub wd_verdicts: u64,
+    /// Replies rejected by the integrity check.
+    pub wd_replies_rejected: u64,
+    /// Transparent retries granted after a fail-silent verdict.
+    pub retries_granted: u64,
+    /// Retries denied (budget exhausted, target unusable, or a
+    /// state-modifying request without an intervening recovery).
+    pub retries_denied: u64,
+    /// Requests whose retry budget ran out entirely.
+    pub retries_exhausted: u64,
 }
 
 /// How the system ended.

@@ -67,6 +67,12 @@ pub struct OsConfig {
     /// crash/recovery series every Δ virtual cycles for the
     /// `timeseries.json` export and the Chrome counter lanes.
     pub timeseries: osiris_metrics::TimeseriesConfig,
+    /// Virtual-time watchdog configuration (see
+    /// `osiris_kernel::WatchdogConfig`). Disabled by default —
+    /// `WatchdogConfig::on()` arms per-request deadlines, heartbeat-probes
+    /// expired ones to tell hung from slow, re-drives idempotent failures
+    /// with deterministic backoff, and rejects integrity-mismatched replies.
+    pub watchdog: osiris_kernel::WatchdogConfig,
 }
 
 impl Default for OsConfig {
@@ -85,6 +91,7 @@ impl Default for OsConfig {
             metrics: osiris_metrics::MetricsConfig::default(),
             axiom: osiris_axiom::AxiomConfig::default(),
             timeseries: osiris_metrics::TimeseriesConfig::default(),
+            watchdog: osiris_kernel::WatchdogConfig::default(),
         }
     }
 }
@@ -115,6 +122,7 @@ impl Clone for OsConfig {
             metrics: self.metrics,
             axiom: self.axiom,
             timeseries: self.timeseries,
+            watchdog: self.watchdog,
         }
     }
 }
@@ -162,6 +170,7 @@ impl Os {
             metrics: cfg.metrics,
             axiom: cfg.axiom,
             timeseries: cfg.timeseries,
+            watchdog: cfg.watchdog,
         };
         let heartbeat = kcfg.cost.heartbeat_interval;
         let disk_latency = kcfg.cost.disk_latency;
@@ -604,6 +613,7 @@ fn config_compatible(a: &OsConfig, b: &OsConfig) -> bool {
         && a.metrics == b.metrics
         && a.axiom == b.axiom
         && a.timeseries == b.timeseries
+        && a.watchdog == b.watchdog
 }
 
 /// A captured OS: the kernel snapshot plus the boot configuration needed to

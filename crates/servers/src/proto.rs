@@ -209,7 +209,37 @@ impl Protocol for OsMsg {
                 class: SeepClass::StateModifying,
                 kind: osiris_core::MessageKind::Request,
                 reply_possible: false,
+                bounded: true,
             },
+            // Intrinsically blocking syscalls: their service time depends on
+            // external progress (a child exiting, a timer firing, pipe data
+            // arriving), not on the handler's own cost, so no deadline is
+            // derivable — the watchdog must never arm one. A `WaitPid` that
+            // takes forever is not a hang.
+            User {
+                call:
+                    osiris_kernel::abi::Syscall::WaitPid { .. }
+                    | osiris_kernel::abi::Syscall::WaitAny
+                    | osiris_kernel::abi::Syscall::Sleep { .. }
+                    | osiris_kernel::abi::Syscall::Read { .. },
+                ..
+            } => SeepMeta::request(SeepClass::StateModifying).unbounded(),
+            // Read-only user syscalls: the handler inspects server state
+            // without changing it, so the request is idempotent — the
+            // watchdog may re-drive it transparently after a lost reply.
+            // (`Read` is excluded: it advances the file offset and can
+            // block on a pipe; `SigPending` fetches *and clears*.)
+            User {
+                call:
+                    osiris_kernel::abi::Syscall::GetPid
+                    | osiris_kernel::abi::Syscall::GetPPid
+                    | osiris_kernel::abi::Syscall::VmStat
+                    | osiris_kernel::abi::Syscall::Stat { .. }
+                    | osiris_kernel::abi::Syscall::ReadDir { .. }
+                    | osiris_kernel::abi::Syscall::DsGet { .. }
+                    | osiris_kernel::abi::Syscall::DsList { .. },
+                ..
+            } => SeepMeta::request(SeepClass::NonStateModifying),
             // User syscalls: requests that (generally) modify the server.
             User { .. } => SeepMeta::request(SeepClass::StateModifying),
             // Replies resume a continuation in the receiver: conservative.
@@ -304,6 +334,55 @@ impl Protocol for OsMsg {
             SleepTick { .. } => "sleep_tick",
         }
     }
+
+    /// Reply-integrity digest: an FNV-1a fold over the variant label and the
+    /// payload bytes that matter to the requester's continuation. Covers the
+    /// reply variants (the only payloads the integrity check inspects) and
+    /// stays allocation-free — scalars fold as little-endian bytes, byte
+    /// payloads fold as-is.
+    fn digest(&self) -> u64 {
+        use osiris_axiom::{fnv1a, fnv1a_str};
+        use OsMsg::*;
+        let seed = fnv1a_str(self.label());
+        match self {
+            RVal(v) => fnv1a(seed, &v.to_le_bytes()),
+            RData(bytes) => fnv1a(seed, bytes),
+            RErr(e) => fnv1a(seed, &[*e as u8]),
+            UserReply(r) => {
+                let tag = |h, t: u8| fnv1a(h, &[t]);
+                match r {
+                    SysReply::Ok => tag(seed, 0),
+                    SysReply::Val(v) => fnv1a(tag(seed, 1), &v.to_le_bytes()),
+                    SysReply::Proc(p) => fnv1a(tag(seed, 2), &p.0.to_le_bytes()),
+                    SysReply::Desc(fd) => fnv1a(tag(seed, 3), &fd.0.to_le_bytes()),
+                    SysReply::TwoDesc(a, b) => {
+                        let h = fnv1a(tag(seed, 4), &a.0.to_le_bytes());
+                        fnv1a(h, &b.0.to_le_bytes())
+                    }
+                    SysReply::Data(bytes) => fnv1a(tag(seed, 5), bytes),
+                    SysReply::Names(names) => names
+                        .iter()
+                        .fold(tag(seed, 6), |h, n| fnv1a(fnv1a_str(n), &h.to_le_bytes())),
+                    SysReply::StatInfo(s) => {
+                        let h = fnv1a(tag(seed, 7), &s.size.to_le_bytes());
+                        let h = fnv1a(h, &[s.is_dir as u8]);
+                        fnv1a(h, &s.nlink.to_le_bytes())
+                    }
+                    SysReply::Exited(p, code) => {
+                        let h = fnv1a(tag(seed, 8), &p.0.to_le_bytes());
+                        fnv1a(h, &code.to_le_bytes())
+                    }
+                    SysReply::Signals(sigs) => {
+                        sigs.iter().fold(tag(seed, 9), |h, s| fnv1a(h, &[*s as u8]))
+                    }
+                    SysReply::Err(e) => fnv1a(tag(seed, 10), &[*e as u8]),
+                }
+            }
+            // Non-reply payloads (and the bodyless replies ROk/RCrash/Pong)
+            // are covered by the label seed alone.
+            _ => seed,
+        }
+    }
 }
 
 /// Converts a reply payload into a `Result` for continuation code.
@@ -340,6 +419,39 @@ mod tests {
             OsMsg::Announce { key: "k".into() }.seep().class,
             SeepClass::NonStateModifying
         );
+    }
+
+    #[test]
+    fn read_only_user_syscalls_are_idempotent() {
+        use osiris_kernel::abi::Syscall;
+        // Idempotent queries: the watchdog may re-drive these after a
+        // lost reply without risking duplicated effects.
+        for call in [
+            Syscall::GetPid,
+            Syscall::VmStat,
+            Syscall::Stat { path: "/".into() },
+            Syscall::DsGet { key: "k".into() },
+            Syscall::DsList { prefix: "".into() },
+        ] {
+            let seep = OsMsg::User { pid: Pid(1), call }.seep();
+            assert_eq!(seep.class, SeepClass::NonStateModifying);
+            assert!(seep.bounded);
+        }
+        // Effectful or fetch-and-clear calls stay state-modifying.
+        for call in [
+            Syscall::DsPut {
+                key: "k".into(),
+                value: vec![1],
+            },
+            Syscall::SigPending,
+            Syscall::Seek {
+                fd: osiris_kernel::abi::Fd(0),
+                from: osiris_kernel::abi::SeekFrom::Start(0),
+            },
+        ] {
+            let seep = OsMsg::User { pid: Pid(1), call }.seep();
+            assert_eq!(seep.class, SeepClass::StateModifying);
+        }
     }
 
     #[test]
@@ -437,6 +549,56 @@ mod tests {
         );
         assert_eq!(reply_result(&OsMsg::RCrash).unwrap_err(), Errno::ECRASH);
         assert!(reply_result(&OsMsg::ROk).is_ok());
+    }
+
+    #[test]
+    fn blocking_syscalls_are_unbounded() {
+        use osiris_kernel::abi::Syscall;
+        for call in [
+            Syscall::WaitPid { pid: Pid(1) },
+            Syscall::WaitAny,
+            Syscall::Sleep { ticks: 5 },
+            Syscall::Read {
+                fd: osiris_kernel::abi::Fd(0),
+                len: 16,
+            },
+        ] {
+            let seep = OsMsg::User { pid: Pid(1), call }.seep();
+            assert!(!seep.bounded, "blocking calls must not arm a deadline");
+            assert!(seep.reply_possible);
+        }
+        // Ordinary requests stay bounded.
+        assert!(OsMsg::VmUsage { pid: Pid(1) }.seep().bounded);
+        assert!(OsMsg::DiskRead { block: 0 }.seep().bounded);
+    }
+
+    #[test]
+    fn digests_distinguish_reply_payloads() {
+        // Different payloads of the same variant differ…
+        assert_ne!(OsMsg::RVal(1).digest(), OsMsg::RVal(2).digest());
+        assert_ne!(
+            OsMsg::RData(vec![1, 2]).digest(),
+            OsMsg::RData(vec![1, 3]).digest()
+        );
+        assert_ne!(
+            OsMsg::UserReply(SysReply::Val(7)).digest(),
+            OsMsg::UserReply(SysReply::Val(8)).digest()
+        );
+        assert_ne!(
+            OsMsg::UserReply(SysReply::Err(Errno::EIO)).digest(),
+            OsMsg::UserReply(SysReply::Err(Errno::ENOENT)).digest()
+        );
+        // …different variants differ…
+        assert_ne!(OsMsg::ROk.digest(), OsMsg::RCrash.digest());
+        assert_ne!(
+            OsMsg::RVal(0).digest(),
+            OsMsg::UserReply(SysReply::Val(0)).digest()
+        );
+        // …and equal payloads agree (the property the integrity check uses).
+        assert_eq!(
+            OsMsg::RData(vec![9; 32]).digest(),
+            OsMsg::RData(vec![9; 32]).digest()
+        );
     }
 
     #[test]

@@ -18,8 +18,23 @@ fn full_classification_matrix() {
     use SeepClass::*;
     // (message, kind, class, reply_possible)
     let matrix: Vec<(OsMsg, MessageKind, SeepClass, bool)> = vec![
-        // User syscalls: replyable state-modifying requests, except exit.
-        (user(Syscall::GetPid), Request, StateModifying, true),
+        // User syscalls: replyable state-modifying requests — except exit
+        // (no reply possible) and the read-only set (GetPid, Stat, DsGet,
+        // …), which is NonStateModifying so the watchdog may transparently
+        // re-drive a lost reply.
+        (user(Syscall::GetPid), Request, NonStateModifying, true),
+        (
+            user(Syscall::Stat { path: "/x".into() }),
+            Request,
+            NonStateModifying,
+            true,
+        ),
+        (
+            user(Syscall::DsGet { key: "k".into() }),
+            Request,
+            NonStateModifying,
+            true,
+        ),
         (
             user(Syscall::Open {
                 path: "/x".into(),

@@ -26,6 +26,11 @@ const AXIOM_TID: u64 = 998;
 /// thread, so overlapping requests stack instead of colliding.
 const SPAN_TID: u64 = 997;
 
+/// `tid` for the watchdog lane: armed deadlines, expiries, probes,
+/// verdicts and retry decisions render on their own named thread so the
+/// fail-silent detection machinery reads as one ordered track.
+const WATCHDOG_TID: u64 = 996;
+
 fn tid(comp: u8) -> u64 {
     if comp == KERNEL_COMP {
         KERNEL_TID
@@ -62,6 +67,18 @@ fn span_lane(mut e: Json, span: u64) -> Json {
         }
         pairs.insert(2, ("cat".to_string(), Json::Str("span".into())));
         pairs.insert(3, ("id".to_string(), Json::UInt(span)));
+    }
+    e
+}
+
+/// Rewrites a built event onto the watchdog lane.
+fn watchdog_lane(mut e: Json) -> Json {
+    if let Json::Obj(pairs) = &mut e {
+        for (k, v) in pairs.iter_mut() {
+            if k == "tid" {
+                *v = Json::UInt(WATCHDOG_TID);
+            }
+        }
     }
     e
 }
@@ -162,6 +179,18 @@ pub fn chrome_trace_with_axiom(
             ("pid", Json::UInt(1)),
             ("tid", Json::UInt(SPAN_TID)),
             ("args", Json::obj([("name", Json::Str("spans".into()))])),
+        ]));
+    }
+    let has_watchdog = records
+        .iter()
+        .any(|r| r.event.category() == crate::Category::Watchdog);
+    if has_watchdog {
+        events.push(Json::obj([
+            ("name", Json::Str("thread_name".into())),
+            ("ph", Json::Str("M".into())),
+            ("pid", Json::UInt(1)),
+            ("tid", Json::UInt(WATCHDOG_TID)),
+            ("args", Json::obj([("name", Json::Str("watchdog".into()))])),
         ]));
     }
 
@@ -412,6 +441,107 @@ pub fn chrome_trace_with_axiom(
                 );
                 events.push(span_lane(e, *span))
             }
+            TraceEvent::DeadlineArmed {
+                target,
+                msg_id,
+                deadline,
+            } => {
+                let e = event_json(
+                    "deadline_armed",
+                    "i",
+                    r,
+                    vec![
+                        kv("target", Json::Str(comp_name(*target, names))),
+                        kv("msg_id", Json::UInt(*msg_id)),
+                        kv("deadline", Json::UInt(*deadline)),
+                    ],
+                );
+                events.push(watchdog_lane(e))
+            }
+            TraceEvent::DeadlineExpired { target, msg_id } => {
+                let e = event_json(
+                    "deadline_expired",
+                    "i",
+                    r,
+                    vec![
+                        kv("target", Json::Str(comp_name(*target, names))),
+                        kv("msg_id", Json::UInt(*msg_id)),
+                    ],
+                );
+                events.push(watchdog_lane(e))
+            }
+            TraceEvent::WatchdogProbe { target, msg_id } => {
+                let e = event_json(
+                    "watchdog_probe",
+                    "i",
+                    r,
+                    vec![
+                        kv("target", Json::Str(comp_name(*target, names))),
+                        kv("msg_id", Json::UInt(*msg_id)),
+                    ],
+                );
+                events.push(watchdog_lane(e))
+            }
+            TraceEvent::WatchdogVerdict {
+                target,
+                msg_id,
+                verdict,
+            } => {
+                let e = event_json(
+                    "watchdog_verdict",
+                    "i",
+                    r,
+                    vec![
+                        kv("target", Json::Str(comp_name(*target, names))),
+                        kv("msg_id", Json::UInt(*msg_id)),
+                        kv("verdict", Json::Str(format!("{verdict:?}"))),
+                    ],
+                );
+                events.push(watchdog_lane(e))
+            }
+            TraceEvent::RetryScheduled {
+                target,
+                msg_id,
+                attempt,
+                backoff,
+            } => {
+                let e = event_json(
+                    "retry_scheduled",
+                    "i",
+                    r,
+                    vec![
+                        kv("target", Json::Str(comp_name(*target, names))),
+                        kv("msg_id", Json::UInt(*msg_id)),
+                        kv("attempt", Json::UInt(*attempt as u64)),
+                        kv("backoff", Json::UInt(*backoff)),
+                    ],
+                );
+                events.push(watchdog_lane(e))
+            }
+            TraceEvent::RetryExhausted { target, msg_id } => {
+                let e = event_json(
+                    "retry_exhausted",
+                    "i",
+                    r,
+                    vec![
+                        kv("target", Json::Str(comp_name(*target, names))),
+                        kv("msg_id", Json::UInt(*msg_id)),
+                    ],
+                );
+                events.push(watchdog_lane(e))
+            }
+            TraceEvent::ReplyRejected { sender, msg_id } => {
+                let e = event_json(
+                    "reply_rejected",
+                    "i",
+                    r,
+                    vec![
+                        kv("sender", Json::Str(comp_name(*sender, names))),
+                        kv("msg_id", Json::UInt(*msg_id)),
+                    ],
+                );
+                events.push(watchdog_lane(e))
+            }
         }
     }
 
@@ -601,6 +731,42 @@ mod tests {
         let quotes = text.chars().filter(|c| *c == '"').count();
         assert_eq!(quotes % 2, 0, "unbalanced quotes in {text}");
         assert!(!text.contains('\u{1}'), "raw control char leaked: {text}");
+    }
+
+    #[test]
+    fn watchdog_lane_renders_instants() {
+        let names = vec!["vfs".to_string()];
+        let recs = vec![
+            TraceRecord {
+                now: 10,
+                seq: 0,
+                comp: crate::KERNEL_COMP,
+                event: TraceEvent::DeadlineArmed {
+                    target: 0,
+                    msg_id: 7,
+                    deadline: 1_500_010,
+                },
+            },
+            TraceRecord {
+                now: 1_500_010,
+                seq: 1,
+                comp: crate::KERNEL_COMP,
+                event: TraceEvent::WatchdogVerdict {
+                    target: 0,
+                    msg_id: 7,
+                    verdict: crate::VerdictCode::Hung,
+                },
+            },
+        ];
+        let text = chrome_trace(&recs, &names).pretty();
+        assert!(text.contains("\"deadline_armed\""), "{text}");
+        assert!(text.contains("\"watchdog_verdict\""), "{text}");
+        assert!(text.contains("\"verdict\": \"Hung\""), "{text}");
+        assert!(text.contains("\"tid\": 996"), "{text}");
+        assert!(text.contains("\"name\": \"watchdog\""), "{text}");
+        // No watchdog events → no watchdog lane metadata.
+        let empty = chrome_trace(&[], &names).pretty();
+        assert!(!empty.contains("\"tid\": 996"), "{empty}");
     }
 
     #[test]

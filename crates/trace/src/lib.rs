@@ -79,6 +79,9 @@ pub enum Category {
     Shutdown,
     /// Causal request spans: open/hop/close lifecycle events.
     Span,
+    /// Virtual-time watchdog: armed deadlines, expiries, heartbeat probes,
+    /// verdicts and transparent-retry decisions.
+    Watchdog,
 }
 
 impl Category {
@@ -94,7 +97,7 @@ pub struct CategoryMask(pub u16);
 
 impl CategoryMask {
     /// Every category enabled.
-    pub const ALL: CategoryMask = CategoryMask(0xFF);
+    pub const ALL: CategoryMask = CategoryMask(0x1FF);
     /// No category enabled.
     pub const NONE: CategoryMask = CategoryMask(0);
 
@@ -125,7 +128,7 @@ impl Default for CategoryMask {
     }
 }
 
-pub use osiris_axiom::{ActionCode, CloseCode, SeepClassCode};
+pub use osiris_axiom::{ActionCode, CloseCode, SeepClassCode, VerdictCode};
 
 /// A typed, fixed-size trace event. Every variant is `Copy` and contains no
 /// heap-owning field, so emitting one never allocates.
@@ -319,6 +322,68 @@ pub enum TraceEvent {
         /// End-to-end virtual cycles from open to close.
         latency: u64,
     },
+    /// The kernel armed a per-request watchdog deadline for a message
+    /// delivered to `target`.
+    DeadlineArmed {
+        /// Component the request was delivered to.
+        target: u8,
+        /// Armed message id.
+        msg_id: u64,
+        /// Absolute virtual-clock deadline.
+        deadline: u64,
+    },
+    /// An armed deadline expired with no reply observed.
+    DeadlineExpired {
+        /// Component the request was delivered to.
+        target: u8,
+        /// Expired message id.
+        msg_id: u64,
+    },
+    /// The watchdog sampled `target`'s progress counters to distinguish a
+    /// hung component from a slow one.
+    WatchdogProbe {
+        /// Probed component.
+        target: u8,
+        /// Message id of the request under suspicion.
+        msg_id: u64,
+    },
+    /// The watchdog concluded its probe with a verdict.
+    WatchdogVerdict {
+        /// Component the verdict concerns.
+        target: u8,
+        /// Message id of the request under suspicion.
+        msg_id: u64,
+        /// What the probe concluded.
+        verdict: VerdictCode,
+    },
+    /// The kernel granted a transparent retry: the original request will be
+    /// re-delivered after `backoff` virtual cycles.
+    RetryScheduled {
+        /// Component the request targets.
+        target: u8,
+        /// Retried message id (stable across attempts).
+        msg_id: u64,
+        /// Attempt number of the upcoming re-delivery (1 = first retry).
+        attempt: u8,
+        /// Backoff (incl. deterministic jitter) before the resend.
+        backoff: u64,
+    },
+    /// Retries for `msg_id` were denied or exhausted; the requester sees
+    /// the virtualized crash reply.
+    RetryExhausted {
+        /// Component the request targeted.
+        target: u8,
+        /// Message id whose retries ended.
+        msg_id: u64,
+    },
+    /// A reply failed integrity verification and was rejected; the sender
+    /// is treated as crashed.
+    ReplyRejected {
+        /// Component that sent the corrupt reply.
+        sender: u8,
+        /// Message id of the rejected reply's request.
+        msg_id: u64,
+    },
 }
 
 impl TraceEvent {
@@ -347,6 +412,13 @@ impl TraceEvent {
             TraceEvent::SpanOpen { .. }
             | TraceEvent::SpanHop { .. }
             | TraceEvent::SpanClose { .. } => Category::Span,
+            TraceEvent::DeadlineArmed { .. }
+            | TraceEvent::DeadlineExpired { .. }
+            | TraceEvent::WatchdogProbe { .. }
+            | TraceEvent::WatchdogVerdict { .. }
+            | TraceEvent::RetryScheduled { .. }
+            | TraceEvent::RetryExhausted { .. }
+            | TraceEvent::ReplyRejected { .. } => Category::Watchdog,
         }
     }
 
@@ -356,7 +428,9 @@ impl TraceEvent {
             TraceEvent::UndoAppend { .. }
             | TraceEvent::UndoCoalesce
             | TraceEvent::CheckpointMark { .. }
-            | TraceEvent::Discard { .. } => Severity::Debug,
+            | TraceEvent::Discard { .. }
+            | TraceEvent::DeadlineArmed { .. }
+            | TraceEvent::WatchdogProbe { .. } => Severity::Debug,
             TraceEvent::IpcSend { .. }
             | TraceEvent::IpcDeliver { .. }
             | TraceEvent::WindowOpen
@@ -377,7 +451,12 @@ impl TraceEvent {
             | TraceEvent::Quarantined { .. }
             | TraceEvent::RecoveryFallback { .. }
             | TraceEvent::IntentReplayed { .. }
-            | TraceEvent::CowRestore { .. } => Severity::Warn,
+            | TraceEvent::CowRestore { .. }
+            | TraceEvent::DeadlineExpired { .. }
+            | TraceEvent::WatchdogVerdict { .. }
+            | TraceEvent::RetryScheduled { .. }
+            | TraceEvent::RetryExhausted { .. }
+            | TraceEvent::ReplyRejected { .. } => Severity::Warn,
             TraceEvent::ShutdownDecision { .. } => Severity::Error,
         }
     }
@@ -810,5 +889,6 @@ mod tests {
         assert!(m.without(Category::Ipc).contains(Category::Undo));
         assert!(CategoryMask::ALL.contains(Category::Shutdown));
         assert!(CategoryMask::ALL.contains(Category::Span));
+        assert!(CategoryMask::ALL.contains(Category::Watchdog));
     }
 }

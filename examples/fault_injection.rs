@@ -102,11 +102,15 @@ fn main() {
                 action: RecoveryActionTag::from_counts(
                     m.recovered_rollback,
                     m.recovered_fresh,
+                    m.recovered_quiescent,
                     m.recovered_naive,
                     m.controlled_shutdowns,
                 ),
                 run_cycles: os.kernel().now(),
-                recoveries: m.recovered_rollback + m.recovered_fresh + m.recovered_naive,
+                recoveries: m.recovered_rollback
+                    + m.recovered_fresh
+                    + m.recovered_quiescent
+                    + m.recovered_naive,
                 recovery_cycles: m.recovery_cycles,
                 critical_path,
                 span_latency_clean,

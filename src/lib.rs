@@ -67,7 +67,7 @@ pub use osiris_core::{
 };
 pub use osiris_kernel::{
     install_quiet_panic_hook, Host, Instrumentation, OsEngine, ProgramRegistry, RunOutcome,
-    ShutdownKind, Sys,
+    ShutdownKind, Sys, WatchdogConfig,
 };
 pub use osiris_metrics::{MetricsConfig, MetricsHandle};
 pub use osiris_monolith::Monolith;

@@ -4,7 +4,10 @@
 
 use osiris::faults::PeriodicCrash;
 use osiris::kernel::{FaultEffect, FaultHook, Probe};
-use osiris::{EscalationPolicy, Host, Os, OsConfig, ProgramRegistry, RunOutcome};
+use osiris::{
+    AxiomConfig, AxiomEvent, EscalationPolicy, Host, Os, OsConfig, ProgramRegistry, RunOutcome,
+    WatchdogConfig,
+};
 
 /// Injects fail-stop faults into a rotating set of components, each only
 /// inside a consistently recoverable window, at a fixed interval.
@@ -120,6 +123,93 @@ fn sustained_rotating_crashes_across_all_servers() {
     assert!(
         recovered.len() >= 2,
         "recoveries spread across servers: {recovered:?}"
+    );
+}
+
+/// Wedges a rotating set of components (fail-silent hang, no crash signal)
+/// at a fixed interval, each only inside a consistently recoverable window.
+struct RotatingHang {
+    targets: Vec<&'static str>,
+    interval: u64,
+    next_at: u64,
+    cursor: usize,
+}
+
+impl FaultHook for RotatingHang {
+    fn on_site(&mut self, probe: &Probe) -> FaultEffect {
+        if probe.now >= self.next_at
+            && probe.window_open
+            && probe.replyable
+            && probe.component == self.targets[self.cursor]
+        {
+            self.next_at = probe.now + self.interval;
+            self.cursor = (self.cursor + 1) % self.targets.len();
+            FaultEffect::Hang
+        } else {
+            FaultEffect::None
+        }
+    }
+}
+
+/// A hang storm rotating across the core servers while recoveries are
+/// continuously in flight: every wedge is detected by the virtual-time
+/// watchdog (no crash signal exists), the workload completes, and the
+/// retry machinery never amplifies — the axiom's sealed retry decisions
+/// show at most `max_retries` grants per message, storm or not.
+#[test]
+fn hang_storm_during_recovery_does_not_amplify_retries() {
+    osiris::install_quiet_panic_hook();
+    let watchdog = WatchdogConfig::on();
+    let mut os = Os::new(OsConfig {
+        vm_frames: 2048,
+        watchdog,
+        axiom: AxiomConfig::on(),
+        escalation: EscalationPolicy::unbounded(),
+        ..Default::default()
+    });
+    os.set_fault_hook(Box::new(RotatingHang {
+        targets: vec!["pm", "vfs", "vm", "ds"],
+        interval: 1_200_000,
+        next_at: 200_000,
+        cursor: 0,
+    }));
+    let mut host = Host::new(os, mixed_registry());
+    let outcome = host.run("main", &[]);
+    let os = host.into_engine();
+    assert!(
+        matches!(outcome, RunOutcome::Completed { init_code: 0, .. }),
+        "the workload must survive the hang storm: {outcome:?}"
+    );
+    let m = os.metrics();
+    assert!(m.hangs >= 3, "the storm must actually wedge servers: {m:?}");
+    assert!(
+        m.wd_expired >= m.hangs,
+        "every wedge must expire an armed deadline"
+    );
+    assert!(os.audit().is_empty(), "audit: {:?}", os.audit());
+
+    // No retry amplification: the sealed decisions grant at most
+    // `max_retries` attempts per message, and the aggregate counters agree.
+    let mut grants_per_msg = std::collections::BTreeMap::new();
+    for r in os.kernel().axiom().records() {
+        if let AxiomEvent::RetryDecision {
+            msg_id,
+            granted: true,
+            ..
+        } = r.event
+        {
+            *grants_per_msg.entry(msg_id).or_insert(0u32) += 1;
+        }
+    }
+    for (msg_id, grants) in &grants_per_msg {
+        assert!(
+            *grants <= watchdog.max_retries,
+            "retry amplification on msg {msg_id}: {grants} grants"
+        );
+    }
+    assert!(
+        m.retries_granted <= u64::from(watchdog.max_retries) * m.wd_expired,
+        "aggregate retry volume must stay within the per-expiry budget: {m:?}"
     );
 }
 
